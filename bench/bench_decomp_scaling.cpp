@@ -1,0 +1,83 @@
+// Experiment TAB-ALG — cost of the decomposition algorithms themselves.
+//
+// Section 3.3 states the greedy algorithm runs in O(|V||E|). We measure
+// greedy wall time across topology families and sizes (google-benchmark),
+// plus the matching-cover alternative (near-linear) — decomposition is a
+// startup cost, paid once per topology, so even the worst case is cheap.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "decomp/cover_decomposer.hpp"
+#include "decomp/greedy_decomposer.hpp"
+#include "graph/generators.hpp"
+
+using namespace syncts;
+
+namespace {
+
+Graph make_topology(int family, std::size_t n) {
+    Rng rng(1234);
+    switch (family) {
+        case 0: return topology::random_tree(n, rng);
+        case 1: return topology::client_server(8, n - 8);
+        case 2: return topology::random_gnp(n, 8.0 / static_cast<double>(n),
+                                            rng);  // sparse, ~4 avg degree
+        default: return topology::complete(n);
+    }
+}
+
+const char* family_name(int family) {
+    switch (family) {
+        case 0: return "tree";
+        case 1: return "client_server8";
+        case 2: return "gnp_avg_deg8";
+        default: return "complete";
+    }
+}
+
+void BM_GreedyDecomposition(benchmark::State& state) {
+    const int family = static_cast<int>(state.range(0));
+    const auto n = static_cast<std::size_t>(state.range(1));
+    const Graph g = make_topology(family, n);
+    std::size_t width = 0;
+    for (auto _ : state) {
+        const auto d = greedy_edge_decomposition(g);
+        width = d.size();
+        benchmark::DoNotOptimize(width);
+    }
+    state.SetLabel(std::string(family_name(family)) + " m=" +
+                   std::to_string(g.num_edges()) + " d=" +
+                   std::to_string(width));
+}
+
+void BM_CoverDecomposition(benchmark::State& state) {
+    const int family = static_cast<int>(state.range(0));
+    const auto n = static_cast<std::size_t>(state.range(1));
+    const Graph g = make_topology(family, n);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(approx_cover_decomposition(g).size());
+    }
+    state.SetLabel(std::string(family_name(family)) + " m=" +
+                   std::to_string(g.num_edges()));
+}
+
+void ScalingArgs(benchmark::internal::Benchmark* bench) {
+    for (int family = 0; family < 4; ++family) {
+        for (const std::int64_t n : {64, 256, 1024}) {
+            if (family == 3 && n > 256) continue;  // complete: m = n^2/2
+            bench->Args({family, n});
+        }
+    }
+}
+
+BENCHMARK(BM_GreedyDecomposition)
+    ->Apply(ScalingArgs)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CoverDecomposition)
+    ->Apply(ScalingArgs)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Experiment FIG3 — edge decompositions of complete graphs (Fig. 3).
+//
+// The paper shows two decompositions of K5: (a) 2 stars + 1 triangle
+// (3 groups = N−2) and (b) 4 stars (N−1). We print both for K5 verbatim,
+// then sweep K_n and report the trivial N−2 decomposition, the greedy
+// Fig. 7 result, and the pure-star (vertex-cover) result — complete graphs
+// are the worst case for the method, and the paper's claim is that even
+// there N−2 components suffice.
+
+#include <cstdio>
+
+#include "decomp/cover_decomposer.hpp"
+#include "decomp/greedy_decomposer.hpp"
+#include "graph/generators.hpp"
+#include "graph/vertex_cover.hpp"
+
+using namespace syncts;
+
+int main() {
+    std::printf("== FIG3: decompositions of complete graphs ==\n\n");
+
+    const Graph k5 = topology::complete(5);
+    std::printf("K5 decomposition (a), 2 stars + 1 triangle:\n  %s\n",
+                trivial_complete_decomposition(k5).to_string().c_str());
+    const EdgeDecomposition stars =
+        decomposition_from_cover(k5, std::vector<ProcessId>{0, 1, 2, 3});
+    std::printf("K5 decomposition (b), 4 stars:\n  %s\n\n",
+                stars.to_string().c_str());
+
+    std::printf("%6s %10s %10s %12s %12s %10s\n", "N", "edges", "trivial",
+                "greedy", "star-only", "FM width");
+    for (std::size_t n = 3; n <= 128; n = n < 16 ? n + 1 : n * 2) {
+        const Graph g = topology::complete(n);
+        const auto trivial = trivial_complete_decomposition(g);
+        const auto greedy = greedy_edge_decomposition(g);
+        const auto star_only = approx_cover_decomposition(g);
+        std::printf("%6zu %10zu %10zu %12zu %12zu %10zu\n", n, g.num_edges(),
+                    trivial.size(), greedy.size(), star_only.size(), n);
+        if (trivial.size() != n - 2) {
+            std::printf("  ^ FAIL: expected N-2 = %zu\n", n - 2);
+        }
+    }
+    std::printf(
+        "\nshape check: trivial = N-2 always; greedy = N-2 (odd N) or N-1 "
+        "(even N); every variant beats FM's N by at least 1-2 components.\n");
+    return 0;
+}

@@ -1,0 +1,94 @@
+// Experiment TAB-OFF — the offline algorithm (Fig. 9) and Theorem 8.
+//
+// For random workloads across topologies: the message poset's width never
+// exceeds floor(N/2); the offline vectors use exactly `width` components;
+// the realizer's intersection is the poset (spot-verified); and offline
+// width is often far below both the bound and the online width d because
+// it reflects the parallelism actually present in the trace.
+
+#include <cstdio>
+
+#include "clocks/offline_timestamper.hpp"
+#include "common/rng.hpp"
+#include "core/causality.hpp"
+#include "core/sync_system.hpp"
+#include "graph/generators.hpp"
+#include "trace/generator.hpp"
+#include "trace/ground_truth.hpp"
+
+using namespace syncts;
+
+namespace {
+
+void study(const char* family, const Graph& g, std::size_t messages,
+           std::uint64_t seed, bool verify) {
+    Rng rng(seed);
+    WorkloadOptions options;
+    options.num_messages = messages;
+    const SyncComputation c = random_computation(g, options, rng);
+    const Poset truth = message_poset(c);
+    const OfflineResult offline = offline_timestamps(c);
+    const OfflineResult minimized =
+        offline_timestamps(c, /*minimize_dimension=*/true);
+    const SyncSystem system{Graph(g)};
+
+    const std::size_t n = g.num_vertices();
+    const bool bound_ok = offline.width <= n / 2;
+    std::size_t mismatches = 0;
+    if (verify) {
+        mismatches = encoding_mismatches(truth, offline.timestamps) +
+                     encoding_mismatches(truth, minimized.timestamps);
+    }
+    std::printf("%-18s %6zu %6zu %9zu %9zu %9zu %9zu %8s %9s\n", family, n,
+                messages, offline.width, minimized.width, n / 2,
+                system.width(), bound_ok ? "ok" : "FAIL",
+                verify ? (mismatches == 0 ? "exact" : "FAIL") : "-");
+}
+
+}  // namespace
+
+int main() {
+    std::printf("== TAB-OFF: offline algorithm (Fig. 9 / Theorem 8) ==\n\n");
+    std::printf("%-18s %6s %6s %9s %9s %9s %9s %8s %9s\n", "family", "N",
+                "msgs", "width", "min-dim", "N/2", "online d", "Thm8",
+                "encoding");
+
+    Rng seeds(4004);
+    study("complete", topology::complete(8), 200, seeds(), true);
+    study("complete", topology::complete(16), 300, seeds(), true);
+    study("complete", topology::complete(32), 400, seeds(), false);
+    study("ring", topology::ring(8), 200, seeds(), true);
+    study("ring", topology::ring(16), 300, seeds(), true);
+    study("ring", topology::ring(32), 400, seeds(), false);
+    study("star", topology::star(16), 300, seeds(), true);
+    study("client-server k=3", topology::client_server(3, 13), 300, seeds(),
+          true);
+    study("client-server k=3", topology::client_server(3, 29), 400, seeds(),
+          false);
+    Rng rng(5005);
+    study("random-tree", topology::random_tree(16, rng), 300, seeds(), true);
+    study("random-tree", topology::random_tree(32, rng), 400, seeds(), false);
+    study("grid 4x4", topology::grid(4, 4), 300, seeds(), true);
+
+    // Serialized-chain corner: offline width collapses to 1 even on a
+    // complete graph where the online algorithm needs N-2 components.
+    SyncComputation chain(topology::complete(12));
+    for (ProcessId i = 0; i + 1 < 12; ++i) chain.add_message(i, i + 1);
+    const OfflineResult offline = offline_timestamps(chain);
+    std::printf("%-18s %6u %6zu %9zu %9zu %9u %9zu %8s %9s\n",
+                "K12 serial chain", 12u, chain.num_messages(), offline.width,
+                offline.width, 6u,
+                SyncSystem(topology::complete(12)).width(),
+                offline.width <= 6 ? "ok" : "FAIL",
+                encoding_mismatches(message_poset(chain),
+                                    offline.timestamps) == 0
+                    ? "exact"
+                    : "FAIL");
+
+    std::printf(
+        "\nshape check: width <= N/2 always (Theorem 8); width 1 on star "
+        "topologies and serialized traffic; offline <= online d on every "
+        "row where both are reported; the min-dim post-pass (an extension "
+        "beyond Fig. 9) never widens and sometimes shaves a component.\n");
+    return 0;
+}

@@ -1,0 +1,53 @@
+// Experiment TAB-ORD — how special are synchronous computations?
+//
+// The paper's method applies exactly to the RSC class (realizable with
+// synchronous communication) of Charron-Bost, Mattern & Tel. This bench
+// samples random asynchronous executions at varying delivery eagerness
+// and reports how many land in each class of the hierarchy
+// FIFO ⊇ causal ⊇ RSC — quantifying both how restrictive the synchronous
+// assumption is for arbitrary traffic and how completely an eager
+// (rendezvous-like) delivery discipline restores it.
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "trace/ordering_classes.hpp"
+
+using namespace syncts;
+
+int main() {
+    std::printf("== TAB-ORD: ordering-class census of random executions ==\n\n");
+    std::printf("%-14s %10s %8s %8s %8s %8s\n", "topology", "bias", "runs",
+                "FIFO%", "causal%", "RSC%");
+    Rng rng(11011);
+    constexpr int kRuns = 200;
+    for (const Graph& g :
+         {topology::complete(6), topology::ring(8),
+          topology::client_server(2, 6)}) {
+        const char* name = g.num_edges() == 15   ? "K6"
+                           : g.num_edges() == 8  ? "ring8"
+                                                 : "cs(2,6)";
+        for (const double bias : {0.3, 0.6, 0.9, 1.0}) {
+            int fifo = 0;
+            int causal = 0;
+            int rsc = 0;
+            for (int run = 0; run < kRuns; ++run) {
+                const AsyncComputation c =
+                    random_async_computation(g, 15, bias, rng);
+                const OrderingClasses classes = classify_ordering(c);
+                fifo += classes.fifo ? 1 : 0;
+                causal += classes.causally_ordered ? 1 : 0;
+                rsc += classes.rsc ? 1 : 0;
+            }
+            std::printf("%-14s %10.1f %8d %7d%% %7d%% %7d%%\n", name, bias,
+                        kRuns, 100 * fifo / kRuns, 100 * causal / kRuns,
+                        100 * rsc / kRuns);
+        }
+    }
+    std::printf(
+        "\nshape check: the hierarchy never inverts (RSC%% <= causal%% <= "
+        "FIFO%%); eager delivery (bias 1.0) is always RSC — the regime the "
+        "paper's rendezvous runtime enforces by construction.\n");
+    return 0;
+}

@@ -1,0 +1,116 @@
+// Experiment TAB-OVH — O(d) vs O(N) timestamping overhead (Section 3.2).
+//
+// google-benchmark microbenchmarks: cost of one rendezvous timestamp
+// update for the paper's online clock (vector width d) against the FM
+// synchronous baseline (width N) and Lamport scalars, across topology
+// families and system sizes. The paper's claim is structural — the online
+// algorithm touches d components per message, FM touches N — so the
+// speedup should track N/d.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "clocks/fm_sync_clock.hpp"
+#include "clocks/lamport_clock.hpp"
+#include "clocks/online_clock.hpp"
+#include "common/rng.hpp"
+#include "core/sync_system.hpp"
+#include "graph/generators.hpp"
+#include "trace/generator.hpp"
+
+using namespace syncts;
+
+namespace {
+
+Graph make_topology(int family, std::size_t n) {
+    Rng rng(42);
+    switch (family) {
+        case 0: return topology::star(n);
+        case 1: return topology::client_server(4, n - 4);
+        case 2: return topology::kary_tree(n, 4);
+        default: return topology::complete(n);
+    }
+}
+
+const char* family_name(int family) {
+    switch (family) {
+        case 0: return "star";
+        case 1: return "client_server4";
+        case 2: return "kary_tree4";
+        default: return "complete";
+    }
+}
+
+SyncComputation workload(const Graph& g, std::size_t messages) {
+    Rng rng(7);
+    WorkloadOptions options;
+    options.num_messages = messages;
+    return random_computation(g, options, rng);
+}
+
+void BM_OnlineClock(benchmark::State& state) {
+    const int family = static_cast<int>(state.range(0));
+    const auto n = static_cast<std::size_t>(state.range(1));
+    const Graph g = make_topology(family, n);
+    const SyncSystem system{Graph(g)};
+    const SyncComputation c = workload(g, 2048);
+    for (auto _ : state) {
+        OnlineTimestamper timestamper(system.decomposition_ptr());
+        for (const SyncMessage& m : c.messages()) {
+            benchmark::DoNotOptimize(
+                timestamper.timestamp_message(m.sender, m.receiver));
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * c.num_messages()));
+    state.SetLabel(std::string(family_name(family)) +
+                   " d=" + std::to_string(system.width()));
+}
+
+void BM_FmSyncClock(benchmark::State& state) {
+    const int family = static_cast<int>(state.range(0));
+    const auto n = static_cast<std::size_t>(state.range(1));
+    const Graph g = make_topology(family, n);
+    const SyncComputation c = workload(g, 2048);
+    for (auto _ : state) {
+        FmSyncTimestamper timestamper(g.num_vertices());
+        for (const SyncMessage& m : c.messages()) {
+            benchmark::DoNotOptimize(
+                timestamper.timestamp_message(m.sender, m.receiver));
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * c.num_messages()));
+    state.SetLabel(std::string(family_name(family)) +
+                   " N=" + std::to_string(g.num_vertices()));
+}
+
+void BM_LamportClock(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Graph g = topology::client_server(4, n - 4);
+    const SyncComputation c = workload(g, 2048);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lamport_timestamps(c));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * c.num_messages()));
+}
+
+void OverheadArgs(benchmark::internal::Benchmark* bench) {
+    for (int family = 0; family < 4; ++family) {
+        for (const std::int64_t n : {16, 64, 256}) {
+            if (family == 3 && n > 64) continue;  // complete: O(N^2) edges
+            bench->Args({family, n});
+        }
+    }
+}
+
+BENCHMARK(BM_OnlineClock)->Apply(OverheadArgs)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FmSyncClock)->Apply(OverheadArgs)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LamportClock)->Arg(16)->Arg(64)->Arg(256)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// Experiment TAB-PREC — precedence-test cost (Sections 2 and 6).
+//
+// The precedence test m1 |-> m2 ⟺ v(m1) < v(m2) is a straight
+// component-wise comparison: O(d) for the paper's timestamps, O(N) for
+// FM. We benchmark comparisons over stamp sets produced by both clocks on
+// the same workloads, so the measured gap tracks N/d.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "clocks/direct_dependency.hpp"
+#include "clocks/fm_sync_clock.hpp"
+#include "clocks/online_clock.hpp"
+#include "common/rng.hpp"
+#include "core/causality.hpp"
+#include "core/sync_system.hpp"
+#include "graph/generators.hpp"
+#include "trace/generator.hpp"
+
+using namespace syncts;
+
+namespace {
+
+SyncComputation workload(const Graph& g) {
+    Rng rng(9);
+    WorkloadOptions options;
+    options.num_messages = 512;
+    return random_computation(g, options, rng);
+}
+
+void BM_PrecedencePaper(benchmark::State& state) {
+    const auto clients = static_cast<std::size_t>(state.range(0));
+    const Graph g = topology::client_server(4, clients);
+    const SyncSystem system{Graph(g)};
+    const SyncComputation c = workload(g);
+    auto timestamper = system.make_timestamper();
+    const std::vector<VectorTimestamp> stamps =
+        timestamper.timestamp_computation(c);
+    std::size_t a = 0;
+    std::size_t b = stamps.size() / 2;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stamps[a].less(stamps[b]));
+        a = (a + 1) % stamps.size();
+        b = (b + 7) % stamps.size();
+    }
+    state.SetLabel("d=" + std::to_string(system.width()));
+}
+
+void BM_PrecedenceFm(benchmark::State& state) {
+    const auto clients = static_cast<std::size_t>(state.range(0));
+    const Graph g = topology::client_server(4, clients);
+    const SyncComputation c = workload(g);
+    const std::vector<VectorTimestamp> stamps = fm_sync_timestamps(c);
+    std::size_t a = 0;
+    std::size_t b = stamps.size() / 2;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stamps[a].less(stamps[b]));
+        a = (a + 1) % stamps.size();
+        b = (b + 7) % stamps.size();
+    }
+    state.SetLabel("N=" + std::to_string(g.num_vertices()));
+}
+
+void BM_PrecedenceDirectDeps(benchmark::State& state) {
+    // Fowler–Zwaenepoel trade-off (Section 6): O(1) piggyback, but each
+    // precedence test chases direct dependencies recursively.
+    const auto clients = static_cast<std::size_t>(state.range(0));
+    const Graph g = topology::client_server(4, clients);
+    const SyncComputation c = workload(g);
+    const auto records = DirectDependencyTracker::record_computation(c);
+    std::vector<char> scratch;
+    std::size_t a = 0;
+    std::size_t b = records.size() / 2;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(direct_precedes(
+            static_cast<MessageId>(a), static_cast<MessageId>(b), records,
+            scratch));
+        a = (a + 1) % records.size();
+        b = (b + 7) % records.size();
+    }
+    state.SetLabel("N=" + std::to_string(g.num_vertices()));
+}
+
+void BM_ConcurrencySweepPaper(benchmark::State& state) {
+    // Bulk query: count all concurrent pairs among 512 operations — the
+    // monitor's conflict-detection workload.
+    const auto clients = static_cast<std::size_t>(state.range(0));
+    const Graph g = topology::client_server(4, clients);
+    const SyncSystem system{Graph(g)};
+    const SyncComputation c = workload(g);
+    auto timestamper = system.make_timestamper();
+    const std::vector<VectorTimestamp> stamps =
+        timestamper.timestamp_computation(c);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(count_concurrent_pairs(stamps));
+    }
+}
+
+void BM_ConcurrencySweepFm(benchmark::State& state) {
+    const auto clients = static_cast<std::size_t>(state.range(0));
+    const Graph g = topology::client_server(4, clients);
+    const SyncComputation c = workload(g);
+    const std::vector<VectorTimestamp> stamps = fm_sync_timestamps(c);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(count_concurrent_pairs(stamps));
+    }
+}
+
+BENCHMARK(BM_PrecedencePaper)->Arg(12)->Arg(60)->Arg(252)->Arg(1020);
+BENCHMARK(BM_PrecedenceFm)->Arg(12)->Arg(60)->Arg(252)->Arg(1020);
+BENCHMARK(BM_PrecedenceDirectDeps)->Arg(12)->Arg(60)->Arg(252)->Arg(1020);
+BENCHMARK(BM_ConcurrencySweepPaper)
+    ->Arg(60)
+    ->Arg(252)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ConcurrencySweepFm)
+    ->Arg(60)
+    ->Arg(252)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

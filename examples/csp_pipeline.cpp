@@ -1,0 +1,99 @@
+// A CSP-style pipeline over rendezvous channels — the language setting
+// the paper targets (CSP, Ada rendezvous; Section 1).
+//
+// stage0 -> stage1 -> stage2 -> stage3: items flow through blocking
+// sends, each stage transforms and forwards. The topology is a path, so
+// the decomposition is ceil(edges/2) stars — here 2 components for 4
+// processes, and crucially the width stays 2 for a pipeline of any depth
+// shape with the same hub structure. Internal events mark per-stage
+// processing; their Section 5 tuples order exactly the pairs that are
+// truly causally related.
+//
+// Build & run:  ./csp_pipeline
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "clocks/event_timestamp.hpp"
+#include "core/sync_system.hpp"
+#include "graph/generators.hpp"
+#include "runtime/network.hpp"
+
+using namespace syncts;
+
+namespace {
+constexpr int kItems = 5;
+constexpr std::size_t kStages = 4;
+}  // namespace
+
+int main() {
+    const SyncSystem system(topology::path(kStages));
+    std::printf("pipeline of %zu stages, timestamp width d = %zu\n\n",
+                kStages, system.width());
+
+    TimestampedNetwork network = system.make_network();
+    std::vector<ProcessProgram> programs(kStages);
+
+    programs[0] = [](ProcessContext& context) {
+        for (int item = 0; item < kItems; ++item) {
+            context.internal_event("produce item" + std::to_string(item));
+            context.send(1, "item" + std::to_string(item));
+        }
+    };
+    for (ProcessId stage = 1; stage + 1 < kStages; ++stage) {
+        programs[stage] = [stage](ProcessContext& context) {
+            for (int i = 0; i < kItems; ++i) {
+                const ReceivedMessage item =
+                    context.receive_from(static_cast<ProcessId>(stage - 1));
+                context.internal_event("stage" + std::to_string(stage) +
+                                       " transform " + item.payload);
+                context.send(static_cast<ProcessId>(stage + 1), item.payload + "'");
+            }
+        };
+    }
+    programs[kStages - 1] = [](ProcessContext& context) {
+        for (int i = 0; i < kItems; ++i) {
+            const ReceivedMessage item =
+                context.receive_from(static_cast<ProcessId>(kStages - 2));
+            context.internal_event("consume " + item.payload);
+        }
+    };
+
+    const RunRecord record = network.run(programs);
+    std::printf("messages:\n");
+    for (const MessageRecord& m : record.messages) {
+        std::printf("  P%u -> P%u  %-8s %s\n", m.sender + 1, m.receiver + 1,
+                    m.payload.c_str(), m.timestamp.to_string().c_str());
+    }
+
+    // Causality facts a pipeline guarantees: producing item0 precedes
+    // consuming item0''; producing item2 is concurrent with consuming
+    // item0'' only if they truly overlap (rendezvous forces produce(k) to
+    // follow consume(k-2) here because the pipeline has depth 3).
+    const auto find_event = [&](const std::string& note) {
+        for (std::size_t i = 0; i < record.internal_notes.size(); ++i) {
+            if (record.internal_notes[i] == note) return i;
+        }
+        return record.internal_notes.size();
+    };
+    const std::size_t produce0 = find_event("produce item0");
+    const std::size_t consume0 = find_event("consume item0''");
+    const std::size_t produce4 = find_event("produce item4");
+    std::printf("\nproduce item0 -> consume item0''? %s\n",
+                happened_before(record.internal_stamps[produce0],
+                                record.internal_stamps[consume0])
+                    ? "yes"
+                    : "no");
+    std::printf("consume item0'' -> produce item4? %s\n",
+                happened_before(record.internal_stamps[consume0],
+                                record.internal_stamps[produce4])
+                    ? "yes"
+                    : "no");
+    std::printf("produce item4 -> consume item0''? %s (pipeline overlap)\n",
+                happened_before(record.internal_stamps[produce4],
+                                record.internal_stamps[consume0])
+                    ? "yes"
+                    : "no");
+    return 0;
+}

@@ -1,0 +1,103 @@
+// Orphan detection for optimistic recovery (Strom & Yemini; Damani &
+// Garg) — the fault-tolerance application from the paper's introduction.
+//
+// Under optimistic logging a process may fail having executed messages it
+// never logged. Every message causally after a lost one is an *orphan* and
+// must be rolled back. With exact timestamps the orphan set is a pure
+// timestamp query: orphan(m) ⟺ v(lost) < v(m) — no graph traversal, and
+// no false rollbacks (an over-approximating clock would also roll back
+// healthy work; see the plausible-clock comparison at the end).
+//
+// Build & run:  ./optimistic_recovery
+
+#include <cstdio>
+#include <vector>
+
+#include "clocks/plausible_clock.hpp"
+#include "common/rng.hpp"
+#include "core/cuts.hpp"
+#include "core/sync_system.hpp"
+#include "core/timestamped_trace.hpp"
+#include "graph/generators.hpp"
+#include "trace/generator.hpp"
+#include "trace/ground_truth.hpp"
+
+using namespace syncts;
+
+int main() {
+    // A 3-server / 6-client system processing a batch of requests.
+    const Graph g = topology::client_server(3, 6);
+    const SyncSystem system{Graph(g)};
+    Rng rng(4242);
+    WorkloadOptions options;
+    options.num_messages = 30;
+    const SyncComputation computation = random_computation(g, options, rng);
+    const TimestampedTrace trace = system.analyze(computation);
+    std::printf("batch of %zu messages over %zu processes (d = %zu)\n",
+                trace.num_messages(), system.num_processes(),
+                system.width());
+
+    // Server 1 crashes; its latest unlogged message is the last message it
+    // participated in.
+    constexpr ProcessId crashed = 1;
+    const auto participations = computation.process_messages(crashed);
+    if (participations.empty()) {
+        std::printf("server P%u never communicated; nothing to recover\n",
+                    crashed + 1);
+        return 0;
+    }
+    const MessageId lost = participations.back();
+    std::printf("server P%u crashes; unlogged message: m%u %s\n",
+                crashed + 1, lost + 1,
+                trace.timestamp(lost).to_string().c_str());
+
+    // Orphans: everything causally after the lost message.
+    std::vector<MessageId> orphans;
+    for (MessageId m = 0; m < trace.num_messages(); ++m) {
+        if (trace.precedes(lost, m)) orphans.push_back(m);
+    }
+    std::printf("orphans to roll back: %zu of %zu\n", orphans.size(),
+                trace.num_messages());
+    for (const MessageId m : orphans) {
+        const SyncMessage& msg = computation.message(m);
+        std::printf("  m%-3u P%u->P%-2u %s\n", m + 1, msg.sender + 1,
+                    msg.receiver + 1, trace.timestamp(m).to_string().c_str());
+    }
+
+    // Processes that must roll back: participants of any orphan.
+    std::vector<char> must_roll(computation.num_processes(), 0);
+    for (const MessageId m : orphans) {
+        must_roll[computation.message(m).sender] = 1;
+        must_roll[computation.message(m).receiver] = 1;
+    }
+    std::printf("processes rolling back:");
+    for (ProcessId p = 0; p < computation.num_processes(); ++p) {
+        if (must_roll[p]) std::printf(" P%u", p + 1);
+    }
+    std::printf("\n");
+
+    // The recovery line: the largest consistent cut excluding the lost
+    // message — guaranteed consistent, so restarting from its frontier
+    // can never resurrect an orphan.
+    const auto line = recovery_line(trace, {lost});
+    const auto frontier = cut_frontier(trace, line);
+    std::printf("recovery line: %zu messages survive; frontier to "
+                "checkpoint:",
+                line.size());
+    for (const MessageId m : frontier) std::printf(" m%u", m + 1);
+    std::printf("\n");
+
+    // What an inexact clock would have cost: a width-1 plausible clock
+    // falsely orders concurrent messages, inflating the rollback set.
+    PlausibleTimestamper plausible(computation.num_processes(), 1);
+    const auto fuzzy = plausible.timestamp_computation(computation);
+    std::size_t fuzzy_orphans = 0;
+    for (MessageId m = 0; m < fuzzy.size(); ++m) {
+        if (m != lost && fuzzy[lost].less(fuzzy[m])) ++fuzzy_orphans;
+    }
+    std::printf(
+        "\nwith a width-1 plausible clock the rollback set would be %zu "
+        "messages (%zu healthy messages rolled back unnecessarily)\n",
+        fuzzy_orphans, fuzzy_orphans - orphans.size());
+    return 0;
+}

@@ -1,0 +1,112 @@
+// Debugging a tree-shaped sensor network — the paper's tree scenario
+// (Fig. 4): 20 processes, 3 hub routers, constant timestamp width 3.
+//
+// Leaf sensors report alarms up to their hub; hubs escalate to hub 1 (the
+// root). A debugger then replays the record and answers the question every
+// distributed trace viewer needs: "did alarm A causally influence
+// escalation E, or did they merely interleave?" — the visualization
+// primitive of POET/XPVM cited in the paper's introduction.
+//
+// Build & run:  ./tree_network_debug
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/sync_system.hpp"
+#include "graph/generators.hpp"
+#include "runtime/network.hpp"
+
+using namespace syncts;
+
+int main() {
+    const Graph tree = topology::paper_fig4_tree();
+    const SyncSystem system(tree);
+    std::printf(
+        "sensor tree: %zu processes, d = %zu (three hub stars, constant in "
+        "the number of sensors)\n",
+        system.num_processes(), system.width());
+    std::printf("decomposition: %s\n\n",
+                system.decomposition().to_string().c_str());
+
+    // Hubs: 0, 1, 2 (1 is the root). Sensors 3..8 -> hub 0, 9..13 -> hub 1,
+    // 14..19 -> hub 2 (the Fig. 4 layout).
+    TimestampedNetwork network = system.make_network();
+    std::vector<ProcessProgram> programs(tree.num_vertices());
+
+    programs[0] = [](ProcessContext& context) {
+        for (int i = 0; i < 6; ++i) {
+            const ReceivedMessage alarm = context.receive();
+            context.internal_event("hub0 aggregating " + alarm.payload);
+            context.send(1, "escalate:" + alarm.payload);
+        }
+    };
+    programs[2] = [](ProcessContext& context) {
+        for (int i = 0; i < 6; ++i) {
+            const ReceivedMessage alarm = context.receive();
+            context.send(1, "escalate:" + alarm.payload);
+        }
+    };
+    programs[1] = [](ProcessContext& context) {
+        // Root: 5 local sensors + 12 escalations from the side hubs.
+        for (int i = 0; i < 17; ++i) {
+            const ReceivedMessage m = context.receive();
+            if (m.payload.rfind("escalate:", 0) == 0) {
+                context.internal_event("root handled " + m.payload);
+            }
+        }
+    };
+    for (ProcessId sensor = 3; sensor <= 19; ++sensor) {
+        const ProcessId hub = sensor <= 8 ? 0 : sensor <= 13 ? 1 : 2;
+        programs[sensor] = [sensor, hub](ProcessContext& context) {
+            context.send(hub, "alarm@s" + std::to_string(sensor));
+        };
+    }
+
+    const RunRecord record = network.run(programs);
+    std::printf("recorded %zu messages, %zu internal events\n\n",
+                record.messages.size(),
+                record.computation.num_internal_events());
+
+    // Debugger queries: pick one alarm from sensor 3 and check which
+    // escalations causally depend on it.
+    MessageId alarm_s3 = 0;
+    for (const MessageRecord& m : record.messages) {
+        if (m.payload == "alarm@s3") {
+            alarm_s3 = static_cast<MessageId>(&m - record.messages.data());
+        }
+    }
+    const VectorTimestamp& alarm_stamp =
+        record.message_stamps[alarm_s3];
+    std::printf("alarm@s3 stamped %s\n", alarm_stamp.to_string().c_str());
+    std::size_t dependent = 0;
+    std::size_t concurrent_count = 0;
+    for (std::size_t i = 0; i < record.messages.size(); ++i) {
+        const MessageRecord& m = record.messages[i];
+        if (m.payload.rfind("escalate:", 0) != 0) continue;
+        if (alarm_stamp.less(m.timestamp)) {
+            ++dependent;
+            if (m.payload == "escalate:alarm@s3") {
+                std::printf("  its own escalation %s is causally after: ok\n",
+                            m.timestamp.to_string().c_str());
+            }
+        } else {
+            ++concurrent_count;
+        }
+    }
+    std::printf(
+        "escalations causally after alarm@s3: %zu; unrelated "
+        "(concurrent): %zu\n",
+        dependent, concurrent_count);
+
+    // Internal-event view (Section 5): root handlings are totally ordered
+    // on the root process; hub0 aggregations happen-before the matching
+    // root handling.
+    std::printf("\ninternal events (Section 5 tuples):\n");
+    for (std::size_t i = 0; i < record.internal_notes.size() && i < 4; ++i) {
+        std::printf("  %-36s %s\n", record.internal_notes[i].c_str(),
+                    record.internal_stamps[i].to_string().c_str());
+    }
+    std::printf("  ... (%zu total)\n", record.internal_notes.size());
+    return 0;
+}

@@ -1,0 +1,64 @@
+#include "clocks/direct_dependency.hpp"
+
+#include "common/check.hpp"
+
+namespace syncts {
+
+DirectDependencyTracker::DirectDependencyTracker(std::size_t num_processes)
+    : last_(num_processes, kNoMessage) {}
+
+MessageId DirectDependencyTracker::record_message(ProcessId sender,
+                                                  ProcessId receiver) {
+    SYNCTS_REQUIRE(sender < last_.size() && receiver < last_.size(),
+                   "process id out of range");
+    SYNCTS_REQUIRE(sender != receiver, "no self-messages");
+    const auto id = static_cast<MessageId>(records_.size());
+    records_.push_back({last_[sender], last_[receiver]});
+    last_[sender] = id;
+    last_[receiver] = id;
+    return id;
+}
+
+std::vector<DirectDeps> DirectDependencyTracker::record_computation(
+    const SyncComputation& computation) {
+    DirectDependencyTracker tracker(computation.num_processes());
+    for (const SyncMessage& m : computation.messages()) {
+        tracker.record_message(m.sender, m.receiver);
+    }
+    return {tracker.records_.begin(), tracker.records_.end()};
+}
+
+bool direct_precedes(MessageId m1, MessageId m2,
+                     std::span<const DirectDeps> records,
+                     std::vector<char>& scratch) {
+    SYNCTS_REQUIRE(m1 < records.size() && m2 < records.size(),
+                   "message id out of range");
+    if (m1 == m2) return false;
+    // Message ids are assigned in instant order, so predecessors always
+    // have smaller ids: anything at or below m1 cannot lead back to it
+    // except m1 itself.
+    if (m1 > m2) return false;
+    scratch.assign(records.size(), 0);
+    std::vector<MessageId> stack{m2};
+    scratch[m2] = 1;
+    while (!stack.empty()) {
+        const MessageId current = stack.back();
+        stack.pop_back();
+        for (const MessageId prev : {records[current].prev_sender,
+                                     records[current].prev_receiver}) {
+            if (prev == kNoMessage || prev < m1 || scratch[prev]) continue;
+            if (prev == m1) return true;
+            scratch[prev] = 1;
+            stack.push_back(prev);
+        }
+    }
+    return false;
+}
+
+bool direct_precedes(MessageId m1, MessageId m2,
+                     std::span<const DirectDeps> records) {
+    std::vector<char> scratch;
+    return direct_precedes(m1, m2, records, scratch);
+}
+
+}  // namespace syncts

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "trace/computation.hpp"
+
+/// \file direct_dependency.hpp
+/// Related-work baseline (Section 6): Fowler–Zwaenepoel direct-dependency
+/// tracking, adapted to synchronous messages.
+///
+/// Instead of piggybacking a vector, each message records only its
+/// *direct* predecessors: the previous message of its sender and of its
+/// receiver. Storage and piggyback are O(1) per message, but a precedence
+/// test must recursively chase dependencies (here: a backward BFS). The
+/// paper's clocks spend d components per message to make the same test a
+/// single O(d) comparison — this module is the other end of that
+/// trade-off, useful when tests are rare and run offline.
+
+namespace syncts {
+
+/// Per-message direct-dependency record.
+struct DirectDeps {
+    MessageId prev_sender = kNoMessage;    // sender's previous message
+    MessageId prev_receiver = kNoMessage;  // receiver's previous message
+};
+
+/// Online recorder: O(1) state per process, O(1) record per message.
+class DirectDependencyTracker {
+public:
+    explicit DirectDependencyTracker(std::size_t num_processes);
+
+    /// Records one rendezvous; returns the new message's id (dense).
+    MessageId record_message(ProcessId sender, ProcessId receiver);
+
+    std::span<const DirectDeps> records() const noexcept { return records_; }
+
+    /// Records the whole computation (message ids coincide).
+    static std::vector<DirectDeps> record_computation(
+        const SyncComputation& computation);
+
+private:
+    std::vector<MessageId> last_;  // per process: latest message id
+    std::vector<DirectDeps> records_;
+};
+
+/// Precedence test m1 ↦ m2 by backward traversal from m2 over the direct
+/// dependencies. O(M) worst case; `scratch` (resized as needed) avoids
+/// reallocating the visited set across queries.
+bool direct_precedes(MessageId m1, MessageId m2,
+                     std::span<const DirectDeps> records,
+                     std::vector<char>& scratch);
+
+/// Convenience overload with a private scratch buffer.
+bool direct_precedes(MessageId m1, MessageId m2,
+                     std::span<const DirectDeps> records);
+
+}  // namespace syncts

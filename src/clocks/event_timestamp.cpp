@@ -1,0 +1,66 @@
+#include "clocks/event_timestamp.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace syncts {
+
+std::string EventTimestamp::to_string() const {
+    std::ostringstream os;
+    os << "(prev=" << prev.to_string()
+       << ", succ=" << (succ ? succ->to_string() : "inf")
+       << ", c=" << counter << ", P" << (process + 1) << ')';
+    return os.str();
+}
+
+bool happened_before(const EventTimestamp& e, const EventTimestamp& f) {
+    // Cross-interval: causality must flow through e's next message and
+    // f's previous message; succ(e) ≤ prev(f) captures exactly m_e ⊑ m_f.
+    if (e.succ.has_value() && e.succ->leq(f.prev)) return true;
+    // Same interval on the same process: the counter orders the events.
+    return e.process == f.process && e.prev == f.prev && e.succ == f.succ &&
+           e.counter < f.counter;
+}
+
+bool concurrent(const EventTimestamp& e, const EventTimestamp& f) {
+    return !happened_before(e, f) && !happened_before(f, e);
+}
+
+std::vector<EventTimestamp> timestamp_internal_events(
+    const SyncComputation& computation,
+    const std::vector<VectorTimestamp>& message_stamps, std::size_t width) {
+    SYNCTS_REQUIRE(message_stamps.size() == computation.num_messages(),
+                   "one message timestamp per message required");
+
+    std::vector<EventTimestamp> result(computation.num_internal_events());
+    for (ProcessId p = 0; p < computation.num_processes(); ++p) {
+        const auto events = computation.process_events(p);
+        // Forward pass: prev and counter.
+        VectorTimestamp last(width);
+        std::uint64_t counter = 0;
+        for (const ProcessEvent& ev : events) {
+            if (ev.kind == ProcessEvent::Kind::message) {
+                last = message_stamps[ev.index];
+                counter = 0;
+            } else {
+                EventTimestamp& stamp = result[ev.index];
+                stamp.process = p;
+                stamp.prev = last;
+                stamp.counter = counter++;
+            }
+        }
+        // Backward pass: succ.
+        std::optional<VectorTimestamp> next;
+        for (auto it = events.rbegin(); it != events.rend(); ++it) {
+            if (it->kind == ProcessEvent::Kind::message) {
+                next = message_stamps[it->index];
+            } else {
+                result[it->index].succ = next;
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace syncts

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "clocks/vector_timestamp.hpp"
+#include "trace/computation.hpp"
+
+/// \file event_timestamp.hpp
+/// Internal-event timestamps (Section 5 of the paper).
+///
+/// Each internal event e is stamped with the tuple
+///     (prev(e), succ(e), c(e))
+/// where prev(e) is the timestamp of the last message on e's process
+/// before e (zero vector when none), succ(e) the timestamp of the first
+/// message after e (∞ when none, represented here as nullopt), and c(e) a
+/// per-interval counter reset at every external event. Theorem 9:
+///     e → f ⟺ succ(e) ≤ prev(f)
+/// for events in different message intervals, with the counter ordering
+/// events inside one interval.
+///
+/// Deviation from the paper (documented in DESIGN.md): the counter
+/// tie-break is only sound for events on the *same process*. Two internal
+/// events on different processes can share both prev and succ timestamps —
+/// take a message m between Pi and Pj immediately followed by another
+/// message m' between the same two processes, with an internal event on
+/// each process in between; both events then carry (v(m), v(m'), c).
+/// Such events are concurrent, so the tuple also records the process id
+/// and the tie-break applies only when the processes match.
+
+namespace syncts {
+
+struct EventTimestamp {
+    ProcessId process = 0;
+    VectorTimestamp prev;                 // zero vector when no prior message
+    std::optional<VectorTimestamp> succ;  // nullopt encodes ∞
+    std::uint64_t counter = 0;            // position within the interval
+
+    std::string to_string() const;
+};
+
+/// e → f per Theorem 9 (with the same-process counter tie-break).
+bool happened_before(const EventTimestamp& e, const EventTimestamp& f);
+
+/// Neither e → f nor f → e.
+bool concurrent(const EventTimestamp& e, const EventTimestamp& f);
+
+/// Stamps every internal event of the computation. `message_stamps` must
+/// be the per-message timestamps produced by any exact message-timestamping
+/// scheme over the same computation (online Fig. 5 or offline Fig. 9);
+/// `width` is the vector width (used for the zero vector of prev).
+/// result[i] is the timestamp of internal event i.
+std::vector<EventTimestamp> timestamp_internal_events(
+    const SyncComputation& computation,
+    const std::vector<VectorTimestamp>& message_stamps, std::size_t width);
+
+}  // namespace syncts

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "clocks/vector_timestamp.hpp"
+#include "trace/computation.hpp"
+
+/// \file fm_event_clock.hpp
+/// Baseline for Section 5: classic Fidge–Mattern *event* clocks (width N)
+/// over the rendezvous event model. A message instant is a shared event of
+/// its two participants (both components incremented, vectors merged); an
+/// internal event increments only its own process's component. For any two
+/// events, e → f ⟺ V(e) < V(f).
+///
+/// This is what the paper's event timestamps (prev/succ/counter tuples of
+/// width d) are traded against: FM event vectors cost N per event, the
+/// paper's tuples cost 2d + O(1) per internal event.
+
+namespace syncts {
+
+struct FmEventTimestamps {
+    /// message_stamps[m] — the shared rendezvous event's vector.
+    std::vector<VectorTimestamp> message_stamps;
+    /// internal_stamps[i] — the internal event's vector.
+    std::vector<VectorTimestamp> internal_stamps;
+};
+
+/// Replays the computation and stamps every event.
+FmEventTimestamps fm_event_timestamps(const SyncComputation& computation);
+
+}  // namespace syncts

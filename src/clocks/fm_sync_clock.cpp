@@ -1,0 +1,47 @@
+#include "clocks/fm_sync_clock.hpp"
+
+#include "common/check.hpp"
+
+namespace syncts {
+
+FmSyncTimestamper::FmSyncTimestamper(std::size_t num_processes)
+    : clocks_(num_processes, VectorTimestamp(num_processes)) {}
+
+VectorTimestamp FmSyncTimestamper::timestamp_message(ProcessId sender,
+                                                     ProcessId receiver) {
+    SYNCTS_REQUIRE(sender < clocks_.size() && receiver < clocks_.size(),
+                   "process id out of range");
+    SYNCTS_REQUIRE(sender != receiver, "no self-messages");
+    VectorTimestamp merged = clocks_[sender];
+    merged.join(clocks_[receiver]);
+    merged.increment(sender);
+    merged.increment(receiver);
+    clocks_[sender] = merged;
+    clocks_[receiver] = merged;
+    return merged;
+}
+
+std::vector<VectorTimestamp> FmSyncTimestamper::timestamp_computation(
+    const SyncComputation& computation) {
+    SYNCTS_REQUIRE(computation.num_processes() == clocks_.size(),
+                   "computation size does not match the timestamper");
+    std::vector<VectorTimestamp> stamps;
+    stamps.reserve(computation.num_messages());
+    for (const SyncMessage& m : computation.messages()) {
+        stamps.push_back(timestamp_message(m.sender, m.receiver));
+    }
+    return stamps;
+}
+
+const VectorTimestamp& FmSyncTimestamper::clock(ProcessId p) const {
+    SYNCTS_REQUIRE(p < clocks_.size(), "process id out of range");
+    return clocks_[p];
+}
+
+std::vector<VectorTimestamp> fm_sync_timestamps(
+    const SyncComputation& computation) {
+    FmSyncTimestamper timestamper(computation.num_processes());
+    return timestamper.timestamp_computation(computation);
+}
+
+}  // namespace syncts

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "clocks/vector_timestamp.hpp"
+#include "trace/computation.hpp"
+
+/// \file fm_sync_clock.hpp
+/// Baseline: Fidge–Mattern vector clocks specialized to synchronous
+/// messages, with one component per *process* (width N).
+///
+/// At a rendezvous between Pi and Pj both processes take the component-wise
+/// maximum of their vectors and increment both participants' components;
+/// the common result is the message timestamp. This is the natural FM
+/// adaptation the paper compares against: it characterizes ↦ exactly, but
+/// its vectors are always N wide, whereas the online algorithm needs only
+/// the decomposition size d ≤ min(β(G), N−2).
+
+namespace syncts {
+
+class FmSyncTimestamper {
+public:
+    explicit FmSyncTimestamper(std::size_t num_processes);
+
+    /// Timestamp width == number of processes.
+    std::size_t width() const noexcept { return clocks_.size(); }
+
+    /// Executes one rendezvous and returns the message timestamp.
+    VectorTimestamp timestamp_message(ProcessId sender, ProcessId receiver);
+
+    /// Runs the whole computation; result[id] is message id's timestamp.
+    std::vector<VectorTimestamp> timestamp_computation(
+        const SyncComputation& computation);
+
+    const VectorTimestamp& clock(ProcessId p) const;
+
+private:
+    std::vector<VectorTimestamp> clocks_;
+};
+
+/// One-shot convenience over a recorded computation.
+std::vector<VectorTimestamp> fm_sync_timestamps(
+    const SyncComputation& computation);
+
+}  // namespace syncts

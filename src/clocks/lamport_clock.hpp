@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/computation.hpp"
+
+/// \file lamport_clock.hpp
+/// Lamport scalar clocks over the rendezvous event model — the cheapest
+/// baseline. At a rendezvous both participants set c = max(ci, cj) + 1; an
+/// internal event ticks its own counter. Scalar clocks are consistent
+/// (e → f ⟹ c(e) < c(f)) but cannot witness concurrency, which is exactly
+/// the gap vector timestamps close.
+///
+/// The scalar stamps also witness the synchronous-computation
+/// characterization of Section 2: timestamps increase within each process
+/// and both endpoints of every message share one value, i.e. the message
+/// arrows can be drawn vertically.
+
+namespace syncts {
+
+struct LamportTimestamps {
+    std::vector<std::uint64_t> message_stamps;   // by MessageId
+    std::vector<std::uint64_t> internal_stamps;  // by InternalId
+};
+
+LamportTimestamps lamport_timestamps(const SyncComputation& computation);
+
+}  // namespace syncts

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "clocks/vector_timestamp.hpp"
+#include "poset/poset.hpp"
+#include "poset/realizer.hpp"
+#include "trace/computation.hpp"
+
+/// \file offline_timestamper.hpp
+/// The paper's offline algorithm (Fig. 9, Section 4).
+///
+/// Given a completed computation, the message poset (M, ↦) has width
+/// w ≤ ⌊N/2⌋ (Theorem 8: every message occupies two of the N processes, so
+/// an antichain can hold at most ⌊N/2⌋ messages). By Dilworth's theorem
+/// dim(M) ≤ width(M), so a chain realizer {L1..Lw} exists; message m is
+/// stamped with V_m where V_m[i] = |{x : x <_{Li} m}|. Then
+///     m1 ↦ m2 ⟺ V_{m1} < V_{m2},
+/// with vectors of width w — often smaller than the online algorithm's d.
+
+namespace syncts {
+
+struct OfflineResult {
+    /// One timestamp per message, width == realizer size == poset width.
+    std::vector<VectorTimestamp> timestamps;
+
+    /// The realizer used (kept for inspection / validation).
+    Realizer realizer;
+
+    /// width(M, ↦) — the vector width actually used.
+    std::size_t width = 0;
+
+    /// ⌊N/2⌋ — Theorem 8's bound on the width.
+    std::size_t theorem8_bound = 0;
+};
+
+/// Runs Fig. 9 on a closed message poset. `num_processes` is only used to
+/// report the Theorem 8 bound. With `minimize_dimension` set, a greedy
+/// post-pass drops redundant realizer extensions (dim(P) can sit strictly
+/// below the width bound Fig. 9 stops at), shrinking the vectors further;
+/// costs an extra O(w²·M²) validation sweep.
+OfflineResult offline_timestamps(const Poset& message_order,
+                                 std::size_t num_processes,
+                                 bool minimize_dimension = false);
+
+/// Convenience: builds the ground-truth poset from the computation first.
+OfflineResult offline_timestamps(const SyncComputation& computation,
+                                 bool minimize_dimension = false);
+
+}  // namespace syncts

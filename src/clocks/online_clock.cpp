@@ -1,0 +1,106 @@
+#include "clocks/online_clock.hpp"
+
+#include <utility>
+
+#include "decomp/cover_decomposer.hpp"
+
+namespace syncts {
+
+OnlineProcessClock::OnlineProcessClock(
+    ProcessId self, std::shared_ptr<const EdgeDecomposition> decomposition)
+    : self_(self),
+      decomposition_(std::move(decomposition)),
+      vector_(decomposition_->size()) {
+    SYNCTS_REQUIRE(decomposition_ != nullptr, "decomposition must be set");
+    SYNCTS_REQUIRE(decomposition_->complete(),
+                   "decomposition must cover every channel");
+    const Graph& graph = decomposition_->graph();
+    SYNCTS_REQUIRE(self_ < graph.num_vertices(),
+                   "process id outside the topology");
+    group_by_peer_.assign(graph.num_vertices(), kNoGroup);
+    for (const ProcessId peer : graph.neighbors(self_)) {
+        group_by_peer_[peer] = decomposition_->group_of(self_, peer);
+    }
+}
+
+void OnlineProcessClock::merge_and_increment(ProcessId peer,
+                                             const VectorTimestamp& remote) {
+    SYNCTS_REQUIRE(peer < group_by_peer_.size() &&
+                       group_by_peer_[peer] != kNoGroup,
+                   "no channel between these processes in the topology");
+    vector_.join(remote);
+    vector_.increment(group_by_peer_[peer]);
+}
+
+OnlineProcessClock::ReceiveResult OnlineProcessClock::on_receive(
+    ProcessId sender, const VectorTimestamp& piggybacked) {
+    // Line (04): the acknowledgement carries the local vector before the
+    // merge — the sender performs the same merge with it.
+    ReceiveResult result{vector_, VectorTimestamp{}};
+    merge_and_increment(sender, piggybacked);
+    result.timestamp = vector_;
+    return result;
+}
+
+VectorTimestamp OnlineProcessClock::on_acknowledgement(
+    ProcessId receiver, const VectorTimestamp& acknowledgement) {
+    merge_and_increment(receiver, acknowledgement);
+    return vector_;
+}
+
+OnlineTimestamper::OnlineTimestamper(
+    std::shared_ptr<const EdgeDecomposition> decomposition)
+    : decomposition_(std::move(decomposition)) {
+    SYNCTS_REQUIRE(decomposition_ != nullptr, "decomposition must be set");
+    const std::size_t n = decomposition_->graph().num_vertices();
+    clocks_.reserve(n);
+    for (ProcessId p = 0; p < n; ++p) {
+        clocks_.emplace_back(p, decomposition_);
+    }
+}
+
+std::size_t OnlineTimestamper::width() const noexcept {
+    return decomposition_->size();
+}
+
+VectorTimestamp OnlineTimestamper::timestamp_message(ProcessId sender,
+                                                     ProcessId receiver) {
+    SYNCTS_REQUIRE(sender < clocks_.size() && receiver < clocks_.size(),
+                   "process id out of range");
+    SYNCTS_REQUIRE(sender != receiver, "no self-messages");
+    OnlineProcessClock& snd = clocks_[sender];
+    OnlineProcessClock& rcv = clocks_[receiver];
+    const VectorTimestamp piggybacked = snd.prepare_send();
+    const auto [acknowledgement, receiver_stamp] =
+        rcv.on_receive(sender, piggybacked);
+    const VectorTimestamp sender_stamp =
+        snd.on_acknowledgement(receiver, acknowledgement);
+    SYNCTS_ENSURE(sender_stamp == receiver_stamp,
+                  "sender and receiver disagree on the message timestamp");
+    return sender_stamp;
+}
+
+std::vector<VectorTimestamp> OnlineTimestamper::timestamp_computation(
+    const SyncComputation& computation) {
+    std::vector<VectorTimestamp> stamps;
+    stamps.reserve(computation.num_messages());
+    for (const SyncMessage& m : computation.messages()) {
+        stamps.push_back(timestamp_message(m.sender, m.receiver));
+    }
+    return stamps;
+}
+
+const OnlineProcessClock& OnlineTimestamper::clock(ProcessId p) const {
+    SYNCTS_REQUIRE(p < clocks_.size(), "process id out of range");
+    return clocks_[p];
+}
+
+std::vector<VectorTimestamp> online_timestamps(
+    const SyncComputation& computation) {
+    auto decomposition = std::make_shared<const EdgeDecomposition>(
+        default_decomposition(computation.topology()));
+    OnlineTimestamper timestamper(std::move(decomposition));
+    return timestamper.timestamp_computation(computation);
+}
+
+}  // namespace syncts

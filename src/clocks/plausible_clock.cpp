@@ -1,0 +1,62 @@
+#include "clocks/plausible_clock.hpp"
+
+#include "common/check.hpp"
+#include "poset/poset.hpp"
+
+namespace syncts {
+
+PlausibleTimestamper::PlausibleTimestamper(std::size_t num_processes,
+                                           std::size_t width)
+    : width_(width), clocks_(num_processes, VectorTimestamp(width)) {
+    SYNCTS_REQUIRE(width >= 1, "plausible clock needs at least one component");
+}
+
+VectorTimestamp PlausibleTimestamper::timestamp_message(ProcessId sender,
+                                                        ProcessId receiver) {
+    SYNCTS_REQUIRE(sender < clocks_.size() && receiver < clocks_.size(),
+                   "process id out of range");
+    SYNCTS_REQUIRE(sender != receiver, "no self-messages");
+    VectorTimestamp merged = clocks_[sender];
+    merged.join(clocks_[receiver]);
+    merged.increment(sender % width_);
+    // When both participants fold onto one component, a single tick
+    // already distinguishes the message from its predecessors.
+    if (sender % width_ != receiver % width_) {
+        merged.increment(receiver % width_);
+    }
+    clocks_[sender] = merged;
+    clocks_[receiver] = merged;
+    return merged;
+}
+
+std::vector<VectorTimestamp> PlausibleTimestamper::timestamp_computation(
+    const SyncComputation& computation) {
+    SYNCTS_REQUIRE(computation.num_processes() == clocks_.size(),
+                   "computation size does not match the timestamper");
+    std::vector<VectorTimestamp> stamps;
+    stamps.reserve(computation.num_messages());
+    for (const SyncMessage& m : computation.messages()) {
+        stamps.push_back(timestamp_message(m.sender, m.receiver));
+    }
+    return stamps;
+}
+
+double concurrency_accuracy(const Poset& truth,
+                            std::span<const VectorTimestamp> stamps) {
+    SYNCTS_REQUIRE(truth.size() == stamps.size(),
+                   "one stamp per poset element required");
+    std::size_t concurrent_pairs = 0;
+    std::size_t recognized = 0;
+    for (std::size_t a = 0; a < stamps.size(); ++a) {
+        for (std::size_t b = a + 1; b < stamps.size(); ++b) {
+            if (!truth.incomparable(a, b)) continue;
+            ++concurrent_pairs;
+            if (stamps[a].concurrent_with(stamps[b])) ++recognized;
+        }
+    }
+    if (concurrent_pairs == 0) return 1.0;
+    return static_cast<double>(recognized) /
+           static_cast<double>(concurrent_pairs);
+}
+
+}  // namespace syncts

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "clocks/vector_timestamp.hpp"
+#include "trace/computation.hpp"
+
+/// \file plausible_clock.hpp
+/// Related-work baseline (Section 6): plausible clocks (Torres-Rojas &
+/// Ahamad), adapted to synchronous messages.
+///
+/// A plausible clock keeps a fixed-width vector regardless of N by folding
+/// process ids onto components (here: p mod R, the "comb" scheme). At a
+/// rendezvous both participants merge and tick their folded components.
+/// The result is *consistent* — m1 ↦ m2 ⟹ v(m1) < v(m2) — but not
+/// *characterizing*: concurrent messages whose processes collide on
+/// components can be falsely ordered. The paper's contribution is exactly
+/// that, for synchronous systems, one can have the small vectors *and*
+/// exactness; this baseline quantifies what plausible clocks give up.
+
+namespace syncts {
+
+class PlausibleTimestamper {
+public:
+    /// `width` fixed components; process p ticks component p mod width.
+    PlausibleTimestamper(std::size_t num_processes, std::size_t width);
+
+    std::size_t width() const noexcept { return width_; }
+
+    VectorTimestamp timestamp_message(ProcessId sender, ProcessId receiver);
+
+    std::vector<VectorTimestamp> timestamp_computation(
+        const SyncComputation& computation);
+
+private:
+    std::size_t width_;
+    std::vector<VectorTimestamp> clocks_;
+};
+
+/// Accuracy of a consistent clock: the fraction of truly-concurrent pairs
+/// whose stamps also report concurrency (1.0 for a characterizing clock).
+/// Returns 1.0 when there are no concurrent pairs.
+double concurrency_accuracy(const class Poset& truth,
+                            std::span<const VectorTimestamp> stamps);
+
+}  // namespace syncts

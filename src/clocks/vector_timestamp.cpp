@@ -1,0 +1,55 @@
+#include "clocks/vector_timestamp.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace syncts {
+
+void VectorTimestamp::join(const VectorTimestamp& other) {
+    SYNCTS_REQUIRE(width() == other.width(),
+                   "joining timestamps of different widths");
+    for (std::size_t k = 0; k < components_.size(); ++k) {
+        components_[k] = std::max(components_[k], other.components_[k]);
+    }
+}
+
+void VectorTimestamp::increment(std::size_t k) {
+    SYNCTS_REQUIRE(k < components_.size(), "component out of range");
+    ++components_[k];
+}
+
+bool VectorTimestamp::leq(const VectorTimestamp& other) const {
+    SYNCTS_REQUIRE(width() == other.width(),
+                   "comparing timestamps of different widths");
+    for (std::size_t k = 0; k < components_.size(); ++k) {
+        if (components_[k] > other.components_[k]) return false;
+    }
+    return true;
+}
+
+bool VectorTimestamp::less(const VectorTimestamp& other) const {
+    return leq(other) && *this != other;
+}
+
+bool VectorTimestamp::concurrent_with(const VectorTimestamp& other) const {
+    return *this != other && !less(other) && !other.less(*this);
+}
+
+std::uint64_t VectorTimestamp::total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto c : components_) sum += c;
+    return sum;
+}
+
+std::string VectorTimestamp::to_string() const {
+    std::ostringstream os;
+    os << '(';
+    for (std::size_t k = 0; k < components_.size(); ++k) {
+        if (k != 0) os << ',';
+        os << components_[k];
+    }
+    os << ')';
+    return os.str();
+}
+
+}  // namespace syncts

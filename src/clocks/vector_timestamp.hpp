@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+/// \file vector_timestamp.hpp
+/// Fixed-width vector timestamps and the vector order of Equation (2):
+///     u < v ⟺ (∀k: u[k] ≤ v[k]) ∧ (∃j: u[j] < v[j]).
+/// The width is d (edge-decomposition size) for the online algorithm,
+/// N for the Fidge–Mattern baselines, and width(P) for the offline one.
+
+namespace syncts {
+
+class VectorTimestamp {
+public:
+    VectorTimestamp() = default;
+
+    /// Zero vector of the given width.
+    explicit VectorTimestamp(std::size_t width) : components_(width, 0) {}
+
+    /// Vector with explicit components (convenient in tests).
+    explicit VectorTimestamp(std::vector<std::uint64_t> components)
+        : components_(std::move(components)) {}
+
+    std::size_t width() const noexcept { return components_.size(); }
+
+    std::uint64_t operator[](std::size_t k) const {
+        SYNCTS_REQUIRE(k < components_.size(), "component out of range");
+        return components_[k];
+    }
+
+    std::span<const std::uint64_t> components() const noexcept {
+        return components_;
+    }
+
+    /// In-place component-wise maximum ("∀k: v_i[k] = max(v_i[k], v[k])",
+    /// Fig. 5 lines (05)/(09)). Widths must match.
+    void join(const VectorTimestamp& other);
+
+    /// Increment component k ("v_i[g]++", Fig. 5 lines (06)/(10)).
+    void increment(std::size_t k);
+
+    /// Component-wise ≤ (every component no larger). Reflexive.
+    bool leq(const VectorTimestamp& other) const;
+
+    /// The strict vector order of Equation (2).
+    bool less(const VectorTimestamp& other) const;
+
+    /// Neither u < v nor v < u nor u == v: the timestamps witness
+    /// concurrency (Section 2).
+    bool concurrent_with(const VectorTimestamp& other) const;
+
+    /// Sum of components — a cheap proxy for "how much causal history".
+    std::uint64_t total() const noexcept;
+
+    /// e.g. "(1,1,1)".
+    std::string to_string() const;
+
+    friend bool operator==(const VectorTimestamp&,
+                           const VectorTimestamp&) = default;
+
+private:
+    std::vector<std::uint64_t> components_;
+};
+
+/// Free-function form of the vector order for symmetry with the paper.
+inline bool vector_less(const VectorTimestamp& u, const VectorTimestamp& v) {
+    return u.less(v);
+}
+
+}  // namespace syncts

@@ -1,0 +1,70 @@
+#include "clocks/wire.hpp"
+
+#include "common/check.hpp"
+
+namespace syncts {
+
+void encode_varint(std::uint64_t value, std::vector<std::uint8_t>& out) {
+    while (value >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(value) | 0x80u);
+        value >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t decode_varint(std::span<const std::uint8_t> bytes,
+                            std::size_t& offset) {
+    std::uint64_t value = 0;
+    for (unsigned shift = 0; shift < 70; shift += 7) {
+        SYNCTS_REQUIRE(offset < bytes.size(), "truncated varint");
+        const std::uint8_t byte = bytes[offset++];
+        SYNCTS_REQUIRE(shift < 64, "varint longer than 64 bits");
+        value |= static_cast<std::uint64_t>(byte & 0x7Fu) << shift;
+        if ((byte & 0x80u) == 0) return value;
+    }
+    throw std::invalid_argument("unreachable varint state");
+}
+
+std::vector<std::uint8_t> encode_timestamp(const VectorTimestamp& stamp) {
+    std::vector<std::uint8_t> out;
+    out.reserve(1 + stamp.width());
+    encode_varint(stamp.width(), out);
+    for (const std::uint64_t component : stamp.components()) {
+        encode_varint(component, out);
+    }
+    return out;
+}
+
+VectorTimestamp decode_timestamp(std::span<const std::uint8_t> bytes) {
+    std::size_t offset = 0;
+    const std::uint64_t width = decode_varint(bytes, offset);
+    // Each component needs at least one byte; reject absurd widths before
+    // allocating.
+    SYNCTS_REQUIRE(width <= bytes.size() - offset,
+                   "timestamp width exceeds available bytes");
+    std::vector<std::uint64_t> components(static_cast<std::size_t>(width));
+    for (auto& component : components) {
+        component = decode_varint(bytes, offset);
+    }
+    SYNCTS_REQUIRE(offset == bytes.size(),
+                   "trailing bytes after encoded timestamp");
+    return VectorTimestamp(std::move(components));
+}
+
+std::size_t encoded_size(const VectorTimestamp& stamp) {
+    const auto varint_size = [](std::uint64_t value) {
+        std::size_t size = 1;
+        while (value >= 0x80) {
+            value >>= 7;
+            ++size;
+        }
+        return size;
+    };
+    std::size_t total = varint_size(stamp.width());
+    for (const std::uint64_t component : stamp.components()) {
+        total += varint_size(component);
+    }
+    return total;
+}
+
+}  // namespace syncts

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "clocks/vector_timestamp.hpp"
+
+/// \file wire.hpp
+/// Wire format for piggybacked timestamps.
+///
+/// The paper's O(d) message overhead is realized concretely here: a
+/// timestamp is serialized as LEB128 varints (width first, then each
+/// component), so small fresh clocks cost d+1 bytes and long-running
+/// systems pay only for the magnitude their counters actually reached.
+/// This is what a production transport would append to every message and
+/// acknowledgement.
+
+namespace syncts {
+
+/// Appends the LEB128 encoding of `value` to `out`.
+void encode_varint(std::uint64_t value, std::vector<std::uint8_t>& out);
+
+/// Decodes one varint starting at out[offset]; advances offset. Throws
+/// std::invalid_argument on truncated or over-long (> 10 byte) input.
+std::uint64_t decode_varint(std::span<const std::uint8_t> bytes,
+                            std::size_t& offset);
+
+/// Serializes width + components.
+std::vector<std::uint8_t> encode_timestamp(const VectorTimestamp& stamp);
+
+/// Inverse of encode_timestamp. Throws std::invalid_argument on malformed
+/// input or trailing bytes.
+VectorTimestamp decode_timestamp(std::span<const std::uint8_t> bytes);
+
+/// Exact encoded size without materializing the bytes.
+std::size_t encoded_size(const VectorTimestamp& stamp);
+
+}  // namespace syncts

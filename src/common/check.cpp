@@ -1,0 +1,32 @@
+#include "common/check.hpp"
+
+#include <sstream>
+
+namespace syncts::detail {
+
+namespace {
+
+std::string format_failure(const char* kind, const char* expr,
+                           const char* file, int line,
+                           const std::string& what) {
+    std::ostringstream os;
+    os << kind << " failed: (" << expr << ") at " << file << ':' << line
+       << " — " << what;
+    return os.str();
+}
+
+}  // namespace
+
+void throw_requirement_failure(const char* expr, const char* file, int line,
+                               const std::string& what) {
+    throw std::invalid_argument(
+        format_failure("requirement", expr, file, line, what));
+}
+
+void throw_invariant_failure(const char* expr, const char* file, int line,
+                             const std::string& what) {
+    throw std::logic_error(
+        format_failure("invariant", expr, file, line, what));
+}
+
+}  // namespace syncts::detail

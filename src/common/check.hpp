@@ -1,0 +1,41 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// \file check.hpp
+/// Precondition / invariant checking helpers.
+///
+/// Library entry points validate their arguments with SYNCTS_REQUIRE (throws
+/// std::invalid_argument: caller error) and internal invariants with
+/// SYNCTS_ENSURE (throws std::logic_error: library bug). Both are always on —
+/// the checks in this library are O(1) or amortized into already-linear work,
+/// and correctness of causality tracking is the entire point of the system.
+
+namespace syncts::detail {
+
+[[noreturn]] void throw_requirement_failure(const char* expr, const char* file,
+                                            int line, const std::string& what);
+
+[[noreturn]] void throw_invariant_failure(const char* expr, const char* file,
+                                          int line, const std::string& what);
+
+}  // namespace syncts::detail
+
+/// Validate a caller-supplied precondition; throws std::invalid_argument.
+#define SYNCTS_REQUIRE(expr, msg)                                           \
+    do {                                                                    \
+        if (!(expr)) {                                                      \
+            ::syncts::detail::throw_requirement_failure(#expr, __FILE__,    \
+                                                        __LINE__, (msg));   \
+        }                                                                   \
+    } while (false)
+
+/// Validate an internal invariant; throws std::logic_error.
+#define SYNCTS_ENSURE(expr, msg)                                            \
+    do {                                                                    \
+        if (!(expr)) {                                                      \
+            ::syncts::detail::throw_invariant_failure(#expr, __FILE__,      \
+                                                      __LINE__, (msg));     \
+        }                                                                   \
+    } while (false)

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file dyn_bitset.hpp
+/// A compact runtime-sized bitset used for transitive-closure rows,
+/// reachability sets, and adjacency tests. Supports the bulk operations the
+/// poset and trace modules need (or-assign, subset test, popcount, iteration
+/// over set bits) which std::vector<bool> does not provide efficiently.
+
+namespace syncts {
+
+class DynBitset {
+public:
+    DynBitset() = default;
+
+    /// Creates a bitset of `size` bits, all clear.
+    explicit DynBitset(std::size_t size)
+        : size_(size), words_((size + kBits - 1) / kBits, 0) {}
+
+    std::size_t size() const noexcept { return size_; }
+    bool empty() const noexcept { return size_ == 0; }
+
+    bool test(std::size_t pos) const noexcept {
+        return (words_[pos / kBits] >> (pos % kBits)) & 1u;
+    }
+
+    void set(std::size_t pos) noexcept {
+        words_[pos / kBits] |= (std::uint64_t{1} << (pos % kBits));
+    }
+
+    void reset(std::size_t pos) noexcept {
+        words_[pos / kBits] &= ~(std::uint64_t{1} << (pos % kBits));
+    }
+
+    void clear() noexcept {
+        for (auto& w : words_) w = 0;
+    }
+
+    /// Bitwise OR-assign; both operands must have the same size.
+    DynBitset& operator|=(const DynBitset& other) noexcept;
+
+    /// Bitwise AND-assign; both operands must have the same size.
+    DynBitset& operator&=(const DynBitset& other) noexcept;
+
+    /// True when every bit set here is also set in `other`.
+    bool is_subset_of(const DynBitset& other) const noexcept;
+
+    /// True when the two sets share at least one bit.
+    bool intersects(const DynBitset& other) const noexcept;
+
+    /// Number of set bits.
+    std::size_t count() const noexcept;
+
+    /// Index of the first set bit at or after `from`; size() when none.
+    std::size_t find_next(std::size_t from) const noexcept;
+
+    /// Calls fn(index) for every set bit in ascending order.
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            std::uint64_t bits = words_[w];
+            while (bits != 0) {
+                const auto bit =
+                    static_cast<unsigned>(__builtin_ctzll(bits));
+                fn(w * kBits + bit);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    friend bool operator==(const DynBitset& a, const DynBitset& b) noexcept {
+        return a.size_ == b.size_ && a.words_ == b.words_;
+    }
+
+private:
+    static constexpr std::size_t kBits = 64;
+
+    std::size_t size_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+}  // namespace syncts

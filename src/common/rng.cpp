@@ -1,0 +1,31 @@
+#include "common/rng.hpp"
+
+namespace syncts {
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // Classic rejection (as in arc4random_uniform): discard draws below
+    // 2^64 mod bound so the remainder is exactly uniform.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        const std::uint64_t raw = (*this)();
+        if (raw >= threshold) return raw % bound;
+    }
+}
+
+std::uint64_t Rng::between(std::uint64_t lo, std::uint64_t hi) noexcept {
+    if (hi <= lo) return lo;
+    return lo + below(hi - lo + 1);
+}
+
+bool Rng::chance(std::uint64_t numerator, std::uint64_t denominator) noexcept {
+    if (denominator == 0) return false;
+    return below(denominator) < numerator;
+}
+
+double Rng::uniform01() noexcept {
+    // 53 top bits -> double in [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace syncts

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+/// \file rng.hpp
+/// Deterministic, seedable pseudo-random generation for workload generators
+/// and property tests.
+///
+/// We implement xoshiro256** seeded via SplitMix64 rather than relying on
+/// std::mt19937 so that (a) generated workloads are bit-identical across
+/// standard libraries, making EXPERIMENTS.md reproducible, and (b) bounded
+/// draws use an explicit, documented rejection scheme.
+
+namespace syncts {
+
+/// SplitMix64 step — used to expand a single 64-bit seed into xoshiro state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Satisfies
+/// std::uniform_random_bit_generator, so it also plugs into <random>.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the full 256-bit state from a single user seed via SplitMix64.
+    explicit constexpr Rng(std::uint64_t seed = 0x5EEDF00Dull) noexcept {
+        std::uint64_t sm = seed;
+        for (auto& word : state_) word = splitmix64(sm);
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    constexpr result_type operator()() noexcept {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform draw in [0, bound) with rejection (no modulo bias).
+    /// bound == 0 is a caller error and returns 0.
+    std::uint64_t below(std::uint64_t bound) noexcept;
+
+    /// Uniform draw in the inclusive range [lo, hi].
+    std::uint64_t between(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+    /// Bernoulli draw with probability numerator/denominator.
+    bool chance(std::uint64_t numerator, std::uint64_t denominator) noexcept;
+
+    /// Uniform double in [0, 1).
+    double uniform01() noexcept;
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace syncts

@@ -1,0 +1,62 @@
+#include "core/causality.hpp"
+
+namespace syncts {
+
+Order compare(const VectorTimestamp& a, const VectorTimestamp& b) {
+    if (a == b) return Order::equal;
+    if (a.less(b)) return Order::before;
+    if (b.less(a)) return Order::after;
+    return Order::concurrent;
+}
+
+const char* to_string(Order order) {
+    switch (order) {
+        case Order::before: return "before";
+        case Order::after: return "after";
+        case Order::concurrent: return "concurrent";
+        case Order::equal: return "equal";
+    }
+    return "unknown";
+}
+
+std::size_t count_concurrent_pairs(std::span<const VectorTimestamp> stamps) {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < stamps.size(); ++i) {
+        for (std::size_t j = i + 1; j < stamps.size(); ++j) {
+            if (stamps[i].concurrent_with(stamps[j])) ++count;
+        }
+    }
+    return count;
+}
+
+std::size_t encoding_mismatches(const Poset& poset,
+                                std::span<const VectorTimestamp> stamps) {
+    std::size_t mismatches = 0;
+    for (std::size_t a = 0; a < stamps.size(); ++a) {
+        for (std::size_t b = 0; b < stamps.size(); ++b) {
+            if (a == b) continue;
+            if (poset.less(a, b) != stamps[a].less(stamps[b])) ++mismatches;
+        }
+    }
+    return mismatches;
+}
+
+std::size_t consistency_violations(const Poset& poset,
+                                   std::span<const VectorTimestamp> stamps) {
+    std::size_t violations = 0;
+    for (std::size_t a = 0; a < stamps.size(); ++a) {
+        for (std::size_t b = 0; b < stamps.size(); ++b) {
+            if (a == b) continue;
+            if (poset.less(a, b) && !stamps[a].less(stamps[b])) ++violations;
+        }
+    }
+    return violations;
+}
+
+std::size_t total_components(std::span<const VectorTimestamp> stamps) {
+    std::size_t total = 0;
+    for (const auto& s : stamps) total += s.width();
+    return total;
+}
+
+}  // namespace syncts

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "clocks/vector_timestamp.hpp"
+#include "poset/poset.hpp"
+
+/// \file causality.hpp
+/// Free-standing causality utilities over collections of vector
+/// timestamps: the O(d) precedence test of Section 2 plus bulk validation
+/// helpers used by the test suite and the benchmark harness.
+
+namespace syncts {
+
+/// Outcome of comparing two timestamps.
+enum class Order { before, after, concurrent, equal };
+
+Order compare(const VectorTimestamp& a, const VectorTimestamp& b);
+
+const char* to_string(Order order);
+
+/// Number of unordered pairs {i, j} whose stamps are concurrent.
+std::size_t count_concurrent_pairs(std::span<const VectorTimestamp> stamps);
+
+/// Checks that the timestamps encode the poset exactly
+/// (poset.less(a,b) ⟺ stamps[a] < stamps[b] for all pairs). Returns the
+/// number of disagreeing ordered pairs; 0 means the encoding is exact.
+std::size_t encoding_mismatches(const Poset& poset,
+                                std::span<const VectorTimestamp> stamps);
+
+/// Like encoding_mismatches but only checks soundness of the ⟸ direction
+/// plausible for one-way clocks (Lamport): poset.less(a,b) ⟹
+/// stamps[a] < stamps[b]. Returns violations.
+std::size_t consistency_violations(const Poset& poset,
+                                   std::span<const VectorTimestamp> stamps);
+
+/// Total piggyback cost in components (width × message count) — the
+/// overhead metric of Section 3.2 (O(d) per message vs FM's O(N)).
+std::size_t total_components(std::span<const VectorTimestamp> stamps);
+
+}  // namespace syncts

@@ -1,0 +1,81 @@
+#include "core/cuts.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace syncts {
+
+bool is_consistent_cut(const TimestampedTrace& trace,
+                       const std::vector<MessageId>& cut) {
+    std::vector<char> inside(trace.num_messages(), 0);
+    for (const MessageId m : cut) {
+        SYNCTS_REQUIRE(m < trace.num_messages(), "message id out of range");
+        inside[m] = 1;
+    }
+    for (const MessageId member : cut) {
+        for (MessageId other = 0; other < trace.num_messages(); ++other) {
+            if (!inside[other] && trace.precedes(other, member)) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+std::vector<MessageId> downward_closure(const TimestampedTrace& trace,
+                                        const std::vector<MessageId>& seeds) {
+    std::vector<char> inside(trace.num_messages(), 0);
+    for (const MessageId seed : seeds) {
+        SYNCTS_REQUIRE(seed < trace.num_messages(),
+                       "message id out of range");
+        inside[seed] = 1;
+        for (MessageId m = 0; m < trace.num_messages(); ++m) {
+            if (trace.precedes(m, seed)) inside[m] = 1;
+        }
+    }
+    std::vector<MessageId> result;
+    for (MessageId m = 0; m < trace.num_messages(); ++m) {
+        if (inside[m]) result.push_back(m);
+    }
+    return result;
+}
+
+std::vector<MessageId> recovery_line(const TimestampedTrace& trace,
+                                     const std::vector<MessageId>& lost) {
+    std::vector<char> excluded(trace.num_messages(), 0);
+    for (const MessageId seed : lost) {
+        SYNCTS_REQUIRE(seed < trace.num_messages(),
+                       "message id out of range");
+        excluded[seed] = 1;
+        for (MessageId m = 0; m < trace.num_messages(); ++m) {
+            if (trace.precedes(seed, m)) excluded[m] = 1;
+        }
+    }
+    std::vector<MessageId> result;
+    for (MessageId m = 0; m < trace.num_messages(); ++m) {
+        if (!excluded[m]) result.push_back(m);
+    }
+    // The complement of an upward-closed set is downward closed, so this
+    // is consistent by construction; assert the invariant anyway.
+    SYNCTS_ENSURE(is_consistent_cut(trace, result),
+                  "recovery line is not a consistent cut");
+    return result;
+}
+
+std::vector<MessageId> cut_frontier(const TimestampedTrace& trace,
+                                    const std::vector<MessageId>& cut) {
+    SYNCTS_REQUIRE(is_consistent_cut(trace, cut),
+                   "frontier of an inconsistent cut is meaningless");
+    std::vector<MessageId> result;
+    for (const MessageId candidate : cut) {
+        const bool maximal = std::ranges::none_of(cut, [&](MessageId other) {
+            return other != candidate && trace.precedes(candidate, other);
+        });
+        if (maximal) result.push_back(candidate);
+    }
+    std::ranges::sort(result);
+    return result;
+}
+
+}  // namespace syncts

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "core/timestamped_trace.hpp"
+
+/// \file cuts.hpp
+/// Consistent cuts over timestamped traces. A cut (a set of messages) is
+/// consistent when it is downward closed under ↦ — it could have been "the
+/// past" at some global instant. Checkpointing and optimistic recovery
+/// reason entirely in these terms: the recovery line after losing message
+/// m is the largest consistent cut that excludes m, and everything outside
+/// it is an orphan. With exact timestamps every operation here is a vector
+/// comparison.
+
+namespace syncts {
+
+/// True when `cut` (a set of message ids, any order) is downward closed:
+/// no message outside the cut precedes a message inside it.
+bool is_consistent_cut(const TimestampedTrace& trace,
+                       const std::vector<MessageId>& cut);
+
+/// Smallest consistent cut containing `seeds`: the union of their causal
+/// pasts. Returned sorted ascending.
+std::vector<MessageId> downward_closure(const TimestampedTrace& trace,
+                                        const std::vector<MessageId>& seeds);
+
+/// Largest consistent cut that excludes every seed: everything not
+/// causally at-or-after a seed. Returned sorted ascending. This is the
+/// recovery line when the seeds are lost messages; its complement is the
+/// orphan set.
+std::vector<MessageId> recovery_line(const TimestampedTrace& trace,
+                                     const std::vector<MessageId>& lost);
+
+/// Maximal messages of a cut — the per-checkpoint frontier a recovery
+/// protocol would persist. `cut` must be consistent.
+std::vector<MessageId> cut_frontier(const TimestampedTrace& trace,
+                                    const std::vector<MessageId>& cut);
+
+}  // namespace syncts

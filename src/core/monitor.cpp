@@ -1,0 +1,81 @@
+#include "core/monitor.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace syncts {
+
+std::size_t CausalMonitor::record(std::string label,
+                                  VectorTimestamp timestamp) {
+    const std::size_t id = operations_.size();
+    operations_.push_back({id, std::move(label), std::move(timestamp)});
+    return id;
+}
+
+const CausalMonitor::Operation& CausalMonitor::operation(
+    std::size_t id) const {
+    SYNCTS_REQUIRE(id < operations_.size(), "operation id out of range");
+    return operations_[id];
+}
+
+Order CausalMonitor::order(std::size_t a, std::size_t b) const {
+    return compare(operation(a).timestamp, operation(b).timestamp);
+}
+
+std::vector<std::size_t> CausalMonitor::conflicts_of(std::size_t id) const {
+    const Operation& op = operation(id);
+    std::vector<std::size_t> result;
+    for (const Operation& other : operations_) {
+        if (other.id != id &&
+            op.timestamp.concurrent_with(other.timestamp)) {
+            result.push_back(other.id);
+        }
+    }
+    return result;
+}
+
+std::vector<std::size_t> CausalMonitor::frontier() const {
+    std::vector<std::size_t> result;
+    for (const Operation& candidate : operations_) {
+        bool maximal = true;
+        for (const Operation& other : operations_) {
+            if (other.id != candidate.id &&
+                candidate.timestamp.less(other.timestamp)) {
+                maximal = false;
+                break;
+            }
+        }
+        if (maximal) result.push_back(candidate.id);
+    }
+    return result;
+}
+
+std::optional<std::size_t> CausalMonitor::latest_predecessor(
+    std::size_t id) const {
+    const Operation& op = operation(id);
+    std::optional<std::size_t> best;
+    for (const Operation& other : operations_) {
+        if (other.id == id || !other.timestamp.less(op.timestamp)) continue;
+        if (!best ||
+            operations_[*best].timestamp.less(other.timestamp)) {
+            best = other.id;
+        }
+    }
+    return best;
+}
+
+std::size_t CausalMonitor::conflict_pair_count() const {
+    std::size_t count = 0;
+    for (std::size_t a = 0; a < operations_.size(); ++a) {
+        for (std::size_t b = a + 1; b < operations_.size(); ++b) {
+            if (operations_[a].timestamp.concurrent_with(
+                    operations_[b].timestamp)) {
+                ++count;
+            }
+        }
+    }
+    return count;
+}
+
+}  // namespace syncts

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "clocks/vector_timestamp.hpp"
+#include "common/ids.hpp"
+#include "core/causality.hpp"
+
+/// \file monitor.hpp
+/// An online causal monitor — the "distributed monitoring systems" use
+/// case from the paper's introduction. A central observer ingests
+/// timestamped operations (message timestamps piggybacked to it by the
+/// system under observation) and answers causal queries immediately:
+/// which operations are concurrent with a new one (potential races /
+/// conflicts), and what the current causal frontier is.
+///
+/// Because the paper's timestamps characterize ↦ exactly, the monitor
+/// never reports a false concurrency or a false ordering — unlike
+/// plausible-clock monitors (Section 6).
+
+namespace syncts {
+
+class CausalMonitor {
+public:
+    struct Operation {
+        std::size_t id = 0;
+        std::string label;
+        VectorTimestamp timestamp;
+    };
+
+    /// Ingests an operation; returns its monitor-assigned id.
+    std::size_t record(std::string label, VectorTimestamp timestamp);
+
+    std::size_t size() const noexcept { return operations_.size(); }
+    const Operation& operation(std::size_t id) const;
+
+    /// Order between two recorded operations.
+    Order order(std::size_t a, std::size_t b) const;
+
+    /// Ids of recorded operations concurrent with operation `id` —
+    /// the conflict candidates for `id`.
+    std::vector<std::size_t> conflicts_of(std::size_t id) const;
+
+    /// Ids of currently maximal operations (the causal frontier).
+    std::vector<std::size_t> frontier() const;
+
+    /// Latest recorded operation causally before `id`, if any (useful for
+    /// "which write does this read depend on" queries).
+    std::optional<std::size_t> latest_predecessor(std::size_t id) const;
+
+    /// Total unordered concurrent pairs seen so far.
+    std::size_t conflict_pair_count() const;
+
+private:
+    std::vector<Operation> operations_;
+};
+
+}  // namespace syncts

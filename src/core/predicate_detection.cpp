@@ -1,0 +1,48 @@
+#include "core/predicate_detection.hpp"
+
+namespace syncts {
+
+WeakConjunctiveResult detect_weak_conjunctive(
+    const std::vector<std::vector<EventTimestamp>>& candidates) {
+    const std::size_t k = candidates.size();
+    WeakConjunctiveResult result;
+    result.witness.assign(k, 0);
+    if (k == 0) {
+        result.detected = true;
+        return result;
+    }
+    for (const auto& list : candidates) {
+        if (list.empty()) return result;  // impossible
+    }
+
+    // Cursor elimination: an event that happened-before another process's
+    // cursor event can never join a pairwise-concurrent cut with it or
+    // with anything later on that process, so it is discarded.
+    for (;;) {
+        bool advanced = false;
+        std::vector<char> eliminate(k, 0);
+        for (std::size_t i = 0; i < k; ++i) {
+            for (std::size_t j = 0; j < k; ++j) {
+                if (i == j || eliminate[i]) continue;
+                if (happened_before(candidates[i][result.witness[i]],
+                                    candidates[j][result.witness[j]])) {
+                    eliminate[i] = 1;
+                }
+            }
+        }
+        for (std::size_t i = 0; i < k; ++i) {
+            if (!eliminate[i]) continue;
+            if (++result.witness[i] >= candidates[i].size()) {
+                result.witness.clear();
+                return result;  // list exhausted: not detected
+            }
+            advanced = true;
+        }
+        if (!advanced) {
+            result.detected = true;
+            return result;
+        }
+    }
+}
+
+}  // namespace syncts

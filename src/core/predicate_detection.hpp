@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "clocks/event_timestamp.hpp"
+
+/// \file predicate_detection.hpp
+/// Weak conjunctive predicate detection (Garg & Waldecker) over Section 5
+/// event timestamps — the "global property evaluation" application from
+/// the paper's introduction.
+///
+/// Each observed process contributes the ordered list of its events at
+/// which its local predicate held (e.g. "sensor in alarm state"). The
+/// question *possibly(φ1 ∧ ... ∧ φk)* — could all local predicates have
+/// held simultaneously in some consistent global state? — is equivalent to
+/// finding one candidate event per process such that the chosen events are
+/// pairwise concurrent.
+///
+/// Algorithm: keep a cursor per process; while some pair (i, j) has
+/// cursor_i's event happened-before cursor_j's, advance cursor i (its
+/// event can never pair with cursor_j's or any later event of j... it can
+/// never be part of a pairwise-concurrent selection that includes j's
+/// cursor or anything after it — the classic argument). Terminates with
+/// the first (earliest) witness cut or with an exhausted list. All order
+/// tests are O(d) tuple comparisons.
+
+namespace syncts {
+
+struct WeakConjunctiveResult {
+    /// True when a pairwise-concurrent selection exists.
+    bool detected = false;
+
+    /// When detected: for each candidate list, the index of the chosen
+    /// event (the earliest witness cut).
+    std::vector<std::size_t> witness;
+};
+
+/// Detects possibly(φ) given per-process candidate event lists. Each inner
+/// list must be in process order (as produced by a per-process journal).
+/// Empty candidate lists make detection trivially impossible; an empty
+/// outer list detects trivially (empty conjunction).
+WeakConjunctiveResult detect_weak_conjunctive(
+    const std::vector<std::vector<EventTimestamp>>& candidates);
+
+}  // namespace syncts

@@ -1,0 +1,95 @@
+#include "core/timestamped_trace.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "trace/ground_truth.hpp"
+
+namespace syncts {
+
+TimestampedTrace::TimestampedTrace(SyncComputation computation,
+                                   std::vector<VectorTimestamp> message_stamps)
+    : computation_(std::move(computation)), stamps_(std::move(message_stamps)) {
+    SYNCTS_REQUIRE(stamps_.size() == computation_.num_messages(),
+                   "one timestamp per message required");
+}
+
+const VectorTimestamp& TimestampedTrace::timestamp(MessageId m) const {
+    SYNCTS_REQUIRE(m < stamps_.size(), "message id out of range");
+    return stamps_[m];
+}
+
+bool TimestampedTrace::precedes(MessageId m1, MessageId m2) const {
+    return timestamp(m1).less(timestamp(m2));
+}
+
+bool TimestampedTrace::concurrent(MessageId m1, MessageId m2) const {
+    return m1 != m2 && timestamp(m1).concurrent_with(timestamp(m2));
+}
+
+std::vector<MessageId> TimestampedTrace::concurrent_with(MessageId m) const {
+    std::vector<MessageId> result;
+    for (MessageId other = 0; other < stamps_.size(); ++other) {
+        if (other != m && concurrent(m, other)) result.push_back(other);
+    }
+    return result;
+}
+
+std::vector<MessageId> TimestampedTrace::minimal_messages() const {
+    std::vector<MessageId> result;
+    for (MessageId m = 0; m < stamps_.size(); ++m) {
+        bool minimal = true;
+        for (MessageId other = 0; other < stamps_.size() && minimal; ++other) {
+            if (other != m && precedes(other, m)) minimal = false;
+        }
+        if (minimal) result.push_back(m);
+    }
+    return result;
+}
+
+std::vector<MessageId> TimestampedTrace::maximal_messages() const {
+    std::vector<MessageId> result;
+    for (MessageId m = 0; m < stamps_.size(); ++m) {
+        bool maximal = true;
+        for (MessageId other = 0; other < stamps_.size() && maximal; ++other) {
+            if (other != m && precedes(m, other)) maximal = false;
+        }
+        if (maximal) result.push_back(m);
+    }
+    return result;
+}
+
+std::size_t TimestampedTrace::concurrent_pair_count() const {
+    std::size_t count = 0;
+    for (MessageId a = 0; a < stamps_.size(); ++a) {
+        for (MessageId b = a + 1; b < stamps_.size(); ++b) {
+            if (concurrent(a, b)) ++count;
+        }
+    }
+    return count;
+}
+
+std::size_t TimestampedTrace::verify_against_ground_truth() const {
+    const Poset truth = message_poset(computation_);
+    std::size_t mismatches = 0;
+    for (MessageId a = 0; a < stamps_.size(); ++a) {
+        for (MessageId b = 0; b < stamps_.size(); ++b) {
+            if (a == b) continue;
+            if (truth.less(a, b) != precedes(a, b)) ++mismatches;
+        }
+    }
+    return mismatches;
+}
+
+std::string TimestampedTrace::to_string() const {
+    std::ostringstream os;
+    for (MessageId m = 0; m < stamps_.size(); ++m) {
+        const SyncMessage& msg = computation_.message(m);
+        os << 'm' << (m + 1) << ": P" << (msg.sender + 1) << " -> P"
+           << (msg.receiver + 1) << "  " << stamps_[m].to_string() << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace syncts

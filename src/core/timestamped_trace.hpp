@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "clocks/vector_timestamp.hpp"
+#include "trace/computation.hpp"
+
+/// \file timestamped_trace.hpp
+/// A computation plus per-message timestamps, with the precedence queries
+/// the paper motivates (Section 1: monitoring, debugging visualization,
+/// orphan detection). All queries are O(d) vector comparisons — no graph
+/// search at query time, which is the whole point of timestamping.
+
+namespace syncts {
+
+class TimestampedTrace {
+public:
+    TimestampedTrace(SyncComputation computation,
+                     std::vector<VectorTimestamp> message_stamps);
+
+    const SyncComputation& computation() const noexcept {
+        return computation_;
+    }
+    std::size_t num_messages() const noexcept {
+        return computation_.num_messages();
+    }
+
+    const VectorTimestamp& timestamp(MessageId m) const;
+
+    /// m1 ↦ m2, answered from the timestamps.
+    bool precedes(MessageId m1, MessageId m2) const;
+
+    /// m1 ‖ m2 (distinct, neither precedes the other).
+    bool concurrent(MessageId m1, MessageId m2) const;
+
+    /// All messages concurrent with m.
+    std::vector<MessageId> concurrent_with(MessageId m) const;
+
+    /// Messages m with no m' ↦ m (the computation's first wave).
+    std::vector<MessageId> minimal_messages() const;
+
+    /// Messages m with no m ↦ m' (the current frontier).
+    std::vector<MessageId> maximal_messages() const;
+
+    /// Count of unordered concurrent pairs — a measure of how much
+    /// parallelism the timestamps must preserve.
+    std::size_t concurrent_pair_count() const;
+
+    /// Checks Theorem 4 against ground truth (the transitively closed ▷
+    /// relation): returns the number of disagreeing pairs, 0 when the
+    /// timestamps encode the poset exactly. O(M²) — verification tool.
+    std::size_t verify_against_ground_truth() const;
+
+    /// "m3 = (1,1,1)"-style listing, 1-based like the paper's figures.
+    std::string to_string() const;
+
+private:
+    SyncComputation computation_;
+    std::vector<VectorTimestamp> stamps_;
+};
+
+}  // namespace syncts

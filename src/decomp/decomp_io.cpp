@@ -1,0 +1,129 @@
+#include "decomp/decomp_io.hpp"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace syncts {
+
+void write_decomposition(std::ostream& out,
+                         const EdgeDecomposition& decomposition) {
+    const Graph& g = decomposition.graph();
+    out << "syncts-decomp 1\n";
+    out << "processes " << g.num_vertices() << '\n';
+    out << "edges " << g.num_edges() << '\n';
+    for (const Edge& e : g.edges()) out << "e " << e.u << ' ' << e.v << '\n';
+    out << "groups " << decomposition.size() << '\n';
+    for (const EdgeGroup& group : decomposition.groups()) {
+        if (group.kind == GroupKind::star) {
+            out << "s " << group.root << ' ' << group.edges.size();
+            for (const Edge& e : group.edges) {
+                out << ' ' << e.u << ' ' << e.v;
+            }
+            out << '\n';
+        } else {
+            out << "t " << group.triangle.corners[0] << ' '
+                << group.triangle.corners[1] << ' '
+                << group.triangle.corners[2] << '\n';
+        }
+    }
+}
+
+std::string serialize_decomposition(const EdgeDecomposition& decomposition) {
+    std::ostringstream os;
+    write_decomposition(os, decomposition);
+    return os.str();
+}
+
+namespace {
+
+std::string next_token(std::istream& in, const char* what) {
+    std::string token;
+    SYNCTS_REQUIRE(static_cast<bool>(in >> token),
+                   std::string("decomposition input truncated, expected ") +
+                       what);
+    return token;
+}
+
+std::size_t next_number(std::istream& in, const char* what) {
+    const std::string token = next_token(in, what);
+    try {
+        std::size_t consumed = 0;
+        const unsigned long long value = std::stoull(token, &consumed);
+        SYNCTS_REQUIRE(consumed == token.size(), "trailing garbage in number");
+        return static_cast<std::size_t>(value);
+    } catch (const std::logic_error&) {
+        throw std::invalid_argument(std::string("expected a number for ") +
+                                    what + ", got '" + token + "'");
+    }
+}
+
+ProcessId next_process(std::istream& in, std::size_t n, const char* what) {
+    const std::size_t value = next_number(in, what);
+    SYNCTS_REQUIRE(value < n, std::string(what) + " out of range");
+    return static_cast<ProcessId>(value);
+}
+
+}  // namespace
+
+EdgeDecomposition read_decomposition(std::istream& in) {
+    SYNCTS_REQUIRE(next_token(in, "magic") == "syncts-decomp",
+                   "not a syncts decomposition (bad magic)");
+    SYNCTS_REQUIRE(next_number(in, "version") == 1,
+                   "unsupported decomposition version");
+    SYNCTS_REQUIRE(next_token(in, "processes keyword") == "processes",
+                   "expected 'processes'");
+    const std::size_t n = next_number(in, "process count");
+    SYNCTS_REQUIRE(next_token(in, "edges keyword") == "edges",
+                   "expected 'edges'");
+    const std::size_t m = next_number(in, "edge count");
+
+    Graph g(n);
+    for (std::size_t i = 0; i < m; ++i) {
+        SYNCTS_REQUIRE(next_token(in, "edge record") == "e",
+                       "expected edge record 'e'");
+        const ProcessId u = next_process(in, n, "edge endpoint");
+        const ProcessId v = next_process(in, n, "edge endpoint");
+        g.add_edge(u, v);
+    }
+
+    SYNCTS_REQUIRE(next_token(in, "groups keyword") == "groups",
+                   "expected 'groups'");
+    const std::size_t group_count = next_number(in, "group count");
+    EdgeDecomposition decomposition(std::move(g));
+    for (std::size_t i = 0; i < group_count; ++i) {
+        const std::string kind = next_token(in, "group record");
+        if (kind == "s") {
+            const ProcessId root = next_process(in, n, "star root");
+            const std::size_t edge_count = next_number(in, "star edge count");
+            std::vector<Edge> edges;
+            edges.reserve(edge_count);
+            for (std::size_t k = 0; k < edge_count; ++k) {
+                const ProcessId u = next_process(in, n, "star edge endpoint");
+                const ProcessId v = next_process(in, n, "star edge endpoint");
+                edges.push_back(Edge::make(u, v));
+            }
+            decomposition.add_star(root, edges);
+        } else if (kind == "t") {
+            const ProcessId x = next_process(in, n, "triangle corner");
+            const ProcessId y = next_process(in, n, "triangle corner");
+            const ProcessId z = next_process(in, n, "triangle corner");
+            decomposition.add_triangle(Triangle::make(x, y, z));
+        } else {
+            throw std::invalid_argument("unknown group record '" + kind +
+                                        "'");
+        }
+    }
+    SYNCTS_REQUIRE(decomposition.complete(),
+                   "decomposition does not cover every edge");
+    return decomposition;
+}
+
+EdgeDecomposition parse_decomposition(const std::string& text) {
+    std::istringstream in(text);
+    return read_decomposition(in);
+}
+
+}  // namespace syncts

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "decomp/edge_decomposition.hpp"
+
+/// \file decomp_io.hpp
+/// Plain-text persistence for edge decompositions. Fig. 5 assumes "the
+/// information about edge decomposition is known by all processes"; in a
+/// deployment that information is computed once and distributed — this is
+/// the artifact that gets distributed. Versioned, line-oriented:
+///
+///   syncts-decomp 1
+///   processes <N>
+///   edges <M>
+///   e <u> <v>                        # one per channel, in dense order
+///   groups <d>
+///   s <root> <k> <u1> <v1> ... <uk> <vk>   # star with k edges
+///   t <x> <y> <z>                          # triangle
+///
+/// Groups appear in component order, so a parsed decomposition assigns the
+/// same vector component to every channel as the original.
+
+namespace syncts {
+
+std::string serialize_decomposition(const EdgeDecomposition& decomposition);
+void write_decomposition(std::ostream& out,
+                         const EdgeDecomposition& decomposition);
+
+/// Throws std::invalid_argument on malformed input, unknown records,
+/// dangling indices, non-edges, or incomplete decompositions.
+EdgeDecomposition parse_decomposition(const std::string& text);
+EdgeDecomposition read_decomposition(std::istream& in);
+
+}  // namespace syncts

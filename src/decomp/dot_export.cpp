@@ -1,0 +1,52 @@
+#include "decomp/dot_export.hpp"
+
+#include <array>
+#include <sstream>
+
+namespace syncts {
+
+std::string to_dot(const Graph& g) {
+    std::ostringstream os;
+    os << "graph topology {\n  node [shape=circle];\n";
+    for (ProcessId v = 0; v < g.num_vertices(); ++v) {
+        os << "  P" << (v + 1) << ";\n";
+    }
+    for (const Edge& e : g.edges()) {
+        os << "  P" << (e.u + 1) << " -- P" << (e.v + 1) << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string to_dot(const EdgeDecomposition& decomposition) {
+    static constexpr std::array<const char*, 8> kPalette = {
+        "crimson", "royalblue", "forestgreen", "darkorange",
+        "purple",  "teal",      "goldenrod",   "deeppink"};
+    const Graph& g = decomposition.graph();
+    std::ostringstream os;
+    os << "graph decomposition {\n  node [shape=circle];\n";
+    // Star roots drawn bold.
+    std::vector<char> is_root(g.num_vertices(), 0);
+    for (const EdgeGroup& group : decomposition.groups()) {
+        if (group.kind == GroupKind::star) is_root[group.root] = 1;
+    }
+    for (ProcessId v = 0; v < g.num_vertices(); ++v) {
+        os << "  P" << (v + 1);
+        if (is_root[v]) os << " [penwidth=2, style=bold]";
+        os << ";\n";
+    }
+    for (std::size_t index = 0; index < g.num_edges(); ++index) {
+        const Edge& e = g.edge(index);
+        const GroupId group = decomposition.group_of_edge_index(index);
+        os << "  P" << (e.u + 1) << " -- P" << (e.v + 1);
+        if (group != kNoGroup) {
+            os << " [label=\"E" << (group + 1) << "\", color="
+               << kPalette[group % kPalette.size()] << ']';
+        }
+        os << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+}  // namespace syncts

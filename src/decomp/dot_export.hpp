@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "decomp/edge_decomposition.hpp"
+#include "graph/graph.hpp"
+
+/// \file dot_export.hpp
+/// Graphviz export for topologies and decompositions — the debugging
+/// visualizations (POET/XPVM-style) the paper's introduction motivates
+/// start from exactly this picture: which channels share a vector
+/// component.
+
+namespace syncts {
+
+/// Plain topology as an undirected graphviz graph.
+std::string to_dot(const Graph& g);
+
+/// Decomposition view: edges colored/labeled by group (E1, E2, ...),
+/// star roots emphasized.
+std::string to_dot(const EdgeDecomposition& decomposition);
+
+}  // namespace syncts

@@ -1,0 +1,119 @@
+#include "decomp/edge_decomposition.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace syncts {
+
+EdgeDecomposition::EdgeDecomposition(Graph g)
+    : graph_(std::move(g)), assignment_(graph_.num_edges(), kNoGroup) {}
+
+GroupId EdgeDecomposition::assign(const Edge& e, GroupId group) {
+    const auto index = graph_.edge_index(e.u, e.v);
+    SYNCTS_REQUIRE(index.has_value(), "edge does not exist in the topology");
+    SYNCTS_REQUIRE(assignment_[*index] == kNoGroup,
+                   "edge already assigned to a group");
+    assignment_[*index] = group;
+    ++assigned_count_;
+    return group;
+}
+
+GroupId EdgeDecomposition::add_star(ProcessId root,
+                                    std::span<const Edge> edges) {
+    SYNCTS_REQUIRE(!edges.empty(), "star group must contain at least one edge");
+    SYNCTS_REQUIRE(root < graph_.num_vertices(), "star root out of range");
+    const auto id = static_cast<GroupId>(groups_.size());
+    EdgeGroup group;
+    group.kind = GroupKind::star;
+    group.root = root;
+    group.edges.assign(edges.begin(), edges.end());
+    for (const Edge& e : group.edges) {
+        SYNCTS_REQUIRE(e.touches(root), "star edge not incident to root");
+        assign(e, id);
+    }
+    groups_.push_back(std::move(group));
+    ++star_count_;
+    return id;
+}
+
+GroupId EdgeDecomposition::add_triangle(const Triangle& t) {
+    const auto [x, y, z] = t.corners;
+    const auto id = static_cast<GroupId>(groups_.size());
+    EdgeGroup group;
+    group.kind = GroupKind::triangle;
+    group.triangle = t;
+    group.edges = {Edge::make(x, y), Edge::make(y, z), Edge::make(x, z)};
+    for (const Edge& e : group.edges) assign(e, id);
+    groups_.push_back(std::move(group));
+    return id;
+}
+
+ProcessId EdgeDecomposition::add_leaf_process(
+    std::span<const GroupId> star_groups) {
+    for (const GroupId id : star_groups) {
+        SYNCTS_REQUIRE(id < groups_.size(), "group id out of range");
+        SYNCTS_REQUIRE(groups_[id].kind == GroupKind::star,
+                       "can only grow star groups");
+    }
+    for (std::size_t i = 0; i < star_groups.size(); ++i) {
+        for (std::size_t j = i + 1; j < star_groups.size(); ++j) {
+            SYNCTS_REQUIRE(star_groups[i] != star_groups[j],
+                           "duplicate star group");
+        }
+    }
+    const ProcessId newcomer = graph_.add_vertex();
+    for (const GroupId id : star_groups) {
+        EdgeGroup& group = groups_[id];
+        const Edge e = Edge::make(group.root, newcomer);
+        const std::size_t edge_index = graph_.add_edge(e.u, e.v);
+        SYNCTS_ENSURE(edge_index == assignment_.size(),
+                      "edge index drifted from assignment table");
+        assignment_.push_back(id);
+        ++assigned_count_;
+        group.edges.push_back(e);
+    }
+    return newcomer;
+}
+
+GroupId EdgeDecomposition::group_of(ProcessId a, ProcessId b) const {
+    const auto index = graph_.edge_index(a, b);
+    SYNCTS_REQUIRE(index.has_value(),
+                   "no channel between these processes in the topology");
+    const GroupId g = assignment_[*index];
+    SYNCTS_REQUIRE(g != kNoGroup, "channel not assigned to any edge group");
+    return g;
+}
+
+GroupId EdgeDecomposition::group_of_edge_index(std::size_t edge_index) const {
+    SYNCTS_REQUIRE(edge_index < assignment_.size(), "edge index out of range");
+    return assignment_[edge_index];
+}
+
+const EdgeGroup& EdgeDecomposition::group(GroupId id) const {
+    SYNCTS_REQUIRE(id < groups_.size(), "group id out of range");
+    return groups_[id];
+}
+
+std::string EdgeDecomposition::to_string() const {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < groups_.size(); ++i) {
+        if (i != 0) os << "; ";
+        const EdgeGroup& g = groups_[i];
+        os << 'E' << (i + 1) << " = ";
+        if (g.kind == GroupKind::star) {
+            os << "star@" << g.root;
+        } else {
+            os << "triangle(" << g.triangle.corners[0] << ','
+               << g.triangle.corners[1] << ',' << g.triangle.corners[2] << ')';
+        }
+        os << " {";
+        for (std::size_t k = 0; k < g.edges.size(); ++k) {
+            if (k != 0) os << ',';
+            os << '(' << g.edges[k].u << '-' << g.edges[k].v << ')';
+        }
+        os << '}';
+    }
+    return os.str();
+}
+
+}  // namespace syncts

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "decomp/edge_group.hpp"
+#include "graph/graph.hpp"
+
+/// \file edge_decomposition.hpp
+/// A partition of the communication topology's edge set into stars and
+/// triangles (Definition 2). The decomposition's size d is the length of
+/// every vector timestamp produced by the online algorithm, and the map
+/// edge → group index tells each process which component to increment.
+///
+/// The class owns a copy of the topology graph so a decomposition is a
+/// self-contained value: it can be shipped to every process at startup
+/// ("we assume that information about edge decomposition is known by all
+/// processes", Section 3.2).
+
+namespace syncts {
+
+class EdgeDecomposition {
+public:
+    /// Starts an empty (no groups) decomposition of `g`'s edge set.
+    explicit EdgeDecomposition(Graph g);
+
+    /// Adds a star group rooted at `root` containing `edges`. Every edge
+    /// must exist in the graph, be incident to `root`, and be unassigned.
+    /// Empty stars are rejected. Returns the new group's index.
+    GroupId add_star(ProcessId root, std::span<const Edge> edges);
+
+    /// Adds a triangle group. All three triangle edges must exist and be
+    /// unassigned. Returns the new group's index.
+    GroupId add_triangle(const Triangle& t);
+
+    /// Grows the system without changing the timestamp width d: adds a new
+    /// process with one channel per listed star group, each new edge
+    /// joining that group (its star root becomes the new process's peer).
+    /// This is the paper's client-join operation (Section 3.3): "if the
+    /// number of processes increases without changing the size of its edge
+    /// decomposition, the size of our vector clocks is constant". Every
+    /// listed group must be a star; duplicates are rejected. Returns the
+    /// new process id.
+    ProcessId add_leaf_process(std::span<const GroupId> star_groups);
+
+    /// Number of groups d — the timestamp width.
+    std::size_t size() const noexcept { return groups_.size(); }
+
+    /// True when every edge of the graph is assigned to some group, i.e.
+    /// the partition is complete per Definition 2.
+    bool complete() const noexcept { return assigned_count_ == graph_.num_edges(); }
+
+    /// Group index of the channel {a, b}. Throws when {a, b} is not an edge
+    /// or is not yet assigned. This is the g in "v_i[g]++" of Fig. 5.
+    GroupId group_of(ProcessId a, ProcessId b) const;
+
+    /// Group index by dense edge index; kNoGroup when unassigned.
+    GroupId group_of_edge_index(std::size_t edge_index) const;
+
+    const EdgeGroup& group(GroupId id) const;
+    std::span<const EdgeGroup> groups() const noexcept { return groups_; }
+
+    const Graph& graph() const noexcept { return graph_; }
+
+    std::size_t star_count() const noexcept { return star_count_; }
+    std::size_t triangle_count() const noexcept {
+        return groups_.size() - star_count_;
+    }
+
+    /// Human-readable listing, e.g. "E1 = star@2 {…}; E2 = triangle(0,1,4) {…}".
+    std::string to_string() const;
+
+private:
+    GroupId assign(const Edge& e, GroupId group);
+
+    Graph graph_;
+    std::vector<EdgeGroup> groups_;
+    std::vector<GroupId> assignment_;  // dense edge index -> group
+    std::size_t assigned_count_ = 0;
+    std::size_t star_count_ = 0;
+};
+
+}  // namespace syncts

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "common/ids.hpp"
+#include "graph/graph.hpp"
+#include "graph/triangles.hpp"
+
+/// \file edge_group.hpp
+/// One element of an edge decomposition (Definition 2 of the paper): a set
+/// of edges forming either a star (all edges share a root vertex) or a
+/// triangle (exactly three edges on three vertices). The online algorithm
+/// assigns one vector-clock component per group.
+
+namespace syncts {
+
+enum class GroupKind { star, triangle };
+
+struct EdgeGroup {
+    GroupKind kind = GroupKind::star;
+
+    /// Root vertex for star groups; kNoProcess for triangles.
+    ProcessId root = kNoProcess;
+
+    /// Corners for triangle groups; all-zero/unused for stars.
+    Triangle triangle{};
+
+    /// The edges assigned to this group.
+    std::vector<Edge> edges;
+};
+
+}  // namespace syncts

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "decomp/edge_decomposition.hpp"
+#include "graph/graph.hpp"
+
+/// \file greedy_decomposer.hpp
+/// The paper's approximation algorithm for edge decomposition (Fig. 7).
+///
+/// Repeatedly: (1) while a pendant vertex x exists, emit the star rooted at
+/// its neighbor y with all of y's remaining edges; (2) while a triangle
+/// (x,y,z) with degree(x) = degree(y) = 2 exists, emit it; (3) pick the edge
+/// (x,y) with the largest number of adjacent remaining edges and emit two
+/// stars, one rooted at y (all incident edges) and one rooted at x (the
+/// rest). Theorem 6: the result is at most twice the optimal size.
+/// Theorem 7: it is optimal on acyclic graphs. Runs in O(|V||E|).
+
+namespace syncts {
+
+/// Which of the three steps of Fig. 7 emitted a group — recorded so the
+/// FIG8 benchmark can print the sample run exactly as the paper narrates it.
+enum class GreedyStep { pendant_star, degree2_triangle, heavy_edge_stars };
+
+/// Step-3 pivot choice. The paper picks the edge with the largest number
+/// of adjacent edges but notes that "the correctness and the approximation
+/// ratio is independent of that choice" — `first_live` is the ablation
+/// (take the lowest-indexed remaining edge) used to measure how much the
+/// heuristic actually buys.
+enum class HeavyEdgeRule { most_adjacent, first_live };
+
+struct GreedyTraceEntry {
+    GreedyStep step;
+    GroupId group;
+    /// The witness for the step: the pendant edge (step 1), any triangle
+    /// edge (step 2), or the chosen heaviest edge (step 3).
+    Edge witness;
+};
+
+const char* to_string(GreedyStep step);
+
+/// Runs Fig. 7 on `g`. Deterministic: step 1 picks the smallest pendant
+/// vertex, step 2 the lexicographically smallest eligible triangle, and
+/// step 3 breaks adjacency ties by smallest dense edge index.
+EdgeDecomposition greedy_edge_decomposition(
+    const Graph& g, HeavyEdgeRule rule = HeavyEdgeRule::most_adjacent);
+
+/// Same, also appending one entry per emitted group to `trace`.
+EdgeDecomposition greedy_edge_decomposition_traced(
+    const Graph& g, std::vector<GreedyTraceEntry>& trace,
+    HeavyEdgeRule rule = HeavyEdgeRule::most_adjacent);
+
+}  // namespace syncts

@@ -1,0 +1,201 @@
+#include "graph/generators.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+namespace syncts::topology {
+
+Graph complete(std::size_t n) {
+    Graph g(n);
+    for (ProcessId i = 0; i < n; ++i) {
+        for (ProcessId j = i + 1; j < n; ++j) g.add_edge(i, j);
+    }
+    return g;
+}
+
+Graph star(std::size_t n) {
+    SYNCTS_REQUIRE(n >= 1, "star needs at least one vertex");
+    Graph g(n);
+    for (ProcessId leaf = 1; leaf < n; ++leaf) g.add_edge(0, leaf);
+    return g;
+}
+
+Graph path(std::size_t n) {
+    Graph g(n);
+    for (ProcessId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+    return g;
+}
+
+Graph ring(std::size_t n) {
+    SYNCTS_REQUIRE(n >= 3, "ring needs at least three vertices");
+    Graph g(n);
+    for (ProcessId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+    g.add_edge(static_cast<ProcessId>(n - 1), 0);
+    return g;
+}
+
+Graph triangle() {
+    Graph g(3);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(0, 2);
+    return g;
+}
+
+Graph disjoint_triangles(std::size_t count) {
+    Graph g(3 * count);
+    for (std::size_t t = 0; t < count; ++t) {
+        const auto base = static_cast<ProcessId>(3 * t);
+        g.add_edge(base, base + 1);
+        g.add_edge(base + 1, base + 2);
+        g.add_edge(base, base + 2);
+    }
+    return g;
+}
+
+Graph random_tree(std::size_t n, Rng& rng) {
+    Graph g(n);
+    for (ProcessId i = 1; i < n; ++i) {
+        const auto parent = static_cast<ProcessId>(rng.below(i));
+        g.add_edge(parent, i);
+    }
+    return g;
+}
+
+Graph kary_tree(std::size_t n, std::size_t arity) {
+    SYNCTS_REQUIRE(arity >= 1, "arity must be positive");
+    Graph g(n);
+    for (ProcessId i = 1; i < n; ++i) {
+        const auto parent = static_cast<ProcessId>((i - 1) / arity);
+        g.add_edge(parent, i);
+    }
+    return g;
+}
+
+Graph client_server(std::size_t servers, std::size_t clients,
+                    bool connect_servers) {
+    SYNCTS_REQUIRE(servers >= 1, "need at least one server");
+    Graph g(servers + clients);
+    if (connect_servers) {
+        for (ProcessId i = 0; i < servers; ++i) {
+            for (ProcessId j = i + 1; j < servers; ++j) g.add_edge(i, j);
+        }
+    }
+    for (std::size_t c = 0; c < clients; ++c) {
+        const auto client = static_cast<ProcessId>(servers + c);
+        for (ProcessId s = 0; s < servers; ++s) g.add_edge(s, client);
+    }
+    return g;
+}
+
+Graph grid(std::size_t width, std::size_t height) {
+    Graph g(width * height);
+    const auto at = [width](std::size_t x, std::size_t y) {
+        return static_cast<ProcessId>(y * width + x);
+    };
+    for (std::size_t y = 0; y < height; ++y) {
+        for (std::size_t x = 0; x < width; ++x) {
+            if (x + 1 < width) g.add_edge(at(x, y), at(x + 1, y));
+            if (y + 1 < height) g.add_edge(at(x, y), at(x, y + 1));
+        }
+    }
+    return g;
+}
+
+Graph hypercube(std::size_t dimension) {
+    SYNCTS_REQUIRE(dimension < 20, "hypercube dimension too large");
+    const std::size_t n = std::size_t{1} << dimension;
+    Graph g(n);
+    for (std::size_t v = 0; v < n; ++v) {
+        for (std::size_t bit = 0; bit < dimension; ++bit) {
+            const std::size_t w = v ^ (std::size_t{1} << bit);
+            if (v < w) {
+                g.add_edge(static_cast<ProcessId>(v),
+                           static_cast<ProcessId>(w));
+            }
+        }
+    }
+    return g;
+}
+
+Graph random_gnp(std::size_t n, double p, Rng& rng) {
+    SYNCTS_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+    Graph g(n);
+    for (ProcessId i = 0; i < n; ++i) {
+        for (ProcessId j = i + 1; j < n; ++j) {
+            if (rng.uniform01() < p) g.add_edge(i, j);
+        }
+    }
+    return g;
+}
+
+Graph random_gnm(std::size_t n, std::size_t m, Rng& rng) {
+    const std::size_t max_edges = n * (n - 1) / 2;
+    SYNCTS_REQUIRE(m <= max_edges, "too many edges requested");
+    Graph g(n);
+    while (g.num_edges() < m) {
+        const auto a = static_cast<ProcessId>(rng.below(n));
+        const auto b = static_cast<ProcessId>(rng.below(n));
+        if (a != b && !g.has_edge(a, b)) g.add_edge(a, b);
+    }
+    return g;
+}
+
+Graph random_connected(std::size_t n, std::size_t extra_edges, Rng& rng) {
+    Graph g = random_tree(n, rng);
+    const std::size_t max_edges = n * (n - 1) / 2;
+    const std::size_t target =
+        std::min(max_edges, g.num_edges() + extra_edges);
+    while (g.num_edges() < target) {
+        const auto a = static_cast<ProcessId>(rng.below(n));
+        const auto b = static_cast<ProcessId>(rng.below(n));
+        if (a != b && !g.has_edge(a, b)) g.add_edge(a, b);
+    }
+    return g;
+}
+
+Graph paper_fig2b() {
+    // Reconstruction of the paper's Fig. 2(b) topology. The figure image is
+    // not part of the provided text, so this graph is built to reproduce the
+    // Fig. 8 trace exactly as described in Section 3.3:
+    //   step 1 emits one star (a pendant vertex exists),
+    //   step 2 emits the triangle (e, f, g) whose corners e, f have degree 2,
+    //   step 3 picks the edge with the most adjacent edges and emits two
+    //          stars, leaving exactly the edge (j, k),
+    //   the loop re-enters step 1 and emits (j, k) as a star,
+    // for a total of 4 stars + 1 triangle — which equals the optimal
+    // decomposition reported for Fig. 8(f). Vertices a..k map to 0..10.
+    constexpr ProcessId a = 0, b = 1, c = 2, d = 3, e = 4, f = 5, g = 6,
+                        h = 7, i = 8, j = 9, k = 10;
+    Graph graph(11);
+    graph.add_edge(a, b);
+    graph.add_edge(b, c);
+    graph.add_edge(b, d);
+    graph.add_edge(e, f);
+    graph.add_edge(f, g);
+    graph.add_edge(e, g);
+    graph.add_edge(g, h);
+    graph.add_edge(h, j);
+    graph.add_edge(h, i);
+    graph.add_edge(j, k);
+    graph.add_edge(i, k);
+    graph.add_edge(g, i);
+    return graph;
+}
+
+Graph paper_fig4_tree() {
+    // Reconstruction of the paper's Fig. 4: a 20-process tree whose edges
+    // decompose into three stars E1, E2, E3. Three hub processes 0, 1, 2
+    // form a path; the remaining 17 processes are leaves split across the
+    // hubs. The optimal decomposition (three stars rooted at the hubs) is
+    // found by the greedy algorithm per Theorem 7.
+    Graph g(20);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    for (ProcessId leaf = 3; leaf <= 8; ++leaf) g.add_edge(0, leaf);
+    for (ProcessId leaf = 9; leaf <= 13; ++leaf) g.add_edge(1, leaf);
+    for (ProcessId leaf = 14; leaf <= 19; ++leaf) g.add_edge(2, leaf);
+    return g;
+}
+
+}  // namespace syncts::topology

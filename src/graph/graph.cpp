@@ -1,0 +1,144 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace syncts {
+
+Graph::Graph(std::size_t num_vertices) : adjacency_(num_vertices) {}
+
+std::uint64_t Graph::key_of(ProcessId a, ProcessId b) noexcept {
+    const auto lo = static_cast<std::uint64_t>(a < b ? a : b);
+    const auto hi = static_cast<std::uint64_t>(a < b ? b : a);
+    return (hi << 32) | lo;
+}
+
+std::size_t Graph::add_edge(ProcessId a, ProcessId b) {
+    SYNCTS_REQUIRE(a < num_vertices() && b < num_vertices(),
+                   "edge endpoint out of range");
+    const Edge e = Edge::make(a, b);
+    const auto [it, inserted] = edge_lookup_.emplace(key_of(a, b), edges_.size());
+    SYNCTS_REQUIRE(inserted, "duplicate edge");
+    edges_.push_back(e);
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+    return it->second;
+}
+
+ProcessId Graph::add_vertex() {
+    const auto id = static_cast<ProcessId>(adjacency_.size());
+    adjacency_.emplace_back();
+    return id;
+}
+
+bool Graph::has_edge(ProcessId a, ProcessId b) const noexcept {
+    if (a == b || a >= num_vertices() || b >= num_vertices()) return false;
+    return edge_lookup_.contains(key_of(a, b));
+}
+
+std::optional<std::size_t> Graph::edge_index(ProcessId a,
+                                             ProcessId b) const noexcept {
+    if (a == b || a >= num_vertices() || b >= num_vertices()) {
+        return std::nullopt;
+    }
+    const auto it = edge_lookup_.find(key_of(a, b));
+    if (it == edge_lookup_.end()) return std::nullopt;
+    return it->second;
+}
+
+std::span<const ProcessId> Graph::neighbors(ProcessId p) const {
+    SYNCTS_REQUIRE(p < num_vertices(), "vertex out of range");
+    return adjacency_[p];
+}
+
+std::size_t Graph::degree(ProcessId p) const {
+    SYNCTS_REQUIRE(p < num_vertices(), "vertex out of range");
+    return adjacency_[p].size();
+}
+
+bool Graph::is_acyclic() const {
+    // Iterative DFS over each component; a back edge to a non-parent vertex
+    // witnesses a cycle. Parallel edges are impossible by construction.
+    const std::size_t n = num_vertices();
+    std::vector<char> visited(n, 0);
+    std::vector<std::pair<ProcessId, ProcessId>> stack;  // (vertex, parent)
+    for (ProcessId root = 0; root < n; ++root) {
+        if (visited[root]) continue;
+        stack.emplace_back(root, kNoProcess);
+        visited[root] = 1;
+        while (!stack.empty()) {
+            const auto [v, parent] = stack.back();
+            stack.pop_back();
+            bool parent_skipped = false;
+            for (const ProcessId w : adjacency_[v]) {
+                if (w == parent && !parent_skipped) {
+                    // Skip the tree edge back to the parent exactly once.
+                    parent_skipped = true;
+                    continue;
+                }
+                if (visited[w]) return false;
+                visited[w] = 1;
+                stack.emplace_back(w, v);
+            }
+        }
+    }
+    return true;
+}
+
+bool Graph::is_connected() const {
+    const std::size_t n = num_vertices();
+    if (n <= 1) return true;
+    std::vector<char> visited(n, 0);
+    std::vector<ProcessId> stack{0};
+    visited[0] = 1;
+    std::size_t seen = 1;
+    while (!stack.empty()) {
+        const ProcessId v = stack.back();
+        stack.pop_back();
+        for (const ProcessId w : adjacency_[v]) {
+            if (!visited[w]) {
+                visited[w] = 1;
+                ++seen;
+                stack.push_back(w);
+            }
+        }
+    }
+    return seen == n;
+}
+
+bool Graph::is_star() const {
+    if (edges_.empty()) return true;
+    // Candidate centers are the endpoints of the first edge; every other
+    // edge must share whichever candidate survives.
+    for (const ProcessId center : {edges_[0].u, edges_[0].v}) {
+        if (std::ranges::all_of(edges_, [center](const Edge& e) {
+                return e.touches(center);
+            })) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool Graph::is_triangle() const {
+    if (edges_.size() != 3) return false;
+    const Edge& a = edges_[0];
+    const Edge& b = edges_[1];
+    const Edge& c = edges_[2];
+    // Three distinct normalized edges form a triangle iff they span exactly
+    // three vertices.
+    std::vector<ProcessId> vertices{a.u, a.v, b.u, b.v, c.u, c.v};
+    std::ranges::sort(vertices);
+    const auto [first, last] = std::ranges::unique(vertices);
+    vertices.erase(first, last);
+    return vertices.size() == 3;
+}
+
+std::string Graph::to_string() const {
+    std::ostringstream os;
+    os << "Graph(n=" << num_vertices() << ", m=" << num_edges() << ')';
+    return os.str();
+}
+
+}  // namespace syncts

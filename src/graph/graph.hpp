@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/ids.hpp"
+
+/// \file graph.hpp
+/// Undirected communication topology of a synchronous system.
+///
+/// The paper models the system as an undirected graph G = (V, E) where
+/// vertices are processes and (Pi, Pj) ∈ E when Pi and Pj can communicate
+/// directly (Section 3.1). Edge decompositions, vertex covers, and the size
+/// of the online algorithm's vectors are all derived from this graph.
+
+namespace syncts {
+
+/// An undirected edge, stored normalized with u < v.
+struct Edge {
+    ProcessId u = 0;
+    ProcessId v = 0;
+
+    /// Builds a normalized edge; a == b is rejected (no self-loops: a process
+    /// does not send synchronous messages to itself).
+    static Edge make(ProcessId a, ProcessId b) {
+        SYNCTS_REQUIRE(a != b, "self-loop edges are not allowed");
+        return a < b ? Edge{a, b} : Edge{b, a};
+    }
+
+    /// True when `p` is one of the two endpoints.
+    bool touches(ProcessId p) const noexcept { return u == p || v == p; }
+
+    /// The endpoint that is not `p`; requires touches(p).
+    ProcessId other(ProcessId p) const {
+        SYNCTS_REQUIRE(touches(p), "process is not an endpoint of this edge");
+        return u == p ? v : u;
+    }
+
+    friend bool operator==(const Edge&, const Edge&) = default;
+    friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// Simple undirected graph over a fixed vertex set {0, .., n-1}.
+///
+/// Vertices are created up front; edges are added incrementally. Parallel
+/// edges and self-loops are rejected. Edges are indexed densely 0..m-1 in
+/// insertion order; that index is stable and used by the decomposition
+/// module to map edges to groups.
+class Graph {
+public:
+    Graph() = default;
+
+    /// Creates an edgeless graph on `num_vertices` vertices.
+    explicit Graph(std::size_t num_vertices);
+
+    std::size_t num_vertices() const noexcept { return adjacency_.size(); }
+    std::size_t num_edges() const noexcept { return edges_.size(); }
+
+    /// Adds edge {a, b}; returns its dense index. Throws on self-loops,
+    /// out-of-range endpoints, or duplicates.
+    std::size_t add_edge(ProcessId a, ProcessId b);
+
+    /// Adds an isolated vertex; returns its id. Supports growing systems
+    /// (e.g. a new client joining a client-server topology).
+    ProcessId add_vertex();
+
+    bool has_edge(ProcessId a, ProcessId b) const noexcept;
+
+    /// Dense index of edge {a, b}, or nullopt when absent.
+    std::optional<std::size_t> edge_index(ProcessId a, ProcessId b) const noexcept;
+
+    /// The edge with dense index `index`.
+    const Edge& edge(std::size_t index) const {
+        SYNCTS_REQUIRE(index < edges_.size(), "edge index out of range");
+        return edges_[index];
+    }
+
+    /// All edges in insertion order.
+    std::span<const Edge> edges() const noexcept { return edges_; }
+
+    /// Neighbors of `p` in insertion order of the incident edges.
+    std::span<const ProcessId> neighbors(ProcessId p) const;
+
+    std::size_t degree(ProcessId p) const;
+
+    /// True when the graph has no cycles (i.e., it is a forest).
+    bool is_acyclic() const;
+
+    /// True when every vertex is reachable from every other (n <= 1 counts
+    /// as connected).
+    bool is_connected() const;
+
+    /// True when there is a vertex incident to every edge (Section 3.1).
+    /// Edgeless graphs are vacuously stars.
+    bool is_star() const;
+
+    /// True when the graph has exactly 3 edges forming a triangle.
+    bool is_triangle() const;
+
+    /// Human-readable summary, e.g. "Graph(n=5, m=10)".
+    std::string to_string() const;
+
+private:
+    static std::uint64_t key_of(ProcessId a, ProcessId b) noexcept;
+
+    std::vector<Edge> edges_;
+    std::vector<std::vector<ProcessId>> adjacency_;
+    std::unordered_map<std::uint64_t, std::size_t> edge_lookup_;
+};
+
+}  // namespace syncts

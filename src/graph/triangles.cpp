@@ -1,0 +1,48 @@
+#include "graph/triangles.hpp"
+
+#include <algorithm>
+
+namespace syncts {
+
+Triangle Triangle::make(ProcessId a, ProcessId b, ProcessId c) {
+    SYNCTS_REQUIRE(a != b && b != c && a != c,
+                   "triangle corners must be distinct");
+    Triangle t{{a, b, c}};
+    std::ranges::sort(t.corners);
+    return t;
+}
+
+std::vector<Triangle> all_triangles(const Graph& g) {
+    std::vector<Triangle> result;
+    for (const Edge& e : g.edges()) {
+        // Scan the smaller endpoint's neighborhood; report each triangle
+        // once by requiring the third corner to exceed both endpoints.
+        const ProcessId low_deg_end =
+            g.degree(e.u) <= g.degree(e.v) ? e.u : e.v;
+        const ProcessId other_end = e.other(low_deg_end);
+        for (const ProcessId w : g.neighbors(low_deg_end)) {
+            if (w > e.u && w > e.v && g.has_edge(w, other_end)) {
+                result.push_back(Triangle::make(e.u, e.v, w));
+            }
+        }
+    }
+    std::ranges::sort(result);
+    return result;
+}
+
+std::vector<Triangle> triangles_containing(const Graph& g, ProcessId u,
+                                           ProcessId v) {
+    std::vector<Triangle> result;
+    if (!g.has_edge(u, v)) return result;
+    const ProcessId low_deg_end = g.degree(u) <= g.degree(v) ? u : v;
+    const ProcessId other_end = low_deg_end == u ? v : u;
+    for (const ProcessId w : g.neighbors(low_deg_end)) {
+        if (w != other_end && g.has_edge(w, other_end)) {
+            result.push_back(Triangle::make(u, v, w));
+        }
+    }
+    std::ranges::sort(result);
+    return result;
+}
+
+}  // namespace syncts

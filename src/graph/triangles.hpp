@@ -1,0 +1,35 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "graph/graph.hpp"
+
+/// \file triangles.hpp
+/// Triangle enumeration used by the decomposition algorithms: the greedy
+/// decomposer's step 2 looks for triangles whose two corners have degree 2,
+/// and the exact decomposer branches over triangles containing a chosen edge.
+
+namespace syncts {
+
+/// A triangle identified by its three corners, stored sorted ascending.
+struct Triangle {
+    std::array<ProcessId, 3> corners{};
+
+    static Triangle make(ProcessId a, ProcessId b, ProcessId c);
+
+    friend bool operator==(const Triangle&, const Triangle&) = default;
+    friend auto operator<=>(const Triangle&, const Triangle&) = default;
+};
+
+/// All triangles of `g`, each listed once, in lexicographic corner order.
+/// Runs in O(sum over edges of min-degree endpoint's degree).
+std::vector<Triangle> all_triangles(const Graph& g);
+
+/// All triangles containing the edge {u, v} (i.e., common neighbors of u
+/// and v). Returns an empty vector when {u, v} is not an edge.
+std::vector<Triangle> triangles_containing(const Graph& g, ProcessId u,
+                                           ProcessId v);
+
+}  // namespace syncts

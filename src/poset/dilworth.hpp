@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "poset/poset.hpp"
+
+/// \file dilworth.hpp
+/// Dilworth decomposition: a minimum partition of a poset into chains, and
+/// with it the poset's width (Theorem 8 uses width(M, ↦) ≤ ⌊N/2⌋, and the
+/// offline algorithm of Fig. 9 builds one linear extension per chain).
+///
+/// Construction: Fulkerson's reduction — split every element x into x_left
+/// and x_right, add bipartite edge (a_left, b_right) for every a < b, and
+/// take a maximum matching. Matched pairs stitch into chains; the number of
+/// chains is n − |matching|, which by Dilworth's theorem equals the width.
+
+namespace syncts {
+
+struct ChainPartition {
+    /// chains[c] lists the elements of chain c in increasing poset order.
+    std::vector<std::vector<std::size_t>> chains;
+
+    /// chain_of[x] is the index of the chain containing element x.
+    std::vector<std::size_t> chain_of;
+
+    std::size_t width() const noexcept { return chains.size(); }
+};
+
+/// Minimum chain partition of a closed poset.
+ChainPartition dilworth_chain_partition(const Poset& poset);
+
+/// width(P) — the size of the largest antichain (== minimum chain count).
+std::size_t poset_width(const Poset& poset);
+
+/// A maximum antichain, extracted via König's theorem from the same
+/// matching. Its size equals poset_width(poset).
+std::vector<std::size_t> maximum_antichain(const Poset& poset);
+
+/// True when the elements are pairwise incomparable.
+bool is_antichain(const Poset& poset, const std::vector<std::size_t>& elems);
+
+/// True when the chains partition 0..n-1 and each chain is totally ordered
+/// in increasing poset order.
+bool is_chain_partition(const Poset& poset, const ChainPartition& partition);
+
+}  // namespace syncts

@@ -1,0 +1,103 @@
+#include "poset/linear_extension.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace syncts {
+
+std::vector<std::size_t> linear_extension(const Poset& poset) {
+    const std::size_t n = poset.size();
+    std::vector<std::size_t> remaining_preds(n);
+    for (std::size_t v = 0; v < n; ++v) {
+        remaining_preds[v] = poset.down_set(v).count();
+    }
+    // Kahn with an always-sorted ready list: pick the smallest ready index.
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    std::vector<char> emitted(n, 0);
+    for (std::size_t step = 0; step < n; ++step) {
+        std::size_t pick = n;
+        for (std::size_t v = 0; v < n; ++v) {
+            if (!emitted[v] && remaining_preds[v] == 0) {
+                pick = v;
+                break;
+            }
+        }
+        SYNCTS_ENSURE(pick < n, "closed poset has no minimal element");
+        emitted[pick] = 1;
+        order.push_back(pick);
+        poset.up_set(pick).for_each(
+            [&](std::size_t w) { --remaining_preds[w]; });
+    }
+    return order;
+}
+
+std::vector<std::size_t> chain_low_extension(
+    const Poset& poset, const std::vector<std::size_t>& chain) {
+    const std::size_t n = poset.size();
+    std::vector<char> in_chain(n, 0);
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+        SYNCTS_REQUIRE(chain[i] < n, "chain element out of range");
+        SYNCTS_REQUIRE(!in_chain[chain[i]], "duplicate chain element");
+        in_chain[chain[i]] = 1;
+        if (i + 1 < chain.size()) {
+            SYNCTS_REQUIRE(poset.less(chain[i], chain[i + 1]),
+                           "chain elements must be increasing in the poset");
+        }
+    }
+
+    // Augmented in-degree of u: |down(u)| plus, for u outside the chain,
+    // the number of chain elements incomparable to u.
+    std::vector<std::size_t> remaining_preds(n);
+    for (std::size_t u = 0; u < n; ++u) {
+        remaining_preds[u] = poset.down_set(u).count();
+        if (in_chain[u]) continue;
+        for (const std::size_t v : chain) {
+            if (poset.incomparable(u, v)) ++remaining_preds[u];
+        }
+    }
+
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    std::vector<char> emitted(n, 0);
+    for (std::size_t step = 0; step < n; ++step) {
+        // Prefer ready chain elements (keeps the chain as low as possible,
+        // though any topological order of the augmented DAG is valid).
+        std::size_t pick = n;
+        for (std::size_t v = 0; v < n; ++v) {
+            if (emitted[v] || remaining_preds[v] != 0) continue;
+            if (in_chain[v]) {
+                pick = v;
+                break;
+            }
+            if (pick == n) pick = v;
+        }
+        SYNCTS_ENSURE(pick < n,
+                      "augmented relation has a cycle; chain was not a chain");
+        emitted[pick] = 1;
+        order.push_back(pick);
+        poset.up_set(pick).for_each([&](std::size_t w) {
+            --remaining_preds[w];
+        });
+        if (in_chain[pick]) {
+            for (std::size_t u = 0; u < n; ++u) {
+                if (!in_chain[u] && poset.incomparable(u, pick)) {
+                    --remaining_preds[u];
+                }
+            }
+        }
+    }
+    return order;
+}
+
+std::vector<std::size_t> positions_of(const std::vector<std::size_t>& order) {
+    std::vector<std::size_t> position(order.size(), 0);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        SYNCTS_REQUIRE(order[i] < order.size(), "order is not a permutation");
+        position[order[i]] = i;
+    }
+    return position;
+}
+
+}  // namespace syncts

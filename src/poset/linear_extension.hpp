@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "poset/poset.hpp"
+
+/// \file linear_extension.hpp
+/// Linear extensions of a closed poset: plain topological orders and the
+/// "chain as low as possible" extensions the realizer construction needs.
+
+namespace syncts {
+
+/// Any linear extension (Kahn over the closed relation, smallest-index
+/// tie-break, so the result is deterministic).
+std::vector<std::size_t> linear_extension(const Poset& poset);
+
+/// A linear extension of the *augmented* relation
+///     P ∪ { (v, u) : v ∈ chain, u incomparable to v },
+/// i.e. an extension of P in which every chain element is placed below
+/// every element it is incomparable with. The augmented relation is acyclic
+/// whenever `chain` is a chain of P (the standard lemma behind dim ≤ width):
+/// a cycle would have to climb strictly through the chain forever.
+/// Throws when `chain` is not a chain of P.
+std::vector<std::size_t> chain_low_extension(
+    const Poset& poset, const std::vector<std::size_t>& chain);
+
+/// Positions of each element in an order: result[element] = index.
+std::vector<std::size_t> positions_of(const std::vector<std::size_t>& order);
+
+}  // namespace syncts

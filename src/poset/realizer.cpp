@@ -1,0 +1,83 @@
+#include "poset/realizer.hpp"
+
+#include "common/check.hpp"
+#include "poset/linear_extension.hpp"
+
+namespace syncts {
+
+Realizer chain_realizer(const Poset& poset) {
+    Realizer realizer;
+    if (poset.size() == 0) return realizer;
+    const ChainPartition partition = dilworth_chain_partition(poset);
+    realizer.extensions.reserve(partition.chains.size());
+    for (const auto& chain : partition.chains) {
+        realizer.extensions.push_back(chain_low_extension(poset, chain));
+    }
+    return realizer;
+}
+
+bool realizes(const Poset& poset, const Realizer& realizer) {
+    const std::size_t n = poset.size();
+    if (n == 0) return true;
+    if (realizer.extensions.empty()) return poset.relation_count() == 0 && n <= 1;
+
+    std::vector<std::vector<std::size_t>> positions;
+    positions.reserve(realizer.size());
+    for (const auto& ext : realizer.extensions) {
+        if (!poset.is_linear_extension(ext)) return false;
+        positions.push_back(positions_of(ext));
+    }
+    // Intersection must add no order beyond P: every incomparable pair must
+    // be reversed somewhere.
+    for (std::size_t a = 0; a < n; ++a) {
+        for (std::size_t b = a + 1; b < n; ++b) {
+            if (!poset.incomparable(a, b)) continue;
+            bool a_first_everywhere = true;
+            bool b_first_everywhere = true;
+            for (const auto& pos : positions) {
+                if (pos[a] < pos[b]) b_first_everywhere = false;
+                if (pos[b] < pos[a]) a_first_everywhere = false;
+            }
+            if (a_first_everywhere || b_first_everywhere) return false;
+        }
+    }
+    return true;
+}
+
+Realizer minimize_realizer(const Poset& poset, Realizer realizer) {
+    SYNCTS_REQUIRE(realizes(poset, realizer),
+                   "can only minimize a valid realizer");
+    // Try dropping extensions one at a time, largest index first so the
+    // earlier (often more structured) extensions are preferred keepers.
+    for (std::size_t i = realizer.extensions.size(); i-- > 0;) {
+        if (realizer.extensions.size() == 1) break;
+        Realizer candidate;
+        candidate.extensions.reserve(realizer.extensions.size() - 1);
+        for (std::size_t j = 0; j < realizer.extensions.size(); ++j) {
+            if (j != i) candidate.extensions.push_back(realizer.extensions[j]);
+        }
+        if (realizes(poset, candidate)) {
+            realizer = std::move(candidate);
+        }
+    }
+    return realizer;
+}
+
+std::vector<std::vector<std::uint64_t>> realizer_timestamps(
+    const Realizer& realizer) {
+    SYNCTS_REQUIRE(!realizer.extensions.empty(),
+                   "realizer must contain at least one extension");
+    const std::size_t n = realizer.extensions.front().size();
+    std::vector<std::vector<std::uint64_t>> stamps(
+        n, std::vector<std::uint64_t>(realizer.size(), 0));
+    for (std::size_t i = 0; i < realizer.size(); ++i) {
+        const auto& ext = realizer.extensions[i];
+        SYNCTS_REQUIRE(ext.size() == n, "extensions have differing sizes");
+        for (std::size_t rank = 0; rank < n; ++rank) {
+            stamps[ext[rank]][i] = rank;
+        }
+    }
+    return stamps;
+}
+
+}  // namespace syncts

@@ -1,0 +1,61 @@
+#include "runtime/async_sim.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace syncts {
+
+AsyncSimulator::AsyncSimulator(std::size_t num_processes, std::uint64_t seed)
+    : handlers_(num_processes), rng_(seed) {
+    set_fixed_latency(1);
+}
+
+void AsyncSimulator::set_fixed_latency(std::uint64_t latency) {
+    SYNCTS_REQUIRE(latency > 0, "latency must be positive");
+    latency_ = [latency](const Packet&, Rng&) { return latency; };
+}
+
+void AsyncSimulator::set_uniform_latency(std::uint64_t lo, std::uint64_t hi) {
+    SYNCTS_REQUIRE(lo > 0 && lo <= hi, "invalid latency range");
+    latency_ = [lo, hi](const Packet&, Rng& rng) {
+        return rng.between(lo, hi);
+    };
+}
+
+void AsyncSimulator::set_latency_model(LatencyModel model) {
+    SYNCTS_REQUIRE(model != nullptr, "latency model must be callable");
+    latency_ = std::move(model);
+}
+
+void AsyncSimulator::on_deliver(ProcessId p, Handler handler) {
+    SYNCTS_REQUIRE(p < handlers_.size(), "process out of range");
+    handlers_[p] = std::move(handler);
+}
+
+void AsyncSimulator::send(std::uint64_t now, Packet packet) {
+    SYNCTS_REQUIRE(packet.destination < handlers_.size(),
+                   "packet destination out of range");
+    const std::uint64_t latency = latency_(packet, rng_);
+    SYNCTS_REQUIRE(latency > 0, "latency model returned zero");
+    queue_.push({now + latency, next_seq_++, std::move(packet)});
+}
+
+std::uint64_t AsyncSimulator::run(std::uint64_t max_events) {
+    std::uint64_t now = 0;
+    while (!queue_.empty()) {
+        SYNCTS_REQUIRE(delivered_ < max_events,
+                       "event budget exhausted: protocol livelock?");
+        const Scheduled next = queue_.top();
+        queue_.pop();
+        now = next.time;
+        ++delivered_;
+        const Handler& handler = handlers_[next.packet.destination];
+        SYNCTS_ENSURE(handler != nullptr,
+                      "packet delivered to a process with no handler");
+        handler(now, next.packet);
+    }
+    return now;
+}
+
+}  // namespace syncts

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+
+/// \file async_sim.hpp
+/// A deterministic discrete-event simulator for an asynchronous
+/// point-to-point network: packets carry opaque payloads, experience
+/// per-packet latencies, and are delivered to per-process handlers in
+/// timestamp order. This is the substrate *underneath* synchronous
+/// messages — the paper (citing Murty & Garg) notes that implementing a
+/// synchronous message requires the sender to wait for an acknowledgement;
+/// runtime/synchronizer.hpp builds exactly that protocol on top of this
+/// network.
+///
+/// Determinism: ties in delivery time break by send sequence number, and
+/// latencies come from a seeded Rng, so a run is a pure function of
+/// (programs, seed).
+
+namespace syncts {
+
+/// One packet in flight. `kind` and `body` are protocol-defined.
+struct Packet {
+    ProcessId source = 0;
+    ProcessId destination = 0;
+    std::uint32_t kind = 0;
+    std::uint64_t tag = 0;              // protocol correlation id
+    std::vector<std::uint64_t> body;    // numeric payload (e.g. a vector)
+};
+
+class AsyncSimulator {
+public:
+    /// Latency model: returns the packet's transit time (> 0).
+    using LatencyModel = std::function<std::uint64_t(const Packet&, Rng&)>;
+
+    /// Handler invoked at delivery time on the destination process.
+    using Handler = std::function<void(std::uint64_t now, const Packet&)>;
+
+    AsyncSimulator(std::size_t num_processes, std::uint64_t seed);
+
+    /// Fixed latency for every packet.
+    void set_fixed_latency(std::uint64_t latency);
+
+    /// Uniform random latency in [lo, hi].
+    void set_uniform_latency(std::uint64_t lo, std::uint64_t hi);
+
+    void set_latency_model(LatencyModel model);
+
+    /// Registers the delivery handler for process p (one per process).
+    void on_deliver(ProcessId p, Handler handler);
+
+    /// Queues a packet for delivery at now + latency.
+    void send(std::uint64_t now, Packet packet);
+
+    /// Runs until the event queue drains; returns the final virtual time.
+    /// `max_events` guards against protocol bugs that flood the network.
+    std::uint64_t run(std::uint64_t max_events = 10'000'000);
+
+    std::uint64_t packets_delivered() const noexcept { return delivered_; }
+
+private:
+    struct Scheduled {
+        std::uint64_t time;
+        std::uint64_t seq;
+        Packet packet;
+        friend bool operator>(const Scheduled& a, const Scheduled& b) {
+            return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+        }
+    };
+
+    std::vector<Handler> handlers_;
+    std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>>
+        queue_;
+    LatencyModel latency_;
+    Rng rng_;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t delivered_ = 0;
+};
+
+}  // namespace syncts

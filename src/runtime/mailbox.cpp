@@ -1,0 +1,101 @@
+#include "runtime/mailbox.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace syncts {
+
+void Mailbox::Accepted::complete(VectorTimestamp acknowledgement,
+                                 std::uint64_t seq) {
+    SYNCTS_REQUIRE(offer_ != nullptr, "offer already completed or moved-from");
+    Offer* offer = std::exchange(offer_, nullptr);
+    // Notify *while holding* the mutex: the waiting sender owns the Offer
+    // and destroys it the moment it unblocks, so the notify must complete
+    // before the waiter can re-acquire the lock and leave wait().
+    const std::lock_guard lock(offer->done_mutex);
+    offer->seq = seq;
+    offer->acknowledgement = std::move(acknowledgement);
+    offer->done_cv.notify_one();
+}
+
+void Mailbox::Accepted::abandon() noexcept {
+    Offer* offer = std::exchange(offer_, nullptr);
+    if (offer == nullptr) return;
+    // Same destruction-race discipline as complete().
+    const std::lock_guard lock(offer->done_mutex);
+    offer->aborted = true;
+    offer->done_cv.notify_one();
+}
+
+Mailbox::Accepted& Mailbox::Accepted::operator=(Accepted&& other) noexcept {
+    if (this != &other) {
+        abandon();
+        offer_ = std::exchange(other.offer_, nullptr);
+    }
+    return *this;
+}
+
+Mailbox::Accepted::~Accepted() { abandon(); }
+
+std::pair<VectorTimestamp, std::uint64_t> Mailbox::offer_and_wait(
+    ProcessId sender, std::string payload, const VectorTimestamp& piggyback) {
+    Offer offer;
+    offer.sender = sender;
+    offer.payload = std::move(payload);
+    offer.piggyback = piggyback;
+    {
+        const std::lock_guard lock(mutex_);
+        if (closed_) throw MailboxClosed();
+        queue_.push_back(&offer);
+    }
+    offer_cv_.notify_all();
+
+    std::unique_lock done_lock(offer.done_mutex);
+    offer.done_cv.wait(done_lock, [&] {
+        return offer.acknowledgement.has_value() || offer.aborted;
+    });
+    if (offer.aborted) throw MailboxClosed();
+    return {std::move(*offer.acknowledgement), offer.seq};
+}
+
+Mailbox::Accepted Mailbox::accept(std::optional<ProcessId> from) {
+    std::unique_lock lock(mutex_);
+    for (;;) {
+        const auto it = std::ranges::find_if(queue_, [&](Offer* o) {
+            return !from.has_value() || o->sender == *from;
+        });
+        if (it != queue_.end()) {
+            Offer* offer = *it;
+            queue_.erase(it);
+            return Accepted(offer);
+        }
+        if (closed_) throw MailboxClosed();
+        offer_cv_.wait(lock);
+    }
+}
+
+bool Mailbox::has_offer(std::optional<ProcessId> from) {
+    const std::lock_guard lock(mutex_);
+    return std::ranges::any_of(queue_, [&](Offer* o) {
+        return !from.has_value() || o->sender == *from;
+    });
+}
+
+void Mailbox::close() {
+    std::deque<Offer*> orphaned;
+    {
+        const std::lock_guard lock(mutex_);
+        closed_ = true;
+        orphaned.swap(queue_);
+    }
+    offer_cv_.notify_all();
+    for (Offer* offer : orphaned) {
+        // Notify under the lock — see Accepted::complete().
+        const std::lock_guard lock(offer->done_mutex);
+        offer->aborted = true;
+        offer->done_cv.notify_one();
+    }
+}
+
+}  // namespace syncts

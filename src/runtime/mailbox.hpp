@@ -1,0 +1,108 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "clocks/vector_timestamp.hpp"
+#include "common/ids.hpp"
+
+/// \file mailbox.hpp
+/// The rendezvous primitive underneath the synchronous runtime.
+///
+/// A synchronous send is an offer posted to the receiver's mailbox; the
+/// sender then blocks until the receiver accepts the offer and completes it
+/// with an acknowledgement vector (Fig. 5's acknowledgement message) plus
+/// the rendezvous' global sequence number. The receiver blocks in `accept`
+/// until a matching offer arrives. This is the blocking-send semantics of
+/// CSP / Ada rendezvous / synchronous RPC that the paper assumes,
+/// implemented with a mutex + condition variables.
+
+namespace syncts {
+
+/// Thrown by blocked senders/receivers when the network shuts down.
+class MailboxClosed : public std::runtime_error {
+public:
+    MailboxClosed() : std::runtime_error("mailbox closed") {}
+};
+
+class Mailbox {
+public:
+    /// The sender-visible half of one rendezvous. Lives on the sending
+    /// thread's stack for the duration of the rendezvous.
+    struct Offer {
+        ProcessId sender = 0;
+        std::string payload;
+        VectorTimestamp piggyback;
+
+        // Completion slot.
+        std::mutex done_mutex;
+        std::condition_variable done_cv;
+        std::optional<VectorTimestamp> acknowledgement;
+        std::uint64_t seq = 0;
+        bool aborted = false;
+    };
+
+    /// Receiver-visible view of an accepted offer. Move-only RAII: the
+    /// receiver should call complete() exactly once to release the sender;
+    /// if the handle is destroyed without completing (receiver unwound by
+    /// an exception), the sender is released with MailboxClosed instead of
+    /// hanging. payload()/piggyback() must not be touched after complete().
+    class Accepted {
+    public:
+        explicit Accepted(Offer* offer) : offer_(offer) {}
+        Accepted(Accepted&& other) noexcept
+            : offer_(std::exchange(other.offer_, nullptr)) {}
+        Accepted& operator=(Accepted&& other) noexcept;
+        Accepted(const Accepted&) = delete;
+        Accepted& operator=(const Accepted&) = delete;
+        ~Accepted();
+
+        ProcessId sender() const noexcept { return offer_->sender; }
+        const std::string& payload() const noexcept { return offer_->payload; }
+        const VectorTimestamp& piggyback() const noexcept {
+            return offer_->piggyback;
+        }
+
+        /// Sends the acknowledgement (and the rendezvous' global sequence
+        /// number) back, unblocking the sender.
+        void complete(VectorTimestamp acknowledgement, std::uint64_t seq);
+
+    private:
+        void abandon() noexcept;
+
+        Offer* offer_;
+    };
+
+    /// Sender side: posts the offer and blocks until the receiver completes
+    /// it. Returns (acknowledgement vector, global sequence number). Throws
+    /// MailboxClosed when the mailbox shuts down while waiting.
+    std::pair<VectorTimestamp, std::uint64_t> offer_and_wait(
+        ProcessId sender, std::string payload,
+        const VectorTimestamp& piggyback);
+
+    /// Receiver side: blocks until an offer (from `from`, or from anyone
+    /// when nullopt) is available, removes it from the queue and returns
+    /// it. Throws MailboxClosed on shutdown.
+    Accepted accept(std::optional<ProcessId> from);
+
+    /// Non-blocking probe: true when a matching offer is queued.
+    bool has_offer(std::optional<ProcessId> from);
+
+    /// Wakes all blocked parties with MailboxClosed and rejects future
+    /// traffic. Pending unaccepted offers are aborted.
+    void close();
+
+private:
+    std::mutex mutex_;
+    std::condition_variable offer_cv_;
+    std::deque<Offer*> queue_;
+    bool closed_ = false;
+};
+
+}  // namespace syncts

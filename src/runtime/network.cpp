@@ -1,0 +1,205 @@
+#include "runtime/network.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/check.hpp"
+#include "decomp/cover_decomposer.hpp"
+
+namespace syncts {
+
+TimestampedNetwork::TimestampedNetwork(
+    std::shared_ptr<const EdgeDecomposition> decomposition)
+    : decomposition_(std::move(decomposition)) {
+    SYNCTS_REQUIRE(decomposition_ != nullptr, "decomposition must be set");
+    SYNCTS_REQUIRE(decomposition_->complete(),
+                   "decomposition must cover every channel");
+    mailboxes_.reserve(num_processes());
+    for (std::size_t p = 0; p < num_processes(); ++p) {
+        mailboxes_.push_back(std::make_unique<Mailbox>());
+    }
+}
+
+TimestampedNetwork::TimestampedNetwork(const Graph& topology)
+    : TimestampedNetwork(std::make_shared<const EdgeDecomposition>(
+          default_decomposition(topology))) {}
+
+std::size_t TimestampedNetwork::num_processes() const noexcept {
+    return decomposition_->graph().num_vertices();
+}
+
+Mailbox& TimestampedNetwork::mailbox(ProcessId p) {
+    SYNCTS_REQUIRE(p < mailboxes_.size(), "process id out of range");
+    return *mailboxes_[p];
+}
+
+namespace {
+
+/// RAII counter bump for blocked-state tracking.
+class ScopedCount {
+public:
+    explicit ScopedCount(std::atomic<std::size_t>& counter)
+        : counter_(counter) {
+        counter_.fetch_add(1);
+    }
+    ~ScopedCount() { counter_.fetch_sub(1); }
+    ScopedCount(const ScopedCount&) = delete;
+    ScopedCount& operator=(const ScopedCount&) = delete;
+
+private:
+    std::atomic<std::size_t>& counter_;
+};
+
+}  // namespace
+
+std::pair<VectorTimestamp, std::uint64_t> TimestampedNetwork::rendezvous_send(
+    ProcessId from, ProcessId to, std::string payload,
+    const VectorTimestamp& piggyback) {
+    SYNCTS_REQUIRE(decomposition_->graph().has_edge(from, to),
+                   "no channel between sender and receiver in the topology");
+    const ScopedCount blocked(blocked_);
+    return mailbox(to).offer_and_wait(from, std::move(payload), piggyback);
+}
+
+Mailbox::Accepted TimestampedNetwork::accept_for(
+    ProcessId self, std::optional<ProcessId> from) {
+    const ScopedCount blocked(blocked_);
+    return mailbox(self).accept(from);
+}
+
+void TimestampedNetwork::close_all() {
+    for (const auto& box : mailboxes_) box->close();
+}
+
+RunRecord TimestampedNetwork::run(const std::vector<ProcessProgram>& programs) {
+    const std::size_t n = num_processes();
+    SYNCTS_REQUIRE(programs.size() == n, "one program per process required");
+    seq_.store(0);
+    blocked_.store(0);
+    finished_.store(0);
+    deadlocked_.store(false);
+
+    std::vector<std::unique_ptr<ProcessContext>> contexts;
+    contexts.reserve(n);
+    for (ProcessId p = 0; p < n; ++p) {
+        contexts.push_back(
+            std::make_unique<ProcessContext>(p, *this, decomposition_));
+    }
+
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    const auto report_error = [&](std::exception_ptr error) {
+        bool is_first = false;
+        {
+            const std::lock_guard lock(error_mutex);
+            if (!first_error) {
+                first_error = error;
+                is_first = true;
+            }
+        }
+        // Unblock everyone so the run can unwind. Secondary MailboxClosed
+        // exceptions in other processes are expected and swallowed below.
+        if (is_first) close_all();
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (ProcessId p = 0; p < n; ++p) {
+        threads.emplace_back([&, p] {
+            try {
+                programs[p](*contexts[p]);
+            } catch (const MailboxClosed&) {
+                // Shutdown ripple; the primary error is already recorded
+                // (or this is a watchdog-initiated teardown).
+            } catch (...) {
+                report_error(std::current_exception());
+            }
+            finished_.fetch_add(1);
+        });
+    }
+
+    // Deadlock watchdog: if every unfinished process is blocked and no
+    // rendezvous completes across a grace period, tear the network down.
+    std::thread watchdog([&] {
+        using namespace std::chrono_literals;
+        std::uint64_t last_seq = seq_.load();
+        int stable_polls = 0;
+        while (finished_.load() < n) {
+            std::this_thread::sleep_for(10ms);
+            const std::size_t done = finished_.load();
+            if (done >= n) break;
+            const std::uint64_t current_seq = seq_.load();
+            const bool all_blocked = blocked_.load() + done >= n;
+            if (all_blocked && current_seq == last_seq) {
+                if (++stable_polls >= 20) {  // ~200ms of no progress
+                    deadlocked_.store(true);
+                    report_error(std::make_exception_ptr(NetworkDeadlock()));
+                    break;
+                }
+            } else {
+                stable_polls = 0;
+            }
+            last_seq = current_seq;
+        }
+    });
+
+    for (auto& t : threads) t.join();
+    watchdog.join();
+
+    if (first_error) std::rethrow_exception(first_error);
+
+    // ---- Post-run reconstruction -------------------------------------
+    RunRecord record{.messages = {},
+                     .computation = SyncComputation(decomposition_->graph()),
+                     .message_stamps = {},
+                     .internal_stamps = {},
+                     .internal_notes = {}};
+
+    for (const auto& context : contexts) {
+        record.messages.insert(record.messages.end(),
+                               context->received_.begin(),
+                               context->received_.end());
+    }
+    std::ranges::sort(record.messages,
+                      [](const MessageRecord& a, const MessageRecord& b) {
+                          return a.seq < b.seq;
+                      });
+
+    // Interleave: walk messages in global order, draining each journal's
+    // internal events that precede the corresponding send/receive entry.
+    std::vector<std::size_t> cursor(n, 0);
+    const auto drain_until = [&](ProcessId p, std::uint64_t seq) {
+        const auto& journal = contexts[p]->journal_;
+        while (cursor[p] < journal.size()) {
+            const JournalEntry& entry = journal[cursor[p]];
+            if (entry.kind == JournalEntry::Kind::internal) {
+                record.computation.add_internal(p);
+                record.internal_notes.push_back(entry.note);
+                ++cursor[p];
+                continue;
+            }
+            SYNCTS_ENSURE(seq != 0 && entry.seq == seq,
+                          "journal replay out of order");
+            ++cursor[p];
+            return;
+        }
+        SYNCTS_ENSURE(seq == 0, "journal missing a rendezvous entry");
+    };
+    for (const MessageRecord& m : record.messages) {
+        drain_until(m.sender, m.seq);
+        drain_until(m.receiver, m.seq);
+        record.computation.add_message(m.sender, m.receiver);
+        record.message_stamps.push_back(m.timestamp);
+    }
+    for (ProcessId p = 0; p < n; ++p) drain_until(p, 0);
+
+    record.internal_stamps = timestamp_internal_events(
+        record.computation, record.message_stamps, width());
+    return record;
+}
+
+}  // namespace syncts

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "clocks/event_timestamp.hpp"
+#include "decomp/edge_decomposition.hpp"
+#include "runtime/process.hpp"
+#include "trace/computation.hpp"
+
+/// \file network.hpp
+/// The threaded synchronous network: one thread per process, pairwise
+/// rendezvous restricted to topology edges, Fig. 5 piggybacking on every
+/// message and acknowledgement, and a post-run record that reconstructs
+/// the computation for offline analysis (ground truth, Section 5 event
+/// timestamps, offline retimestamping).
+///
+/// A watchdog detects whole-system deadlocks (every unfinished process
+/// blocked, no rendezvous progress for a grace period), closes all
+/// mailboxes and fails the run — synchronous programs deadlock easily and
+/// a hung harness is worse than an exception.
+
+namespace syncts {
+
+/// Thrown by run() when the watchdog trips.
+class NetworkDeadlock : public std::runtime_error {
+public:
+    NetworkDeadlock()
+        : std::runtime_error(
+              "synchronous network deadlock: all unfinished processes are "
+              "blocked and no rendezvous is progressing") {}
+};
+
+/// Post-run results.
+struct RunRecord {
+    std::vector<MessageRecord> messages;  // in global rendezvous order
+
+    /// The run reconstructed as a SyncComputation (messages in rendezvous
+    /// order, internal events at their per-process positions).
+    SyncComputation computation;
+
+    /// message_stamps[m] for the reconstructed computation (same order).
+    std::vector<VectorTimestamp> message_stamps;
+
+    /// Section 5 timestamps for the internal events recorded via
+    /// ProcessContext::internal_event, indexed by InternalId of
+    /// `computation`.
+    std::vector<EventTimestamp> internal_stamps;
+
+    /// notes[i] — the user note attached to internal event i.
+    std::vector<std::string> internal_notes;
+};
+
+class TimestampedNetwork {
+public:
+    /// Network over a shared decomposition (which fixes the topology).
+    explicit TimestampedNetwork(
+        std::shared_ptr<const EdgeDecomposition> decomposition);
+
+    /// Convenience: default decomposition of `topology`.
+    explicit TimestampedNetwork(const Graph& topology);
+
+    std::size_t num_processes() const noexcept;
+    std::size_t width() const noexcept { return decomposition_->size(); }
+    const EdgeDecomposition& decomposition() const noexcept {
+        return *decomposition_;
+    }
+
+    /// Runs one program per process to completion on its own thread and
+    /// returns the reconstructed record. Throws the first user exception
+    /// (after closing all mailboxes so every blocked process unwinds), or
+    /// NetworkDeadlock when the watchdog trips. `programs.size()` must
+    /// equal the number of processes.
+    RunRecord run(const std::vector<ProcessProgram>& programs);
+
+private:
+    friend class ProcessContext;
+
+    /// Sender-side rendezvous (blocking): returns (ack vector, seq).
+    std::pair<VectorTimestamp, std::uint64_t> rendezvous_send(
+        ProcessId from, ProcessId to, std::string payload,
+        const VectorTimestamp& piggyback);
+
+    /// Receiver-side accept (blocking), with blocked-state tracking.
+    Mailbox::Accepted accept_for(ProcessId self,
+                                 std::optional<ProcessId> from);
+
+    Mailbox& mailbox(ProcessId p);
+    std::uint64_t next_seq() noexcept { return seq_.fetch_add(1) + 1; }
+
+    void close_all();
+
+    std::shared_ptr<const EdgeDecomposition> decomposition_;
+    std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+    std::atomic<std::uint64_t> seq_{0};
+    std::atomic<std::size_t> blocked_{0};
+    std::atomic<std::size_t> finished_{0};
+    std::atomic<bool> deadlocked_{false};
+};
+
+}  // namespace syncts

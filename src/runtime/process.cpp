@@ -1,0 +1,57 @@
+#include "runtime/process.hpp"
+
+#include <utility>
+
+#include "runtime/network.hpp"
+
+namespace syncts {
+
+ProcessContext::ProcessContext(
+    ProcessId self, TimestampedNetwork& network,
+    std::shared_ptr<const EdgeDecomposition> decomposition)
+    : network_(network), clock_(self, std::move(decomposition)) {}
+
+std::size_t ProcessContext::num_processes() const noexcept {
+    return network_.num_processes();
+}
+
+VectorTimestamp ProcessContext::send(ProcessId to, std::string payload) {
+    const VectorTimestamp piggyback = clock_.prepare_send();
+    const auto [ack, seq] = network_.rendezvous_send(
+        self(), to, std::move(payload), piggyback);
+    VectorTimestamp timestamp = clock_.on_acknowledgement(to, ack);
+    journal_.push_back({JournalEntry::Kind::send, to, seq, {}, timestamp});
+    return timestamp;
+}
+
+ReceivedMessage ProcessContext::receive_impl(std::optional<ProcessId> from) {
+    Mailbox::Accepted accepted = network_.accept_for(self(), from);
+    const ProcessId sender = accepted.sender();
+    std::string payload = accepted.payload();
+    auto [acknowledgement, timestamp] =
+        clock_.on_receive(sender, accepted.piggyback());
+    const std::uint64_t seq = network_.next_seq();
+    accepted.complete(std::move(acknowledgement), seq);
+
+    journal_.push_back(
+        {JournalEntry::Kind::receive, sender, seq, {}, timestamp});
+    received_.push_back({seq, sender, self(), payload, timestamp});
+    return {sender, std::move(payload), std::move(timestamp)};
+}
+
+ReceivedMessage ProcessContext::receive() { return receive_impl(std::nullopt); }
+
+ReceivedMessage ProcessContext::receive_from(ProcessId from) {
+    return receive_impl(from);
+}
+
+bool ProcessContext::poll(std::optional<ProcessId> from) {
+    return network_.mailbox(self()).has_offer(from);
+}
+
+void ProcessContext::internal_event(std::string note) {
+    journal_.push_back({JournalEntry::Kind::internal, kNoProcess, 0,
+                        std::move(note), VectorTimestamp{}});
+}
+
+}  // namespace syncts

@@ -1,0 +1,153 @@
+#include "runtime/synchronizer.hpp"
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.hpp"
+#include "runtime/async_sim.hpp"
+
+namespace syncts {
+
+namespace {
+
+constexpr std::uint32_t kReq = 0;
+constexpr std::uint32_t kAck = 1;
+
+std::vector<std::uint64_t> to_body(const VectorTimestamp& stamp) {
+    return {stamp.components().begin(), stamp.components().end()};
+}
+
+VectorTimestamp from_body(const std::vector<std::uint64_t>& body) {
+    return VectorTimestamp(body);
+}
+
+/// Per-process protocol engine: walks the process's script, issuing REQs
+/// for sends and consuming buffered REQs for receives.
+struct Engine {
+    ProcessId self = 0;
+    std::vector<ProcessEvent> script;  // message events only
+    std::size_t cursor = 0;
+    bool awaiting_ack = false;
+    std::unique_ptr<OnlineProcessClock> clock;
+    /// Buffered REQs by sender (payload = piggybacked vector, tag).
+    std::unordered_map<ProcessId, std::deque<Packet>> pending;
+};
+
+}  // namespace
+
+SynchronizerResult run_rendezvous_protocol(
+    std::shared_ptr<const EdgeDecomposition> decomposition,
+    const SyncComputation& script, const SynchronizerOptions& options) {
+    SYNCTS_REQUIRE(decomposition != nullptr, "decomposition must be set");
+    const std::size_t n = script.num_processes();
+    SYNCTS_REQUIRE(decomposition->graph().num_vertices() == n,
+                   "script and decomposition disagree on process count");
+
+    AsyncSimulator network(n, options.seed);
+    network.set_uniform_latency(options.latency_lo, options.latency_hi);
+
+    std::vector<Engine> engines(n);
+    for (ProcessId p = 0; p < n; ++p) {
+        engines[p].self = p;
+        for (const ProcessEvent& event : script.process_events(p)) {
+            if (event.kind == ProcessEvent::Kind::message) {
+                engines[p].script.push_back(event);
+            }
+        }
+        engines[p].clock =
+            std::make_unique<OnlineProcessClock>(p, decomposition);
+    }
+
+    SynchronizerResult result{
+        .computation = SyncComputation(decomposition->graph()),
+        .message_stamps = {},
+        .script_message = {},
+        .virtual_duration = 0,
+        .packets = 0};
+    std::vector<VectorTimestamp> stamp_by_script(script.num_messages());
+
+    // Forward declaration dance: progress() sends packets and is called
+    // from the delivery handler.
+    std::function<void(std::uint64_t, ProcessId)> progress =
+        [&](std::uint64_t now, ProcessId p) {
+            Engine& engine = engines[p];
+            while (engine.cursor < engine.script.size()) {
+                const MessageId mid = engine.script[engine.cursor].index;
+                const SyncMessage& m = script.message(mid);
+                if (m.sender == p) {
+                    if (engine.awaiting_ack) return;  // blocked on the wire
+                    Packet req;
+                    req.source = p;
+                    req.destination = m.receiver;
+                    req.kind = kReq;
+                    req.tag = mid;
+                    req.body = to_body(engine.clock->prepare_send());
+                    network.send(now, std::move(req));
+                    engine.awaiting_ack = true;
+                    return;
+                }
+                // Receive action: consume the buffered REQ if it arrived.
+                auto& queue = engine.pending[m.sender];
+                if (queue.empty()) return;  // wait for the REQ packet
+                const Packet req = std::move(queue.front());
+                queue.pop_front();
+                SYNCTS_ENSURE(req.tag == mid,
+                              "REQ does not match the scripted receive");
+                const auto [ack_vector, timestamp] =
+                    engine.clock->on_receive(m.sender, from_body(req.body));
+                // Commit: the rendezvous instant, in receiver order.
+                result.computation.add_message(m.sender, m.receiver);
+                result.message_stamps.push_back(timestamp);
+                result.script_message.push_back(mid);
+                stamp_by_script[mid] = timestamp;
+                Packet ack;
+                ack.source = p;
+                ack.destination = m.sender;
+                ack.kind = kAck;
+                ack.tag = mid;
+                ack.body = to_body(ack_vector);
+                network.send(now, std::move(ack));
+                ++engine.cursor;
+            }
+        };
+
+    for (ProcessId p = 0; p < n; ++p) {
+        network.on_deliver(p, [&, p](std::uint64_t now, const Packet& packet) {
+            Engine& engine = engines[p];
+            if (packet.kind == kReq) {
+                engine.pending[packet.source].push_back(packet);
+            } else {
+                SYNCTS_ENSURE(engine.awaiting_ack,
+                              "unexpected ACK: process was not blocked");
+                const MessageId mid = engine.script[engine.cursor].index;
+                SYNCTS_ENSURE(packet.tag == mid,
+                              "ACK does not match the pending send");
+                const VectorTimestamp stamp = engine.clock->on_acknowledgement(
+                    packet.source, from_body(packet.body));
+                SYNCTS_ENSURE(stamp == stamp_by_script[mid],
+                              "sender and receiver disagree on a timestamp");
+                engine.awaiting_ack = false;
+                ++engine.cursor;
+            }
+            progress(now, p);
+        });
+    }
+
+    // Kick off every process at time 0.
+    for (ProcessId p = 0; p < n; ++p) progress(0, p);
+    result.virtual_duration = network.run();
+    result.packets = network.packets_delivered();
+
+    for (const Engine& engine : engines) {
+        SYNCTS_ENSURE(engine.cursor == engine.script.size(),
+                      "protocol finished with unexecuted script actions");
+        SYNCTS_ENSURE(!engine.awaiting_ack, "protocol finished mid-rendezvous");
+    }
+    SYNCTS_ENSURE(result.computation.num_messages() == script.num_messages(),
+                  "not every scripted message was realized");
+    return result;
+}
+
+}  // namespace syncts

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "clocks/online_clock.hpp"
+#include "decomp/edge_decomposition.hpp"
+#include "trace/computation.hpp"
+
+/// \file synchronizer.hpp
+/// Synchronous messages implemented over the asynchronous packet network —
+/// the layer the paper assumes exists ("implementation of synchronous
+/// messages requires that the sender wait for an acknowledgment from the
+/// receiver", Section 1, citing Murty & Garg).
+///
+/// Protocol, per message m from Pi to Pj:
+///   1. Pi sends REQ(m) carrying its current clock vector and blocks.
+///   2. Pj, when its program reaches the matching receive, processes
+///      REQ(m): merges, increments the channel's group component (the
+///      message is *committed* here — this is the rendezvous instant) and
+///      replies ACK(m) carrying its pre-merge vector.
+///   3. Pi receives ACK(m), performs the identical merge + increment and
+///      resumes. Both sides hold the same timestamp.
+/// REQs arriving before the receiver's program is ready are buffered —
+/// exactly the blocking-send / explicit-receive semantics of the threaded
+/// runtime, but over packets with arbitrary (seeded) latencies.
+///
+/// The driver replays a recorded computation's per-process event orders as
+/// the programs, so any realizable schedule can be pushed through the
+/// protocol; commit order then forms a valid instant order of the same
+/// computation, and the resulting timestamps are bit-identical to the
+/// direct Fig. 5 simulator's regardless of network latencies.
+
+namespace syncts {
+
+struct SynchronizerOptions {
+    std::uint64_t seed = 1;
+    /// Per-packet latency drawn uniformly from [latency_lo, latency_hi].
+    std::uint64_t latency_lo = 1;
+    std::uint64_t latency_hi = 1;
+};
+
+struct SynchronizerResult {
+    /// The realized computation: same messages and per-process orders as
+    /// the script, instants renumbered to commit order. (Internal events
+    /// are not part of the wire protocol and are dropped.)
+    SyncComputation computation;
+
+    /// message_stamps[m] — timestamp of realized message m (commit order).
+    std::vector<VectorTimestamp> message_stamps;
+
+    /// For each realized message, the script MessageId it corresponds to.
+    std::vector<MessageId> script_message;
+
+    /// Total virtual time until the last packet was delivered.
+    std::uint64_t virtual_duration = 0;
+
+    /// Packets on the wire — exactly 2 per message (REQ + ACK).
+    std::uint64_t packets = 0;
+};
+
+/// Replays `script` through the REQ/ACK protocol over an asynchronous
+/// network. The script's topology must match the decomposition's.
+SynchronizerResult run_rendezvous_protocol(
+    std::shared_ptr<const EdgeDecomposition> decomposition,
+    const SyncComputation& script, const SynchronizerOptions& options);
+
+}  // namespace syncts

@@ -1,0 +1,182 @@
+#include "trace/async_computation.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace syncts {
+
+AsyncComputation::AsyncComputation(std::size_t num_processes)
+    : events_(num_processes) {}
+
+MessageId AsyncComputation::new_message() {
+    const auto id = static_cast<MessageId>(endpoints_.size());
+    endpoints_.push_back({});
+    return id;
+}
+
+void AsyncComputation::record_send(ProcessId p, MessageId m) {
+    SYNCTS_REQUIRE(p < events_.size(), "process out of range");
+    SYNCTS_REQUIRE(m < endpoints_.size(), "unknown message");
+    SYNCTS_REQUIRE(endpoints_[m].sender == kNoProcess,
+                   "message already has a sender");
+    SYNCTS_REQUIRE(endpoints_[m].receiver != p,
+                   "sender and receiver must differ");
+    endpoints_[m].sender = p;
+    events_[p].push_back({AsyncEvent::Kind::send, m});
+}
+
+void AsyncComputation::record_receive(ProcessId p, MessageId m) {
+    SYNCTS_REQUIRE(p < events_.size(), "process out of range");
+    SYNCTS_REQUIRE(m < endpoints_.size(), "unknown message");
+    SYNCTS_REQUIRE(endpoints_[m].receiver == kNoProcess,
+                   "message already has a receiver");
+    SYNCTS_REQUIRE(endpoints_[m].sender != p,
+                   "sender and receiver must differ");
+    endpoints_[m].receiver = p;
+    events_[p].push_back({AsyncEvent::Kind::receive, m});
+}
+
+MessageId AsyncComputation::add_instant_message(ProcessId sender,
+                                                ProcessId receiver) {
+    const MessageId m = new_message();
+    record_send(sender, m);
+    record_receive(receiver, m);
+    return m;
+}
+
+std::span<const AsyncComputation::AsyncEvent>
+AsyncComputation::process_events(ProcessId p) const {
+    SYNCTS_REQUIRE(p < events_.size(), "process out of range");
+    return events_[p];
+}
+
+bool AsyncComputation::complete() const {
+    return std::ranges::all_of(endpoints_, [](const Endpoints& e) {
+        return e.sender != kNoProcess && e.receiver != kNoProcess;
+    });
+}
+
+ProcessId AsyncComputation::sender_of(MessageId m) const {
+    SYNCTS_REQUIRE(m < endpoints_.size(), "unknown message");
+    return endpoints_[m].sender;
+}
+
+ProcessId AsyncComputation::receiver_of(MessageId m) const {
+    SYNCTS_REQUIRE(m < endpoints_.size(), "unknown message");
+    return endpoints_[m].receiver;
+}
+
+SynchronyResult check_synchronous(const AsyncComputation& computation) {
+    SYNCTS_REQUIRE(computation.complete(),
+                   "every message needs both endpoints recorded");
+    const std::size_t m = computation.num_messages();
+
+    // Contract each message to one node; per-process event adjacency gives
+    // the "crown" digraph whose acyclicity characterizes synchrony.
+    std::vector<std::vector<MessageId>> successors(m);
+    std::vector<std::vector<MessageId>> predecessors(m);
+    std::vector<std::size_t> indegree(m, 0);
+    for (ProcessId p = 0; p < computation.num_processes(); ++p) {
+        const auto events = computation.process_events(p);
+        for (std::size_t i = 0; i + 1 < events.size(); ++i) {
+            const MessageId a = events[i].message;
+            const MessageId b = events[i + 1].message;
+            successors[a].push_back(b);
+            predecessors[b].push_back(a);
+            ++indegree[b];
+        }
+    }
+
+    SynchronyResult result;
+    std::vector<MessageId> ready;
+    for (MessageId v = 0; v < m; ++v) {
+        if (indegree[v] == 0) ready.push_back(v);
+    }
+    // Smallest-id-first for a deterministic witness order.
+    std::ranges::make_heap(ready, std::greater<>{});
+    std::vector<std::size_t> remaining_indegree = indegree;
+    while (!ready.empty()) {
+        std::ranges::pop_heap(ready, std::greater<>{});
+        const MessageId v = ready.back();
+        ready.pop_back();
+        result.instant_order.push_back(v);
+        for (const MessageId w : successors[v]) {
+            if (--remaining_indegree[w] == 0) {
+                ready.push_back(w);
+                std::ranges::push_heap(ready, std::greater<>{});
+            }
+        }
+    }
+
+    if (result.instant_order.size() == m) {
+        result.synchronous = true;
+        result.integer_timestamps.assign(m, 0);
+        for (std::size_t rank = 0; rank < m; ++rank) {
+            result.integer_timestamps[result.instant_order[rank]] = rank + 1;
+        }
+        return result;
+    }
+
+    // Extract a witness cycle. Every leftover node keeps remaining
+    // indegree > 0, i.e. it has at least one leftover predecessor, so a
+    // backward walk over leftover nodes can never dead-end and must
+    // revisit a node — the revisited suffix is a cycle (reversed).
+    std::vector<char> leftover(m, 1);
+    for (const MessageId v : result.instant_order) leftover[v] = 0;
+    MessageId start = 0;
+    while (!leftover[start]) ++start;
+    std::vector<MessageId> path;
+    std::vector<std::size_t> position_in_path(m, m);
+    MessageId current = start;
+    while (position_in_path[current] == m) {
+        position_in_path[current] = path.size();
+        path.push_back(current);
+        for (const MessageId w : predecessors[current]) {
+            if (leftover[w]) {
+                current = w;
+                break;
+            }
+        }
+    }
+    result.violation_cycle.assign(path.begin() + static_cast<std::ptrdiff_t>(
+                                                     position_in_path[current]),
+                                  path.end());
+    std::ranges::reverse(result.violation_cycle);
+    return result;
+}
+
+namespace {
+
+SyncComputation build_sync(const AsyncComputation& computation,
+                           Graph topology) {
+    const SynchronyResult check = check_synchronous(computation);
+    SYNCTS_REQUIRE(check.synchronous,
+                   "computation is not realizable with synchronous "
+                   "communication");
+    SyncComputation sync(std::move(topology));
+    for (const MessageId m : check.instant_order) {
+        sync.add_message(computation.sender_of(m), computation.receiver_of(m));
+    }
+    return sync;
+}
+
+}  // namespace
+
+SyncComputation to_sync_computation(const AsyncComputation& computation,
+                                    Graph topology) {
+    return build_sync(computation, std::move(topology));
+}
+
+SyncComputation to_sync_computation(const AsyncComputation& computation) {
+    Graph topology(computation.num_processes());
+    for (MessageId m = 0; m < computation.num_messages(); ++m) {
+        const ProcessId s = computation.sender_of(m);
+        const ProcessId r = computation.receiver_of(m);
+        if (!topology.has_edge(s, r)) topology.add_edge(s, r);
+    }
+    return build_sync(computation, std::move(topology));
+}
+
+}  // namespace syncts

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "graph/graph.hpp"
+#include "trace/computation.hpp"
+
+/// \file async_computation.hpp
+/// General message-passing computations with *separate* send and receive
+/// events, and the paper's Section 2 characterization of synchrony:
+///
+///   "a computation is synchronous iff it is possible to timestamp send
+///    and receive events with integers such that (1) timestamps increase
+///    within each process and (2) the sending and receiving events of each
+///    message have the same timestamp"
+///
+/// — equivalently, iff the time diagram can be drawn with vertical message
+/// arrows (Charron-Bost, Mattern & Tel's RSC class). Operationally: merge
+/// each message's send and receive into one node; the computation is
+/// synchronous iff the relation "message a's endpoint precedes message
+/// b's endpoint in some process" is acyclic. This module implements the
+/// model, the check, and the conversion into a SyncComputation (an
+/// explicit instant order) for consumption by every clock in src/clocks.
+
+namespace syncts {
+
+/// A computation described by per-process sequences of send/receive
+/// events. Messages are numbered by creation; each message must have its
+/// send and its receive recorded exactly once, on different processes.
+class AsyncComputation {
+public:
+    explicit AsyncComputation(std::size_t num_processes);
+
+    std::size_t num_processes() const noexcept { return events_.size(); }
+    std::size_t num_messages() const noexcept { return endpoints_.size(); }
+
+    /// Declares a new message; returns its id. Record its events with
+    /// record_send / record_receive.
+    MessageId new_message();
+
+    /// Appends "process p sends message m" to p's event sequence.
+    void record_send(ProcessId p, MessageId m);
+
+    /// Appends "process p receives message m" to p's event sequence.
+    void record_receive(ProcessId p, MessageId m);
+
+    /// Convenience: new_message + both endpoints appended now (a message
+    /// that is logically instantaneous).
+    MessageId add_instant_message(ProcessId sender, ProcessId receiver);
+
+    struct AsyncEvent {
+        enum class Kind { send, receive };
+        Kind kind = Kind::send;
+        MessageId message = 0;
+    };
+
+    std::span<const AsyncEvent> process_events(ProcessId p) const;
+
+    /// True when every declared message has both endpoints recorded.
+    bool complete() const;
+
+    /// Sender/receiver of message m (kNoProcess while unrecorded).
+    ProcessId sender_of(MessageId m) const;
+    ProcessId receiver_of(MessageId m) const;
+
+private:
+    struct Endpoints {
+        ProcessId sender = kNoProcess;
+        ProcessId receiver = kNoProcess;
+    };
+    std::vector<std::vector<AsyncEvent>> events_;
+    std::vector<Endpoints> endpoints_;
+};
+
+/// Result of the synchrony check.
+struct SynchronyResult {
+    /// True when the computation is realizable with synchronous
+    /// communication (vertical arrows).
+    bool synchronous = false;
+
+    /// When synchronous: a witness instant order (messages listed in an
+    /// order consistent with every per-process event order).
+    std::vector<MessageId> instant_order;
+
+    /// When synchronous: the Section 2 integer timestamps — one value per
+    /// message, shared by its send and receive, increasing within every
+    /// process. (The instant order's ranks.)
+    std::vector<std::uint64_t> integer_timestamps;
+
+    /// When not synchronous: a cycle of messages witnessing the
+    /// obstruction (each message's endpoint precedes the next one's in
+    /// some process, wrapping around).
+    std::vector<MessageId> violation_cycle;
+};
+
+/// The Section 2 characterization, decided in O(P + M + E).
+/// Requires computation.complete().
+SynchronyResult check_synchronous(const AsyncComputation& computation);
+
+/// Converts a synchronous AsyncComputation into the instant-ordered model
+/// (topology = the channels actually used, or a caller-provided graph
+/// that must contain them). Throws std::invalid_argument when the
+/// computation is not synchronous.
+SyncComputation to_sync_computation(const AsyncComputation& computation);
+SyncComputation to_sync_computation(const AsyncComputation& computation,
+                                    Graph topology);
+
+}  // namespace syncts

@@ -1,0 +1,66 @@
+#include "trace/computation.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace syncts {
+
+SyncComputation::SyncComputation(Graph topology)
+    : topology_(std::move(topology)),
+      per_process_(topology_.num_vertices()),
+      per_process_messages_(topology_.num_vertices()) {}
+
+MessageId SyncComputation::add_message(ProcessId sender, ProcessId receiver) {
+    SYNCTS_REQUIRE(topology_.has_edge(sender, receiver),
+                   "message uses a channel absent from the topology");
+    const auto id = static_cast<MessageId>(messages_.size());
+    messages_.push_back({id, sender, receiver});
+    for (const ProcessId p : {sender, receiver}) {
+        per_process_[p].push_back({ProcessEvent::Kind::message, id});
+        per_process_messages_[p].push_back(id);
+    }
+    return id;
+}
+
+InternalId SyncComputation::add_internal(ProcessId p) {
+    SYNCTS_REQUIRE(p < num_processes(), "process out of range");
+    const auto id = static_cast<InternalId>(internal_.size());
+    internal_.push_back({id, p});
+    per_process_[p].push_back({ProcessEvent::Kind::internal, id});
+    return id;
+}
+
+const SyncMessage& SyncComputation::message(MessageId id) const {
+    SYNCTS_REQUIRE(id < messages_.size(), "message id out of range");
+    return messages_[id];
+}
+
+const InternalEvent& SyncComputation::internal_event(InternalId id) const {
+    SYNCTS_REQUIRE(id < internal_.size(), "internal event id out of range");
+    return internal_[id];
+}
+
+std::span<const ProcessEvent> SyncComputation::process_events(
+    ProcessId p) const {
+    SYNCTS_REQUIRE(p < num_processes(), "process out of range");
+    return per_process_[p];
+}
+
+std::span<const MessageId> SyncComputation::process_messages(
+    ProcessId p) const {
+    SYNCTS_REQUIRE(p < num_processes(), "process out of range");
+    return per_process_messages_[p];
+}
+
+std::string SyncComputation::to_string() const {
+    std::ostringstream os;
+    for (const SyncMessage& m : messages_) {
+        os << 'm' << (m.id + 1) << ": P" << (m.sender + 1) << " -> P"
+           << (m.receiver + 1) << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace syncts

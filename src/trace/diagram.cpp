@@ -1,0 +1,107 @@
+#include "trace/diagram.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace syncts {
+
+namespace {
+
+struct Column {
+    bool is_message = false;
+    MessageId message = 0;
+    ProcessId internal_process = 0;
+};
+
+/// A valid instant order: each message preceded by the internal events
+/// before it in its endpoints' sequences (same walk as trace_io).
+std::vector<Column> build_columns(const SyncComputation& computation) {
+    std::vector<Column> columns;
+    std::vector<std::size_t> cursor(computation.num_processes(), 0);
+    const auto drain = [&](ProcessId p, MessageId until) {
+        const auto events = computation.process_events(p);
+        while (cursor[p] < events.size()) {
+            const ProcessEvent& e = events[cursor[p]];
+            if (e.kind == ProcessEvent::Kind::message) {
+                SYNCTS_ENSURE(until != kNoMessage && e.index == until,
+                              "diagram walk out of order");
+                ++cursor[p];
+                return;
+            }
+            columns.push_back({false, 0, p});
+            ++cursor[p];
+        }
+        SYNCTS_ENSURE(until == kNoMessage, "message missing from sequence");
+    };
+    for (const SyncMessage& m : computation.messages()) {
+        drain(m.sender, m.id);
+        drain(m.receiver, m.id);
+        columns.push_back({true, m.id, 0});
+    }
+    for (ProcessId p = 0; p < computation.num_processes(); ++p) {
+        drain(p, kNoMessage);
+    }
+    return columns;
+}
+
+}  // namespace
+
+std::string to_diagram(const SyncComputation& computation) {
+    return to_diagram(computation, {});
+}
+
+std::string to_diagram(const SyncComputation& computation,
+                       std::span<const VectorTimestamp> message_stamps) {
+    SYNCTS_REQUIRE(
+        message_stamps.empty() ||
+            message_stamps.size() == computation.num_messages(),
+        "need zero or one timestamp per message");
+    const std::vector<Column> columns = build_columns(computation);
+
+    // Cell width fits the widest label.
+    std::size_t label_width = 1;
+    for (const Column& column : columns) {
+        if (column.is_message) {
+            label_width = std::max(
+                label_width,
+                1 + std::to_string(column.message + 1).size());
+        }
+    }
+    const auto pad = [&](std::string text) {
+        while (text.size() < label_width + 1) text.push_back(' ');
+        return text;
+    };
+
+    std::ostringstream os;
+    const std::size_t name_width =
+        2 + std::to_string(computation.num_processes()).size();
+    for (ProcessId p = 0; p < computation.num_processes(); ++p) {
+        std::string name = "P" + std::to_string(p + 1);
+        while (name.size() < name_width) name.push_back(' ');
+        os << name << "| ";
+        for (const Column& column : columns) {
+            if (column.is_message) {
+                const SyncMessage& m = computation.message(column.message);
+                os << pad(m.involves(p)
+                              ? "m" + std::to_string(column.message + 1)
+                              : ".");
+            } else {
+                os << pad(column.internal_process == p ? "i" : ".");
+            }
+        }
+        os << '\n';
+    }
+    if (!message_stamps.empty()) {
+        os << '\n';
+        for (MessageId m = 0; m < computation.num_messages(); ++m) {
+            os << 'm' << (m + 1) << " = "
+               << message_stamps[m].to_string() << '\n';
+        }
+    }
+    return os.str();
+}
+
+}  // namespace syncts

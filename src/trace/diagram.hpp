@@ -1,0 +1,31 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "clocks/vector_timestamp.hpp"
+#include "trace/computation.hpp"
+
+/// \file diagram.hpp
+/// ASCII space-time diagrams in the paper's vertical-arrow style (Figs. 1
+/// and 6): one row per process, one column per instant. A message occupies
+/// its two participants' cells in one column — the arrows are vertical
+/// because synchronous messages are logically instantaneous. Internal
+/// events render as "i". This is the visualization primitive the paper's
+/// introduction motivates (POET/XPVM-style debugging).
+///
+///     P1 |  m1   .    .   m4
+///     P2 |  m1   m2   i   m4
+///     P3 |  .    m2   .   .
+
+namespace syncts {
+
+/// Renders the computation. Messages are labeled m1, m2, ... (1-based,
+/// like the paper); columns are instants.
+std::string to_diagram(const SyncComputation& computation);
+
+/// Same, with a legend line per message showing its timestamp.
+std::string to_diagram(const SyncComputation& computation,
+                       std::span<const VectorTimestamp> message_stamps);
+
+}  // namespace syncts

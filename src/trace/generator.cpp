@@ -1,0 +1,77 @@
+#include "trace/generator.hpp"
+
+#include "common/check.hpp"
+#include "graph/generators.hpp"
+
+namespace syncts {
+
+SyncComputation random_computation(const Graph& topology,
+                                   const WorkloadOptions& options, Rng& rng) {
+    SYNCTS_REQUIRE(topology.num_edges() > 0,
+                   "cannot generate messages without channels");
+    SyncComputation computation(topology);
+    const std::size_t n = topology.num_vertices();
+    // Internal events are interleaved as a Bernoulli stream so that the
+    // expected rate per message matches options.internal_rate.
+    const auto maybe_internal = [&] {
+        if (options.internal_rate <= 0.0) return;
+        while (rng.uniform01() <
+               options.internal_rate / (1.0 + options.internal_rate)) {
+            computation.add_internal(
+                static_cast<ProcessId>(rng.below(n)));
+        }
+    };
+    for (std::size_t i = 0; i < options.num_messages; ++i) {
+        maybe_internal();
+        Edge e{};
+        if (options.edge_uniform) {
+            e = topology.edge(rng.below(topology.num_edges()));
+        } else {
+            ProcessId p = 0;
+            do {
+                p = static_cast<ProcessId>(rng.below(n));
+            } while (topology.degree(p) == 0);
+            const auto nbrs = topology.neighbors(p);
+            e = Edge::make(p, nbrs[rng.below(nbrs.size())]);
+        }
+        // Direction is symmetric for the ↦ relation; flip a fair coin so
+        // both directions are exercised by the clock algorithms.
+        if (rng.chance(1, 2)) {
+            computation.add_message(e.u, e.v);
+        } else {
+            computation.add_message(e.v, e.u);
+        }
+    }
+    maybe_internal();
+    return computation;
+}
+
+SyncComputation paper_fig1_computation() {
+    // Path topology P1-P2-P3-P4 (0-based: 0-1-2-3).
+    Graph topology(4);
+    topology.add_edge(0, 1);
+    topology.add_edge(1, 2);
+    topology.add_edge(2, 3);
+    SyncComputation c(std::move(topology));
+    c.add_message(0, 1);  // m1: P1 -> P2
+    c.add_message(2, 3);  // m2: P3 -> P4
+    c.add_message(1, 2);  // m3: P2 -> P3
+    c.add_message(1, 2);  // m4: P2 -> P3
+    c.add_message(2, 3);  // m5: P3 -> P4
+    c.add_message(1, 2);  // m6: P2 -> P3
+    return c;
+}
+
+Graph paper_fig6_topology() { return topology::complete(5); }
+
+SyncComputation paper_fig6_computation() {
+    SyncComputation c(paper_fig6_topology());
+    c.add_message(0, 1);  // m1: P1 -> P2   (group E1, star at P1)
+    c.add_message(2, 3);  // m2: P3 -> P4   (group E3, triangle P3P4P5)
+    c.add_message(1, 2);  // m3: P2 -> P3   (group E2) -> stamped (1,1,1)
+    c.add_message(3, 4);  // m4: P4 -> P5   (group E3)
+    c.add_message(0, 3);  // m5: P1 -> P4   (group E1)
+    return c;
+}
+
+}  // namespace syncts

@@ -1,0 +1,165 @@
+#include "trace/ordering_classes.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace syncts {
+
+namespace {
+
+/// Per-event global ids and per-message endpoint event positions.
+struct EventTable {
+    std::vector<std::size_t> offset;         // per process
+    std::vector<std::size_t> send_event;     // per message
+    std::vector<std::size_t> receive_event;  // per message
+    std::size_t total = 0;
+};
+
+EventTable build_index(const AsyncComputation& c) {
+    EventTable index;
+    index.offset.resize(c.num_processes());
+    std::size_t running = 0;
+    for (ProcessId p = 0; p < c.num_processes(); ++p) {
+        index.offset[p] = running;
+        running += c.process_events(p).size();
+    }
+    index.total = running;
+    index.send_event.assign(c.num_messages(), 0);
+    index.receive_event.assign(c.num_messages(), 0);
+    for (ProcessId p = 0; p < c.num_processes(); ++p) {
+        const auto events = c.process_events(p);
+        for (std::size_t k = 0; k < events.size(); ++k) {
+            const std::size_t id = index.offset[p] + k;
+            if (events[k].kind == AsyncComputation::AsyncEvent::Kind::send) {
+                index.send_event[events[k].message] = id;
+            } else {
+                index.receive_event[events[k].message] = id;
+            }
+        }
+    }
+    return index;
+}
+
+}  // namespace
+
+Poset async_event_poset(const AsyncComputation& computation) {
+    SYNCTS_REQUIRE(computation.complete(),
+                   "every message needs both endpoints recorded");
+    const EventTable index = build_index(computation);
+    Poset poset(index.total);
+    for (ProcessId p = 0; p < computation.num_processes(); ++p) {
+        const std::size_t count = computation.process_events(p).size();
+        for (std::size_t k = 0; k + 1 < count; ++k) {
+            poset.add_relation(index.offset[p] + k, index.offset[p] + k + 1);
+        }
+    }
+    for (MessageId m = 0; m < computation.num_messages(); ++m) {
+        poset.add_relation(index.send_event[m], index.receive_event[m]);
+    }
+    poset.close();
+    return poset;
+}
+
+OrderingClasses classify_ordering(const AsyncComputation& computation) {
+    SYNCTS_REQUIRE(computation.complete(),
+                   "every message needs both endpoints recorded");
+    OrderingClasses result;
+
+    // FIFO: along each process's receive sequence, messages from one
+    // sender must appear in that sender's send order. Sends and receives
+    // are compared via their per-process event positions.
+    const EventTable index = build_index(computation);
+    result.fifo = true;
+    for (ProcessId receiver = 0; receiver < computation.num_processes();
+         ++receiver) {
+        // last_receive_pos[s] — send-event id of the latest message from s
+        // received so far.
+        std::vector<std::size_t> last_send_seen(computation.num_processes(),
+                                                0);
+        std::vector<char> any_seen(computation.num_processes(), 0);
+        for (const auto& event : computation.process_events(receiver)) {
+            if (event.kind != AsyncComputation::AsyncEvent::Kind::receive) {
+                continue;
+            }
+            const ProcessId sender = computation.sender_of(event.message);
+            const std::size_t send_id = index.send_event[event.message];
+            if (any_seen[sender] && send_id < last_send_seen[sender]) {
+                result.fifo = false;
+            }
+            any_seen[sender] = 1;
+            last_send_seen[sender] = send_id;
+        }
+    }
+
+    // Causal order: for messages m, m' to the same receiver with
+    // send(m) → send(m'), receive(m) must precede receive(m').
+    const Poset events = async_event_poset(computation);
+    result.causally_ordered = true;
+    for (MessageId a = 0; a < computation.num_messages(); ++a) {
+        for (MessageId b = 0; b < computation.num_messages(); ++b) {
+            if (a == b) continue;
+            if (computation.receiver_of(a) != computation.receiver_of(b)) {
+                continue;
+            }
+            if (events.less(index.send_event[a], index.send_event[b]) &&
+                !events.less(index.receive_event[a],
+                             index.receive_event[b])) {
+                result.causally_ordered = false;
+            }
+        }
+    }
+
+    result.rsc = check_synchronous(computation).synchronous;
+
+    // The hierarchy theorem of [1] is an invariant of the implementation.
+    SYNCTS_ENSURE(!result.rsc || result.causally_ordered,
+                  "RSC execution classified as not causally ordered");
+    SYNCTS_ENSURE(!result.causally_ordered || result.fifo,
+                  "causally ordered execution classified as non-FIFO");
+    return result;
+}
+
+AsyncComputation random_async_computation(const Graph& topology,
+                                          std::size_t num_messages,
+                                          double delivery_bias, Rng& rng) {
+    SYNCTS_REQUIRE(topology.num_edges() > 0, "need at least one channel");
+    SYNCTS_REQUIRE(delivery_bias >= 0.0 && delivery_bias <= 1.0,
+                   "delivery_bias must be in [0,1]");
+    AsyncComputation computation(topology.num_vertices());
+    std::vector<MessageId> in_flight;
+    std::vector<ProcessId> destination;  // by message id (dense)
+    std::size_t sent = 0;
+    while (sent < num_messages || !in_flight.empty()) {
+        const bool can_send = sent < num_messages;
+        const bool can_deliver = !in_flight.empty();
+        bool deliver = false;
+        if (can_send && can_deliver) {
+            deliver = rng.uniform01() < delivery_bias;
+        } else {
+            deliver = can_deliver;
+        }
+        if (deliver) {
+            const std::size_t pick = rng.below(in_flight.size());
+            const MessageId m = in_flight[pick];
+            in_flight[pick] = in_flight.back();
+            in_flight.pop_back();
+            computation.record_receive(destination[m], m);
+        } else {
+            const Edge e = topology.edge(rng.below(topology.num_edges()));
+            const bool forward = rng.chance(1, 2);
+            const ProcessId from = forward ? e.u : e.v;
+            const ProcessId to = forward ? e.v : e.u;
+            const MessageId m = computation.new_message();
+            computation.record_send(from, m);
+            SYNCTS_ENSURE(m == destination.size(),
+                          "message ids must be dense");
+            destination.push_back(to);
+            in_flight.push_back(m);
+            ++sent;
+        }
+    }
+    return computation;
+}
+
+}  // namespace syncts

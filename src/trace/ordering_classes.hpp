@@ -1,0 +1,46 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "poset/poset.hpp"
+#include "trace/async_computation.hpp"
+
+/// \file ordering_classes.hpp
+/// The message-ordering hierarchy of Charron-Bost, Mattern & Tel (the
+/// paper's reference [1]): FIFO ⊇ causally ordered ⊇ RSC (realizable with
+/// synchronous communication). The paper's algorithms apply exactly to the
+/// RSC class; these classifiers place an arbitrary asynchronous execution
+/// in the hierarchy, which is how one decides whether the synchronous
+/// timestamps are applicable to a given trace at all.
+
+namespace syncts {
+
+struct OrderingClasses {
+    /// Per ordered channel (p, q): receives happen in send order.
+    bool fifo = false;
+    /// For messages m, m' delivered to the same process: send(m) → send(m')
+    /// implies m is received first.
+    bool causally_ordered = false;
+    /// Realizable with synchronous communication (vertical arrows).
+    bool rsc = false;
+};
+
+/// Happened-before over all send/receive events of an async computation.
+/// Element ids: process p's k-th recorded event has id offset(p) + k where
+/// offset(p) = total events of processes 0..p-1.
+Poset async_event_poset(const AsyncComputation& computation);
+
+/// Classifies a complete computation. Guaranteed: rsc ⟹ causally_ordered
+/// ⟹ fifo (the hierarchy theorem of [1]).
+OrderingClasses classify_ordering(const AsyncComputation& computation);
+
+/// Random *valid* asynchronous execution over `topology`: repeatedly
+/// either send on a random channel or deliver a random in-flight message.
+/// `delivery_bias` in [0,1]: probability of preferring delivery when both
+/// moves are possible — 1.0 yields near-synchronous executions, small
+/// values produce long in-flight queues and crowns.
+AsyncComputation random_async_computation(const Graph& topology,
+                                          std::size_t num_messages,
+                                          double delivery_bias, Rng& rng);
+
+}  // namespace syncts

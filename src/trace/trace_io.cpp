@@ -1,0 +1,131 @@
+#include "trace/trace_io.hpp"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace syncts {
+
+void write_computation(std::ostream& out,
+                       const SyncComputation& computation) {
+    const Graph& g = computation.topology();
+    out << "syncts-trace 1\n";
+    out << "processes " << g.num_vertices() << '\n';
+    out << "edges " << g.num_edges() << '\n';
+    for (const Edge& e : g.edges()) out << "e " << e.u << ' ' << e.v << '\n';
+
+    const std::size_t total =
+        computation.num_messages() + computation.num_internal_events();
+    out << "events " << total << '\n';
+
+    // Emit a valid instant order: messages in id order, each preceded by
+    // the internal events that come before it in its endpoints' sequences.
+    std::vector<std::size_t> cursor(g.num_vertices(), 0);
+    const auto drain = [&](ProcessId p, MessageId until) {
+        const auto events = computation.process_events(p);
+        while (cursor[p] < events.size()) {
+            const ProcessEvent& e = events[cursor[p]];
+            if (e.kind == ProcessEvent::Kind::message) {
+                SYNCTS_ENSURE(until != kNoMessage && e.index == until,
+                              "trace serialization out of order");
+                ++cursor[p];
+                return;
+            }
+            out << "i " << p << '\n';
+            ++cursor[p];
+        }
+        SYNCTS_ENSURE(until == kNoMessage, "message missing from sequence");
+    };
+    for (const SyncMessage& m : computation.messages()) {
+        drain(m.sender, m.id);
+        drain(m.receiver, m.id);
+        out << "m " << m.sender << ' ' << m.receiver << '\n';
+    }
+    for (ProcessId p = 0; p < g.num_vertices(); ++p) drain(p, kNoMessage);
+}
+
+std::string serialize_computation(const SyncComputation& computation) {
+    std::ostringstream os;
+    write_computation(os, computation);
+    return os.str();
+}
+
+namespace {
+
+std::string next_token(std::istream& in, const char* what) {
+    std::string token;
+    SYNCTS_REQUIRE(static_cast<bool>(in >> token),
+                   std::string("trace input truncated, expected ") + what);
+    return token;
+}
+
+std::size_t next_number(std::istream& in, const char* what) {
+    const std::string token = next_token(in, what);
+    try {
+        std::size_t consumed = 0;
+        const unsigned long long value = std::stoull(token, &consumed);
+        SYNCTS_REQUIRE(consumed == token.size(), "trailing garbage in number");
+        return static_cast<std::size_t>(value);
+    } catch (const std::logic_error&) {
+        throw std::invalid_argument(std::string("expected a number for ") +
+                                    what + ", got '" + token + "'");
+    }
+}
+
+}  // namespace
+
+SyncComputation read_computation(std::istream& in) {
+    SYNCTS_REQUIRE(next_token(in, "magic") == "syncts-trace",
+                   "not a syncts trace (bad magic)");
+    SYNCTS_REQUIRE(next_number(in, "version") == 1,
+                   "unsupported trace version");
+    SYNCTS_REQUIRE(next_token(in, "processes keyword") == "processes",
+                   "expected 'processes'");
+    const std::size_t n = next_number(in, "process count");
+    SYNCTS_REQUIRE(next_token(in, "edges keyword") == "edges",
+                   "expected 'edges'");
+    const std::size_t m = next_number(in, "edge count");
+
+    Graph g(n);
+    for (std::size_t i = 0; i < m; ++i) {
+        SYNCTS_REQUIRE(next_token(in, "edge record") == "e",
+                       "expected edge record 'e'");
+        const std::size_t u = next_number(in, "edge endpoint");
+        const std::size_t v = next_number(in, "edge endpoint");
+        SYNCTS_REQUIRE(u < n && v < n, "edge endpoint out of range");
+        g.add_edge(static_cast<ProcessId>(u), static_cast<ProcessId>(v));
+    }
+
+    SYNCTS_REQUIRE(next_token(in, "events keyword") == "events",
+                   "expected 'events'");
+    const std::size_t total = next_number(in, "event count");
+    SyncComputation computation(std::move(g));
+    for (std::size_t i = 0; i < total; ++i) {
+        const std::string kind = next_token(in, "event record");
+        if (kind == "m") {
+            const std::size_t sender = next_number(in, "sender");
+            const std::size_t receiver = next_number(in, "receiver");
+            SYNCTS_REQUIRE(sender < n && receiver < n,
+                           "event process out of range");
+            computation.add_message(static_cast<ProcessId>(sender),
+                                    static_cast<ProcessId>(receiver));
+        } else if (kind == "i") {
+            const std::size_t p = next_number(in, "process");
+            SYNCTS_REQUIRE(p < n, "event process out of range");
+            computation.add_internal(static_cast<ProcessId>(p));
+        } else {
+            throw std::invalid_argument("unknown event record '" + kind +
+                                        "'");
+        }
+    }
+    return computation;
+}
+
+SyncComputation parse_computation(const std::string& text) {
+    std::istringstream in(text);
+    return read_computation(in);
+}
+
+}  // namespace syncts

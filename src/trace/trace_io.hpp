@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/computation.hpp"
+
+/// \file trace_io.hpp
+/// Plain-text persistence for recorded computations, so a monitoring
+/// deployment can record now and analyze later (the offline algorithm's
+/// intended workflow). The format is line-oriented and versioned:
+///
+///   syncts-trace 1
+///   processes <N>
+///   edges <M>
+///   e <u> <v>          # one per channel
+///   events <K>
+///   m <sender> <receiver>
+///   i <process>
+///
+/// Events appear in a valid instant order; internal events keep their
+/// position within their process's sequence (cross-process interleaving of
+/// internal events carries no ordering information and is not preserved).
+
+namespace syncts {
+
+/// Serializes the computation (with its topology) to the text format.
+std::string serialize_computation(const SyncComputation& computation);
+void write_computation(std::ostream& out, const SyncComputation& computation);
+
+/// Parses the text format. Throws std::invalid_argument on malformed
+/// input (bad header, unknown record, dangling indices, wrong counts).
+SyncComputation parse_computation(const std::string& text);
+SyncComputation read_computation(std::istream& in);
+
+}  // namespace syncts

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "clocks/online_clock.hpp"
+#include "core/causality.hpp"
+#include "trace/async_computation.hpp"
+#include "trace/ground_truth.hpp"
+
+namespace syncts {
+namespace {
+
+TEST(AsyncComputation, BuildAndQuery) {
+    AsyncComputation c(3);
+    const MessageId m = c.new_message();
+    EXPECT_FALSE(c.complete());
+    c.record_send(0, m);
+    EXPECT_FALSE(c.complete());
+    c.record_receive(1, m);
+    EXPECT_TRUE(c.complete());
+    EXPECT_EQ(c.sender_of(m), 0u);
+    EXPECT_EQ(c.receiver_of(m), 1u);
+    EXPECT_EQ(c.process_events(0).size(), 1u);
+    EXPECT_EQ(c.process_events(2).size(), 0u);
+}
+
+TEST(AsyncComputation, RejectsBadRecords) {
+    AsyncComputation c(2);
+    const MessageId m = c.new_message();
+    c.record_send(0, m);
+    EXPECT_THROW(c.record_send(1, m), std::invalid_argument);
+    EXPECT_THROW(c.record_receive(0, m), std::invalid_argument);  // self
+    EXPECT_THROW(c.record_send(0, 99), std::invalid_argument);
+    EXPECT_THROW(c.record_send(5, m), std::invalid_argument);
+}
+
+TEST(CheckSynchronous, InstantMessagesAreSynchronous) {
+    AsyncComputation c(4);
+    c.add_instant_message(0, 1);
+    c.add_instant_message(2, 3);
+    c.add_instant_message(1, 2);
+    const SynchronyResult result = check_synchronous(c);
+    EXPECT_TRUE(result.synchronous);
+    EXPECT_EQ(result.instant_order.size(), 3u);
+    EXPECT_TRUE(result.violation_cycle.empty());
+}
+
+TEST(CheckSynchronous, IntegerTimestampsSatisfySection2) {
+    // The witness timestamps must increase within each process and give
+    // both endpoints of a message the same value — the paper's
+    // characterization of synchronous computations.
+    AsyncComputation c(4);
+    c.add_instant_message(0, 1);
+    c.add_instant_message(2, 3);
+    c.add_instant_message(1, 2);
+    c.add_instant_message(0, 1);
+    const SynchronyResult result = check_synchronous(c);
+    ASSERT_TRUE(result.synchronous);
+    for (ProcessId p = 0; p < 4; ++p) {
+        const auto events = c.process_events(p);
+        for (std::size_t i = 0; i + 1 < events.size(); ++i) {
+            EXPECT_LT(result.integer_timestamps[events[i].message],
+                      result.integer_timestamps[events[i + 1].message]);
+        }
+    }
+}
+
+TEST(CheckSynchronous, CrossedMessagesAreNotSynchronous) {
+    // The classic crown: P0 sends m0 then receives m1; P1 sends m1 then
+    // receives m0. No vertical-arrow drawing exists.
+    AsyncComputation c(2);
+    const MessageId m0 = c.new_message();
+    const MessageId m1 = c.new_message();
+    c.record_send(0, m0);
+    c.record_send(1, m1);
+    c.record_receive(0, m1);
+    c.record_receive(1, m0);
+    const SynchronyResult result = check_synchronous(c);
+    EXPECT_FALSE(result.synchronous);
+    ASSERT_GE(result.violation_cycle.size(), 2u);
+    // The cycle names both crossing messages.
+    EXPECT_NE(std::ranges::find(result.violation_cycle, m0),
+              result.violation_cycle.end());
+    EXPECT_NE(std::ranges::find(result.violation_cycle, m1),
+              result.violation_cycle.end());
+}
+
+TEST(CheckSynchronous, ViolationCycleEdgesAreReal) {
+    // Larger crown through three processes.
+    AsyncComputation c(3);
+    const MessageId a = c.new_message();
+    const MessageId b = c.new_message();
+    const MessageId d = c.new_message();
+    c.record_send(0, a);
+    c.record_send(1, b);
+    c.record_send(2, d);
+    c.record_receive(1, a);
+    c.record_receive(2, b);
+    c.record_receive(0, d);
+    const SynchronyResult result = check_synchronous(c);
+    ASSERT_FALSE(result.synchronous);
+    // Verify each consecutive pair in the cycle is a real per-process
+    // precedence between distinct messages.
+    const auto precedes_somewhere = [&](MessageId x, MessageId y) {
+        for (ProcessId p = 0; p < 3; ++p) {
+            const auto events = c.process_events(p);
+            for (std::size_t i = 0; i + 1 < events.size(); ++i) {
+                if (events[i].message == x && events[i + 1].message == y) {
+                    return true;
+                }
+            }
+        }
+        return false;
+    };
+    const auto& cycle = result.violation_cycle;
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+        EXPECT_TRUE(
+            precedes_somewhere(cycle[i], cycle[(i + 1) % cycle.size()]))
+            << "edge " << i;
+    }
+}
+
+TEST(CheckSynchronous, DelayedDeliveryCanStillBeSynchronous) {
+    // P0 sends m0 to P1, P1 does other work (receives m1 from P2) before
+    // taking m0 — still RSC because an instant order exists: m1 then m0.
+    AsyncComputation c(3);
+    const MessageId m0 = c.new_message();
+    const MessageId m1 = c.new_message();
+    c.record_send(0, m0);
+    c.record_send(2, m1);
+    c.record_receive(1, m1);
+    c.record_receive(1, m0);
+    const SynchronyResult result = check_synchronous(c);
+    EXPECT_TRUE(result.synchronous);
+    // m1 must come before m0 in the witness order (P1's order demands it).
+    const auto pos = [&](MessageId m) {
+        return std::ranges::find(result.instant_order, m) -
+               result.instant_order.begin();
+    };
+    EXPECT_LT(pos(m1), pos(m0));
+}
+
+TEST(CheckSynchronous, RequiresCompleteComputation) {
+    AsyncComputation c(2);
+    const MessageId m = c.new_message();
+    c.record_send(0, m);
+    EXPECT_THROW(check_synchronous(c), std::invalid_argument);
+}
+
+TEST(ToSyncComputation, RoundTripsAndTimestamps) {
+    AsyncComputation async(4);
+    async.add_instant_message(0, 1);
+    async.add_instant_message(2, 3);
+    async.add_instant_message(1, 2);
+    async.add_instant_message(3, 0);
+
+    const SyncComputation sync = to_sync_computation(async);
+    EXPECT_EQ(sync.num_messages(), 4u);
+    EXPECT_EQ(sync.topology().num_edges(), 4u);
+    // Full pipeline: timestamps on the converted computation are exact.
+    const auto stamps = online_timestamps(sync);
+    EXPECT_EQ(encoding_mismatches(message_poset(sync), stamps), 0u);
+}
+
+TEST(ToSyncComputation, RejectsNonSynchronous) {
+    AsyncComputation async(2);
+    const MessageId m0 = async.new_message();
+    const MessageId m1 = async.new_message();
+    async.record_send(0, m0);
+    async.record_send(1, m1);
+    async.record_receive(0, m1);
+    async.record_receive(1, m0);
+    EXPECT_THROW(to_sync_computation(async), std::invalid_argument);
+}
+
+TEST(ToSyncComputation, HonorsProvidedTopology) {
+    AsyncComputation async(3);
+    async.add_instant_message(0, 1);
+    Graph topology(3);
+    topology.add_edge(0, 1);
+    topology.add_edge(1, 2);
+    const SyncComputation sync =
+        to_sync_computation(async, std::move(topology));
+    EXPECT_EQ(sync.topology().num_edges(), 2u);
+    // A used channel missing from the supplied topology is an error.
+    AsyncComputation bad(3);
+    bad.add_instant_message(0, 2);
+    Graph narrow(3);
+    narrow.add_edge(0, 1);
+    EXPECT_THROW(to_sync_computation(bad, std::move(narrow)),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace syncts

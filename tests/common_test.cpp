@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/dyn_bitset.hpp"
+#include "common/rng.hpp"
+
+namespace syncts {
+namespace {
+
+TEST(Check, RequireThrowsInvalidArgument) {
+    EXPECT_THROW(SYNCTS_REQUIRE(false, "boom"), std::invalid_argument);
+    EXPECT_NO_THROW(SYNCTS_REQUIRE(true, "fine"));
+}
+
+TEST(Check, EnsureThrowsLogicError) {
+    EXPECT_THROW(SYNCTS_ENSURE(false, "bug"), std::logic_error);
+    EXPECT_NO_THROW(SYNCTS_ENSURE(true, "fine"));
+}
+
+TEST(Check, MessagesCarryContext) {
+    try {
+        SYNCTS_REQUIRE(1 == 2, "the context string");
+        FAIL() << "should have thrown";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("the context string"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) equal += a() == b() ? 1 : 0;
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, BelowStaysInRange) {
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 500; ++i) EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) seen.insert(rng.below(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BetweenInclusive) {
+    Rng rng(13);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.between(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, Uniform01InRange) {
+    Rng rng(17);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform01();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes) {
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(rng.chance(1, 1));
+        EXPECT_FALSE(rng.chance(0, 1));
+    }
+}
+
+TEST(DynBitset, SetTestReset) {
+    DynBitset bits(130);
+    EXPECT_EQ(bits.size(), 130u);
+    EXPECT_FALSE(bits.test(0));
+    bits.set(0);
+    bits.set(64);
+    bits.set(129);
+    EXPECT_TRUE(bits.test(0));
+    EXPECT_TRUE(bits.test(64));
+    EXPECT_TRUE(bits.test(129));
+    EXPECT_FALSE(bits.test(1));
+    bits.reset(64);
+    EXPECT_FALSE(bits.test(64));
+    EXPECT_EQ(bits.count(), 2u);
+}
+
+TEST(DynBitset, OrAssign) {
+    DynBitset a(100);
+    DynBitset b(100);
+    a.set(3);
+    b.set(70);
+    a |= b;
+    EXPECT_TRUE(a.test(3));
+    EXPECT_TRUE(a.test(70));
+    EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(DynBitset, AndAssign) {
+    DynBitset a(100);
+    DynBitset b(100);
+    a.set(3);
+    a.set(70);
+    b.set(70);
+    a &= b;
+    EXPECT_FALSE(a.test(3));
+    EXPECT_TRUE(a.test(70));
+}
+
+TEST(DynBitset, SubsetAndIntersect) {
+    DynBitset a(80);
+    DynBitset b(80);
+    a.set(5);
+    b.set(5);
+    b.set(77);
+    EXPECT_TRUE(a.is_subset_of(b));
+    EXPECT_FALSE(b.is_subset_of(a));
+    EXPECT_TRUE(a.intersects(b));
+    DynBitset c(80);
+    c.set(6);
+    EXPECT_FALSE(a.intersects(c));
+    EXPECT_TRUE(DynBitset(80).is_subset_of(a));
+}
+
+TEST(DynBitset, FindNextAndForEach) {
+    DynBitset bits(200);
+    bits.set(10);
+    bits.set(63);
+    bits.set(64);
+    bits.set(199);
+    EXPECT_EQ(bits.find_next(0), 10u);
+    EXPECT_EQ(bits.find_next(11), 63u);
+    EXPECT_EQ(bits.find_next(64), 64u);
+    EXPECT_EQ(bits.find_next(65), 199u);
+    EXPECT_EQ(bits.find_next(200), 200u);
+    std::vector<std::size_t> seen;
+    bits.for_each([&](std::size_t i) { seen.push_back(i); });
+    EXPECT_EQ(seen, (std::vector<std::size_t>{10, 63, 64, 199}));
+}
+
+TEST(DynBitset, ClearAndEquality) {
+    DynBitset a(50);
+    a.set(20);
+    DynBitset b(50);
+    EXPECT_NE(a, b);
+    a.clear();
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.count(), 0u);
+}
+
+}  // namespace
+}  // namespace syncts

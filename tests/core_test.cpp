@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "core/causality.hpp"
+#include "core/monitor.hpp"
+#include "core/sync_system.hpp"
+#include "core/timestamped_trace.hpp"
+#include "test_util.hpp"
+#include "trace/generator.hpp"
+#include "trace/ground_truth.hpp"
+
+namespace syncts {
+namespace {
+
+TEST(SyncSystemTest, BasicConstruction) {
+    const SyncSystem system(topology::client_server(2, 10));
+    EXPECT_EQ(system.num_processes(), 12u);
+    EXPECT_EQ(system.width(), 2u);
+    EXPECT_EQ(system.topology().num_edges(), 20u);
+    EXPECT_TRUE(system.decomposition().complete());
+}
+
+TEST(SyncSystemTest, StrategiesDiffer) {
+    const Graph g = topology::complete(6);
+    EXPECT_EQ(SyncSystem(g, DecompositionStrategy::automatic).width(), 4u);
+    EXPECT_EQ(SyncSystem(g, DecompositionStrategy::greedy).width(), 5u);
+    EXPECT_EQ(SyncSystem(g, DecompositionStrategy::exact_cover).width(), 5u);
+    EXPECT_LE(SyncSystem(g, DecompositionStrategy::approx_cover).width(),
+              10u);
+}
+
+TEST(SyncSystemTest, AdoptsPrebuiltDecomposition) {
+    EdgeDecomposition d(topology::triangle());
+    d.add_triangle(Triangle::make(0, 1, 2));
+    const SyncSystem system(std::move(d));
+    EXPECT_EQ(system.width(), 1u);
+    EdgeDecomposition incomplete(topology::path(3));
+    EXPECT_THROW(SyncSystem{std::move(incomplete)}, std::invalid_argument);
+}
+
+TEST(SyncSystemTest, AnalyzeProducesExactTrace) {
+    const Graph g = topology::paper_fig4_tree();
+    const SyncSystem system(g);
+    const SyncComputation c = testing::random_workload(g, 100, 0.0, 101);
+    const TimestampedTrace trace = system.analyze(c);
+    EXPECT_EQ(trace.verify_against_ground_truth(), 0u);
+    EXPECT_EQ(trace.num_messages(), 100u);
+}
+
+TEST(SyncSystemTest, AnalyzeRejectsMismatchedComputation) {
+    const SyncSystem system(topology::path(3));
+    SyncComputation c(topology::path(4));
+    c.add_message(0, 1);
+    EXPECT_THROW(system.analyze(c), std::invalid_argument);
+}
+
+TEST(TimestampedTraceTest, PaperFig1Queries) {
+    const SyncComputation c = paper_fig1_computation();
+    const SyncSystem system(c.topology());
+    const TimestampedTrace trace = system.analyze(c);
+    EXPECT_TRUE(trace.concurrent(0, 1));       // m1 || m2
+    EXPECT_TRUE(trace.precedes(0, 2));         // m1 -> m3
+    EXPECT_TRUE(trace.precedes(1, 5));         // m2 -> m6
+    EXPECT_TRUE(trace.precedes(2, 4));         // m3 -> m5
+    EXPECT_FALSE(trace.precedes(4, 2));
+    EXPECT_FALSE(trace.concurrent(2, 2));
+
+    const auto minimal = trace.minimal_messages();
+    EXPECT_EQ(minimal, (std::vector<MessageId>{0, 1}));
+    const auto maximal = trace.maximal_messages();
+    EXPECT_EQ(maximal, (std::vector<MessageId>{5}));
+    EXPECT_EQ(trace.concurrent_with(0), (std::vector<MessageId>{1}));
+    EXPECT_EQ(trace.concurrent_pair_count(), 1u);
+    EXPECT_EQ(trace.verify_against_ground_truth(), 0u);
+}
+
+TEST(TimestampedTraceTest, ToStringListsStamps) {
+    const SyncComputation c = paper_fig6_computation();
+    const SyncSystem system(c.topology());
+    const std::string s = system.analyze(c).to_string();
+    EXPECT_NE(s.find("m3: P2 -> P3  (1,1,1)"), std::string::npos);
+}
+
+TEST(TimestampedTraceTest, RejectsMismatchedStampCount) {
+    SyncComputation c(topology::path(2));
+    c.add_message(0, 1);
+    EXPECT_THROW(TimestampedTrace(c, {}), std::invalid_argument);
+}
+
+TEST(CausalityTest, CompareAndToString) {
+    const VectorTimestamp a(std::vector<std::uint64_t>{1, 0});
+    const VectorTimestamp b(std::vector<std::uint64_t>{1, 1});
+    const VectorTimestamp c(std::vector<std::uint64_t>{0, 2});
+    EXPECT_EQ(compare(a, b), Order::before);
+    EXPECT_EQ(compare(b, a), Order::after);
+    EXPECT_EQ(compare(a, c), Order::concurrent);
+    EXPECT_EQ(compare(a, a), Order::equal);
+    EXPECT_STREQ(to_string(Order::concurrent), "concurrent");
+}
+
+TEST(CausalityTest, CountsAndTotals) {
+    const std::vector<VectorTimestamp> stamps{
+        VectorTimestamp(std::vector<std::uint64_t>{1, 0}),
+        VectorTimestamp(std::vector<std::uint64_t>{0, 1}),
+        VectorTimestamp(std::vector<std::uint64_t>{2, 2})};
+    EXPECT_EQ(count_concurrent_pairs(stamps), 1u);
+    EXPECT_EQ(total_components(stamps), 6u);
+}
+
+TEST(CausalityTest, ConsistencyVsEncoding) {
+    // A clock that orders too much is consistent but not an exact encoding.
+    Poset p(2);
+    p.close();  // two incomparable elements
+    const std::vector<VectorTimestamp> exaggerating{
+        VectorTimestamp(std::vector<std::uint64_t>{1}),
+        VectorTimestamp(std::vector<std::uint64_t>{2})};
+    EXPECT_EQ(consistency_violations(p, exaggerating), 0u);
+    EXPECT_EQ(encoding_mismatches(p, exaggerating), 1u);
+}
+
+TEST(MonitorTest, ConflictDetection) {
+    // Simulate a 2-server/3-client system; feed its timestamps to the
+    // monitor and ask for conflicts.
+    const Graph g = topology::client_server(2, 3);
+    const SyncSystem system(g);
+    auto timestamper = system.make_timestamper();
+    CausalMonitor monitor;
+    const std::size_t w1 =
+        monitor.record("write-x@c1", timestamper.timestamp_message(2, 0));
+    const std::size_t w2 =
+        monitor.record("write-x@c2", timestamper.timestamp_message(3, 1));
+    const std::size_t r1 =
+        monitor.record("read-x@c1", timestamper.timestamp_message(2, 0));
+    EXPECT_EQ(monitor.order(w1, r1), Order::before);
+    EXPECT_EQ(monitor.order(w1, w2), Order::concurrent);
+    EXPECT_EQ(monitor.conflicts_of(w1), (std::vector<std::size_t>{w2}));
+    EXPECT_EQ(monitor.conflict_pair_count(), 2u);  // w1||w2 and w2||r1
+    EXPECT_EQ(monitor.latest_predecessor(r1), std::optional<std::size_t>{w1});
+    EXPECT_EQ(monitor.latest_predecessor(w1), std::nullopt);
+    const auto frontier = monitor.frontier();
+    EXPECT_EQ(frontier, (std::vector<std::size_t>{w2, r1}));
+    EXPECT_EQ(monitor.operation(w2).label, "write-x@c2");
+}
+
+TEST(MonitorTest, OutOfRangeRejected) {
+    CausalMonitor monitor;
+    EXPECT_THROW(monitor.operation(0), std::invalid_argument);
+    monitor.record("a", VectorTimestamp(1));
+    EXPECT_THROW(monitor.order(0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace syncts

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/cuts.hpp"
+#include "core/sync_system.hpp"
+#include "test_util.hpp"
+#include "trace/generator.hpp"
+
+namespace syncts {
+namespace {
+
+TimestampedTrace fig1_trace() {
+    const SyncComputation c = paper_fig1_computation();
+    return SyncSystem(c.topology()).analyze(c);
+}
+
+TEST(Cuts, ConsistencyOnFig1) {
+    const TimestampedTrace trace = fig1_trace();
+    // Recall: m1..m6 with m1||m2 and everything else chained.
+    EXPECT_TRUE(is_consistent_cut(trace, {}));
+    EXPECT_TRUE(is_consistent_cut(trace, {0}));
+    EXPECT_TRUE(is_consistent_cut(trace, {0, 1}));
+    EXPECT_TRUE(is_consistent_cut(trace, {0, 1, 2}));
+    // m3 without m1 (m1 -> m3) is inconsistent.
+    EXPECT_FALSE(is_consistent_cut(trace, {2}));
+    EXPECT_FALSE(is_consistent_cut(trace, {1, 2}));
+    // The full set is always consistent.
+    EXPECT_TRUE(is_consistent_cut(trace, {0, 1, 2, 3, 4, 5}));
+}
+
+TEST(Cuts, DownwardClosure) {
+    const TimestampedTrace trace = fig1_trace();
+    // Past of m5: m1, m2, m3, m4, m5 (m5 needs both branches).
+    EXPECT_EQ(downward_closure(trace, {4}),
+              (std::vector<MessageId>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(downward_closure(trace, {0}), (std::vector<MessageId>{0}));
+    EXPECT_EQ(downward_closure(trace, {2}),
+              (std::vector<MessageId>{0, 1, 2}));
+    EXPECT_TRUE(is_consistent_cut(trace, downward_closure(trace, {3})));
+}
+
+TEST(Cuts, RecoveryLineExcludesOrphans) {
+    const TimestampedTrace trace = fig1_trace();
+    // Losing m3 orphans m4, m5, m6; the recovery line is {m1, m2}.
+    EXPECT_EQ(recovery_line(trace, {2}), (std::vector<MessageId>{0, 1}));
+    // Losing m6 (a maximal message) orphans nothing else.
+    EXPECT_EQ(recovery_line(trace, {5}),
+              (std::vector<MessageId>{0, 1, 2, 3, 4}));
+}
+
+TEST(Cuts, Frontier) {
+    const TimestampedTrace trace = fig1_trace();
+    // m1 -> m3 and m2 -> m3, so only m3 is maximal in {m1, m2, m3}.
+    EXPECT_EQ(cut_frontier(trace, {0, 1, 2}), (std::vector<MessageId>{2}));
+    EXPECT_EQ(cut_frontier(trace, {0, 1}), (std::vector<MessageId>{0, 1}));
+    EXPECT_THROW(cut_frontier(trace, {2}), std::invalid_argument);
+}
+
+TEST(Cuts, PropertiesOnRandomWorkloads) {
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        const Graph g = topology::client_server(3, 5);
+        const SyncComputation c =
+            testing::random_workload(g, 60, 0.0, 1100 + seed);
+        const TimestampedTrace trace = SyncSystem(g).analyze(c);
+        // Closure of random seeds is consistent and contains the seeds.
+        Rng rng(seed);
+        std::vector<MessageId> seeds;
+        for (int k = 0; k < 3; ++k) {
+            seeds.push_back(
+                static_cast<MessageId>(rng.below(trace.num_messages())));
+        }
+        const auto closure = downward_closure(trace, seeds);
+        EXPECT_TRUE(is_consistent_cut(trace, closure));
+        for (const MessageId s : seeds) {
+            EXPECT_NE(std::ranges::find(closure, s), closure.end());
+        }
+        // Recovery line and orphan set partition the messages.
+        const auto line = recovery_line(trace, {seeds[0]});
+        EXPECT_TRUE(is_consistent_cut(trace, line));
+        EXPECT_EQ(std::ranges::find(line, seeds[0]), line.end());
+        for (const MessageId m : line) {
+            EXPECT_FALSE(trace.precedes(seeds[0], m));
+        }
+        // Frontier elements are pairwise concurrent or equal... pairwise
+        // incomparable, in fact.
+        const auto frontier = cut_frontier(trace, closure);
+        for (std::size_t i = 0; i < frontier.size(); ++i) {
+            for (std::size_t j = i + 1; j < frontier.size(); ++j) {
+                EXPECT_FALSE(trace.precedes(frontier[i], frontier[j]));
+                EXPECT_FALSE(trace.precedes(frontier[j], frontier[i]));
+            }
+        }
+    }
+}
+
+TEST(Cuts, RejectsOutOfRange) {
+    const TimestampedTrace trace = fig1_trace();
+    EXPECT_THROW(is_consistent_cut(trace, {99}), std::invalid_argument);
+    EXPECT_THROW(downward_closure(trace, {99}), std::invalid_argument);
+    EXPECT_THROW(recovery_line(trace, {99}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace syncts

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "clocks/online_clock.hpp"
+#include "graph/generators.hpp"
+#include "trace/diagram.hpp"
+#include "trace/generator.hpp"
+
+namespace syncts {
+namespace {
+
+TEST(Diagram, Fig1Layout) {
+    const std::string diagram = to_diagram(paper_fig1_computation());
+    EXPECT_EQ(diagram,
+              "P1 | m1 .  .  .  .  .  \n"
+              "P2 | m1 .  m3 m4 .  m6 \n"
+              "P3 | .  m2 m3 m4 m5 m6 \n"
+              "P4 | .  m2 .  .  m5 .  \n");
+}
+
+TEST(Diagram, InternalEventsRenderAsI) {
+    SyncComputation c(topology::path(2));
+    c.add_internal(0);
+    c.add_message(0, 1);
+    c.add_internal(1);
+    const std::string diagram = to_diagram(c);
+    EXPECT_EQ(diagram,
+              "P1 | i  m1 .  \n"
+              "P2 | .  m1 i  \n");
+}
+
+TEST(Diagram, LegendListsTimestamps) {
+    const SyncComputation c = paper_fig6_computation();
+    const auto stamps = online_timestamps(c);
+    const std::string diagram = to_diagram(c, stamps);
+    EXPECT_NE(diagram.find("m3 = (1,1,1)"), std::string::npos);
+    EXPECT_NE(diagram.find("P5 |"), std::string::npos);
+}
+
+TEST(Diagram, WideMessageNumbersAlign) {
+    SyncComputation c(topology::path(2));
+    for (int i = 0; i < 12; ++i) c.add_message(0, 1);
+    const std::string diagram = to_diagram(c);
+    // Labels m1..m12: cell width fits "m12" (3 chars + space).
+    EXPECT_NE(diagram.find("m12 "), std::string::npos);
+    // Both rows have equal length.
+    const std::size_t newline = diagram.find('\n');
+    EXPECT_EQ(diagram.size() % (newline + 1), 0u);
+}
+
+TEST(Diagram, MismatchedStampsRejected) {
+    SyncComputation c(topology::path(2));
+    c.add_message(0, 1);
+    const std::vector<VectorTimestamp> wrong(3, VectorTimestamp(1));
+    EXPECT_THROW(to_diagram(c, wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace syncts

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "poset/dilworth.hpp"
+
+namespace syncts {
+namespace {
+
+Poset chain_poset(std::size_t n) {
+    Poset p(n);
+    for (std::size_t i = 0; i + 1 < n; ++i) p.add_relation(i, i + 1);
+    p.close();
+    return p;
+}
+
+Poset antichain_poset(std::size_t n) {
+    Poset p(n);
+    p.close();
+    return p;
+}
+
+/// Product order on an a×b grid: (x1,y1) < (x2,y2) iff both coordinates
+/// are ≤ and one is <. Width = min(a, b).
+Poset grid_poset(std::size_t a, std::size_t b) {
+    Poset p(a * b);
+    for (std::size_t x = 0; x < a; ++x) {
+        for (std::size_t y = 0; y < b; ++y) {
+            if (x + 1 < a) p.add_relation(x * b + y, (x + 1) * b + y);
+            if (y + 1 < b) p.add_relation(x * b + y, x * b + y + 1);
+        }
+    }
+    p.close();
+    return p;
+}
+
+Poset random_poset(std::size_t n, Rng& rng) {
+    // Random DAG respecting index order, then closed.
+    Poset p(n);
+    for (std::size_t a = 0; a < n; ++a) {
+        for (std::size_t b = a + 1; b < n; ++b) {
+            if (rng.chance(1, 4)) p.add_relation(a, b);
+        }
+    }
+    p.close();
+    return p;
+}
+
+/// Largest antichain by exhaustive subset search (n <= ~18).
+std::size_t brute_force_width(const Poset& p) {
+    const std::size_t n = p.size();
+    std::size_t best = 0;
+    for (std::size_t mask = 1; mask < (std::size_t{1} << n); ++mask) {
+        const auto size =
+            static_cast<std::size_t>(__builtin_popcountll(mask));
+        if (size <= best) continue;
+        bool antichain = true;
+        for (std::size_t a = 0; a < n && antichain; ++a) {
+            if (!((mask >> a) & 1)) continue;
+            for (std::size_t b = a + 1; b < n && antichain; ++b) {
+                if (!((mask >> b) & 1)) continue;
+                if (!p.incomparable(a, b)) antichain = false;
+            }
+        }
+        if (antichain) best = size;
+    }
+    return best;
+}
+
+TEST(Width, ChainIsOne) { EXPECT_EQ(poset_width(chain_poset(7)), 1u); }
+
+TEST(Width, AntichainIsN) { EXPECT_EQ(poset_width(antichain_poset(6)), 6u); }
+
+TEST(Width, GridIsMinSide) {
+    EXPECT_EQ(poset_width(grid_poset(3, 5)), 3u);
+    EXPECT_EQ(poset_width(grid_poset(4, 4)), 4u);
+    EXPECT_EQ(poset_width(grid_poset(1, 9)), 1u);
+}
+
+TEST(Width, MatchesBruteForceOnRandomPosets) {
+    Rng rng(51);
+    for (int trial = 0; trial < 20; ++trial) {
+        const Poset p = random_poset(12, rng);
+        EXPECT_EQ(poset_width(p), brute_force_width(p)) << "trial " << trial;
+    }
+}
+
+TEST(ChainPartitionTest, ValidAndMinimal) {
+    Rng rng(52);
+    for (int trial = 0; trial < 15; ++trial) {
+        const Poset p = random_poset(14, rng);
+        const ChainPartition partition = dilworth_chain_partition(p);
+        EXPECT_TRUE(is_chain_partition(p, partition));
+        EXPECT_EQ(partition.width(), poset_width(p));
+        // chain_of is consistent.
+        for (std::size_t c = 0; c < partition.chains.size(); ++c) {
+            for (const std::size_t x : partition.chains[c]) {
+                EXPECT_EQ(partition.chain_of[x], c);
+            }
+        }
+    }
+}
+
+TEST(ChainPartitionTest, ChainAndAntichainExtremes) {
+    const ChainPartition one = dilworth_chain_partition(chain_poset(9));
+    EXPECT_EQ(one.width(), 1u);
+    EXPECT_EQ(one.chains[0].size(), 9u);
+    const ChainPartition many = dilworth_chain_partition(antichain_poset(5));
+    EXPECT_EQ(many.width(), 5u);
+}
+
+TEST(MaximumAntichainTest, SizeEqualsWidthAndValid) {
+    Rng rng(53);
+    for (int trial = 0; trial < 15; ++trial) {
+        const Poset p = random_poset(13, rng);
+        const auto antichain = maximum_antichain(p);
+        EXPECT_TRUE(is_antichain(p, antichain));
+        EXPECT_EQ(antichain.size(), poset_width(p)) << "trial " << trial;
+    }
+}
+
+TEST(IsAntichainTest, DetectsComparablePairs) {
+    const Poset p = chain_poset(4);
+    EXPECT_TRUE(is_antichain(p, {2}));
+    EXPECT_TRUE(is_antichain(p, {}));
+    EXPECT_FALSE(is_antichain(p, {0, 3}));
+}
+
+TEST(IsChainPartitionTest, RejectsBadPartitions) {
+    const Poset p = chain_poset(4);
+    ChainPartition bad;
+    bad.chains = {{0, 1}, {2}};  // element 3 missing
+    bad.chain_of = {0, 0, 1, 0};
+    EXPECT_FALSE(is_chain_partition(p, bad));
+    ChainPartition wrong_order;
+    wrong_order.chains = {{1, 0}, {2}, {3}};  // 1 < 0 is false
+    wrong_order.chain_of = {0, 0, 1, 2};
+    EXPECT_FALSE(is_chain_partition(p, wrong_order));
+}
+
+}  // namespace
+}  // namespace syncts

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "clocks/direct_dependency.hpp"
+#include "test_util.hpp"
+#include "trace/generator.hpp"
+#include "trace/ground_truth.hpp"
+
+namespace syncts {
+namespace {
+
+TEST(DirectDependency, RecordsImmediatePredecessors) {
+    DirectDependencyTracker tracker(4);
+    const MessageId m0 = tracker.record_message(0, 1);
+    const MessageId m1 = tracker.record_message(2, 3);
+    const MessageId m2 = tracker.record_message(1, 2);
+    EXPECT_EQ(tracker.records()[m0].prev_sender, kNoMessage);
+    EXPECT_EQ(tracker.records()[m0].prev_receiver, kNoMessage);
+    EXPECT_EQ(tracker.records()[m1].prev_sender, kNoMessage);
+    EXPECT_EQ(tracker.records()[m2].prev_sender, m0);   // P1's last
+    EXPECT_EQ(tracker.records()[m2].prev_receiver, m1); // P2's last
+}
+
+TEST(DirectDependency, RejectsBadArguments) {
+    DirectDependencyTracker tracker(2);
+    EXPECT_THROW(tracker.record_message(0, 0), std::invalid_argument);
+    EXPECT_THROW(tracker.record_message(0, 5), std::invalid_argument);
+    const std::vector<DirectDeps> empty;
+    EXPECT_THROW(direct_precedes(0, 0, empty), std::invalid_argument);
+}
+
+TEST(DirectDependency, PrecedenceMatchesGroundTruthOnFig1) {
+    const SyncComputation c = paper_fig1_computation();
+    const auto records = DirectDependencyTracker::record_computation(c);
+    const Poset truth = message_poset(c);
+    for (MessageId a = 0; a < c.num_messages(); ++a) {
+        for (MessageId b = 0; b < c.num_messages(); ++b) {
+            EXPECT_EQ(direct_precedes(a, b, records),
+                      a != b && truth.less(a, b))
+                << 'm' << a + 1 << " vs m" << b + 1;
+        }
+    }
+}
+
+TEST(DirectDependency, PrecedenceMatchesGroundTruthAcrossFamilies) {
+    std::vector<char> scratch;
+    for (const auto& [name, graph] : testing::topology_suite(8, 501)) {
+        const SyncComputation c = testing::random_workload(graph, 60, 0.0, 502);
+        const auto records = DirectDependencyTracker::record_computation(c);
+        const Poset truth = message_poset(c);
+        for (MessageId a = 0; a < c.num_messages(); ++a) {
+            for (MessageId b = 0; b < c.num_messages(); ++b) {
+                if (a == b) continue;
+                ASSERT_EQ(direct_precedes(a, b, records, scratch),
+                          truth.less(a, b))
+                    << name << ' ' << a << "->" << b;
+            }
+        }
+    }
+}
+
+TEST(DirectDependency, SelfAndReverseQueries) {
+    SyncComputation c(topology::path(3));
+    c.add_message(0, 1);
+    c.add_message(1, 2);
+    const auto records = DirectDependencyTracker::record_computation(c);
+    EXPECT_FALSE(direct_precedes(0, 0, records));
+    EXPECT_TRUE(direct_precedes(0, 1, records));
+    EXPECT_FALSE(direct_precedes(1, 0, records));
+}
+
+}  // namespace
+}  // namespace syncts

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "decomp/cover_decomposer.hpp"
+#include "decomp/dot_export.hpp"
+#include "decomp/greedy_decomposer.hpp"
+#include "graph/generators.hpp"
+
+namespace syncts {
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+    std::size_t count = 0;
+    for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+         pos = haystack.find(needle, pos + needle.size())) {
+        ++count;
+    }
+    return count;
+}
+
+TEST(DotExport, PlainGraphListsAllVerticesAndEdges) {
+    const Graph g = topology::path(4);
+    const std::string dot = to_dot(g);
+    EXPECT_NE(dot.find("graph topology {"), std::string::npos);
+    EXPECT_EQ(count_occurrences(dot, " -- "), 3u);
+    EXPECT_NE(dot.find("P1 -- P2"), std::string::npos);
+    EXPECT_NE(dot.find("P4;"), std::string::npos);
+}
+
+TEST(DotExport, DecompositionLabelsGroups) {
+    const auto d = trivial_complete_decomposition(topology::complete(5));
+    const std::string dot = to_dot(d);
+    EXPECT_NE(dot.find("graph decomposition {"), std::string::npos);
+    // 10 edges, every one labeled with its group.
+    EXPECT_EQ(count_occurrences(dot, "label=\"E"), 10u);
+    EXPECT_NE(dot.find("label=\"E3\""), std::string::npos);
+    // Star roots P1 and P2 drawn bold; triangle corners are not.
+    EXPECT_NE(dot.find("P1 [penwidth=2"), std::string::npos);
+    EXPECT_NE(dot.find("P2 [penwidth=2"), std::string::npos);
+    EXPECT_EQ(dot.find("P5 [penwidth=2"), std::string::npos);
+}
+
+TEST(DotExport, EveryGroupGetsAColor) {
+    const auto d = greedy_edge_decomposition(topology::paper_fig2b());
+    const std::string dot = to_dot(d);
+    EXPECT_GE(count_occurrences(dot, "color="), d.graph().num_edges());
+}
+
+}  // namespace
+}  // namespace syncts

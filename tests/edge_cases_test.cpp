@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "clocks/offline_timestamper.hpp"
+#include "clocks/online_clock.hpp"
+#include "core/sync_system.hpp"
+#include "core/timestamped_trace.hpp"
+#include "decomp/decomp_io.hpp"
+#include "graph/generators.hpp"
+#include "trace/diagram.hpp"
+#include "trace/trace_io.hpp"
+
+/// Degenerate inputs that production code meets in practice: empty
+/// systems, empty computations, single processes, isolated vertices.
+
+namespace syncts {
+namespace {
+
+TEST(EdgeCases, EmptyComputationRoundTrips) {
+    SyncComputation empty(topology::path(3));
+    const SyncComputation parsed =
+        parse_computation(serialize_computation(empty));
+    EXPECT_EQ(parsed.num_messages(), 0u);
+    EXPECT_EQ(parsed.num_processes(), 3u);
+    EXPECT_EQ(parsed.topology().num_edges(), 2u);
+}
+
+TEST(EdgeCases, EdgelessDecompositionRoundTrips) {
+    const EdgeDecomposition empty{Graph(4)};
+    const EdgeDecomposition parsed =
+        parse_decomposition(serialize_decomposition(empty));
+    EXPECT_EQ(parsed.size(), 0u);
+    EXPECT_TRUE(parsed.complete());
+}
+
+TEST(EdgeCases, AnalyzeEmptyComputation) {
+    const SyncSystem system(topology::client_server(2, 2));
+    SyncComputation empty(system.topology());
+    const TimestampedTrace trace = system.analyze(empty);
+    EXPECT_EQ(trace.num_messages(), 0u);
+    EXPECT_EQ(trace.concurrent_pair_count(), 0u);
+    EXPECT_EQ(trace.verify_against_ground_truth(), 0u);
+    EXPECT_TRUE(trace.minimal_messages().empty());
+}
+
+TEST(EdgeCases, DiagramOfEmptyComputation) {
+    SyncComputation empty(topology::path(2));
+    const std::string diagram = to_diagram(empty);
+    EXPECT_EQ(diagram, "P1 | \nP2 | \n");
+}
+
+TEST(EdgeCases, IsolatedVerticesNeverBlockDecomposition) {
+    Graph g(6);
+    g.add_edge(0, 1);  // vertices 2..5 isolated
+    const SyncSystem system{std::move(g)};
+    EXPECT_EQ(system.width(), 1u);
+    SyncComputation c(system.topology());
+    c.add_message(0, 1);
+    EXPECT_EQ(system.analyze(c).verify_against_ground_truth(), 0u);
+}
+
+TEST(EdgeCases, SingleProcessSystem) {
+    const SyncSystem system{Graph(1)};
+    EXPECT_EQ(system.width(), 0u);
+    SyncComputation c(system.topology());
+    c.add_internal(0);
+    // No messages possible; analysis still works.
+    EXPECT_EQ(system.analyze(c).num_messages(), 0u);
+}
+
+TEST(EdgeCases, OfflineOnSingletonMessage) {
+    SyncComputation c(topology::path(2));
+    c.add_message(0, 1);
+    const OfflineResult offline = offline_timestamps(c);
+    EXPECT_EQ(offline.width, 1u);
+    EXPECT_EQ(offline.timestamps.size(), 1u);
+}
+
+TEST(EdgeCases, ZeroWidthTimestampsCompare) {
+    const VectorTimestamp a(0);
+    const VectorTimestamp b(0);
+    EXPECT_EQ(a, b);
+    EXPECT_TRUE(a.leq(b));
+    EXPECT_FALSE(a.less(b));
+    EXPECT_FALSE(a.concurrent_with(b));
+}
+
+TEST(EdgeCases, SelfCycleTopologiesRejectedEverywhere) {
+    Graph g(3);
+    EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+    SyncComputation c(topology::path(3));
+    EXPECT_THROW(c.add_message(1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace syncts

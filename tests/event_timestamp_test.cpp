@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "clocks/event_timestamp.hpp"
+#include "clocks/offline_timestamper.hpp"
+#include "clocks/online_clock.hpp"
+#include "test_util.hpp"
+#include "trace/ground_truth.hpp"
+
+namespace syncts {
+namespace {
+
+/// Builds Section 5 stamps for `c` using online message timestamps.
+std::vector<EventTimestamp> stamp_events(const SyncComputation& c) {
+    const auto message_stamps = online_timestamps(c);
+    const std::size_t width =
+        message_stamps.empty() ? 1 : message_stamps[0].width();
+    return timestamp_internal_events(c, message_stamps, width);
+}
+
+TEST(EventTimestampTest, Theorem9OnRandomComputations) {
+    for (const auto& [name, graph] : testing::topology_suite(7, 91)) {
+        const SyncComputation c = testing::random_workload(graph, 45, 1.2, 92);
+        const auto stamps = stamp_events(c);
+        const Poset truth = event_poset(c);
+        for (InternalId e = 0; e < c.num_internal_events(); ++e) {
+            for (InternalId f = 0; f < c.num_internal_events(); ++f) {
+                if (e == f) continue;
+                const bool expected = truth.less(internal_element(c, e),
+                                                 internal_element(c, f));
+                EXPECT_EQ(happened_before(stamps[e], stamps[f]), expected)
+                    << name << " e=" << e << " (" << stamps[e].to_string()
+                    << ") f=" << f << " (" << stamps[f].to_string() << ")";
+            }
+        }
+    }
+}
+
+TEST(EventTimestampTest, Theorem9WithOfflineMessageStamps) {
+    // Section 5 composes with any exact message timestamps, including the
+    // offline Fig. 9 vectors.
+    const SyncComputation c =
+        testing::random_workload(topology::complete(6), 40, 1.0, 93);
+    const OfflineResult offline = offline_timestamps(c);
+    const auto stamps =
+        timestamp_internal_events(c, offline.timestamps, offline.width);
+    const Poset truth = event_poset(c);
+    for (InternalId e = 0; e < c.num_internal_events(); ++e) {
+        for (InternalId f = 0; f < c.num_internal_events(); ++f) {
+            if (e == f) continue;
+            EXPECT_EQ(happened_before(stamps[e], stamps[f]),
+                      truth.less(internal_element(c, e),
+                                 internal_element(c, f)));
+        }
+    }
+}
+
+TEST(EventTimestampTest, CounterOrdersWithinInterval) {
+    SyncComputation c(topology::path(2));
+    c.add_message(0, 1);
+    const InternalId a = c.add_internal(0);
+    const InternalId b = c.add_internal(0);
+    c.add_message(0, 1);
+    const auto stamps = stamp_events(c);
+    EXPECT_EQ(stamps[a].counter, 0u);
+    EXPECT_EQ(stamps[b].counter, 1u);
+    EXPECT_EQ(stamps[a].prev, stamps[b].prev);
+    EXPECT_EQ(stamps[a].succ, stamps[b].succ);
+    EXPECT_TRUE(happened_before(stamps[a], stamps[b]));
+    EXPECT_FALSE(happened_before(stamps[b], stamps[a]));
+}
+
+TEST(EventTimestampTest, CounterResetsAtExternalEvents) {
+    SyncComputation c(topology::path(2));
+    const InternalId a = c.add_internal(0);
+    c.add_message(0, 1);
+    const InternalId b = c.add_internal(0);
+    const auto stamps = stamp_events(c);
+    EXPECT_EQ(stamps[a].counter, 0u);
+    EXPECT_EQ(stamps[b].counter, 0u);
+    EXPECT_TRUE(happened_before(stamps[a], stamps[b]));
+}
+
+TEST(EventTimestampTest, ZeroPrevAndInfiniteSucc) {
+    SyncComputation c(topology::path(2));
+    const InternalId before = c.add_internal(0);
+    c.add_message(0, 1);
+    const InternalId after = c.add_internal(1);
+    const auto stamps = stamp_events(c);
+    EXPECT_EQ(stamps[before].prev.total(), 0u);
+    EXPECT_TRUE(stamps[before].succ.has_value());
+    EXPECT_FALSE(stamps[after].succ.has_value());
+    EXPECT_TRUE(happened_before(stamps[before], stamps[after]));
+    EXPECT_FALSE(happened_before(stamps[after], stamps[before]));
+}
+
+TEST(EventTimestampTest, CrossProcessTieBreakCorner) {
+    // The corner the paper's triple misses (documented in DESIGN.md): two
+    // internal events on different processes with identical prev and succ
+    // message timestamps. They are concurrent, and the process id in the
+    // tuple keeps the counter tie-break from misfiring.
+    SyncComputation c(topology::path(2));
+    c.add_message(0, 1);
+    const InternalId on_p0 = c.add_internal(0);
+    const InternalId on_p1 = c.add_internal(1);
+    c.add_message(0, 1);
+    const auto stamps = stamp_events(c);
+    ASSERT_EQ(stamps[on_p0].prev, stamps[on_p1].prev);
+    ASSERT_EQ(stamps[on_p0].succ, stamps[on_p1].succ);
+    EXPECT_TRUE(concurrent(stamps[on_p0], stamps[on_p1]));
+    // Ground truth agrees.
+    const Poset truth = event_poset(c);
+    EXPECT_TRUE(truth.incomparable(internal_element(c, on_p0),
+                                   internal_element(c, on_p1)));
+}
+
+TEST(EventTimestampTest, EventsWithNoMessagesAtAll) {
+    SyncComputation c(topology::path(3));
+    const InternalId a = c.add_internal(0);
+    const InternalId b = c.add_internal(0);
+    const InternalId other = c.add_internal(2);
+    const auto stamps = timestamp_internal_events(c, {}, 2);
+    EXPECT_TRUE(happened_before(stamps[a], stamps[b]));
+    EXPECT_TRUE(concurrent(stamps[a], stamps[other]));
+    EXPECT_FALSE(stamps[a].succ.has_value());
+}
+
+TEST(EventTimestampTest, SameProcessAcrossManyIntervals) {
+    SyncComputation c(topology::path(2));
+    const InternalId e0 = c.add_internal(0);
+    c.add_message(0, 1);
+    c.add_message(1, 0);
+    const InternalId e1 = c.add_internal(0);
+    c.add_message(0, 1);
+    const InternalId e2 = c.add_internal(0);
+    const auto stamps = stamp_events(c);
+    EXPECT_TRUE(happened_before(stamps[e0], stamps[e1]));
+    EXPECT_TRUE(happened_before(stamps[e1], stamps[e2]));
+    EXPECT_TRUE(happened_before(stamps[e0], stamps[e2]));
+    EXPECT_FALSE(happened_before(stamps[e2], stamps[e0]));
+}
+
+TEST(EventTimestampTest, ToStringMentionsAllParts) {
+    SyncComputation c(topology::path(2));
+    c.add_message(0, 1);
+    const InternalId e = c.add_internal(0);
+    const auto stamps = stamp_events(c);
+    const std::string s = stamps[e].to_string();
+    EXPECT_NE(s.find("prev="), std::string::npos);
+    EXPECT_NE(s.find("succ=inf"), std::string::npos);
+    EXPECT_NE(s.find("c=0"), std::string::npos);
+}
+
+TEST(EventTimestampTest, RequiresMatchingStampCount) {
+    SyncComputation c(topology::path(2));
+    c.add_message(0, 1);
+    EXPECT_THROW(timestamp_internal_events(c, {}, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace syncts

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "clocks/offline_timestamper.hpp"
+#include "clocks/online_clock.hpp"
+#include "core/causality.hpp"
+#include "decomp/cover_decomposer.hpp"
+#include "graph/generators.hpp"
+#include "trace/ground_truth.hpp"
+
+/// Exhaustive small-case verification: enumerate EVERY synchronous
+/// computation up to a message-count bound on small topologies (each
+/// instant chooses any directed channel) and check the paper's central
+/// equivalences on all of them. Random sweeps sample the space; these
+/// tests cover it.
+
+namespace syncts {
+namespace {
+
+/// All directed channels of g.
+std::vector<std::pair<ProcessId, ProcessId>> directed_channels(
+    const Graph& g) {
+    std::vector<std::pair<ProcessId, ProcessId>> result;
+    for (const Edge& e : g.edges()) {
+        result.emplace_back(e.u, e.v);
+        result.emplace_back(e.v, e.u);
+    }
+    return result;
+}
+
+/// Calls fn(computation) for every message sequence of exactly `length`.
+template <typename Fn>
+void for_each_computation(const Graph& g, std::size_t length, Fn&& fn) {
+    const auto channels = directed_channels(g);
+    std::vector<std::size_t> choice(length, 0);
+    for (;;) {
+        SyncComputation c(g);
+        for (const std::size_t k : choice) {
+            c.add_message(channels[k].first, channels[k].second);
+        }
+        fn(c);
+        // Odometer increment.
+        std::size_t position = 0;
+        while (position < length && ++choice[position] == channels.size()) {
+            choice[position] = 0;
+            ++position;
+        }
+        if (position == length) return;
+    }
+}
+
+TEST(Exhaustive, Theorem4OnPath3UpToFourMessages) {
+    const Graph g = topology::path(3);  // 4 directed channels
+    auto decomposition = std::make_shared<const EdgeDecomposition>(
+        default_decomposition(g));
+    std::size_t checked = 0;
+    for (std::size_t length = 1; length <= 4; ++length) {
+        for_each_computation(g, length, [&](const SyncComputation& c) {
+            OnlineTimestamper timestamper(decomposition);
+            const auto stamps = timestamper.timestamp_computation(c);
+            ASSERT_EQ(encoding_mismatches(message_poset(c), stamps), 0u)
+                << c.to_string();
+            ++checked;
+        });
+    }
+    EXPECT_EQ(checked, 4u + 16u + 64u + 256u);
+}
+
+TEST(Exhaustive, Theorem4OnPath4UpToThreeMessages) {
+    // Path of 4 processes: the smallest topology with concurrency.
+    const Graph g = topology::path(4);  // 6 directed channels
+    auto decomposition = std::make_shared<const EdgeDecomposition>(
+        default_decomposition(g));
+    std::size_t checked = 0;
+    for (std::size_t length = 1; length <= 3; ++length) {
+        for_each_computation(g, length, [&](const SyncComputation& c) {
+            OnlineTimestamper timestamper(decomposition);
+            const auto stamps = timestamper.timestamp_computation(c);
+            ASSERT_EQ(encoding_mismatches(message_poset(c), stamps), 0u)
+                << c.to_string();
+            ++checked;
+        });
+    }
+    EXPECT_EQ(checked, 6u + 36u + 216u);
+}
+
+TEST(Exhaustive, Theorem4OnTriangleUpToFourMessages) {
+    // Triangle: one component, totally ordered (Lemma 1) — and the
+    // decomposition really uses a triangle group.
+    const Graph g = topology::triangle();
+    auto decomposition = std::make_shared<const EdgeDecomposition>(
+        default_decomposition(g));
+    ASSERT_EQ(decomposition->size(), 1u);
+    for (std::size_t length = 1; length <= 4; ++length) {
+        for_each_computation(g, length, [&](const SyncComputation& c) {
+            OnlineTimestamper timestamper(decomposition);
+            const auto stamps = timestamper.timestamp_computation(c);
+            const Poset truth = message_poset(c);
+            ASSERT_EQ(encoding_mismatches(truth, stamps), 0u);
+            ASSERT_TRUE(messages_totally_ordered(truth));
+        });
+    }
+}
+
+TEST(Exhaustive, OfflineAlgorithmOnPath4UpToThreeMessages) {
+    const Graph g = topology::path(4);
+    for (std::size_t length = 1; length <= 3; ++length) {
+        for_each_computation(g, length, [&](const SyncComputation& c) {
+            const OfflineResult offline = offline_timestamps(c);
+            const Poset truth = message_poset(c);
+            ASSERT_EQ(encoding_mismatches(truth, offline.timestamps), 0u)
+                << c.to_string();
+            ASSERT_LE(offline.width, c.num_processes() / 2);
+            ASSERT_TRUE(realizes(truth, offline.realizer));
+        });
+    }
+}
+
+TEST(Exhaustive, K4WithTriangleDecompositionUpToThreeMessages) {
+    // K4's default decomposition is 1 star + 1 triangle: both group kinds
+    // exercised in one exhaustive space (12 directed channels).
+    const Graph g = topology::complete(4);
+    auto decomposition = std::make_shared<const EdgeDecomposition>(
+        default_decomposition(g));
+    ASSERT_EQ(decomposition->triangle_count(), 1u);
+    for (std::size_t length = 1; length <= 3; ++length) {
+        for_each_computation(g, length, [&](const SyncComputation& c) {
+            OnlineTimestamper timestamper(decomposition);
+            const auto stamps = timestamper.timestamp_computation(c);
+            ASSERT_EQ(encoding_mismatches(message_poset(c), stamps), 0u)
+                << c.to_string();
+        });
+    }
+}
+
+}  // namespace
+}  // namespace syncts

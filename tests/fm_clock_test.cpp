@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "clocks/fm_event_clock.hpp"
+#include "clocks/fm_sync_clock.hpp"
+#include "clocks/lamport_clock.hpp"
+#include "core/causality.hpp"
+#include "test_util.hpp"
+#include "trace/ground_truth.hpp"
+
+namespace syncts {
+namespace {
+
+TEST(FmSyncClock, WidthIsN) {
+    FmSyncTimestamper t(7);
+    EXPECT_EQ(t.width(), 7u);
+    EXPECT_EQ(t.timestamp_message(0, 1).width(), 7u);
+}
+
+TEST(FmSyncClock, RendezvousMergesBothSides) {
+    FmSyncTimestamper t(3);
+    const auto m1 = t.timestamp_message(0, 1);
+    EXPECT_EQ(m1, VectorTimestamp(std::vector<std::uint64_t>{1, 1, 0}));
+    const auto m2 = t.timestamp_message(1, 2);
+    EXPECT_EQ(m2, VectorTimestamp(std::vector<std::uint64_t>{1, 2, 1}));
+    EXPECT_TRUE(m1.less(m2));
+    EXPECT_EQ(t.clock(0), m1);
+    EXPECT_EQ(t.clock(2), m2);
+}
+
+TEST(FmSyncClock, RejectsBadArguments) {
+    FmSyncTimestamper t(3);
+    EXPECT_THROW(t.timestamp_message(0, 0), std::invalid_argument);
+    EXPECT_THROW(t.timestamp_message(0, 9), std::invalid_argument);
+}
+
+TEST(FmSyncClock, EncodesPrecedenceAcrossFamilies) {
+    for (const auto& [name, graph] : testing::topology_suite(8, 71)) {
+        const SyncComputation c = testing::random_workload(graph, 80, 0.0, 72);
+        const auto stamps = fm_sync_timestamps(c);
+        EXPECT_EQ(encoding_mismatches(message_poset(c), stamps), 0u) << name;
+    }
+}
+
+TEST(FmEventClock, EncodesHappenedBefore) {
+    for (const auto& [name, graph] : testing::topology_suite(7, 73)) {
+        const SyncComputation c = testing::random_workload(graph, 50, 0.8, 74);
+        const FmEventTimestamps stamps = fm_event_timestamps(c);
+        const Poset truth = event_poset(c);
+
+        // Assemble event stamps in event_poset element order: messages
+        // first, then internal events.
+        std::vector<VectorTimestamp> all = stamps.message_stamps;
+        all.insert(all.end(), stamps.internal_stamps.begin(),
+                   stamps.internal_stamps.end());
+        EXPECT_EQ(encoding_mismatches(truth, all), 0u) << name;
+    }
+}
+
+TEST(FmEventClock, InternalEventTicksOwnComponent) {
+    SyncComputation c(topology::path(2));
+    c.add_internal(0);
+    c.add_message(0, 1);
+    c.add_internal(1);
+    const FmEventTimestamps stamps = fm_event_timestamps(c);
+    EXPECT_EQ(stamps.internal_stamps[0],
+              VectorTimestamp(std::vector<std::uint64_t>{1, 0}));
+    EXPECT_EQ(stamps.message_stamps[0],
+              VectorTimestamp(std::vector<std::uint64_t>{2, 1}));
+    EXPECT_EQ(stamps.internal_stamps[1],
+              VectorTimestamp(std::vector<std::uint64_t>{2, 2}));
+}
+
+TEST(LamportClock, ConsistentWithPrecedence) {
+    for (const auto& [name, graph] : testing::topology_suite(8, 75)) {
+        const SyncComputation c = testing::random_workload(graph, 70, 0.5, 76);
+        const LamportTimestamps stamps = lamport_timestamps(c);
+        const Poset truth = event_poset(c);
+        const std::size_t messages = c.num_messages();
+        const auto stamp_of = [&](std::size_t element) {
+            return element < messages
+                       ? stamps.message_stamps[element]
+                       : stamps.internal_stamps[element - messages];
+        };
+        for (std::size_t a = 0; a < truth.size(); ++a) {
+            for (std::size_t b = 0; b < truth.size(); ++b) {
+                if (a != b && truth.less(a, b)) {
+                    EXPECT_LT(stamp_of(a), stamp_of(b)) << name;
+                }
+            }
+        }
+    }
+}
+
+TEST(LamportClock, MessageEndpointsShareOneValue) {
+    // The Section 2 characterization of synchronous computations: both
+    // endpoints of every message carry the same integer, increasing within
+    // each process — i.e., the arrows can be drawn vertically.
+    const SyncComputation c =
+        testing::random_workload(topology::complete(5), 100, 0.0, 77);
+    const LamportTimestamps stamps = lamport_timestamps(c);
+    for (ProcessId p = 0; p < c.num_processes(); ++p) {
+        const auto msgs = c.process_messages(p);
+        for (std::size_t i = 0; i + 1 < msgs.size(); ++i) {
+            EXPECT_LT(stamps.message_stamps[msgs[i]],
+                      stamps.message_stamps[msgs[i + 1]]);
+        }
+    }
+}
+
+TEST(LamportClock, CannotWitnessConcurrency) {
+    // Scalar clocks order everything, so some concurrent pair must be
+    // falsely ordered on a topology with disjoint edges.
+    SyncComputation c(topology::path(4));
+    c.add_message(0, 1);
+    c.add_message(2, 3);
+    const LamportTimestamps stamps = lamport_timestamps(c);
+    const Poset truth = message_poset(c);
+    EXPECT_TRUE(truth.incomparable(0, 1));
+    // Both get stamp 1 here — equal, hence indistinguishable from ordered.
+    EXPECT_EQ(stamps.message_stamps[0], stamps.message_stamps[1]);
+}
+
+}  // namespace
+}  // namespace syncts

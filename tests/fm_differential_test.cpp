@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "clocks/fm_differential.hpp"
+#include "clocks/fm_sync_clock.hpp"
+#include "clocks/online_clock.hpp"
+#include "clocks/wire.hpp"
+#include "core/sync_system.hpp"
+#include "test_util.hpp"
+
+namespace syncts {
+namespace {
+
+TEST(FmDifferential, StampsMatchFmSyncExactly) {
+    for (const auto& [name, graph] : testing::topology_suite(8, 601)) {
+        const SyncComputation c = testing::random_workload(graph, 80, 0.0, 602);
+        FmDifferentialTimestamper differential(c.num_processes());
+        const auto diff_stamps = differential.timestamp_computation(c);
+        const auto fm_stamps = fm_sync_timestamps(c);
+        ASSERT_EQ(diff_stamps.size(), fm_stamps.size());
+        for (std::size_t i = 0; i < diff_stamps.size(); ++i) {
+            EXPECT_EQ(diff_stamps[i], fm_stamps[i]) << name << " m" << i;
+        }
+    }
+}
+
+TEST(FmDifferential, FirstExchangeShipsOnlyNonZeroEntries) {
+    FmDifferentialTimestamper t(8);
+    t.timestamp_message(0, 1);
+    // Fresh clocks differ from the zero snapshot in no entry at all: both
+    // directions ship empty diffs (count header only).
+    EXPECT_EQ(t.stats().entries_sent, 0u);
+    EXPECT_EQ(t.stats().wire_bytes, 2u);  // one 1-byte zero count each way
+}
+
+TEST(FmDifferential, RepeatChannelShipsSmallDiffs) {
+    FmDifferentialTimestamper t(16);
+    // A long conversation between 0 and 1 only ever touches entries 0, 1:
+    // after the first exchange every diff has at most 2 entries per side.
+    for (int i = 0; i < 20; ++i) t.timestamp_message(0, 1);
+    EXPECT_LE(t.stats().entries_sent, 2u * 2u * 20u);
+    EXPECT_EQ(t.stats().messages, 20u);
+    EXPECT_LT(t.stats().mean_entries_per_message(), 4.5);
+}
+
+TEST(FmDifferential, ColdChannelsShipBigDiffs) {
+    // A chain 0->1->2->...->k accumulates history, so each first-contact
+    // hop ships a growing diff — the technique saves nothing without
+    // channel reuse.
+    constexpr std::size_t n = 10;
+    FmDifferentialTimestamper t(n);
+    for (ProcessId p = 0; p + 1 < n; ++p) t.timestamp_message(p, p + 1);
+    // Hop i ships about i entries; total Θ(n²/2) entries.
+    EXPECT_GT(t.stats().entries_sent, n * (n - 1) / 4);
+}
+
+TEST(FmDifferential, PaperClockBeatsDifferentialOnClientServer) {
+    // The concrete Section 6 comparison: with d = 2 servers the paper's
+    // whole piggyback is smaller than even the differential FM updates
+    // once many clients interleave (every client's first contact ships the
+    // full history; later contacts still ship every recently-touched
+    // component).
+    const Graph g = topology::client_server(2, 16);
+    const SyncComputation c = testing::random_workload(g, 400, 0.0, 603);
+    FmDifferentialTimestamper differential(c.num_processes());
+    differential.timestamp_computation(c);
+
+    const SyncSystem system{Graph(g)};
+    auto timestamper = system.make_timestamper();
+    std::size_t paper_bytes = 0;
+    for (const SyncMessage& m : c.messages()) {
+        // Message + acknowledgement each carry one d-wide vector.
+        paper_bytes +=
+            2 * encoded_size(timestamper.timestamp_message(m.sender,
+                                                           m.receiver));
+    }
+    EXPECT_LT(paper_bytes, differential.stats().wire_bytes);
+}
+
+TEST(FmDifferential, RejectsBadArguments) {
+    FmDifferentialTimestamper t(3);
+    EXPECT_THROW(t.timestamp_message(1, 1), std::invalid_argument);
+    EXPECT_THROW(t.timestamp_message(0, 7), std::invalid_argument);
+    SyncComputation c(topology::path(2));
+    c.add_message(0, 1);
+    EXPECT_THROW(t.timestamp_computation(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace syncts

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "clocks/online_clock.hpp"
+#include "clocks/wire.hpp"
+#include "common/rng.hpp"
+#include "decomp/cover_decomposer.hpp"
+#include "decomp/decomp_io.hpp"
+#include "test_util.hpp"
+#include "trace/trace_io.hpp"
+
+/// Robustness fuzzing for every parser: random byte soup and mutated valid
+/// inputs must either parse or throw std::invalid_argument — never crash,
+/// hang, or corrupt. (Deterministic seeds; these run in milliseconds.)
+
+namespace syncts {
+namespace {
+
+std::string random_text(Rng& rng, std::size_t length) {
+    static constexpr char kAlphabet[] =
+        "abcdefghijklmnopqrstuvwxyz0123456789 \n-e.smt";
+    std::string text;
+    text.reserve(length);
+    for (std::size_t i = 0; i < length; ++i) {
+        text.push_back(
+            kAlphabet[rng.below(sizeof(kAlphabet) - 1)]);
+    }
+    return text;
+}
+
+template <typename Parser>
+void expect_no_crash(Parser&& parser, const std::string& input) {
+    try {
+        parser(input);
+    } catch (const std::invalid_argument&) {
+        // expected for malformed input
+    }
+}
+
+TEST(FuzzParsers, TraceRandomSoup) {
+    Rng rng(5001);
+    for (int trial = 0; trial < 300; ++trial) {
+        expect_no_crash([](const std::string& s) { parse_computation(s); },
+                        random_text(rng, 10 + rng.below(150)));
+    }
+    // Random soup behind a valid header.
+    for (int trial = 0; trial < 300; ++trial) {
+        expect_no_crash([](const std::string& s) { parse_computation(s); },
+                        "syncts-trace 1\n" + random_text(rng, 120));
+    }
+}
+
+TEST(FuzzParsers, TraceMutatedValidInput) {
+    const SyncComputation original = testing::random_workload(
+        topology::client_server(2, 3), 40, 0.5, 5002);
+    const std::string valid = serialize_computation(original);
+    Rng rng(5003);
+    for (int trial = 0; trial < 400; ++trial) {
+        std::string mutated = valid;
+        const std::size_t edits = 1 + rng.below(4);
+        for (std::size_t e = 0; e < edits; ++e) {
+            const std::size_t pos = rng.below(mutated.size());
+            switch (rng.below(3)) {
+                case 0:
+                    mutated[pos] = static_cast<char>('0' + rng.below(10));
+                    break;
+                case 1: mutated.erase(pos, 1); break;
+                default: mutated.insert(pos, 1, 'x'); break;
+            }
+        }
+        expect_no_crash(
+            [](const std::string& s) { parse_computation(s); }, mutated);
+    }
+}
+
+TEST(FuzzParsers, DecompositionRandomSoupAndMutations) {
+    Rng rng(5004);
+    for (int trial = 0; trial < 300; ++trial) {
+        expect_no_crash(
+            [](const std::string& s) { parse_decomposition(s); },
+            "syncts-decomp 1\n" + random_text(rng, 120));
+    }
+    const std::string valid = serialize_decomposition(
+        default_decomposition(topology::complete(5)));
+    for (int trial = 0; trial < 400; ++trial) {
+        std::string mutated = valid;
+        const std::size_t pos = rng.below(mutated.size());
+        mutated[pos] = static_cast<char>('0' + rng.below(10));
+        expect_no_crash(
+            [](const std::string& s) { parse_decomposition(s); }, mutated);
+    }
+}
+
+TEST(FuzzParsers, TimestampWireRandomBytes) {
+    Rng rng(5005);
+    for (int trial = 0; trial < 1000; ++trial) {
+        std::vector<std::uint8_t> bytes(rng.below(40));
+        for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.below(256));
+        try {
+            const VectorTimestamp decoded = decode_timestamp(bytes);
+            // If it decoded (possibly from a non-canonical varint), the
+            // canonical re-encoding must round-trip to the same value.
+            EXPECT_EQ(decode_timestamp(encode_timestamp(decoded)), decoded);
+        } catch (const std::invalid_argument&) {
+            // expected for malformed input
+        }
+    }
+}
+
+TEST(FuzzParsers, TimestampWireTruncations) {
+    Rng rng(5006);
+    const Graph g = topology::client_server(2, 4);
+    const SyncComputation c = testing::random_workload(g, 60, 0.0, 5007);
+    const auto stamps = online_timestamps(c);
+    for (const auto& stamp : stamps) {
+        auto bytes = encode_timestamp(stamp);
+        // Every strict prefix must be rejected.
+        for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+            const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                                   bytes.begin() +
+                                                       static_cast<long>(cut));
+            EXPECT_THROW(decode_timestamp(prefix), std::invalid_argument);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace syncts

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace syncts {
+namespace {
+
+TEST(Edge, NormalizesEndpoints) {
+    const Edge e = Edge::make(5, 2);
+    EXPECT_EQ(e.u, 2u);
+    EXPECT_EQ(e.v, 5u);
+    EXPECT_EQ(e, Edge::make(2, 5));
+}
+
+TEST(Edge, RejectsSelfLoop) {
+    EXPECT_THROW(Edge::make(3, 3), std::invalid_argument);
+}
+
+TEST(Edge, TouchesAndOther) {
+    const Edge e = Edge::make(1, 4);
+    EXPECT_TRUE(e.touches(1));
+    EXPECT_TRUE(e.touches(4));
+    EXPECT_FALSE(e.touches(2));
+    EXPECT_EQ(e.other(1), 4u);
+    EXPECT_EQ(e.other(4), 1u);
+    EXPECT_THROW(e.other(2), std::invalid_argument);
+}
+
+TEST(Graph, BasicAddAndQuery) {
+    Graph g(4);
+    EXPECT_EQ(g.num_vertices(), 4u);
+    EXPECT_EQ(g.num_edges(), 0u);
+    const std::size_t index = g.add_edge(0, 1);
+    EXPECT_EQ(index, 0u);
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_TRUE(g.has_edge(1, 0));
+    EXPECT_FALSE(g.has_edge(0, 2));
+    EXPECT_EQ(g.edge_index(1, 0), std::optional<std::size_t>{0});
+    EXPECT_EQ(g.edge_index(2, 3), std::nullopt);
+    EXPECT_EQ(g.degree(0), 1u);
+    EXPECT_EQ(g.degree(3), 0u);
+}
+
+TEST(Graph, RejectsDuplicatesSelfLoopsOutOfRange) {
+    Graph g(3);
+    g.add_edge(0, 1);
+    EXPECT_THROW(g.add_edge(1, 0), std::invalid_argument);
+    EXPECT_THROW(g.add_edge(2, 2), std::invalid_argument);
+    EXPECT_THROW(g.add_edge(0, 3), std::invalid_argument);
+}
+
+TEST(Graph, HasEdgeToleratesBadArguments) {
+    Graph g(3);
+    g.add_edge(0, 1);
+    EXPECT_FALSE(g.has_edge(0, 7));
+    EXPECT_FALSE(g.has_edge(1, 1));
+}
+
+TEST(Graph, NeighborsFollowInsertion) {
+    Graph g(4);
+    g.add_edge(1, 0);
+    g.add_edge(1, 3);
+    g.add_edge(2, 1);
+    const auto nbrs = g.neighbors(1);
+    ASSERT_EQ(nbrs.size(), 3u);
+    EXPECT_EQ(nbrs[0], 0u);
+    EXPECT_EQ(nbrs[1], 3u);
+    EXPECT_EQ(nbrs[2], 2u);
+}
+
+TEST(Graph, AcyclicDetection) {
+    EXPECT_TRUE(topology::path(6).is_acyclic());
+    EXPECT_TRUE(topology::star(6).is_acyclic());
+    EXPECT_FALSE(topology::ring(5).is_acyclic());
+    EXPECT_FALSE(topology::triangle().is_acyclic());
+    Rng rng(3);
+    EXPECT_TRUE(topology::random_tree(40, rng).is_acyclic());
+    EXPECT_FALSE(topology::complete(4).is_acyclic());
+    // Forest: two disjoint paths.
+    Graph forest(6);
+    forest.add_edge(0, 1);
+    forest.add_edge(1, 2);
+    forest.add_edge(3, 4);
+    forest.add_edge(4, 5);
+    EXPECT_TRUE(forest.is_acyclic());
+    forest.add_edge(5, 3);
+    EXPECT_FALSE(forest.is_acyclic());
+}
+
+TEST(Graph, ConnectivityDetection) {
+    EXPECT_TRUE(topology::path(5).is_connected());
+    EXPECT_TRUE(Graph(1).is_connected());
+    EXPECT_TRUE(Graph(0).is_connected());
+    Graph g(4);
+    g.add_edge(0, 1);
+    EXPECT_FALSE(g.is_connected());
+    g.add_edge(2, 3);
+    EXPECT_FALSE(g.is_connected());
+    g.add_edge(1, 2);
+    EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Graph, StarPredicate) {
+    EXPECT_TRUE(topology::star(1).is_star());
+    EXPECT_TRUE(topology::star(2).is_star());
+    EXPECT_TRUE(topology::star(8).is_star());
+    EXPECT_TRUE(Graph(5).is_star());  // vacuous
+    EXPECT_FALSE(topology::path(4).is_star());
+    EXPECT_TRUE(topology::path(3).is_star());  // center is the middle vertex
+    EXPECT_FALSE(topology::triangle().is_star());
+    EXPECT_FALSE(topology::complete(4).is_star());
+}
+
+TEST(Graph, TrianglePredicate) {
+    EXPECT_TRUE(topology::triangle().is_triangle());
+    EXPECT_FALSE(topology::path(4).is_triangle());
+    EXPECT_FALSE(topology::star(4).is_triangle());
+    EXPECT_FALSE(topology::complete(4).is_triangle());
+    // Three edges sharing a vertex are a star, not a triangle.
+    Graph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(0, 3);
+    EXPECT_FALSE(g.is_triangle());
+    EXPECT_TRUE(g.is_star());
+}
+
+TEST(Generators, CompleteGraphCounts) {
+    for (std::size_t n : {0u, 1u, 2u, 3u, 5u, 10u}) {
+        const Graph g = topology::complete(n);
+        EXPECT_EQ(g.num_vertices(), n);
+        EXPECT_EQ(g.num_edges(), n * (n - (n > 0 ? 1 : 0)) / 2);
+    }
+}
+
+TEST(Generators, StarShape) {
+    const Graph g = topology::star(7);
+    EXPECT_EQ(g.num_edges(), 6u);
+    EXPECT_EQ(g.degree(0), 6u);
+    for (ProcessId leaf = 1; leaf < 7; ++leaf) EXPECT_EQ(g.degree(leaf), 1u);
+}
+
+TEST(Generators, RingAndPath) {
+    EXPECT_EQ(topology::path(5).num_edges(), 4u);
+    EXPECT_EQ(topology::ring(5).num_edges(), 5u);
+    EXPECT_THROW(topology::ring(2), std::invalid_argument);
+}
+
+TEST(Generators, RandomTreeIsSpanningTree) {
+    Rng rng(99);
+    for (std::size_t n : {2u, 5u, 33u, 100u}) {
+        const Graph g = topology::random_tree(n, rng);
+        EXPECT_EQ(g.num_edges(), n - 1);
+        EXPECT_TRUE(g.is_acyclic());
+        EXPECT_TRUE(g.is_connected());
+    }
+}
+
+TEST(Generators, KaryTreeShape) {
+    const Graph g = topology::kary_tree(13, 3);
+    EXPECT_EQ(g.num_edges(), 12u);
+    EXPECT_TRUE(g.is_acyclic());
+    EXPECT_TRUE(g.is_connected());
+    EXPECT_EQ(g.degree(0), 3u);
+}
+
+TEST(Generators, ClientServerShape) {
+    const Graph g = topology::client_server(3, 10);
+    EXPECT_EQ(g.num_vertices(), 13u);
+    EXPECT_EQ(g.num_edges(), 30u);
+    for (ProcessId c = 3; c < 13; ++c) EXPECT_EQ(g.degree(c), 3u);
+    for (ProcessId s = 0; s < 3; ++s) EXPECT_EQ(g.degree(s), 10u);
+    EXPECT_FALSE(g.has_edge(0, 1));
+    const Graph connected = topology::client_server(3, 10, true);
+    EXPECT_TRUE(connected.has_edge(0, 1));
+    EXPECT_EQ(connected.num_edges(), 33u);
+}
+
+TEST(Generators, GridShape) {
+    const Graph g = topology::grid(3, 4);
+    EXPECT_EQ(g.num_vertices(), 12u);
+    EXPECT_EQ(g.num_edges(), 2u * 4u + 3u * 3u);  // 17
+    EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Generators, HypercubeShape) {
+    const Graph g = topology::hypercube(4);
+    EXPECT_EQ(g.num_vertices(), 16u);
+    EXPECT_EQ(g.num_edges(), 32u);
+    for (ProcessId v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Generators, GnpEdgeCountPlausible) {
+    Rng rng(5);
+    const Graph g = topology::random_gnp(40, 0.5, rng);
+    const double expected = 0.5 * 40 * 39 / 2;
+    EXPECT_GT(static_cast<double>(g.num_edges()), expected * 0.7);
+    EXPECT_LT(static_cast<double>(g.num_edges()), expected * 1.3);
+    const Graph empty = topology::random_gnp(10, 0.0, rng);
+    EXPECT_EQ(empty.num_edges(), 0u);
+    const Graph full = topology::random_gnp(10, 1.0, rng);
+    EXPECT_EQ(full.num_edges(), 45u);
+}
+
+TEST(Generators, GnmExactCount) {
+    Rng rng(6);
+    const Graph g = topology::random_gnm(12, 20, rng);
+    EXPECT_EQ(g.num_edges(), 20u);
+    EXPECT_THROW(topology::random_gnm(4, 10, rng), std::invalid_argument);
+}
+
+TEST(Generators, RandomConnectedIsConnected) {
+    Rng rng(7);
+    for (int i = 0; i < 5; ++i) {
+        const Graph g = topology::random_connected(30, 15, rng);
+        EXPECT_TRUE(g.is_connected());
+        EXPECT_EQ(g.num_edges(), 29u + 15u);
+    }
+}
+
+TEST(Generators, DisjointTriangles) {
+    const Graph g = topology::disjoint_triangles(4);
+    EXPECT_EQ(g.num_vertices(), 12u);
+    EXPECT_EQ(g.num_edges(), 12u);
+    EXPECT_FALSE(g.is_connected());
+    EXPECT_FALSE(g.is_acyclic());
+}
+
+TEST(Generators, PaperFig2bShape) {
+    const Graph g = topology::paper_fig2b();
+    EXPECT_EQ(g.num_vertices(), 11u);
+    EXPECT_EQ(g.num_edges(), 12u);
+    EXPECT_TRUE(g.has_edge(9, 10));  // the (j,k) edge of the Fig. 8 trace
+    // Pendant a, and the triangle (e,f,g) with degree-2 corners e, f.
+    EXPECT_EQ(g.degree(0), 1u);
+    EXPECT_EQ(g.degree(4), 2u);
+    EXPECT_EQ(g.degree(5), 2u);
+    EXPECT_TRUE(g.has_edge(4, 5));
+    EXPECT_TRUE(g.has_edge(5, 6));
+    EXPECT_TRUE(g.has_edge(4, 6));
+}
+
+TEST(Generators, PaperFig4TreeShape) {
+    const Graph g = topology::paper_fig4_tree();
+    EXPECT_EQ(g.num_vertices(), 20u);
+    EXPECT_EQ(g.num_edges(), 19u);
+    EXPECT_TRUE(g.is_acyclic());
+    EXPECT_TRUE(g.is_connected());
+}
+
+}  // namespace
+}  // namespace syncts

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "clocks/fm_sync_clock.hpp"
+#include "clocks/offline_timestamper.hpp"
+#include "core/causality.hpp"
+#include "core/monitor.hpp"
+#include "core/sync_system.hpp"
+#include "core/timestamped_trace.hpp"
+#include "test_util.hpp"
+#include "trace/ground_truth.hpp"
+
+namespace syncts {
+namespace {
+
+/// End-to-end: threaded client-server run -> record -> every analysis
+/// layer agrees (online stamps, FM baseline, offline restamping, monitor).
+TEST(Integration, ClientServerPipelineEndToEnd) {
+    constexpr std::size_t kServers = 2;
+    constexpr std::size_t kClients = 4;
+    constexpr int kRounds = 24;  // even: uniform load across both servers
+    const SyncSystem system(topology::client_server(kServers, kClients));
+    EXPECT_EQ(system.width(), kServers);
+
+    TimestampedNetwork network = system.make_network();
+    std::vector<ProcessProgram> programs(kServers + kClients);
+    for (ProcessId s = 0; s < kServers; ++s) {
+        programs[s] = [](ProcessContext& context) {
+            const int expected =
+                kClients * kRounds / kServers;
+            for (int i = 0; i < expected; ++i) {
+                const ReceivedMessage request = context.receive();
+                context.internal_event("served");
+                context.send(request.sender, "ok");
+            }
+        };
+    }
+    for (std::size_t c = 0; c < kClients; ++c) {
+        const auto client = static_cast<ProcessId>(kServers + c);
+        programs[client] = [](ProcessContext& context) {
+            for (int i = 0; i < kRounds; ++i) {
+                const auto server = static_cast<ProcessId>(
+                    static_cast<std::size_t>(i) % kServers);
+                context.send(server, "req:" + std::to_string(i));
+                context.receive_from(server);
+            }
+        };
+    }
+    const RunRecord record = network.run(programs);
+    ASSERT_EQ(record.messages.size(), 2u * kClients * kRounds);
+
+    // (1) Recorded online stamps encode the reconstructed poset exactly.
+    const Poset truth = message_poset(record.computation);
+    EXPECT_EQ(encoding_mismatches(truth, record.message_stamps), 0u);
+
+    // (2) FM baseline over the same computation orders identically, at
+    // width N instead of width kServers.
+    const auto fm = fm_sync_timestamps(record.computation);
+    EXPECT_EQ(encoding_mismatches(truth, fm), 0u);
+    EXPECT_EQ(fm[0].width(), kServers + kClients);
+    EXPECT_EQ(record.message_stamps[0].width(), kServers);
+
+    // (3) Offline restamping compresses to the poset's true width.
+    const OfflineResult offline =
+        offline_timestamps(truth, record.computation.num_processes());
+    EXPECT_EQ(encoding_mismatches(truth, offline.timestamps), 0u);
+    EXPECT_LE(offline.width, (kServers + kClients) / 2);
+
+    // (4) Internal "served" events on the same server are totally ordered;
+    // Theorem 9 stamps agree with the event poset.
+    const Poset events = event_poset(record.computation);
+    for (InternalId e = 0; e < record.computation.num_internal_events();
+         ++e) {
+        for (InternalId f = 0; f < record.computation.num_internal_events();
+             ++f) {
+            if (e == f) continue;
+            EXPECT_EQ(
+                happened_before(record.internal_stamps[e],
+                                record.internal_stamps[f]),
+                events.less(internal_element(record.computation, e),
+                            internal_element(record.computation, f)));
+        }
+    }
+
+    // (5) The monitor sees exactly the concurrency the poset has.
+    CausalMonitor monitor;
+    for (const MessageRecord& m : record.messages) {
+        monitor.record(m.payload, m.timestamp);
+    }
+    std::size_t truth_concurrent = 0;
+    for (std::size_t a = 0; a < truth.size(); ++a) {
+        for (std::size_t b = a + 1; b < truth.size(); ++b) {
+            truth_concurrent += truth.incomparable(a, b) ? 1 : 0;
+        }
+    }
+    // Monitor ids follow record order = instant order, and timestamps are
+    // unique, so pair counts line up one-to-one.
+    EXPECT_EQ(monitor.conflict_pair_count(), truth_concurrent);
+}
+
+/// Simulator and threaded runtime agree on an arbitrary recorded workload
+/// over the Fig. 4 tree, and the analysis facade verifies it.
+TEST(Integration, TreeWorkloadSimulatorVsThreads) {
+    const Graph g = topology::paper_fig4_tree();
+    const SyncSystem system(g);
+    EXPECT_EQ(system.width(), 3u);
+    const SyncComputation computation =
+        testing::random_workload(g, 150, 0.0, 202);
+    const TimestampedTrace trace = system.analyze(computation);
+    EXPECT_EQ(trace.verify_against_ground_truth(), 0u);
+
+    // Drive the same schedule through threads.
+    TimestampedNetwork network = system.make_network();
+    std::vector<ProcessProgram> programs(g.num_vertices());
+    for (ProcessId p = 0; p < g.num_vertices(); ++p) {
+        std::vector<SyncMessage> schedule;
+        for (const MessageId id : computation.process_messages(p)) {
+            schedule.push_back(computation.message(id));
+        }
+        programs[p] = [p, schedule](ProcessContext& context) {
+            for (const SyncMessage& m : schedule) {
+                if (m.sender == p) {
+                    context.send(m.receiver, std::to_string(m.id));
+                } else {
+                    context.receive_from(m.sender);
+                }
+            }
+        };
+    }
+    const RunRecord record = network.run(programs);
+    ASSERT_EQ(record.messages.size(), computation.num_messages());
+    for (const MessageRecord& m : record.messages) {
+        const auto original =
+            static_cast<MessageId>(std::stoul(m.payload));
+        EXPECT_EQ(m.timestamp, trace.timestamp(original));
+    }
+}
+
+/// The three decomposition strategies all yield exact encodings; only the
+/// width differs. (Ablation: star-only vs star+triangle.)
+TEST(Integration, StrategyAblationOnTriangleRichTopology) {
+    const Graph g = topology::disjoint_triangles(3);
+    const SyncComputation computation =
+        testing::random_workload(g, 90, 0.0, 203);
+    const Poset truth = message_poset(computation);
+
+    const SyncSystem with_triangles(g, DecompositionStrategy::greedy);
+    const SyncSystem stars_only(g, DecompositionStrategy::exact_cover);
+    EXPECT_EQ(with_triangles.width(), 3u);  // α = t
+    EXPECT_EQ(stars_only.width(), 6u);      // β = 2t — the tight bound
+    for (const SyncSystem* system : {&with_triangles, &stars_only}) {
+        const TimestampedTrace trace = system->analyze(computation);
+        EXPECT_EQ(trace.verify_against_ground_truth(), 0u);
+    }
+    (void)truth;
+}
+
+}  // namespace
+}  // namespace syncts

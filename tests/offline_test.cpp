@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "clocks/offline_timestamper.hpp"
+#include "clocks/online_clock.hpp"
+#include "core/causality.hpp"
+#include "poset/dilworth.hpp"
+#include "test_util.hpp"
+#include "trace/generator.hpp"
+#include "trace/ground_truth.hpp"
+
+namespace syncts {
+namespace {
+
+TEST(OfflineAlgorithm, Fig6NeedsTwoDimensions) {
+    // Section 4's remark: the Fig. 6 computation is encodable with
+    // 2-dimensional vectors because its message poset has width 2.
+    const SyncComputation c = paper_fig6_computation();
+    const OfflineResult result = offline_timestamps(c);
+    EXPECT_EQ(result.width, 2u);
+    EXPECT_EQ(result.theorem8_bound, 2u);
+    EXPECT_EQ(encoding_mismatches(message_poset(c), result.timestamps), 0u);
+}
+
+TEST(OfflineAlgorithm, Theorem8BoundHolds) {
+    for (const auto& [name, graph] : testing::topology_suite(9, 81)) {
+        const SyncComputation c = testing::random_workload(graph, 90, 0.0, 82);
+        const OfflineResult result = offline_timestamps(c);
+        EXPECT_LE(result.width, c.num_processes() / 2) << name;
+        EXPECT_EQ(result.theorem8_bound, c.num_processes() / 2) << name;
+    }
+}
+
+TEST(OfflineAlgorithm, EncodesPrecedenceExactly) {
+    for (const auto& [name, graph] : testing::topology_suite(8, 83)) {
+        const SyncComputation c = testing::random_workload(graph, 70, 0.0, 84);
+        const OfflineResult result = offline_timestamps(c);
+        EXPECT_EQ(encoding_mismatches(message_poset(c), result.timestamps),
+                  0u)
+            << name;
+        EXPECT_TRUE(realizes(message_poset(c), result.realizer)) << name;
+    }
+}
+
+TEST(OfflineAlgorithm, WidthEqualsRealizerSizeAndStampWidth) {
+    const SyncComputation c =
+        testing::random_workload(topology::complete(10), 120, 0.0, 85);
+    const OfflineResult result = offline_timestamps(c);
+    EXPECT_EQ(result.width, result.realizer.size());
+    ASSERT_FALSE(result.timestamps.empty());
+    EXPECT_EQ(result.timestamps[0].width(), result.width);
+    EXPECT_EQ(result.width, poset_width(message_poset(c)));
+}
+
+TEST(OfflineAlgorithm, ChainComputationNeedsOneDimension) {
+    // All messages through one star center: total order, width 1.
+    const SyncComputation c =
+        testing::random_workload(topology::star(8), 50, 0.0, 86);
+    const OfflineResult result = offline_timestamps(c);
+    EXPECT_EQ(result.width, 1u);
+    EXPECT_EQ(encoding_mismatches(message_poset(c), result.timestamps), 0u);
+}
+
+TEST(OfflineAlgorithm, EmptyComputation) {
+    SyncComputation c(topology::path(4));
+    const OfflineResult result = offline_timestamps(c);
+    EXPECT_EQ(result.width, 0u);
+    EXPECT_TRUE(result.timestamps.empty());
+}
+
+TEST(OfflineAlgorithm, OftenBeatsOnlineWidthOnSparseTraffic) {
+    // The offline width is bounded by the actual parallelism in the trace,
+    // not by the topology; with serialized traffic it collapses to 1.
+    SyncComputation c(topology::complete(8));
+    // A causal chain: every message shares a process with the previous one.
+    c.add_message(0, 1);
+    c.add_message(1, 2);
+    c.add_message(2, 3);
+    c.add_message(3, 4);
+    c.add_message(4, 5);
+    const OfflineResult offline = offline_timestamps(c);
+    EXPECT_EQ(offline.width, 1u);
+    const auto online = online_timestamps(c);
+    EXPECT_EQ(online[0].width(), 6u);  // K8 -> N-2 components
+    EXPECT_LT(offline.width, online[0].width());
+}
+
+TEST(OfflineAlgorithm, PosetOverloadAgreesWithComputationOverload) {
+    const SyncComputation c =
+        testing::random_workload(topology::ring(7), 60, 0.0, 87);
+    const OfflineResult via_computation = offline_timestamps(c);
+    const OfflineResult via_poset =
+        offline_timestamps(message_poset(c), c.num_processes());
+    EXPECT_EQ(via_computation.width, via_poset.width);
+    EXPECT_EQ(via_computation.timestamps.size(),
+              via_poset.timestamps.size());
+    for (std::size_t i = 0; i < via_poset.timestamps.size(); ++i) {
+        EXPECT_EQ(via_computation.timestamps[i], via_poset.timestamps[i]);
+    }
+}
+
+
+TEST(OfflineAlgorithm, DimensionMinimizationShrinksOrMatches) {
+    // The minimize_dimension extension: never wider, still exact.
+    for (const auto& [name, graph] : testing::topology_suite(8, 88)) {
+        const SyncComputation c = testing::random_workload(graph, 50, 0.0, 89);
+        const OfflineResult plain = offline_timestamps(c);
+        const OfflineResult minimized =
+            offline_timestamps(c, /*minimize_dimension=*/true);
+        EXPECT_LE(minimized.width, plain.width) << name;
+        EXPECT_EQ(
+            encoding_mismatches(message_poset(c), minimized.timestamps), 0u)
+            << name;
+    }
+}
+
+}  // namespace
+}  // namespace syncts

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "trace/ordering_classes.hpp"
+
+namespace syncts {
+namespace {
+
+TEST(OrderingClasses, InstantMessagesAreRsc) {
+    AsyncComputation c(3);
+    c.add_instant_message(0, 1);
+    c.add_instant_message(1, 2);
+    const OrderingClasses classes = classify_ordering(c);
+    EXPECT_TRUE(classes.rsc);
+    EXPECT_TRUE(classes.causally_ordered);
+    EXPECT_TRUE(classes.fifo);
+}
+
+TEST(OrderingClasses, CrossedMessagesAreCausalButNotRsc) {
+    // The size-2 crown: FIFO and causally ordered (the sends are
+    // concurrent), but no vertical-arrow drawing exists.
+    AsyncComputation c(2);
+    const MessageId m0 = c.new_message();
+    const MessageId m1 = c.new_message();
+    c.record_send(0, m0);
+    c.record_send(1, m1);
+    c.record_receive(0, m1);
+    c.record_receive(1, m0);
+    const OrderingClasses classes = classify_ordering(c);
+    EXPECT_TRUE(classes.fifo);
+    EXPECT_TRUE(classes.causally_ordered);
+    EXPECT_FALSE(classes.rsc);
+}
+
+TEST(OrderingClasses, TriangleRaceIsFifoButNotCausal) {
+    // P0 sends m1 to P2, then m2 to P1; P1 forwards (m3 to P2); P2
+    // receives the forwarded m3 before the direct m1: violates causal
+    // delivery, but every individual channel carries one message (FIFO).
+    AsyncComputation c(3);
+    const MessageId m1 = c.new_message();
+    const MessageId m2 = c.new_message();
+    const MessageId m3 = c.new_message();
+    c.record_send(0, m1);
+    c.record_send(0, m2);
+    c.record_receive(1, m2);
+    c.record_send(1, m3);
+    c.record_receive(2, m3);
+    c.record_receive(2, m1);
+    const OrderingClasses classes = classify_ordering(c);
+    EXPECT_TRUE(classes.fifo);
+    EXPECT_FALSE(classes.causally_ordered);
+    EXPECT_FALSE(classes.rsc);
+}
+
+TEST(OrderingClasses, OvertakingOnOneChannelIsNotFifo) {
+    AsyncComputation c(2);
+    const MessageId m1 = c.new_message();
+    const MessageId m2 = c.new_message();
+    c.record_send(0, m1);
+    c.record_send(0, m2);
+    c.record_receive(1, m2);  // m2 overtakes m1
+    c.record_receive(1, m1);
+    const OrderingClasses classes = classify_ordering(c);
+    EXPECT_FALSE(classes.fifo);
+    EXPECT_FALSE(classes.causally_ordered);
+    EXPECT_FALSE(classes.rsc);
+}
+
+TEST(OrderingClasses, AsyncEventPosetShape) {
+    AsyncComputation c(2);
+    const MessageId m = c.add_instant_message(0, 1);
+    (void)m;
+    const Poset p = async_event_poset(c);
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_TRUE(p.less(0, 1));  // send -> receive
+}
+
+TEST(OrderingClasses, HierarchyHoldsOnRandomExecutions) {
+    Rng rng(321);
+    const Graph g = topology::complete(5);
+    int rsc_count = 0;
+    int causal_count = 0;
+    int fifo_count = 0;
+    for (int trial = 0; trial < 40; ++trial) {
+        const double bias = trial % 2 == 0 ? 0.9 : 0.3;
+        const AsyncComputation c =
+            random_async_computation(g, 20, bias, rng);
+        const OrderingClasses classes = classify_ordering(c);
+        // The classifier itself SYNCTS_ENSUREs rsc ⟹ causal ⟹ fifo;
+        // double-check from the outside.
+        EXPECT_TRUE(!classes.rsc || classes.causally_ordered);
+        EXPECT_TRUE(!classes.causally_ordered || classes.fifo);
+        rsc_count += classes.rsc ? 1 : 0;
+        causal_count += classes.causally_ordered ? 1 : 0;
+        fifo_count += classes.fifo ? 1 : 0;
+    }
+    // With lazy delivery most executions fall out of the stricter classes;
+    // the generator must produce a genuine spread.
+    EXPECT_LT(rsc_count, 40);
+    EXPECT_GT(fifo_count + causal_count + rsc_count, 0);
+    EXPECT_LE(rsc_count, causal_count);
+    EXPECT_LE(causal_count, fifo_count);
+}
+
+TEST(OrderingClasses, EagerDeliveryIsAlwaysRsc) {
+    // delivery_bias = 1.0 delivers whenever possible: at most one message
+    // is ever in flight, so the execution is realizably synchronous.
+    Rng rng(654);
+    for (int trial = 0; trial < 10; ++trial) {
+        const AsyncComputation c = random_async_computation(
+            topology::ring(6), 30, 1.0, rng);
+        EXPECT_TRUE(classify_ordering(c).rsc) << trial;
+    }
+}
+
+TEST(OrderingClasses, RequiresCompleteComputation) {
+    AsyncComputation c(2);
+    const MessageId m = c.new_message();
+    c.record_send(0, m);
+    EXPECT_THROW(classify_ordering(c), std::invalid_argument);
+    EXPECT_THROW(async_event_poset(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace syncts

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "clocks/fm_sync_clock.hpp"
+#include "clocks/plausible_clock.hpp"
+#include "core/causality.hpp"
+#include "test_util.hpp"
+#include "trace/ground_truth.hpp"
+
+namespace syncts {
+namespace {
+
+TEST(PlausibleClock, AlwaysConsistent) {
+    // m1 ↦ m2 ⟹ v(m1) < v(m2), at every folded width.
+    for (const auto& [name, graph] : testing::topology_suite(8, 401)) {
+        const SyncComputation c = testing::random_workload(graph, 70, 0.0, 402);
+        const Poset truth = message_poset(c);
+        for (const std::size_t width : {1u, 2u, 3u, 5u}) {
+            PlausibleTimestamper timestamper(c.num_processes(), width);
+            const auto stamps = timestamper.timestamp_computation(c);
+            EXPECT_EQ(consistency_violations(truth, stamps), 0u)
+                << name << " R=" << width;
+        }
+    }
+}
+
+TEST(PlausibleClock, FullWidthIsExact) {
+    // With one component per process the fold is injective and the clock
+    // degenerates to the FM-sync baseline.
+    const SyncComputation c =
+        testing::random_workload(topology::complete(6), 80, 0.0, 403);
+    PlausibleTimestamper plausible(6, 6);
+    const auto stamps = plausible.timestamp_computation(c);
+    EXPECT_EQ(encoding_mismatches(message_poset(c), stamps), 0u);
+    const auto fm = fm_sync_timestamps(c);
+    for (std::size_t i = 0; i < stamps.size(); ++i) {
+        EXPECT_EQ(stamps[i], fm[i]);
+    }
+}
+
+TEST(PlausibleClock, NarrowWidthsLoseConcurrency) {
+    // Two concurrent messages on disjoint edges, width 1: both stamps live
+    // on one component, so one is falsely ordered after the other.
+    SyncComputation c(topology::path(4));
+    c.add_message(0, 1);
+    c.add_message(2, 3);
+    PlausibleTimestamper timestamper(4, 1);
+    const auto stamps = timestamper.timestamp_computation(c);
+    EXPECT_TRUE(message_poset(c).incomparable(0, 1));
+    EXPECT_FALSE(stamps[0].concurrent_with(stamps[1]));
+}
+
+TEST(PlausibleClock, AccuracyImprovesWithWidth) {
+    const SyncComputation c =
+        testing::random_workload(topology::complete(10), 150, 0.0, 404);
+    const Poset truth = message_poset(c);
+    double previous = -1.0;
+    for (const std::size_t width : {1u, 2u, 5u, 10u}) {
+        PlausibleTimestamper timestamper(10, width);
+        const auto stamps = timestamper.timestamp_computation(c);
+        const double accuracy = concurrency_accuracy(truth, stamps);
+        EXPECT_GE(accuracy + 1e-9, previous) << "R=" << width;
+        previous = accuracy;
+    }
+    EXPECT_DOUBLE_EQ(previous, 1.0);  // R = N is exact
+}
+
+TEST(PlausibleClock, AccuracyHelperEdgeCases) {
+    // Totally ordered computation: accuracy is trivially 1.
+    SyncComputation c(topology::star(4));
+    c.add_message(1, 0);
+    c.add_message(0, 2);
+    PlausibleTimestamper timestamper(4, 1);
+    const auto stamps = timestamper.timestamp_computation(c);
+    EXPECT_DOUBLE_EQ(concurrency_accuracy(message_poset(c), stamps), 1.0);
+}
+
+TEST(PlausibleClock, RejectsBadArguments) {
+    EXPECT_THROW(PlausibleTimestamper(4, 0), std::invalid_argument);
+    PlausibleTimestamper t(3, 2);
+    EXPECT_THROW(t.timestamp_message(0, 0), std::invalid_argument);
+    EXPECT_THROW(t.timestamp_message(0, 9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace syncts

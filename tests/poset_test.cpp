@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "poset/linear_extension.hpp"
+#include "poset/poset.hpp"
+
+namespace syncts {
+namespace {
+
+Poset diamond() {
+    // 0 < 1, 0 < 2, 1 < 3, 2 < 3.
+    Poset p(4);
+    p.add_relation(0, 1);
+    p.add_relation(0, 2);
+    p.add_relation(1, 3);
+    p.add_relation(2, 3);
+    p.close();
+    return p;
+}
+
+TEST(Poset, TransitiveClosure) {
+    Poset p(4);
+    p.add_relation(0, 1);
+    p.add_relation(1, 2);
+    p.add_relation(2, 3);
+    p.close();
+    EXPECT_TRUE(p.less(0, 3));
+    EXPECT_TRUE(p.less(0, 2));
+    EXPECT_TRUE(p.less(1, 3));
+    EXPECT_FALSE(p.less(3, 0));
+    EXPECT_FALSE(p.less(0, 0));
+    EXPECT_EQ(p.relation_count(), 6u);
+}
+
+TEST(Poset, DiamondShape) {
+    const Poset p = diamond();
+    EXPECT_TRUE(p.less(0, 3));
+    EXPECT_TRUE(p.incomparable(1, 2));
+    EXPECT_FALSE(p.incomparable(0, 3));
+    EXPECT_FALSE(p.incomparable(1, 1));
+    EXPECT_EQ(p.minimal_elements(), (std::vector<std::size_t>{0}));
+    EXPECT_EQ(p.maximal_elements(), (std::vector<std::size_t>{3}));
+}
+
+TEST(Poset, UpAndDownSets) {
+    const Poset p = diamond();
+    EXPECT_EQ(p.down_set(3).count(), 3u);
+    EXPECT_EQ(p.up_set(0).count(), 3u);
+    EXPECT_TRUE(p.down_set(1).test(0));
+    EXPECT_FALSE(p.down_set(1).test(2));
+}
+
+TEST(Poset, CycleDetection) {
+    Poset p(3);
+    p.add_relation(0, 1);
+    p.add_relation(1, 2);
+    p.add_relation(2, 0);
+    EXPECT_THROW(p.close(), std::invalid_argument);
+}
+
+TEST(Poset, SelfRelationRejected) {
+    Poset p(3);
+    EXPECT_THROW(p.add_relation(1, 1), std::invalid_argument);
+    EXPECT_THROW(p.add_relation(0, 5), std::invalid_argument);
+}
+
+TEST(Poset, QueriesBeforeCloseRejected) {
+    Poset p(3);
+    p.add_relation(0, 1);
+    EXPECT_THROW(p.less(0, 1), std::invalid_argument);
+    p.close();
+    EXPECT_THROW(p.add_relation(1, 2), std::invalid_argument);
+    EXPECT_THROW(p.close(), std::invalid_argument);
+}
+
+TEST(Poset, DuplicateGeneratorsAreHarmless) {
+    Poset p(3);
+    p.add_relation(0, 1);
+    p.add_relation(0, 1);
+    p.add_relation(1, 2);
+    p.close();
+    EXPECT_TRUE(p.less(0, 2));
+    EXPECT_EQ(p.relation_count(), 3u);
+}
+
+TEST(Poset, EmptyAndAntichain) {
+    Poset p(5);
+    p.close();
+    EXPECT_EQ(p.relation_count(), 0u);
+    EXPECT_EQ(p.minimal_elements().size(), 5u);
+    EXPECT_EQ(p.maximal_elements().size(), 5u);
+    EXPECT_TRUE(p.incomparable(0, 4));
+}
+
+TEST(Poset, IsLinearExtension) {
+    const Poset p = diamond();
+    EXPECT_TRUE(p.is_linear_extension({0, 1, 2, 3}));
+    EXPECT_TRUE(p.is_linear_extension({0, 2, 1, 3}));
+    EXPECT_FALSE(p.is_linear_extension({1, 0, 2, 3}));
+    EXPECT_FALSE(p.is_linear_extension({0, 1, 2}));      // wrong size
+    EXPECT_FALSE(p.is_linear_extension({0, 1, 1, 3}));   // not a permutation
+}
+
+TEST(LinearExtension, ProducesValidExtension) {
+    const Poset p = diamond();
+    EXPECT_TRUE(p.is_linear_extension(linear_extension(p)));
+}
+
+TEST(LinearExtension, DeterministicSmallestFirst) {
+    Poset p(4);
+    p.add_relation(2, 0);
+    p.close();
+    // Ready set initially {1,2,3}; smallest-index rule gives 1,2,0,3.
+    EXPECT_EQ(linear_extension(p), (std::vector<std::size_t>{1, 2, 0, 3}));
+}
+
+TEST(ChainLowExtension, PlacesChainBelowIncomparables) {
+    const Poset p = diamond();
+    const std::vector<std::size_t> chain{0, 1, 3};
+    const auto ext = chain_low_extension(p, chain);
+    EXPECT_TRUE(p.is_linear_extension(ext));
+    const auto pos = positions_of(ext);
+    // 1 is in the chain and incomparable to 2, so 1 must precede 2.
+    EXPECT_LT(pos[1], pos[2]);
+}
+
+TEST(ChainLowExtension, RejectsNonChain) {
+    const Poset p = diamond();
+    EXPECT_THROW(chain_low_extension(p, {1, 2}), std::invalid_argument);
+    EXPECT_THROW(chain_low_extension(p, {3, 0}), std::invalid_argument);
+    EXPECT_THROW(chain_low_extension(p, {0, 0}), std::invalid_argument);
+}
+
+TEST(ChainLowExtension, EmptyChainIsPlainExtension) {
+    const Poset p = diamond();
+    const auto ext = chain_low_extension(p, {});
+    EXPECT_TRUE(p.is_linear_extension(ext));
+}
+
+TEST(PositionsOf, InvertsPermutation) {
+    const std::vector<std::size_t> order{2, 0, 3, 1};
+    const auto pos = positions_of(order);
+    EXPECT_EQ(pos[2], 0u);
+    EXPECT_EQ(pos[0], 1u);
+    EXPECT_EQ(pos[3], 2u);
+    EXPECT_EQ(pos[1], 3u);
+}
+
+}  // namespace
+}  // namespace syncts

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "clocks/online_clock.hpp"
+#include "core/predicate_detection.hpp"
+#include "test_util.hpp"
+#include "trace/ground_truth.hpp"
+
+namespace syncts {
+namespace {
+
+/// Stamps all internal events of `c` and groups them per process, keeping
+/// only those whose InternalId is in `chosen` (the "predicate held" set).
+std::vector<std::vector<EventTimestamp>> candidates_for(
+    const SyncComputation& c, const std::vector<ProcessId>& processes,
+    const std::vector<char>& chosen) {
+    const auto message_stamps = online_timestamps(c);
+    const std::size_t width =
+        message_stamps.empty() ? 1 : message_stamps[0].width();
+    const auto stamps = timestamp_internal_events(c, message_stamps, width);
+    std::vector<std::vector<EventTimestamp>> result(processes.size());
+    for (InternalId e = 0; e < c.num_internal_events(); ++e) {
+        if (!chosen[e]) continue;
+        for (std::size_t slot = 0; slot < processes.size(); ++slot) {
+            if (c.internal_event(e).process == processes[slot]) {
+                result[slot].push_back(stamps[e]);
+            }
+        }
+    }
+    return result;
+}
+
+/// Brute-force possibly(φ): try every combination of one candidate per
+/// process and test pairwise concurrency.
+bool brute_force_detect(
+    const std::vector<std::vector<EventTimestamp>>& candidates) {
+    const std::size_t k = candidates.size();
+    std::vector<std::size_t> pick(k, 0);
+    for (;;) {
+        bool all_concurrent = true;
+        for (std::size_t i = 0; i < k && all_concurrent; ++i) {
+            for (std::size_t j = i + 1; j < k && all_concurrent; ++j) {
+                if (!concurrent(candidates[i][pick[i]],
+                                candidates[j][pick[j]])) {
+                    all_concurrent = false;
+                }
+            }
+        }
+        if (all_concurrent) return true;
+        std::size_t slot = 0;
+        while (slot < k && ++pick[slot] >= candidates[slot].size()) {
+            pick[slot] = 0;
+            ++slot;
+        }
+        if (slot == k) return false;
+    }
+}
+
+TEST(WeakConjunctive, TrivialCases) {
+    EXPECT_TRUE(detect_weak_conjunctive({}).detected);
+    EXPECT_FALSE(detect_weak_conjunctive({{}}).detected);
+    // Single process with any candidate: detected at index 0.
+    SyncComputation c(topology::path(2));
+    c.add_internal(0);
+    const auto cands = candidates_for(c, {0}, {1});
+    const auto result = detect_weak_conjunctive(cands);
+    EXPECT_TRUE(result.detected);
+    EXPECT_EQ(result.witness, (std::vector<std::size_t>{0}));
+}
+
+TEST(WeakConjunctive, PlantedConcurrentCutIsFound) {
+    // P0 and P2 both raise their predicate with no communication between
+    // the raising intervals: detectable.
+    SyncComputation c(topology::path(3));
+    const InternalId a = c.add_internal(0);
+    const InternalId b = c.add_internal(2);
+    c.add_message(0, 1);
+    std::vector<char> chosen(c.num_internal_events(), 0);
+    chosen[a] = chosen[b] = 1;
+    const auto result =
+        detect_weak_conjunctive(candidates_for(c, {0, 2}, chosen));
+    EXPECT_TRUE(result.detected);
+}
+
+TEST(WeakConjunctive, SequentialPredicatesAreNotDetected) {
+    // P0's predicate holds only before the sync, P1's only after: every
+    // candidate pair is ordered through the message.
+    SyncComputation c(topology::path(2));
+    const InternalId a = c.add_internal(0);
+    c.add_message(0, 1);
+    const InternalId b = c.add_internal(1);
+    std::vector<char> chosen(c.num_internal_events(), 0);
+    chosen[a] = chosen[b] = 1;
+    const auto result =
+        detect_weak_conjunctive(candidates_for(c, {0, 1}, chosen));
+    EXPECT_FALSE(result.detected);
+    EXPECT_TRUE(result.witness.empty());
+}
+
+TEST(WeakConjunctive, AdvancesPastOrderedPrefix) {
+    // P0 raises early (ordered before P1's candidate) and raises again
+    // later, concurrently: the detector must skip the first candidate.
+    SyncComputation c(topology::path(2));
+    const InternalId early = c.add_internal(0);
+    c.add_message(0, 1);
+    const InternalId target = c.add_internal(1);
+    const InternalId late = c.add_internal(0);
+    std::vector<char> chosen(c.num_internal_events(), 0);
+    chosen[early] = chosen[target] = chosen[late] = 1;
+    const auto result =
+        detect_weak_conjunctive(candidates_for(c, {0, 1}, chosen));
+    ASSERT_TRUE(result.detected);
+    EXPECT_EQ(result.witness[0], 1u);  // skipped `early`
+    EXPECT_EQ(result.witness[1], 0u);
+}
+
+TEST(WeakConjunctive, ThreeWayCut) {
+    SyncComputation c(topology::star(4));
+    const InternalId a = c.add_internal(1);
+    const InternalId b = c.add_internal(2);
+    const InternalId d = c.add_internal(3);
+    c.add_message(1, 0);
+    std::vector<char> chosen(c.num_internal_events(), 0);
+    chosen[a] = chosen[b] = chosen[d] = 1;
+    const auto result =
+        detect_weak_conjunctive(candidates_for(c, {1, 2, 3}, chosen));
+    EXPECT_TRUE(result.detected);
+}
+
+TEST(WeakConjunctive, MatchesBruteForceOnRandomWorkloads) {
+    for (std::uint64_t seed = 0; seed < 15; ++seed) {
+        const Graph g = topology::client_server(2, 3);
+        const SyncComputation c =
+            testing::random_workload(g, 25, 1.5, 700 + seed);
+        if (c.num_internal_events() == 0) continue;
+        std::vector<char> chosen(c.num_internal_events(), 1);
+        // Observe the two busiest client processes.
+        const std::vector<ProcessId> observed{2, 3};
+        const auto cands = candidates_for(c, observed, chosen);
+        if (cands[0].empty() || cands[1].empty()) continue;
+        const auto result = detect_weak_conjunctive(cands);
+        EXPECT_EQ(result.detected, brute_force_detect(cands))
+            << "seed " << seed;
+        if (result.detected) {
+            // The witness really is pairwise concurrent.
+            EXPECT_TRUE(concurrent(cands[0][result.witness[0]],
+                                   cands[1][result.witness[1]]));
+        }
+    }
+}
+
+TEST(WeakConjunctive, WitnessIsEarliest) {
+    // The elimination strategy yields the least witness indices among all
+    // valid cuts (standard WCP property): verify against brute force on a
+    // fixed scenario.
+    SyncComputation c(topology::path(3));
+    const InternalId a0 = c.add_internal(0);
+    c.add_message(0, 1);
+    c.add_message(1, 2);
+    const InternalId b0 = c.add_internal(2);  // after the chain: a0 -> b0
+    const InternalId a1 = c.add_internal(0);  // concurrent with b0
+    std::vector<char> chosen(c.num_internal_events(), 0);
+    chosen[a0] = chosen[b0] = chosen[a1] = 1;
+    const auto result =
+        detect_weak_conjunctive(candidates_for(c, {0, 2}, chosen));
+    ASSERT_TRUE(result.detected);
+    EXPECT_EQ(result.witness[0], 1u);  // a1, not a0
+    EXPECT_EQ(result.witness[1], 0u);  // b0
+}
+
+}  // namespace
+}  // namespace syncts

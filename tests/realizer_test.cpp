@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "poset/dilworth.hpp"
+#include "poset/realizer.hpp"
+
+namespace syncts {
+namespace {
+
+Poset random_poset(std::size_t n, std::uint64_t seed, int denom = 4) {
+    Rng rng(seed);
+    Poset p(n);
+    for (std::size_t a = 0; a < n; ++a) {
+        for (std::size_t b = a + 1; b < n; ++b) {
+            if (rng.chance(1, static_cast<std::uint64_t>(denom))) {
+                p.add_relation(a, b);
+            }
+        }
+    }
+    p.close();
+    return p;
+}
+
+TEST(ChainRealizer, RealizesRandomPosets) {
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        const Poset p = random_poset(15, seed);
+        const Realizer r = chain_realizer(p);
+        EXPECT_EQ(r.size(), poset_width(p)) << "seed " << seed;
+        EXPECT_TRUE(realizes(p, r)) << "seed " << seed;
+    }
+}
+
+TEST(ChainRealizer, ChainNeedsOneExtension) {
+    Poset p(6);
+    for (std::size_t i = 0; i + 1 < 6; ++i) p.add_relation(i, i + 1);
+    p.close();
+    const Realizer r = chain_realizer(p);
+    EXPECT_EQ(r.size(), 1u);
+    EXPECT_TRUE(realizes(p, r));
+}
+
+TEST(ChainRealizer, AntichainNeedsOnePerElementViaChains) {
+    // Dilworth chains of an antichain are singletons: n extensions. (The
+    // true dimension of an antichain is 2, but Fig. 9 uses the chain bound.)
+    Poset p(4);
+    p.close();
+    const Realizer r = chain_realizer(p);
+    EXPECT_EQ(r.size(), 4u);
+    EXPECT_TRUE(realizes(p, r));
+}
+
+TEST(ChainRealizer, EmptyPoset) {
+    Poset p(0);
+    p.close();
+    const Realizer r = chain_realizer(p);
+    EXPECT_EQ(r.size(), 0u);
+    EXPECT_TRUE(realizes(p, r));
+}
+
+TEST(Realizes, DetectsNonExtension) {
+    Poset p(3);
+    p.add_relation(0, 1);
+    p.close();
+    Realizer bad;
+    bad.extensions = {{1, 0, 2}};
+    EXPECT_FALSE(realizes(p, bad));
+}
+
+TEST(Realizes, DetectsMissingReversal) {
+    // 0 and 1 incomparable, but the single extension orders them 0 < 1
+    // everywhere — the intersection would add 0 < 1.
+    Poset p(2);
+    p.close();
+    Realizer bad;
+    bad.extensions = {{0, 1}};
+    EXPECT_FALSE(realizes(p, bad));
+    Realizer good;
+    good.extensions = {{0, 1}, {1, 0}};
+    EXPECT_TRUE(realizes(p, good));
+}
+
+TEST(RealizerTimestamps, RanksEncodeThePoset) {
+    for (std::uint64_t seed = 100; seed < 112; ++seed) {
+        const Poset p = random_poset(12, seed, 3);
+        const Realizer r = chain_realizer(p);
+        const auto stamps = realizer_timestamps(r);
+        ASSERT_EQ(stamps.size(), p.size());
+        for (std::size_t a = 0; a < p.size(); ++a) {
+            for (std::size_t b = 0; b < p.size(); ++b) {
+                if (a == b) continue;
+                // a < b in P  ⟺  rank vector of a is strictly below b's in
+                // every coordinate (ranks in one extension never tie).
+                bool all_less = true;
+                for (std::size_t i = 0; i < r.size(); ++i) {
+                    if (stamps[a][i] >= stamps[b][i]) all_less = false;
+                }
+                EXPECT_EQ(p.less(a, b), all_less)
+                    << "seed " << seed << " pair " << a << ',' << b;
+            }
+        }
+    }
+}
+
+TEST(RealizerTimestamps, RejectsEmptyRealizer) {
+    EXPECT_THROW(realizer_timestamps(Realizer{}), std::invalid_argument);
+}
+
+
+TEST(MinimizeRealizer, DropsRedundantExtensions) {
+    // Take a valid realizer and pad it with extra linear extensions: the
+    // minimizer must shed padding and still realize the poset.
+    Poset p(2);
+    p.close();
+    Realizer padded;
+    padded.extensions = {{0, 1}, {1, 0}, {0, 1}, {1, 0}};
+    const Realizer minimal = minimize_realizer(p, padded);
+    EXPECT_EQ(minimal.size(), 2u);
+    EXPECT_TRUE(realizes(p, minimal));
+}
+
+TEST(MinimizeRealizer, NeverGrowsAlwaysRealizes) {
+    for (std::uint64_t seed = 300; seed < 312; ++seed) {
+        const Poset p = random_poset(13, seed);
+        const Realizer chain = chain_realizer(p);
+        const Realizer minimal = minimize_realizer(p, chain);
+        EXPECT_LE(minimal.size(), chain.size()) << seed;
+        EXPECT_TRUE(realizes(p, minimal)) << seed;
+        EXPECT_GE(minimal.size(), 1u);
+    }
+}
+
+TEST(MinimizeRealizer, ChainStaysAtOne) {
+    Poset p(5);
+    for (std::size_t i = 0; i + 1 < 5; ++i) p.add_relation(i, i + 1);
+    p.close();
+    const Realizer minimal = minimize_realizer(p, chain_realizer(p));
+    EXPECT_EQ(minimal.size(), 1u);
+}
+
+TEST(MinimizeRealizer, RejectsInvalidInput) {
+    Poset p(3);
+    p.add_relation(0, 1);
+    p.close();
+    Realizer bad;
+    bad.extensions = {{1, 0, 2}};
+    EXPECT_THROW(minimize_realizer(p, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace syncts

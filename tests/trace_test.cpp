@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "trace/computation.hpp"
+#include "trace/generator.hpp"
+#include "trace/ground_truth.hpp"
+
+namespace syncts {
+namespace {
+
+TEST(SyncComputation, BuildAndProject) {
+    SyncComputation c(topology::path(3));
+    const MessageId m0 = c.add_message(0, 1);
+    const InternalId i0 = c.add_internal(1);
+    const MessageId m1 = c.add_message(2, 1);
+    EXPECT_EQ(m0, 0u);
+    EXPECT_EQ(i0, 0u);
+    EXPECT_EQ(m1, 1u);
+    EXPECT_EQ(c.num_messages(), 2u);
+    EXPECT_EQ(c.num_internal_events(), 1u);
+
+    const auto p1_events = c.process_events(1);
+    ASSERT_EQ(p1_events.size(), 3u);
+    EXPECT_EQ(p1_events[0].kind, ProcessEvent::Kind::message);
+    EXPECT_EQ(p1_events[1].kind, ProcessEvent::Kind::internal);
+    EXPECT_EQ(p1_events[2].kind, ProcessEvent::Kind::message);
+
+    EXPECT_EQ(c.process_messages(0).size(), 1u);
+    EXPECT_EQ(c.process_messages(1).size(), 2u);
+    EXPECT_TRUE(c.process_messages(2).size() == 1u);
+    EXPECT_TRUE(c.message(0).involves(0));
+    EXPECT_FALSE(c.message(0).involves(2));
+}
+
+TEST(SyncComputation, RejectsNonTopologyChannels) {
+    SyncComputation c(topology::path(3));
+    EXPECT_THROW(c.add_message(0, 2), std::invalid_argument);
+    EXPECT_THROW(c.add_message(0, 0), std::invalid_argument);
+    EXPECT_THROW(c.add_internal(7), std::invalid_argument);
+}
+
+TEST(MessagePoset, PaperFig1Facts) {
+    // The paper's running example: m1 ‖ m2, m1 ▷ m3, m2 ↦ m6, m3 ↦ m5,
+    // and a synchronous chain of size 4 from m1 to m5.
+    const SyncComputation c = paper_fig1_computation();
+    const Poset p = message_poset(c);
+    ASSERT_EQ(p.size(), 6u);
+    // (0-based ids: m1 = 0, ..., m6 = 5.)
+    EXPECT_TRUE(p.incomparable(0, 1));  // m1 || m2
+    EXPECT_TRUE(p.less(0, 2));          // m1 -> m3
+    EXPECT_TRUE(p.less(1, 5));          // m2 -> m6
+    EXPECT_TRUE(p.less(2, 4));          // m3 -> m5
+    // Chain m1 -> m3 -> m4 -> m5 of size 4.
+    EXPECT_TRUE(p.less(0, 2) && p.less(2, 3) && p.less(3, 4));
+}
+
+TEST(MessagePoset, TotalOrderOnStarTopology) {
+    // Lemma 1 (forward direction): star topologies totally order messages.
+    Rng rng(61);
+    WorkloadOptions options;
+    options.num_messages = 60;
+    const Graph g = topology::star(8);
+    for (int trial = 0; trial < 5; ++trial) {
+        Rng local(rng());
+        const SyncComputation c = random_computation(g, options, local);
+        EXPECT_TRUE(messages_totally_ordered(message_poset(c)));
+    }
+}
+
+TEST(MessagePoset, TotalOrderOnTriangleTopology) {
+    Rng rng(62);
+    WorkloadOptions options;
+    options.num_messages = 60;
+    const Graph g = topology::triangle();
+    for (int trial = 0; trial < 5; ++trial) {
+        Rng local(rng());
+        const SyncComputation c = random_computation(g, options, local);
+        EXPECT_TRUE(messages_totally_ordered(message_poset(c)));
+    }
+}
+
+TEST(MessagePoset, ConcurrencyExistsOffStarTriangle) {
+    // Lemma 1 (converse): two disjoint edges admit concurrent messages.
+    SyncComputation c(topology::path(4));
+    c.add_message(0, 1);
+    c.add_message(2, 3);
+    const Poset p = message_poset(c);
+    EXPECT_TRUE(p.incomparable(0, 1));
+}
+
+TEST(MessagePoset, InstantOrderIsALinearExtension) {
+    Rng rng(63);
+    WorkloadOptions options;
+    options.num_messages = 80;
+    const SyncComputation c =
+        random_computation(topology::complete(6), options, rng);
+    const Poset p = message_poset(c);
+    std::vector<std::size_t> instant_order(c.num_messages());
+    for (std::size_t i = 0; i < instant_order.size(); ++i) {
+        instant_order[i] = i;
+    }
+    EXPECT_TRUE(p.is_linear_extension(instant_order));
+}
+
+TEST(EventPoset, MessagesAndInternalsInterleave) {
+    SyncComputation c(topology::path(2));
+    const InternalId before = c.add_internal(0);   // element 2+0 = 2
+    const MessageId m = c.add_message(0, 1);       // element 0
+    const InternalId after0 = c.add_internal(0);   // element 3
+    const InternalId after1 = c.add_internal(1);   // element 4
+    (void)m;
+    const Poset p = event_poset(c);
+    ASSERT_EQ(p.size(), 1u + 3u);
+    const std::size_t e_before = internal_element(c, before);
+    const std::size_t e_after0 = internal_element(c, after0);
+    const std::size_t e_after1 = internal_element(c, after1);
+    EXPECT_TRUE(p.less(e_before, 0));        // before < message
+    EXPECT_TRUE(p.less(0, e_after0));        // message < after on P0
+    EXPECT_TRUE(p.less(0, e_after1));        // message < after on P1
+    EXPECT_TRUE(p.less(e_before, e_after1));  // across processes via m
+    EXPECT_TRUE(p.incomparable(e_after0, e_after1));
+}
+
+TEST(EventPoset, InternalEventsOnIsolatedProcessesAreConcurrent) {
+    SyncComputation c(topology::path(3));
+    const InternalId a = c.add_internal(0);
+    const InternalId b = c.add_internal(2);
+    const Poset p = event_poset(c);
+    EXPECT_TRUE(
+        p.incomparable(internal_element(c, a), internal_element(c, b)));
+}
+
+TEST(Generator, MessageCountHonored) {
+    Rng rng(64);
+    WorkloadOptions options;
+    options.num_messages = 123;
+    const SyncComputation c =
+        random_computation(topology::ring(6), options, rng);
+    EXPECT_EQ(c.num_messages(), 123u);
+    EXPECT_EQ(c.num_internal_events(), 0u);
+}
+
+TEST(Generator, InternalRateProducesEvents) {
+    Rng rng(65);
+    WorkloadOptions options;
+    options.num_messages = 200;
+    options.internal_rate = 1.0;
+    const SyncComputation c =
+        random_computation(topology::ring(6), options, rng);
+    EXPECT_GT(c.num_internal_events(), 100u);
+    EXPECT_LT(c.num_internal_events(), 400u);
+}
+
+TEST(Generator, ProcessBiasedEndpoints) {
+    Rng rng(66);
+    WorkloadOptions options;
+    options.num_messages = 150;
+    options.edge_uniform = false;
+    const SyncComputation c =
+        random_computation(topology::star(10), options, rng);
+    EXPECT_EQ(c.num_messages(), 150u);
+    // Every message must still use a topology edge (the star's center).
+    for (const SyncMessage& m : c.messages()) {
+        EXPECT_TRUE(m.sender == 0 || m.receiver == 0);
+    }
+}
+
+TEST(Generator, Fig6ComputationShape) {
+    const SyncComputation c = paper_fig6_computation();
+    EXPECT_EQ(c.num_processes(), 5u);
+    EXPECT_EQ(c.num_messages(), 5u);
+    EXPECT_EQ(c.message(2).sender, 1u);    // m3: P2 -> P3
+    EXPECT_EQ(c.message(2).receiver, 2u);
+    // Width 2, per the paper's offline remark.
+    EXPECT_EQ(message_poset(c).size(), 5u);
+}
+
+TEST(Generator, RejectsEdgelessTopology) {
+    Rng rng(67);
+    WorkloadOptions options;
+    EXPECT_THROW(random_computation(Graph(4), options, rng),
+                 std::invalid_argument);
+}
+
+TEST(SyncComputation, ToStringFormat) {
+    const SyncComputation c = paper_fig1_computation();
+    const std::string s = c.to_string();
+    EXPECT_NE(s.find("m1: P1 -> P2"), std::string::npos);
+    EXPECT_NE(s.find("m6: P2 -> P3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace syncts

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/triangles.hpp"
+
+namespace syncts {
+namespace {
+
+std::vector<Triangle> brute_force_triangles(const Graph& g) {
+    std::vector<Triangle> result;
+    const auto n = static_cast<ProcessId>(g.num_vertices());
+    for (ProcessId a = 0; a < n; ++a) {
+        for (ProcessId b = a + 1; b < n; ++b) {
+            for (ProcessId c = b + 1; c < n; ++c) {
+                if (g.has_edge(a, b) && g.has_edge(b, c) && g.has_edge(a, c)) {
+                    result.push_back(Triangle::make(a, b, c));
+                }
+            }
+        }
+    }
+    return result;
+}
+
+TEST(Triangle, MakeSortsCorners) {
+    const Triangle t = Triangle::make(5, 1, 3);
+    EXPECT_EQ(t.corners[0], 1u);
+    EXPECT_EQ(t.corners[1], 3u);
+    EXPECT_EQ(t.corners[2], 5u);
+    EXPECT_EQ(t, Triangle::make(3, 5, 1));
+    EXPECT_THROW(Triangle::make(1, 1, 2), std::invalid_argument);
+}
+
+TEST(Triangles, NoneInForestsOrBipartite) {
+    EXPECT_TRUE(all_triangles(topology::path(8)).empty());
+    EXPECT_TRUE(all_triangles(topology::star(8)).empty());
+    EXPECT_TRUE(all_triangles(topology::grid(4, 4)).empty());
+    EXPECT_TRUE(all_triangles(topology::client_server(3, 5)).empty());
+    EXPECT_TRUE(all_triangles(topology::ring(6)).empty());
+    EXPECT_EQ(all_triangles(topology::ring(3)).size(), 1u);
+}
+
+TEST(Triangles, CompleteGraphCount) {
+    // C(n,3) triangles in K_n.
+    EXPECT_EQ(all_triangles(topology::complete(4)).size(), 4u);
+    EXPECT_EQ(all_triangles(topology::complete(5)).size(), 10u);
+    EXPECT_EQ(all_triangles(topology::complete(7)).size(), 35u);
+}
+
+TEST(Triangles, DisjointTriangles) {
+    const auto triangles = all_triangles(topology::disjoint_triangles(5));
+    EXPECT_EQ(triangles.size(), 5u);
+}
+
+TEST(Triangles, EachListedOnceAndSorted) {
+    const auto triangles = all_triangles(topology::complete(6));
+    auto copy = triangles;
+    std::ranges::sort(copy);
+    EXPECT_EQ(copy, triangles);
+    EXPECT_EQ(std::ranges::adjacent_find(copy), copy.end());
+}
+
+TEST(Triangles, MatchesBruteForceOnRandomGraphs) {
+    Rng rng(123);
+    for (int trial = 0; trial < 20; ++trial) {
+        const Graph g = topology::random_gnp(14, 0.4, rng);
+        EXPECT_EQ(all_triangles(g), brute_force_triangles(g))
+            << "trial " << trial;
+    }
+}
+
+TEST(TrianglesContaining, KnownEdges) {
+    const Graph k4 = topology::complete(4);
+    const auto ts = triangles_containing(k4, 0, 1);
+    ASSERT_EQ(ts.size(), 2u);
+    EXPECT_EQ(ts[0], Triangle::make(0, 1, 2));
+    EXPECT_EQ(ts[1], Triangle::make(0, 1, 3));
+    EXPECT_TRUE(triangles_containing(topology::path(4), 0, 1).empty());
+}
+
+TEST(TrianglesContaining, AbsentEdgeGivesNothing) {
+    const Graph g = topology::path(4);
+    EXPECT_TRUE(triangles_containing(g, 0, 3).empty());
+}
+
+TEST(TrianglesContaining, ConsistentWithAllTriangles) {
+    Rng rng(321);
+    const Graph g = topology::random_gnp(12, 0.5, rng);
+    const auto all = all_triangles(g);
+    for (const Edge& e : g.edges()) {
+        const auto expected_count = static_cast<std::size_t>(
+            std::ranges::count_if(all, [&](const Triangle& t) {
+                return std::ranges::count(t.corners, e.u) == 1 &&
+                       std::ranges::count(t.corners, e.v) == 1;
+            }));
+        EXPECT_EQ(triangles_containing(g, e.u, e.v).size(), expected_count);
+    }
+}
+
+}  // namespace
+}  // namespace syncts

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/vertex_cover.hpp"
+
+namespace syncts {
+namespace {
+
+/// Exhaustive minimum vertex cover by subset enumeration (n <= ~16).
+std::size_t brute_force_cover_size(const Graph& g) {
+    const std::size_t n = g.num_vertices();
+    std::size_t best = n;
+    for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+        const auto size =
+            static_cast<std::size_t>(__builtin_popcountll(mask));
+        if (size >= best) continue;
+        const bool covers = std::ranges::all_of(g.edges(), [&](const Edge& e) {
+            return ((mask >> e.u) & 1) || ((mask >> e.v) & 1);
+        });
+        if (covers) best = size;
+    }
+    return best;
+}
+
+TEST(IsVertexCover, Basics) {
+    const Graph g = topology::path(4);  // edges 01, 12, 23
+    EXPECT_TRUE(is_vertex_cover(g, {1, 2}));
+    EXPECT_TRUE(is_vertex_cover(g, {0, 1, 2, 3}));
+    EXPECT_FALSE(is_vertex_cover(g, {0, 3}));
+    EXPECT_FALSE(is_vertex_cover(g, {}));
+    EXPECT_TRUE(is_vertex_cover(Graph(3), {}));
+    EXPECT_FALSE(is_vertex_cover(g, {9}));  // out of range
+}
+
+TEST(ApproxCover, IsAlwaysACover) {
+    Rng rng(42);
+    for (int trial = 0; trial < 25; ++trial) {
+        const Graph g = topology::random_gnp(20, 0.25, rng);
+        EXPECT_TRUE(is_vertex_cover(g, approx_vertex_cover(g)));
+    }
+}
+
+TEST(ApproxCover, WithinTwiceOptimal) {
+    Rng rng(43);
+    for (int trial = 0; trial < 15; ++trial) {
+        const Graph g = topology::random_gnp(12, 0.3, rng);
+        const std::size_t optimal = brute_force_cover_size(g);
+        EXPECT_LE(approx_vertex_cover(g).size(), 2 * optimal);
+    }
+}
+
+TEST(ExactCover, KnownSizes) {
+    EXPECT_EQ(exact_vertex_cover(topology::star(10)).size(), 1u);
+    EXPECT_EQ(exact_vertex_cover(topology::path(2)).size(), 1u);
+    EXPECT_EQ(exact_vertex_cover(topology::path(5)).size(), 2u);
+    EXPECT_EQ(exact_vertex_cover(topology::triangle()).size(), 2u);
+    // β(K_n) = n−1; β(C_n) = ⌈n/2⌉.
+    EXPECT_EQ(exact_vertex_cover(topology::complete(6)).size(), 5u);
+    EXPECT_EQ(exact_vertex_cover(topology::ring(6)).size(), 3u);
+    EXPECT_EQ(exact_vertex_cover(topology::ring(7)).size(), 4u);
+    // Client-server: the servers cover everything.
+    EXPECT_EQ(exact_vertex_cover(topology::client_server(3, 20)).size(), 3u);
+    // Disjoint triangles: 2 per triangle.
+    EXPECT_EQ(exact_vertex_cover(topology::disjoint_triangles(4)).size(), 8u);
+    EXPECT_TRUE(exact_vertex_cover(Graph(5)).empty());
+}
+
+TEST(ExactCover, MatchesBruteForceOnRandomGraphs) {
+    Rng rng(44);
+    for (int trial = 0; trial < 20; ++trial) {
+        const Graph g = topology::random_gnp(13, 0.35, rng);
+        const auto cover = exact_vertex_cover(g);
+        EXPECT_TRUE(is_vertex_cover(g, cover));
+        EXPECT_EQ(cover.size(), brute_force_cover_size(g))
+            << "trial " << trial;
+    }
+}
+
+TEST(ExactCover, TreeCoversAreSmall) {
+    Rng rng(45);
+    const Graph tree = topology::random_tree(18, rng);
+    const auto cover = exact_vertex_cover(tree);
+    EXPECT_TRUE(is_vertex_cover(tree, cover));
+    EXPECT_EQ(cover.size(), brute_force_cover_size(tree));
+}
+
+TEST(ExactCover, PaperFig4TreeNeedsThreeHubs) {
+    const auto cover = exact_vertex_cover(topology::paper_fig4_tree());
+    EXPECT_EQ(cover.size(), 3u);
+    EXPECT_EQ(cover, (std::vector<ProcessId>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace syncts

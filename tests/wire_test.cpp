@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "clocks/online_clock.hpp"
+#include "clocks/wire.hpp"
+#include "common/rng.hpp"
+#include "core/sync_system.hpp"
+#include "graph/generators.hpp"
+#include "trace/generator.hpp"
+
+namespace syncts {
+namespace {
+
+TEST(Varint, SmallValuesAreOneByte) {
+    std::vector<std::uint8_t> out;
+    encode_varint(0, out);
+    encode_varint(1, out);
+    encode_varint(127, out);
+    EXPECT_EQ(out.size(), 3u);
+    std::size_t offset = 0;
+    EXPECT_EQ(decode_varint(out, offset), 0u);
+    EXPECT_EQ(decode_varint(out, offset), 1u);
+    EXPECT_EQ(decode_varint(out, offset), 127u);
+    EXPECT_EQ(offset, out.size());
+}
+
+TEST(Varint, BoundaryValuesRoundTrip) {
+    for (const std::uint64_t value :
+         {0ull, 127ull, 128ull, 16383ull, 16384ull, 0xFFFFFFFFull,
+          0xFFFFFFFFFFFFFFFFull}) {
+        std::vector<std::uint8_t> out;
+        encode_varint(value, out);
+        std::size_t offset = 0;
+        EXPECT_EQ(decode_varint(out, offset), value);
+        EXPECT_EQ(offset, out.size());
+    }
+}
+
+TEST(Varint, TruncatedInputRejected) {
+    std::vector<std::uint8_t> out;
+    encode_varint(300, out);
+    out.pop_back();
+    std::size_t offset = 0;
+    EXPECT_THROW(decode_varint(out, offset), std::invalid_argument);
+}
+
+TEST(Varint, OverlongInputRejected) {
+    const std::vector<std::uint8_t> bytes(11, 0x80);
+    std::size_t offset = 0;
+    EXPECT_THROW(decode_varint(bytes, offset), std::invalid_argument);
+}
+
+TEST(TimestampWire, RoundTrip) {
+    const VectorTimestamp stamp(
+        std::vector<std::uint64_t>{0, 1, 127, 128, 1'000'000});
+    const auto bytes = encode_timestamp(stamp);
+    EXPECT_EQ(bytes.size(), encoded_size(stamp));
+    EXPECT_EQ(decode_timestamp(bytes), stamp);
+}
+
+TEST(TimestampWire, EmptyTimestamp) {
+    const VectorTimestamp stamp(0);
+    const auto bytes = encode_timestamp(stamp);
+    EXPECT_EQ(bytes.size(), 1u);
+    EXPECT_EQ(decode_timestamp(bytes), stamp);
+}
+
+TEST(TimestampWire, MalformedInputs) {
+    EXPECT_THROW(decode_timestamp({}), std::invalid_argument);
+    // Claims width 5 with no component bytes.
+    const std::vector<std::uint8_t> lying{5};
+    EXPECT_THROW(decode_timestamp(lying), std::invalid_argument);
+    // Trailing garbage after a valid stamp.
+    auto bytes = encode_timestamp(VectorTimestamp(2));
+    bytes.push_back(0);
+    EXPECT_THROW(decode_timestamp(bytes), std::invalid_argument);
+}
+
+TEST(TimestampWire, FreshClocksCostWidthPlusOneBytes) {
+    // The practical O(d) claim: a fresh width-4 clock costs 5 bytes.
+    EXPECT_EQ(encoded_size(VectorTimestamp(4)), 5u);
+    EXPECT_EQ(encoded_size(VectorTimestamp(64)), 65u);
+}
+
+TEST(TimestampWire, RealWorkloadRoundTrips) {
+    const Graph g = topology::client_server(3, 9);
+    const SyncSystem system{Graph(g)};
+    Rng rng(909);
+    WorkloadOptions options;
+    options.num_messages = 300;
+    const SyncComputation c = random_computation(g, options, rng);
+    auto timestamper = system.make_timestamper();
+    std::size_t total_bytes = 0;
+    for (const SyncMessage& m : c.messages()) {
+        const VectorTimestamp stamp =
+            timestamper.timestamp_message(m.sender, m.receiver);
+        const auto bytes = encode_timestamp(stamp);
+        total_bytes += bytes.size();
+        EXPECT_EQ(decode_timestamp(bytes), stamp);
+    }
+    // 300 messages over d=3: varints keep the piggyback close to d+1
+    // bytes even as counters grow into the hundreds (2-byte varints).
+    EXPECT_LT(total_bytes, 300u * (2 * 3 + 1));
+}
+
+}  // namespace
+}  // namespace syncts

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+/// Shared command-line topology specs for the syncts tools:
+///   star:<n> | ring:<n> | path:<n> | complete:<n> | tree:<n>:<arity> |
+///   cs:<servers>:<clients> | grid:<w>:<h> | triangles:<t> |
+///   gnp:<n>:<p%>:<seed> | fig2b | fig4
+
+namespace syncts::tools {
+
+inline std::vector<std::string> split(const std::string& text, char sep) {
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t pos = text.find(sep, start);
+        parts.push_back(text.substr(start, pos - start));
+        if (pos == std::string::npos) return parts;
+        start = pos + 1;
+    }
+}
+
+inline std::size_t parse_count(const std::string& token) {
+    return static_cast<std::size_t>(
+        std::strtoull(token.c_str(), nullptr, 10));
+}
+
+inline Graph build_topology(const std::string& spec) {
+    const auto parts = split(spec, ':');
+    const std::string& kind = parts[0];
+    const auto arg = [&](std::size_t i) { return parse_count(parts.at(i)); };
+    if (kind == "star") return topology::star(arg(1));
+    if (kind == "ring") return topology::ring(arg(1));
+    if (kind == "path") return topology::path(arg(1));
+    if (kind == "complete") return topology::complete(arg(1));
+    if (kind == "tree") return topology::kary_tree(arg(1), arg(2));
+    if (kind == "cs") return topology::client_server(arg(1), arg(2));
+    if (kind == "grid") return topology::grid(arg(1), arg(2));
+    if (kind == "triangles") return topology::disjoint_triangles(arg(1));
+    if (kind == "gnp") {
+        Rng rng(arg(3));
+        return topology::random_gnp(arg(1),
+                                    static_cast<double>(arg(2)) / 100.0,
+                                    rng);
+    }
+    if (kind == "fig2b") return topology::paper_fig2b();
+    if (kind == "fig4") return topology::paper_fig4_tree();
+    std::fprintf(stderr, "unknown topology spec '%s'\n", spec.c_str());
+    std::exit(2);
+}
+
+inline const char* spec_help() {
+    return "star:<n> ring:<n> path:<n> complete:<n> tree:<n>:<k> cs:<s>:<c> "
+           "grid:<w>:<h> triangles:<t> gnp:<n>:<p%>:<seed> fig2b fig4";
+}
+
+}  // namespace syncts::tools
