@@ -1,6 +1,6 @@
 #include "clocks/wire.hpp"
 
-#include "common/check.hpp"
+#include <utility>
 
 namespace syncts {
 
@@ -16,13 +16,19 @@ std::uint64_t decode_varint(std::span<const std::uint8_t> bytes,
                             std::size_t& offset) {
     std::uint64_t value = 0;
     for (unsigned shift = 0; shift < 70; shift += 7) {
-        SYNCTS_REQUIRE(offset < bytes.size(), "truncated varint");
+        if (offset >= bytes.size()) {
+            throw WireError(WireError::Kind::truncated, "truncated varint");
+        }
         const std::uint8_t byte = bytes[offset++];
-        SYNCTS_REQUIRE(shift < 64, "varint longer than 64 bits");
+        if (shift >= 64) {
+            throw WireError(WireError::Kind::overlong_varint,
+                            "varint longer than 64 bits");
+        }
         value |= static_cast<std::uint64_t>(byte & 0x7Fu) << shift;
         if ((byte & 0x80u) == 0) return value;
     }
-    throw std::invalid_argument("unreachable varint state");
+    throw WireError(WireError::Kind::overlong_varint,
+                    "unreachable varint state");
 }
 
 std::vector<std::uint8_t> encode_timestamp(const VectorTimestamp& stamp) {
@@ -35,20 +41,48 @@ std::vector<std::uint8_t> encode_timestamp(const VectorTimestamp& stamp) {
     return out;
 }
 
-VectorTimestamp decode_timestamp(std::span<const std::uint8_t> bytes) {
-    std::size_t offset = 0;
-    const std::uint64_t width = decode_varint(bytes, offset);
+namespace {
+
+/// Shared tail of the two decode_timestamp overloads: decodes `width`
+/// components starting at `offset` and requires the input to end there.
+VectorTimestamp decode_components(std::span<const std::uint8_t> bytes,
+                                  std::size_t& offset, std::uint64_t width) {
     // Each component needs at least one byte; reject absurd widths before
     // allocating.
-    SYNCTS_REQUIRE(width <= bytes.size() - offset,
-                   "timestamp width exceeds available bytes");
+    if (width > bytes.size() - offset) {
+        throw WireError(WireError::Kind::length_mismatch,
+                        "timestamp width exceeds available bytes");
+    }
     std::vector<std::uint64_t> components(static_cast<std::size_t>(width));
     for (auto& component : components) {
         component = decode_varint(bytes, offset);
     }
-    SYNCTS_REQUIRE(offset == bytes.size(),
-                   "trailing bytes after encoded timestamp");
+    if (offset != bytes.size()) {
+        throw WireError(WireError::Kind::trailing_bytes,
+                        "trailing bytes after encoded timestamp");
+    }
     return VectorTimestamp(std::move(components));
+}
+
+}  // namespace
+
+VectorTimestamp decode_timestamp(std::span<const std::uint8_t> bytes) {
+    std::size_t offset = 0;
+    const std::uint64_t width = decode_varint(bytes, offset);
+    return decode_components(bytes, offset, width);
+}
+
+VectorTimestamp decode_timestamp(std::span<const std::uint8_t> bytes,
+                                 std::size_t expected_width) {
+    std::size_t offset = 0;
+    const std::uint64_t width = decode_varint(bytes, offset);
+    if (width != expected_width) {
+        throw WireError(WireError::Kind::width_mismatch,
+                        "timestamp width " + std::to_string(width) +
+                            " does not match decomposition size " +
+                            std::to_string(expected_width));
+    }
+    return decode_components(bytes, offset, width);
 }
 
 std::size_t encoded_size(const VectorTimestamp& stamp) {
@@ -65,6 +99,83 @@ std::size_t encoded_size(const VectorTimestamp& stamp) {
         total += varint_size(component);
     }
     return total;
+}
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept {
+    std::uint64_t hash = 0xCBF29CE484222325ull;
+    for (const std::uint8_t byte : bytes) {
+        hash ^= byte;
+        hash *= 0x100000001B3ull;
+    }
+    return hash;
+}
+
+namespace {
+
+constexpr std::size_t kChecksumBytes = 8;
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const SyncFrame& frame) {
+    std::vector<std::uint8_t> out;
+    out.reserve(2 + 1 + frame.stamp.width() + kChecksumBytes);
+    encode_varint(frame.sequence, out);
+    encode_varint(frame.message, out);
+    encode_varint(frame.stamp.width(), out);
+    for (const std::uint64_t component : frame.stamp.components()) {
+        encode_varint(component, out);
+    }
+    std::uint64_t checksum = fnv1a64(out);
+    for (std::size_t i = 0; i < kChecksumBytes; ++i) {
+        out.push_back(static_cast<std::uint8_t>(checksum));
+        checksum >>= 8;
+    }
+    return out;
+}
+
+SyncFrame decode_frame(std::span<const std::uint8_t> bytes,
+                       std::size_t expected_width) {
+    // Minimum frame: three one-byte varints plus the checksum trailer.
+    if (bytes.size() < 3 + kChecksumBytes) {
+        throw WireError(WireError::Kind::truncated,
+                        "frame shorter than header + checksum");
+    }
+    const std::span<const std::uint8_t> payload =
+        bytes.first(bytes.size() - kChecksumBytes);
+    std::uint64_t declared = 0;
+    for (std::size_t i = 0; i < kChecksumBytes; ++i) {
+        declared |= static_cast<std::uint64_t>(bytes[payload.size() + i])
+                    << (8 * i);
+    }
+    if (fnv1a64(payload) != declared) {
+        throw WireError(WireError::Kind::checksum_mismatch,
+                        "frame checksum mismatch");
+    }
+    SyncFrame frame;
+    std::size_t offset = 0;
+    frame.sequence = decode_varint(payload, offset);
+    frame.message = decode_varint(payload, offset);
+    const std::uint64_t width = decode_varint(payload, offset);
+    if (width != expected_width) {
+        throw WireError(WireError::Kind::width_mismatch,
+                        "frame timestamp width " + std::to_string(width) +
+                            " does not match decomposition size " +
+                            std::to_string(expected_width));
+    }
+    if (width > payload.size() - offset) {
+        throw WireError(WireError::Kind::length_mismatch,
+                        "frame timestamp width exceeds available bytes");
+    }
+    std::vector<std::uint64_t> components(static_cast<std::size_t>(width));
+    for (auto& component : components) {
+        component = decode_varint(payload, offset);
+    }
+    if (offset != payload.size()) {
+        throw WireError(WireError::Kind::trailing_bytes,
+                        "trailing bytes inside frame payload");
+    }
+    frame.stamp = VectorTimestamp(std::move(components));
+    return frame;
 }
 
 }  // namespace syncts

@@ -3,6 +3,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "clocks/vector_timestamp.hpp"
@@ -16,25 +18,85 @@
 /// systems pay only for the magnitude their counters actually reached.
 /// This is what a production transport would append to every message and
 /// acknowledgement.
+///
+/// Because production transports lose and corrupt bytes, the rendezvous
+/// protocol does not ship bare timestamps: it ships *frames* — sequence
+/// number + message id + timestamp, trailed by an FNV-1a 64 checksum.
+/// Decoders validate length, checksum, and the expected decomposition
+/// width d *before* allocating components, and report failures with a
+/// typed WireError so callers can count and recover (retransmission)
+/// instead of propagating garbage into timestamps.
 
 namespace syncts {
+
+/// Malformed wire input. Derives from std::invalid_argument so existing
+/// "parsers throw invalid_argument on bad input" contracts still hold,
+/// but carries a machine-readable kind for recovery and statistics.
+class WireError : public std::invalid_argument {
+public:
+    enum class Kind {
+        truncated,          ///< input ended mid-value
+        overlong_varint,    ///< varint encodes more than 64 bits
+        checksum_mismatch,  ///< frame trailer does not match the payload
+        width_mismatch,     ///< timestamp width differs from expected d
+        length_mismatch,    ///< declared width exceeds remaining bytes
+        trailing_bytes,     ///< undecoded bytes after the value
+    };
+
+    WireError(Kind kind, const std::string& what)
+        : std::invalid_argument(what), kind_(kind) {}
+
+    Kind kind() const noexcept { return kind_; }
+
+private:
+    Kind kind_;
+};
 
 /// Appends the LEB128 encoding of `value` to `out`.
 void encode_varint(std::uint64_t value, std::vector<std::uint8_t>& out);
 
 /// Decodes one varint starting at out[offset]; advances offset. Throws
-/// std::invalid_argument on truncated or over-long (> 10 byte) input.
+/// WireError on truncated or over-long (> 10 byte) input.
 std::uint64_t decode_varint(std::span<const std::uint8_t> bytes,
                             std::size_t& offset);
 
 /// Serializes width + components.
 std::vector<std::uint8_t> encode_timestamp(const VectorTimestamp& stamp);
 
-/// Inverse of encode_timestamp. Throws std::invalid_argument on malformed
-/// input or trailing bytes.
+/// Inverse of encode_timestamp. Throws WireError on malformed input or
+/// trailing bytes.
 VectorTimestamp decode_timestamp(std::span<const std::uint8_t> bytes);
+
+/// As decode_timestamp, but additionally rejects (WireError::Kind::
+/// width_mismatch) any payload whose declared width differs from
+/// `expected_width` — checked against the decomposition size d *before*
+/// any component is decoded or allocated, so a corrupted or hostile
+/// length prefix cannot trigger large allocations or short vectors.
+VectorTimestamp decode_timestamp(std::span<const std::uint8_t> bytes,
+                                 std::size_t expected_width);
 
 /// Exact encoded size without materializing the bytes.
 std::size_t encoded_size(const VectorTimestamp& stamp);
+
+/// FNV-1a 64-bit hash of `bytes` — the frame checksum.
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept;
+
+/// One rendezvous-protocol frame: the body of a REQ or ACK packet.
+struct SyncFrame {
+    std::uint64_t sequence = 0;  ///< per-directed-channel sequence number
+    std::uint64_t message = 0;   ///< script MessageId (cross-check only)
+    VectorTimestamp stamp;       ///< piggybacked clock vector
+
+    friend bool operator==(const SyncFrame&, const SyncFrame&) = default;
+};
+
+/// Layout: varint sequence, varint message, encoded timestamp, then an
+/// 8-byte little-endian FNV-1a 64 checksum of everything before it.
+std::vector<std::uint8_t> encode_frame(const SyncFrame& frame);
+
+/// Inverse of encode_frame; validates length, checksum, and that the
+/// timestamp width equals `expected_width`. Throws WireError.
+SyncFrame decode_frame(std::span<const std::uint8_t> bytes,
+                       std::size_t expected_width);
 
 }  // namespace syncts

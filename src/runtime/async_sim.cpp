@@ -28,6 +28,10 @@ void AsyncSimulator::set_latency_model(LatencyModel model) {
     latency_ = std::move(model);
 }
 
+void AsyncSimulator::set_fault_plan(FaultPlan plan) {
+    injector_ = FaultInjector(std::move(plan));
+}
+
 void AsyncSimulator::on_deliver(ProcessId p, Handler handler) {
     SYNCTS_REQUIRE(p < handlers_.size(), "process out of range");
     handlers_[p] = std::move(handler);
@@ -36,19 +40,36 @@ void AsyncSimulator::on_deliver(ProcessId p, Handler handler) {
 void AsyncSimulator::send(std::uint64_t now, Packet packet) {
     SYNCTS_REQUIRE(packet.destination < handlers_.size(),
                    "packet destination out of range");
-    const std::uint64_t latency = latency_(packet, rng_);
-    SYNCTS_REQUIRE(latency > 0, "latency model returned zero");
-    queue_.push({now + latency, next_seq_++, std::move(packet)});
+    const std::vector<FaultInjector::Copy> copies = injector_.disposition(
+        packet.source, packet.destination, packet.kind);
+    for (const FaultInjector::Copy& copy : copies) {
+        const std::uint64_t latency = latency_(packet, rng_);
+        SYNCTS_REQUIRE(latency > 0, "latency model returned zero");
+        Packet delivered = packet;  // last copy could move, but keep it simple
+        if (copy.corrupt) injector_.corrupt_body(delivered.body);
+        queue_.push({now + latency + copy.extra_delay, next_seq_++,
+                     std::move(delivered), nullptr});
+    }
+}
+
+void AsyncSimulator::schedule(std::uint64_t when, TimerCallback callback) {
+    SYNCTS_REQUIRE(callback != nullptr, "timer callback must be callable");
+    queue_.push({when, next_seq_++, Packet{}, std::move(callback)});
 }
 
 std::uint64_t AsyncSimulator::run(std::uint64_t max_events) {
     std::uint64_t now = 0;
     while (!queue_.empty()) {
-        SYNCTS_REQUIRE(delivered_ < max_events,
+        SYNCTS_REQUIRE(delivered_ + timers_fired_ < max_events,
                        "event budget exhausted: protocol livelock?");
         const Scheduled next = queue_.top();
         queue_.pop();
         now = next.time;
+        if (next.timer != nullptr) {
+            ++timers_fired_;
+            next.timer(now);
+            continue;
+        }
         ++delivered_;
         const Handler& handler = handlers_[next.packet.destination];
         SYNCTS_ENSURE(handler != nullptr,

@@ -8,10 +8,11 @@
 
 #include "common/ids.hpp"
 #include "common/rng.hpp"
+#include "runtime/fault_plan.hpp"
 
 /// \file async_sim.hpp
 /// A deterministic discrete-event simulator for an asynchronous
-/// point-to-point network: packets carry opaque payloads, experience
+/// point-to-point network: packets carry opaque byte payloads, experience
 /// per-packet latencies, and are delivered to per-process handlers in
 /// timestamp order. This is the substrate *underneath* synchronous
 /// messages — the paper (citing Murty & Garg) notes that implementing a
@@ -19,19 +20,24 @@
 /// runtime/synchronizer.hpp builds exactly that protocol on top of this
 /// network.
 ///
-/// Determinism: ties in delivery time break by send sequence number, and
-/// latencies come from a seeded Rng, so a run is a pure function of
-/// (programs, seed).
+/// The simulator optionally runs under a FaultPlan (drop / duplicate /
+/// corrupt / extra-delay, plus targeted drop rules) and supports timers so
+/// protocols can implement retransmission. Determinism: ties in delivery
+/// time break by schedule sequence number, latencies come from a seeded
+/// Rng, and faults from the plan's own seeded Rng, so a run is a pure
+/// function of (programs, seed, fault plan).
 
 namespace syncts {
 
-/// One packet in flight. `kind` and `body` are protocol-defined.
+/// One packet in flight. `kind` and `body` are protocol-defined; the body
+/// is raw bytes so the fault layer can corrupt it the way a real network
+/// would, and so protocols must frame/validate it (clocks/wire.hpp).
 struct Packet {
     ProcessId source = 0;
     ProcessId destination = 0;
     std::uint32_t kind = 0;
-    std::uint64_t tag = 0;              // protocol correlation id
-    std::vector<std::uint64_t> body;    // numeric payload (e.g. a vector)
+    std::uint64_t tag = 0;             // protocol correlation id
+    std::vector<std::uint8_t> body;    // wire-encoded payload
 };
 
 class AsyncSimulator {
@@ -41,6 +47,9 @@ public:
 
     /// Handler invoked at delivery time on the destination process.
     using Handler = std::function<void(std::uint64_t now, const Packet&)>;
+
+    /// Timer callback invoked at its scheduled virtual time.
+    using TimerCallback = std::function<void(std::uint64_t now)>;
 
     AsyncSimulator(std::size_t num_processes, std::uint64_t seed);
 
@@ -52,23 +61,40 @@ public:
 
     void set_latency_model(LatencyModel model);
 
+    /// Runs every subsequent send through `plan`. Resets fault statistics.
+    void set_fault_plan(FaultPlan plan);
+
     /// Registers the delivery handler for process p (one per process).
     void on_deliver(ProcessId p, Handler handler);
 
-    /// Queues a packet for delivery at now + latency.
+    /// Queues a packet for delivery at now + latency (per delivered copy).
+    /// Under a fault plan the packet may be dropped, duplicated, delayed,
+    /// or its body corrupted in flight.
     void send(std::uint64_t now, Packet packet);
 
+    /// Schedules `callback` to fire at virtual time `when`. Timers cannot
+    /// be cancelled; protocols check their own state when one fires.
+    void schedule(std::uint64_t when, TimerCallback callback);
+
     /// Runs until the event queue drains; returns the final virtual time.
-    /// `max_events` guards against protocol bugs that flood the network.
+    /// `max_events` bounds deliveries + timer firings and guards against
+    /// protocol bugs that flood the network.
     std::uint64_t run(std::uint64_t max_events = 10'000'000);
 
     std::uint64_t packets_delivered() const noexcept { return delivered_; }
+    std::uint64_t timers_fired() const noexcept { return timers_fired_; }
+
+    /// What the fault plan actually injected so far.
+    const FaultStats& fault_stats() const noexcept {
+        return injector_.stats();
+    }
 
 private:
     struct Scheduled {
         std::uint64_t time;
         std::uint64_t seq;
-        Packet packet;
+        Packet packet;         // delivery event when timer == nullptr
+        TimerCallback timer;   // timer event when set
         friend bool operator>(const Scheduled& a, const Scheduled& b) {
             return a.time != b.time ? a.time > b.time : a.seq > b.seq;
         }
@@ -79,8 +105,10 @@ private:
         queue_;
     LatencyModel latency_;
     Rng rng_;
+    FaultInjector injector_;
     std::uint64_t next_seq_ = 0;
     std::uint64_t delivered_ = 0;
+    std::uint64_t timers_fired_ = 0;
 };
 
 }  // namespace syncts

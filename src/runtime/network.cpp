@@ -13,20 +13,27 @@
 namespace syncts {
 
 TimestampedNetwork::TimestampedNetwork(
-    std::shared_ptr<const EdgeDecomposition> decomposition)
-    : decomposition_(std::move(decomposition)) {
+    std::shared_ptr<const EdgeDecomposition> decomposition,
+    TimestampedNetworkOptions options)
+    : decomposition_(std::move(decomposition)), options_(options) {
     SYNCTS_REQUIRE(decomposition_ != nullptr, "decomposition must be set");
     SYNCTS_REQUIRE(decomposition_->complete(),
                    "decomposition must cover every channel");
+    SYNCTS_REQUIRE(options_.watchdog_poll.count() > 0,
+                   "watchdog poll interval must be positive");
+    SYNCTS_REQUIRE(options_.watchdog_grace_polls > 0,
+                   "watchdog grace must be at least one poll");
     mailboxes_.reserve(num_processes());
     for (std::size_t p = 0; p < num_processes(); ++p) {
         mailboxes_.push_back(std::make_unique<Mailbox>());
     }
 }
 
-TimestampedNetwork::TimestampedNetwork(const Graph& topology)
+TimestampedNetwork::TimestampedNetwork(const Graph& topology,
+                                       TimestampedNetworkOptions options)
     : TimestampedNetwork(std::make_shared<const EdgeDecomposition>(
-          default_decomposition(topology))) {}
+                             default_decomposition(topology)),
+                         options) {}
 
 std::size_t TimestampedNetwork::num_processes() const noexcept {
     return decomposition_->graph().num_vertices();
@@ -123,19 +130,19 @@ RunRecord TimestampedNetwork::run(const std::vector<ProcessProgram>& programs) {
     }
 
     // Deadlock watchdog: if every unfinished process is blocked and no
-    // rendezvous completes across a grace period, tear the network down.
+    // rendezvous completes across the configured grace period, tear the
+    // network down.
     std::thread watchdog([&] {
-        using namespace std::chrono_literals;
         std::uint64_t last_seq = seq_.load();
         int stable_polls = 0;
         while (finished_.load() < n) {
-            std::this_thread::sleep_for(10ms);
+            std::this_thread::sleep_for(options_.watchdog_poll);
             const std::size_t done = finished_.load();
             if (done >= n) break;
             const std::uint64_t current_seq = seq_.load();
             const bool all_blocked = blocked_.load() + done >= n;
             if (all_blocked && current_seq == last_seq) {
-                if (++stable_polls >= 20) {  // ~200ms of no progress
+                if (++stable_polls >= options_.watchdog_grace_polls) {
                     deadlocked_.store(true);
                     report_error(std::make_exception_ptr(NetworkDeadlock()));
                     break;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -33,6 +34,16 @@ public:
               "blocked and no rendezvous is progressing") {}
 };
 
+/// Tunables for TimestampedNetwork. The watchdog declares deadlock after
+/// `watchdog_grace_polls` consecutive polls (every `watchdog_poll`) during
+/// which every unfinished process is blocked and no rendezvous completed,
+/// so the grace period is roughly watchdog_poll * watchdog_grace_polls.
+/// Tests shrink it to fail fast; slow CI machines can stretch it.
+struct TimestampedNetworkOptions {
+    std::chrono::milliseconds watchdog_poll{10};
+    int watchdog_grace_polls = 20;
+};
+
 /// Post-run results.
 struct RunRecord {
     std::vector<MessageRecord> messages;  // in global rendezvous order
@@ -57,10 +68,12 @@ class TimestampedNetwork {
 public:
     /// Network over a shared decomposition (which fixes the topology).
     explicit TimestampedNetwork(
-        std::shared_ptr<const EdgeDecomposition> decomposition);
+        std::shared_ptr<const EdgeDecomposition> decomposition,
+        TimestampedNetworkOptions options = {});
 
     /// Convenience: default decomposition of `topology`.
-    explicit TimestampedNetwork(const Graph& topology);
+    explicit TimestampedNetwork(const Graph& topology,
+                                TimestampedNetworkOptions options = {});
 
     std::size_t num_processes() const noexcept;
     std::size_t width() const noexcept { return decomposition_->size(); }
@@ -93,6 +106,7 @@ private:
     void close_all();
 
     std::shared_ptr<const EdgeDecomposition> decomposition_;
+    TimestampedNetworkOptions options_;
     std::vector<std::unique_ptr<Mailbox>> mailboxes_;
     std::atomic<std::uint64_t> seq_{0};
     std::atomic<std::size_t> blocked_{0};

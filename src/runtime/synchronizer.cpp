@@ -1,27 +1,52 @@
 #include "runtime/synchronizer.hpp"
 
-#include <deque>
+#include <algorithm>
 #include <functional>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
+#include "clocks/wire.hpp"
 #include "common/check.hpp"
 #include "runtime/async_sim.hpp"
 
 namespace syncts {
+
+std::string ProtocolStats::to_string() const {
+    return "retransmits=" + std::to_string(retransmits) +
+           " timeouts=" + std::to_string(timeouts) +
+           " dup_drops=" + std::to_string(dup_drops) +
+           " ack_replays=" + std::to_string(ack_replays) +
+           " corrupt_rejects=" + std::to_string(corrupt_rejects);
+}
 
 namespace {
 
 constexpr std::uint32_t kReq = 0;
 constexpr std::uint32_t kAck = 1;
 
-std::vector<std::uint64_t> to_body(const VectorTimestamp& stamp) {
-    return {stamp.components().begin(), stamp.components().end()};
-}
+/// Sender-side state of the one in-flight rendezvous (a process's script
+/// is sequential, so it blocks on at most one send at a time).
+struct Outstanding {
+    ProcessId receiver = 0;
+    MessageId mid = 0;
+    std::uint64_t sequence = 0;
+    std::vector<std::uint8_t> frame;  // encoded REQ, byte-identical resends
+    std::uint32_t retransmits = 0;
+    std::uint64_t rto = 0;  // current backoff interval
+};
 
-VectorTimestamp from_body(const std::vector<std::uint64_t>& body) {
-    return VectorTimestamp(body);
-}
+/// Receiver-side state of one directed channel (peer -> self).
+struct InChannel {
+    /// Sequence of the last committed rendezvous on this channel; fresh
+    /// REQs must carry last_committed + 1 (sequences are 1-based).
+    std::uint64_t last_committed = 0;
+    /// Fresh REQ waiting for the program to reach the matching receive.
+    std::optional<SyncFrame> pending;
+    /// Encoded ACK of the last committed rendezvous, replayed when a
+    /// duplicate REQ reveals the ACK was lost.
+    std::vector<std::uint8_t> cached_ack;
+};
 
 /// Per-process protocol engine: walks the process's script, issuing REQs
 /// for sends and consuming buffered REQs for receives.
@@ -29,10 +54,12 @@ struct Engine {
     ProcessId self = 0;
     std::vector<ProcessEvent> script;  // message events only
     std::size_t cursor = 0;
-    bool awaiting_ack = false;
     std::unique_ptr<OnlineProcessClock> clock;
-    /// Buffered REQs by sender (payload = piggybacked vector, tag).
-    std::unordered_map<ProcessId, std::deque<Packet>> pending;
+    std::optional<Outstanding> outstanding;
+    /// next_sequence[q] — next sequence to assign on channel (self, q).
+    std::unordered_map<ProcessId, std::uint64_t> next_sequence;
+    /// Incoming-channel state by sender.
+    std::unordered_map<ProcessId, InChannel> in;
 };
 
 }  // namespace
@@ -44,9 +71,26 @@ SynchronizerResult run_rendezvous_protocol(
     const std::size_t n = script.num_processes();
     SYNCTS_REQUIRE(decomposition->graph().num_vertices() == n,
                    "script and decomposition disagree on process count");
+    SYNCTS_REQUIRE(options.max_retransmits > 0,
+                   "max_retransmits must be positive");
+    SYNCTS_REQUIRE(options.max_backoff_exponent <= 32,
+                   "max_backoff_exponent out of range");
+    const std::size_t d = decomposition->size();
 
     AsyncSimulator network(n, options.seed);
     network.set_uniform_latency(options.latency_lo, options.latency_hi);
+    network.set_fault_plan(options.faults);
+
+    // Retransmission is armed whenever the network can lose or corrupt a
+    // packet (or the caller asks for it explicitly); on a reliable network
+    // it stays off so the wire profile is exactly 2 packets per message.
+    const bool retransmission = options.retransmit_timeout > 0 ||
+                                options.faults.active();
+    const std::uint64_t base_rto =
+        options.retransmit_timeout > 0
+            ? options.retransmit_timeout
+            : 4 * (options.latency_hi + options.faults.max_extra_delay) + 1;
+    const std::uint64_t max_rto = base_rto << options.max_backoff_exponent;
 
     std::vector<Engine> engines(n);
     for (ProcessId p = 0; p < n; ++p) {
@@ -65,8 +109,51 @@ SynchronizerResult run_rendezvous_protocol(
         .message_stamps = {},
         .script_message = {},
         .virtual_duration = 0,
-        .packets = 0};
+        .packets = 0,
+        .protocol = {},
+        .network_faults = {}};
     std::vector<VectorTimestamp> stamp_by_script(script.num_messages());
+
+    // Re-arms the retransmission timer for the sender's current
+    // outstanding REQ. Timers are never cancelled; a fired timer checks
+    // that the exact (receiver, sequence) it was armed for is still
+    // outstanding and otherwise does nothing.
+    std::function<void(std::uint64_t, ProcessId)> arm_timer =
+        [&](std::uint64_t now, ProcessId p) {
+            const Outstanding& out = *engines[p].outstanding;
+            const ProcessId receiver = out.receiver;
+            const std::uint64_t sequence = out.sequence;
+            network.schedule(now + out.rto, [&, p, receiver,
+                                             sequence](std::uint64_t when) {
+                Engine& engine = engines[p];
+                if (!engine.outstanding ||
+                    engine.outstanding->receiver != receiver ||
+                    engine.outstanding->sequence != sequence) {
+                    return;  // ACK arrived; stale timer
+                }
+                Outstanding& out_now = *engine.outstanding;
+                ++result.protocol.timeouts;
+                if (out_now.retransmits >= options.max_retransmits) {
+                    throw SynchronizerStalled(
+                        "message " + std::to_string(out_now.mid) +
+                        " from P" + std::to_string(p) + " to P" +
+                        std::to_string(receiver) + " exhausted " +
+                        std::to_string(options.max_retransmits) +
+                        " retransmissions");
+                }
+                ++out_now.retransmits;
+                ++result.protocol.retransmits;
+                Packet req;
+                req.source = p;
+                req.destination = receiver;
+                req.kind = kReq;
+                req.tag = out_now.mid;
+                req.body = out_now.frame;
+                network.send(when, std::move(req));
+                out_now.rto = std::min(out_now.rto * 2, max_rto);
+                arm_timer(when, p);
+            });
+        };
 
     // Forward declaration dance: progress() sends packets and is called
     // from the delivery handler.
@@ -77,61 +164,136 @@ SynchronizerResult run_rendezvous_protocol(
                 const MessageId mid = engine.script[engine.cursor].index;
                 const SyncMessage& m = script.message(mid);
                 if (m.sender == p) {
-                    if (engine.awaiting_ack) return;  // blocked on the wire
+                    if (engine.outstanding) return;  // blocked on the wire
+                    // Sequences are 1-based per directed channel.
+                    const std::uint64_t sequence =
+                        ++engine.next_sequence[m.receiver];
                     Packet req;
                     req.source = p;
                     req.destination = m.receiver;
                     req.kind = kReq;
                     req.tag = mid;
-                    req.body = to_body(engine.clock->prepare_send());
+                    req.body = encode_frame(
+                        {sequence, mid, engine.clock->prepare_send()});
+                    engine.outstanding = Outstanding{
+                        .receiver = m.receiver,
+                        .mid = mid,
+                        .sequence = sequence,
+                        .frame = req.body,
+                        .retransmits = 0,
+                        .rto = base_rto};
                     network.send(now, std::move(req));
-                    engine.awaiting_ack = true;
+                    if (retransmission) arm_timer(now, p);
                     return;
                 }
-                // Receive action: consume the buffered REQ if it arrived.
-                auto& queue = engine.pending[m.sender];
-                if (queue.empty()) return;  // wait for the REQ packet
-                const Packet req = std::move(queue.front());
-                queue.pop_front();
-                SYNCTS_ENSURE(req.tag == mid,
+                // Receive action: consume the buffered fresh REQ if any.
+                InChannel& channel = engine.in[m.sender];
+                if (!channel.pending) return;  // wait for the REQ packet
+                const SyncFrame req = *std::move(channel.pending);
+                channel.pending.reset();
+                SYNCTS_ENSURE(req.message == mid,
                               "REQ does not match the scripted receive");
                 const auto [ack_vector, timestamp] =
-                    engine.clock->on_receive(m.sender, from_body(req.body));
-                // Commit: the rendezvous instant, in receiver order.
+                    engine.clock->on_receive(m.sender, req.stamp);
+                // Commit: the rendezvous instant, exactly once per
+                // sequence — duplicates never reach this line.
+                channel.last_committed = req.sequence;
                 result.computation.add_message(m.sender, m.receiver);
                 result.message_stamps.push_back(timestamp);
                 result.script_message.push_back(mid);
                 stamp_by_script[mid] = timestamp;
+                channel.cached_ack =
+                    encode_frame({req.sequence, mid, ack_vector});
                 Packet ack;
                 ack.source = p;
                 ack.destination = m.sender;
                 ack.kind = kAck;
                 ack.tag = mid;
-                ack.body = to_body(ack_vector);
+                ack.body = channel.cached_ack;
                 network.send(now, std::move(ack));
                 ++engine.cursor;
             }
         };
 
+    const auto handle_req = [&](std::uint64_t now, ProcessId p,
+                                const Packet& packet, const SyncFrame& frame) {
+        Engine& engine = engines[p];
+        InChannel& channel = engine.in[packet.source];
+        if (frame.sequence == channel.last_committed + 1) {
+            if (channel.pending) {
+                // Duplicate of a REQ already buffered for the program.
+                SYNCTS_ENSURE(channel.pending->sequence == frame.sequence,
+                              "two distinct uncommitted REQs on one channel");
+                ++result.protocol.dup_drops;
+                return;
+            }
+            channel.pending = frame;
+            progress(now, p);
+            return;
+        }
+        if (frame.sequence == channel.last_committed &&
+            channel.last_committed > 0) {
+            // The sender retransmitted after commit: its ACK was lost (or
+            // this REQ copy was duplicated in flight). Replay the cached
+            // ACK; the clock is not touched, so no double increment.
+            SYNCTS_ENSURE(!channel.cached_ack.empty(),
+                          "committed channel has no cached ACK");
+            ++result.protocol.dup_drops;
+            ++result.protocol.ack_replays;
+            Packet ack;
+            ack.source = p;
+            ack.destination = packet.source;
+            ack.kind = kAck;
+            ack.tag = packet.tag;
+            ack.body = channel.cached_ack;
+            network.send(now, std::move(ack));
+            return;
+        }
+        // A sender never advances past an unacknowledged sequence, so
+        // anything else is a stale copy from an older rendezvous.
+        SYNCTS_ENSURE(frame.sequence < channel.last_committed,
+                      "REQ sequence from the future");
+        ++result.protocol.dup_drops;
+    };
+
+    const auto handle_ack = [&](std::uint64_t now, ProcessId p,
+                                const Packet& packet, const SyncFrame& frame) {
+        Engine& engine = engines[p];
+        if (!engine.outstanding ||
+            engine.outstanding->receiver != packet.source ||
+            engine.outstanding->sequence != frame.sequence) {
+            // Duplicate or replayed ACK for a rendezvous already finished.
+            ++result.protocol.dup_drops;
+            return;
+        }
+        const MessageId mid = engine.outstanding->mid;
+        SYNCTS_ENSURE(frame.message == mid,
+                      "ACK does not match the pending send");
+        const VectorTimestamp stamp =
+            engine.clock->on_acknowledgement(packet.source, frame.stamp);
+        SYNCTS_ENSURE(stamp == stamp_by_script[mid],
+                      "sender and receiver disagree on a timestamp");
+        engine.outstanding.reset();
+        ++engine.cursor;
+        progress(now, p);
+    };
+
     for (ProcessId p = 0; p < n; ++p) {
         network.on_deliver(p, [&, p](std::uint64_t now, const Packet& packet) {
-            Engine& engine = engines[p];
-            if (packet.kind == kReq) {
-                engine.pending[packet.source].push_back(packet);
-            } else {
-                SYNCTS_ENSURE(engine.awaiting_ack,
-                              "unexpected ACK: process was not blocked");
-                const MessageId mid = engine.script[engine.cursor].index;
-                SYNCTS_ENSURE(packet.tag == mid,
-                              "ACK does not match the pending send");
-                const VectorTimestamp stamp = engine.clock->on_acknowledgement(
-                    packet.source, from_body(packet.body));
-                SYNCTS_ENSURE(stamp == stamp_by_script[mid],
-                              "sender and receiver disagree on a timestamp");
-                engine.awaiting_ack = false;
-                ++engine.cursor;
+            SyncFrame frame;
+            try {
+                frame = decode_frame(packet.body, d);
+            } catch (const WireError&) {
+                // Corrupted in flight: count, discard, and let the
+                // sender's retransmission (or ACK replay) recover.
+                ++result.protocol.corrupt_rejects;
+                return;
             }
-            progress(now, p);
+            if (packet.kind == kReq) {
+                handle_req(now, p, packet, frame);
+            } else {
+                handle_ack(now, p, packet, frame);
+            }
         });
     }
 
@@ -139,11 +301,12 @@ SynchronizerResult run_rendezvous_protocol(
     for (ProcessId p = 0; p < n; ++p) progress(0, p);
     result.virtual_duration = network.run();
     result.packets = network.packets_delivered();
+    result.network_faults = network.fault_stats();
 
     for (const Engine& engine : engines) {
         SYNCTS_ENSURE(engine.cursor == engine.script.size(),
                       "protocol finished with unexecuted script actions");
-        SYNCTS_ENSURE(!engine.awaiting_ack, "protocol finished mid-rendezvous");
+        SYNCTS_ENSURE(!engine.outstanding, "protocol finished mid-rendezvous");
     }
     SYNCTS_ENSURE(result.computation.num_messages() == script.num_messages(),
                   "not every scripted message was realized");

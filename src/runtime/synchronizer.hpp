@@ -2,43 +2,98 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "clocks/online_clock.hpp"
 #include "decomp/edge_decomposition.hpp"
+#include "runtime/fault_plan.hpp"
 #include "trace/computation.hpp"
 
 /// \file synchronizer.hpp
-/// Synchronous messages implemented over the asynchronous packet network —
-/// the layer the paper assumes exists ("implementation of synchronous
-/// messages requires that the sender wait for an acknowledgment from the
-/// receiver", Section 1, citing Murty & Garg).
+/// Synchronous messages implemented over an *unreliable* asynchronous
+/// packet network — the layer the paper assumes exists ("implementation of
+/// synchronous messages requires that the sender wait for an
+/// acknowledgment from the receiver", Section 1, citing Murty & Garg),
+/// hardened against the faults a production transport actually exhibits:
+/// loss, duplication, reordering, and payload corruption.
 ///
-/// Protocol, per message m from Pi to Pj:
-///   1. Pi sends REQ(m) carrying its current clock vector and blocks.
-///   2. Pj, when its program reaches the matching receive, processes
-///      REQ(m): merges, increments the channel's group component (the
-///      message is *committed* here — this is the rendezvous instant) and
-///      replies ACK(m) carrying its pre-merge vector.
-///   3. Pi receives ACK(m), performs the identical merge + increment and
-///      resumes. Both sides hold the same timestamp.
-/// REQs arriving before the receiver's program is ready are buffered —
-/// exactly the blocking-send / explicit-receive semantics of the threaded
-/// runtime, but over packets with arbitrary (seeded) latencies.
+/// Protocol, per message m from Pi to Pj (see docs/FAULTS.md for the full
+/// recovery state machine):
+///   1. Pi assigns the next sequence number s on directed channel (i, j)
+///      and sends REQ(s, m) carrying its current clock vector inside a
+///      checksummed frame, then blocks. A retransmission timer re-sends
+///      the identical REQ on timeout with capped exponential backoff.
+///   2. Pj, when its program reaches the matching receive and holds a
+///      *fresh* REQ (s == last committed sequence on (i, j) plus one),
+///      merges, increments the channel's group component — the message is
+///      committed exactly once here; Fig. 5's merge+increment is not
+///      idempotent, so the commit is guarded by the sequence state — and
+///      replies ACK(s, m) carrying its pre-merge vector. The encoded ACK
+///      is cached per channel.
+///   3. A duplicate REQ (s == last committed sequence: the ACK was lost,
+///      or the REQ itself was duplicated in flight after commit) re-sends
+///      the cached ACK without touching the clock. Older sequences are
+///      dropped.
+///   4. Pi accepts the ACK only while blocked on that exact (channel,
+///      sequence); duplicate or stale ACKs are dropped. On accept it
+///      performs the identical merge + increment and resumes. Both sides
+///      hold the same timestamp.
+/// Frames failing checksum / length / width validation are counted and
+/// discarded — recovery is retransmission, never a garbage timestamp.
 ///
 /// The driver replays a recorded computation's per-process event orders as
 /// the programs, so any realizable schedule can be pushed through the
 /// protocol; commit order then forms a valid instant order of the same
 /// computation, and the resulting timestamps are bit-identical to the
-/// direct Fig. 5 simulator's regardless of network latencies.
+/// direct Fig. 5 simulator's regardless of network latencies *and* of any
+/// fault schedule the plan injects.
 
 namespace syncts {
+
+/// Thrown when a message exhausts its retransmission budget (e.g. a
+/// targeted fault rule swallows every attempt). Distinct from
+/// NetworkDeadlock: the program is fine, the network is unusable.
+class SynchronizerStalled : public std::runtime_error {
+public:
+    explicit SynchronizerStalled(const std::string& what)
+        : std::runtime_error(what) {}
+};
 
 struct SynchronizerOptions {
     std::uint64_t seed = 1;
     /// Per-packet latency drawn uniformly from [latency_lo, latency_hi].
     std::uint64_t latency_lo = 1;
     std::uint64_t latency_hi = 1;
+
+    /// Faults injected underneath the protocol (default: reliable network).
+    FaultPlan faults;
+
+    /// Initial retransmission timeout in virtual-time units. 0 = auto:
+    /// 4 * (latency_hi + faults.max_extra_delay) + 1 when the fault plan
+    /// is active, and retransmission disabled on a reliable network (so
+    /// lossless runs keep the exact 2-packets-per-message wire profile).
+    std::uint64_t retransmit_timeout = 0;
+
+    /// Backoff doubles per attempt, capped at
+    /// initial_timeout << max_backoff_exponent.
+    std::uint32_t max_backoff_exponent = 6;
+
+    /// Retransmissions per message before SynchronizerStalled is thrown.
+    std::uint32_t max_retransmits = 64;
+};
+
+/// Protocol-level observability counters (what the synchronizer did about
+/// the faults, as opposed to FaultStats: what the network injected).
+struct ProtocolStats {
+    std::uint64_t retransmits = 0;      ///< REQ frames re-sent
+    std::uint64_t timeouts = 0;         ///< retransmit timers that fired live
+    std::uint64_t dup_drops = 0;        ///< duplicate/stale REQ+ACK suppressed
+    std::uint64_t ack_replays = 0;      ///< cached ACK re-sent (lost-ACK path)
+    std::uint64_t corrupt_rejects = 0;  ///< frames failing wire validation
+
+    std::string to_string() const;
 };
 
 struct SynchronizerResult {
@@ -56,8 +111,15 @@ struct SynchronizerResult {
     /// Total virtual time until the last packet was delivered.
     std::uint64_t virtual_duration = 0;
 
-    /// Packets on the wire — exactly 2 per message (REQ + ACK).
+    /// Packets delivered off the wire — exactly 2 per message (REQ + ACK)
+    /// on a lossless network; more under faults (retransmits, duplicates).
     std::uint64_t packets = 0;
+
+    /// How the protocol coped.
+    ProtocolStats protocol;
+
+    /// What the network injected (drops, dups, corruption, delays).
+    FaultStats network_faults;
 };
 
 /// Replays `script` through the REQ/ACK protocol over an asynchronous

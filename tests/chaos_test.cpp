@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "clocks/online_clock.hpp"
+#include "decomp/cover_decomposer.hpp"
+#include "graph/generators.hpp"
+#include "runtime/synchronizer.hpp"
+#include "test_util.hpp"
+
+/// Chaos harness (acceptance gate of the fault-tolerance work): recorded
+/// computations replayed through >= 1000 seeded fault schedules with
+/// drop, duplication, reordering, and corruption all enabled at once.
+/// Every schedule must realize message timestamps bit-identical to the
+/// direct Fig. 5 simulator's, terminate (the discrete-event loop is
+/// budget-guarded, so a hang would fail as an exception rather than
+/// wedge CI), and the aggregated stats must prove the recovery machinery
+/// actually fired — a chaos suite whose faults never bite tests nothing.
+
+namespace syncts {
+namespace {
+
+struct ChaosTotals {
+    std::uint64_t schedules = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t packets = 0;
+    ProtocolStats protocol;
+    FaultStats faults;
+
+    void absorb(const SynchronizerResult& result) {
+        ++schedules;
+        messages += result.message_stamps.size();
+        packets += result.packets;
+        protocol.retransmits += result.protocol.retransmits;
+        protocol.timeouts += result.protocol.timeouts;
+        protocol.dup_drops += result.protocol.dup_drops;
+        protocol.ack_replays += result.protocol.ack_replays;
+        protocol.corrupt_rejects += result.protocol.corrupt_rejects;
+        faults.dropped += result.network_faults.dropped;
+        faults.targeted_drops += result.network_faults.targeted_drops;
+        faults.duplicated += result.network_faults.duplicated;
+        faults.corrupted += result.network_faults.corrupted;
+        faults.delayed += result.network_faults.delayed;
+    }
+};
+
+/// One workload replayed through `schedules` distinct fault schedules.
+void run_chaos_sweep(const Graph& topology, std::size_t messages,
+                     std::uint64_t workload_seed, std::uint64_t schedules,
+                     ChaosTotals& totals) {
+    const SyncComputation script =
+        testing::random_workload(topology, messages, 0.0, workload_seed);
+    auto decomposition = std::make_shared<const EdgeDecomposition>(
+        default_decomposition(topology));
+    OnlineTimestamper direct(decomposition);
+    const std::vector<VectorTimestamp> expected =
+        direct.timestamp_computation(script);
+
+    for (std::uint64_t schedule = 1; schedule <= schedules; ++schedule) {
+        SynchronizerOptions options;
+        options.seed = workload_seed * 1'000'003 + schedule;
+        options.latency_lo = 1;
+        options.latency_hi = 12;
+        options.faults.seed = schedule * 0x9E3779B9ull + workload_seed;
+        options.faults.drop_probability = 0.05;
+        options.faults.duplicate_probability = 0.05;
+        options.faults.corrupt_probability = 0.04;
+        options.faults.delay_probability = 0.35;
+        options.faults.max_extra_delay = 40;
+        const SynchronizerResult result =
+            run_rendezvous_protocol(decomposition, script, options);
+        ASSERT_EQ(result.message_stamps.size(), expected.size());
+        for (std::size_t i = 0; i < result.message_stamps.size(); ++i) {
+            ASSERT_EQ(result.message_stamps[i],
+                      expected[result.script_message[i]])
+                << "schedule " << schedule << " realized message " << i;
+        }
+        totals.absorb(result);
+    }
+}
+
+TEST(Chaos, ThousandFaultSchedulesBitIdenticalTimestamps) {
+    ChaosTotals totals;
+    run_chaos_sweep(topology::path(3), 24, 41, 350, totals);
+    run_chaos_sweep(topology::client_server(2, 3), 30, 42, 350, totals);
+    run_chaos_sweep(topology::complete(4), 30, 43, 350, totals);
+
+    ASSERT_GE(totals.schedules, 1000u);
+    // The sweep must have actually exercised every recovery path.
+    EXPECT_GT(totals.faults.dropped, 0u);
+    EXPECT_GT(totals.faults.duplicated, 0u);
+    EXPECT_GT(totals.faults.corrupted, 0u);
+    EXPECT_GT(totals.faults.delayed, 0u);
+    EXPECT_GT(totals.protocol.retransmits, 0u);
+    EXPECT_GT(totals.protocol.timeouts, 0u);
+    EXPECT_GT(totals.protocol.dup_drops, 0u);
+    EXPECT_GT(totals.protocol.ack_replays, 0u);
+    EXPECT_GT(totals.protocol.corrupt_rejects, 0u);
+    // Lossless baseline is 2 packets per message; faults must cost extra.
+    EXPECT_GT(totals.packets, 2 * totals.messages);
+}
+
+TEST(Chaos, HeavyLossStillConverges) {
+    // 20% drop + dup + corruption on a ring: brutal but recoverable.
+    const Graph topology = topology::ring(4);
+    const SyncComputation script =
+        testing::random_workload(topology, 20, 0.0, 99);
+    auto decomposition = std::make_shared<const EdgeDecomposition>(
+        default_decomposition(topology));
+    OnlineTimestamper direct(decomposition);
+    const std::vector<VectorTimestamp> expected =
+        direct.timestamp_computation(script);
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+        SynchronizerOptions options;
+        options.seed = seed;
+        options.latency_lo = 1;
+        options.latency_hi = 6;
+        options.faults.seed = seed;
+        options.faults.drop_probability = 0.20;
+        options.faults.duplicate_probability = 0.10;
+        options.faults.corrupt_probability = 0.10;
+        options.faults.delay_probability = 0.25;
+        options.faults.max_extra_delay = 30;
+        const SynchronizerResult result =
+            run_rendezvous_protocol(decomposition, script, options);
+        for (std::size_t i = 0; i < result.message_stamps.size(); ++i) {
+            ASSERT_EQ(result.message_stamps[i],
+                      expected[result.script_message[i]])
+                << "seed " << seed;
+        }
+    }
+}
+
+TEST(Chaos, FaultyRunsRealizeTheSamePoset) {
+    // Under faults the commit order can differ from the script's instant
+    // order, but it must remain a valid instant order: per-process
+    // projections equal the script's.
+    const Graph topology = topology::client_server(2, 2);
+    const SyncComputation script =
+        testing::random_workload(topology, 26, 0.0, 7);
+    auto decomposition = std::make_shared<const EdgeDecomposition>(
+        default_decomposition(topology));
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+        SynchronizerOptions options;
+        options.seed = seed;
+        options.latency_lo = 1;
+        options.latency_hi = 15;
+        options.faults.seed = seed * 13;
+        options.faults.drop_probability = 0.08;
+        options.faults.duplicate_probability = 0.08;
+        options.faults.delay_probability = 0.4;
+        options.faults.max_extra_delay = 60;
+        const SynchronizerResult result =
+            run_rendezvous_protocol(decomposition, script, options);
+        for (ProcessId p = 0; p < topology.num_vertices(); ++p) {
+            const auto realized = result.computation.process_messages(p);
+            const auto scripted = script.process_messages(p);
+            ASSERT_EQ(realized.size(), scripted.size());
+            for (std::size_t i = 0; i < realized.size(); ++i) {
+                EXPECT_EQ(result.script_message[realized[i]], scripted[i]);
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace syncts

@@ -109,6 +109,78 @@ TEST(FuzzParsers, TimestampWireRandomBytes) {
     }
 }
 
+TEST(FuzzParsers, SyncFrameRandomBytes) {
+    // decode_frame is the parser the synchronizer feeds with anything the
+    // faulty network delivers: random soup must either fail with a typed
+    // WireError or (checksum-collision odds aside) decode — never crash.
+    Rng rng(5008);
+    std::uint64_t rejects = 0;
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::vector<std::uint8_t> bytes(rng.below(64));
+        for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.below(256));
+        try {
+            (void)decode_frame(bytes, 1 + rng.below(8));
+        } catch (const WireError&) {
+            ++rejects;
+        }
+    }
+    // An 8-byte checksum makes accidental acceptance of soup implausible.
+    EXPECT_EQ(rejects, 2000u);
+}
+
+TEST(FuzzParsers, SyncFrameMutatedValidFrames) {
+    Rng rng(5009);
+    const SyncFrame valid{
+        .sequence = 77,
+        .message = 12,
+        .stamp = VectorTimestamp(std::vector<std::uint64_t>{9, 200, 0, 3})};
+    const auto bytes = encode_frame(valid);
+    for (int trial = 0; trial < 1000; ++trial) {
+        auto mutated = bytes;
+        const std::size_t edits = 1 + rng.below(4);
+        for (std::size_t e = 0; e < edits; ++e) {
+            const std::size_t pos = rng.below(mutated.size());
+            switch (rng.below(3)) {
+                case 0:
+                    mutated[pos] ^=
+                        static_cast<std::uint8_t>(1u << rng.below(8));
+                    break;
+                case 1: mutated.erase(mutated.begin() +
+                                      static_cast<long>(pos)); break;
+                default:
+                    mutated.insert(mutated.begin() + static_cast<long>(pos),
+                                   static_cast<std::uint8_t>(rng.below(256)));
+                    break;
+            }
+        }
+        try {
+            const SyncFrame decoded = decode_frame(mutated, 4);
+            // Only possible when the edits cancelled out exactly.
+            EXPECT_EQ(decoded, valid);
+        } catch (const WireError&) {
+            // expected for nearly every mutation
+        }
+    }
+}
+
+TEST(FuzzParsers, TimestampWireExpectedWidthRandomBytes) {
+    // The satellite fix: the expected-width overload must reject any
+    // width disagreement before decoding components, so random soup can
+    // never materialize a wrong-width vector.
+    Rng rng(5010);
+    for (int trial = 0; trial < 1000; ++trial) {
+        std::vector<std::uint8_t> bytes(rng.below(40));
+        for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.below(256));
+        const std::size_t d = 1 + rng.below(6);
+        try {
+            const VectorTimestamp decoded = decode_timestamp(bytes, d);
+            EXPECT_EQ(decoded.width(), d);
+        } catch (const std::invalid_argument&) {
+            // expected for malformed input
+        }
+    }
+}
+
 TEST(FuzzParsers, TimestampWireTruncations) {
     Rng rng(5006);
     const Graph g = topology::client_server(2, 4);

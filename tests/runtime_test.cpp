@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -270,6 +271,39 @@ TEST(TimestampedNetwork, DeadlockDetected) {
     programs[0] = [](ProcessContext& context) { context.receive(); };
     programs[1] = [](ProcessContext& context) { context.receive(); };
     EXPECT_THROW(network.run(programs), NetworkDeadlock);
+}
+
+TEST(TimestampedNetwork, WatchdogGracePeriodIsConfigurable) {
+    // A deliberately deadlocked program (a 3-cycle of receives) must
+    // raise NetworkDeadlock instead of hanging, and a shortened grace
+    // period must trip well inside the default's ~200ms.
+    const Graph graph = topology::ring(3);
+    TimestampedNetworkOptions options;
+    options.watchdog_poll = std::chrono::milliseconds(2);
+    options.watchdog_grace_polls = 5;
+    TimestampedNetwork network(graph, options);
+    std::vector<ProcessProgram> programs(3);
+    for (auto& program : programs) {
+        program = [](ProcessContext& context) { context.receive(); };
+    }
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_THROW(network.run(programs), NetworkDeadlock);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    // Generous bound (scheduling noise) that still proves the knob works:
+    // 5 polls x 2ms is ~10ms; the default 20 x 10ms would need >= 200ms.
+    EXPECT_LT(elapsed, std::chrono::milliseconds(150));
+}
+
+TEST(TimestampedNetwork, RejectsInvalidWatchdogOptions) {
+    const Graph graph = topology::path(2);
+    TimestampedNetworkOptions zero_poll;
+    zero_poll.watchdog_poll = std::chrono::milliseconds(0);
+    EXPECT_THROW(TimestampedNetwork(graph, zero_poll),
+                 std::invalid_argument);
+    TimestampedNetworkOptions zero_grace;
+    zero_grace.watchdog_grace_polls = 0;
+    EXPECT_THROW(TimestampedNetwork(graph, zero_grace),
+                 std::invalid_argument);
 }
 
 TEST(TimestampedNetwork, RejectsForeignChannelAtSend) {

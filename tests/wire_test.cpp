@@ -81,6 +81,126 @@ TEST(TimestampWire, FreshClocksCostWidthPlusOneBytes) {
     EXPECT_EQ(encoded_size(VectorTimestamp(64)), 65u);
 }
 
+TEST(TimestampWire, ExpectedWidthOverloadRejectsWrongWidth) {
+    const VectorTimestamp stamp(std::vector<std::uint64_t>{3, 1, 4});
+    const auto bytes = encode_timestamp(stamp);
+    EXPECT_EQ(decode_timestamp(bytes, 3), stamp);
+    // Width is validated against the decomposition size d before any
+    // component is decoded or allocated.
+    for (const std::size_t wrong : {0u, 2u, 4u, 1'000'000u}) {
+        try {
+            decode_timestamp(bytes, wrong);
+            FAIL() << "width " << wrong << " accepted";
+        } catch (const WireError& e) {
+            EXPECT_EQ(e.kind(), WireError::Kind::width_mismatch);
+        }
+    }
+}
+
+TEST(TimestampWire, TypedErrorsCarryTheirKind) {
+    try {
+        decode_timestamp({});
+        FAIL();
+    } catch (const WireError& e) {
+        EXPECT_EQ(e.kind(), WireError::Kind::truncated);
+    }
+    const std::vector<std::uint8_t> lying{5};
+    try {
+        decode_timestamp(lying);
+        FAIL();
+    } catch (const WireError& e) {
+        EXPECT_EQ(e.kind(), WireError::Kind::length_mismatch);
+    }
+    auto trailing = encode_timestamp(VectorTimestamp(2));
+    trailing.push_back(0);
+    try {
+        decode_timestamp(trailing);
+        FAIL();
+    } catch (const WireError& e) {
+        EXPECT_EQ(e.kind(), WireError::Kind::trailing_bytes);
+    }
+}
+
+TEST(Checksum, Fnv1a64KnownVectors) {
+    EXPECT_EQ(fnv1a64({}), 0xCBF29CE484222325ull);
+    const std::vector<std::uint8_t> a{'a'};
+    EXPECT_EQ(fnv1a64(a), 0xAF63DC4C8601EC8Cull);
+}
+
+TEST(SyncFrameWire, RoundTrip) {
+    const SyncFrame frame{
+        .sequence = 1234,
+        .message = 9,
+        .stamp = VectorTimestamp(std::vector<std::uint64_t>{7, 0, 300})};
+    const auto bytes = encode_frame(frame);
+    EXPECT_EQ(decode_frame(bytes, 3), frame);
+}
+
+TEST(SyncFrameWire, EveryByteFlipIsDetected) {
+    const SyncFrame frame{
+        .sequence = 2,
+        .message = 5,
+        .stamp = VectorTimestamp(std::vector<std::uint64_t>{1, 130})};
+    const auto bytes = encode_frame(frame);
+    for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            auto corrupted = bytes;
+            corrupted[byte] ^= static_cast<std::uint8_t>(1u << bit);
+            EXPECT_THROW(decode_frame(corrupted, 2), WireError)
+                << "byte " << byte << " bit " << bit;
+        }
+    }
+}
+
+TEST(SyncFrameWire, TruncationAndExtensionAreDetected) {
+    const SyncFrame frame{
+        .sequence = 3,
+        .message = 1,
+        .stamp = VectorTimestamp(std::vector<std::uint64_t>{42})};
+    const auto bytes = encode_frame(frame);
+    for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+        const std::vector<std::uint8_t> cut(bytes.begin(),
+                                            bytes.begin() + static_cast<std::ptrdiff_t>(keep));
+        EXPECT_THROW(decode_frame(cut, 1), WireError) << "kept " << keep;
+    }
+    auto extended = bytes;
+    extended.push_back(0x00);
+    EXPECT_THROW(decode_frame(extended, 1), WireError);
+}
+
+TEST(SyncFrameWire, WidthMismatchRejectedBeforeComponents) {
+    const SyncFrame frame{
+        .sequence = 1,
+        .message = 0,
+        .stamp = VectorTimestamp(std::vector<std::uint64_t>{5, 6})};
+    const auto bytes = encode_frame(frame);
+    try {
+        decode_frame(bytes, 3);
+        FAIL();
+    } catch (const WireError& e) {
+        EXPECT_EQ(e.kind(), WireError::Kind::width_mismatch);
+    }
+}
+
+TEST(SyncFrameWire, RealWorkloadFramesRoundTrip) {
+    const Graph g = topology::client_server(2, 5);
+    const SyncSystem system{Graph(g)};
+    Rng rng(4242);
+    WorkloadOptions options;
+    options.num_messages = 150;
+    const SyncComputation c = random_computation(g, options, rng);
+    auto timestamper = system.make_timestamper();
+    std::uint64_t sequence = 0;
+    for (const SyncMessage& m : c.messages()) {
+        const SyncFrame frame{
+            .sequence = ++sequence,
+            .message = m.id,
+            .stamp = timestamper.timestamp_message(m.sender, m.receiver)};
+        const auto bytes = encode_frame(frame);
+        EXPECT_EQ(decode_frame(bytes, frame.stamp.width()), frame);
+    }
+}
+
 TEST(TimestampWire, RealWorkloadRoundTrips) {
     const Graph g = topology::client_server(3, 9);
     const SyncSystem system{Graph(g)};

@@ -1,0 +1,222 @@
+// syncts_chaos — replay recorded computations through seeded fault
+// schedules and verify the rendezvous protocol realizes timestamps
+// bit-identical to the direct Fig. 5 simulator's.
+//
+// Usage:
+//   syncts_chaos [<spec>] [--schedules N] [--messages M] [--seed S]
+//                [--drop P] [--dup P] [--corrupt P] [--delay P]
+//                [--jitter J] [--latency LO:HI] [--quiet]
+//
+// <spec> is a topology spec (default cs:2:4); see syncts_topo for the
+// grammar. Each schedule k in 1..N derives its own workload-independent
+// fault seed, runs the protocol with drop/duplication/corruption/extra
+// delay all enabled, and compares every realized message timestamp
+// against OnlineTimestamper. Exit status: 0 when all schedules match,
+// 1 on any mismatch or stall — so this binary is CI-able as a chaos gate.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clocks/online_clock.hpp"
+#include "decomp/cover_decomposer.hpp"
+#include "runtime/synchronizer.hpp"
+#include "topo_spec.hpp"
+#include "trace/generator.hpp"
+
+using namespace syncts;
+
+namespace {
+
+struct Config {
+    std::string spec = "cs:2:4";
+    std::uint64_t schedules = 1000;
+    std::size_t messages = 40;
+    std::uint64_t seed = 1;
+    double drop = 0.05;
+    double dup = 0.05;
+    double corrupt = 0.04;
+    double delay = 0.35;
+    std::uint64_t jitter = 40;
+    std::uint64_t latency_lo = 1;
+    std::uint64_t latency_hi = 12;
+    bool quiet = false;
+};
+
+[[noreturn]] void usage() {
+    std::fprintf(stderr,
+                 "usage: syncts_chaos [<spec>] [--schedules N] "
+                 "[--messages M] [--seed S]\n"
+                 "                    [--drop P] [--dup P] [--corrupt P] "
+                 "[--delay P]\n"
+                 "                    [--jitter J] [--latency LO:HI] "
+                 "[--quiet]\nspecs: %s\n",
+                 tools::spec_help());
+    std::exit(2);
+}
+
+Config parse_args(int argc, char** argv) {
+    Config config;
+    int i = 1;
+    if (i < argc && argv[i][0] != '-') config.spec = argv[i++];
+    const auto next_value = [&](const char* flag) -> const char* {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", flag);
+            usage();
+        }
+        return argv[++i];
+    };
+    for (; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--schedules") {
+            config.schedules = std::strtoull(next_value("--schedules"),
+                                             nullptr, 10);
+        } else if (flag == "--messages") {
+            config.messages = std::strtoull(next_value("--messages"),
+                                            nullptr, 10);
+        } else if (flag == "--seed") {
+            config.seed = std::strtoull(next_value("--seed"), nullptr, 10);
+        } else if (flag == "--drop") {
+            config.drop = std::strtod(next_value("--drop"), nullptr);
+        } else if (flag == "--dup") {
+            config.dup = std::strtod(next_value("--dup"), nullptr);
+        } else if (flag == "--corrupt") {
+            config.corrupt = std::strtod(next_value("--corrupt"), nullptr);
+        } else if (flag == "--delay") {
+            config.delay = std::strtod(next_value("--delay"), nullptr);
+        } else if (flag == "--jitter") {
+            config.jitter = std::strtoull(next_value("--jitter"), nullptr, 10);
+        } else if (flag == "--latency") {
+            const std::string range = next_value("--latency");
+            const std::size_t colon = range.find(':');
+            if (colon == std::string::npos) usage();
+            config.latency_lo = std::strtoull(range.c_str(), nullptr, 10);
+            config.latency_hi =
+                std::strtoull(range.c_str() + colon + 1, nullptr, 10);
+        } else if (flag == "--quiet") {
+            config.quiet = true;
+        } else {
+            std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+            usage();
+        }
+    }
+    return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Config config = parse_args(argc, argv);
+    const Graph topology = tools::build_topology(config.spec);
+
+    Rng workload_rng(config.seed);
+    WorkloadOptions workload;
+    workload.num_messages = config.messages;
+    const SyncComputation script =
+        random_computation(topology, workload, workload_rng);
+    auto decomposition = std::make_shared<const EdgeDecomposition>(
+        default_decomposition(topology));
+    OnlineTimestamper direct(decomposition);
+    const std::vector<VectorTimestamp> expected =
+        direct.timestamp_computation(script);
+
+    std::printf(
+        "chaos: %s  d=%zu  messages=%zu  schedules=%llu\n"
+        "plan:  drop=%.3f dup=%.3f corrupt=%.3f delay=%.3f jitter=%llu "
+        "latency=[%llu,%llu]\n",
+        config.spec.c_str(), decomposition->size(), script.num_messages(),
+        static_cast<unsigned long long>(config.schedules), config.drop,
+        config.dup, config.corrupt, config.delay,
+        static_cast<unsigned long long>(config.jitter),
+        static_cast<unsigned long long>(config.latency_lo),
+        static_cast<unsigned long long>(config.latency_hi));
+
+    std::uint64_t mismatches = 0;
+    std::uint64_t stalls = 0;
+    std::uint64_t packets = 0;
+    ProtocolStats protocol;
+    FaultStats faults;
+    for (std::uint64_t schedule = 1; schedule <= config.schedules;
+         ++schedule) {
+        SynchronizerOptions options;
+        options.seed = config.seed * 1'000'003 + schedule;
+        options.latency_lo = config.latency_lo;
+        options.latency_hi = config.latency_hi;
+        options.faults.seed = schedule * 0x9E3779B9ull + config.seed;
+        options.faults.drop_probability = config.drop;
+        options.faults.duplicate_probability = config.dup;
+        options.faults.corrupt_probability = config.corrupt;
+        options.faults.delay_probability = config.delay;
+        options.faults.max_extra_delay = config.jitter;
+        SynchronizerResult result{.computation = SyncComputation(topology),
+                                  .message_stamps = {},
+                                  .script_message = {},
+                                  .virtual_duration = 0,
+                                  .packets = 0,
+                                  .protocol = {},
+                                  .network_faults = {}};
+        try {
+            result = run_rendezvous_protocol(decomposition, script, options);
+        } catch (const SynchronizerStalled& stall) {
+            std::fprintf(stderr, "schedule %llu stalled: %s\n",
+                         static_cast<unsigned long long>(schedule),
+                         stall.what());
+            ++stalls;
+            continue;
+        }
+        bool match = result.message_stamps.size() == expected.size();
+        for (std::size_t i = 0; match && i < result.message_stamps.size();
+             ++i) {
+            match = result.message_stamps[i] ==
+                    expected[result.script_message[i]];
+        }
+        if (!match) {
+            std::fprintf(stderr, "schedule %llu: timestamp mismatch\n",
+                         static_cast<unsigned long long>(schedule));
+            ++mismatches;
+        }
+        packets += result.packets;
+        protocol.retransmits += result.protocol.retransmits;
+        protocol.timeouts += result.protocol.timeouts;
+        protocol.dup_drops += result.protocol.dup_drops;
+        protocol.ack_replays += result.protocol.ack_replays;
+        protocol.corrupt_rejects += result.protocol.corrupt_rejects;
+        faults.dropped += result.network_faults.dropped;
+        faults.targeted_drops += result.network_faults.targeted_drops;
+        faults.duplicated += result.network_faults.duplicated;
+        faults.corrupted += result.network_faults.corrupted;
+        faults.delayed += result.network_faults.delayed;
+        if (!config.quiet && schedule % 200 == 0) {
+            std::printf("  ... %llu/%llu schedules clean\n",
+                        static_cast<unsigned long long>(schedule - mismatches -
+                                                        stalls),
+                        static_cast<unsigned long long>(schedule));
+        }
+    }
+
+    const std::uint64_t total_messages =
+        config.schedules * script.num_messages();
+    std::printf("injected: %s\n", faults.to_string().c_str());
+    std::printf("protocol: %s\n", protocol.to_string().c_str());
+    std::printf(
+        "packets:  %llu delivered for %llu messages "
+        "(amplification %.3fx over the lossless 2/message)\n",
+        static_cast<unsigned long long>(packets),
+        static_cast<unsigned long long>(total_messages),
+        total_messages == 0
+            ? 0.0
+            : static_cast<double>(packets) /
+                  (2.0 * static_cast<double>(total_messages)));
+    if (mismatches == 0 && stalls == 0) {
+        std::printf("PASS: %llu schedules, all timestamps bit-identical\n",
+                    static_cast<unsigned long long>(config.schedules));
+        return 0;
+    }
+    std::printf("FAIL: %llu mismatches, %llu stalls\n",
+                static_cast<unsigned long long>(mismatches),
+                static_cast<unsigned long long>(stalls));
+    return 1;
+}
