@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_decomp_scaling.dir/bench_decomp_scaling.cpp.o"
+  "CMakeFiles/bench_decomp_scaling.dir/bench_decomp_scaling.cpp.o.d"
+  "bench_decomp_scaling"
+  "bench_decomp_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decomp_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

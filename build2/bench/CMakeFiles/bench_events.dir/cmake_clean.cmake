@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_events.dir/bench_events.cpp.o"
+  "CMakeFiles/bench_events.dir/bench_events.cpp.o.d"
+  "bench_events"
+  "bench_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

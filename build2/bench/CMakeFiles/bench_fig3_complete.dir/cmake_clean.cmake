@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_complete.dir/bench_fig3_complete.cpp.o"
+  "CMakeFiles/bench_fig3_complete.dir/bench_fig3_complete.cpp.o.d"
+  "bench_fig3_complete"
+  "bench_fig3_complete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_complete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

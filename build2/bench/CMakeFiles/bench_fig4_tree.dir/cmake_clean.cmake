@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_tree.dir/bench_fig4_tree.cpp.o"
+  "CMakeFiles/bench_fig4_tree.dir/bench_fig4_tree.cpp.o.d"
+  "bench_fig4_tree"
+  "bench_fig4_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

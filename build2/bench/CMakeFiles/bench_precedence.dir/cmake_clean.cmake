@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_precedence.dir/bench_precedence.cpp.o"
+  "CMakeFiles/bench_precedence.dir/bench_precedence.cpp.o.d"
+  "bench_precedence"
+  "bench_precedence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_precedence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

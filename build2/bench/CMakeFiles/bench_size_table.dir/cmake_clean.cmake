@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_size_table.dir/bench_size_table.cpp.o"
+  "CMakeFiles/bench_size_table.dir/bench_size_table.cpp.o.d"
+  "bench_size_table"
+  "bench_size_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_size_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

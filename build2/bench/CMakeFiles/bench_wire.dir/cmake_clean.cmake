@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wire.dir/bench_wire.cpp.o"
+  "CMakeFiles/bench_wire.dir/bench_wire.cpp.o.d"
+  "bench_wire"
+  "bench_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

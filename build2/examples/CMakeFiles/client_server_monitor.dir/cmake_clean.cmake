@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_server_monitor.dir/client_server_monitor.cpp.o"
+  "CMakeFiles/client_server_monitor.dir/client_server_monitor.cpp.o.d"
+  "client_server_monitor"
+  "client_server_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_server_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

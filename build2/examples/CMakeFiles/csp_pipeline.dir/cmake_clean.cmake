@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csp_pipeline.dir/csp_pipeline.cpp.o"
+  "CMakeFiles/csp_pipeline.dir/csp_pipeline.cpp.o.d"
+  "csp_pipeline"
+  "csp_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_clients.dir/dynamic_clients.cpp.o"
+  "CMakeFiles/dynamic_clients.dir/dynamic_clients.cpp.o.d"
+  "dynamic_clients"
+  "dynamic_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

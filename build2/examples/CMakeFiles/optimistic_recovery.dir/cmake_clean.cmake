@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimistic_recovery.dir/optimistic_recovery.cpp.o"
+  "CMakeFiles/optimistic_recovery.dir/optimistic_recovery.cpp.o.d"
+  "optimistic_recovery"
+  "optimistic_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimistic_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicate_detection.dir/predicate_detection.cpp.o"
+  "CMakeFiles/predicate_detection.dir/predicate_detection.cpp.o.d"
+  "predicate_detection"
+  "predicate_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicate_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

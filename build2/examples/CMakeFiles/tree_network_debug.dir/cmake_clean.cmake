@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_network_debug.dir/tree_network_debug.cpp.o"
+  "CMakeFiles/tree_network_debug.dir/tree_network_debug.cpp.o.d"
+  "tree_network_debug"
+  "tree_network_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_network_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

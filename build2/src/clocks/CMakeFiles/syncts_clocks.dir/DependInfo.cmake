@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clocks/direct_dependency.cpp" "src/clocks/CMakeFiles/syncts_clocks.dir/direct_dependency.cpp.o" "gcc" "src/clocks/CMakeFiles/syncts_clocks.dir/direct_dependency.cpp.o.d"
+  "/root/repo/src/clocks/event_timestamp.cpp" "src/clocks/CMakeFiles/syncts_clocks.dir/event_timestamp.cpp.o" "gcc" "src/clocks/CMakeFiles/syncts_clocks.dir/event_timestamp.cpp.o.d"
+  "/root/repo/src/clocks/fm_differential.cpp" "src/clocks/CMakeFiles/syncts_clocks.dir/fm_differential.cpp.o" "gcc" "src/clocks/CMakeFiles/syncts_clocks.dir/fm_differential.cpp.o.d"
+  "/root/repo/src/clocks/fm_event_clock.cpp" "src/clocks/CMakeFiles/syncts_clocks.dir/fm_event_clock.cpp.o" "gcc" "src/clocks/CMakeFiles/syncts_clocks.dir/fm_event_clock.cpp.o.d"
+  "/root/repo/src/clocks/fm_sync_clock.cpp" "src/clocks/CMakeFiles/syncts_clocks.dir/fm_sync_clock.cpp.o" "gcc" "src/clocks/CMakeFiles/syncts_clocks.dir/fm_sync_clock.cpp.o.d"
+  "/root/repo/src/clocks/lamport_clock.cpp" "src/clocks/CMakeFiles/syncts_clocks.dir/lamport_clock.cpp.o" "gcc" "src/clocks/CMakeFiles/syncts_clocks.dir/lamport_clock.cpp.o.d"
+  "/root/repo/src/clocks/offline_timestamper.cpp" "src/clocks/CMakeFiles/syncts_clocks.dir/offline_timestamper.cpp.o" "gcc" "src/clocks/CMakeFiles/syncts_clocks.dir/offline_timestamper.cpp.o.d"
+  "/root/repo/src/clocks/online_clock.cpp" "src/clocks/CMakeFiles/syncts_clocks.dir/online_clock.cpp.o" "gcc" "src/clocks/CMakeFiles/syncts_clocks.dir/online_clock.cpp.o.d"
+  "/root/repo/src/clocks/plausible_clock.cpp" "src/clocks/CMakeFiles/syncts_clocks.dir/plausible_clock.cpp.o" "gcc" "src/clocks/CMakeFiles/syncts_clocks.dir/plausible_clock.cpp.o.d"
+  "/root/repo/src/clocks/vector_timestamp.cpp" "src/clocks/CMakeFiles/syncts_clocks.dir/vector_timestamp.cpp.o" "gcc" "src/clocks/CMakeFiles/syncts_clocks.dir/vector_timestamp.cpp.o.d"
+  "/root/repo/src/clocks/wire.cpp" "src/clocks/CMakeFiles/syncts_clocks.dir/wire.cpp.o" "gcc" "src/clocks/CMakeFiles/syncts_clocks.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/decomp/CMakeFiles/syncts_decomp.dir/DependInfo.cmake"
+  "/root/repo/build2/src/poset/CMakeFiles/syncts_poset.dir/DependInfo.cmake"
+  "/root/repo/build2/src/trace/CMakeFiles/syncts_trace.dir/DependInfo.cmake"
+  "/root/repo/build2/src/graph/CMakeFiles/syncts_graph.dir/DependInfo.cmake"
+  "/root/repo/build2/src/common/CMakeFiles/syncts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncts_clocks.dir/direct_dependency.cpp.o"
+  "CMakeFiles/syncts_clocks.dir/direct_dependency.cpp.o.d"
+  "CMakeFiles/syncts_clocks.dir/event_timestamp.cpp.o"
+  "CMakeFiles/syncts_clocks.dir/event_timestamp.cpp.o.d"
+  "CMakeFiles/syncts_clocks.dir/fm_differential.cpp.o"
+  "CMakeFiles/syncts_clocks.dir/fm_differential.cpp.o.d"
+  "CMakeFiles/syncts_clocks.dir/fm_event_clock.cpp.o"
+  "CMakeFiles/syncts_clocks.dir/fm_event_clock.cpp.o.d"
+  "CMakeFiles/syncts_clocks.dir/fm_sync_clock.cpp.o"
+  "CMakeFiles/syncts_clocks.dir/fm_sync_clock.cpp.o.d"
+  "CMakeFiles/syncts_clocks.dir/lamport_clock.cpp.o"
+  "CMakeFiles/syncts_clocks.dir/lamport_clock.cpp.o.d"
+  "CMakeFiles/syncts_clocks.dir/offline_timestamper.cpp.o"
+  "CMakeFiles/syncts_clocks.dir/offline_timestamper.cpp.o.d"
+  "CMakeFiles/syncts_clocks.dir/online_clock.cpp.o"
+  "CMakeFiles/syncts_clocks.dir/online_clock.cpp.o.d"
+  "CMakeFiles/syncts_clocks.dir/plausible_clock.cpp.o"
+  "CMakeFiles/syncts_clocks.dir/plausible_clock.cpp.o.d"
+  "CMakeFiles/syncts_clocks.dir/vector_timestamp.cpp.o"
+  "CMakeFiles/syncts_clocks.dir/vector_timestamp.cpp.o.d"
+  "CMakeFiles/syncts_clocks.dir/wire.cpp.o"
+  "CMakeFiles/syncts_clocks.dir/wire.cpp.o.d"
+  "libsyncts_clocks.a"
+  "libsyncts_clocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncts_clocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

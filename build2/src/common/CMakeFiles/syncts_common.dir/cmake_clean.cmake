@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncts_common.dir/check.cpp.o"
+  "CMakeFiles/syncts_common.dir/check.cpp.o.d"
+  "CMakeFiles/syncts_common.dir/dyn_bitset.cpp.o"
+  "CMakeFiles/syncts_common.dir/dyn_bitset.cpp.o.d"
+  "CMakeFiles/syncts_common.dir/rng.cpp.o"
+  "CMakeFiles/syncts_common.dir/rng.cpp.o.d"
+  "libsyncts_common.a"
+  "libsyncts_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncts_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncts_core.dir/causality.cpp.o"
+  "CMakeFiles/syncts_core.dir/causality.cpp.o.d"
+  "CMakeFiles/syncts_core.dir/cuts.cpp.o"
+  "CMakeFiles/syncts_core.dir/cuts.cpp.o.d"
+  "CMakeFiles/syncts_core.dir/monitor.cpp.o"
+  "CMakeFiles/syncts_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/syncts_core.dir/predicate_detection.cpp.o"
+  "CMakeFiles/syncts_core.dir/predicate_detection.cpp.o.d"
+  "CMakeFiles/syncts_core.dir/sync_system.cpp.o"
+  "CMakeFiles/syncts_core.dir/sync_system.cpp.o.d"
+  "CMakeFiles/syncts_core.dir/timestamped_trace.cpp.o"
+  "CMakeFiles/syncts_core.dir/timestamped_trace.cpp.o.d"
+  "libsyncts_core.a"
+  "libsyncts_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncts_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

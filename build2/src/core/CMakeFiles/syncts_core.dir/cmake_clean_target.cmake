@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsyncts_core.a"
+)

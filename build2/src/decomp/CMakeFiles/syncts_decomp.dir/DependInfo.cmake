@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decomp/cover_decomposer.cpp" "src/decomp/CMakeFiles/syncts_decomp.dir/cover_decomposer.cpp.o" "gcc" "src/decomp/CMakeFiles/syncts_decomp.dir/cover_decomposer.cpp.o.d"
+  "/root/repo/src/decomp/decomp_io.cpp" "src/decomp/CMakeFiles/syncts_decomp.dir/decomp_io.cpp.o" "gcc" "src/decomp/CMakeFiles/syncts_decomp.dir/decomp_io.cpp.o.d"
+  "/root/repo/src/decomp/dot_export.cpp" "src/decomp/CMakeFiles/syncts_decomp.dir/dot_export.cpp.o" "gcc" "src/decomp/CMakeFiles/syncts_decomp.dir/dot_export.cpp.o.d"
+  "/root/repo/src/decomp/edge_decomposition.cpp" "src/decomp/CMakeFiles/syncts_decomp.dir/edge_decomposition.cpp.o" "gcc" "src/decomp/CMakeFiles/syncts_decomp.dir/edge_decomposition.cpp.o.d"
+  "/root/repo/src/decomp/exact_decomposer.cpp" "src/decomp/CMakeFiles/syncts_decomp.dir/exact_decomposer.cpp.o" "gcc" "src/decomp/CMakeFiles/syncts_decomp.dir/exact_decomposer.cpp.o.d"
+  "/root/repo/src/decomp/greedy_decomposer.cpp" "src/decomp/CMakeFiles/syncts_decomp.dir/greedy_decomposer.cpp.o" "gcc" "src/decomp/CMakeFiles/syncts_decomp.dir/greedy_decomposer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/graph/CMakeFiles/syncts_graph.dir/DependInfo.cmake"
+  "/root/repo/build2/src/common/CMakeFiles/syncts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

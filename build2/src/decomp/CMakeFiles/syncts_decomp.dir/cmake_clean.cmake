@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncts_decomp.dir/cover_decomposer.cpp.o"
+  "CMakeFiles/syncts_decomp.dir/cover_decomposer.cpp.o.d"
+  "CMakeFiles/syncts_decomp.dir/decomp_io.cpp.o"
+  "CMakeFiles/syncts_decomp.dir/decomp_io.cpp.o.d"
+  "CMakeFiles/syncts_decomp.dir/dot_export.cpp.o"
+  "CMakeFiles/syncts_decomp.dir/dot_export.cpp.o.d"
+  "CMakeFiles/syncts_decomp.dir/edge_decomposition.cpp.o"
+  "CMakeFiles/syncts_decomp.dir/edge_decomposition.cpp.o.d"
+  "CMakeFiles/syncts_decomp.dir/exact_decomposer.cpp.o"
+  "CMakeFiles/syncts_decomp.dir/exact_decomposer.cpp.o.d"
+  "CMakeFiles/syncts_decomp.dir/greedy_decomposer.cpp.o"
+  "CMakeFiles/syncts_decomp.dir/greedy_decomposer.cpp.o.d"
+  "libsyncts_decomp.a"
+  "libsyncts_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncts_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

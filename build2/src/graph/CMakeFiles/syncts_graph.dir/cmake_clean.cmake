@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncts_graph.dir/generators.cpp.o"
+  "CMakeFiles/syncts_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/syncts_graph.dir/graph.cpp.o"
+  "CMakeFiles/syncts_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/syncts_graph.dir/triangles.cpp.o"
+  "CMakeFiles/syncts_graph.dir/triangles.cpp.o.d"
+  "CMakeFiles/syncts_graph.dir/vertex_cover.cpp.o"
+  "CMakeFiles/syncts_graph.dir/vertex_cover.cpp.o.d"
+  "libsyncts_graph.a"
+  "libsyncts_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncts_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poset/dilworth.cpp" "src/poset/CMakeFiles/syncts_poset.dir/dilworth.cpp.o" "gcc" "src/poset/CMakeFiles/syncts_poset.dir/dilworth.cpp.o.d"
+  "/root/repo/src/poset/hopcroft_karp.cpp" "src/poset/CMakeFiles/syncts_poset.dir/hopcroft_karp.cpp.o" "gcc" "src/poset/CMakeFiles/syncts_poset.dir/hopcroft_karp.cpp.o.d"
+  "/root/repo/src/poset/linear_extension.cpp" "src/poset/CMakeFiles/syncts_poset.dir/linear_extension.cpp.o" "gcc" "src/poset/CMakeFiles/syncts_poset.dir/linear_extension.cpp.o.d"
+  "/root/repo/src/poset/poset.cpp" "src/poset/CMakeFiles/syncts_poset.dir/poset.cpp.o" "gcc" "src/poset/CMakeFiles/syncts_poset.dir/poset.cpp.o.d"
+  "/root/repo/src/poset/realizer.cpp" "src/poset/CMakeFiles/syncts_poset.dir/realizer.cpp.o" "gcc" "src/poset/CMakeFiles/syncts_poset.dir/realizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/common/CMakeFiles/syncts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncts_poset.dir/dilworth.cpp.o"
+  "CMakeFiles/syncts_poset.dir/dilworth.cpp.o.d"
+  "CMakeFiles/syncts_poset.dir/hopcroft_karp.cpp.o"
+  "CMakeFiles/syncts_poset.dir/hopcroft_karp.cpp.o.d"
+  "CMakeFiles/syncts_poset.dir/linear_extension.cpp.o"
+  "CMakeFiles/syncts_poset.dir/linear_extension.cpp.o.d"
+  "CMakeFiles/syncts_poset.dir/poset.cpp.o"
+  "CMakeFiles/syncts_poset.dir/poset.cpp.o.d"
+  "CMakeFiles/syncts_poset.dir/realizer.cpp.o"
+  "CMakeFiles/syncts_poset.dir/realizer.cpp.o.d"
+  "libsyncts_poset.a"
+  "libsyncts_poset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncts_poset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

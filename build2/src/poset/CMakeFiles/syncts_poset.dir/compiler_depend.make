@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for syncts_poset.
+# This may be replaced when dependencies are built.

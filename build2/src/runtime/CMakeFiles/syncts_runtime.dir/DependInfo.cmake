@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/async_sim.cpp" "src/runtime/CMakeFiles/syncts_runtime.dir/async_sim.cpp.o" "gcc" "src/runtime/CMakeFiles/syncts_runtime.dir/async_sim.cpp.o.d"
+  "/root/repo/src/runtime/fault_plan.cpp" "src/runtime/CMakeFiles/syncts_runtime.dir/fault_plan.cpp.o" "gcc" "src/runtime/CMakeFiles/syncts_runtime.dir/fault_plan.cpp.o.d"
+  "/root/repo/src/runtime/mailbox.cpp" "src/runtime/CMakeFiles/syncts_runtime.dir/mailbox.cpp.o" "gcc" "src/runtime/CMakeFiles/syncts_runtime.dir/mailbox.cpp.o.d"
+  "/root/repo/src/runtime/network.cpp" "src/runtime/CMakeFiles/syncts_runtime.dir/network.cpp.o" "gcc" "src/runtime/CMakeFiles/syncts_runtime.dir/network.cpp.o.d"
+  "/root/repo/src/runtime/process.cpp" "src/runtime/CMakeFiles/syncts_runtime.dir/process.cpp.o" "gcc" "src/runtime/CMakeFiles/syncts_runtime.dir/process.cpp.o.d"
+  "/root/repo/src/runtime/synchronizer.cpp" "src/runtime/CMakeFiles/syncts_runtime.dir/synchronizer.cpp.o" "gcc" "src/runtime/CMakeFiles/syncts_runtime.dir/synchronizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/clocks/CMakeFiles/syncts_clocks.dir/DependInfo.cmake"
+  "/root/repo/build2/src/decomp/CMakeFiles/syncts_decomp.dir/DependInfo.cmake"
+  "/root/repo/build2/src/trace/CMakeFiles/syncts_trace.dir/DependInfo.cmake"
+  "/root/repo/build2/src/poset/CMakeFiles/syncts_poset.dir/DependInfo.cmake"
+  "/root/repo/build2/src/graph/CMakeFiles/syncts_graph.dir/DependInfo.cmake"
+  "/root/repo/build2/src/common/CMakeFiles/syncts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncts_runtime.dir/async_sim.cpp.o"
+  "CMakeFiles/syncts_runtime.dir/async_sim.cpp.o.d"
+  "CMakeFiles/syncts_runtime.dir/fault_plan.cpp.o"
+  "CMakeFiles/syncts_runtime.dir/fault_plan.cpp.o.d"
+  "CMakeFiles/syncts_runtime.dir/mailbox.cpp.o"
+  "CMakeFiles/syncts_runtime.dir/mailbox.cpp.o.d"
+  "CMakeFiles/syncts_runtime.dir/network.cpp.o"
+  "CMakeFiles/syncts_runtime.dir/network.cpp.o.d"
+  "CMakeFiles/syncts_runtime.dir/process.cpp.o"
+  "CMakeFiles/syncts_runtime.dir/process.cpp.o.d"
+  "CMakeFiles/syncts_runtime.dir/synchronizer.cpp.o"
+  "CMakeFiles/syncts_runtime.dir/synchronizer.cpp.o.d"
+  "libsyncts_runtime.a"
+  "libsyncts_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncts_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/async_computation.cpp" "src/trace/CMakeFiles/syncts_trace.dir/async_computation.cpp.o" "gcc" "src/trace/CMakeFiles/syncts_trace.dir/async_computation.cpp.o.d"
+  "/root/repo/src/trace/computation.cpp" "src/trace/CMakeFiles/syncts_trace.dir/computation.cpp.o" "gcc" "src/trace/CMakeFiles/syncts_trace.dir/computation.cpp.o.d"
+  "/root/repo/src/trace/diagram.cpp" "src/trace/CMakeFiles/syncts_trace.dir/diagram.cpp.o" "gcc" "src/trace/CMakeFiles/syncts_trace.dir/diagram.cpp.o.d"
+  "/root/repo/src/trace/generator.cpp" "src/trace/CMakeFiles/syncts_trace.dir/generator.cpp.o" "gcc" "src/trace/CMakeFiles/syncts_trace.dir/generator.cpp.o.d"
+  "/root/repo/src/trace/ground_truth.cpp" "src/trace/CMakeFiles/syncts_trace.dir/ground_truth.cpp.o" "gcc" "src/trace/CMakeFiles/syncts_trace.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/trace/ordering_classes.cpp" "src/trace/CMakeFiles/syncts_trace.dir/ordering_classes.cpp.o" "gcc" "src/trace/CMakeFiles/syncts_trace.dir/ordering_classes.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/syncts_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/syncts_trace.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/graph/CMakeFiles/syncts_graph.dir/DependInfo.cmake"
+  "/root/repo/build2/src/poset/CMakeFiles/syncts_poset.dir/DependInfo.cmake"
+  "/root/repo/build2/src/common/CMakeFiles/syncts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

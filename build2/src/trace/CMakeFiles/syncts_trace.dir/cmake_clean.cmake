@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncts_trace.dir/async_computation.cpp.o"
+  "CMakeFiles/syncts_trace.dir/async_computation.cpp.o.d"
+  "CMakeFiles/syncts_trace.dir/computation.cpp.o"
+  "CMakeFiles/syncts_trace.dir/computation.cpp.o.d"
+  "CMakeFiles/syncts_trace.dir/diagram.cpp.o"
+  "CMakeFiles/syncts_trace.dir/diagram.cpp.o.d"
+  "CMakeFiles/syncts_trace.dir/generator.cpp.o"
+  "CMakeFiles/syncts_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/syncts_trace.dir/ground_truth.cpp.o"
+  "CMakeFiles/syncts_trace.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/syncts_trace.dir/ordering_classes.cpp.o"
+  "CMakeFiles/syncts_trace.dir/ordering_classes.cpp.o.d"
+  "CMakeFiles/syncts_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/syncts_trace.dir/trace_io.cpp.o.d"
+  "libsyncts_trace.a"
+  "libsyncts_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncts_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decomp_io_test.dir/decomp_io_test.cpp.o"
+  "CMakeFiles/decomp_io_test.dir/decomp_io_test.cpp.o.d"
+  "decomp_io_test"
+  "decomp_io_test.pdb"
+  "decomp_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decomp_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

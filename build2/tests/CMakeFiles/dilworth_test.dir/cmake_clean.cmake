@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dilworth_test.dir/dilworth_test.cpp.o"
+  "CMakeFiles/dilworth_test.dir/dilworth_test.cpp.o.d"
+  "dilworth_test"
+  "dilworth_test.pdb"
+  "dilworth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dilworth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

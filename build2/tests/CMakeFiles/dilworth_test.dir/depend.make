@@ -1,0 +1,2 @@
+# Empty dependencies file for dilworth_test.
+# This may be replaced when dependencies are built.

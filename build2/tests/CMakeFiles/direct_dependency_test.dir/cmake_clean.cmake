@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/direct_dependency_test.dir/direct_dependency_test.cpp.o"
+  "CMakeFiles/direct_dependency_test.dir/direct_dependency_test.cpp.o.d"
+  "direct_dependency_test"
+  "direct_dependency_test.pdb"
+  "direct_dependency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/direct_dependency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_timestamp_test.dir/event_timestamp_test.cpp.o"
+  "CMakeFiles/event_timestamp_test.dir/event_timestamp_test.cpp.o.d"
+  "event_timestamp_test"
+  "event_timestamp_test.pdb"
+  "event_timestamp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_timestamp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

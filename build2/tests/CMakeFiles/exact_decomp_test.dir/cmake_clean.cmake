@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_decomp_test.dir/exact_decomp_test.cpp.o"
+  "CMakeFiles/exact_decomp_test.dir/exact_decomp_test.cpp.o.d"
+  "exact_decomp_test"
+  "exact_decomp_test.pdb"
+  "exact_decomp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_decomp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

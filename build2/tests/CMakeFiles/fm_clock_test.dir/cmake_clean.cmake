@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_clock_test.dir/fm_clock_test.cpp.o"
+  "CMakeFiles/fm_clock_test.dir/fm_clock_test.cpp.o.d"
+  "fm_clock_test"
+  "fm_clock_test.pdb"
+  "fm_clock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_clock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

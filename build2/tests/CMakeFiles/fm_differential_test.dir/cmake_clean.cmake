@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_differential_test.dir/fm_differential_test.cpp.o"
+  "CMakeFiles/fm_differential_test.dir/fm_differential_test.cpp.o.d"
+  "fm_differential_test"
+  "fm_differential_test.pdb"
+  "fm_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

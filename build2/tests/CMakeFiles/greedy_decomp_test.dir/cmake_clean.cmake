@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_decomp_test.dir/greedy_decomp_test.cpp.o"
+  "CMakeFiles/greedy_decomp_test.dir/greedy_decomp_test.cpp.o.d"
+  "greedy_decomp_test"
+  "greedy_decomp_test.pdb"
+  "greedy_decomp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_decomp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

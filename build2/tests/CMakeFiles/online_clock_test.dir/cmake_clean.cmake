@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_clock_test.dir/online_clock_test.cpp.o"
+  "CMakeFiles/online_clock_test.dir/online_clock_test.cpp.o.d"
+  "online_clock_test"
+  "online_clock_test.pdb"
+  "online_clock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_clock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_classes_test.dir/ordering_classes_test.cpp.o"
+  "CMakeFiles/ordering_classes_test.dir/ordering_classes_test.cpp.o.d"
+  "ordering_classes_test"
+  "ordering_classes_test.pdb"
+  "ordering_classes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_classes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plausible_test.dir/plausible_test.cpp.o"
+  "CMakeFiles/plausible_test.dir/plausible_test.cpp.o.d"
+  "plausible_test"
+  "plausible_test.pdb"
+  "plausible_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plausible_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poset_test.dir/poset_test.cpp.o"
+  "CMakeFiles/poset_test.dir/poset_test.cpp.o.d"
+  "poset_test"
+  "poset_test.pdb"
+  "poset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicate_detection_test.dir/predicate_detection_test.cpp.o"
+  "CMakeFiles/predicate_detection_test.dir/predicate_detection_test.cpp.o.d"
+  "predicate_detection_test"
+  "predicate_detection_test.pdb"
+  "predicate_detection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicate_detection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

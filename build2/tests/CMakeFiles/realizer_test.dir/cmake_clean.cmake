@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realizer_test.dir/realizer_test.cpp.o"
+  "CMakeFiles/realizer_test.dir/realizer_test.cpp.o.d"
+  "realizer_test"
+  "realizer_test.pdb"
+  "realizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

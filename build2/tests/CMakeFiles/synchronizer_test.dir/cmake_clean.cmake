@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synchronizer_test.dir/synchronizer_test.cpp.o"
+  "CMakeFiles/synchronizer_test.dir/synchronizer_test.cpp.o.d"
+  "synchronizer_test"
+  "synchronizer_test.pdb"
+  "synchronizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synchronizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/trace_test.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/core/CMakeFiles/syncts_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/runtime/CMakeFiles/syncts_runtime.dir/DependInfo.cmake"
+  "/root/repo/build2/src/clocks/CMakeFiles/syncts_clocks.dir/DependInfo.cmake"
+  "/root/repo/build2/src/decomp/CMakeFiles/syncts_decomp.dir/DependInfo.cmake"
+  "/root/repo/build2/src/trace/CMakeFiles/syncts_trace.dir/DependInfo.cmake"
+  "/root/repo/build2/src/poset/CMakeFiles/syncts_poset.dir/DependInfo.cmake"
+  "/root/repo/build2/src/graph/CMakeFiles/syncts_graph.dir/DependInfo.cmake"
+  "/root/repo/build2/src/common/CMakeFiles/syncts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triangles_test.dir/triangles_test.cpp.o"
+  "CMakeFiles/triangles_test.dir/triangles_test.cpp.o.d"
+  "triangles_test"
+  "triangles_test.pdb"
+  "triangles_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triangles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

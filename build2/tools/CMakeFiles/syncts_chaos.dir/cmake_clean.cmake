@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncts_chaos.dir/syncts_chaos.cpp.o"
+  "CMakeFiles/syncts_chaos.dir/syncts_chaos.cpp.o.d"
+  "syncts_chaos"
+  "syncts_chaos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncts_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

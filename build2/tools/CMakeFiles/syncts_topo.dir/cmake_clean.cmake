@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncts_topo.dir/syncts_topo.cpp.o"
+  "CMakeFiles/syncts_topo.dir/syncts_topo.cpp.o.d"
+  "syncts_topo"
+  "syncts_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncts_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

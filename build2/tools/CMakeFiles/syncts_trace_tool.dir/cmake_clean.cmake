@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncts_trace_tool.dir/syncts_trace.cpp.o"
+  "CMakeFiles/syncts_trace_tool.dir/syncts_trace.cpp.o.d"
+  "syncts_trace"
+  "syncts_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncts_trace_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
