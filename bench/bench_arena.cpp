@@ -1,0 +1,140 @@
+// Experiment TAB-ARENA — the zero-allocation timestamp core.
+//
+// Same Fig. 5 online rendezvous, two storage disciplines:
+//   legacy — every hook returns owning VectorTimestamp values (one heap
+//            vector per piggyback, acknowledgement and stamp)
+//   arena  — the ClockEngine span hooks write into TimestampArena rows and
+//            engine-owned scratch; zero heap traffic per message once the
+//            arena has capacity
+// Reports ns/message and heap allocations for both over identical message
+// sequences, plus the speedup. The arena path must be allocation-free in
+// steady state and at least 1.5x the legacy throughput on the d << N
+// families the online algorithm targets.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "clocks/online_clock.hpp"
+#include "clocks/vector_timestamp.hpp"
+#include "common/rng.hpp"
+#include "common/timestamp_arena.hpp"
+#include "decomp/cover_decomposer.hpp"
+#include "graph/generators.hpp"
+
+using namespace syncts;
+
+namespace {
+
+struct Workload {
+    std::shared_ptr<const EdgeDecomposition> decomposition;
+    std::vector<std::pair<ProcessId, ProcessId>> sends;
+};
+
+Workload make_workload(const Graph& g, std::size_t messages,
+                       std::uint64_t seed) {
+    Rng rng(seed);
+    Workload w{std::make_shared<const EdgeDecomposition>(
+                   default_decomposition(g)),
+               {}};
+    const auto& edges = g.edges();
+    w.sends.reserve(messages);
+    for (std::size_t i = 0; i < messages; ++i) {
+        const Edge e = edges[rng.below(edges.size())];
+        if (rng.chance(1, 2)) {
+            w.sends.emplace_back(e.u, e.v);
+        } else {
+            w.sends.emplace_back(e.v, e.u);
+        }
+    }
+    return w;
+}
+
+struct Result {
+    double ns_per_msg;
+    std::size_t allocs;
+};
+
+Result run_legacy(const Workload& w, std::size_t rounds) {
+    OnlineTimestamper engine(w.decomposition);
+    // Sink so the optimizer cannot drop the stamps.
+    std::uint64_t checksum = 0;
+    const double ns = syncts::bench::measure_and_emit(
+        "arena_legacy_path", rounds * w.sends.size(), [&] {
+            for (std::size_t r = 0; r < rounds; ++r) {
+                for (const auto& [from, to] : w.sends) {
+                    const VectorTimestamp ts =
+                        engine.timestamp_message(from, to);
+                    checksum += ts.components().back();
+                }
+            }
+        });
+    const std::size_t allocs = syncts::bench::allocations();
+    if (checksum == 0) std::printf("(unreachable checksum)\n");
+    return {ns, allocs};
+}
+
+Result run_arena(const Workload& w, std::size_t rounds) {
+    OnlineTimestamper engine(w.decomposition);
+    TimestampArena arena(engine.width(), w.sends.size());
+    // Warm-up sizes the engine scratch and the arena slab so the measured
+    // region is pure steady state.
+    for (const auto& [from, to] : w.sends) {
+        engine.timestamp_message(from, to, arena);
+    }
+    engine.reset();
+    arena.clear();
+
+    std::uint64_t checksum = 0;
+    const std::size_t allocs_before = syncts::bench::allocations();
+    const double ns = syncts::bench::measure_and_emit(
+        "arena_span_path", rounds * w.sends.size(), [&] {
+            for (std::size_t r = 0; r < rounds; ++r) {
+                arena.clear();
+                for (const auto& [from, to] : w.sends) {
+                    const TsHandle h =
+                        engine.timestamp_message(from, to, arena);
+                    checksum += arena.span(h).back();
+                }
+            }
+        });
+    const std::size_t allocs = syncts::bench::allocations() - allocs_before;
+    if (checksum == 0) std::printf("(unreachable checksum)\n");
+    return {ns, allocs};
+}
+
+void study(const char* family, const Graph& g, std::size_t messages,
+           std::size_t rounds, std::uint64_t seed) {
+    const Workload w = make_workload(g, messages, seed);
+    const Result legacy = run_legacy(w, rounds);
+    const Result arena = run_arena(w, rounds);
+    std::printf("%-20s %5zu %5zu %10.1f %10.1f %8.2fx %12zu\n", family,
+                g.num_vertices(), w.decomposition->size(), legacy.ns_per_msg,
+                arena.ns_per_msg, legacy.ns_per_msg / arena.ns_per_msg,
+                arena.allocs);
+}
+
+}  // namespace
+
+int main() {
+    std::printf("== TAB-ARENA: arena span hooks vs owning vectors ==\n\n");
+    std::printf("%-20s %5s %5s %10s %10s %8s %12s\n", "family", "N", "d",
+                "legacy ns", "arena ns", "speedup", "arena allocs");
+    Rng seeds(11011);
+    study("star", topology::star(32), 4096, 64, seeds());
+    study("star", topology::star(128), 4096, 64, seeds());
+    study("client-server k=3", topology::client_server(3, 61), 4096, 64,
+          seeds());
+    study("kary-tree k=4", topology::kary_tree(64, 4), 4096, 64, seeds());
+    study("ring", topology::ring(32), 4096, 64, seeds());
+    study("complete (worst)", topology::complete(16), 4096, 64, seeds());
+    std::printf(
+        "\nshape check: identical stamps on both paths (same engine, same\n"
+        "sends); the arena column must show 0 steady-state allocations, and\n"
+        "the speedup must clear 1.5x on the d << N families the online\n"
+        "algorithm targets (star, client-server, trees). The complete-graph\n"
+        "worst case (d = N-2) is merge-bound — both paths spend their time\n"
+        "joining wide vectors — so the allocation savings amortize less.\n");
+    return 0;
+}

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "clocks/online_clock.hpp"
 #include "decomp/cover_decomposer.hpp"
 #include "graph/generators.hpp"
@@ -115,5 +116,15 @@ int main() {
         "\n(lossless baseline is exactly 2 packets/message; amplification\n"
         " is delivered packets over that baseline. 'exact' checks every\n"
         " realized timestamp against the direct Fig. 5 simulator.)\n");
+
+    // Machine-readable summary for tools/bench_to_json.sh: one lossless
+    // protocol run (drop 0%).
+    SynchronizerOptions json_options;
+    json_options.seed = 1;
+    json_options.latency_lo = 1;
+    json_options.latency_hi = 8;
+    bench::measure_and_emit("faults", script.num_messages(), [&] {
+        (void)run_rendezvous_protocol(decomposition, script, json_options);
+    });
     return 0;
 }

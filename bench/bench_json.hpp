@@ -1,0 +1,81 @@
+#pragma once
+
+// Machine-readable bench output: every bench binary ends each study (or
+// its run) with one JSON line of the canonical shape
+//
+//     {"bench":"...","n":...,"ns_per_msg":...,"allocs":...}
+//
+// so tools/bench_to_json.sh can collect results across binaries without
+// parsing the human tables. Include this header from the bench's main
+// translation unit ONLY — it defines the replacement global operator
+// new/delete that back the "allocs" column, and two definitions in one
+// binary would violate the one-definition rule.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+namespace syncts::bench {
+
+inline std::size_t g_allocation_count = 0;
+
+/// Heap allocations observed so far in this process.
+inline std::size_t allocations() noexcept { return g_allocation_count; }
+
+}  // namespace syncts::bench
+
+// GCC pairs the replacement operator new (delegating to malloc) with the
+// free() in the replacement delete and reports a mismatched pair;
+// replacing the global operators this way is well-defined.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+    ++syncts::bench::g_allocation_count;
+    if (void* p = std::malloc(size ? size : 1)) return p;
+    throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+    ++syncts::bench::g_allocation_count;
+    if (void* p = std::malloc(size ? size : 1)) return p;
+    throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace syncts::bench {
+
+/// Emits the canonical JSON line on its own stdout row.
+inline void emit_json(const char* bench, std::size_t n, double ns_per_msg,
+                      std::size_t allocs) {
+    std::printf("{\"bench\":\"%s\",\"n\":%zu,\"ns_per_msg\":%.1f,"
+                "\"allocs\":%zu}\n",
+                bench, n, ns_per_msg, allocs);
+}
+
+/// Times `fn` once over `n` items, counts the heap allocations it makes,
+/// and emits the canonical JSON line. Returns ns per item for callers
+/// that also want the number in their human-readable table.
+template <typename Fn>
+double measure_and_emit(const char* bench, std::size_t n, Fn&& fn) {
+    const std::size_t allocs_before = allocations();
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    const std::size_t allocs = allocations() - allocs_before;
+    const double ns =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+                .count()) /
+        static_cast<double>(n == 0 ? 1 : n);
+    emit_json(bench, n, ns, allocs);
+    return ns;
+}
+
+}  // namespace syncts::bench

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/ts_kernels.hpp"
 #include "decomp/cover_decomposer.hpp"
 
 namespace syncts {
@@ -23,29 +24,67 @@ OnlineProcessClock::OnlineProcessClock(
     }
 }
 
-void OnlineProcessClock::merge_and_increment(ProcessId peer,
-                                             const VectorTimestamp& remote) {
+void OnlineProcessClock::reset() noexcept {
+    ts::zero(vector_.mutable_components());
+}
+
+void OnlineProcessClock::merge_and_increment(
+    ProcessId peer, std::span<const std::uint64_t> remote) {
     SYNCTS_REQUIRE(peer < group_by_peer_.size() &&
                        group_by_peer_[peer] != kNoGroup,
                    "no channel between these processes in the topology");
-    vector_.join(remote);
-    vector_.increment(group_by_peer_[peer]);
+    SYNCTS_REQUIRE(remote.size() == vector_.width(),
+                   "cannot join timestamps of different widths");
+    const std::span<std::uint64_t> mine = vector_.mutable_components();
+    ts::join(mine, remote);
+    ts::increment(mine, group_by_peer_[peer]);
+}
+
+void OnlineProcessClock::prepare_send_into(
+    std::span<std::uint64_t> out) const {
+    SYNCTS_REQUIRE(out.size() == vector_.width(),
+                   "output span width does not match the clock width");
+    ts::copy(out, vector_.components());
+}
+
+void OnlineProcessClock::on_receive_into(
+    ProcessId sender, std::span<const std::uint64_t> piggybacked,
+    std::span<std::uint64_t> ack_out, std::span<std::uint64_t> stamp_out) {
+    SYNCTS_REQUIRE(ack_out.size() == vector_.width() &&
+                       stamp_out.size() == vector_.width(),
+                   "output span width does not match the clock width");
+    // Line (04): the acknowledgement carries the local vector before the
+    // merge — the sender performs the same merge with it.
+    ts::copy(ack_out, vector_.components());
+    merge_and_increment(sender, piggybacked);
+    ts::copy(stamp_out, vector_.components());
+}
+
+void OnlineProcessClock::on_ack_into(
+    ProcessId receiver, std::span<const std::uint64_t> acknowledgement,
+    std::span<std::uint64_t> stamp_out) {
+    SYNCTS_REQUIRE(stamp_out.size() == vector_.width(),
+                   "output span width does not match the clock width");
+    merge_and_increment(receiver, acknowledgement);
+    ts::copy(stamp_out, vector_.components());
 }
 
 OnlineProcessClock::ReceiveResult OnlineProcessClock::on_receive(
     ProcessId sender, const VectorTimestamp& piggybacked) {
-    // Line (04): the acknowledgement carries the local vector before the
-    // merge — the sender performs the same merge with it.
-    ReceiveResult result{vector_, VectorTimestamp{}};
-    merge_and_increment(sender, piggybacked);
-    result.timestamp = vector_;
+    ReceiveResult result{VectorTimestamp(vector_.width()),
+                         VectorTimestamp(vector_.width())};
+    on_receive_into(sender, piggybacked.components(),
+                    result.acknowledgement.mutable_components(),
+                    result.timestamp.mutable_components());
     return result;
 }
 
 VectorTimestamp OnlineProcessClock::on_acknowledgement(
     ProcessId receiver, const VectorTimestamp& acknowledgement) {
-    merge_and_increment(receiver, acknowledgement);
-    return vector_;
+    VectorTimestamp stamp(vector_.width());
+    on_ack_into(receiver, acknowledgement.components(),
+                stamp.mutable_components());
+    return stamp;
 }
 
 OnlineTimestamper::OnlineTimestamper(
@@ -61,6 +100,37 @@ OnlineTimestamper::OnlineTimestamper(
 
 std::size_t OnlineTimestamper::width() const noexcept {
     return decomposition_->size();
+}
+
+void OnlineTimestamper::reset() {
+    for (OnlineProcessClock& clock : clocks_) {
+        clock.reset();
+    }
+}
+
+void OnlineTimestamper::prepare_send(ProcessId sender,
+                                     std::span<std::uint64_t> out) {
+    SYNCTS_REQUIRE(sender < clocks_.size(), "process id out of range");
+    clocks_[sender].prepare_send_into(out);
+}
+
+void OnlineTimestamper::on_receive(ProcessId sender, ProcessId receiver,
+                                   std::span<const std::uint64_t> piggyback,
+                                   std::span<std::uint64_t> ack_out,
+                                   std::span<std::uint64_t> stamp_out) {
+    SYNCTS_REQUIRE(sender < clocks_.size() && receiver < clocks_.size(),
+                   "process id out of range");
+    SYNCTS_REQUIRE(sender != receiver, "no self-messages");
+    clocks_[receiver].on_receive_into(sender, piggyback, ack_out, stamp_out);
+}
+
+void OnlineTimestamper::on_ack(ProcessId sender, ProcessId receiver,
+                               std::span<const std::uint64_t> acknowledgement,
+                               std::span<std::uint64_t> stamp_out) {
+    SYNCTS_REQUIRE(sender < clocks_.size() && receiver < clocks_.size(),
+                   "process id out of range");
+    SYNCTS_REQUIRE(sender != receiver, "no self-messages");
+    clocks_[sender].on_ack_into(receiver, acknowledgement, stamp_out);
 }
 
 VectorTimestamp OnlineTimestamper::timestamp_message(ProcessId sender,

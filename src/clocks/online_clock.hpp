@@ -1,8 +1,11 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "clocks/clock_engine.hpp"
 #include "clocks/vector_timestamp.hpp"
 #include "decomp/edge_decomposition.hpp"
 #include "trace/computation.hpp"
@@ -19,9 +22,11 @@
 ///     m1 ↦ m2 ⟺ v(m1) < v(m2).
 ///
 /// OnlineProcessClock exposes the three protocol hooks exactly as a real
-/// transport would drive them (prepare_send / on_receive /
-/// on_acknowledgement); OnlineTimestamper drives all N clocks from a
-/// recorded SyncComputation for simulation and analysis.
+/// transport would drive them. The `*_into` span forms are the hot path:
+/// they write into caller-provided width-d slots (arena rows, packet
+/// buffers) and never allocate. The value-returning forms are compat
+/// shims over them. OnlineTimestamper drives all N clocks from a recorded
+/// SyncComputation and is the ClockFamily::online engine.
 
 namespace syncts {
 
@@ -34,12 +39,45 @@ public:
 
     ProcessId self() const noexcept { return self_; }
 
+    /// Timestamp width d.
+    std::size_t width() const noexcept { return vector_.width(); }
+
+    /// Returns the clock to its initial all-zero vector.
+    void reset() noexcept;
+
+    // ---- Non-allocating span hooks (the hot path) ---------------------
+
+    /// The current local vector as a read-only span of width() words.
+    std::span<const std::uint64_t> current_span() const noexcept {
+        return vector_.components();
+    }
+
+    /// Fig. 5 line (02): writes the vector to piggyback on an outgoing
+    /// message into `out` (width() words).
+    void prepare_send_into(std::span<std::uint64_t> out) const;
+
+    /// Fig. 5 lines (03)-(07), receiver side: writes the acknowledgement
+    /// vector (the local vector *before* the merge) into `ack_out`, then
+    /// merges the piggybacked vector, increments the channel group, and
+    /// writes the message timestamp into `stamp_out`.
+    void on_receive_into(ProcessId sender,
+                         std::span<const std::uint64_t> piggybacked,
+                         std::span<std::uint64_t> ack_out,
+                         std::span<std::uint64_t> stamp_out);
+
+    /// Fig. 5 lines (08)-(11), sender side: merges the acknowledgement,
+    /// increments, and writes the (identical) message timestamp into
+    /// `stamp_out`.
+    void on_ack_into(ProcessId receiver,
+                     std::span<const std::uint64_t> acknowledgement,
+                     std::span<std::uint64_t> stamp_out);
+
+    // ---- Value-returning compat shims ---------------------------------
+
     /// Fig. 5 line (02): the vector to piggyback on an outgoing message.
     const VectorTimestamp& prepare_send() const noexcept { return vector_; }
 
-    /// Fig. 5 lines (03)-(07), receiver side: returns the acknowledgement
-    /// vector to send back (the local vector *before* merging) and applies
-    /// merge + increment. The return value's second element is the message
+    /// Receiver side; the return value's second element is the message
     /// timestamp.
     struct ReceiveResult {
         VectorTimestamp acknowledgement;
@@ -48,9 +86,8 @@ public:
     ReceiveResult on_receive(ProcessId sender,
                              const VectorTimestamp& piggybacked);
 
-    /// Fig. 5 lines (08)-(11), sender side: merges the acknowledgement and
-    /// increments; returns the message timestamp (identical to the
-    /// receiver's).
+    /// Sender side: merges the acknowledgement and increments; returns the
+    /// message timestamp (identical to the receiver's).
     VectorTimestamp on_acknowledgement(ProcessId receiver,
                                        const VectorTimestamp& acknowledgement);
 
@@ -59,7 +96,8 @@ public:
     const VectorTimestamp& current() const noexcept { return vector_; }
 
 private:
-    void merge_and_increment(ProcessId peer, const VectorTimestamp& remote);
+    void merge_and_increment(ProcessId peer,
+                             std::span<const std::uint64_t> remote);
 
     ProcessId self_;
     std::shared_ptr<const EdgeDecomposition> decomposition_;
@@ -71,20 +109,45 @@ private:
 };
 
 /// Drives the Fig. 5 protocol over a whole system from recorded or
-/// incrementally appended messages.
-class OnlineTimestamper {
+/// incrementally appended messages; the ClockFamily::online engine.
+class OnlineTimestamper final : public ClockEngine {
 public:
     explicit OnlineTimestamper(
         std::shared_ptr<const EdgeDecomposition> decomposition);
 
-    /// Timestamp width d.
-    std::size_t width() const noexcept;
+    ClockFamily family() const noexcept override {
+        return ClockFamily::online;
+    }
 
-    /// Executes one rendezvous and returns the message timestamp.
+    /// Timestamp width d.
+    std::size_t width() const noexcept override;
+
+    std::size_t num_processes() const noexcept override {
+        return clocks_.size();
+    }
+
+    void reset() override;
+
+    void prepare_send(ProcessId sender,
+                      std::span<std::uint64_t> out) override;
+    void on_receive(ProcessId sender, ProcessId receiver,
+                    std::span<const std::uint64_t> piggyback,
+                    std::span<std::uint64_t> ack_out,
+                    std::span<std::uint64_t> stamp_out) override;
+    void on_ack(ProcessId sender, ProcessId receiver,
+                std::span<const std::uint64_t> acknowledgement,
+                std::span<std::uint64_t> stamp_out) override;
+
+    /// Arena-slot rendezvous driver from the base class.
+    using ClockEngine::timestamp_message;
+
+    /// Legacy allocating rendezvous: executes one rendezvous and returns
+    /// the message timestamp as an owning value.
     VectorTimestamp timestamp_message(ProcessId sender, ProcessId receiver);
 
-    /// Runs the whole computation; result[id] is message id's timestamp.
-    /// The computation's topology must match the decomposition's.
+    /// Legacy allocating batch driver; result[id] is message id's
+    /// timestamp. The computation's topology must match the
+    /// decomposition's.
     std::vector<VectorTimestamp> timestamp_computation(
         const SyncComputation& computation);
 

@@ -31,37 +31,49 @@ std::uint64_t decode_varint(std::span<const std::uint8_t> bytes,
                     "unreachable varint state");
 }
 
+void encode_timestamp_into(std::span<const std::uint64_t> components,
+                           std::vector<std::uint8_t>& out) {
+    out.clear();
+    encode_varint(components.size(), out);
+    for (const std::uint64_t component : components) {
+        encode_varint(component, out);
+    }
+}
+
 std::vector<std::uint8_t> encode_timestamp(const VectorTimestamp& stamp) {
     std::vector<std::uint8_t> out;
     out.reserve(1 + stamp.width());
-    encode_varint(stamp.width(), out);
-    for (const std::uint64_t component : stamp.components()) {
-        encode_varint(component, out);
-    }
+    encode_timestamp_into(stamp.components(), out);
     return out;
 }
 
 namespace {
 
-/// Shared tail of the two decode_timestamp overloads: decodes `width`
-/// components starting at `offset` and requires the input to end there.
-VectorTimestamp decode_components(std::span<const std::uint8_t> bytes,
-                                  std::size_t& offset, std::uint64_t width) {
+/// Shared tail of the timestamp decoders: checks the declared width
+/// against the destination, decodes into it, and requires the input to
+/// end at the end of the components.
+void decode_components_into(std::span<const std::uint8_t> bytes,
+                            std::size_t& offset, std::uint64_t width,
+                            std::span<std::uint64_t> out) {
+    if (width != out.size()) {
+        throw WireError(WireError::Kind::width_mismatch,
+                        "timestamp width " + std::to_string(width) +
+                            " does not match decomposition size " +
+                            std::to_string(out.size()));
+    }
     // Each component needs at least one byte; reject absurd widths before
-    // allocating.
+    // touching the components.
     if (width > bytes.size() - offset) {
         throw WireError(WireError::Kind::length_mismatch,
                         "timestamp width exceeds available bytes");
     }
-    std::vector<std::uint64_t> components(static_cast<std::size_t>(width));
-    for (auto& component : components) {
+    for (auto& component : out) {
         component = decode_varint(bytes, offset);
     }
     if (offset != bytes.size()) {
         throw WireError(WireError::Kind::trailing_bytes,
                         "trailing bytes after encoded timestamp");
     }
-    return VectorTimestamp(std::move(components));
 }
 
 }  // namespace
@@ -69,36 +81,54 @@ VectorTimestamp decode_components(std::span<const std::uint8_t> bytes,
 VectorTimestamp decode_timestamp(std::span<const std::uint8_t> bytes) {
     std::size_t offset = 0;
     const std::uint64_t width = decode_varint(bytes, offset);
-    return decode_components(bytes, offset, width);
+    // Pre-check as decode_components_into would, but against the declared
+    // width itself (no expected width to compare to).
+    if (width > bytes.size() - offset) {
+        throw WireError(WireError::Kind::length_mismatch,
+                        "timestamp width exceeds available bytes");
+    }
+    VectorTimestamp stamp(static_cast<std::size_t>(width));
+    decode_components_into(bytes, offset, width, stamp.mutable_components());
+    return stamp;
 }
 
 VectorTimestamp decode_timestamp(std::span<const std::uint8_t> bytes,
                                  std::size_t expected_width) {
-    std::size_t offset = 0;
-    const std::uint64_t width = decode_varint(bytes, offset);
-    if (width != expected_width) {
-        throw WireError(WireError::Kind::width_mismatch,
-                        "timestamp width " + std::to_string(width) +
-                            " does not match decomposition size " +
-                            std::to_string(expected_width));
-    }
-    return decode_components(bytes, offset, width);
+    VectorTimestamp stamp(expected_width);
+    decode_timestamp_into(bytes, stamp.mutable_components());
+    return stamp;
 }
 
-std::size_t encoded_size(const VectorTimestamp& stamp) {
-    const auto varint_size = [](std::uint64_t value) {
-        std::size_t size = 1;
-        while (value >= 0x80) {
-            value >>= 7;
-            ++size;
-        }
-        return size;
-    };
-    std::size_t total = varint_size(stamp.width());
-    for (const std::uint64_t component : stamp.components()) {
+void decode_timestamp_into(std::span<const std::uint8_t> bytes,
+                           std::span<std::uint64_t> out) {
+    std::size_t offset = 0;
+    const std::uint64_t width = decode_varint(bytes, offset);
+    decode_components_into(bytes, offset, width, out);
+}
+
+namespace {
+
+std::size_t varint_size(std::uint64_t value) noexcept {
+    std::size_t size = 1;
+    while (value >= 0x80) {
+        value >>= 7;
+        ++size;
+    }
+    return size;
+}
+
+}  // namespace
+
+std::size_t encoded_size(std::span<const std::uint64_t> components) {
+    std::size_t total = varint_size(components.size());
+    for (const std::uint64_t component : components) {
         total += varint_size(component);
     }
     return total;
+}
+
+std::size_t encoded_size(const VectorTimestamp& stamp) {
+    return encoded_size(stamp.components());
 }
 
 std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept {
@@ -116,13 +146,14 @@ constexpr std::size_t kChecksumBytes = 8;
 
 }  // namespace
 
-std::vector<std::uint8_t> encode_frame(const SyncFrame& frame) {
-    std::vector<std::uint8_t> out;
-    out.reserve(2 + 1 + frame.stamp.width() + kChecksumBytes);
-    encode_varint(frame.sequence, out);
-    encode_varint(frame.message, out);
-    encode_varint(frame.stamp.width(), out);
-    for (const std::uint64_t component : frame.stamp.components()) {
+void encode_frame_into(std::uint64_t sequence, std::uint64_t message,
+                       std::span<const std::uint64_t> stamp,
+                       std::vector<std::uint8_t>& out) {
+    out.clear();
+    encode_varint(sequence, out);
+    encode_varint(message, out);
+    encode_varint(stamp.size(), out);
+    for (const std::uint64_t component : stamp) {
         encode_varint(component, out);
     }
     std::uint64_t checksum = fnv1a64(out);
@@ -130,11 +161,18 @@ std::vector<std::uint8_t> encode_frame(const SyncFrame& frame) {
         out.push_back(static_cast<std::uint8_t>(checksum));
         checksum >>= 8;
     }
+}
+
+std::vector<std::uint8_t> encode_frame(const SyncFrame& frame) {
+    std::vector<std::uint8_t> out;
+    out.reserve(2 + 1 + frame.stamp.width() + kChecksumBytes);
+    encode_frame_into(frame.sequence, frame.message,
+                      frame.stamp.components(), out);
     return out;
 }
 
-SyncFrame decode_frame(std::span<const std::uint8_t> bytes,
-                       std::size_t expected_width) {
+FrameHeader decode_frame_into(std::span<const std::uint8_t> bytes,
+                              std::span<std::uint64_t> stamp_out) {
     // Minimum frame: three one-byte varints plus the checksum trailer.
     if (bytes.size() < 3 + kChecksumBytes) {
         throw WireError(WireError::Kind::truncated,
@@ -151,30 +189,39 @@ SyncFrame decode_frame(std::span<const std::uint8_t> bytes,
         throw WireError(WireError::Kind::checksum_mismatch,
                         "frame checksum mismatch");
     }
-    SyncFrame frame;
+    FrameHeader header;
     std::size_t offset = 0;
-    frame.sequence = decode_varint(payload, offset);
-    frame.message = decode_varint(payload, offset);
+    header.sequence = decode_varint(payload, offset);
+    header.message = decode_varint(payload, offset);
     const std::uint64_t width = decode_varint(payload, offset);
-    if (width != expected_width) {
+    if (width != stamp_out.size()) {
         throw WireError(WireError::Kind::width_mismatch,
                         "frame timestamp width " + std::to_string(width) +
                             " does not match decomposition size " +
-                            std::to_string(expected_width));
+                            std::to_string(stamp_out.size()));
     }
     if (width > payload.size() - offset) {
         throw WireError(WireError::Kind::length_mismatch,
                         "frame timestamp width exceeds available bytes");
     }
-    std::vector<std::uint64_t> components(static_cast<std::size_t>(width));
-    for (auto& component : components) {
+    for (auto& component : stamp_out) {
         component = decode_varint(payload, offset);
     }
     if (offset != payload.size()) {
         throw WireError(WireError::Kind::trailing_bytes,
                         "trailing bytes inside frame payload");
     }
-    frame.stamp = VectorTimestamp(std::move(components));
+    return header;
+}
+
+SyncFrame decode_frame(std::span<const std::uint8_t> bytes,
+                       std::size_t expected_width) {
+    SyncFrame frame;
+    frame.stamp = VectorTimestamp(expected_width);
+    const FrameHeader header =
+        decode_frame_into(bytes, frame.stamp.mutable_components());
+    frame.sequence = header.sequence;
+    frame.message = header.message;
     return frame;
 }
 

@@ -63,6 +63,11 @@ std::uint64_t decode_varint(std::span<const std::uint8_t> bytes,
 /// Serializes width + components.
 std::vector<std::uint8_t> encode_timestamp(const VectorTimestamp& stamp);
 
+/// Span form: replaces the contents of `out` (capacity is reused, so a
+/// caller-kept buffer makes the steady state allocation-free).
+void encode_timestamp_into(std::span<const std::uint64_t> components,
+                           std::vector<std::uint8_t>& out);
+
 /// Inverse of encode_timestamp. Throws WireError on malformed input or
 /// trailing bytes.
 VectorTimestamp decode_timestamp(std::span<const std::uint8_t> bytes);
@@ -75,8 +80,14 @@ VectorTimestamp decode_timestamp(std::span<const std::uint8_t> bytes);
 VectorTimestamp decode_timestamp(std::span<const std::uint8_t> bytes,
                                  std::size_t expected_width);
 
+/// Span form of the width-checked decode: writes the components into
+/// `out` (whose size is the expected width d). Nothing is allocated.
+void decode_timestamp_into(std::span<const std::uint8_t> bytes,
+                           std::span<std::uint64_t> out);
+
 /// Exact encoded size without materializing the bytes.
 std::size_t encoded_size(const VectorTimestamp& stamp);
+std::size_t encoded_size(std::span<const std::uint64_t> components);
 
 /// FNV-1a 64-bit hash of `bytes` — the frame checksum.
 std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept;
@@ -94,9 +105,28 @@ struct SyncFrame {
 /// 8-byte little-endian FNV-1a 64 checksum of everything before it.
 std::vector<std::uint8_t> encode_frame(const SyncFrame& frame);
 
+/// Span form: frames `stamp` (an arena row or clock span) with the given
+/// header, replacing the contents of `out`. Capacity is reused — the
+/// synchronizer's per-packet steady state allocates nothing.
+void encode_frame_into(std::uint64_t sequence, std::uint64_t message,
+                       std::span<const std::uint64_t> stamp,
+                       std::vector<std::uint8_t>& out);
+
 /// Inverse of encode_frame; validates length, checksum, and that the
 /// timestamp width equals `expected_width`. Throws WireError.
 SyncFrame decode_frame(std::span<const std::uint8_t> bytes,
                        std::size_t expected_width);
+
+/// Frame header fields, decoupled from timestamp storage.
+struct FrameHeader {
+    std::uint64_t sequence = 0;
+    std::uint64_t message = 0;
+};
+
+/// Span form of decode_frame: validates as decode_frame with
+/// expected_width = stamp_out.size(), writes the components into
+/// `stamp_out`, and returns the header. Nothing is allocated.
+FrameHeader decode_frame_into(std::span<const std::uint8_t> bytes,
+                              std::span<std::uint64_t> stamp_out);
 
 }  // namespace syncts

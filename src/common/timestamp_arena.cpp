@@ -1,0 +1,48 @@
+#include "common/timestamp_arena.hpp"
+
+namespace syncts {
+
+void leq_many(const TimestampArena& arena,
+              std::span<const std::uint64_t> probe,
+              std::span<std::uint8_t> out) {
+    SYNCTS_REQUIRE(probe.size() == arena.width(),
+                   "probe width does not match the arena width");
+    SYNCTS_REQUIRE(out.size() == arena.size(),
+                   "output size does not match the slot count");
+    const std::size_t width = arena.width();
+    const std::span<const std::uint64_t> slab = arena.slab();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = ts::leq(probe, slab.subspan(i * width, width)) ? 1 : 0;
+    }
+}
+
+void relate_many(const TimestampArena& arena,
+                 std::span<const std::uint64_t> probe,
+                 std::span<std::uint8_t> out) {
+    SYNCTS_REQUIRE(probe.size() == arena.width(),
+                   "probe width does not match the arena width");
+    SYNCTS_REQUIRE(out.size() == arena.size(),
+                   "output size does not match the slot count");
+    const std::size_t width = arena.width();
+    const std::span<const std::uint64_t> slab = arena.slab();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = ts::relate(slab.subspan(i * width, width), probe);
+    }
+}
+
+std::vector<TsHandle> dominators_of(const TimestampArena& arena,
+                                    std::span<const std::uint64_t> probe) {
+    SYNCTS_REQUIRE(probe.size() == arena.width(),
+                   "probe width does not match the arena width");
+    std::vector<TsHandle> result;
+    const std::size_t width = arena.width();
+    const std::span<const std::uint64_t> slab = arena.slab();
+    for (std::size_t i = 0; i < arena.size(); ++i) {
+        if (ts::less(probe, slab.subspan(i * width, width))) {
+            result.push_back(static_cast<TsHandle>(i));
+        }
+    }
+    return result;
+}
+
+}  // namespace syncts

@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/ts_kernels.hpp"
+
+/// \file timestamp_arena.hpp
+/// Arena storage for vector timestamps: one flat std::uint64_t slab per
+/// system instead of one heap vector per timestamp.
+///
+/// Every timestamp in a system shares one width (d for the online
+/// algorithm, N for the Fidge–Mattern baselines, width(P) offline), so the
+/// arena stores the width once and packs the components of slot h at
+/// slab[h*width .. (h+1)*width). Handles are plain 32-bit slot indices —
+/// stable across growth (the slab may reallocate, but handles index rows,
+/// not addresses), trivially serializable, and half the size of a pointer
+/// in the structures that hold them (TimestampedTrace keeps one per
+/// message).
+///
+/// The layout flattens what used to be a std::vector<VectorTimestamp> —
+/// M separate allocations, each with its own capacity/size header and
+/// pointer chase — into a single structure-of-arrays slab with zero
+/// per-timestamp overhead, so the batch precedence kernels (leq_many,
+/// relate_many, dominators_of) stream rows at memory bandwidth.
+///
+/// Spans returned by span()/row() are invalidated by allocate()/reserve()
+/// (slab growth may reallocate); re-fetch after any allocation, exactly as
+/// with std::vector iterators.
+
+namespace syncts {
+
+/// Index of a timestamp slot within a TimestampArena, 0-based, dense.
+using TsHandle = std::uint32_t;
+
+/// Sentinel for "no timestamp slot".
+inline constexpr TsHandle kNoTimestamp =
+    std::numeric_limits<TsHandle>::max();
+
+class TimestampArena {
+public:
+    /// Arena for timestamps of `width` components each; optionally
+    /// pre-reserves room for `reserve_slots` slots.
+    explicit TimestampArena(std::size_t width, std::size_t reserve_slots = 0)
+        : width_(width) {
+        slab_.reserve(width_ * reserve_slots);
+    }
+
+    /// Components per timestamp (fixed for the arena's lifetime).
+    std::size_t width() const noexcept { return width_; }
+
+    /// Number of allocated slots.
+    std::size_t size() const noexcept {
+        return width_ == 0 ? zero_width_slots_ : slab_.size() / width_;
+    }
+
+    /// Slots the slab can hold before reallocating.
+    std::size_t capacity() const noexcept {
+        return width_ == 0 ? zero_width_slots_ : slab_.capacity() / width_;
+    }
+
+    /// Pre-grows the slab to hold at least `slots` slots.
+    void reserve(std::size_t slots) { slab_.reserve(slots * width_); }
+
+    /// Allocates one zero-initialized slot and returns its handle.
+    TsHandle allocate() {
+        const std::size_t slot = size();
+        SYNCTS_REQUIRE(slot < kNoTimestamp, "timestamp arena full");
+        if (width_ == 0) {
+            ++zero_width_slots_;
+        } else {
+            slab_.resize(slab_.size() + width_, 0);
+        }
+        return static_cast<TsHandle>(slot);
+    }
+
+    /// Allocates one slot holding a copy of `components` (width must
+    /// match).
+    TsHandle allocate(std::span<const std::uint64_t> components) {
+        SYNCTS_REQUIRE(components.size() == width_,
+                       "component count does not match the arena width");
+        const TsHandle h = allocate();
+        ts::copy(span(h), components);
+        return h;
+    }
+
+    /// Mutable view of slot h's components.
+    std::span<std::uint64_t> span(TsHandle h) {
+        SYNCTS_REQUIRE(h < size(), "timestamp handle out of range");
+        return {slab_.data() + static_cast<std::size_t>(h) * width_, width_};
+    }
+
+    /// Read-only view of slot h's components.
+    std::span<const std::uint64_t> span(TsHandle h) const {
+        SYNCTS_REQUIRE(h < size(), "timestamp handle out of range");
+        return {slab_.data() + static_cast<std::size_t>(h) * width_, width_};
+    }
+
+    /// Drops every slot but keeps the slab's capacity — the steady-state
+    /// reuse path (no allocation on the next size() allocations up to
+    /// capacity()).
+    void clear() noexcept {
+        slab_.clear();
+        zero_width_slots_ = 0;
+    }
+
+    /// The whole slab (row h at [h*width, (h+1)*width)) — for bulk
+    /// serialization and the batch kernels.
+    std::span<const std::uint64_t> slab() const noexcept { return slab_; }
+
+    friend bool operator==(const TimestampArena&,
+                           const TimestampArena&) = default;
+
+private:
+    std::size_t width_;
+    std::vector<std::uint64_t> slab_;
+    /// Width-0 arenas (degenerate but legal: empty realizers) have no slab
+    /// bytes, so the slot count is tracked explicitly.
+    std::size_t zero_width_slots_ = 0;
+};
+
+/// out[i] = (probe ≤ slot i), for every slot. `out.size()` must equal
+/// `arena.size()`. The batch form of the Section 2 ≤ test.
+void leq_many(const TimestampArena& arena,
+              std::span<const std::uint64_t> probe,
+              std::span<std::uint8_t> out);
+
+/// out[i] = ts::relate(slot i, probe) (bit kRowLeq: slot ≤ probe, bit
+/// kProbeLeq: probe ≤ slot) — one pass answering before/after/equal/
+/// concurrent for probe vs every slot.
+void relate_many(const TimestampArena& arena,
+                 std::span<const std::uint64_t> probe,
+                 std::span<std::uint8_t> out);
+
+/// Handles of every slot whose timestamp strictly dominates `probe`
+/// (probe < slot in the vector order) — "everything causally after
+/// probe", the building block of frontier/orphan queries.
+std::vector<TsHandle> dominators_of(const TimestampArena& arena,
+                                    std::span<const std::uint64_t> probe);
+
+}  // namespace syncts

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+/// \file ts_kernels.hpp
+/// The innermost timestamp kernels: every vector-order operation of
+/// Equation (2), expressed over raw component spans so the same code path
+/// serves the legacy VectorTimestamp value type, TimestampArena rows, and
+/// decoded wire payloads without copying into an owning object first.
+///
+/// The kernels assume the caller has already matched widths (the public
+/// wrappers — VectorTimestamp methods, TimestampArena ops — validate and
+/// throw); here a mismatch is a programming error, kept cheap so the
+/// per-message hot path of Fig. 5 is a handful of straight-line loops the
+/// compiler can unroll and vectorize.
+
+namespace syncts::ts {
+
+/// dst[k] = max(dst[k], src[k]) — the merge of Fig. 5 lines (05)/(09).
+inline void join(std::span<std::uint64_t> dst,
+                 std::span<const std::uint64_t> src) noexcept {
+    for (std::size_t k = 0; k < dst.size(); ++k) {
+        if (src[k] > dst[k]) dst[k] = src[k];
+    }
+}
+
+/// dst = src (widths equal).
+inline void copy(std::span<std::uint64_t> dst,
+                 std::span<const std::uint64_t> src) noexcept {
+    for (std::size_t k = 0; k < dst.size(); ++k) dst[k] = src[k];
+}
+
+/// dst = max(a, b) — join without clobbering either input.
+inline void join_into(std::span<std::uint64_t> dst,
+                      std::span<const std::uint64_t> a,
+                      std::span<const std::uint64_t> b) noexcept {
+    for (std::size_t k = 0; k < dst.size(); ++k) {
+        dst[k] = a[k] > b[k] ? a[k] : b[k];
+    }
+}
+
+inline void zero(std::span<std::uint64_t> v) noexcept {
+    for (auto& c : v) c = 0;
+}
+
+/// v[k]++ — Fig. 5 lines (06)/(10).
+inline void increment(std::span<std::uint64_t> v, std::size_t k) noexcept {
+    ++v[k];
+}
+
+inline bool equal(std::span<const std::uint64_t> u,
+                  std::span<const std::uint64_t> v) noexcept {
+    for (std::size_t k = 0; k < u.size(); ++k) {
+        if (u[k] != v[k]) return false;
+    }
+    return true;
+}
+
+/// Component-wise ≤ (reflexive).
+inline bool leq(std::span<const std::uint64_t> u,
+                std::span<const std::uint64_t> v) noexcept {
+    for (std::size_t k = 0; k < u.size(); ++k) {
+        if (u[k] > v[k]) return false;
+    }
+    return true;
+}
+
+/// The strict vector order of Equation (2):
+///     u < v ⟺ (∀k: u[k] ≤ v[k]) ∧ (∃j: u[j] < v[j]).
+inline bool less(std::span<const std::uint64_t> u,
+                 std::span<const std::uint64_t> v) noexcept {
+    bool strict = false;
+    for (std::size_t k = 0; k < u.size(); ++k) {
+        if (u[k] > v[k]) return false;
+        if (u[k] < v[k]) strict = true;
+    }
+    return strict;
+}
+
+/// Neither u ≤ v nor v ≤ u (so in particular u ≠ v).
+inline bool concurrent(std::span<const std::uint64_t> u,
+                       std::span<const std::uint64_t> v) noexcept {
+    bool u_above = false;  // some u[k] > v[k]
+    bool v_above = false;  // some v[k] > u[k]
+    for (std::size_t k = 0; k < u.size(); ++k) {
+        if (u[k] > v[k]) u_above = true;
+        if (v[k] > u[k]) v_above = true;
+        if (u_above && v_above) return true;
+    }
+    return false;
+}
+
+/// Sum of components — a cheap proxy for "how much causal history".
+inline std::uint64_t total(std::span<const std::uint64_t> v) noexcept {
+    std::uint64_t sum = 0;
+    for (const auto c : v) sum += c;
+    return sum;
+}
+
+/// Bit flags produced by relate(): how `row` compares to `probe`.
+/// relate(row, probe) == kRowLeq | kProbeLeq ⟺ equal; == kRowLeq ⟺
+/// row < probe; == kProbeLeq ⟺ probe < row; == 0 ⟺ concurrent.
+inline constexpr std::uint8_t kRowLeq = 1;    ///< row ≤ probe
+inline constexpr std::uint8_t kProbeLeq = 2;  ///< probe ≤ row
+
+/// One-pass three-way relation, the building block of the batch kernels.
+inline std::uint8_t relate(std::span<const std::uint64_t> row,
+                           std::span<const std::uint64_t> probe) noexcept {
+    std::uint8_t flags = kRowLeq | kProbeLeq;
+    for (std::size_t k = 0; k < row.size(); ++k) {
+        if (row[k] > probe[k]) flags &= static_cast<std::uint8_t>(~kRowLeq);
+        if (probe[k] > row[k]) flags &= static_cast<std::uint8_t>(~kProbeLeq);
+        if (flags == 0) return 0;
+    }
+    return flags;
+}
+
+}  // namespace syncts::ts

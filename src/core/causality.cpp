@@ -1,12 +1,24 @@
 #include "core/causality.hpp"
 
+#include "common/check.hpp"
+#include "common/ts_kernels.hpp"
+
 namespace syncts {
 
 Order compare(const VectorTimestamp& a, const VectorTimestamp& b) {
-    if (a == b) return Order::equal;
-    if (a.less(b)) return Order::before;
-    if (b.less(a)) return Order::after;
-    return Order::concurrent;
+    return compare(a.components(), b.components());
+}
+
+Order compare(std::span<const std::uint64_t> a,
+              std::span<const std::uint64_t> b) {
+    SYNCTS_REQUIRE(a.size() == b.size(),
+                   "comparing timestamps of different widths");
+    switch (ts::relate(a, b)) {
+        case ts::kRowLeq | ts::kProbeLeq: return Order::equal;
+        case ts::kRowLeq: return Order::before;
+        case ts::kProbeLeq: return Order::after;
+        default: return Order::concurrent;
+    }
 }
 
 const char* to_string(Order order) {
@@ -29,6 +41,19 @@ std::size_t count_concurrent_pairs(std::span<const VectorTimestamp> stamps) {
     return count;
 }
 
+std::size_t count_concurrent_pairs(const TimestampArena& stamps) {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < stamps.size(); ++i) {
+        const auto row = stamps.span(static_cast<TsHandle>(i));
+        for (std::size_t j = i + 1; j < stamps.size(); ++j) {
+            if (ts::concurrent(row, stamps.span(static_cast<TsHandle>(j)))) {
+                ++count;
+            }
+        }
+    }
+    return count;
+}
+
 std::size_t encoding_mismatches(const Poset& poset,
                                 std::span<const VectorTimestamp> stamps) {
     std::size_t mismatches = 0;
@@ -36,6 +61,21 @@ std::size_t encoding_mismatches(const Poset& poset,
         for (std::size_t b = 0; b < stamps.size(); ++b) {
             if (a == b) continue;
             if (poset.less(a, b) != stamps[a].less(stamps[b])) ++mismatches;
+        }
+    }
+    return mismatches;
+}
+
+std::size_t encoding_mismatches(const Poset& poset,
+                                const TimestampArena& stamps) {
+    std::size_t mismatches = 0;
+    for (std::size_t a = 0; a < stamps.size(); ++a) {
+        const auto row = stamps.span(static_cast<TsHandle>(a));
+        for (std::size_t b = 0; b < stamps.size(); ++b) {
+            if (a == b) continue;
+            const bool stamp_less =
+                ts::less(row, stamps.span(static_cast<TsHandle>(b)));
+            if (poset.less(a, b) != stamp_less) ++mismatches;
         }
     }
     return mismatches;
@@ -53,10 +93,30 @@ std::size_t consistency_violations(const Poset& poset,
     return violations;
 }
 
+std::size_t consistency_violations(const Poset& poset,
+                                   const TimestampArena& stamps) {
+    std::size_t violations = 0;
+    for (std::size_t a = 0; a < stamps.size(); ++a) {
+        const auto row = stamps.span(static_cast<TsHandle>(a));
+        for (std::size_t b = 0; b < stamps.size(); ++b) {
+            if (a == b) continue;
+            if (poset.less(a, b) &&
+                !ts::less(row, stamps.span(static_cast<TsHandle>(b)))) {
+                ++violations;
+            }
+        }
+    }
+    return violations;
+}
+
 std::size_t total_components(std::span<const VectorTimestamp> stamps) {
     std::size_t total = 0;
     for (const auto& s : stamps) total += s.width();
     return total;
+}
+
+std::size_t total_components(const TimestampArena& stamps) {
+    return stamps.size() * stamps.width();
 }
 
 }  // namespace syncts

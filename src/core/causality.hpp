@@ -5,12 +5,15 @@
 #include <vector>
 
 #include "clocks/vector_timestamp.hpp"
+#include "common/timestamp_arena.hpp"
 #include "poset/poset.hpp"
 
 /// \file causality.hpp
 /// Free-standing causality utilities over collections of vector
 /// timestamps: the O(d) precedence test of Section 2 plus bulk validation
-/// helpers used by the test suite and the benchmark harness.
+/// helpers used by the test suite and the benchmark harness. Every helper
+/// has an arena form (flat slab, batch kernels) and a materialized
+/// std::span<const VectorTimestamp> compat form.
 
 namespace syncts {
 
@@ -19,25 +22,35 @@ enum class Order { before, after, concurrent, equal };
 
 Order compare(const VectorTimestamp& a, const VectorTimestamp& b);
 
+/// Span form; widths must match.
+Order compare(std::span<const std::uint64_t> a,
+              std::span<const std::uint64_t> b);
+
 const char* to_string(Order order);
 
 /// Number of unordered pairs {i, j} whose stamps are concurrent.
 std::size_t count_concurrent_pairs(std::span<const VectorTimestamp> stamps);
+std::size_t count_concurrent_pairs(const TimestampArena& stamps);
 
 /// Checks that the timestamps encode the poset exactly
 /// (poset.less(a,b) ⟺ stamps[a] < stamps[b] for all pairs). Returns the
 /// number of disagreeing ordered pairs; 0 means the encoding is exact.
 std::size_t encoding_mismatches(const Poset& poset,
                                 std::span<const VectorTimestamp> stamps);
+std::size_t encoding_mismatches(const Poset& poset,
+                                const TimestampArena& stamps);
 
 /// Like encoding_mismatches but only checks soundness of the ⟸ direction
 /// plausible for one-way clocks (Lamport): poset.less(a,b) ⟹
 /// stamps[a] < stamps[b]. Returns violations.
 std::size_t consistency_violations(const Poset& poset,
                                    std::span<const VectorTimestamp> stamps);
+std::size_t consistency_violations(const Poset& poset,
+                                   const TimestampArena& stamps);
 
 /// Total piggyback cost in components (width × message count) — the
 /// overhead metric of Section 3.2 (O(d) per message vs FM's O(N)).
 std::size_t total_components(std::span<const VectorTimestamp> stamps);
+std::size_t total_components(const TimestampArena& stamps);
 
 }  // namespace syncts

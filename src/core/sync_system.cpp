@@ -47,6 +47,11 @@ OnlineTimestamper SyncSystem::make_timestamper() const {
     return OnlineTimestamper(decomposition_);
 }
 
+std::unique_ptr<ClockEngine> SyncSystem::make_engine(
+    ClockFamily family) const {
+    return make_clock_engine(family, decomposition_);
+}
+
 TimestampedNetwork SyncSystem::make_network() const {
     return TimestampedNetwork(decomposition_);
 }
@@ -63,8 +68,11 @@ TimestampedTrace SyncSystem::analyze(const SyncComputation& computation) const {
         computation.num_processes() == num_processes(),
         "computation and system disagree on the number of processes");
     OnlineTimestamper timestamper = make_timestamper();
-    return TimestampedTrace(computation,
-                            timestamper.timestamp_computation(computation));
+    // Replay straight into the trace's arena: slot m = message m (the
+    // online family stamps messages only, in message order).
+    TimestampArena arena(timestamper.width(), computation.num_messages());
+    timestamper.stamp_messages(computation, arena);
+    return TimestampedTrace(computation, std::move(arena));
 }
 
 }  // namespace syncts

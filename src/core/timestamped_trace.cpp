@@ -8,30 +8,66 @@
 
 namespace syncts {
 
+namespace {
+
+TimestampArena pack_stamps(const std::vector<VectorTimestamp>& stamps) {
+    const std::size_t width = stamps.empty() ? 0 : stamps.front().width();
+    TimestampArena arena(width, stamps.size());
+    for (const VectorTimestamp& stamp : stamps) {
+        SYNCTS_REQUIRE(stamp.width() == width,
+                       "all message timestamps must share one width");
+        arena.allocate(stamp.components());
+    }
+    return arena;
+}
+
+}  // namespace
+
 TimestampedTrace::TimestampedTrace(SyncComputation computation,
-                                   std::vector<VectorTimestamp> message_stamps)
-    : computation_(std::move(computation)), stamps_(std::move(message_stamps)) {
+                                   TimestampArena stamps)
+    : computation_(std::move(computation)), stamps_(std::move(stamps)) {
     SYNCTS_REQUIRE(stamps_.size() == computation_.num_messages(),
                    "one timestamp per message required");
 }
 
-const VectorTimestamp& TimestampedTrace::timestamp(MessageId m) const {
-    SYNCTS_REQUIRE(m < stamps_.size(), "message id out of range");
-    return stamps_[m];
+TimestampedTrace::TimestampedTrace(SyncComputation computation,
+                                   std::vector<VectorTimestamp> message_stamps)
+    : TimestampedTrace(std::move(computation), pack_stamps(message_stamps)) {}
+
+VectorTimestamp TimestampedTrace::timestamp(MessageId m) const {
+    return VectorTimestamp(stamps_.span(m));
 }
 
 bool TimestampedTrace::precedes(MessageId m1, MessageId m2) const {
-    return timestamp(m1).less(timestamp(m2));
+    return ts::less(stamps_.span(m1), stamps_.span(m2));
 }
 
 bool TimestampedTrace::concurrent(MessageId m1, MessageId m2) const {
-    return m1 != m2 && timestamp(m1).concurrent_with(timestamp(m2));
+    return m1 != m2 && ts::concurrent(stamps_.span(m1), stamps_.span(m2));
+}
+
+std::span<const std::uint8_t> TimestampedTrace::relate_row(
+    MessageId m) const {
+    relate_scratch_.resize(stamps_.size());
+    relate_many(stamps_, stamps_.span(m), relate_scratch_);
+    return relate_scratch_;
 }
 
 std::vector<MessageId> TimestampedTrace::concurrent_with(MessageId m) const {
+    const std::span<const std::uint8_t> flags = relate_row(m);
     std::vector<MessageId> result;
-    for (MessageId other = 0; other < stamps_.size(); ++other) {
-        if (other != m && concurrent(m, other)) result.push_back(other);
+    for (MessageId other = 0; other < flags.size(); ++other) {
+        if (other != m && flags[other] == 0) result.push_back(other);
+    }
+    return result;
+}
+
+std::vector<MessageId> TimestampedTrace::successors_of(MessageId m) const {
+    // probe = stamp(m); kProbeLeq alone ⇒ stamp(m) < stamp(other).
+    const std::span<const std::uint8_t> flags = relate_row(m);
+    std::vector<MessageId> result;
+    for (MessageId other = 0; other < flags.size(); ++other) {
+        if (flags[other] == ts::kProbeLeq) result.push_back(other);
     }
     return result;
 }
@@ -39,9 +75,12 @@ std::vector<MessageId> TimestampedTrace::concurrent_with(MessageId m) const {
 std::vector<MessageId> TimestampedTrace::minimal_messages() const {
     std::vector<MessageId> result;
     for (MessageId m = 0; m < stamps_.size(); ++m) {
+        // Minimal ⇔ no other stamp is strictly below m's (flag kRowLeq
+        // alone).
+        const std::span<const std::uint8_t> flags = relate_row(m);
         bool minimal = true;
-        for (MessageId other = 0; other < stamps_.size() && minimal; ++other) {
-            if (other != m && precedes(other, m)) minimal = false;
+        for (MessageId other = 0; other < flags.size() && minimal; ++other) {
+            if (other != m && flags[other] == ts::kRowLeq) minimal = false;
         }
         if (minimal) result.push_back(m);
     }
@@ -51,9 +90,10 @@ std::vector<MessageId> TimestampedTrace::minimal_messages() const {
 std::vector<MessageId> TimestampedTrace::maximal_messages() const {
     std::vector<MessageId> result;
     for (MessageId m = 0; m < stamps_.size(); ++m) {
+        const std::span<const std::uint8_t> flags = relate_row(m);
         bool maximal = true;
-        for (MessageId other = 0; other < stamps_.size() && maximal; ++other) {
-            if (other != m && precedes(m, other)) maximal = false;
+        for (MessageId other = 0; other < flags.size() && maximal; ++other) {
+            if (other != m && flags[other] == ts::kProbeLeq) maximal = false;
         }
         if (maximal) result.push_back(m);
     }
@@ -62,9 +102,10 @@ std::vector<MessageId> TimestampedTrace::maximal_messages() const {
 
 std::size_t TimestampedTrace::concurrent_pair_count() const {
     std::size_t count = 0;
-    for (MessageId a = 0; a < stamps_.size(); ++a) {
-        for (MessageId b = a + 1; b < stamps_.size(); ++b) {
-            if (concurrent(a, b)) ++count;
+    for (MessageId m = 0; m < stamps_.size(); ++m) {
+        const std::span<const std::uint8_t> flags = relate_row(m);
+        for (MessageId other = m + 1; other < flags.size(); ++other) {
+            if (flags[other] == 0) ++count;
         }
     }
     return count;
@@ -87,7 +128,7 @@ std::string TimestampedTrace::to_string() const {
     for (MessageId m = 0; m < stamps_.size(); ++m) {
         const SyncMessage& msg = computation_.message(m);
         os << 'm' << (m + 1) << ": P" << (msg.sender + 1) << " -> P"
-           << (msg.receiver + 1) << "  " << stamps_[m].to_string() << '\n';
+           << (msg.receiver + 1) << "  " << timestamp(m).to_string() << '\n';
     }
     return os.str();
 }

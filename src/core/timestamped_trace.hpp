@@ -1,10 +1,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "clocks/vector_timestamp.hpp"
+#include "common/timestamp_arena.hpp"
 #include "trace/computation.hpp"
 
 /// \file timestamped_trace.hpp
@@ -12,11 +15,21 @@
 /// the paper motivates (Section 1: monitoring, debugging visualization,
 /// orphan detection). All queries are O(d) vector comparisons — no graph
 /// search at query time, which is the whole point of timestamping.
+///
+/// Stamps live in one TimestampArena (slot m = message m's timestamp), so
+/// the whole-trace scans (concurrent_with, minimal/maximal fronts,
+/// concurrent_pair_count) stream the flat slab through the batch kernels
+/// instead of chasing one heap vector per message.
 
 namespace syncts {
 
 class TimestampedTrace {
 public:
+    /// Adopts an arena whose slot m holds message m's timestamp.
+    TimestampedTrace(SyncComputation computation, TimestampArena stamps);
+
+    /// Compat shim: packs materialized stamps (one per message, uniform
+    /// width) into a fresh arena.
     TimestampedTrace(SyncComputation computation,
                      std::vector<VectorTimestamp> message_stamps);
 
@@ -27,7 +40,19 @@ public:
         return computation_.num_messages();
     }
 
-    const VectorTimestamp& timestamp(MessageId m) const;
+    /// Components per timestamp.
+    std::size_t width() const noexcept { return stamps_.width(); }
+
+    /// The arena holding every stamp (slot m = message m).
+    const TimestampArena& stamps() const noexcept { return stamps_; }
+
+    /// Message m's components, zero-copy.
+    std::span<const std::uint64_t> stamp_span(MessageId m) const {
+        return stamps_.span(m);
+    }
+
+    /// Message m's timestamp as an owning value (compat shim).
+    VectorTimestamp timestamp(MessageId m) const;
 
     /// m1 ↦ m2, answered from the timestamps.
     bool precedes(MessageId m1, MessageId m2) const;
@@ -35,8 +60,12 @@ public:
     /// m1 ‖ m2 (distinct, neither precedes the other).
     bool concurrent(MessageId m1, MessageId m2) const;
 
-    /// All messages concurrent with m.
+    /// All messages concurrent with m. One batch relate_many pass.
     std::vector<MessageId> concurrent_with(MessageId m) const;
+
+    /// All messages strictly after m (m ↦ m') — the paper's "orphan"
+    /// query direction. One batch pass.
+    std::vector<MessageId> successors_of(MessageId m) const;
 
     /// Messages m with no m' ↦ m (the computation's first wave).
     std::vector<MessageId> minimal_messages() const;
@@ -57,8 +86,14 @@ public:
     std::string to_string() const;
 
 private:
+    /// relate_many of message m's stamp vs every slot, into scratch;
+    /// returns the flag view.
+    std::span<const std::uint8_t> relate_row(MessageId m) const;
+
     SyncComputation computation_;
-    std::vector<VectorTimestamp> stamps_;
+    TimestampArena stamps_;
+    /// Reusable flag buffer for the batch scans (one byte per message).
+    mutable std::vector<std::uint8_t> relate_scratch_;
 };
 
 }  // namespace syncts

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "clocks/event_timestamp.hpp"
+#include "common/timestamp_arena.hpp"
 #include "decomp/edge_decomposition.hpp"
 #include "runtime/process.hpp"
 #include "trace/computation.hpp"
@@ -62,6 +63,10 @@ struct RunRecord {
 
     /// notes[i] — the user note attached to internal event i.
     std::vector<std::string> internal_notes;
+
+    /// The message stamps packed into one flat arena (slot m = message m)
+    /// for the batch precedence kernels / TimestampedTrace.
+    TimestampArena stamp_arena() const;
 };
 
 class TimestampedNetwork {

@@ -8,6 +8,8 @@
 
 #include "clocks/wire.hpp"
 #include "common/check.hpp"
+#include "common/timestamp_arena.hpp"
+#include "common/ts_kernels.hpp"
 #include "runtime/async_sim.hpp"
 
 namespace syncts {
@@ -60,6 +62,12 @@ struct Engine {
     std::unordered_map<ProcessId, std::uint64_t> next_sequence;
     /// Incoming-channel state by sender.
     std::unordered_map<ProcessId, InChannel> in;
+    /// Width-d scratch for the span protocol hooks: decoded inbound
+    /// stamp, outbound acknowledgement, committed timestamp. Sized once
+    /// at setup so the per-packet path allocates nothing.
+    std::vector<std::uint64_t> rx_stamp;
+    std::vector<std::uint64_t> ack_scratch;
+    std::vector<std::uint64_t> stamp_scratch;
 };
 
 }  // namespace
@@ -102,6 +110,9 @@ SynchronizerResult run_rendezvous_protocol(
         }
         engines[p].clock =
             std::make_unique<OnlineProcessClock>(p, decomposition);
+        engines[p].rx_stamp.resize(d);
+        engines[p].ack_scratch.resize(d);
+        engines[p].stamp_scratch.resize(d);
     }
 
     SynchronizerResult result{
@@ -112,7 +123,12 @@ SynchronizerResult run_rendezvous_protocol(
         .packets = 0,
         .protocol = {},
         .network_faults = {}};
-    std::vector<VectorTimestamp> stamp_by_script(script.num_messages());
+    // Committed stamps live in one arena (slot = realized-message index);
+    // handle_by_script maps script ids to slots for the sender-side
+    // cross-check.
+    TimestampArena stamp_arena(d, script.num_messages());
+    std::vector<TsHandle> handle_by_script(script.num_messages(),
+                                           kNoTimestamp);
 
     // Re-arms the retransmission timer for the sender's current
     // outstanding REQ. Timers are never cancelled; a fired timer checks
@@ -172,9 +188,9 @@ SynchronizerResult run_rendezvous_protocol(
                     req.source = p;
                     req.destination = m.receiver;
                     req.kind = kReq;
-                    req.tag = mid;
-                    req.body = encode_frame(
-                        {sequence, mid, engine.clock->prepare_send()});
+                    encode_frame_into(sequence, mid,
+                                      engine.clock->current_span(),
+                                      req.body);
                     engine.outstanding = Outstanding{
                         .receiver = m.receiver,
                         .mid = mid,
@@ -193,17 +209,19 @@ SynchronizerResult run_rendezvous_protocol(
                 channel.pending.reset();
                 SYNCTS_ENSURE(req.message == mid,
                               "REQ does not match the scripted receive");
-                const auto [ack_vector, timestamp] =
-                    engine.clock->on_receive(m.sender, req.stamp);
+                engine.clock->on_receive_into(m.sender,
+                                              req.stamp.components(),
+                                              engine.ack_scratch,
+                                              engine.stamp_scratch);
                 // Commit: the rendezvous instant, exactly once per
                 // sequence — duplicates never reach this line.
                 channel.last_committed = req.sequence;
                 result.computation.add_message(m.sender, m.receiver);
-                result.message_stamps.push_back(timestamp);
                 result.script_message.push_back(mid);
-                stamp_by_script[mid] = timestamp;
-                channel.cached_ack =
-                    encode_frame({req.sequence, mid, ack_vector});
+                handle_by_script[mid] =
+                    stamp_arena.allocate(engine.stamp_scratch);
+                encode_frame_into(req.sequence, mid, engine.ack_scratch,
+                                  channel.cached_ack);
                 Packet ack;
                 ack.source = p;
                 ack.destination = m.sender;
@@ -216,22 +234,29 @@ SynchronizerResult run_rendezvous_protocol(
         };
 
     const auto handle_req = [&](std::uint64_t now, ProcessId p,
-                                const Packet& packet, const SyncFrame& frame) {
+                                const Packet& packet,
+                                const FrameHeader& header) {
         Engine& engine = engines[p];
         InChannel& channel = engine.in[packet.source];
-        if (frame.sequence == channel.last_committed + 1) {
+        if (header.sequence == channel.last_committed + 1) {
             if (channel.pending) {
                 // Duplicate of a REQ already buffered for the program.
-                SYNCTS_ENSURE(channel.pending->sequence == frame.sequence,
+                SYNCTS_ENSURE(channel.pending->sequence == header.sequence,
                               "two distinct uncommitted REQs on one channel");
                 ++result.protocol.dup_drops;
                 return;
             }
-            channel.pending = frame;
+            // The program may not have reached the matching receive yet,
+            // so the stamp is copied out of the scratch into an owning
+            // buffered frame — the only copy on the fresh-REQ path.
+            channel.pending = SyncFrame{
+                header.sequence, header.message,
+                VectorTimestamp(
+                    std::span<const std::uint64_t>(engine.rx_stamp))};
             progress(now, p);
             return;
         }
-        if (frame.sequence == channel.last_committed &&
+        if (header.sequence == channel.last_committed &&
             channel.last_committed > 0) {
             // The sender retransmitted after commit: its ACK was lost (or
             // this REQ copy was duplicated in flight). Replay the cached
@@ -251,27 +276,30 @@ SynchronizerResult run_rendezvous_protocol(
         }
         // A sender never advances past an unacknowledged sequence, so
         // anything else is a stale copy from an older rendezvous.
-        SYNCTS_ENSURE(frame.sequence < channel.last_committed,
+        SYNCTS_ENSURE(header.sequence < channel.last_committed,
                       "REQ sequence from the future");
         ++result.protocol.dup_drops;
     };
 
     const auto handle_ack = [&](std::uint64_t now, ProcessId p,
-                                const Packet& packet, const SyncFrame& frame) {
+                                const Packet& packet,
+                                const FrameHeader& header) {
         Engine& engine = engines[p];
         if (!engine.outstanding ||
             engine.outstanding->receiver != packet.source ||
-            engine.outstanding->sequence != frame.sequence) {
+            engine.outstanding->sequence != header.sequence) {
             // Duplicate or replayed ACK for a rendezvous already finished.
             ++result.protocol.dup_drops;
             return;
         }
         const MessageId mid = engine.outstanding->mid;
-        SYNCTS_ENSURE(frame.message == mid,
+        SYNCTS_ENSURE(header.message == mid,
                       "ACK does not match the pending send");
-        const VectorTimestamp stamp =
-            engine.clock->on_acknowledgement(packet.source, frame.stamp);
-        SYNCTS_ENSURE(stamp == stamp_by_script[mid],
+        engine.clock->on_ack_into(packet.source, engine.rx_stamp,
+                                  engine.stamp_scratch);
+        SYNCTS_ENSURE(handle_by_script[mid] != kNoTimestamp &&
+                          ts::equal(engine.stamp_scratch,
+                                    stamp_arena.span(handle_by_script[mid])),
                       "sender and receiver disagree on a timestamp");
         engine.outstanding.reset();
         ++engine.cursor;
@@ -280,9 +308,9 @@ SynchronizerResult run_rendezvous_protocol(
 
     for (ProcessId p = 0; p < n; ++p) {
         network.on_deliver(p, [&, p](std::uint64_t now, const Packet& packet) {
-            SyncFrame frame;
+            FrameHeader header;
             try {
-                frame = decode_frame(packet.body, d);
+                header = decode_frame_into(packet.body, engines[p].rx_stamp);
             } catch (const WireError&) {
                 // Corrupted in flight: count, discard, and let the
                 // sender's retransmission (or ACK replay) recover.
@@ -290,9 +318,9 @@ SynchronizerResult run_rendezvous_protocol(
                 return;
             }
             if (packet.kind == kReq) {
-                handle_req(now, p, packet, frame);
+                handle_req(now, p, packet, header);
             } else {
-                handle_ack(now, p, packet, frame);
+                handle_ack(now, p, packet, header);
             }
         });
     }
@@ -310,6 +338,12 @@ SynchronizerResult run_rendezvous_protocol(
     }
     SYNCTS_ENSURE(result.computation.num_messages() == script.num_messages(),
                   "not every scripted message was realized");
+    // Materialize the record once, in commit order (arena slot order).
+    result.message_stamps.reserve(stamp_arena.size());
+    for (std::size_t i = 0; i < stamp_arena.size(); ++i) {
+        result.message_stamps.emplace_back(
+            stamp_arena.span(static_cast<TsHandle>(i)));
+    }
     return result;
 }
 

@@ -79,15 +79,19 @@ std::string to_diagram(const SyncComputation& computation,
     const std::size_t name_width =
         2 + std::to_string(computation.num_processes()).size();
     for (ProcessId p = 0; p < computation.num_processes(); ++p) {
-        std::string name = "P" + std::to_string(p + 1);
+        std::string name = "P";
+        name += std::to_string(p + 1);
         while (name.size() < name_width) name.push_back(' ');
         os << name << "| ";
         for (const Column& column : columns) {
             if (column.is_message) {
                 const SyncMessage& m = computation.message(column.message);
-                os << pad(m.involves(p)
-                              ? "m" + std::to_string(column.message + 1)
-                              : ".");
+                std::string label = ".";
+                if (m.involves(p)) {
+                    label = "m";
+                    label += std::to_string(column.message + 1);
+                }
+                os << pad(std::move(label));
             } else {
                 os << pad(column.internal_process == p ? "i" : ".");
             }

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Collects machine-readable results from every bench binary into one
+# JSON-lines stream (one {"bench":...} object per line, on stdout).
+#
+#   tools/bench_to_json.sh [build-dir]          # default: build
+#   tools/bench_to_json.sh build > results.jsonl
+#
+# Plain benches emit their own canonical lines
+#   {"bench":...,"n":...,"ns_per_msg":...,"allocs":...}
+# (see bench/bench_json.hpp); this script runs each binary and keeps only
+# those lines, discarding the human-readable tables. google-benchmark
+# binaries are run with --benchmark_format=json and reduced to the same
+# shape (allocs is not tracked there and reported as -1).
+
+set -euo pipefail
+
+build_dir="${1:-build}"
+bench_dir="${build_dir}/bench"
+
+if [[ ! -d "${bench_dir}" ]]; then
+    echo "error: ${bench_dir} not found (build the project first)" >&2
+    exit 1
+fi
+
+# Plain benches: print stdout, keep the JSON lines.
+plain_benches=(
+    bench_fig1_model bench_fig3_complete bench_fig4_tree bench_fig6_online
+    bench_fig8_greedy bench_size_table bench_offline bench_events
+    bench_runtime bench_related bench_wire bench_ablation bench_ordering
+    bench_faults bench_arena
+)
+for name in "${plain_benches[@]}"; do
+    bin="${bench_dir}/${name}"
+    if [[ ! -x "${bin}" ]]; then
+        echo "warning: ${bin} missing, skipped" >&2
+        continue
+    fi
+    "${bin}" | grep '^{"bench":' || {
+        echo "warning: ${name} emitted no JSON line" >&2
+    }
+done
+
+# google-benchmark binaries: native JSON, reduced to the canonical shape.
+gbench_benches=(bench_overhead bench_precedence bench_decomp_scaling)
+for name in "${gbench_benches[@]}"; do
+    bin="${bench_dir}/${name}"
+    if [[ ! -x "${bin}" ]]; then
+        echo "warning: ${bin} missing, skipped" >&2
+        continue
+    fi
+    "${bin}" --benchmark_format=json 2>/dev/null |
+        python3 -c '
+import json, sys
+report = json.load(sys.stdin)
+for b in report.get("benchmarks", []):
+    ns = b.get("real_time", 0.0)
+    unit = b.get("time_unit", "ns")
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit, 1.0)
+    line = {
+        "bench": b.get("name", "?"),
+        "n": int(b.get("iterations", 0)),
+        "ns_per_msg": round(ns * scale, 1),
+        "allocs": -1,
+    }
+    print(json.dumps(line))
+'
+done
