@@ -117,14 +117,26 @@ int main() {
         " is delivered packets over that baseline. 'exact' checks every\n"
         " realized timestamp against the direct Fig. 5 simulator.)\n");
 
-    // Machine-readable summary for tools/bench_to_json.sh: one lossless
-    // protocol run (drop 0%).
+    // Machine-readable summary for tools/bench_to_json.sh: one lossy
+    // instrumented protocol run whose result line carries the full
+    // sync_*/net_* counter snapshot.
+    obs::MetricsRegistry registry;
     SynchronizerOptions json_options;
     json_options.seed = 1;
     json_options.latency_lo = 1;
     json_options.latency_hi = 8;
-    bench::measure_and_emit("faults", script.num_messages(), [&] {
-        (void)run_rendezvous_protocol(decomposition, script, json_options);
-    });
+    json_options.faults.drop_probability = 0.05;
+    json_options.metrics = &registry;
+    const std::size_t allocs_before = bench::allocations();
+    const auto start = std::chrono::steady_clock::now();
+    (void)run_rendezvous_protocol(decomposition, script, json_options);
+    const auto stop = std::chrono::steady_clock::now();
+    bench::emit_json_with_metrics(
+        "faults", script.num_messages(),
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+                .count()) /
+            static_cast<double>(script.num_messages()),
+        bench::allocations() - allocs_before, registry);
     return 0;
 }

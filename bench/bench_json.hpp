@@ -15,6 +15,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <new>
+#include <string>
+
+#include "obs/metrics.hpp"
 
 namespace syncts::bench {
 
@@ -57,6 +60,27 @@ inline void emit_json(const char* bench, std::size_t n, double ns_per_msg,
     std::printf("{\"bench\":\"%s\",\"n\":%zu,\"ns_per_msg\":%.1f,"
                 "\"allocs\":%zu}\n",
                 bench, n, ns_per_msg, allocs);
+}
+
+/// As emit_json, but appends a full registry snapshot under "metrics" —
+/// for benches that run instrumented (bench_arena, bench_faults), so one
+/// result line carries both the timing and what the counters saw.
+inline void emit_json_with_metrics(const char* bench, std::size_t n,
+                                   double ns_per_msg, std::size_t allocs,
+                                   const obs::MetricsRegistry& registry) {
+    std::string out;
+    out += "{\"bench\":\"";
+    out += bench;
+    out += "\",\"n\":" + std::to_string(n);
+    char ns_text[32];
+    std::snprintf(ns_text, sizeof(ns_text), "%.1f", ns_per_msg);
+    out += ",\"ns_per_msg\":";
+    out += ns_text;
+    out += ",\"allocs\":" + std::to_string(allocs);
+    out += ",\"metrics\":";
+    registry.write_json(out);
+    out += "}\n";
+    std::fwrite(out.data(), 1, out.size(), stdout);
 }
 
 /// Times `fn` once over `n` items, counts the heap allocations it makes,

@@ -1,6 +1,7 @@
 #include "clocks/clock_engine.hpp"
 
 #include <limits>
+#include <string>
 #include <utility>
 
 #include "clocks/offline_timestamper.hpp"
@@ -33,6 +34,20 @@ std::vector<VectorTimestamp> EngineStamps::materialize_messages() const {
 
 void ClockEngine::on_internal(ProcessId, std::span<std::uint64_t>) {}
 
+void ClockEngine::attach_metrics(obs::MetricsRegistry& registry) {
+    const std::string prefix = std::string("clock_") + to_string(family());
+    metric_stamps_ = &registry.counter(prefix + "_stamps");
+    metric_internal_ = &registry.counter(prefix + "_internal_ticks");
+    metric_width_ = &registry.gauge("clock_width");
+    metric_width_->set(static_cast<std::int64_t>(width()));
+}
+
+void ClockEngine::detach_metrics() noexcept {
+    metric_stamps_ = nullptr;
+    metric_internal_ = nullptr;
+    metric_width_ = nullptr;
+}
+
 TsHandle ClockEngine::timestamp_message(ProcessId sender, ProcessId receiver,
                                         TimestampArena& arena) {
     const std::size_t w = width();
@@ -49,6 +64,7 @@ TsHandle ClockEngine::timestamp_message(ProcessId sender, ProcessId receiver,
     on_ack(sender, receiver, scratch_ack_, scratch_echo_);
     SYNCTS_ENSURE(ts::equal(arena.span(h), scratch_echo_),
                   "sender and receiver disagree on the message timestamp");
+    if (metric_stamps_ != nullptr) metric_stamps_->inc();
     return h;
 }
 
@@ -96,6 +112,7 @@ void ClockEngine::replay(const SyncComputation& computation,
             } else {
                 on_internal(p, {});
             }
+            if (metric_internal_ != nullptr) metric_internal_->inc();
             ++cursor[p];
         }
         SYNCTS_ENSURE(until_message == kNoMessage,
@@ -112,6 +129,7 @@ void ClockEngine::replay(const SyncComputation& computation,
         on_ack(m.sender, m.receiver, scratch_ack_, scratch_echo_);
         SYNCTS_ENSURE(ts::equal(arena.span(h), scratch_echo_),
                       "sender and receiver disagree on the message timestamp");
+        if (metric_stamps_ != nullptr) metric_stamps_->inc();
         message_out[m.id] = h;
     }
     for (ProcessId p = 0; p < n; ++p) drain(p, kNoMessage);

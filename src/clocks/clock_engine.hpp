@@ -86,6 +86,19 @@ public:
     /// Returns every process clock to its initial all-zero state.
     virtual void reset() = 0;
 
+    // ---- Instrumentation ----------------------------------------------
+
+    /// Registers this engine's metrics: `clock_<family>_stamps` (messages
+    /// stamped), `clock_<family>_internal_ticks` (internal-event hook
+    /// calls during replay), and the `clock_width` gauge. Registration
+    /// allocates; the per-stamp cost afterwards is one branch + relaxed
+    /// add, so the non-allocating hook contract is preserved. The
+    /// registry must outlive the engine.
+    void attach_metrics(obs::MetricsRegistry& registry);
+
+    /// Reverts to uninstrumented operation.
+    void detach_metrics() noexcept;
+
     // ---- Non-allocating protocol hooks -------------------------------
     // All spans must hold exactly width() words unless stated otherwise.
 
@@ -144,6 +157,11 @@ protected:
     void replay(const SyncComputation& computation, TimestampArena& arena,
                 std::vector<TsHandle>& message_out,
                 std::vector<TsHandle>* internal_out);
+
+    /// Stamp/tick counters for the drivers; nullptr when detached.
+    obs::Counter* metric_stamps_ = nullptr;
+    obs::Counter* metric_internal_ = nullptr;
+    obs::Gauge* metric_width_ = nullptr;
 
 private:
     // Scratch for the rendezvous drivers (piggyback, ack, sender echo).

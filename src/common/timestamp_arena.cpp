@@ -9,6 +9,7 @@ void leq_many(const TimestampArena& arena,
                    "probe width does not match the arena width");
     SYNCTS_REQUIRE(out.size() == arena.size(),
                    "output size does not match the slot count");
+    arena.note_kernel(arena.size());
     const std::size_t width = arena.width();
     const std::span<const std::uint64_t> slab = arena.slab();
     for (std::size_t i = 0; i < out.size(); ++i) {
@@ -23,6 +24,7 @@ void relate_many(const TimestampArena& arena,
                    "probe width does not match the arena width");
     SYNCTS_REQUIRE(out.size() == arena.size(),
                    "output size does not match the slot count");
+    arena.note_kernel(arena.size());
     const std::size_t width = arena.width();
     const std::span<const std::uint64_t> slab = arena.slab();
     for (std::size_t i = 0; i < out.size(); ++i) {
@@ -34,6 +36,7 @@ std::vector<TsHandle> dominators_of(const TimestampArena& arena,
                                     std::span<const std::uint64_t> probe) {
     SYNCTS_REQUIRE(probe.size() == arena.width(),
                    "probe width does not match the arena width");
+    arena.note_kernel(arena.size());
     std::vector<TsHandle> result;
     const std::size_t width = arena.width();
     const std::span<const std::uint64_t> slab = arena.slab();

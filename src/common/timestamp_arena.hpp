@@ -8,6 +8,7 @@
 
 #include "common/check.hpp"
 #include "common/ts_kernels.hpp"
+#include "obs/metrics.hpp"
 
 /// \file timestamp_arena.hpp
 /// Arena storage for vector timestamps: one flat std::uint64_t slab per
@@ -73,7 +74,16 @@ public:
         if (width_ == 0) {
             ++zero_width_slots_;
         } else {
+            if (metric_growths_ != nullptr &&
+                slab_.size() + width_ > slab_.capacity()) {
+                metric_growths_->inc();
+            }
             slab_.resize(slab_.size() + width_, 0);
+        }
+        if (metric_slots_ != nullptr) {
+            metric_slots_->inc();
+            metric_bytes_->set(static_cast<std::int64_t>(
+                slab_.capacity() * sizeof(std::uint64_t)));
         }
         return static_cast<TsHandle>(slot);
     }
@@ -106,14 +116,56 @@ public:
     void clear() noexcept {
         slab_.clear();
         zero_width_slots_ = 0;
+        if (metric_clears_ != nullptr) metric_clears_->inc();
     }
 
     /// The whole slab (row h at [h*width, (h+1)*width)) — for bulk
     /// serialization and the batch kernels.
     std::span<const std::uint64_t> slab() const noexcept { return slab_; }
 
-    friend bool operator==(const TimestampArena&,
-                           const TimestampArena&) = default;
+    /// Registers this arena's metrics under `<prefix>_*` and starts
+    /// counting: `_slots` (handle churn), `_slab_growths` (reallocations),
+    /// `_slab_bytes` (capacity gauge), `_clears`, `_kernel_calls` and
+    /// `_kernel_rows` (batch-kernel traffic). Registration allocates; the
+    /// instrumented hot path does not (one branch + relaxed add). The
+    /// registry must outlive the arena.
+    void attach_metrics(obs::MetricsRegistry& registry,
+                        std::string_view prefix = "arena") {
+        const std::string p(prefix);
+        metric_slots_ = &registry.counter(p + "_slots");
+        metric_growths_ = &registry.counter(p + "_slab_growths");
+        metric_clears_ = &registry.counter(p + "_clears");
+        metric_bytes_ = &registry.gauge(p + "_slab_bytes");
+        metric_kernel_calls_ = &registry.counter(p + "_kernel_calls");
+        metric_kernel_rows_ = &registry.counter(p + "_kernel_rows");
+        metric_bytes_->set(static_cast<std::int64_t>(
+            slab_.capacity() * sizeof(std::uint64_t)));
+    }
+
+    /// Detaches from the registry (hot path reverts to the null branch).
+    void detach_metrics() noexcept {
+        metric_slots_ = nullptr;
+        metric_growths_ = nullptr;
+        metric_clears_ = nullptr;
+        metric_bytes_ = nullptr;
+        metric_kernel_calls_ = nullptr;
+        metric_kernel_rows_ = nullptr;
+    }
+
+    /// Batch kernels report their traffic here (no-op when detached).
+    void note_kernel(std::size_t rows) const noexcept {
+        if (metric_kernel_calls_ != nullptr) {
+            metric_kernel_calls_->inc();
+            metric_kernel_rows_->inc(static_cast<std::uint64_t>(rows));
+        }
+    }
+
+    /// Equality is over contents only (width and rows), not over the
+    /// metrics attachment.
+    friend bool operator==(const TimestampArena& a, const TimestampArena& b) {
+        return a.width_ == b.width_ && a.slab_ == b.slab_ &&
+               a.zero_width_slots_ == b.zero_width_slots_;
+    }
 
 private:
     std::size_t width_;
@@ -121,6 +173,13 @@ private:
     /// Width-0 arenas (degenerate but legal: empty realizers) have no slab
     /// bytes, so the slot count is tracked explicitly.
     std::size_t zero_width_slots_ = 0;
+    /// Optional instrumentation (see attach_metrics); nullptr = disabled.
+    obs::Counter* metric_slots_ = nullptr;
+    obs::Counter* metric_growths_ = nullptr;
+    obs::Counter* metric_clears_ = nullptr;
+    obs::Gauge* metric_bytes_ = nullptr;
+    obs::Counter* metric_kernel_calls_ = nullptr;
+    obs::Counter* metric_kernel_rows_ = nullptr;
 };
 
 /// out[i] = (probe ≤ slot i), for every slot. `out.size()` must equal

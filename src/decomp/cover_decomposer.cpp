@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "decomp/exact_decomposer.hpp"
 #include "decomp/greedy_decomposer.hpp"
 #include "graph/vertex_cover.hpp"
 
@@ -68,19 +69,49 @@ EdgeDecomposition trivial_complete_decomposition(const Graph& g) {
 }
 
 EdgeDecomposition default_decomposition(const Graph& g) {
+    return default_decomposition(g, nullptr);
+}
+
+EdgeDecomposition default_decomposition(const Graph& g,
+                                        obs::MetricsRegistry* registry) {
+    const auto publish = [&](std::size_t greedy_groups,
+                             std::size_t cover_groups, std::size_t chosen) {
+        if (registry == nullptr) return;
+        const std::size_t bound = decomposition_lower_bound(g);
+        registry->gauge("decomp_greedy_groups")
+            .set(static_cast<std::int64_t>(greedy_groups));
+        registry->gauge("decomp_cover_groups")
+            .set(static_cast<std::int64_t>(cover_groups));
+        registry->gauge("decomp_groups")
+            .set(static_cast<std::int64_t>(chosen));
+        registry->gauge("decomp_lower_bound")
+            .set(static_cast<std::int64_t>(bound));
+        registry->gauge("decomp_gap")
+            .set(static_cast<std::int64_t>(chosen) -
+                 static_cast<std::int64_t>(bound));
+    };
+
     const std::size_t n = g.num_vertices();
     if (n >= 3 && g.num_edges() == n * (n - 1) / 2) {
         // Complete graphs: N−2 groups, the best any method achieves here.
-        return trivial_complete_decomposition(g);
+        EdgeDecomposition trivial = trivial_complete_decomposition(g);
+        publish(trivial.size(), trivial.size(), trivial.size());
+        return trivial;
     }
     EdgeDecomposition greedy = greedy_edge_decomposition(g);
-    if (g.num_edges() == 0) return greedy;
+    if (g.num_edges() == 0) {
+        publish(greedy.size(), greedy.size(), greedy.size());
+        return greedy;
+    }
     // The matching-based cover often wins on hub-shaped topologies
     // (client–server: one star per server, per Section 3.3) because cover
     // vertices that own no edges drop out; greedy wins when triangles
     // matter. Keep whichever is smaller.
     EdgeDecomposition covered = approx_cover_decomposition(g);
-    return covered.size() < greedy.size() ? covered : greedy;
+    const bool cover_wins = covered.size() < greedy.size();
+    publish(greedy.size(), covered.size(),
+            cover_wins ? covered.size() : greedy.size());
+    return cover_wins ? covered : greedy;
 }
 
 }  // namespace syncts

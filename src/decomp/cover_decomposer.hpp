@@ -4,6 +4,7 @@
 
 #include "decomp/edge_decomposition.hpp"
 #include "graph/graph.hpp"
+#include "obs/metrics.hpp"
 
 /// \file cover_decomposer.hpp
 /// Decompositions derived from vertex covers (Theorem 5) and the trivial
@@ -41,5 +42,16 @@ EdgeDecomposition trivial_complete_decomposition(const Graph& g);
 /// realize Section 3.3's one-star-per-server claim on client–server
 /// topologies).
 EdgeDecomposition default_decomposition(const Graph& g);
+
+/// As default_decomposition, but also publishes what the selection saw
+/// into `registry` (ignored when null): gauges `decomp_greedy_groups` and
+/// `decomp_cover_groups` (the two candidates; equal to `decomp_groups` on
+/// complete graphs where the trivial N−2 construction wins outright),
+/// `decomp_groups` (the chosen size d — the timestamp width),
+/// `decomp_lower_bound` (the maximal-matching lower bound on α(G)), and
+/// `decomp_gap` (chosen − lower bound: how far the heuristics might be
+/// from optimal).
+EdgeDecomposition default_decomposition(const Graph& g,
+                                        obs::MetricsRegistry* registry);
 
 }  // namespace syncts

@@ -1,0 +1,181 @@
+#include "obs/trace_sink.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace syncts::obs {
+
+const char* to_string(TraceEventKind kind) noexcept {
+    switch (kind) {
+        case TraceEventKind::send: return "send";
+        case TraceEventKind::receive: return "receive";
+        case TraceEventKind::ack: return "ack";
+        case TraceEventKind::commit: return "commit";
+        case TraceEventKind::retransmit: return "retransmit";
+        case TraceEventKind::timeout: return "timeout";
+        case TraceEventKind::duplicate_drop: return "duplicate_drop";
+        case TraceEventKind::ack_replay: return "ack_replay";
+        case TraceEventKind::corrupt_reject: return "corrupt_reject";
+        case TraceEventKind::drop: return "drop";
+        case TraceEventKind::stamp: return "stamp";
+        case TraceEventKind::phase: return "phase";
+        case TraceEventKind::internal: return "internal";
+    }
+    return "unknown";
+}
+
+TraceSink::TraceSink(std::size_t capacity) {
+    if (capacity == 0) {
+        throw std::invalid_argument("trace sink capacity must be >= 1");
+    }
+    ring_.resize(capacity);
+}
+
+std::size_t TraceSink::size() const noexcept {
+    return recorded_ < ring_.size() ? static_cast<std::size_t>(recorded_)
+                                    : ring_.size();
+}
+
+void TraceSink::record(const TraceEvent& event) noexcept {
+    ring_[static_cast<std::size_t>(recorded_ % ring_.size())] = event;
+    ++recorded_;
+}
+
+void TraceSink::clear() noexcept { recorded_ = 0; }
+
+void TraceSink::for_each(
+    const std::function<void(const TraceEvent&)>& fn) const {
+    const std::size_t kept = size();
+    const std::uint64_t first = recorded_ - kept;
+    for (std::size_t i = 0; i < kept; ++i) {
+        fn(ring_[static_cast<std::size_t>((first + i) % ring_.size())]);
+    }
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+    std::vector<TraceEvent> out;
+    out.reserve(size());
+    for_each([&](const TraceEvent& e) { out.push_back(e); });
+    return out;
+}
+
+void TraceSink::write_chrome_trace(std::string& out) const {
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for_each([&](const TraceEvent& e) {
+        if (!first) out += ',';
+        first = false;
+        out += "{\"name\":\"";
+        out += to_string(e.kind);
+        out += "\",\"ph\":\"";
+        out += e.kind == TraceEventKind::phase ? 'X' : 'i';
+        out += "\",\"ts\":" + std::to_string(e.virtual_time);
+        if (e.kind == TraceEventKind::phase) {
+            out += ",\"dur\":" + std::to_string(e.arg_a);
+        }
+        out += ",\"pid\":1,\"tid\":" + std::to_string(e.process);
+        if (e.kind != TraceEventKind::phase) {
+            out += ",\"s\":\"t\"";
+        }
+        out += ",\"args\":{\"peer\":" + std::to_string(e.peer) +
+               ",\"logical\":" + std::to_string(e.logical) +
+               ",\"a\":" + std::to_string(e.arg_a) +
+               ",\"b\":" + std::to_string(e.arg_b) + "}}";
+    });
+    out += "]}";
+}
+
+std::string TraceSink::to_chrome_trace() const {
+    std::string out;
+    write_chrome_trace(out);
+    return out;
+}
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'S', 'Y', 'T', 'R'};
+constexpr std::uint32_t kVersion = 1;
+/// Packed event: 4 x u64 + 2 x u32 + kind byte.
+constexpr std::size_t kEventBytes = 4 * 8 + 2 * 4 + 1;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& in, std::size_t at) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+        v |= static_cast<std::uint32_t>(in[at + static_cast<std::size_t>(i)])
+             << (8 * i);
+    }
+    return v;
+}
+
+std::uint64_t get_u64(const std::vector<std::uint8_t>& in, std::size_t at) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(in[at + static_cast<std::size_t>(i)])
+             << (8 * i);
+    }
+    return v;
+}
+
+}  // namespace
+
+void TraceSink::write_binary(std::vector<std::uint8_t>& out) const {
+    out.clear();
+    out.reserve(4 + 4 + 8 + size() * kEventBytes);
+    out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
+    put_u32(out, kVersion);
+    put_u64(out, static_cast<std::uint64_t>(size()));
+    for_each([&](const TraceEvent& e) {
+        put_u64(out, e.virtual_time);
+        put_u64(out, e.logical);
+        put_u64(out, e.arg_a);
+        put_u64(out, e.arg_b);
+        put_u32(out, e.process);
+        put_u32(out, e.peer);
+        out.push_back(static_cast<std::uint8_t>(e.kind));
+    });
+}
+
+std::vector<TraceEvent> TraceSink::read_binary(
+    const std::vector<std::uint8_t>& bytes) {
+    if (bytes.size() < 16 || !std::equal(std::begin(kMagic),
+                                         std::end(kMagic), bytes.begin())) {
+        throw std::invalid_argument("not a syncts binary trace");
+    }
+    if (get_u32(bytes, 4) != kVersion) {
+        throw std::invalid_argument("unsupported binary trace version");
+    }
+    const std::uint64_t count = get_u64(bytes, 8);
+    if (bytes.size() != 16 + count * kEventBytes) {
+        throw std::invalid_argument("binary trace length mismatch");
+    }
+    std::vector<TraceEvent> events;
+    events.reserve(static_cast<std::size_t>(count));
+    std::size_t at = 16;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        TraceEvent e;
+        e.virtual_time = get_u64(bytes, at);
+        e.logical = get_u64(bytes, at + 8);
+        e.arg_a = get_u64(bytes, at + 16);
+        e.arg_b = get_u64(bytes, at + 24);
+        e.process = get_u32(bytes, at + 32);
+        e.peer = get_u32(bytes, at + 36);
+        e.kind = static_cast<TraceEventKind>(bytes[at + 40]);
+        events.push_back(e);
+        at += kEventBytes;
+    }
+    return events;
+}
+
+}  // namespace syncts::obs

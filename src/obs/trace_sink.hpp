@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+/// \file trace_sink.hpp
+/// Typed causal trace events captured into a fixed-capacity ring buffer.
+///
+/// Every event carries both timebases the system has: the simulated
+/// (virtual) clock of the discrete-event network and a logical time (the
+/// total of the recording process's clock vector, or the commit index),
+/// so a trace answers *where* retransmissions and waits sit relative to
+/// causal progress, not just relative to wall time.
+///
+/// Capture is steady-state zero-allocation: the ring is sized once at
+/// construction and `record()` overwrites the oldest event when full
+/// (`recorded()` vs `size()` tells you how much wrapped away). Export
+/// formats:
+///   - Chrome trace-event JSON (`write_chrome_trace`) — loadable in
+///     chrome://tracing and Perfetto; every event emits the required
+///     `name`/`ph`/`ts`/`pid`/`tid` fields.
+///   - A compact little-endian binary frame (`write_binary` /
+///     `read_binary`) for when the JSON would dwarf the run.
+/// See docs/OBSERVABILITY.md for the schema.
+
+namespace syncts::obs {
+
+enum class TraceEventKind : std::uint8_t {
+    send = 0,        ///< first transmission of a REQ
+    receive,         ///< fresh REQ delivered (buffered for the program)
+    ack,             ///< ACK accepted by the sender (rendezvous complete)
+    commit,          ///< receiver committed the rendezvous (clock stamped)
+    retransmit,      ///< REQ re-sent after a timeout
+    timeout,         ///< retransmission timer fired live
+    duplicate_drop,  ///< duplicate/stale frame suppressed without reply
+    ack_replay,      ///< cached ACK re-sent for a committed sequence
+    corrupt_reject,  ///< frame failed wire validation and was discarded
+    drop,            ///< packet lost in the network (injected fault)
+    stamp,           ///< a clock engine stamped a message
+    phase,           ///< a named phase span (duration in arg_a)
+    internal,        ///< internal event ticked a clock
+};
+
+const char* to_string(TraceEventKind kind) noexcept;
+
+/// One fixed-size trace record. `arg_a`/`arg_b` are kind-specific
+/// (sequence number and message id for protocol events, duration for
+/// phase events).
+struct TraceEvent {
+    std::uint64_t virtual_time = 0;  ///< simulated-clock ticks
+    std::uint64_t logical = 0;       ///< clock-vector total / commit index
+    std::uint64_t arg_a = 0;
+    std::uint64_t arg_b = 0;
+    std::uint32_t process = 0;
+    std::uint32_t peer = 0;
+    TraceEventKind kind = TraceEventKind::send;
+
+    friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+class TraceSink {
+public:
+    /// Ring buffer holding up to `capacity` events (>= 1).
+    explicit TraceSink(std::size_t capacity);
+
+    std::size_t capacity() const noexcept { return ring_.size(); }
+
+    /// Events currently retained (min(recorded(), capacity())).
+    std::size_t size() const noexcept;
+
+    /// Events ever recorded, including ones the ring overwrote.
+    std::uint64_t recorded() const noexcept { return recorded_; }
+
+    /// Events lost to wraparound.
+    std::uint64_t dropped() const noexcept {
+        return recorded_ - static_cast<std::uint64_t>(size());
+    }
+
+    /// O(1), allocation-free; overwrites the oldest event when full.
+    void record(const TraceEvent& event) noexcept;
+
+    void clear() noexcept;
+
+    /// Visits retained events oldest-first.
+    void for_each(const std::function<void(const TraceEvent&)>& fn) const;
+
+    /// Retained events oldest-first as an owning vector (test/tool path).
+    std::vector<TraceEvent> events() const;
+
+    /// Appends the retained events as a Chrome trace-event JSON document:
+    /// {"displayTimeUnit":"ms","traceEvents":[{"name":...,"ph":...,
+    ///  "ts":...,"pid":...,"tid":...,"args":{...}}, ...]}.
+    /// Protocol events are instants (ph "i"); phase events are complete
+    /// spans (ph "X" with dur = arg_a). pid 1 is the simulation, tid is
+    /// the recording process.
+    void write_chrome_trace(std::string& out) const;
+    std::string to_chrome_trace() const;
+
+    /// Compact binary form: magic "SYTR", version, count, then packed
+    /// little-endian events.
+    void write_binary(std::vector<std::uint8_t>& out) const;
+
+    /// Parses `write_binary` output; throws std::invalid_argument on a
+    /// malformed buffer.
+    static std::vector<TraceEvent> read_binary(
+        const std::vector<std::uint8_t>& bytes);
+
+private:
+    std::vector<TraceEvent> ring_;
+    std::uint64_t recorded_ = 0;
+};
+
+}  // namespace syncts::obs

@@ -132,6 +132,14 @@ RunRecord TimestampedNetwork::run(const std::vector<ProcessProgram>& programs) {
     // Deadlock watchdog: if every unfinished process is blocked and no
     // rendezvous completes across the configured grace period, tear the
     // network down.
+    obs::Counter* watchdog_polls = nullptr;
+    obs::Counter* watchdog_idle = nullptr;
+    obs::Counter* deadlock_count = nullptr;
+    if (options_.metrics != nullptr) {
+        watchdog_polls = &options_.metrics->counter("net_watchdog_polls");
+        watchdog_idle = &options_.metrics->counter("net_watchdog_idle_polls");
+        deadlock_count = &options_.metrics->counter("net_deadlocks");
+    }
     std::thread watchdog([&] {
         std::uint64_t last_seq = seq_.load();
         int stable_polls = 0;
@@ -139,11 +147,14 @@ RunRecord TimestampedNetwork::run(const std::vector<ProcessProgram>& programs) {
             std::this_thread::sleep_for(options_.watchdog_poll);
             const std::size_t done = finished_.load();
             if (done >= n) break;
+            if (watchdog_polls != nullptr) watchdog_polls->inc();
             const std::uint64_t current_seq = seq_.load();
             const bool all_blocked = blocked_.load() + done >= n;
             if (all_blocked && current_seq == last_seq) {
+                if (watchdog_idle != nullptr) watchdog_idle->inc();
                 if (++stable_polls >= options_.watchdog_grace_polls) {
                     deadlocked_.store(true);
+                    if (deadlock_count != nullptr) deadlock_count->inc();
                     report_error(std::make_exception_ptr(NetworkDeadlock()));
                     break;
                 }
@@ -206,6 +217,12 @@ RunRecord TimestampedNetwork::run(const std::vector<ProcessProgram>& programs) {
 
     record.internal_stamps = timestamp_internal_events(
         record.computation, record.message_stamps, width());
+    if (options_.metrics != nullptr) {
+        options_.metrics->counter("net_rendezvous")
+            .inc(record.messages.size());
+        options_.metrics->counter("net_internal_events")
+            .inc(record.computation.num_internal_events());
+    }
     return record;
 }
 

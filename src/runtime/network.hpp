@@ -9,6 +9,7 @@
 #include "clocks/event_timestamp.hpp"
 #include "common/timestamp_arena.hpp"
 #include "decomp/edge_decomposition.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/process.hpp"
 #include "trace/computation.hpp"
 
@@ -43,6 +44,14 @@ public:
 struct TimestampedNetworkOptions {
     std::chrono::milliseconds watchdog_poll{10};
     int watchdog_grace_polls = 20;
+
+    /// When set, run() publishes `net_rendezvous`, `net_internal_events`,
+    /// `net_watchdog_polls`, `net_watchdog_idle_polls` (polls with every
+    /// unfinished process blocked and no progress), and `net_deadlocks`
+    /// into this registry. Must outlive the call. The watchdog writes
+    /// from its own thread — the metrics are relaxed atomics, so no
+    /// additional synchronization is needed.
+    obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Post-run results.

@@ -35,7 +35,23 @@ struct Outstanding {
     std::uint64_t sequence = 0;
     std::vector<std::uint8_t> frame;  // encoded REQ, byte-identical resends
     std::uint32_t retransmits = 0;
-    std::uint64_t rto = 0;  // current backoff interval
+    std::uint64_t rto = 0;              // current backoff interval
+    std::uint64_t first_send_time = 0;  // for the rendezvous-ticks histogram
+};
+
+/// Plain tallies kept unconditionally (they back both the deprecated
+/// ProtocolStats shim and the registry counters). Unlike the legacy
+/// struct these never count one event twice: a cached-ACK replay is an
+/// ack_replay only, not also a duplicate drop.
+struct Tally {
+    std::uint64_t req_sent = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t req_duplicates = 0;  ///< dup/stale REQs dropped, no reply
+    std::uint64_t ack_duplicates = 0;  ///< dup/stale ACKs dropped
+    std::uint64_t ack_replays = 0;     ///< cached ACK re-sent
+    std::uint64_t corrupt_rejects = 0;
 };
 
 /// Receiver-side state of one directed channel (peer -> self).
@@ -84,6 +100,34 @@ SynchronizerResult run_rendezvous_protocol(
     SYNCTS_REQUIRE(options.max_backoff_exponent <= 32,
                    "max_backoff_exponent out of range");
     const std::size_t d = decomposition->size();
+
+    Tally tally;
+    obs::TraceSink* const sink = options.trace;
+    obs::Histogram* rendezvous_hist = nullptr;
+    obs::Histogram* attempts_hist = nullptr;
+    if (options.metrics != nullptr) {
+        rendezvous_hist = &options.metrics->histogram("sync_rendezvous_ticks");
+        attempts_hist =
+            &options.metrics->histogram("sync_attempts_per_message");
+    }
+    // One line per protocol event; `logical` is the acting process's
+    // clock-vector total at record time, tying wire activity to causal
+    // progress. Only evaluated when tracing is on.
+    const auto trace = [&](obs::TraceEventKind kind, std::uint64_t now,
+                           ProcessId process, ProcessId peer,
+                           std::uint64_t a, std::uint64_t b,
+                           std::uint64_t logical) {
+        if (sink == nullptr) return;
+        obs::TraceEvent event;
+        event.virtual_time = now;
+        event.logical = logical;
+        event.arg_a = a;
+        event.arg_b = b;
+        event.process = process;
+        event.peer = peer;
+        event.kind = kind;
+        sink->record(event);
+    };
 
     AsyncSimulator network(n, options.seed);
     network.set_uniform_latency(options.latency_lo, options.latency_hi);
@@ -148,7 +192,10 @@ SynchronizerResult run_rendezvous_protocol(
                     return;  // ACK arrived; stale timer
                 }
                 Outstanding& out_now = *engine.outstanding;
-                ++result.protocol.timeouts;
+                ++tally.timeouts;
+                trace(obs::TraceEventKind::timeout, when, p, receiver,
+                      sequence, out_now.mid,
+                      ts::total(engine.clock->current_span()));
                 if (out_now.retransmits >= options.max_retransmits) {
                     throw SynchronizerStalled(
                         "message " + std::to_string(out_now.mid) +
@@ -158,7 +205,10 @@ SynchronizerResult run_rendezvous_protocol(
                         " retransmissions");
                 }
                 ++out_now.retransmits;
-                ++result.protocol.retransmits;
+                ++tally.retransmits;
+                trace(obs::TraceEventKind::retransmit, when, p, receiver,
+                      sequence, out_now.mid,
+                      ts::total(engine.clock->current_span()));
                 Packet req;
                 req.source = p;
                 req.destination = receiver;
@@ -197,7 +247,12 @@ SynchronizerResult run_rendezvous_protocol(
                         .sequence = sequence,
                         .frame = req.body,
                         .retransmits = 0,
-                        .rto = base_rto};
+                        .rto = base_rto,
+                        .first_send_time = now};
+                    ++tally.req_sent;
+                    trace(obs::TraceEventKind::send, now, p, m.receiver,
+                          sequence, mid,
+                          ts::total(engine.clock->current_span()));
                     network.send(now, std::move(req));
                     if (retransmission) arm_timer(now, p);
                     return;
@@ -216,6 +271,9 @@ SynchronizerResult run_rendezvous_protocol(
                 // Commit: the rendezvous instant, exactly once per
                 // sequence — duplicates never reach this line.
                 channel.last_committed = req.sequence;
+                ++tally.commits;
+                trace(obs::TraceEventKind::commit, now, p, m.sender,
+                      req.sequence, mid, ts::total(engine.stamp_scratch));
                 result.computation.add_message(m.sender, m.receiver);
                 result.script_message.push_back(mid);
                 handle_by_script[mid] =
@@ -243,7 +301,10 @@ SynchronizerResult run_rendezvous_protocol(
                 // Duplicate of a REQ already buffered for the program.
                 SYNCTS_ENSURE(channel.pending->sequence == header.sequence,
                               "two distinct uncommitted REQs on one channel");
-                ++result.protocol.dup_drops;
+                ++tally.req_duplicates;
+                trace(obs::TraceEventKind::duplicate_drop, now, p,
+                      packet.source, header.sequence, header.message,
+                      ts::total(engine.clock->current_span()));
                 return;
             }
             // The program may not have reached the matching receive yet,
@@ -253,6 +314,9 @@ SynchronizerResult run_rendezvous_protocol(
                 header.sequence, header.message,
                 VectorTimestamp(
                     std::span<const std::uint64_t>(engine.rx_stamp))};
+            trace(obs::TraceEventKind::receive, now, p, packet.source,
+                  header.sequence, header.message,
+                  ts::total(engine.clock->current_span()));
             progress(now, p);
             return;
         }
@@ -263,8 +327,14 @@ SynchronizerResult run_rendezvous_protocol(
             // ACK; the clock is not touched, so no double increment.
             SYNCTS_ENSURE(!channel.cached_ack.empty(),
                           "committed channel has no cached ACK");
-            ++result.protocol.dup_drops;
-            ++result.protocol.ack_replays;
+            // Counted once: the REQ copy is answered (with the cached
+            // ACK), not suppressed, so it is an ack_replay and *not* also
+            // a req_duplicate. The deprecated ProtocolStats shim still
+            // folds replays into dup_drops for legacy callers.
+            ++tally.ack_replays;
+            trace(obs::TraceEventKind::ack_replay, now, p, packet.source,
+                  header.sequence, header.message,
+                  ts::total(engine.clock->current_span()));
             Packet ack;
             ack.source = p;
             ack.destination = packet.source;
@@ -278,7 +348,10 @@ SynchronizerResult run_rendezvous_protocol(
         // anything else is a stale copy from an older rendezvous.
         SYNCTS_ENSURE(header.sequence < channel.last_committed,
                       "REQ sequence from the future");
-        ++result.protocol.dup_drops;
+        ++tally.req_duplicates;
+        trace(obs::TraceEventKind::duplicate_drop, now, p, packet.source,
+              header.sequence, header.message,
+              ts::total(engine.clock->current_span()));
     };
 
     const auto handle_ack = [&](std::uint64_t now, ProcessId p,
@@ -289,7 +362,10 @@ SynchronizerResult run_rendezvous_protocol(
             engine.outstanding->receiver != packet.source ||
             engine.outstanding->sequence != header.sequence) {
             // Duplicate or replayed ACK for a rendezvous already finished.
-            ++result.protocol.dup_drops;
+            ++tally.ack_duplicates;
+            trace(obs::TraceEventKind::duplicate_drop, now, p, packet.source,
+                  header.sequence, header.message,
+                  ts::total(engine.clock->current_span()));
             return;
         }
         const MessageId mid = engine.outstanding->mid;
@@ -301,6 +377,13 @@ SynchronizerResult run_rendezvous_protocol(
                           ts::equal(engine.stamp_scratch,
                                     stamp_arena.span(handle_by_script[mid])),
                       "sender and receiver disagree on a timestamp");
+        trace(obs::TraceEventKind::ack, now, p, packet.source,
+              header.sequence, mid, ts::total(engine.stamp_scratch));
+        if (rendezvous_hist != nullptr) {
+            rendezvous_hist->record(now -
+                                    engine.outstanding->first_send_time);
+            attempts_hist->record(engine.outstanding->retransmits + 1);
+        }
         engine.outstanding.reset();
         ++engine.cursor;
         progress(now, p);
@@ -314,7 +397,10 @@ SynchronizerResult run_rendezvous_protocol(
             } catch (const WireError&) {
                 // Corrupted in flight: count, discard, and let the
                 // sender's retransmission (or ACK replay) recover.
-                ++result.protocol.corrupt_rejects;
+                ++tally.corrupt_rejects;
+                trace(obs::TraceEventKind::corrupt_reject, now, p,
+                      packet.source, packet.kind, packet.tag,
+                      ts::total(engines[p].clock->current_span()));
                 return;
             }
             if (packet.kind == kReq) {
@@ -330,6 +416,39 @@ SynchronizerResult run_rendezvous_protocol(
     result.virtual_duration = network.run();
     result.packets = network.packets_delivered();
     result.network_faults = network.fault_stats();
+
+    // Deprecated ProtocolStats shim: dup_drops keeps the historical
+    // aggregation (replays were double-counted as duplicate drops).
+    result.protocol.retransmits = tally.retransmits;
+    result.protocol.timeouts = tally.timeouts;
+    result.protocol.dup_drops =
+        tally.req_duplicates + tally.ack_duplicates + tally.ack_replays;
+    result.protocol.ack_replays = tally.ack_replays;
+    result.protocol.corrupt_rejects = tally.corrupt_rejects;
+
+    if (options.metrics != nullptr) {
+        obs::MetricsRegistry& m = *options.metrics;
+        m.counter("sync_req_sent").inc(tally.req_sent);
+        m.counter("sync_commits").inc(tally.commits);
+        m.counter("sync_retransmits").inc(tally.retransmits);
+        m.counter("sync_timeouts").inc(tally.timeouts);
+        m.counter("sync_req_duplicates").inc(tally.req_duplicates);
+        m.counter("sync_ack_duplicates").inc(tally.ack_duplicates);
+        m.counter("sync_ack_replays").inc(tally.ack_replays);
+        m.counter("sync_frames_corrupt_rejected").inc(tally.corrupt_rejects);
+        m.counter("sync_packets_delivered").inc(result.packets);
+        m.counter("sync_runs").inc();
+        m.gauge("sync_virtual_ticks")
+            .set(static_cast<std::int64_t>(result.virtual_duration));
+        m.counter("net_packets_dropped")
+            .inc(result.network_faults.dropped +
+                 result.network_faults.targeted_drops);
+        m.counter("net_packets_duplicated")
+            .inc(result.network_faults.duplicated);
+        m.counter("net_packets_corrupted")
+            .inc(result.network_faults.corrupted);
+        m.counter("net_packets_delayed").inc(result.network_faults.delayed);
+    }
 
     for (const Engine& engine : engines) {
         SYNCTS_ENSURE(engine.cursor == engine.script.size(),

@@ -8,6 +8,8 @@
 
 #include "clocks/online_clock.hpp"
 #include "decomp/edge_decomposition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "runtime/fault_plan.hpp"
 #include "trace/computation.hpp"
 
@@ -82,14 +84,31 @@ struct SynchronizerOptions {
 
     /// Retransmissions per message before SynchronizerStalled is thrown.
     std::uint32_t max_retransmits = 64;
+
+    /// When set, the run publishes its counters into this registry
+    /// (`sync_*` and `net_*` metrics — see docs/OBSERVABILITY.md for the
+    /// catalog) plus latency/attempt histograms. Must outlive the call.
+    obs::MetricsRegistry* metrics = nullptr;
+
+    /// When set, every protocol event (send/receive/commit/ack/
+    /// retransmit/timeout/duplicate_drop/ack_replay/corrupt_reject) is
+    /// recorded with its virtual time and the acting process's logical
+    /// clock total. Must outlive the call.
+    obs::TraceSink* trace = nullptr;
 };
 
-/// Protocol-level observability counters (what the synchronizer did about
-/// the faults, as opposed to FaultStats: what the network injected).
+/// DEPRECATED compat view of the protocol counters. New code should read
+/// the `sync_*` metrics from SynchronizerOptions::metrics instead: the
+/// registry counters are non-overlapping (an ACK replay is counted once,
+/// as `sync_ack_replays`), whereas this struct's `dup_drops` keeps the
+/// historical aggregation in which a cached-ACK replay *also* counts as a
+/// duplicate drop — preserved so existing callers and tests see unchanged
+/// numbers.
 struct ProtocolStats {
     std::uint64_t retransmits = 0;      ///< REQ frames re-sent
     std::uint64_t timeouts = 0;         ///< retransmit timers that fired live
     std::uint64_t dup_drops = 0;        ///< duplicate/stale REQ+ACK suppressed
+                                        ///< (legacy: includes ack_replays)
     std::uint64_t ack_replays = 0;      ///< cached ACK re-sent (lost-ACK path)
     std::uint64_t corrupt_rejects = 0;  ///< frames failing wire validation
 

@@ -250,5 +250,52 @@ TEST(TimestampArena, OnlineHotPathIsAllocationFreeInSteadyState) {
         << "the Fig. 5 rendezvous hot path must not allocate per message";
 }
 
+TEST(TimestampArena, MetricsHotPathIsAllocationFreeInSteadyState) {
+    const Graph topology = topology::star(6);
+    auto decomposition = std::make_shared<const EdgeDecomposition>(
+        default_decomposition(topology));
+    OnlineTimestamper engine(decomposition);
+
+    // Registration (counter/gauge/histogram creation) is allowed to
+    // allocate; it happens once, before the measured region.
+    obs::MetricsRegistry registry;
+    TimestampArena arena(engine.width(), 256);
+    arena.attach_metrics(registry, "arena");
+    engine.attach_metrics(registry);
+    obs::Histogram& latency = registry.histogram("probe_latency");
+    obs::Counter& probes = registry.counter("probes");
+
+    for (ProcessId client = 1; client < 6; ++client) {
+        engine.timestamp_message(0, client, arena);
+    }
+    arena.clear();
+    std::vector<std::uint8_t> out(16 * 5);
+    const std::vector<std::uint64_t> probe(engine.width(), 1);
+
+    const std::size_t before = g_allocations.load();
+    for (int round = 0; round < 16; ++round) {
+        arena.clear();
+        for (int i = 0; i < 16; ++i) {
+            for (ProcessId client = 1; client < 6; ++client) {
+                engine.timestamp_message(0, client, arena);
+                probes.inc();
+                latency.record(static_cast<std::uint64_t>(i));
+            }
+        }
+        // The instrumented batch kernel (note_kernel) is on the same
+        // guarantee.
+        out.resize(arena.size());
+        leq_many(arena, probe, out);
+    }
+    EXPECT_EQ(g_allocations.load(), before)
+        << "counter inc + histogram record on the arena hot path must not "
+           "touch the heap";
+    EXPECT_EQ(registry.counter("arena_slots").value(),
+              registry.counter("clock_online_stamps").value());
+    EXPECT_EQ(probes.value(), 16u * 16u * 5u);
+    EXPECT_EQ(latency.count(), 16u * 16u * 5u);
+    EXPECT_EQ(registry.counter("arena_kernel_calls").value(), 16u);
+}
+
 }  // namespace
 }  // namespace syncts

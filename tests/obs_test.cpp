@@ -1,0 +1,530 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "clocks/clock_engine.hpp"
+#include "common/rng.hpp"
+#include "common/timestamp_arena.hpp"
+#include "decomp/cover_decomposer.hpp"
+#include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
+#include "runtime/synchronizer.hpp"
+#include "trace/generator.hpp"
+
+/// The instrumentation layer: registry semantics, histogram percentiles,
+/// ring-buffer wraparound, binary round-trips, Chrome trace-event export
+/// (schema-checked and golden-file pinned), end-to-end synchronizer
+/// metrics — including the non-overlapping ACK-replay accounting — and
+/// report determinism.
+
+namespace syncts {
+namespace {
+
+constexpr std::uint32_t kAckKind = 1;
+
+// ---- Minimal JSON validator -----------------------------------------
+// Recursive-descent structural check (no external deps): verifies the
+// text is one well-formed JSON value. Returns false instead of throwing
+// so tests can assert on malformed inputs too.
+
+class JsonChecker {
+public:
+    explicit JsonChecker(const std::string& text) : text_(text) {}
+
+    bool valid() {
+        pos_ = 0;
+        skip_ws();
+        if (!value()) return false;
+        skip_ws();
+        return pos_ == text_.size();
+    }
+
+private:
+    bool value() {
+        if (pos_ >= text_.size()) return false;
+        switch (text_[pos_]) {
+            case '{': return object();
+            case '[': return array();
+            case '"': return string();
+            case 't': return literal("true");
+            case 'f': return literal("false");
+            case 'n': return literal("null");
+            default: return number();
+        }
+    }
+    bool object() {
+        ++pos_;  // '{'
+        skip_ws();
+        if (peek() == '}') { ++pos_; return true; }
+        for (;;) {
+            skip_ws();
+            if (!string()) return false;
+            skip_ws();
+            if (peek() != ':') return false;
+            ++pos_;
+            skip_ws();
+            if (!value()) return false;
+            skip_ws();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == '}') { ++pos_; return true; }
+            return false;
+        }
+    }
+    bool array() {
+        ++pos_;  // '['
+        skip_ws();
+        if (peek() == ']') { ++pos_; return true; }
+        for (;;) {
+            skip_ws();
+            if (!value()) return false;
+            skip_ws();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == ']') { ++pos_; return true; }
+            return false;
+        }
+    }
+    bool string() {
+        if (peek() != '"') return false;
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\') ++pos_;
+            ++pos_;
+        }
+        if (pos_ >= text_.size()) return false;
+        ++pos_;  // closing quote
+        return true;
+    }
+    bool number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+    bool literal(const char* word) {
+        const std::size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) != 0) return false;
+        pos_ += len;
+        return true;
+    }
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                text_[pos_] == '\t' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+bool is_valid_json(const std::string& text) {
+    return JsonChecker(text).valid();
+}
+
+/// A tiny fixed rendezvous workload: path(2), two messages 0 -> 1,
+/// reliable unit-latency network — small enough that its trace is pinned
+/// byte-for-byte by the golden file.
+struct SmallRun {
+    std::shared_ptr<const EdgeDecomposition> decomposition;
+    SyncComputation script;
+
+    SmallRun()
+        : decomposition(std::make_shared<const EdgeDecomposition>(
+              trivial_complete_decomposition(topology::path(2)))),
+          script(topology::path(2)) {
+        script.add_message(0, 1);
+        script.add_message(0, 1);
+    }
+};
+
+// ---- Counters, gauges, histograms -----------------------------------
+
+TEST(Metrics, CounterStartsAtZeroAndAccumulates) {
+    obs::Counter counter;
+    EXPECT_EQ(counter.value(), 0u);
+    counter.inc();
+    counter.inc(41);
+    EXPECT_EQ(counter.value(), 42u);
+    counter.reset();
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+    obs::Gauge gauge;
+    gauge.set(-7);
+    EXPECT_EQ(gauge.value(), -7);
+    gauge.add(10);
+    EXPECT_EQ(gauge.value(), 3);
+}
+
+TEST(Metrics, HistogramSummaryPercentiles) {
+    const std::vector<std::uint64_t> bounds{1, 2, 4, 8, 16};
+    obs::Histogram histogram{std::span<const std::uint64_t>(bounds)};
+    for (std::uint64_t v = 1; v <= 100; ++v) histogram.record(v % 10 + 1);
+    const obs::Histogram::Summary summary = histogram.summary();
+    EXPECT_EQ(summary.count, 100u);
+    EXPECT_EQ(summary.min, 1u);
+    EXPECT_EQ(summary.max, 10u);
+    // Values are 1..10 uniform; the p50 bucket bound is 8 (values 5..8),
+    // p95/p99 land in the 16-bucket but are clamped to the observed max.
+    EXPECT_EQ(summary.p50, 8u);
+    EXPECT_EQ(summary.p95, 10u);
+    EXPECT_EQ(summary.p99, 10u);
+}
+
+TEST(Metrics, HistogramOverflowClampsToObservedMax) {
+    const std::vector<std::uint64_t> bounds{10};
+    obs::Histogram histogram{std::span<const std::uint64_t>(bounds)};
+    histogram.record(1'000'000);
+    const obs::Histogram::Summary summary = histogram.summary();
+    EXPECT_EQ(summary.count, 1u);
+    EXPECT_EQ(summary.p50, 1'000'000u);
+    EXPECT_EQ(summary.max, 1'000'000u);
+}
+
+TEST(Metrics, HistogramRejectsNonIncreasingBounds) {
+    const std::vector<std::uint64_t> bad{4, 4};
+    EXPECT_THROW(
+        obs::Histogram{std::span<const std::uint64_t>(bad)},
+        std::invalid_argument);
+}
+
+// ---- Registry --------------------------------------------------------
+
+TEST(MetricsRegistry, CreateOrReturnKeepsStableAddresses) {
+    obs::MetricsRegistry registry;
+    obs::Counter& a = registry.counter("hits");
+    a.inc();
+    obs::Counter& b = registry.counter("hits");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.value(), 1u);
+    EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsRegistry, CrossKindNameCollisionThrows) {
+    obs::MetricsRegistry registry;
+    registry.counter("x");
+    EXPECT_THROW(registry.gauge("x"), std::invalid_argument);
+    EXPECT_THROW(registry.histogram("x"), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, JsonIsValidSortedAndDeterministic) {
+    obs::MetricsRegistry registry;
+    registry.counter("zeta").inc(3);
+    registry.counter("alpha").inc(1);
+    registry.gauge("width").set(-2);
+    registry.histogram("lat").record(7);
+    const std::string json = registry.to_json();
+    EXPECT_TRUE(is_valid_json(json)) << json;
+    // Sorted name order within each section.
+    EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+    EXPECT_NE(json.find("\"width\":-2"), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+    EXPECT_EQ(json, registry.to_json());  // byte-stable
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsRegistrations) {
+    obs::MetricsRegistry registry;
+    registry.counter("c").inc(5);
+    registry.gauge("g").set(5);
+    registry.histogram("h").record(5);
+    registry.reset();
+    EXPECT_EQ(registry.counter("c").value(), 0u);
+    EXPECT_EQ(registry.gauge("g").value(), 0);
+    EXPECT_EQ(registry.histogram("h").count(), 0u);
+    EXPECT_EQ(registry.size(), 3u);
+}
+
+// ---- Trace ring ------------------------------------------------------
+
+obs::TraceEvent make_event(std::uint64_t i) {
+    obs::TraceEvent event;
+    event.virtual_time = i;
+    event.logical = i * 2;
+    event.arg_a = i + 100;
+    event.arg_b = i + 200;
+    event.process = static_cast<std::uint32_t>(i % 3);
+    event.peer = static_cast<std::uint32_t>((i + 1) % 3);
+    event.kind = obs::TraceEventKind::send;
+    return event;
+}
+
+TEST(TraceSink, RingWrapsAroundKeepingNewestOldestFirst) {
+    obs::TraceSink sink(4);
+    for (std::uint64_t i = 0; i < 10; ++i) sink.record(make_event(i));
+    EXPECT_EQ(sink.capacity(), 4u);
+    EXPECT_EQ(sink.size(), 4u);
+    EXPECT_EQ(sink.recorded(), 10u);
+    EXPECT_EQ(sink.dropped(), 6u);
+    const std::vector<obs::TraceEvent> events = sink.events();
+    ASSERT_EQ(events.size(), 4u);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(events[i], make_event(6 + i)) << "slot " << i;
+    }
+}
+
+TEST(TraceSink, ClearEmptiesButKeepsCapacity) {
+    obs::TraceSink sink(2);
+    sink.record(make_event(1));
+    sink.clear();
+    EXPECT_EQ(sink.size(), 0u);
+    EXPECT_EQ(sink.recorded(), 0u);
+    EXPECT_EQ(sink.capacity(), 2u);
+}
+
+TEST(TraceSink, BinaryRoundTripsExactly) {
+    obs::TraceSink sink(16);
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        obs::TraceEvent event = make_event(i);
+        event.kind = static_cast<obs::TraceEventKind>(i % 5);
+        sink.record(event);
+    }
+    std::vector<std::uint8_t> bytes;
+    sink.write_binary(bytes);
+    EXPECT_EQ(sink.events(), obs::TraceSink::read_binary(bytes));
+}
+
+TEST(TraceSink, BinaryRejectsMalformedBuffers) {
+    obs::TraceSink sink(4);
+    sink.record(make_event(0));
+    std::vector<std::uint8_t> bytes;
+    sink.write_binary(bytes);
+
+    std::vector<std::uint8_t> bad_magic = bytes;
+    bad_magic[0] ^= 0xFF;
+    EXPECT_THROW(obs::TraceSink::read_binary(bad_magic),
+                 std::invalid_argument);
+
+    std::vector<std::uint8_t> truncated = bytes;
+    truncated.pop_back();
+    EXPECT_THROW(obs::TraceSink::read_binary(truncated),
+                 std::invalid_argument);
+}
+
+TEST(TraceSink, ChromeTraceIsValidJsonWithRequiredFields) {
+    obs::TraceSink sink(8);
+    sink.record(make_event(3));
+    obs::TraceEvent span = make_event(4);
+    span.kind = obs::TraceEventKind::phase;
+    span.arg_a = 12;  // duration
+    sink.record(span);
+    const std::string json = sink.to_chrome_trace();
+    EXPECT_TRUE(is_valid_json(json)) << json;
+    for (const char* field :
+         {"\"name\"", "\"ph\"", "\"ts\"", "\"pid\"", "\"tid\"",
+          "\"traceEvents\"", "\"displayTimeUnit\""}) {
+        EXPECT_NE(json.find(field), std::string::npos) << field;
+    }
+    // The phase event must be a complete span with a duration.
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":12"), std::string::npos);
+    // Instants carry the required scope field.
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+}
+
+// ---- Golden file -----------------------------------------------------
+
+std::string golden_path() {
+    return std::string(SYNCTS_GOLDEN_DIR) + "/fig5_small_trace.json";
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/// Byte-exact pin of the trace a small deterministic Fig. 5 run emits.
+/// Regenerate (after an intentional schema change) with:
+///   SYNCTS_REGOLD=1 ./obs_test --gtest_filter='*GoldenFile*'
+TEST(TraceSink, GoldenFileChromeTraceOfSmallFig5Run) {
+    const SmallRun fx;
+    obs::TraceSink sink(64);
+    SynchronizerOptions options;
+    options.seed = 1;
+    options.trace = &sink;
+    const SynchronizerResult result =
+        run_rendezvous_protocol(fx.decomposition, fx.script, options);
+    ASSERT_EQ(result.message_stamps.size(), 2u);
+    const std::string json = sink.to_chrome_trace();
+    ASSERT_TRUE(is_valid_json(json)) << json;
+
+    if (std::getenv("SYNCTS_REGOLD") != nullptr) {
+        std::ofstream out(golden_path(), std::ios::binary);
+        out << json;
+        ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+        GTEST_SKIP() << "golden file regenerated";
+    }
+    const std::string golden = read_file(golden_path());
+    ASSERT_FALSE(golden.empty())
+        << "missing golden file " << golden_path()
+        << " (regenerate with SYNCTS_REGOLD=1)";
+    EXPECT_EQ(json, golden);
+}
+
+// ---- End-to-end instrumentation -------------------------------------
+
+TEST(Instrumentation, SynchronizerPublishesNonOverlappingCounters) {
+    const SmallRun fx;
+    obs::MetricsRegistry registry;
+    SynchronizerOptions options;
+    options.metrics = &registry;
+    // Drop m0's ACK once: the retransmitted REQ hits the committed
+    // channel and replays the cached ACK.
+    options.faults.targeted_drops.push_back(
+        {.source = 1, .destination = 0, .kind = kAckKind, .occurrence = 1});
+    const SynchronizerResult result =
+        run_rendezvous_protocol(fx.decomposition, fx.script, options);
+
+    // Registry counters are non-overlapping: the replay is exactly one
+    // ack_replay, not also a duplicate.
+    EXPECT_EQ(registry.counter("sync_ack_replays").value(), 1u);
+    EXPECT_EQ(registry.counter("sync_req_duplicates").value(), 0u);
+    EXPECT_EQ(registry.counter("sync_commits").value(), 2u);
+    EXPECT_EQ(registry.counter("sync_req_sent").value(), 2u);
+    EXPECT_GE(registry.counter("sync_retransmits").value(), 1u);
+    // The deprecated shim keeps the historical aggregation.
+    EXPECT_EQ(result.protocol.dup_drops,
+              registry.counter("sync_req_duplicates").value() +
+                  registry.counter("sync_ack_duplicates").value() +
+                  registry.counter("sync_ack_replays").value());
+    EXPECT_GE(result.protocol.dup_drops, 1u);
+    EXPECT_EQ(result.protocol.ack_replays, 1u);
+    // Latency histograms cover every rendezvous.
+    EXPECT_EQ(registry.histogram("sync_rendezvous_ticks").count(), 2u);
+    EXPECT_EQ(registry.histogram("sync_attempts_per_message").count(), 2u);
+}
+
+TEST(Instrumentation, SynchronizerTraceCoversTheReplayPath) {
+    const SmallRun fx;
+    obs::TraceSink sink(256);
+    SynchronizerOptions options;
+    options.trace = &sink;
+    options.faults.targeted_drops.push_back(
+        {.source = 1, .destination = 0, .kind = kAckKind, .occurrence = 1});
+    (void)run_rendezvous_protocol(fx.decomposition, fx.script, options);
+    std::size_t sends = 0, commits = 0, replays = 0, timeouts = 0;
+    sink.for_each([&](const obs::TraceEvent& event) {
+        switch (event.kind) {
+            case obs::TraceEventKind::send: ++sends; break;
+            case obs::TraceEventKind::commit: ++commits; break;
+            case obs::TraceEventKind::ack_replay: ++replays; break;
+            case obs::TraceEventKind::timeout: ++timeouts; break;
+            default: break;
+        }
+    });
+    EXPECT_EQ(sends, 2u);
+    EXPECT_EQ(commits, 2u);
+    EXPECT_EQ(replays, 1u);
+    EXPECT_GE(timeouts, 1u);
+}
+
+TEST(Instrumentation, ClockEngineCountsStampsPerFamily) {
+    const Graph topology = topology::path(3);
+    auto decomposition = std::make_shared<const EdgeDecomposition>(
+        default_decomposition(topology));
+    SyncComputation script(topology);
+    script.add_message(0, 1);
+    script.add_internal(1);
+    script.add_message(1, 2);
+
+    obs::MetricsRegistry registry;
+    const auto engine =
+        make_clock_engine(ClockFamily::online, decomposition);
+    engine->attach_metrics(registry);
+    TimestampArena arena(engine->width());
+    (void)engine->stamp_messages(script, arena);
+    EXPECT_EQ(registry.counter("clock_online_stamps").value(), 2u);
+    EXPECT_EQ(registry.counter("clock_online_internal_ticks").value(), 1u);
+    EXPECT_EQ(registry.gauge("clock_width").value(),
+              static_cast<std::int64_t>(engine->width()));
+
+    engine->detach_metrics();
+    engine->reset();
+    TimestampArena arena2(engine->width());
+    (void)engine->stamp_messages(script, arena2);
+    EXPECT_EQ(registry.counter("clock_online_stamps").value(), 2u);
+}
+
+TEST(Instrumentation, ArenaCountsSlotsGrowthAndKernelTraffic) {
+    obs::MetricsRegistry registry;
+    TimestampArena arena(2);
+    arena.attach_metrics(registry, "arena");
+    const TsHandle a = arena.allocate();
+    arena.span(a)[0] = 3;
+    (void)arena.allocate();
+    EXPECT_EQ(registry.counter("arena_slots").value(), 2u);
+    EXPECT_GE(registry.counter("arena_slab_growths").value(), 1u);
+    EXPECT_GE(registry.gauge("arena_slab_bytes").value(),
+              static_cast<std::int64_t>(2 * 2 * sizeof(std::uint64_t)));
+
+    const std::vector<std::uint64_t> probe{1, 0};
+    std::vector<std::uint8_t> out(arena.size());
+    leq_many(arena, probe, out);
+    EXPECT_EQ(registry.counter("arena_kernel_calls").value(), 1u);
+    EXPECT_EQ(registry.counter("arena_kernel_rows").value(), 2u);
+
+    arena.clear();
+    EXPECT_EQ(registry.counter("arena_clears").value(), 1u);
+}
+
+TEST(Instrumentation, DecompositionSelectionPublishesGauges) {
+    obs::MetricsRegistry registry;
+    const Graph topology = topology::client_server(2, 4);
+    const EdgeDecomposition chosen =
+        default_decomposition(topology, &registry);
+    EXPECT_EQ(registry.gauge("decomp_groups").value(),
+              static_cast<std::int64_t>(chosen.size()));
+    EXPECT_GT(registry.gauge("decomp_greedy_groups").value(), 0);
+    EXPECT_GT(registry.gauge("decomp_cover_groups").value(), 0);
+    EXPECT_GE(registry.gauge("decomp_gap").value(), 0);
+    EXPECT_EQ(registry.gauge("decomp_groups").value(),
+              registry.gauge("decomp_lower_bound").value() +
+                  registry.gauge("decomp_gap").value());
+}
+
+TEST(Instrumentation, SameSeedRunsProduceIdenticalReports) {
+    const auto run_once = [](obs::MetricsRegistry& registry) {
+        const Graph topology = topology::disjoint_triangles(2);
+        auto decomposition = std::make_shared<const EdgeDecomposition>(
+            default_decomposition(topology, &registry));
+        Rng rng(7);
+        WorkloadOptions workload;
+        workload.num_messages = 60;
+        const SyncComputation script =
+            random_computation(topology, workload, rng);
+        SynchronizerOptions options;
+        options.seed = 7;
+        options.latency_hi = 5;
+        options.faults.drop_probability = 0.1;
+        options.faults.corrupt_probability = 0.05;
+        options.metrics = &registry;
+        (void)run_rendezvous_protocol(decomposition, script, options);
+    };
+    obs::MetricsRegistry first;
+    obs::MetricsRegistry second;
+    run_once(first);
+    run_once(second);
+    EXPECT_EQ(first.to_json(), second.to_json());
+}
+
+}  // namespace
+}  // namespace syncts

@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
-# Collects machine-readable results from every bench binary into one
-# JSON-lines stream (one {"bench":...} object per line, on stdout).
+# Collects machine-readable results from every bench binary into ONE JSON
+# array on stdout (formerly concatenated JSON lines — the array form is
+# directly loadable by json.load / jq without line-splitting).
 #
 #   tools/bench_to_json.sh [build-dir]          # default: build
-#   tools/bench_to_json.sh build > results.jsonl
+#   tools/bench_to_json.sh build > results.json
 #
 # Plain benches emit their own canonical lines
 #   {"bench":...,"n":...,"ns_per_msg":...,"allocs":...}
-# (see bench/bench_json.hpp); this script runs each binary and keeps only
-# those lines, discarding the human-readable tables. google-benchmark
+# optionally extended with a "metrics" registry snapshot (see
+# bench/bench_json.hpp); this script runs each binary, keeps only those
+# lines, and merges everything into a single array. google-benchmark
 # binaries are run with --benchmark_format=json and reduced to the same
 # shape (allocs is not tracked there and reported as -1).
 
@@ -22,7 +24,10 @@ if [[ ! -d "${bench_dir}" ]]; then
     exit 1
 fi
 
-# Plain benches: print stdout, keep the JSON lines.
+lines_file="$(mktemp)"
+trap 'rm -f "${lines_file}"' EXIT
+
+# Plain benches: run, keep the JSON lines.
 plain_benches=(
     bench_fig1_model bench_fig3_complete bench_fig4_tree bench_fig6_online
     bench_fig8_greedy bench_size_table bench_offline bench_events
@@ -35,7 +40,7 @@ for name in "${plain_benches[@]}"; do
         echo "warning: ${bin} missing, skipped" >&2
         continue
     fi
-    "${bin}" | grep '^{"bench":' || {
+    "${bin}" | grep '^{"bench":' >> "${lines_file}" || {
         echo "warning: ${name} emitted no JSON line" >&2
     }
 done
@@ -63,5 +68,18 @@ for b in report.get("benchmarks", []):
         "allocs": -1,
     }
     print(json.dumps(line))
-'
+' >> "${lines_file}"
 done
+
+# Merge the collected lines into one validated JSON array.
+python3 -c '
+import json, sys
+results = []
+with open(sys.argv[1]) as fh:
+    for line in fh:
+        line = line.strip()
+        if line:
+            results.append(json.loads(line))
+json.dump(results, sys.stdout, indent=1)
+sys.stdout.write("\n")
+' "${lines_file}"

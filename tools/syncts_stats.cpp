@@ -1,0 +1,305 @@
+// syncts_stats — one-stop instrumented run reporter. Replays a seeded
+// random workload through the full stack (decomposition selection, the
+// Fig. 5 online clock, the fault-tolerant rendezvous protocol) with the
+// obs::MetricsRegistry attached to every layer, verifies the realized
+// timestamps against the direct simulator, and emits a machine-readable
+// report.
+//
+// Usage:
+//   syncts_stats [--topology <spec>] [--events N[k|m]] [--seed S]
+//                [--runs R] [--drop P] [--dup P] [--corrupt P] [--delay P]
+//                [--jitter J] [--latency LO:HI] [--trace FILE.json]
+//                [--trace-binary FILE.bin] [--trace-capacity N]
+//                [--json] [--quiet]
+//
+// The report is deterministic: same seed, same flags => byte-identical
+// counters (the registry snapshots in sorted name order; every random
+// choice is seeded). Exit status: 0 clean; 1 on any timestamp mismatch,
+// protocol stall, or undetected frame corruption; 2 on usage errors —
+// so the binary doubles as a CI smoke gate (see .github/workflows/ci.yml).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clocks/clock_engine.hpp"
+#include "decomp/cover_decomposer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
+#include "runtime/synchronizer.hpp"
+#include "topo_spec.hpp"
+#include "trace/generator.hpp"
+
+using namespace syncts;
+
+namespace {
+
+struct Config {
+    std::string spec = "tri3";
+    std::size_t events = 1000;  // messages pushed through the protocol
+    std::uint64_t seed = 1;
+    std::uint64_t runs = 1;
+    double drop = 0.0;
+    double dup = 0.0;
+    double corrupt = 0.0;
+    double delay = 0.0;
+    std::uint64_t jitter = 0;
+    std::uint64_t latency_lo = 1;
+    std::uint64_t latency_hi = 1;
+    std::string trace_json_path;
+    std::string trace_binary_path;
+    std::size_t trace_capacity = 1 << 16;
+    bool json = false;
+    bool quiet = false;
+};
+
+[[noreturn]] void usage() {
+    std::fprintf(
+        stderr,
+        "usage: syncts_stats [--topology <spec>] [--events N[k|m]] "
+        "[--seed S] [--runs R]\n"
+        "                    [--drop P] [--dup P] [--corrupt P] [--delay P] "
+        "[--jitter J]\n"
+        "                    [--latency LO:HI] [--trace FILE.json]\n"
+        "                    [--trace-binary FILE.bin] [--trace-capacity N]\n"
+        "                    [--json] [--quiet]\nspecs: %s\n",
+        tools::spec_help());
+    std::exit(2);
+}
+
+/// Parses "5000", "5k", "2m" (case-insensitive suffix).
+std::size_t parse_events(const char* text) {
+    char* end = nullptr;
+    const unsigned long long base = std::strtoull(text, &end, 10);
+    std::size_t scale = 1;
+    if (end != nullptr && *end != '\0') {
+        if ((*end == 'k' || *end == 'K') && end[1] == '\0') {
+            scale = 1000;
+        } else if ((*end == 'm' || *end == 'M') && end[1] == '\0') {
+            scale = 1'000'000;
+        } else {
+            std::fprintf(stderr, "bad event count '%s'\n", text);
+            usage();
+        }
+    }
+    return static_cast<std::size_t>(base) * scale;
+}
+
+Config parse_args(int argc, char** argv) {
+    Config config;
+    int i = 1;
+    const auto next_value = [&](const char* flag) -> const char* {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", flag);
+            usage();
+        }
+        return argv[++i];
+    };
+    for (; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--topology") {
+            config.spec = next_value("--topology");
+        } else if (flag == "--events") {
+            config.events = parse_events(next_value("--events"));
+        } else if (flag == "--seed") {
+            config.seed = std::strtoull(next_value("--seed"), nullptr, 10);
+        } else if (flag == "--runs") {
+            config.runs = std::strtoull(next_value("--runs"), nullptr, 10);
+        } else if (flag == "--drop") {
+            config.drop = std::strtod(next_value("--drop"), nullptr);
+        } else if (flag == "--dup") {
+            config.dup = std::strtod(next_value("--dup"), nullptr);
+        } else if (flag == "--corrupt") {
+            config.corrupt = std::strtod(next_value("--corrupt"), nullptr);
+        } else if (flag == "--delay") {
+            config.delay = std::strtod(next_value("--delay"), nullptr);
+        } else if (flag == "--jitter") {
+            config.jitter = std::strtoull(next_value("--jitter"), nullptr, 10);
+        } else if (flag == "--latency") {
+            const std::string range = next_value("--latency");
+            const std::size_t colon = range.find(':');
+            if (colon == std::string::npos) usage();
+            config.latency_lo = std::strtoull(range.c_str(), nullptr, 10);
+            config.latency_hi =
+                std::strtoull(range.c_str() + colon + 1, nullptr, 10);
+        } else if (flag == "--trace") {
+            config.trace_json_path = next_value("--trace");
+        } else if (flag == "--trace-binary") {
+            config.trace_binary_path = next_value("--trace-binary");
+        } else if (flag == "--trace-capacity") {
+            config.trace_capacity =
+                std::strtoull(next_value("--trace-capacity"), nullptr, 10);
+        } else if (flag == "--json") {
+            config.json = true;
+        } else if (flag == "--quiet") {
+            config.quiet = true;
+        } else {
+            std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+            usage();
+        }
+    }
+    if (config.runs == 0 || config.trace_capacity == 0) usage();
+    return config;
+}
+
+bool write_file(const std::string& path, const char* data, std::size_t len) {
+    std::ofstream out(path, std::ios::binary);
+    out.write(data, static_cast<std::streamsize>(len));
+    return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Config config = parse_args(argc, argv);
+    const Graph topology = tools::build_topology(config.spec);
+
+    obs::MetricsRegistry registry;
+    obs::TraceSink sink(config.trace_capacity);
+    const bool tracing =
+        !config.trace_json_path.empty() || !config.trace_binary_path.empty();
+
+    auto decomposition = std::make_shared<const EdgeDecomposition>(
+        default_decomposition(topology, &registry));
+
+    // Direct Fig. 5 stamps (the oracle), through the instrumented engine
+    // and an instrumented arena.
+    Rng workload_rng(config.seed);
+    WorkloadOptions workload;
+    workload.num_messages = config.events;
+    const SyncComputation script =
+        random_computation(topology, workload, workload_rng);
+    const auto engine =
+        make_clock_engine(ClockFamily::online, decomposition);
+    engine->attach_metrics(registry);
+    TimestampArena oracle_arena(decomposition->size(),
+                                script.num_messages());
+    oracle_arena.attach_metrics(registry, "arena");
+    const std::vector<TsHandle> expected =
+        engine->stamp_messages(script, oracle_arena);
+
+    std::uint64_t mismatches = 0;
+    std::uint64_t stalls = 0;
+    std::uint64_t undetected_corrupt = 0;
+    std::uint64_t virtual_duration = 0;
+    for (std::uint64_t run = 1; run <= config.runs; ++run) {
+        SynchronizerOptions options;
+        options.seed = config.seed * 1'000'003 + run;
+        options.latency_lo = config.latency_lo;
+        options.latency_hi = config.latency_hi;
+        options.faults.seed = run * 0x9E3779B9ull + config.seed;
+        options.faults.drop_probability = config.drop;
+        options.faults.duplicate_probability = config.dup;
+        options.faults.corrupt_probability = config.corrupt;
+        options.faults.delay_probability = config.delay;
+        options.faults.max_extra_delay = config.jitter;
+        options.metrics = &registry;
+        options.trace = tracing ? &sink : nullptr;
+        try {
+            const SynchronizerResult result =
+                run_rendezvous_protocol(decomposition, script, options);
+            virtual_duration += result.virtual_duration;
+            for (std::size_t i = 0; i < result.message_stamps.size(); ++i) {
+                const auto oracle =
+                    oracle_arena.span(expected[result.script_message[i]]);
+                if (!(result.message_stamps[i] ==
+                      VectorTimestamp(oracle))) {
+                    ++mismatches;
+                }
+            }
+            if (result.message_stamps.size() != script.num_messages()) {
+                ++mismatches;
+            }
+            // FNV-1a catches every single-bit corruption the fault plan
+            // injects, so every corrupted frame must be rejected at
+            // decode (docs/FAULTS.md). A gap here is a checksum hole.
+            if (result.network_faults.corrupted >
+                result.protocol.corrupt_rejects) {
+                undetected_corrupt += result.network_faults.corrupted -
+                                      result.protocol.corrupt_rejects;
+            }
+        } catch (const SynchronizerStalled& stall) {
+            std::fprintf(stderr, "run %llu stalled: %s\n",
+                         static_cast<unsigned long long>(run), stall.what());
+            ++stalls;
+        }
+    }
+    registry.counter("stats_stamp_mismatches").inc(mismatches);
+    registry.counter("stats_stalls").inc(stalls);
+    registry.counter("stats_frames_corrupt_undetected")
+        .inc(undetected_corrupt);
+
+    if (!config.trace_json_path.empty()) {
+        const std::string chrome = sink.to_chrome_trace();
+        if (!write_file(config.trace_json_path, chrome.data(),
+                        chrome.size())) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         config.trace_json_path.c_str());
+            return 2;
+        }
+    }
+    if (!config.trace_binary_path.empty()) {
+        std::vector<std::uint8_t> frame;
+        sink.write_binary(frame);
+        if (!write_file(config.trace_binary_path,
+                        reinterpret_cast<const char*>(frame.data()),
+                        frame.size())) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         config.trace_binary_path.c_str());
+            return 2;
+        }
+    }
+
+    const bool clean =
+        mismatches == 0 && stalls == 0 && undetected_corrupt == 0;
+    if (config.json) {
+        std::string out;
+        out += "{\"tool\":\"syncts_stats\",\"topology\":\"";
+        out += config.spec;
+        out += "\",\"processes\":" +
+               std::to_string(topology.num_vertices());
+        out += ",\"width\":" + std::to_string(decomposition->size());
+        out += ",\"messages\":" + std::to_string(script.num_messages());
+        out += ",\"runs\":" + std::to_string(config.runs);
+        out += ",\"seed\":" + std::to_string(config.seed);
+        out += ",\"stamp_mismatches\":" + std::to_string(mismatches);
+        out += ",\"stalls\":" + std::to_string(stalls);
+        out += ",\"frames_corrupt_undetected\":" +
+               std::to_string(undetected_corrupt);
+        out += ",\"virtual_duration\":" + std::to_string(virtual_duration);
+        out += ",\"trace\":{\"recorded\":" + std::to_string(sink.recorded());
+        out += ",\"retained\":" + std::to_string(sink.size());
+        out += ",\"dropped\":" + std::to_string(sink.dropped()) + "}";
+        out += ",\"metrics\":";
+        registry.write_json(out);
+        out += ",\"ok\":";
+        out += clean ? "true" : "false";
+        out += "}\n";
+        std::fwrite(out.data(), 1, out.size(), stdout);
+    } else if (!config.quiet) {
+        std::printf("syncts_stats: %s  n=%zu  d=%zu  messages=%zu  "
+                    "runs=%llu  seed=%llu\n",
+                    config.spec.c_str(), topology.num_vertices(),
+                    decomposition->size(), script.num_messages(),
+                    static_cast<unsigned long long>(config.runs),
+                    static_cast<unsigned long long>(config.seed));
+        std::printf("verify:  mismatches=%llu stalls=%llu "
+                    "frames_corrupt_undetected=%llu\n",
+                    static_cast<unsigned long long>(mismatches),
+                    static_cast<unsigned long long>(stalls),
+                    static_cast<unsigned long long>(undetected_corrupt));
+        if (tracing) {
+            std::printf("trace:   recorded=%llu retained=%zu dropped=%llu\n",
+                        static_cast<unsigned long long>(sink.recorded()),
+                        sink.size(),
+                        static_cast<unsigned long long>(sink.dropped()));
+        }
+        std::printf("metrics: %s\n", registry.to_json().c_str());
+        std::printf("%s\n", clean ? "PASS" : "FAIL");
+    }
+    return clean ? 0 : 1;
+}

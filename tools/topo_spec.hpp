@@ -43,6 +43,12 @@ inline Graph build_topology(const std::string& spec) {
     if (kind == "cs") return topology::client_server(arg(1), arg(2));
     if (kind == "grid") return topology::grid(arg(1), arg(2));
     if (kind == "triangles") return topology::disjoint_triangles(arg(1));
+    // tri<k> — compact alias for triangles:<k> (e.g. the CI smoke job's
+    // `tri3`: nine processes in three disjoint triangles).
+    if (kind.size() > 3 && kind.compare(0, 3, "tri") == 0 &&
+        kind.find_first_not_of("0123456789", 3) == std::string::npos) {
+        return topology::disjoint_triangles(parse_count(kind.substr(3)));
+    }
     if (kind == "gnp") {
         Rng rng(arg(3));
         return topology::random_gnp(arg(1),
@@ -57,7 +63,8 @@ inline Graph build_topology(const std::string& spec) {
 
 inline const char* spec_help() {
     return "star:<n> ring:<n> path:<n> complete:<n> tree:<n>:<k> cs:<s>:<c> "
-           "grid:<w>:<h> triangles:<t> gnp:<n>:<p%>:<seed> fig2b fig4";
+           "grid:<w>:<h> triangles:<t> (alias tri<t>) gnp:<n>:<p%>:<seed> "
+           "fig2b fig4";
 }
 
 }  // namespace syncts::tools
