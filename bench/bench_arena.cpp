@@ -144,27 +144,56 @@ Result run_arena_instrumented(const Workload& w, std::size_t rounds) {
     return {ns, allocs};
 }
 
+/// Throughput regression guard for the widened comparison kernels: stamps
+/// the workload once, then streams the whole slab through leq_many (the
+/// 4-way unrolled word loop in ts_kernels) for `rounds` rotating probes.
+/// Reports ns per compared stamp — a kernel-unroll regression shows up
+/// here before it shows up in closure or verification wall time.
+Result run_leq_scan(const Workload& w, std::size_t rounds) {
+    OnlineTimestamper engine(w.decomposition);
+    TimestampArena arena(engine.width(), w.sends.size());
+    for (const auto& [from, to] : w.sends) {
+        engine.timestamp_message(from, to, arena);
+    }
+    std::vector<std::uint8_t> out(arena.size());
+    std::uint64_t checksum = 0;
+    const std::size_t allocs_before = syncts::bench::allocations();
+    const double ns = syncts::bench::measure_and_emit(
+        "arena_leq_many", rounds * arena.size(), [&] {
+            for (std::size_t r = 0; r < rounds; ++r) {
+                const TsHandle probe =
+                    static_cast<TsHandle>(r % arena.size());
+                leq_many(arena, arena.span(probe), out);
+                checksum += out[probe];
+            }
+        });
+    const std::size_t allocs = syncts::bench::allocations() - allocs_before;
+    if (checksum == 0) std::printf("(impossible: probe <= probe)\n");
+    return {ns, allocs};
+}
+
 void study(const char* family, const Graph& g, std::size_t messages,
            std::size_t rounds, std::uint64_t seed) {
     const Workload w = make_workload(g, messages, seed);
     const Result legacy = run_legacy(w, rounds);
     const Result arena = run_arena(w, rounds);
     const Result instrumented = run_arena_instrumented(w, rounds);
-    std::printf("%-20s %5zu %5zu %10.1f %10.1f %8.2fx %12zu %9.1f%% %6zu\n",
-                family, g.num_vertices(), w.decomposition->size(),
-                legacy.ns_per_msg, arena.ns_per_msg,
-                legacy.ns_per_msg / arena.ns_per_msg, arena.allocs,
-                (instrumented.ns_per_msg / arena.ns_per_msg - 1.0) * 100.0,
-                instrumented.allocs);
+    const Result leq = run_leq_scan(w, rounds);
+    std::printf(
+        "%-20s %5zu %5zu %10.1f %10.1f %8.2fx %12zu %9.1f%% %6zu %8.2f\n",
+        family, g.num_vertices(), w.decomposition->size(), legacy.ns_per_msg,
+        arena.ns_per_msg, legacy.ns_per_msg / arena.ns_per_msg, arena.allocs,
+        (instrumented.ns_per_msg / arena.ns_per_msg - 1.0) * 100.0,
+        instrumented.allocs, leq.ns_per_msg);
 }
 
 }  // namespace
 
 int main() {
     std::printf("== TAB-ARENA: arena span hooks vs owning vectors ==\n\n");
-    std::printf("%-20s %5s %5s %10s %10s %8s %12s %10s %6s\n", "family", "N",
-                "d", "legacy ns", "arena ns", "speedup", "arena allocs",
-                "metric ovh", "allocs");
+    std::printf("%-20s %5s %5s %10s %10s %8s %12s %10s %6s %8s\n", "family",
+                "N", "d", "legacy ns", "arena ns", "speedup", "arena allocs",
+                "metric ovh", "allocs", "leq ns");
     Rng seeds(11011);
     study("star", topology::star(32), 4096, 64, seeds());
     study("star", topology::star(128), 4096, 64, seeds());
@@ -184,6 +213,9 @@ int main() {
         "registry attached (slot counter + slab gauge + per-family stamp\n"
         "counter live): it must stay within a few percent and at 0\n"
         "steady-state allocations — instrumentation must not cost the\n"
-        "zero-allocation guarantee it is there to watch.\n");
+        "zero-allocation guarantee it is there to watch.\n"
+        "The leq-ns column streams the slab through the 4-way unrolled\n"
+        "leq_many kernel (ns per compared stamp) — a regression guard for\n"
+        "the widened word loops in ts_kernels.\n");
     return 0;
 }

@@ -3,10 +3,12 @@
 // Machine-readable bench output: every bench binary ends each study (or
 // its run) with one JSON line of the canonical shape
 //
-//     {"bench":"...","n":...,"ns_per_msg":...,"allocs":...}
+//     {"bench":"...","n":...,"ns_per_msg":...,"allocs":...,"threads":...}
 //
 // so tools/bench_to_json.sh can collect results across binaries without
-// parsing the human tables. Include this header from the bench's main
+// parsing the human tables. "threads" is the analysis-pool width the
+// study ran at (1 for every serial bench), so perf trajectories like
+// BENCH_parallel.json can chart scaling across thread counts. Include this header from the bench's main
 // translation unit ONLY — it defines the replacement global operator
 // new/delete that back the "allocs" column, and two definitions in one
 // binary would violate the one-definition rule.
@@ -54,12 +56,13 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace syncts::bench {
 
-/// Emits the canonical JSON line on its own stdout row.
+/// Emits the canonical JSON line on its own stdout row. `threads` is the
+/// analysis-pool width the measurement ran at (1 = serial).
 inline void emit_json(const char* bench, std::size_t n, double ns_per_msg,
-                      std::size_t allocs) {
+                      std::size_t allocs, std::size_t threads = 1) {
     std::printf("{\"bench\":\"%s\",\"n\":%zu,\"ns_per_msg\":%.1f,"
-                "\"allocs\":%zu}\n",
-                bench, n, ns_per_msg, allocs);
+                "\"allocs\":%zu,\"threads\":%zu}\n",
+                bench, n, ns_per_msg, allocs, threads);
 }
 
 /// As emit_json, but appends a full registry snapshot under "metrics" —
@@ -67,7 +70,8 @@ inline void emit_json(const char* bench, std::size_t n, double ns_per_msg,
 /// result line carries both the timing and what the counters saw.
 inline void emit_json_with_metrics(const char* bench, std::size_t n,
                                    double ns_per_msg, std::size_t allocs,
-                                   const obs::MetricsRegistry& registry) {
+                                   const obs::MetricsRegistry& registry,
+                                   std::size_t threads = 1) {
     std::string out;
     out += "{\"bench\":\"";
     out += bench;
@@ -77,6 +81,7 @@ inline void emit_json_with_metrics(const char* bench, std::size_t n,
     out += ",\"ns_per_msg\":";
     out += ns_text;
     out += ",\"allocs\":" + std::to_string(allocs);
+    out += ",\"threads\":" + std::to_string(threads);
     out += ",\"metrics\":";
     registry.write_json(out);
     out += "}\n";
@@ -87,7 +92,8 @@ inline void emit_json_with_metrics(const char* bench, std::size_t n,
 /// and emits the canonical JSON line. Returns ns per item for callers
 /// that also want the number in their human-readable table.
 template <typename Fn>
-double measure_and_emit(const char* bench, std::size_t n, Fn&& fn) {
+double measure_and_emit(const char* bench, std::size_t n, Fn&& fn,
+                        std::size_t threads = 1) {
     const std::size_t allocs_before = allocations();
     const auto start = std::chrono::steady_clock::now();
     fn();
@@ -98,7 +104,7 @@ double measure_and_emit(const char* bench, std::size_t n, Fn&& fn) {
             std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
                 .count()) /
         static_cast<double>(n == 0 ? 1 : n);
-    emit_json(bench, n, ns, allocs);
+    emit_json(bench, n, ns, allocs, threads);
     return ns;
 }
 

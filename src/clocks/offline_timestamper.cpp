@@ -9,13 +9,14 @@ namespace syncts {
 
 OfflineResult offline_timestamps(const Poset& message_order,
                                  std::size_t num_processes,
-                                 bool minimize_dimension) {
+                                 bool minimize_dimension,
+                                 const AnalysisOptions& analysis) {
     OfflineResult result;
     result.theorem8_bound = num_processes / 2;
     result.realizer = chain_realizer(message_order);
     if (minimize_dimension && !result.realizer.extensions.empty()) {
-        result.realizer =
-            minimize_realizer(message_order, std::move(result.realizer));
+        result.realizer = minimize_realizer(
+            message_order, std::move(result.realizer), analysis);
     }
     result.width = result.realizer.size();
     if (message_order.size() == 0) return result;
@@ -31,10 +32,11 @@ OfflineResult offline_timestamps(const Poset& message_order,
 }
 
 OfflineResult offline_timestamps(const SyncComputation& computation,
-                                 bool minimize_dimension) {
-    return offline_timestamps(message_poset(computation),
+                                 bool minimize_dimension,
+                                 const AnalysisOptions& analysis) {
+    return offline_timestamps(message_poset(computation, analysis),
                               computation.num_processes(),
-                              minimize_dimension);
+                              minimize_dimension, analysis);
 }
 
 }  // namespace syncts

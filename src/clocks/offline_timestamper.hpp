@@ -39,13 +39,18 @@ struct OfflineResult {
 /// report the Theorem 8 bound. With `minimize_dimension` set, a greedy
 /// post-pass drops redundant realizer extensions (dim(P) can sit strictly
 /// below the width bound Fig. 9 stops at), shrinking the vectors further;
-/// costs an extra O(w²·M²) validation sweep.
+/// costs an extra O(w²·M²) validation sweep — that sweep shards across
+/// the analysis pool when `analysis.threads != 1` (or a pool is given),
+/// producing bit-identical results at any thread count.
 OfflineResult offline_timestamps(const Poset& message_order,
                                  std::size_t num_processes,
-                                 bool minimize_dimension = false);
+                                 bool minimize_dimension = false,
+                                 const AnalysisOptions& analysis = {});
 
-/// Convenience: builds the ground-truth poset from the computation first.
+/// Convenience: builds the ground-truth poset from the computation first
+/// (its transitive closure also runs through `analysis`).
 OfflineResult offline_timestamps(const SyncComputation& computation,
-                                 bool minimize_dimension = false);
+                                 bool minimize_dimension = false,
+                                 const AnalysisOptions& analysis = {});
 
 }  // namespace syncts

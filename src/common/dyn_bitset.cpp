@@ -19,6 +19,31 @@ DynBitset& DynBitset::operator&=(const DynBitset& other) noexcept {
     return *this;
 }
 
+std::size_t DynBitset::or_with(const DynBitset& other, std::size_t word_begin,
+                               std::size_t word_end) noexcept {
+    std::size_t end = words_.size() < other.words_.size()
+                          ? words_.size()
+                          : other.words_.size();
+    if (word_end < end) end = word_end;
+    if (word_begin >= end) return 0;
+    for (std::size_t i = word_begin; i < end; ++i) {
+        words_[i] |= other.words_[i];
+    }
+    return end - word_begin;
+}
+
+std::size_t DynBitset::count_and(const DynBitset& other) const noexcept {
+    const std::size_t n = words_.size() < other.words_.size()
+                              ? words_.size()
+                              : other.words_.size();
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        total += static_cast<std::size_t>(
+            __builtin_popcountll(words_[i] & other.words_[i]));
+    }
+    return total;
+}
+
 bool DynBitset::is_subset_of(const DynBitset& other) const noexcept {
     if (other.words_.size() < words_.size()) {
         for (std::size_t i = other.words_.size(); i < words_.size(); ++i) {

@@ -1,0 +1,183 @@
+#include "common/pool.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.hpp"
+
+namespace syncts {
+
+/// One parallel_for invocation. Chunks are striped across participants;
+/// each participant claims chunks from its own stripe with a relaxed
+/// fetch_add and, once the stripe is dry, steals from the other stripes in
+/// round-robin order. The cursors may overshoot their stripe end by one
+/// per thief — harmless, the bound check rejects the overshoot.
+struct Pool::Job {
+    std::size_t n = 0;
+    std::size_t grain = 0;
+    std::size_t chunks = 0;
+    const std::function<void(std::size_t, std::size_t, std::size_t)>* body =
+        nullptr;
+    /// cursor[p] walks [stripe_begin[p], stripe_end[p]).
+    std::unique_ptr<std::atomic<std::size_t>[]> cursor;
+    std::vector<std::size_t> stripe_end;
+    std::atomic<std::size_t> done{0};
+    std::mutex error_mu;
+    std::exception_ptr error;
+};
+
+Pool::Pool(std::size_t threads) {
+    const std::size_t total = resolve_threads(threads);
+    workers_.reserve(total - 1);
+    for (std::size_t w = 0; w + 1 < total; ++w) {
+        workers_.emplace_back([this, w] { worker_main(w); });
+    }
+}
+
+Pool::~Pool() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t Pool::resolve_threads(std::size_t requested) noexcept {
+    if (requested != 0) return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t Pool::effective_grain(std::size_t n,
+                                  std::size_t grain) const noexcept {
+    if (n == 0) return 1;
+    if (grain != 0) return grain;
+    // ~8 chunks per participant: enough slack for stealing to balance,
+    // few enough that the per-chunk claim cost stays invisible.
+    return std::max<std::size_t>(1, n / (threads() * 8));
+}
+
+void Pool::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+    parallel_for_chunks(
+        n, grain,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+            body(begin, end);
+        });
+}
+
+void Pool::parallel_for_chunks(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+    if (n == 0) return;
+    const std::size_t g = effective_grain(n, grain);
+    const std::size_t chunks = num_chunks(n, g);
+    if (metric_tasks_ != nullptr) {
+        metric_tasks_->inc(static_cast<std::uint64_t>(chunks));
+    }
+    const auto run_chunk = [&](std::size_t chunk) {
+        const std::size_t begin = chunk * g;
+        body(chunk, begin, std::min(n, begin + g));
+    };
+    if (workers_.empty() || chunks <= 1) {
+        for (std::size_t chunk = 0; chunk < chunks; ++chunk) run_chunk(chunk);
+        return;
+    }
+
+    // One job at a time; concurrent callers queue up here.
+    std::lock_guard<std::mutex> submit(submit_mu_);
+
+    Job job;
+    job.n = n;
+    job.grain = g;
+    job.chunks = chunks;
+    job.body = &body;
+    const std::size_t participants = threads();
+    job.cursor =
+        std::make_unique<std::atomic<std::size_t>[]>(participants);
+    job.stripe_end.resize(participants);
+    for (std::size_t p = 0; p < participants; ++p) {
+        job.cursor[p].store(chunks * p / participants,
+                            std::memory_order_relaxed);
+        job.stripe_end[p] = chunks * (p + 1) / participants;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        job_ = &job;
+        ++epoch_;
+    }
+    work_cv_.notify_all();
+
+    run_participant(job, 0);
+
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        done_cv_.wait(lock, [&] {
+            return job.done.load(std::memory_order_acquire) == job.chunks &&
+                   active_ == 0;
+        });
+        job_ = nullptr;  // late wakers must not touch the dead job
+    }
+    if (job.error) std::rethrow_exception(job.error);
+}
+
+void Pool::worker_main(std::size_t worker_index) {
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+        Job* job = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock,
+                          [&] { return stop_ || epoch_ != seen_epoch; });
+            if (stop_) return;
+            seen_epoch = epoch_;
+            job = job_;
+            if (job != nullptr) ++active_;
+        }
+        if (job == nullptr) continue;  // job finished before we woke
+        run_participant(*job, worker_index + 1);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --active_;
+        }
+        done_cv_.notify_all();
+    }
+}
+
+void Pool::run_participant(Job& job, std::size_t participant) noexcept {
+    const std::size_t participants = threads();
+    std::size_t completed = 0;
+    for (std::size_t v = 0; v < participants; ++v) {
+        const std::size_t victim = (participant + v) % participants;
+        for (;;) {
+            const std::size_t chunk = job.cursor[victim].fetch_add(
+                1, std::memory_order_relaxed);
+            if (chunk >= job.stripe_end[victim]) break;
+            const std::size_t begin = chunk * job.grain;
+            const std::size_t end = std::min(job.n, begin + job.grain);
+            try {
+                (*job.body)(chunk, begin, end);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(job.error_mu);
+                if (!job.error) job.error = std::current_exception();
+            }
+            ++completed;
+        }
+    }
+    if (completed != 0 &&
+        job.done.fetch_add(completed, std::memory_order_acq_rel) +
+                completed ==
+            job.chunks) {
+        done_cv_.notify_all();
+    }
+}
+
+void Pool::attach_metrics(obs::MetricsRegistry& registry,
+                          std::string_view prefix) {
+    metric_tasks_ = &registry.counter(std::string(prefix) + "_tasks");
+}
+
+}  // namespace syncts

@@ -1,6 +1,63 @@
 #include "common/timestamp_arena.hpp"
 
+#include "common/pool.hpp"
+
 namespace syncts {
+
+namespace {
+
+/// Shared body of the sharded batch kernels: validates once, then runs
+/// kernel(begin, end) over slot shards. Each shard touches only its own
+/// rows of `out`, so the schedule cannot change the result.
+template <typename Kernel>
+void sharded_scan(const TimestampArena& arena,
+                  std::span<const std::uint64_t> probe,
+                  std::span<std::uint8_t> out, const AnalysisOptions& options,
+                  Kernel&& kernel) {
+    SYNCTS_REQUIRE(probe.size() == arena.width(),
+                   "probe width does not match the arena width");
+    SYNCTS_REQUIRE(out.size() == arena.size(),
+                   "output size does not match the slot count");
+    arena.note_kernel(arena.size());
+    if (!options.parallel()) {
+        kernel(std::size_t{0}, out.size());
+        return;
+    }
+    PoolLease lease(options);
+    lease.pool().parallel_for(out.size(), 0, kernel);
+}
+
+}  // namespace
+
+void leq_many(const TimestampArena& arena,
+              std::span<const std::uint64_t> probe,
+              std::span<std::uint8_t> out, const AnalysisOptions& options) {
+    const std::size_t width = arena.width();
+    const std::span<const std::uint64_t> slab = arena.slab();
+    sharded_scan(arena, probe, out, options,
+                 [&, width](std::size_t begin, std::size_t end) {
+                     for (std::size_t i = begin; i < end; ++i) {
+                         out[i] = ts::leq(probe,
+                                          slab.subspan(i * width, width))
+                                      ? 1
+                                      : 0;
+                     }
+                 });
+}
+
+void relate_many(const TimestampArena& arena,
+                 std::span<const std::uint64_t> probe,
+                 std::span<std::uint8_t> out, const AnalysisOptions& options) {
+    const std::size_t width = arena.width();
+    const std::span<const std::uint64_t> slab = arena.slab();
+    sharded_scan(arena, probe, out, options,
+                 [&, width](std::size_t begin, std::size_t end) {
+                     for (std::size_t i = begin; i < end; ++i) {
+                         out[i] =
+                             ts::relate(slab.subspan(i * width, width), probe);
+                     }
+                 });
+}
 
 void leq_many(const TimestampArena& arena,
               std::span<const std::uint64_t> probe,

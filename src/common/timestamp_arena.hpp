@@ -182,11 +182,20 @@ private:
     obs::Counter* metric_kernel_rows_ = nullptr;
 };
 
+struct AnalysisOptions;
+
 /// out[i] = (probe ≤ slot i), for every slot. `out.size()` must equal
 /// `arena.size()`. The batch form of the Section 2 ≤ test.
 void leq_many(const TimestampArena& arena,
               std::span<const std::uint64_t> probe,
               std::span<std::uint8_t> out);
+
+/// Sharded form: slot ranges are split across the analysis pool; each
+/// shard writes its own disjoint out range, so the result is byte-equal
+/// to the serial form at any thread count.
+void leq_many(const TimestampArena& arena,
+              std::span<const std::uint64_t> probe,
+              std::span<std::uint8_t> out, const AnalysisOptions& options);
 
 /// out[i] = ts::relate(slot i, probe) (bit kRowLeq: slot ≤ probe, bit
 /// kProbeLeq: probe ≤ slot) — one pass answering before/after/equal/
@@ -194,6 +203,11 @@ void leq_many(const TimestampArena& arena,
 void relate_many(const TimestampArena& arena,
                  std::span<const std::uint64_t> probe,
                  std::span<std::uint8_t> out);
+
+/// Sharded form; same determinism contract as the sharded leq_many.
+void relate_many(const TimestampArena& arena,
+                 std::span<const std::uint64_t> probe,
+                 std::span<std::uint8_t> out, const AnalysisOptions& options);
 
 /// Handles of every slot whose timestamp strictly dominates `probe`
 /// (probe < slot in the vector order) — "everything causally after

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <climits>
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <type_traits>
 
 /// \file ts_kernels.hpp
 /// The innermost timestamp kernels: every vector-order operation of
@@ -12,16 +14,44 @@
 ///
 /// The kernels assume the caller has already matched widths (the public
 /// wrappers — VectorTimestamp methods, TimestampArena ops — validate and
-/// throw); here a mismatch is a programming error, kept cheap so the
-/// per-message hot path of Fig. 5 is a handful of straight-line loops the
-/// compiler can unroll and vectorize.
+/// throw); here a mismatch is a programming error.
+///
+/// The loops are manually unrolled kUnroll lanes wide with branchless
+/// bodies, so the main block is straight-line max/compare chains the
+/// compiler turns into SIMD (4 × u64 = one 256-bit register). The
+/// predicates accumulate violation masks per block and test once per
+/// block, keeping the early exit the batch kernels (leq_many/relate_many)
+/// rely on without a branch per lane.
 
 namespace syncts::ts {
+
+/// Lanes per unrolled block. The guard below is what actually backs the
+/// vectorizability claim: timestamp components must be exactly 64-bit
+/// unsigned words (the arena slab, the wire format, and DynBitset all
+/// assume it) and the block must fill a whole power-of-two vector
+/// register, or the unrolled bodies silently deoptimize to scalar code.
+inline constexpr std::size_t kUnroll = 4;
+
+static_assert(sizeof(std::uint64_t) * CHAR_BIT == 64,
+              "timestamp components must be exactly 64-bit words");
+static_assert((kUnroll & (kUnroll - 1)) == 0 && kUnroll >= 2,
+              "unroll factor must be a power of two");
+static_assert(kUnroll * sizeof(std::uint64_t) == 32,
+              "one unrolled block must fill a 256-bit vector register");
+static_assert(std::is_trivially_copyable_v<std::uint64_t>);
 
 /// dst[k] = max(dst[k], src[k]) — the merge of Fig. 5 lines (05)/(09).
 inline void join(std::span<std::uint64_t> dst,
                  std::span<const std::uint64_t> src) noexcept {
-    for (std::size_t k = 0; k < dst.size(); ++k) {
+    const std::size_t n = dst.size();
+    std::size_t k = 0;
+    for (; k + kUnroll <= n; k += kUnroll) {
+        dst[k] = src[k] > dst[k] ? src[k] : dst[k];
+        dst[k + 1] = src[k + 1] > dst[k + 1] ? src[k + 1] : dst[k + 1];
+        dst[k + 2] = src[k + 2] > dst[k + 2] ? src[k + 2] : dst[k + 2];
+        dst[k + 3] = src[k + 3] > dst[k + 3] ? src[k + 3] : dst[k + 3];
+    }
+    for (; k < n; ++k) {
         if (src[k] > dst[k]) dst[k] = src[k];
     }
 }
@@ -36,7 +66,15 @@ inline void copy(std::span<std::uint64_t> dst,
 inline void join_into(std::span<std::uint64_t> dst,
                       std::span<const std::uint64_t> a,
                       std::span<const std::uint64_t> b) noexcept {
-    for (std::size_t k = 0; k < dst.size(); ++k) {
+    const std::size_t n = dst.size();
+    std::size_t k = 0;
+    for (; k + kUnroll <= n; k += kUnroll) {
+        dst[k] = a[k] > b[k] ? a[k] : b[k];
+        dst[k + 1] = a[k + 1] > b[k + 1] ? a[k + 1] : b[k + 1];
+        dst[k + 2] = a[k + 2] > b[k + 2] ? a[k + 2] : b[k + 2];
+        dst[k + 3] = a[k + 3] > b[k + 3] ? a[k + 3] : b[k + 3];
+    }
+    for (; k < n; ++k) {
         dst[k] = a[k] > b[k] ? a[k] : b[k];
     }
 }
@@ -52,7 +90,15 @@ inline void increment(std::span<std::uint64_t> v, std::size_t k) noexcept {
 
 inline bool equal(std::span<const std::uint64_t> u,
                   std::span<const std::uint64_t> v) noexcept {
-    for (std::size_t k = 0; k < u.size(); ++k) {
+    const std::size_t n = u.size();
+    std::size_t k = 0;
+    for (; k + kUnroll <= n; k += kUnroll) {
+        const std::uint64_t diff = (u[k] ^ v[k]) | (u[k + 1] ^ v[k + 1]) |
+                                   (u[k + 2] ^ v[k + 2]) |
+                                   (u[k + 3] ^ v[k + 3]);
+        if (diff != 0) return false;
+    }
+    for (; k < n; ++k) {
         if (u[k] != v[k]) return false;
     }
     return true;
@@ -61,7 +107,15 @@ inline bool equal(std::span<const std::uint64_t> u,
 /// Component-wise ≤ (reflexive).
 inline bool leq(std::span<const std::uint64_t> u,
                 std::span<const std::uint64_t> v) noexcept {
-    for (std::size_t k = 0; k < u.size(); ++k) {
+    const std::size_t n = u.size();
+    std::size_t k = 0;
+    for (; k + kUnroll <= n; k += kUnroll) {
+        // Violation mask per block: branchless lanes, one test per block.
+        const bool bad = (u[k] > v[k]) | (u[k + 1] > v[k + 1]) |
+                         (u[k + 2] > v[k + 2]) | (u[k + 3] > v[k + 3]);
+        if (bad) return false;
+    }
+    for (; k < n; ++k) {
         if (u[k] > v[k]) return false;
     }
     return true;
@@ -71,8 +125,17 @@ inline bool leq(std::span<const std::uint64_t> u,
 ///     u < v ⟺ (∀k: u[k] ≤ v[k]) ∧ (∃j: u[j] < v[j]).
 inline bool less(std::span<const std::uint64_t> u,
                  std::span<const std::uint64_t> v) noexcept {
+    const std::size_t n = u.size();
     bool strict = false;
-    for (std::size_t k = 0; k < u.size(); ++k) {
+    std::size_t k = 0;
+    for (; k + kUnroll <= n; k += kUnroll) {
+        const bool bad = (u[k] > v[k]) | (u[k + 1] > v[k + 1]) |
+                         (u[k + 2] > v[k + 2]) | (u[k + 3] > v[k + 3]);
+        if (bad) return false;
+        strict |= (u[k] < v[k]) | (u[k + 1] < v[k + 1]) |
+                  (u[k + 2] < v[k + 2]) | (u[k + 3] < v[k + 3]);
+    }
+    for (; k < n; ++k) {
         if (u[k] > v[k]) return false;
         if (u[k] < v[k]) strict = true;
     }
@@ -82,9 +145,18 @@ inline bool less(std::span<const std::uint64_t> u,
 /// Neither u ≤ v nor v ≤ u (so in particular u ≠ v).
 inline bool concurrent(std::span<const std::uint64_t> u,
                        std::span<const std::uint64_t> v) noexcept {
+    const std::size_t n = u.size();
     bool u_above = false;  // some u[k] > v[k]
     bool v_above = false;  // some v[k] > u[k]
-    for (std::size_t k = 0; k < u.size(); ++k) {
+    std::size_t k = 0;
+    for (; k + kUnroll <= n; k += kUnroll) {
+        u_above |= (u[k] > v[k]) | (u[k + 1] > v[k + 1]) |
+                   (u[k + 2] > v[k + 2]) | (u[k + 3] > v[k + 3]);
+        v_above |= (v[k] > u[k]) | (v[k + 1] > u[k + 1]) |
+                   (v[k + 2] > u[k + 2]) | (v[k + 3] > u[k + 3]);
+        if (u_above && v_above) return true;
+    }
+    for (; k < n; ++k) {
         if (u[k] > v[k]) u_above = true;
         if (v[k] > u[k]) v_above = true;
         if (u_above && v_above) return true;
@@ -108,13 +180,26 @@ inline constexpr std::uint8_t kProbeLeq = 2;  ///< probe ≤ row
 /// One-pass three-way relation, the building block of the batch kernels.
 inline std::uint8_t relate(std::span<const std::uint64_t> row,
                            std::span<const std::uint64_t> probe) noexcept {
-    std::uint8_t flags = kRowLeq | kProbeLeq;
-    for (std::size_t k = 0; k < row.size(); ++k) {
-        if (row[k] > probe[k]) flags &= static_cast<std::uint8_t>(~kRowLeq);
-        if (probe[k] > row[k]) flags &= static_cast<std::uint8_t>(~kProbeLeq);
-        if (flags == 0) return 0;
+    const std::size_t n = row.size();
+    bool row_above = false;    // some row[k] > probe[k]
+    bool probe_above = false;  // some probe[k] > row[k]
+    std::size_t k = 0;
+    for (; k + kUnroll <= n; k += kUnroll) {
+        row_above |= (row[k] > probe[k]) | (row[k + 1] > probe[k + 1]) |
+                     (row[k + 2] > probe[k + 2]) |
+                     (row[k + 3] > probe[k + 3]);
+        probe_above |= (probe[k] > row[k]) | (probe[k + 1] > row[k + 1]) |
+                       (probe[k + 2] > row[k + 2]) |
+                       (probe[k + 3] > row[k + 3]);
+        if (row_above && probe_above) return 0;
     }
-    return flags;
+    for (; k < n; ++k) {
+        row_above |= row[k] > probe[k];
+        probe_above |= probe[k] > row[k];
+        if (row_above && probe_above) return 0;
+    }
+    return static_cast<std::uint8_t>(
+        (row_above ? 0 : kRowLeq) | (probe_above ? 0 : kProbeLeq));
 }
 
 }  // namespace syncts::ts

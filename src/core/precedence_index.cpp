@@ -1,0 +1,76 @@
+#include "core/precedence_index.hpp"
+
+#include "common/check.hpp"
+#include "common/ts_kernels.hpp"
+
+namespace syncts {
+
+namespace {
+
+/// SplitMix64 finalizer — spreads the (m1, m2) pair key across shards so
+/// hot pairs on nearby message ids don't pile onto one lock.
+std::uint64_t mix(std::uint64_t key) noexcept {
+    key ^= key >> 30;
+    key *= 0xBF58476D1CE4E5B9ull;
+    key ^= key >> 27;
+    key *= 0x94D049BB133111EBull;
+    key ^= key >> 31;
+    return key;
+}
+
+}  // namespace
+
+PrecedenceIndex::PrecedenceIndex(const TimestampedTrace& trace,
+                                 std::size_t shards)
+    : trace_(&trace), shards_count_(shards == 0 ? 16 : shards) {
+    SYNCTS_REQUIRE((shards_count_ & (shards_count_ - 1)) == 0,
+                   "shard count must be a power of two");
+    shards_ = std::make_unique<Shard[]>(shards_count_);
+}
+
+bool PrecedenceIndex::precedes(MessageId m1, MessageId m2) const {
+    const std::size_t n = trace_->num_messages();
+    SYNCTS_REQUIRE(m1 < n && m2 < n, "message id out of range");
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(m1) * static_cast<std::uint64_t>(n) +
+        static_cast<std::uint64_t>(m2);
+    Shard& shard = shards_[mix(key) & (shards_count_ - 1)];
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        const auto it = shard.memo.find(key);
+        if (it != shard.memo.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            if (metric_hits_ != nullptr) metric_hits_->inc();
+            return it->second;
+        }
+    }
+    // Compute outside the lock: the O(width) compare is the expensive
+    // part and its answer is immutable.
+    const bool result =
+        ts::less(trace_->stamp_span(m1), trace_->stamp_span(m2));
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.memo.emplace(key, result);
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_misses_ != nullptr) metric_misses_->inc();
+    return result;
+}
+
+std::size_t PrecedenceIndex::memo_entries() const {
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < shards_count_; ++s) {
+        std::lock_guard<std::mutex> lock(shards_[s].mu);
+        total += shards_[s].memo.size();
+    }
+    return total;
+}
+
+void PrecedenceIndex::attach_metrics(obs::MetricsRegistry& registry,
+                                     std::string_view prefix) {
+    const std::string p(prefix);
+    metric_hits_ = &registry.counter(p + "_memo_hits");
+    metric_misses_ = &registry.counter(p + "_memo_misses");
+}
+
+}  // namespace syncts

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "core/causality.hpp"
 #include "trace/ground_truth.hpp"
 
 namespace syncts {
@@ -111,16 +112,14 @@ std::size_t TimestampedTrace::concurrent_pair_count() const {
     return count;
 }
 
-std::size_t TimestampedTrace::verify_against_ground_truth() const {
-    const Poset truth = message_poset(computation_);
-    std::size_t mismatches = 0;
-    for (MessageId a = 0; a < stamps_.size(); ++a) {
-        for (MessageId b = 0; b < stamps_.size(); ++b) {
-            if (a == b) continue;
-            if (truth.less(a, b) != precedes(a, b)) ++mismatches;
-        }
-    }
-    return mismatches;
+std::size_t TimestampedTrace::verify_against_ground_truth(
+    const AnalysisOptions& options) const {
+    // Ground-truth closure and the O(M²) pair sweep both run through the
+    // analysis options (serial by default). encoding_mismatches compares
+    // truth.less(a, b) against ts::less of the arena rows — exactly the
+    // precedes() predicate — with sharded row ranges reduced in order.
+    const Poset truth = message_poset(computation_, options);
+    return encoding_mismatches(truth, stamps_, options);
 }
 
 std::string TimestampedTrace::to_string() const {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "clocks/vector_timestamp.hpp"
+#include "common/pool.hpp"
 #include "common/timestamp_arena.hpp"
 #include "trace/computation.hpp"
 
@@ -80,7 +81,11 @@ public:
     /// Checks Theorem 4 against ground truth (the transitively closed ▷
     /// relation): returns the number of disagreeing pairs, 0 when the
     /// timestamps encode the poset exactly. O(M²) — verification tool.
-    std::size_t verify_against_ground_truth() const;
+    /// The ground-truth closure and the pair sweep both shard across the
+    /// analysis pool when `options` asks for threads; the count is
+    /// bit-identical to the serial sweep at every thread count.
+    std::size_t verify_against_ground_truth(
+        const AnalysisOptions& options = {}) const;
 
     /// "m3 = (1,1,1)"-style listing, 1-based like the paper's figures.
     std::string to_string() const;

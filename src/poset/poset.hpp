@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/dyn_bitset.hpp"
+#include "common/pool.hpp"
 
 /// \file poset.hpp
 /// Finite irreflexive poset over elements 0..n-1, stored as full
@@ -31,7 +32,16 @@ public:
     /// Computes the transitive closure of the added relations. Throws
     /// std::invalid_argument when the generating relation has a cycle
     /// (i.e., it does not define a partial order).
-    void close();
+    ///
+    /// The closure is a level-synchronous blocked bit-matrix sweep: rows
+    /// are grouped by longest-path depth, and within one level every row
+    /// is the word-wise OR of its predecessors' rows (below_[b] =
+    /// ∪_{a ∈ preds(b)} below_[a] ∪ {a}) — rows of one level depend only
+    /// on lower levels, so the level's row block fans out across the
+    /// analysis pool. The result is bit-identical at every thread count
+    /// (set union is schedule-independent).
+    void close(const AnalysisOptions& options);
+    void close() { close(AnalysisOptions{}); }
 
     bool closed() const noexcept { return closed_; }
 

@@ -1,5 +1,7 @@
 #include "poset/realizer.hpp"
 
+#include <atomic>
+
 #include "common/check.hpp"
 #include "poset/linear_extension.hpp"
 
@@ -16,20 +18,22 @@ Realizer chain_realizer(const Poset& poset) {
     return realizer;
 }
 
-bool realizes(const Poset& poset, const Realizer& realizer) {
-    const std::size_t n = poset.size();
-    if (n == 0) return true;
-    if (realizer.extensions.empty()) return poset.relation_count() == 0 && n <= 1;
+namespace {
 
-    std::vector<std::vector<std::size_t>> positions;
-    positions.reserve(realizer.size());
-    for (const auto& ext : realizer.extensions) {
-        if (!poset.is_linear_extension(ext)) return false;
-        positions.push_back(positions_of(ext));
-    }
-    // Intersection must add no order beyond P: every incomparable pair must
-    // be reversed somewhere.
-    for (std::size_t a = 0; a < n; ++a) {
+/// Serial core of the incomparable-pair sweep over a in [a_begin, a_end):
+/// true when every incomparable pair rooted in the range is reversed
+/// somewhere in the realizer. `abort_flag` (may be null) lets sibling
+/// shards stop early once one of them found a violation.
+bool reversed_in_range(const Poset& poset,
+                       const std::vector<std::vector<std::size_t>>& positions,
+                       std::size_t a_begin, std::size_t a_end,
+                       const std::atomic<bool>* abort_flag) {
+    const std::size_t n = poset.size();
+    for (std::size_t a = a_begin; a < a_end; ++a) {
+        if (abort_flag != nullptr &&
+            abort_flag->load(std::memory_order_relaxed)) {
+            return false;
+        }
         for (std::size_t b = a + 1; b < n; ++b) {
             if (!poset.incomparable(a, b)) continue;
             bool a_first_everywhere = true;
@@ -44,8 +48,39 @@ bool realizes(const Poset& poset, const Realizer& realizer) {
     return true;
 }
 
-Realizer minimize_realizer(const Poset& poset, Realizer realizer) {
-    SYNCTS_REQUIRE(realizes(poset, realizer),
+}  // namespace
+
+bool realizes(const Poset& poset, const Realizer& realizer,
+              const AnalysisOptions& options) {
+    const std::size_t n = poset.size();
+    if (n == 0) return true;
+    if (realizer.extensions.empty()) return poset.relation_count() == 0 && n <= 1;
+
+    std::vector<std::vector<std::size_t>> positions;
+    positions.reserve(realizer.size());
+    for (const auto& ext : realizer.extensions) {
+        if (!poset.is_linear_extension(ext)) return false;
+        positions.push_back(positions_of(ext));
+    }
+    // Intersection must add no order beyond P: every incomparable pair must
+    // be reversed somewhere.
+    if (!options.parallel() || n < 64) {
+        return reversed_in_range(poset, positions, 0, n, nullptr);
+    }
+    std::atomic<bool> violated{false};
+    PoolLease lease(options);
+    lease.pool().parallel_for(
+        n, 0, [&](std::size_t begin, std::size_t end) {
+            if (!reversed_in_range(poset, positions, begin, end, &violated)) {
+                violated.store(true, std::memory_order_relaxed);
+            }
+        });
+    return !violated.load(std::memory_order_relaxed);
+}
+
+Realizer minimize_realizer(const Poset& poset, Realizer realizer,
+                           const AnalysisOptions& options) {
+    SYNCTS_REQUIRE(realizes(poset, realizer, options),
                    "can only minimize a valid realizer");
     // Try dropping extensions one at a time, largest index first so the
     // earlier (often more structured) extensions are preferred keepers.
@@ -56,7 +91,7 @@ Realizer minimize_realizer(const Poset& poset, Realizer realizer) {
         for (std::size_t j = 0; j < realizer.extensions.size(); ++j) {
             if (j != i) candidate.extensions.push_back(realizer.extensions[j]);
         }
-        if (realizes(poset, candidate)) {
+        if (realizes(poset, candidate, options)) {
             realizer = std::move(candidate);
         }
     }

@@ -31,15 +31,21 @@ struct Realizer {
 Realizer chain_realizer(const Poset& poset);
 
 /// True when every extension is a linear extension of the poset and the
-/// intersection of the extensions equals the poset exactly.
-bool realizes(const Poset& poset, const Realizer& realizer);
+/// intersection of the extensions equals the poset exactly. The O(n²·w)
+/// incomparable-pair sweep shards across the analysis pool (element
+/// ranges; a verdict is a conjunction, so sharding cannot change it).
+bool realizes(const Poset& poset, const Realizer& realizer,
+              const AnalysisOptions& options = {});
 
 /// Best-effort shrink: greedily drops extensions whose removal keeps the
 /// intersection equal to the poset. dim(P) can be strictly below the
 /// Dilworth width bound (Fig. 9 stops at width), so the chain realizer is
 /// sometimes redundant; the result still realizes P and is never larger.
-/// At least one extension is always kept.
-Realizer minimize_realizer(const Poset& poset, Realizer realizer);
+/// At least one extension is always kept. The per-candidate validation
+/// sweeps run through `options` (this is the O(w²·n²) hot spot of
+/// offline minimize_dimension).
+Realizer minimize_realizer(const Poset& poset, Realizer realizer,
+                           const AnalysisOptions& options = {});
 
 /// Fig. 9 step 3: timestamp element m with V_m where V_m[i] is the number
 /// of elements below m in extension i (its rank). For a valid realizer,

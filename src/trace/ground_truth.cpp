@@ -2,7 +2,8 @@
 
 namespace syncts {
 
-Poset message_poset(const SyncComputation& computation) {
+Poset message_poset(const SyncComputation& computation,
+                    const AnalysisOptions& analysis) {
     Poset poset(computation.num_messages());
     // Consecutive participations within one process generate ▷; its
     // transitive closure is ↦. Non-consecutive same-process pairs follow
@@ -13,7 +14,7 @@ Poset message_poset(const SyncComputation& computation) {
             poset.add_relation(msgs[i], msgs[i + 1]);
         }
     }
-    poset.close();
+    poset.close(analysis);
     return poset;
 }
 

@@ -14,8 +14,10 @@ namespace syncts {
 
 /// The poset (M, ↦) of Section 2 over the computation's messages:
 /// m1 ↦ m2 iff some chain of same-process precedences connects them.
-/// Elements are MessageIds.
-Poset message_poset(const SyncComputation& computation);
+/// Elements are MessageIds. The transitive closure runs through
+/// `analysis` (serial by default; see docs/PARALLELISM.md).
+Poset message_poset(const SyncComputation& computation,
+                    const AnalysisOptions& analysis = {});
 
 /// Lamport happened-before over *all* events — messages (as single
 /// rendezvous instants, per the vertical-arrow model with

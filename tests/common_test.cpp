@@ -173,5 +173,69 @@ TEST(DynBitset, ClearAndEquality) {
     EXPECT_EQ(a.count(), 0u);
 }
 
+TEST(DynBitset, WordAccessors) {
+    DynBitset bits(130);
+    EXPECT_EQ(bits.num_words(), 3u);
+    EXPECT_EQ(DynBitset(64).num_words(), 1u);
+    EXPECT_EQ(DynBitset(65).num_words(), 2u);
+    EXPECT_EQ(DynBitset().num_words(), 0u);
+    bits.set(0);
+    bits.set(63);
+    bits.set(64);
+    bits.set(129);
+    EXPECT_EQ(bits.word(0), (std::uint64_t{1} << 63) | 1u);
+    EXPECT_EQ(bits.word(1), 1u);
+    EXPECT_EQ(bits.word(2), std::uint64_t{1} << 1);
+    bits.or_word(1, 0xF0u);
+    EXPECT_EQ(bits.word(1), 0xF1u);
+    EXPECT_TRUE(bits.test(64 + 4));
+}
+
+TEST(DynBitset, OrWithFullRange) {
+    DynBitset a(200);
+    DynBitset b(200);
+    a.set(3);
+    b.set(64);
+    b.set(199);
+    EXPECT_EQ(a.or_with(b), a.num_words());
+    EXPECT_TRUE(a.test(3));
+    EXPECT_TRUE(a.test(64));
+    EXPECT_TRUE(a.test(199));
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(DynBitset, OrWithWordRange) {
+    DynBitset a(200);
+    DynBitset b(200);
+    b.set(10);    // word 0
+    b.set(70);    // word 1
+    b.set(199);   // word 3
+    // Only word 1 is in range: bits 10 and 199 must not leak in.
+    EXPECT_EQ(a.or_with(b, 1, 2), 1u);
+    EXPECT_FALSE(a.test(10));
+    EXPECT_TRUE(a.test(70));
+    EXPECT_FALSE(a.test(199));
+    // word_end defaults clamp to num_words(); an empty range is a no-op.
+    EXPECT_EQ(a.or_with(b, 2, 2), 0u);
+    EXPECT_EQ(a.or_with(b, 3), 1u);
+    EXPECT_TRUE(a.test(199));
+}
+
+TEST(DynBitset, CountAnd) {
+    DynBitset a(150);
+    DynBitset b(150);
+    a.set(0);
+    a.set(64);
+    a.set(149);
+    b.set(64);
+    b.set(149);
+    b.set(100);
+    EXPECT_EQ(a.count_and(b), 2u);
+    EXPECT_EQ(a.count_and(DynBitset(150)), 0u);
+    // count_and must not mutate either operand.
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(b.count(), 3u);
+}
+
 }  // namespace
 }  // namespace syncts

@@ -7,12 +7,13 @@
 #   tools/bench_to_json.sh build > results.json
 #
 # Plain benches emit their own canonical lines
-#   {"bench":...,"n":...,"ns_per_msg":...,"allocs":...}
+#   {"bench":...,"n":...,"ns_per_msg":...,"allocs":...,"threads":...}
 # optionally extended with a "metrics" registry snapshot (see
 # bench/bench_json.hpp); this script runs each binary, keeps only those
 # lines, and merges everything into a single array. google-benchmark
 # binaries are run with --benchmark_format=json and reduced to the same
-# shape (allocs is not tracked there and reported as -1).
+# shape (allocs is not tracked there and reported as -1; threads is 1 —
+# the gbench studies are all serial).
 
 set -euo pipefail
 
@@ -32,7 +33,7 @@ plain_benches=(
     bench_fig1_model bench_fig3_complete bench_fig4_tree bench_fig6_online
     bench_fig8_greedy bench_size_table bench_offline bench_events
     bench_runtime bench_related bench_wire bench_ablation bench_ordering
-    bench_faults bench_arena
+    bench_faults bench_arena bench_analysis
 )
 for name in "${plain_benches[@]}"; do
     bin="${bench_dir}/${name}"
@@ -66,6 +67,7 @@ for b in report.get("benchmarks", []):
         "n": int(b.get("iterations", 0)),
         "ns_per_msg": round(ns * scale, 1),
         "allocs": -1,
+        "threads": 1,
     }
     print(json.dumps(line))
 ' >> "${lines_file}"

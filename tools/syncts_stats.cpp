@@ -10,14 +10,25 @@
 //                [--runs R] [--drop P] [--dup P] [--corrupt P] [--delay P]
 //                [--jitter J] [--latency LO:HI] [--trace FILE.json]
 //                [--trace-binary FILE.bin] [--trace-capacity N]
-//                [--json] [--quiet]
+//                [--threads T] [--queries K] [--json] [--quiet]
+//
+// --threads/--queries turn on the offline analysis section: the
+// ground-truth closure and Theorem 4 verification run sharded across a
+// T-wide analysis pool, and K seeded precedence queries hammer the
+// PrecedenceIndex memo (every answer re-checked against the direct
+// vector compare). Query/verification disagreements fold into the exit
+// status like stamp mismatches do.
 //
 // The report is deterministic: same seed, same flags => byte-identical
 // counters (the registry snapshots in sorted name order; every random
-// choice is seeded). Exit status: 0 clean; 1 on any timestamp mismatch,
+// choice is seeded). The analysis section adds one wall-clock field
+// (analysis.wall_ms) — everything else in it, memo hit counts included,
+// is byte-identical across same-seed runs at a fixed --threads value.
+// Exit status: 0 clean; 1 on any timestamp mismatch,
 // protocol stall, or undetected frame corruption; 2 on usage errors —
 // so the binary doubles as a CI smoke gate (see .github/workflows/ci.yml).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,12 +38,17 @@
 #include <vector>
 
 #include "clocks/clock_engine.hpp"
+#include "common/pool.hpp"
+#include "core/causality.hpp"
+#include "core/precedence_index.hpp"
+#include "core/timestamped_trace.hpp"
 #include "decomp/cover_decomposer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_sink.hpp"
 #include "runtime/synchronizer.hpp"
 #include "topo_spec.hpp"
 #include "trace/generator.hpp"
+#include "trace/ground_truth.hpp"
 
 using namespace syncts;
 
@@ -53,6 +69,9 @@ struct Config {
     std::string trace_json_path;
     std::string trace_binary_path;
     std::size_t trace_capacity = 1 << 16;
+    std::size_t threads = 1;
+    std::size_t queries = 0;
+    bool analysis = false;  // set when --threads or --queries is passed
     bool json = false;
     bool quiet = false;
 };
@@ -66,7 +85,8 @@ struct Config {
         "[--jitter J]\n"
         "                    [--latency LO:HI] [--trace FILE.json]\n"
         "                    [--trace-binary FILE.bin] [--trace-capacity N]\n"
-        "                    [--json] [--quiet]\nspecs: %s\n",
+        "                    [--threads T] [--queries K] [--json] "
+        "[--quiet]\nspecs: %s\n",
         tools::spec_help());
     std::exit(2);
 }
@@ -133,6 +153,13 @@ Config parse_args(int argc, char** argv) {
         } else if (flag == "--trace-capacity") {
             config.trace_capacity =
                 std::strtoull(next_value("--trace-capacity"), nullptr, 10);
+        } else if (flag == "--threads") {
+            config.threads =
+                std::strtoull(next_value("--threads"), nullptr, 10);
+            config.analysis = true;
+        } else if (flag == "--queries") {
+            config.queries = parse_events(next_value("--queries"));
+            config.analysis = true;
         } else if (flag == "--json") {
             config.json = true;
         } else if (flag == "--quiet") {
@@ -142,7 +169,10 @@ Config parse_args(int argc, char** argv) {
             usage();
         }
     }
-    if (config.runs == 0 || config.trace_capacity == 0) usage();
+    if (config.runs == 0 || config.trace_capacity == 0 ||
+        config.threads == 0) {
+        usage();
+    }
     return config;
 }
 
@@ -150,6 +180,90 @@ bool write_file(const std::string& path, const char* data, std::size_t len) {
     std::ofstream out(path, std::ios::binary);
     out.write(data, static_cast<std::streamsize>(len));
     return static_cast<bool>(out);
+}
+
+/// Result of the --threads/--queries analysis section. Every field but
+/// wall_ms is a pure function of (seed, topology, events, queries) — the
+/// thread count only changes how the work was scheduled.
+struct AnalysisReport {
+    std::size_t threads = 1;
+    std::size_t queries = 0;
+    std::size_t poset_relations = 0;
+    std::uint64_t verify_mismatches = 0;
+    std::uint64_t query_mismatches = 0;
+    std::uint64_t memo_hits = 0;
+    std::uint64_t memo_misses = 0;
+    double wall_ms = 0.0;
+};
+
+/// Sharded ground-truth verification plus the seeded query storm. The
+/// oracle arena holds the Fig. 5 stamps (slot m = message m), so the
+/// direct ts::less compare is the query oracle the memoized index must
+/// agree with.
+AnalysisReport run_analysis(const Config& config,
+                            const SyncComputation& script,
+                            const TimestampArena& oracle_arena,
+                            obs::MetricsRegistry& registry) {
+    AnalysisReport report;
+    report.threads = config.threads;
+    report.queries = config.queries;
+
+    Pool pool(config.threads);
+    pool.attach_metrics(registry, "analysis");
+    AnalysisOptions options;
+    options.pool = &pool;
+    options.threads = pool.threads();
+    options.metrics = &registry;
+
+    const auto start = std::chrono::steady_clock::now();
+
+    // Ground truth (level-synchronous blocked closure) and the O(M²)
+    // Theorem 4 sweep, both sharded across the pool.
+    const Poset truth = message_poset(script, options);
+    report.poset_relations = truth.relation_count();
+    report.verify_mismatches =
+        encoding_mismatches(truth, oracle_arena, options);
+
+    if (config.queries > 0) {
+        // The trace copies the oracle stamps; detach the copy so kernel
+        // counters aren't double-counted against the oracle arena's.
+        TimestampArena stamps = oracle_arena;
+        stamps.detach_metrics();
+        const TimestampedTrace trace(script, std::move(stamps));
+        PrecedenceIndex index(trace);
+        index.attach_metrics(registry, "query");
+
+        // K lookups over a pool of ~K/4 distinct pairs: monitoring
+        // workloads revisit hot pairs, so repeats (memo hits) dominate.
+        Rng query_rng(config.seed * 0x9E3779B97F4A7C15ull + 7);
+        const std::size_t messages = script.num_messages();
+        const std::size_t distinct =
+            config.queries / 4 == 0 ? 1 : config.queries / 4;
+        std::vector<std::pair<MessageId, MessageId>> pairs;
+        pairs.reserve(distinct);
+        for (std::size_t i = 0; i < distinct; ++i) {
+            pairs.emplace_back(
+                static_cast<MessageId>(query_rng.below(messages)),
+                static_cast<MessageId>(query_rng.below(messages)));
+        }
+        for (std::size_t q = 0; q < config.queries; ++q) {
+            const auto& [m1, m2] = pairs[q % distinct];
+            if (index.precedes(m1, m2) != trace.precedes(m1, m2)) {
+                ++report.query_mismatches;
+            }
+        }
+        report.memo_hits = index.memo_hits();
+        report.memo_misses = index.memo_misses();
+    }
+
+    const auto stop = std::chrono::steady_clock::now();
+    report.wall_ms =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::microseconds>(stop - start)
+                .count()) /
+        1000.0;
+    pool.detach_metrics();
+    return report;
 }
 
 }  // namespace
@@ -233,6 +347,15 @@ int main(int argc, char** argv) {
     registry.counter("stats_frames_corrupt_undetected")
         .inc(undetected_corrupt);
 
+    AnalysisReport analysis;
+    if (config.analysis) {
+        analysis = run_analysis(config, script, oracle_arena, registry);
+        registry.counter("stats_analysis_mismatches")
+            .inc(analysis.verify_mismatches);
+        registry.counter("stats_query_mismatches")
+            .inc(analysis.query_mismatches);
+    }
+
     if (!config.trace_json_path.empty()) {
         const std::string chrome = sink.to_chrome_trace();
         if (!write_file(config.trace_json_path, chrome.data(),
@@ -254,8 +377,10 @@ int main(int argc, char** argv) {
         }
     }
 
-    const bool clean =
-        mismatches == 0 && stalls == 0 && undetected_corrupt == 0;
+    const bool clean = mismatches == 0 && stalls == 0 &&
+                       undetected_corrupt == 0 &&
+                       analysis.verify_mismatches == 0 &&
+                       analysis.query_mismatches == 0;
     if (config.json) {
         std::string out;
         out += "{\"tool\":\"syncts_stats\",\"topology\":\"";
@@ -274,6 +399,24 @@ int main(int argc, char** argv) {
         out += ",\"trace\":{\"recorded\":" + std::to_string(sink.recorded());
         out += ",\"retained\":" + std::to_string(sink.size());
         out += ",\"dropped\":" + std::to_string(sink.dropped()) + "}";
+        if (config.analysis) {
+            char wall[32];
+            std::snprintf(wall, sizeof(wall), "%.3f", analysis.wall_ms);
+            out += ",\"analysis\":{\"threads\":" +
+                   std::to_string(analysis.threads);
+            out += ",\"queries\":" + std::to_string(analysis.queries);
+            out += ",\"poset_relations\":" +
+                   std::to_string(analysis.poset_relations);
+            out += ",\"verify_mismatches\":" +
+                   std::to_string(analysis.verify_mismatches);
+            out += ",\"query_mismatches\":" +
+                   std::to_string(analysis.query_mismatches);
+            out += ",\"memo_hits\":" + std::to_string(analysis.memo_hits);
+            out += ",\"memo_misses\":" + std::to_string(analysis.memo_misses);
+            out += ",\"wall_ms\":";
+            out += wall;
+            out += "}";
+        }
         out += ",\"metrics\":";
         registry.write_json(out);
         out += ",\"ok\":";
@@ -297,6 +440,30 @@ int main(int argc, char** argv) {
                         static_cast<unsigned long long>(sink.recorded()),
                         sink.size(),
                         static_cast<unsigned long long>(sink.dropped()));
+        }
+        if (config.analysis) {
+            const std::uint64_t lookups =
+                analysis.memo_hits + analysis.memo_misses;
+            std::printf(
+                "analysis: threads=%zu relations=%zu verify_mismatches=%llu "
+                "wall_ms=%.3f\n",
+                analysis.threads, analysis.poset_relations,
+                static_cast<unsigned long long>(analysis.verify_mismatches),
+                analysis.wall_ms);
+            if (analysis.queries > 0) {
+                std::printf(
+                    "queries: %zu lookups  mismatches=%llu  memo hit-rate "
+                    "%.1f%% (%llu/%llu)\n",
+                    analysis.queries,
+                    static_cast<unsigned long long>(
+                        analysis.query_mismatches),
+                    lookups == 0
+                        ? 0.0
+                        : 100.0 * static_cast<double>(analysis.memo_hits) /
+                              static_cast<double>(lookups),
+                    static_cast<unsigned long long>(analysis.memo_hits),
+                    static_cast<unsigned long long>(lookups));
+            }
         }
         std::printf("metrics: %s\n", registry.to_json().c_str());
         std::printf("%s\n", clean ? "PASS" : "FAIL");
