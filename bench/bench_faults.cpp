@@ -18,6 +18,7 @@
 #include "clocks/online_clock.hpp"
 #include "decomp/cover_decomposer.hpp"
 #include "graph/generators.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/synchronizer.hpp"
 #include "trace/generator.hpp"
 
@@ -50,6 +51,9 @@ Row run_at_drop_rate(const SyncComputation& script,
             .exact = true};
     std::uint64_t packets = 0;
     std::uint64_t messages = 0;
+    // One registry across the sweep: the sync_* counters accumulate, so
+    // legacy_protocol_stats at the end is the row aggregate.
+    obs::MetricsRegistry metrics;
     const auto start = std::chrono::steady_clock::now();
     for (int repeat = 1; repeat <= repeats; ++repeat) {
         SynchronizerOptions options;
@@ -58,18 +62,20 @@ Row run_at_drop_rate(const SyncComputation& script,
         options.latency_hi = 8;
         options.faults.seed = static_cast<std::uint64_t>(repeat) * 7919;
         options.faults.drop_probability = drop;
+        options.metrics = &metrics;
         const SynchronizerResult result =
             run_rendezvous_protocol(decomposition, script, options);
         packets += result.packets;
         messages += result.message_stamps.size();
-        row.retransmits += result.protocol.retransmits;
-        row.dup_drops += result.protocol.dup_drops;
-        row.corrupt_rejects += result.protocol.corrupt_rejects;
         for (std::size_t i = 0; i < result.message_stamps.size(); ++i) {
             row.exact = row.exact && result.message_stamps[i] ==
                                          expected[result.script_message[i]];
         }
     }
+    const ProtocolStats stats = legacy_protocol_stats(metrics);
+    row.retransmits = stats.retransmits;
+    row.dup_drops = stats.dup_drops;
+    row.corrupt_rejects = stats.corrupt_rejects;
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();

@@ -3,12 +3,16 @@
 // Machine-readable bench output: every bench binary ends each study (or
 // its run) with one JSON line of the canonical shape
 //
-//     {"bench":"...","n":...,"ns_per_msg":...,"allocs":...,"threads":...}
+//     {"bench":"...","n":...,"ns_per_msg":...,"allocs":...,"threads":...,
+//      "epochs":...}
 //
 // so tools/bench_to_json.sh can collect results across binaries without
 // parsing the human tables. "threads" is the analysis-pool width the
 // study ran at (1 for every serial bench), so perf trajectories like
-// BENCH_parallel.json can chart scaling across thread counts. Include this header from the bench's main
+// BENCH_parallel.json can chart scaling across thread counts. "epochs"
+// is the number of topology epochs the measured run crossed (1 for every
+// static-topology bench; >1 only for the reconfiguration studies, see
+// bench_reconfig). Include this header from the bench's main
 // translation unit ONLY — it defines the replacement global operator
 // new/delete that back the "allocs" column, and two definitions in one
 // binary would violate the one-definition rule.
@@ -57,12 +61,14 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 namespace syncts::bench {
 
 /// Emits the canonical JSON line on its own stdout row. `threads` is the
-/// analysis-pool width the measurement ran at (1 = serial).
+/// analysis-pool width the measurement ran at (1 = serial); `epochs` the
+/// number of topology epochs the run crossed (1 = static topology).
 inline void emit_json(const char* bench, std::size_t n, double ns_per_msg,
-                      std::size_t allocs, std::size_t threads = 1) {
+                      std::size_t allocs, std::size_t threads = 1,
+                      std::size_t epochs = 1) {
     std::printf("{\"bench\":\"%s\",\"n\":%zu,\"ns_per_msg\":%.1f,"
-                "\"allocs\":%zu,\"threads\":%zu}\n",
-                bench, n, ns_per_msg, allocs, threads);
+                "\"allocs\":%zu,\"threads\":%zu,\"epochs\":%zu}\n",
+                bench, n, ns_per_msg, allocs, threads, epochs);
 }
 
 /// As emit_json, but appends a full registry snapshot under "metrics" —
@@ -71,7 +77,8 @@ inline void emit_json(const char* bench, std::size_t n, double ns_per_msg,
 inline void emit_json_with_metrics(const char* bench, std::size_t n,
                                    double ns_per_msg, std::size_t allocs,
                                    const obs::MetricsRegistry& registry,
-                                   std::size_t threads = 1) {
+                                   std::size_t threads = 1,
+                                   std::size_t epochs = 1) {
     std::string out;
     out += "{\"bench\":\"";
     out += bench;
@@ -82,6 +89,7 @@ inline void emit_json_with_metrics(const char* bench, std::size_t n,
     out += ns_text;
     out += ",\"allocs\":" + std::to_string(allocs);
     out += ",\"threads\":" + std::to_string(threads);
+    out += ",\"epochs\":" + std::to_string(epochs);
     out += ",\"metrics\":";
     registry.write_json(out);
     out += "}\n";

@@ -1,0 +1,117 @@
+// bench_reconfig — what does crossing an epoch boundary cost?
+//
+// Three measurements per topology size, all against random feasible
+// reconfiguration schedules (topo/reconfig.hpp):
+//
+//   transition  TopologyManager::add_channel / remove_channel /
+//               add_process — incremental re-decomposition (greedy patch
+//               + quality guard) plus the component remap, per op
+//   on_epoch    migrating a live online ClockEngine across one boundary
+//               (high-water fold + floor remap + clock rebuild)
+//   protocol    full reconfigurable rendezvous run, per message — the
+//               end-to-end number the static-topology bench_runtime rows
+//               compare against
+//
+// JSON rows carry the epochs column (> 1 here, unlike every static
+// bench), so bench_to_json.sh output can separate reconfiguration
+// trajectories from static ones.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "clocks/clock_engine.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "runtime/reconfig_runtime.hpp"
+#include "topo/reconfig.hpp"
+#include "topo/topology_manager.hpp"
+#include "trace/generator.hpp"
+
+using namespace syncts;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double ns_per(const Clock::time_point start, const Clock::time_point stop,
+              std::size_t items) {
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(stop -
+                                                                    start)
+                   .count()) /
+           static_cast<double>(items == 0 ? 1 : items);
+}
+
+}  // namespace
+
+int main() {
+    std::printf("bench_reconfig: epoch transition costs "
+                "(random feasible schedules, 64 ops each)\n");
+    std::printf("%8s %10s %16s %16s %16s\n", "N", "d0", "transition(ns)",
+                "on_epoch(ns)", "protocol(ns/msg)");
+
+    for (const std::size_t n : {16, 32, 64, 128}) {
+        Rng rng(7 * n + 1);
+        const Graph g = topology::random_connected(n, n, rng);
+        const std::vector<ReconfigOp> schedule =
+            random_reconfig_schedule(g, 64, 1234 + n);
+
+        // Transition cost: decomposition patch + remap, per op.
+        TopologyManager manager{Graph(g)};
+        const std::size_t allocs0 = bench::allocations();
+        const auto t0 = Clock::now();
+        for (const ReconfigOp& op : schedule) apply(manager, op);
+        const auto t1 = Clock::now();
+        const double transition_ns = ns_per(t0, t1, schedule.size());
+        const std::string label = "reconfig/transition/n=" + std::to_string(n);
+        bench::emit_json(label.c_str(), schedule.size(), transition_ns,
+                         bench::allocations() - allocs0, 1,
+                         manager.num_epochs());
+
+        // Clock migration cost: one live online engine walking the whole
+        // transition chain.
+        auto engine =
+            make_clock_engine(ClockFamily::online, manager.decomposition(0));
+        const auto t2 = Clock::now();
+        for (EpochId e = 1; e < manager.num_epochs(); ++e) {
+            engine->on_epoch(manager.transition_into(e));
+        }
+        const auto t3 = Clock::now();
+        const double migrate_ns = ns_per(t2, t3, manager.num_epochs() - 1);
+        const std::string mlabel = "reconfig/on_epoch/n=" + std::to_string(n);
+        bench::emit_json(mlabel.c_str(), manager.num_epochs() - 1, migrate_ns,
+                         0, 1, manager.num_epochs());
+
+        // End-to-end: the protocol over a short 9-epoch prefix, so the
+        // run is dominated by rendezvous traffic, not setup.
+        TopologyManager live{Graph(g)};
+        for (std::size_t i = 0; i < 8; ++i) apply(live, schedule[i]);
+        std::vector<SyncComputation> scripts;
+        std::size_t messages = 0;
+        Rng workload_rng(99 * n);
+        for (EpochId e = 0; e < live.num_epochs(); ++e) {
+            WorkloadOptions workload;
+            workload.num_messages = 256;
+            scripts.push_back(random_computation(live.epoch(e).graph(),
+                                                 workload, workload_rng));
+            messages += scripts.back().num_messages();
+        }
+        const std::size_t allocs1 = bench::allocations();
+        const auto t4 = Clock::now();
+        const ReconfigurableRunResult run =
+            run_reconfigurable_protocol(live, scripts);
+        const auto t5 = Clock::now();
+        const double protocol_ns = ns_per(t4, t5, messages);
+        const std::string plabel = "reconfig/protocol/n=" + std::to_string(n);
+        bench::emit_json(plabel.c_str(), messages, protocol_ns,
+                         bench::allocations() - allocs1, 1,
+                         live.num_epochs());
+        (void)run;
+
+        std::printf("%8zu %10zu %16.1f %16.1f %16.1f\n", n,
+                    manager.epoch(0).width(), transition_ns, migrate_ns,
+                    protocol_ns);
+    }
+    return 0;
+}

@@ -34,6 +34,43 @@ std::vector<VectorTimestamp> EngineStamps::materialize_messages() const {
 
 void ClockEngine::on_internal(ProcessId, std::span<std::uint64_t>) {}
 
+void ClockEngine::on_epoch(const EpochTransition&) {
+    SYNCTS_REQUIRE(false, std::string("clock family ") + to_string(family()) +
+                              " does not implement epoch transitions");
+}
+
+void ClockEngine::advance_epoch(const EpochTransition& transition) {
+    SYNCTS_REQUIRE(transition.from_epoch == epoch_,
+                   "epoch transition does not continue this engine's epoch");
+    epoch_ = transition.to_epoch;
+}
+
+void ClockEngine::fold_epoch_floor(const EpochTransition& transition,
+                                   std::span<const std::uint64_t> high_water,
+                                   bool by_process) {
+    const std::size_t old_len = by_process ? transition.old_num_processes
+                                           : transition.old_width();
+    SYNCTS_REQUIRE(high_water.size() == old_len,
+                   "epoch high-water mark has the wrong width");
+    std::vector<std::uint64_t> absolute(high_water.begin(), high_water.end());
+    if (!floor_.empty()) {
+        SYNCTS_ENSURE(floor_.size() == old_len,
+                      "accumulated floor width diverged from the engine");
+        for (std::size_t i = 0; i < absolute.size(); ++i) {
+            absolute[i] += floor_[i];
+        }
+    }
+    advance_epoch(transition);
+    const std::size_t new_len = by_process ? transition.new_num_processes
+                                           : transition.new_width();
+    floor_.assign(new_len, 0);
+    if (by_process) {
+        transition.migrate_processes(absolute, floor_);
+    } else {
+        transition.migrate_components(absolute, floor_);
+    }
+}
+
 void ClockEngine::attach_metrics(obs::MetricsRegistry& registry) {
     const std::string prefix = std::string("clock_") + to_string(family());
     metric_stamps_ = &registry.counter(prefix + "_stamps");
@@ -180,6 +217,29 @@ public:
         for (std::size_t p = 0; p < clocks_.size(); ++p) {
             ts::zero(clocks_.span(static_cast<TsHandle>(p)));
         }
+        floor_.clear();
+        epoch_ = 0;
+    }
+
+    /// FM vectors are indexed by process, so the floor migrates by the
+    /// process rule; the per-process clock slab is rebuilt arena-to-arena
+    /// at the new width, zeroed (the barrier model — per-epoch stamps are
+    /// those of a fresh engine).
+    void on_epoch(const EpochTransition& transition) override {
+        std::vector<std::uint64_t> high_water(clocks_.size(), 0);
+        for (std::size_t p = 0; p < clocks_.size(); ++p) {
+            const auto row = clocks_.span(static_cast<TsHandle>(p));
+            for (std::size_t q = 0; q < row.size(); ++q) {
+                high_water[q] = std::max(high_water[q], row[q]);
+            }
+        }
+        fold_epoch_floor(transition, high_water, /*by_process=*/true);
+        TimestampArena next(transition.new_num_processes,
+                            transition.new_num_processes);
+        for (std::size_t p = 0; p < transition.new_num_processes; ++p) {
+            next.allocate();
+        }
+        clocks_ = std::move(next);
     }
 
     void prepare_send(ProcessId sender,
@@ -283,7 +343,24 @@ public:
     }
     bool stamps_internal_events() const noexcept override { return true; }
 
-    void reset() override { clocks_.assign(clocks_.size(), 0); }
+    void reset() override {
+        clocks_.assign(clocks_.size(), 0);
+        floor_.clear();
+        epoch_ = 0;
+    }
+
+    /// Scalar clocks have one component that always survives: the floor
+    /// is the running maximum across every epoch so far.
+    void on_epoch(const EpochTransition& transition) override {
+        std::uint64_t high_water = 0;
+        for (const std::uint64_t c : clocks_) {
+            high_water = std::max(high_water, c);
+        }
+        const std::uint64_t base = floor_.empty() ? 0 : floor_[0];
+        advance_epoch(transition);
+        floor_.assign(1, base + high_water);
+        clocks_.assign(transition.new_num_processes, 0);
+    }
 
     void prepare_send(ProcessId sender,
                       std::span<std::uint64_t> out) override {
@@ -356,6 +433,18 @@ public:
     void reset() override {
         last_.assign(last_.size(), kNone);
         next_id_ = 0;
+        floor_.clear();
+        epoch_ = 0;
+    }
+
+    /// Direct-dependency stamps are message *identifiers*, not counters —
+    /// there is no meaningful floor to carry; ids restart per epoch, as a
+    /// fresh engine's would.
+    void on_epoch(const EpochTransition& transition) override {
+        advance_epoch(transition);
+        last_.assign(transition.new_num_processes, kNone);
+        next_id_ = 0;
+        floor_.clear();
     }
 
     void prepare_send(ProcessId sender,
@@ -419,7 +508,19 @@ public:
     }
     bool online() const noexcept override { return false; }
 
-    void reset() override { width_ = 0; }
+    void reset() override {
+        width_ = 0;
+        floor_.clear();
+        epoch_ = 0;
+    }
+
+    /// Batch-only: an epoch transition just moves the process space; each
+    /// stamp_* call realizes one epoch's computation from scratch anyway.
+    void on_epoch(const EpochTransition& transition) override {
+        advance_epoch(transition);
+        num_processes_ = transition.new_num_processes;
+        width_ = 0;
+    }
 
     void prepare_send(ProcessId, std::span<std::uint64_t>) override {
         no_hooks();

@@ -10,6 +10,7 @@
 #include "common/timestamp_arena.hpp"
 #include "clocks/vector_timestamp.hpp"
 #include "decomp/edge_decomposition.hpp"
+#include "topo/epoch.hpp"
 #include "trace/computation.hpp"
 
 /// \file clock_engine.hpp
@@ -83,8 +84,37 @@ public:
     /// True when internal events carry stamps (Lamport, FM event clocks).
     virtual bool stamps_internal_events() const noexcept { return false; }
 
-    /// Returns every process clock to its initial all-zero state.
+    /// Returns every process clock to its initial all-zero state, drops
+    /// the accumulated epoch floor, and rewinds epoch() to 0 (the engine
+    /// behaves as if freshly constructed on its current topology).
     virtual void reset() = 0;
+
+    // ---- Epoch transitions (docs/TOPOLOGY.md) -------------------------
+
+    /// Epoch this engine currently stamps in (0 until the first
+    /// on_epoch call after construction or reset()).
+    EpochId epoch() const noexcept { return epoch_; }
+
+    /// Crosses one epoch boundary. The engine (1) captures this epoch's
+    /// high-water mark (the component-wise maximum over its process
+    /// vectors), (2) folds it into the accumulated absolute floor and
+    /// migrates the floor into the new component space via the
+    /// transition's rule (preserved components carry, rebuilt ones start
+    /// at zero), and (3) rebuilds per-process state for transition.to,
+    /// reset to zero. Afterwards width()/num_processes() reflect the new
+    /// topology and stamping is bit-identical to a fresh engine on it —
+    /// the absolute history of a surviving component is epoch_floor()
+    /// plus its per-epoch value. Requires epoch() == transition.from_epoch.
+    virtual void on_epoch(const EpochTransition& transition);
+
+    /// Accumulated absolute floor of the current epoch: what the
+    /// transition chain carried into the current component space. Empty
+    /// until the first transition and for families whose stamps are
+    /// identifiers rather than counters (direct_dependency) or that are
+    /// batch-only (offline).
+    std::span<const std::uint64_t> epoch_floor() const noexcept {
+        return floor_;
+    }
 
     // ---- Instrumentation ----------------------------------------------
 
@@ -157,6 +187,27 @@ protected:
     void replay(const SyncComputation& computation, TimestampArena& arena,
                 std::vector<TsHandle>& message_out,
                 std::vector<TsHandle>* internal_out);
+
+    /// Floor bookkeeping shared by the on_epoch overrides: adds the
+    /// current floor onto `high_water` (this epoch's relative maximum, in
+    /// the *old* space), migrates the sum into the new space with the
+    /// transition's component rule (`by_process` false) or process rule
+    /// (true), stores it as the new floor, and advances epoch(). Checks
+    /// that the transition continues this engine's epoch.
+    void fold_epoch_floor(const EpochTransition& transition,
+                          std::span<const std::uint64_t> high_water,
+                          bool by_process);
+
+    /// For families without floor semantics: just validates continuity
+    /// and advances epoch().
+    void advance_epoch(const EpochTransition& transition);
+
+    /// Accumulated absolute floor, indexed like the current width() (may
+    /// be empty). Cleared by reset().
+    std::vector<std::uint64_t> floor_;
+
+    /// Current epoch id; cleared by reset().
+    EpochId epoch_ = 0;
 
     /// Stamp/tick counters for the drivers; nullptr when detached.
     obs::Counter* metric_stamps_ = nullptr;

@@ -1,5 +1,6 @@
 #include "clocks/online_clock.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/ts_kernels.hpp"
@@ -105,6 +106,31 @@ std::size_t OnlineTimestamper::width() const noexcept {
 void OnlineTimestamper::reset() {
     for (OnlineProcessClock& clock : clocks_) {
         clock.reset();
+    }
+    floor_.clear();
+    epoch_ = 0;
+}
+
+void OnlineTimestamper::on_epoch(const EpochTransition& transition) {
+    SYNCTS_REQUIRE(transition.to != nullptr && transition.from != nullptr,
+                   "epoch transition must carry both decompositions");
+    SYNCTS_REQUIRE(transition.old_width() == decomposition_->size() &&
+                       transition.old_num_processes == clocks_.size(),
+                   "epoch transition does not start from this topology");
+    std::vector<std::uint64_t> high_water(width(), 0);
+    for (const OnlineProcessClock& clock : clocks_) {
+        const auto row = clock.current_span();
+        for (std::size_t g = 0; g < row.size(); ++g) {
+            high_water[g] = std::max(high_water[g], row[g]);
+        }
+    }
+    fold_epoch_floor(transition, high_water, /*by_process=*/false);
+    decomposition_ = transition.to;
+    const std::size_t n = decomposition_->graph().num_vertices();
+    clocks_.clear();
+    clocks_.reserve(n);
+    for (ProcessId p = 0; p < n; ++p) {
+        clocks_.emplace_back(p, decomposition_);
     }
 }
 

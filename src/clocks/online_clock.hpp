@@ -128,6 +128,17 @@ public:
 
     void reset() override;
 
+    /// Swaps in the new epoch's decomposition: the accumulated floor is
+    /// migrated by the component rule (preserved groups carry, rebuilt
+    /// ones start at zero) and every process clock is rebuilt at the new
+    /// width d, zeroed. Requires transition.from to match the current
+    /// decomposition's shape.
+    void on_epoch(const EpochTransition& transition) override;
+
+    const EdgeDecomposition& decomposition() const noexcept {
+        return *decomposition_;
+    }
+
     void prepare_send(ProcessId sender,
                       std::span<std::uint64_t> out) override;
     void on_receive(ProcessId sender, ProcessId receiver,

@@ -1,6 +1,9 @@
 #include "clocks/wire.hpp"
 
+#include <limits>
 #include <utility>
+
+#include "common/check.hpp"
 
 namespace syncts {
 
@@ -171,9 +174,13 @@ std::vector<std::uint8_t> encode_frame(const SyncFrame& frame) {
     return out;
 }
 
-FrameHeader decode_frame_into(std::span<const std::uint8_t> bytes,
-                              std::span<std::uint64_t> stamp_out) {
-    // Minimum frame: three one-byte varints plus the checksum trailer.
+namespace {
+
+/// Checksum gate shared by both frame versions: strips and validates the
+/// 8-byte FNV-1a trailer, returning the covered payload.
+std::span<const std::uint8_t> checked_payload(
+    std::span<const std::uint8_t> bytes) {
+    // Minimum v1 frame: three one-byte varints plus the checksum trailer.
     if (bytes.size() < 3 + kChecksumBytes) {
         throw WireError(WireError::Kind::truncated,
                         "frame shorter than header + checksum");
@@ -189,8 +196,15 @@ FrameHeader decode_frame_into(std::span<const std::uint8_t> bytes,
         throw WireError(WireError::Kind::checksum_mismatch,
                         "frame checksum mismatch");
     }
+    return payload;
+}
+
+/// Decodes the common frame body (sequence, message, timestamp) starting
+/// at payload[offset]; used by both the v1 and the epoch-tagged decoder.
+FrameHeader decode_frame_body(std::span<const std::uint8_t> payload,
+                              std::size_t offset,
+                              std::span<std::uint64_t> stamp_out) {
     FrameHeader header;
-    std::size_t offset = 0;
     header.sequence = decode_varint(payload, offset);
     header.message = decode_varint(payload, offset);
     const std::uint64_t width = decode_varint(payload, offset);
@@ -211,6 +225,95 @@ FrameHeader decode_frame_into(std::span<const std::uint8_t> bytes,
         throw WireError(WireError::Kind::trailing_bytes,
                         "trailing bytes inside frame payload");
     }
+    return header;
+}
+
+}  // namespace
+
+FrameHeader decode_frame_into(std::span<const std::uint8_t> bytes,
+                              std::span<std::uint64_t> stamp_out) {
+    return decode_frame_body(checked_payload(bytes), 0, stamp_out);
+}
+
+void encode_epoch_frame_into(EpochId epoch, std::uint64_t sequence,
+                             std::uint64_t message,
+                             std::span<const std::uint64_t> stamp,
+                             std::vector<std::uint8_t>& out) {
+    SYNCTS_REQUIRE(sequence >= 1,
+                   "epoch-aware frames need 1-based sequence numbers");
+    if (epoch == 0) {
+        // Back-compat rule: epoch-0 traffic is bit-identical to the
+        // version-1 format, so pre-epoch peers interoperate unchanged.
+        encode_frame_into(sequence, message, stamp, out);
+        return;
+    }
+    out.clear();
+    out.push_back(kEpochFrameMarker);
+    encode_varint(kEpochFrameVersion, out);
+    encode_varint(epoch, out);
+    encode_varint(sequence, out);
+    encode_varint(message, out);
+    encode_varint(stamp.size(), out);
+    for (const std::uint64_t component : stamp) {
+        encode_varint(component, out);
+    }
+    std::uint64_t checksum = fnv1a64(out);
+    for (std::size_t i = 0; i < kChecksumBytes; ++i) {
+        out.push_back(static_cast<std::uint8_t>(checksum));
+        checksum >>= 8;
+    }
+}
+
+FrameHeader decode_epoch_frame_into(std::span<const std::uint8_t> bytes,
+                                    std::span<std::uint64_t> stamp_out) {
+    const std::span<const std::uint8_t> payload = checked_payload(bytes);
+    if (payload[0] != kEpochFrameMarker) {
+        return decode_frame_body(payload, 0, stamp_out);
+    }
+    std::size_t offset = 1;
+    const std::uint64_t version = decode_varint(payload, offset);
+    if (version != kEpochFrameVersion) {
+        throw WireError(WireError::Kind::unsupported_version,
+                        "unsupported frame version " +
+                            std::to_string(version));
+    }
+    const std::uint64_t epoch = decode_varint(payload, offset);
+    // Epoch 0 must use the v1 layout (the encoder enforces this), and
+    // EpochId is 32-bit; anything else is from a future format.
+    if (epoch == 0 || epoch > std::numeric_limits<EpochId>::max()) {
+        throw WireError(WireError::Kind::unsupported_version,
+                        "v2 frame carrying out-of-range epoch " +
+                            std::to_string(epoch));
+    }
+    FrameHeader header = decode_frame_body(payload, offset, stamp_out);
+    header.epoch = static_cast<EpochId>(epoch);
+    return header;
+}
+
+FrameHeader peek_epoch_frame_header(std::span<const std::uint8_t> bytes) {
+    const std::span<const std::uint8_t> payload = checked_payload(bytes);
+    FrameHeader header;
+    std::size_t offset = 0;
+    if (payload[0] == kEpochFrameMarker) {
+        offset = 1;
+        const std::uint64_t version = decode_varint(payload, offset);
+        if (version != kEpochFrameVersion) {
+            throw WireError(WireError::Kind::unsupported_version,
+                            "unsupported frame version " +
+                                std::to_string(version));
+        }
+        const std::uint64_t epoch = decode_varint(payload, offset);
+        if (epoch == 0 || epoch > std::numeric_limits<EpochId>::max()) {
+            throw WireError(WireError::Kind::unsupported_version,
+                            "v2 frame carrying out-of-range epoch " +
+                                std::to_string(epoch));
+        }
+        header.epoch = static_cast<EpochId>(epoch);
+    }
+    header.sequence = decode_varint(payload, offset);
+    header.message = decode_varint(payload, offset);
+    // The remaining payload is the timestamp; its bytes are covered by the
+    // validated checksum, so skipping them cannot hide corruption.
     return header;
 }
 

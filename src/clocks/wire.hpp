@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "clocks/vector_timestamp.hpp"
+#include "common/ids.hpp"
 
 /// \file wire.hpp
 /// Wire format for piggybacked timestamps.
@@ -35,12 +36,13 @@ namespace syncts {
 class WireError : public std::invalid_argument {
 public:
     enum class Kind {
-        truncated,          ///< input ended mid-value
-        overlong_varint,    ///< varint encodes more than 64 bits
-        checksum_mismatch,  ///< frame trailer does not match the payload
-        width_mismatch,     ///< timestamp width differs from expected d
-        length_mismatch,    ///< declared width exceeds remaining bytes
-        trailing_bytes,     ///< undecoded bytes after the value
+        truncated,            ///< input ended mid-value
+        overlong_varint,      ///< varint encodes more than 64 bits
+        checksum_mismatch,    ///< frame trailer does not match the payload
+        width_mismatch,       ///< timestamp width differs from expected d
+        length_mismatch,      ///< declared width exceeds remaining bytes
+        trailing_bytes,       ///< undecoded bytes after the value
+        unsupported_version,  ///< versioned frame from a future format
     };
 
     WireError(Kind kind, const std::string& what)
@@ -117,10 +119,13 @@ void encode_frame_into(std::uint64_t sequence, std::uint64_t message,
 SyncFrame decode_frame(std::span<const std::uint8_t> bytes,
                        std::size_t expected_width);
 
-/// Frame header fields, decoupled from timestamp storage.
+/// Frame header fields, decoupled from timestamp storage. `epoch` is 0
+/// for version-1 frames (the format predates topology epochs; see
+/// docs/FORMATS.md and docs/TOPOLOGY.md for the version matrix).
 struct FrameHeader {
     std::uint64_t sequence = 0;
     std::uint64_t message = 0;
+    EpochId epoch = 0;
 };
 
 /// Span form of decode_frame: validates as decode_frame with
@@ -128,5 +133,39 @@ struct FrameHeader {
 /// `stamp_out`, and returns the header. Nothing is allocated.
 FrameHeader decode_frame_into(std::span<const std::uint8_t> bytes,
                               std::span<std::uint64_t> stamp_out);
+
+/// Version escape for epoch-tagged frames (format version 2). A v1 frame
+/// begins with the varint sequence number and the rendezvous protocol
+/// numbers sequences from 1, so a leading 0x00 byte is unambiguous: v2
+/// frames are `0x00, varint version, varint epoch` followed by the v1
+/// body (varint sequence, varint message, encoded timestamp) and the same
+/// 8-byte FNV-1a trailer over everything before it.
+inline constexpr std::uint8_t kEpochFrameMarker = 0x00;
+
+/// Current versioned frame format.
+inline constexpr std::uint64_t kEpochFrameVersion = 2;
+
+/// Epoch-aware frame writer. Epoch 0 emits the version-1 layout
+/// bit-identically (the back-compat rule: pre-epoch peers read epoch-0
+/// traffic unchanged); any later epoch emits a v2 frame. `sequence` must
+/// be >= 1 — that is what keeps the two layouts distinguishable.
+void encode_epoch_frame_into(EpochId epoch, std::uint64_t sequence,
+                             std::uint64_t message,
+                             std::span<const std::uint64_t> stamp,
+                             std::vector<std::uint8_t>& out);
+
+/// Epoch-aware frame reader: accepts v2 frames and plain v1 frames, the
+/// latter reported as epoch 0. Validates checksum, version, and width as
+/// decode_frame_into. Nothing is allocated.
+FrameHeader decode_epoch_frame_into(std::span<const std::uint8_t> bytes,
+                                    std::span<std::uint64_t> stamp_out);
+
+/// Header-only reader: validates the checksum and the version escape and
+/// returns the header without decoding the timestamp components, so a
+/// receiver can classify a frame from *another* epoch (whose width it no
+/// longer knows) before deciding to reject it. The timestamp bytes are
+/// checksum-covered but otherwise unexamined. Throws WireError on
+/// corruption or unsupported versions.
+FrameHeader peek_epoch_frame_header(std::span<const std::uint8_t> bytes);
 
 }  // namespace syncts

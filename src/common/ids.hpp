@@ -30,6 +30,13 @@ using GroupId = std::uint32_t;
 /// Index of an event in a per-process event sequence, 0-based.
 using EventIndex = std::uint32_t;
 
+/// Index of a topology epoch, 0-based. Epoch 0 is the initial topology a
+/// system boots with; every reconfiguration (channel/process add or
+/// remove) starts the next epoch. Wire frames carry the sender's epoch so
+/// that a reconfiguration can be detected and NACKed by the rendezvous
+/// protocol (frames predating the epoch mechanism decode as epoch 0).
+using EpochId = std::uint32_t;
+
 /// Sentinel for "no process".
 inline constexpr ProcessId kNoProcess = std::numeric_limits<ProcessId>::max();
 

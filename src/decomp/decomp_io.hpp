@@ -1,8 +1,10 @@
 #pragma once
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
+#include "common/ids.hpp"
 #include "decomp/edge_decomposition.hpp"
 
 /// \file decomp_io.hpp
@@ -19,17 +21,79 @@
 ///   s <root> <k> <u1> <v1> ... <uk> <vk>   # star with k edges
 ///   t <x> <y> <z>                          # triangle
 ///
+/// Version 2 tags the decomposition with the topology epoch that produced
+/// it (docs/TOPOLOGY.md) by inserting one line after the magic:
+///
+///   syncts-decomp 2
+///   epoch <id>                       # id >= 1
+///   processes <N>
+///   ...                              # v1 body, unchanged
+///
+/// Epoch 0 always serializes as version 1 — byte-identical to the
+/// pre-epoch format — and a version-1 file parses as epoch 0, so
+/// artifacts written before the epoch work interoperate unchanged (the
+/// same back-compat rule the wire frames follow, docs/FORMATS.md).
+///
 /// Groups appear in component order, so a parsed decomposition assigns the
 /// same vector component to every channel as the original.
 
 namespace syncts {
 
+/// Typed parse failure. Derives from std::invalid_argument, so callers
+/// that only care about "bad input" keep catching what they always did;
+/// callers that need to distinguish (e.g. a distribution pipeline that
+/// wants to retry truncated transfers but hard-fail version skew) switch
+/// on kind().
+class DecompIoError : public std::invalid_argument {
+public:
+    enum class Kind {
+        bad_magic,       ///< not a syncts-decomp artifact
+        bad_version,     ///< version this build does not speak
+        truncated,       ///< input ended mid-record
+        bad_number,      ///< token where a number was expected
+        out_of_range,    ///< process id / epoch outside the declared space
+        bad_record,      ///< unknown record tag
+        empty_groups,    ///< no groups declared but the graph has channels
+        incomplete,      ///< groups don't cover every channel
+    };
+
+    DecompIoError(Kind kind, const std::string& what)
+        : std::invalid_argument(what), kind_(kind) {}
+
+    Kind kind() const noexcept { return kind_; }
+
+private:
+    Kind kind_;
+};
+
+/// A decomposition plus the topology epoch it belongs to.
+struct TaggedDecomposition {
+    EpochId epoch = 0;
+    EdgeDecomposition decomposition;
+};
+
+/// Version-1 writers (equivalently: epoch 0).
 std::string serialize_decomposition(const EdgeDecomposition& decomposition);
 void write_decomposition(std::ostream& out,
                          const EdgeDecomposition& decomposition);
 
-/// Throws std::invalid_argument on malformed input, unknown records,
-/// dangling indices, non-edges, or incomplete decompositions.
+/// Epoch-tagged writers. Epoch 0 emits the version-1 layout
+/// byte-identically; any later epoch emits version 2.
+std::string serialize_decomposition(const EdgeDecomposition& decomposition,
+                                    EpochId epoch);
+void write_decomposition(std::ostream& out,
+                         const EdgeDecomposition& decomposition,
+                         EpochId epoch);
+
+/// Throws DecompIoError (an std::invalid_argument) on malformed input,
+/// unknown records, dangling indices, or incomplete decompositions; the
+/// group records themselves may also surface std::invalid_argument from
+/// EdgeDecomposition (non-edges, overlapping groups). Accepts versions 1
+/// (epoch 0) and 2.
+TaggedDecomposition parse_tagged_decomposition(const std::string& text);
+TaggedDecomposition read_tagged_decomposition(std::istream& in);
+
+/// Epoch-blind convenience wrappers over the tagged readers.
 EdgeDecomposition parse_decomposition(const std::string& text);
 EdgeDecomposition read_decomposition(std::istream& in);
 

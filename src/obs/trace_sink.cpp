@@ -20,6 +20,9 @@ const char* to_string(TraceEventKind kind) noexcept {
         case TraceEventKind::stamp: return "stamp";
         case TraceEventKind::phase: return "phase";
         case TraceEventKind::internal: return "internal";
+        case TraceEventKind::epoch_reject: return "epoch_reject";
+        case TraceEventKind::nack: return "nack";
+        case TraceEventKind::epoch: return "epoch";
     }
     return "unknown";
 }

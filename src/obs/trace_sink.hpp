@@ -42,6 +42,9 @@ enum class TraceEventKind : std::uint8_t {
     stamp,           ///< a clock engine stamped a message
     phase,           ///< a named phase span (duration in arg_a)
     internal,        ///< internal event ticked a clock
+    epoch_reject,    ///< frame from another topology epoch rejected
+    nack,            ///< NACK sent/handled for an epoch-stale REQ
+    epoch,           ///< topology epoch barrier crossed (arg_a = epoch id)
 };
 
 const char* to_string(TraceEventKind kind) noexcept;

@@ -1,0 +1,666 @@
+#include "runtime/reconfig_runtime.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "clocks/wire.hpp"
+#include "common/check.hpp"
+#include "common/timestamp_arena.hpp"
+#include "common/ts_kernels.hpp"
+#include "runtime/async_sim.hpp"
+
+namespace syncts {
+
+namespace {
+
+constexpr std::uint32_t kReq = 0;
+constexpr std::uint32_t kAck = 1;
+constexpr std::uint32_t kNack = 2;  ///< epoch-stale REQ rejected
+
+/// Sender-side state of the one in-flight rendezvous (a process's script
+/// is sequential, so it blocks on at most one send at a time).
+struct Outstanding {
+    ProcessId receiver = 0;
+    MessageId mid = 0;
+    std::uint64_t sequence = 0;
+    std::vector<std::uint8_t> frame;  // encoded REQ, byte-identical resends
+    std::uint32_t retransmits = 0;
+    std::uint64_t rto = 0;              // current backoff interval
+    std::uint64_t first_send_time = 0;  // for the rendezvous-ticks histogram
+};
+
+/// Plain tallies kept unconditionally; they back the registry counters
+/// (and, through legacy_protocol_stats, the deprecated ProtocolStats
+/// view). These never count one event twice: a cached-ACK replay is an
+/// ack_replay only, not also a duplicate drop.
+struct Tally {
+    std::uint64_t req_sent = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t req_duplicates = 0;  ///< dup/stale REQs dropped, no reply
+    std::uint64_t ack_duplicates = 0;  ///< dup/stale ACKs dropped
+    std::uint64_t ack_replays = 0;     ///< cached ACK re-sent
+    std::uint64_t corrupt_rejects = 0;
+    std::uint64_t epoch_rejects = 0;      ///< frames from a stale epoch
+    std::uint64_t nacks_sent = 0;         ///< NACKs answering stale REQs
+    std::uint64_t nack_drops = 0;         ///< NACKs with no matching send
+    std::uint64_t nack_retransmits = 0;   ///< sends re-encoded after a NACK
+};
+
+/// Receiver-side state of one directed channel (peer -> self). Survives
+/// epoch transitions: sequences are continuous across the barrier.
+struct InChannel {
+    /// Sequence of the last committed rendezvous on this channel; fresh
+    /// REQs must carry last_committed + 1 (sequences are 1-based).
+    std::uint64_t last_committed = 0;
+    /// Fresh REQ waiting for the program to reach the matching receive.
+    std::optional<SyncFrame> pending;
+    /// Encoded ACK of the last committed rendezvous, replayed when a
+    /// duplicate REQ reveals the ACK was lost. Only replayed for frames
+    /// of the current epoch — stale-epoch duplicates get a NACK.
+    std::vector<std::uint8_t> cached_ack;
+};
+
+/// Per-process protocol engine: walks the process's script for the
+/// current epoch, issuing REQs for sends and consuming buffered REQs for
+/// receives. Channel state persists across epochs; clock and scratch are
+/// rebuilt at each barrier.
+struct Engine {
+    ProcessId self = 0;
+    std::vector<ProcessEvent> script;  // current epoch's message events
+    std::size_t cursor = 0;
+    std::unique_ptr<OnlineProcessClock> clock;
+    std::optional<Outstanding> outstanding;
+    /// next_sequence[q] — next sequence to assign on channel (self, q).
+    std::unordered_map<ProcessId, std::uint64_t> next_sequence;
+    /// Incoming-channel state by sender.
+    std::unordered_map<ProcessId, InChannel> in;
+    /// Width-d scratch for the span protocol hooks: decoded inbound
+    /// stamp, outbound acknowledgement, committed timestamp. Resized at
+    /// each epoch barrier so the per-packet path allocates nothing.
+    std::vector<std::uint64_t> rx_stamp;
+    std::vector<std::uint64_t> ack_scratch;
+    std::vector<std::uint64_t> stamp_scratch;
+};
+
+/// Per-epoch accumulation: the realized computation, the committed
+/// stamps (slot = realized-message index), and the script-id mapping.
+struct SegmentState {
+    SyncComputation computation;
+    TimestampArena arena;
+    std::vector<TsHandle> handle_by_script;
+    std::vector<MessageId> script_message;
+
+    SegmentState(const Graph& graph, std::size_t width, std::size_t messages)
+        : computation(graph),
+          arena(width, messages),
+          handle_by_script(messages, kNoTimestamp) {}
+};
+
+}  // namespace
+
+ReconfigurableRunResult run_reconfigurable_protocol(
+    const TopologyManager& topology, std::span<const SyncComputation> scripts,
+    const SynchronizerOptions& options) {
+    const std::size_t num_epochs = topology.num_epochs();
+    SYNCTS_REQUIRE(scripts.size() == num_epochs,
+                   "need exactly one script per topology epoch");
+    SYNCTS_REQUIRE(options.max_retransmits > 0,
+                   "max_retransmits must be positive");
+    SYNCTS_REQUIRE(options.max_backoff_exponent <= 32,
+                   "max_backoff_exponent out of range");
+    std::size_t n_max = 0;
+    for (EpochId e = 0; e < num_epochs; ++e) {
+        const Graph& graph = topology.epoch(e).graph();
+        SYNCTS_REQUIRE(scripts[e].num_processes() == graph.num_vertices(),
+                       "script and epoch disagree on process count");
+        for (const SyncMessage& m : scripts[e].messages()) {
+            SYNCTS_REQUIRE(graph.has_edge(m.sender, m.receiver),
+                           "script uses a channel its epoch does not have");
+        }
+        n_max = std::max(n_max, graph.num_vertices());
+    }
+
+    Tally tally;
+    obs::TraceSink* const sink = options.trace;
+    obs::Histogram* rendezvous_hist = nullptr;
+    obs::Histogram* attempts_hist = nullptr;
+    if (options.metrics != nullptr) {
+        rendezvous_hist = &options.metrics->histogram("sync_rendezvous_ticks");
+        attempts_hist =
+            &options.metrics->histogram("sync_attempts_per_message");
+    }
+    // One line per protocol event; `logical` is the acting process's
+    // clock-vector total at record time, tying wire activity to causal
+    // progress. Only evaluated when tracing is on.
+    const auto trace = [&](obs::TraceEventKind kind, std::uint64_t now,
+                           ProcessId process, ProcessId peer,
+                           std::uint64_t a, std::uint64_t b,
+                           std::uint64_t logical) {
+        if (sink == nullptr) return;
+        obs::TraceEvent event;
+        event.virtual_time = now;
+        event.logical = logical;
+        event.arg_a = a;
+        event.arg_b = b;
+        event.process = process;
+        event.peer = peer;
+        event.kind = kind;
+        sink->record(event);
+    };
+
+    AsyncSimulator network(n_max, options.seed);
+    network.set_uniform_latency(options.latency_lo, options.latency_hi);
+    network.set_fault_plan(options.faults);
+
+    // Retransmission is armed whenever the network can lose or corrupt a
+    // packet (or the caller asks for it explicitly); on a reliable network
+    // it stays off so the wire profile is exactly 2 packets per message.
+    const bool retransmission = options.retransmit_timeout > 0 ||
+                                options.faults.active();
+    const std::uint64_t base_rto =
+        options.retransmit_timeout > 0
+            ? options.retransmit_timeout
+            : 4 * (options.latency_hi + options.faults.max_extra_delay) + 1;
+    const std::uint64_t max_rto = base_rto << options.max_backoff_exponent;
+
+    std::vector<Engine> engines(n_max);
+    for (ProcessId p = 0; p < n_max; ++p) engines[p].self = p;
+
+    std::vector<SegmentState> segments;
+    segments.reserve(num_epochs);
+    for (EpochId e = 0; e < num_epochs; ++e) {
+        segments.emplace_back(topology.epoch(e).graph(),
+                              topology.epoch(e).width(),
+                              scripts[e].num_messages());
+    }
+
+    // The barrier state: every engine stamps, frames, and validates
+    // against this one epoch. Stale frames are classified by the epoch
+    // carried in their header.
+    EpochId current_epoch = 0;
+
+    /// (Re)loads per-process state for epoch `e`: the epoch's script
+    /// slice, a fresh clock on the epoch's decomposition, and width-d
+    /// scratch. Channel maps are deliberately left alone.
+    const auto load_epoch = [&](EpochId e) {
+        const std::shared_ptr<const EdgeDecomposition> decomposition =
+            topology.decomposition(e);
+        const std::size_t n = decomposition->graph().num_vertices();
+        const std::size_t d = decomposition->size();
+        for (ProcessId p = 0; p < n_max; ++p) {
+            Engine& engine = engines[p];
+            engine.script.clear();
+            engine.cursor = 0;
+            if (p >= n) {
+                engine.clock.reset();
+                continue;
+            }
+            for (const ProcessEvent& event : scripts[e].process_events(p)) {
+                if (event.kind == ProcessEvent::Kind::message) {
+                    engine.script.push_back(event);
+                }
+            }
+            engine.clock =
+                std::make_unique<OnlineProcessClock>(p, decomposition);
+            engine.rx_stamp.resize(d);
+            engine.ack_scratch.resize(d);
+            engine.stamp_scratch.resize(d);
+        }
+    };
+    load_epoch(0);
+
+    // Re-arms the retransmission timer for the sender's current
+    // outstanding REQ. Timers are never cancelled; a fired timer checks
+    // that the exact (receiver, sequence) it was armed for is still
+    // outstanding and otherwise does nothing — which also neutralizes
+    // timers armed in an earlier epoch.
+    std::function<void(std::uint64_t, ProcessId)> arm_timer =
+        [&](std::uint64_t now, ProcessId p) {
+            const Outstanding& out = *engines[p].outstanding;
+            const ProcessId receiver = out.receiver;
+            const std::uint64_t sequence = out.sequence;
+            network.schedule(now + out.rto, [&, p, receiver,
+                                             sequence](std::uint64_t when) {
+                Engine& engine = engines[p];
+                if (!engine.outstanding ||
+                    engine.outstanding->receiver != receiver ||
+                    engine.outstanding->sequence != sequence) {
+                    return;  // ACK arrived; stale timer
+                }
+                Outstanding& out_now = *engine.outstanding;
+                ++tally.timeouts;
+                trace(obs::TraceEventKind::timeout, when, p, receiver,
+                      sequence, out_now.mid,
+                      ts::total(engine.clock->current_span()));
+                if (out_now.retransmits >= options.max_retransmits) {
+                    throw SynchronizerStalled(
+                        "message " + std::to_string(out_now.mid) +
+                        " from P" + std::to_string(p) + " to P" +
+                        std::to_string(receiver) + " exhausted " +
+                        std::to_string(options.max_retransmits) +
+                        " retransmissions");
+                }
+                ++out_now.retransmits;
+                ++tally.retransmits;
+                trace(obs::TraceEventKind::retransmit, when, p, receiver,
+                      sequence, out_now.mid,
+                      ts::total(engine.clock->current_span()));
+                Packet req;
+                req.source = p;
+                req.destination = receiver;
+                req.kind = kReq;
+                req.tag = out_now.mid;
+                req.body = out_now.frame;
+                network.send(when, std::move(req));
+                out_now.rto = std::min(out_now.rto * 2, max_rto);
+                arm_timer(when, p);
+            });
+        };
+
+    // Forward declaration dance: progress() sends packets and is called
+    // from the delivery handler.
+    std::function<void(std::uint64_t, ProcessId)> progress =
+        [&](std::uint64_t now, ProcessId p) {
+            Engine& engine = engines[p];
+            SegmentState& segment = segments[current_epoch];
+            const SyncComputation& script = scripts[current_epoch];
+            while (engine.cursor < engine.script.size()) {
+                const MessageId mid = engine.script[engine.cursor].index;
+                const SyncMessage& m = script.message(mid);
+                if (m.sender == p) {
+                    if (engine.outstanding) return;  // blocked on the wire
+                    // Sequences are 1-based per directed channel.
+                    const std::uint64_t sequence =
+                        ++engine.next_sequence[m.receiver];
+                    Packet req;
+                    req.source = p;
+                    req.destination = m.receiver;
+                    req.kind = kReq;
+                    encode_epoch_frame_into(current_epoch, sequence, mid,
+                                            engine.clock->current_span(),
+                                            req.body);
+                    engine.outstanding = Outstanding{
+                        .receiver = m.receiver,
+                        .mid = mid,
+                        .sequence = sequence,
+                        .frame = req.body,
+                        .retransmits = 0,
+                        .rto = base_rto,
+                        .first_send_time = now};
+                    ++tally.req_sent;
+                    trace(obs::TraceEventKind::send, now, p, m.receiver,
+                          sequence, mid,
+                          ts::total(engine.clock->current_span()));
+                    network.send(now, std::move(req));
+                    if (retransmission) arm_timer(now, p);
+                    return;
+                }
+                // Receive action: consume the buffered fresh REQ if any.
+                InChannel& channel = engine.in[m.sender];
+                if (!channel.pending) return;  // wait for the REQ packet
+                const SyncFrame req = *std::move(channel.pending);
+                channel.pending.reset();
+                SYNCTS_ENSURE(req.message == mid,
+                              "REQ does not match the scripted receive");
+                engine.clock->on_receive_into(m.sender,
+                                              req.stamp.components(),
+                                              engine.ack_scratch,
+                                              engine.stamp_scratch);
+                // Commit: the rendezvous instant, exactly once per
+                // sequence — duplicates never reach this line.
+                channel.last_committed = req.sequence;
+                ++tally.commits;
+                trace(obs::TraceEventKind::commit, now, p, m.sender,
+                      req.sequence, mid, ts::total(engine.stamp_scratch));
+                segment.computation.add_message(m.sender, m.receiver);
+                segment.script_message.push_back(mid);
+                segment.handle_by_script[mid] =
+                    segment.arena.allocate(engine.stamp_scratch);
+                encode_epoch_frame_into(current_epoch, req.sequence, mid,
+                                        engine.ack_scratch,
+                                        channel.cached_ack);
+                Packet ack;
+                ack.source = p;
+                ack.destination = m.sender;
+                ack.kind = kAck;
+                ack.tag = mid;
+                ack.body = channel.cached_ack;
+                network.send(now, std::move(ack));
+                ++engine.cursor;
+            }
+        };
+
+    /// True when every epoch-`current_epoch` obligation is discharged:
+    /// all scripted actions executed and no sender blocked on the wire.
+    /// (Late duplicate frames may still be in flight; they are stale by
+    /// construction and the epoch filter handles them.)
+    const auto epoch_complete = [&] {
+        for (const Engine& engine : engines) {
+            if (engine.cursor != engine.script.size()) return false;
+            if (engine.outstanding) return false;
+        }
+        return true;
+    };
+
+    /// Crosses as many barriers as are due at virtual time `now`
+    /// (several in a row when later epochs script no messages).
+    const auto maybe_transition = [&](std::uint64_t now) {
+        while (current_epoch + 1 < num_epochs && epoch_complete()) {
+            SYNCTS_ENSURE(segments[current_epoch].computation.num_messages() ==
+                              scripts[current_epoch].num_messages(),
+                          "epoch barrier crossed with unrealized messages");
+            for (const Engine& engine : engines) {
+                for (const auto& [peer, channel] : engine.in) {
+                    SYNCTS_ENSURE(!channel.pending,
+                                  "epoch barrier crossed with a buffered REQ");
+                }
+            }
+            const EpochTransition& transition =
+                topology.transition_into(current_epoch + 1);
+            ++current_epoch;
+            trace(obs::TraceEventKind::epoch, now, 0, 0, current_epoch,
+                  transition.preserved_groups, 0);
+            load_epoch(current_epoch);
+            const std::size_t n =
+                topology.epoch(current_epoch).num_processes();
+            for (ProcessId p = 0; p < n; ++p) progress(now, p);
+        }
+    };
+
+    const auto handle_req = [&](std::uint64_t now, ProcessId p,
+                                const Packet& packet,
+                                const FrameHeader& header) {
+        Engine& engine = engines[p];
+        InChannel& channel = engine.in[packet.source];
+        if (header.sequence == channel.last_committed + 1) {
+            if (channel.pending) {
+                // Duplicate of a REQ already buffered for the program.
+                SYNCTS_ENSURE(channel.pending->sequence == header.sequence,
+                              "two distinct uncommitted REQs on one channel");
+                ++tally.req_duplicates;
+                trace(obs::TraceEventKind::duplicate_drop, now, p,
+                      packet.source, header.sequence, header.message,
+                      ts::total(engine.clock->current_span()));
+                return;
+            }
+            // The program may not have reached the matching receive yet,
+            // so the stamp is copied out of the scratch into an owning
+            // buffered frame — the only copy on the fresh-REQ path.
+            channel.pending = SyncFrame{
+                header.sequence, header.message,
+                VectorTimestamp(
+                    std::span<const std::uint64_t>(engine.rx_stamp))};
+            trace(obs::TraceEventKind::receive, now, p, packet.source,
+                  header.sequence, header.message,
+                  ts::total(engine.clock->current_span()));
+            progress(now, p);
+            return;
+        }
+        if (header.sequence == channel.last_committed &&
+            channel.last_committed > 0) {
+            // The sender retransmitted after commit: its ACK was lost (or
+            // this REQ copy was duplicated in flight). Replay the cached
+            // ACK; the clock is not touched, so no double increment.
+            SYNCTS_ENSURE(!channel.cached_ack.empty(),
+                          "committed channel has no cached ACK");
+            // Counted once: the REQ copy is answered (with the cached
+            // ACK), not suppressed, so it is an ack_replay and *not* also
+            // a req_duplicate. The deprecated ProtocolStats shim still
+            // folds replays into dup_drops for legacy callers.
+            ++tally.ack_replays;
+            trace(obs::TraceEventKind::ack_replay, now, p, packet.source,
+                  header.sequence, header.message,
+                  ts::total(engine.clock->current_span()));
+            Packet ack;
+            ack.source = p;
+            ack.destination = packet.source;
+            ack.kind = kAck;
+            ack.tag = packet.tag;
+            ack.body = channel.cached_ack;
+            network.send(now, std::move(ack));
+            return;
+        }
+        // A sender never advances past an unacknowledged sequence, so
+        // anything else is a stale copy from an older rendezvous.
+        SYNCTS_ENSURE(header.sequence < channel.last_committed,
+                      "REQ sequence from the future");
+        ++tally.req_duplicates;
+        trace(obs::TraceEventKind::duplicate_drop, now, p, packet.source,
+              header.sequence, header.message,
+              ts::total(engine.clock->current_span()));
+    };
+
+    const auto handle_ack = [&](std::uint64_t now, ProcessId p,
+                                const Packet& packet,
+                                const FrameHeader& header) {
+        Engine& engine = engines[p];
+        if (!engine.outstanding ||
+            engine.outstanding->receiver != packet.source ||
+            engine.outstanding->sequence != header.sequence) {
+            // Duplicate or replayed ACK for a rendezvous already finished.
+            ++tally.ack_duplicates;
+            trace(obs::TraceEventKind::duplicate_drop, now, p, packet.source,
+                  header.sequence, header.message,
+                  ts::total(engine.clock->current_span()));
+            return;
+        }
+        const MessageId mid = engine.outstanding->mid;
+        SegmentState& segment = segments[current_epoch];
+        SYNCTS_ENSURE(header.message == mid,
+                      "ACK does not match the pending send");
+        engine.clock->on_ack_into(packet.source, engine.rx_stamp,
+                                  engine.stamp_scratch);
+        SYNCTS_ENSURE(
+            segment.handle_by_script[mid] != kNoTimestamp &&
+                ts::equal(engine.stamp_scratch,
+                          segment.arena.span(segment.handle_by_script[mid])),
+            "sender and receiver disagree on a timestamp");
+        trace(obs::TraceEventKind::ack, now, p, packet.source,
+              header.sequence, mid, ts::total(engine.stamp_scratch));
+        if (rendezvous_hist != nullptr) {
+            rendezvous_hist->record(now -
+                                    engine.outstanding->first_send_time);
+            attempts_hist->record(engine.outstanding->retransmits + 1);
+        }
+        engine.outstanding.reset();
+        ++engine.cursor;
+        progress(now, p);
+        // Accepting an ACK is the only step that can unblock the last
+        // sender of the epoch, so this is where barriers become due.
+        maybe_transition(now);
+    };
+
+    /// A checksum-valid frame from an epoch other than the current one.
+    /// Under the barrier model only *older* epochs can appear (a frame
+    /// from the future would mean some process crossed the barrier
+    /// early). Stale REQs are answered with a NACK naming the current
+    /// epoch — the cached ACK they would otherwise earn belongs to a
+    /// topology that no longer exists; stale ACKs/NACKs are dropped.
+    const auto handle_epoch_mismatch = [&](std::uint64_t now, ProcessId p,
+                                           const Packet& packet,
+                                           const FrameHeader& header) {
+        SYNCTS_ENSURE(header.epoch < current_epoch,
+                      "frame from a future epoch");
+        ++tally.epoch_rejects;
+        trace(obs::TraceEventKind::epoch_reject, now, p, packet.source,
+              header.sequence, header.message, header.epoch);
+        if (packet.kind != kReq) return;
+        Packet nack;
+        nack.source = p;
+        nack.destination = packet.source;
+        nack.kind = kNack;
+        nack.tag = packet.tag;
+        // A NACK is a header-only frame: the current epoch plus the
+        // rejected (sequence, message), no timestamp payload.
+        encode_epoch_frame_into(current_epoch, header.sequence,
+                                header.message, {}, nack.body);
+        ++tally.nacks_sent;
+        trace(obs::TraceEventKind::nack, now, p, packet.source,
+              header.sequence, header.message, current_epoch);
+        network.send(now, std::move(nack));
+    };
+
+    /// NACK at the sender: if the rejected (channel, sequence) is still
+    /// the in-flight send, re-encode it at the current epoch and resend
+    /// immediately (the retransmission timer stays armed for it).
+    /// Otherwise the rendezvous already completed — the NACK answered a
+    /// duplicate copy — and it is dropped.
+    const auto handle_nack = [&](std::uint64_t now, ProcessId p,
+                                 const Packet& packet,
+                                 const FrameHeader& header) {
+        Engine& engine = engines[p];
+        if (header.epoch != current_epoch || !engine.outstanding ||
+            engine.outstanding->receiver != packet.source ||
+            engine.outstanding->sequence != header.sequence) {
+            ++tally.nack_drops;
+            trace(obs::TraceEventKind::nack, now, p, packet.source,
+                  header.sequence, header.message, header.epoch);
+            return;
+        }
+        Outstanding& out = *engine.outstanding;
+        encode_epoch_frame_into(current_epoch, out.sequence, out.mid,
+                                engine.clock->current_span(), out.frame);
+        ++tally.nack_retransmits;
+        trace(obs::TraceEventKind::retransmit, now, p, packet.source,
+              out.sequence, out.mid,
+              ts::total(engine.clock->current_span()));
+        Packet req;
+        req.source = p;
+        req.destination = out.receiver;
+        req.kind = kReq;
+        req.tag = out.mid;
+        req.body = out.frame;
+        network.send(now, std::move(req));
+    };
+
+    for (ProcessId p = 0; p < n_max; ++p) {
+        network.on_deliver(p, [&, p](std::uint64_t now, const Packet& packet) {
+            Engine& engine = engines[p];
+            FrameHeader header;
+            if (packet.kind == kNack) {
+                // NACKs carry no timestamp; read the header only.
+                try {
+                    header = peek_epoch_frame_header(packet.body);
+                } catch (const WireError&) {
+                    ++tally.corrupt_rejects;
+                    trace(obs::TraceEventKind::corrupt_reject, now, p,
+                          packet.source, packet.kind, packet.tag,
+                          ts::total(engine.clock->current_span()));
+                    return;
+                }
+                handle_nack(now, p, packet, header);
+                return;
+            }
+            try {
+                header = decode_epoch_frame_into(packet.body, engine.rx_stamp);
+            } catch (const WireError&) {
+                // Either corrupted in flight, or a healthy frame from an
+                // earlier epoch whose width no longer matches — the
+                // checksum-validated header tells the two apart.
+                try {
+                    header = peek_epoch_frame_header(packet.body);
+                } catch (const WireError&) {
+                    ++tally.corrupt_rejects;
+                    trace(obs::TraceEventKind::corrupt_reject, now, p,
+                          packet.source, packet.kind, packet.tag,
+                          ts::total(engine.clock->current_span()));
+                    return;
+                }
+                if (header.epoch == current_epoch) {
+                    // Same epoch, bad payload: genuinely malformed.
+                    ++tally.corrupt_rejects;
+                    trace(obs::TraceEventKind::corrupt_reject, now, p,
+                          packet.source, packet.kind, packet.tag,
+                          ts::total(engine.clock->current_span()));
+                    return;
+                }
+                handle_epoch_mismatch(now, p, packet, header);
+                return;
+            }
+            if (header.epoch != current_epoch) {
+                handle_epoch_mismatch(now, p, packet, header);
+                return;
+            }
+            if (packet.kind == kReq) {
+                handle_req(now, p, packet, header);
+            } else {
+                handle_ack(now, p, packet, header);
+            }
+        });
+    }
+
+    // Kick off every epoch-0 process at time 0; leading message-free
+    // epochs transition immediately.
+    {
+        const std::size_t n = topology.epoch(0).num_processes();
+        for (ProcessId p = 0; p < n; ++p) progress(0, p);
+        maybe_transition(0);
+    }
+    ReconfigurableRunResult result;
+    result.virtual_duration = network.run();
+    result.packets = network.packets_delivered();
+    result.network_faults = network.fault_stats();
+
+    if (options.metrics != nullptr) {
+        obs::MetricsRegistry& m = *options.metrics;
+        m.counter("sync_req_sent").inc(tally.req_sent);
+        m.counter("sync_commits").inc(tally.commits);
+        m.counter("sync_retransmits").inc(tally.retransmits);
+        m.counter("sync_timeouts").inc(tally.timeouts);
+        m.counter("sync_req_duplicates").inc(tally.req_duplicates);
+        m.counter("sync_ack_duplicates").inc(tally.ack_duplicates);
+        m.counter("sync_ack_replays").inc(tally.ack_replays);
+        m.counter("sync_frames_corrupt_rejected").inc(tally.corrupt_rejects);
+        m.counter("sync_packets_delivered").inc(result.packets);
+        m.counter("sync_runs").inc();
+        m.counter("sync_epoch_transitions").inc(num_epochs - 1);
+        m.counter("sync_epoch_rejects").inc(tally.epoch_rejects);
+        m.counter("sync_nacks_sent").inc(tally.nacks_sent);
+        m.counter("sync_nack_drops").inc(tally.nack_drops);
+        m.counter("sync_nack_retransmits").inc(tally.nack_retransmits);
+        m.gauge("sync_virtual_ticks")
+            .set(static_cast<std::int64_t>(result.virtual_duration));
+        m.counter("net_packets_dropped")
+            .inc(result.network_faults.dropped +
+                 result.network_faults.targeted_drops);
+        m.counter("net_packets_duplicated")
+            .inc(result.network_faults.duplicated);
+        m.counter("net_packets_corrupted")
+            .inc(result.network_faults.corrupted);
+        m.counter("net_packets_delayed").inc(result.network_faults.delayed);
+    }
+
+    SYNCTS_ENSURE(current_epoch == num_epochs - 1,
+                  "protocol finished before the last epoch");
+    for (const Engine& engine : engines) {
+        SYNCTS_ENSURE(engine.cursor == engine.script.size(),
+                      "protocol finished with unexecuted script actions");
+        SYNCTS_ENSURE(!engine.outstanding, "protocol finished mid-rendezvous");
+    }
+
+    result.segments.reserve(num_epochs);
+    for (EpochId e = 0; e < num_epochs; ++e) {
+        SegmentState& segment = segments[e];
+        SYNCTS_ENSURE(segment.computation.num_messages() ==
+                          scripts[e].num_messages(),
+                      "not every scripted message was realized");
+        // Materialize each record once, in commit order (arena slot
+        // order).
+        std::vector<VectorTimestamp> stamps;
+        stamps.reserve(segment.arena.size());
+        for (std::size_t i = 0; i < segment.arena.size(); ++i) {
+            stamps.emplace_back(segment.arena.span(static_cast<TsHandle>(i)));
+        }
+        result.segments.push_back(EpochSegmentResult{
+            e, std::move(segment.computation), std::move(stamps),
+            std::move(segment.script_message)});
+    }
+    return result;
+}
+
+}  // namespace syncts

@@ -1,16 +1,11 @@
 #include "runtime/synchronizer.hpp"
 
-#include <algorithm>
-#include <functional>
-#include <optional>
-#include <unordered_map>
 #include <utility>
+#include <vector>
 
-#include "clocks/wire.hpp"
 #include "common/check.hpp"
-#include "common/timestamp_arena.hpp"
-#include "common/ts_kernels.hpp"
-#include "runtime/async_sim.hpp"
+#include "runtime/reconfig_runtime.hpp"
+#include "topo/topology_manager.hpp"
 
 namespace syncts {
 
@@ -22,448 +17,46 @@ std::string ProtocolStats::to_string() const {
            " corrupt_rejects=" + std::to_string(corrupt_rejects);
 }
 
-namespace {
-
-constexpr std::uint32_t kReq = 0;
-constexpr std::uint32_t kAck = 1;
-
-/// Sender-side state of the one in-flight rendezvous (a process's script
-/// is sequential, so it blocks on at most one send at a time).
-struct Outstanding {
-    ProcessId receiver = 0;
-    MessageId mid = 0;
-    std::uint64_t sequence = 0;
-    std::vector<std::uint8_t> frame;  // encoded REQ, byte-identical resends
-    std::uint32_t retransmits = 0;
-    std::uint64_t rto = 0;              // current backoff interval
-    std::uint64_t first_send_time = 0;  // for the rendezvous-ticks histogram
-};
-
-/// Plain tallies kept unconditionally (they back both the deprecated
-/// ProtocolStats shim and the registry counters). Unlike the legacy
-/// struct these never count one event twice: a cached-ACK replay is an
-/// ack_replay only, not also a duplicate drop.
-struct Tally {
-    std::uint64_t req_sent = 0;
-    std::uint64_t commits = 0;
-    std::uint64_t retransmits = 0;
-    std::uint64_t timeouts = 0;
-    std::uint64_t req_duplicates = 0;  ///< dup/stale REQs dropped, no reply
-    std::uint64_t ack_duplicates = 0;  ///< dup/stale ACKs dropped
-    std::uint64_t ack_replays = 0;     ///< cached ACK re-sent
-    std::uint64_t corrupt_rejects = 0;
-};
-
-/// Receiver-side state of one directed channel (peer -> self).
-struct InChannel {
-    /// Sequence of the last committed rendezvous on this channel; fresh
-    /// REQs must carry last_committed + 1 (sequences are 1-based).
-    std::uint64_t last_committed = 0;
-    /// Fresh REQ waiting for the program to reach the matching receive.
-    std::optional<SyncFrame> pending;
-    /// Encoded ACK of the last committed rendezvous, replayed when a
-    /// duplicate REQ reveals the ACK was lost.
-    std::vector<std::uint8_t> cached_ack;
-};
-
-/// Per-process protocol engine: walks the process's script, issuing REQs
-/// for sends and consuming buffered REQs for receives.
-struct Engine {
-    ProcessId self = 0;
-    std::vector<ProcessEvent> script;  // message events only
-    std::size_t cursor = 0;
-    std::unique_ptr<OnlineProcessClock> clock;
-    std::optional<Outstanding> outstanding;
-    /// next_sequence[q] — next sequence to assign on channel (self, q).
-    std::unordered_map<ProcessId, std::uint64_t> next_sequence;
-    /// Incoming-channel state by sender.
-    std::unordered_map<ProcessId, InChannel> in;
-    /// Width-d scratch for the span protocol hooks: decoded inbound
-    /// stamp, outbound acknowledgement, committed timestamp. Sized once
-    /// at setup so the per-packet path allocates nothing.
-    std::vector<std::uint64_t> rx_stamp;
-    std::vector<std::uint64_t> ack_scratch;
-    std::vector<std::uint64_t> stamp_scratch;
-};
-
-}  // namespace
+ProtocolStats legacy_protocol_stats(obs::MetricsRegistry& metrics) {
+    ProtocolStats stats;
+    stats.retransmits = metrics.counter("sync_retransmits").value();
+    stats.timeouts = metrics.counter("sync_timeouts").value();
+    // The historical aggregation: replays were double-counted as
+    // duplicate drops. The registry counters are non-overlapping, so the
+    // legacy number is their sum.
+    stats.dup_drops = metrics.counter("sync_req_duplicates").value() +
+                      metrics.counter("sync_ack_duplicates").value() +
+                      metrics.counter("sync_ack_replays").value();
+    stats.ack_replays = metrics.counter("sync_ack_replays").value();
+    stats.corrupt_rejects =
+        metrics.counter("sync_frames_corrupt_rejected").value();
+    return stats;
+}
 
 SynchronizerResult run_rendezvous_protocol(
     std::shared_ptr<const EdgeDecomposition> decomposition,
     const SyncComputation& script, const SynchronizerOptions& options) {
     SYNCTS_REQUIRE(decomposition != nullptr, "decomposition must be set");
-    const std::size_t n = script.num_processes();
-    SYNCTS_REQUIRE(decomposition->graph().num_vertices() == n,
+    SYNCTS_REQUIRE(decomposition->graph().num_vertices() ==
+                       script.num_processes(),
                    "script and decomposition disagree on process count");
-    SYNCTS_REQUIRE(options.max_retransmits > 0,
-                   "max_retransmits must be positive");
-    SYNCTS_REQUIRE(options.max_backoff_exponent <= 32,
-                   "max_backoff_exponent out of range");
-    const std::size_t d = decomposition->size();
-
-    Tally tally;
-    obs::TraceSink* const sink = options.trace;
-    obs::Histogram* rendezvous_hist = nullptr;
-    obs::Histogram* attempts_hist = nullptr;
-    if (options.metrics != nullptr) {
-        rendezvous_hist = &options.metrics->histogram("sync_rendezvous_ticks");
-        attempts_hist =
-            &options.metrics->histogram("sync_attempts_per_message");
-    }
-    // One line per protocol event; `logical` is the acting process's
-    // clock-vector total at record time, tying wire activity to causal
-    // progress. Only evaluated when tracing is on.
-    const auto trace = [&](obs::TraceEventKind kind, std::uint64_t now,
-                           ProcessId process, ProcessId peer,
-                           std::uint64_t a, std::uint64_t b,
-                           std::uint64_t logical) {
-        if (sink == nullptr) return;
-        obs::TraceEvent event;
-        event.virtual_time = now;
-        event.logical = logical;
-        event.arg_a = a;
-        event.arg_b = b;
-        event.process = process;
-        event.peer = peer;
-        event.kind = kind;
-        sink->record(event);
-    };
-
-    AsyncSimulator network(n, options.seed);
-    network.set_uniform_latency(options.latency_lo, options.latency_hi);
-    network.set_fault_plan(options.faults);
-
-    // Retransmission is armed whenever the network can lose or corrupt a
-    // packet (or the caller asks for it explicitly); on a reliable network
-    // it stays off so the wire profile is exactly 2 packets per message.
-    const bool retransmission = options.retransmit_timeout > 0 ||
-                                options.faults.active();
-    const std::uint64_t base_rto =
-        options.retransmit_timeout > 0
-            ? options.retransmit_timeout
-            : 4 * (options.latency_hi + options.faults.max_extra_delay) + 1;
-    const std::uint64_t max_rto = base_rto << options.max_backoff_exponent;
-
-    std::vector<Engine> engines(n);
-    for (ProcessId p = 0; p < n; ++p) {
-        engines[p].self = p;
-        for (const ProcessEvent& event : script.process_events(p)) {
-            if (event.kind == ProcessEvent::Kind::message) {
-                engines[p].script.push_back(event);
-            }
-        }
-        engines[p].clock =
-            std::make_unique<OnlineProcessClock>(p, decomposition);
-        engines[p].rx_stamp.resize(d);
-        engines[p].ack_scratch.resize(d);
-        engines[p].stamp_scratch.resize(d);
-    }
-
-    SynchronizerResult result{
-        .computation = SyncComputation(decomposition->graph()),
-        .message_stamps = {},
-        .script_message = {},
-        .virtual_duration = 0,
-        .packets = 0,
-        .protocol = {},
-        .network_faults = {}};
-    // Committed stamps live in one arena (slot = realized-message index);
-    // handle_by_script maps script ids to slots for the sender-side
-    // cross-check.
-    TimestampArena stamp_arena(d, script.num_messages());
-    std::vector<TsHandle> handle_by_script(script.num_messages(),
-                                           kNoTimestamp);
-
-    // Re-arms the retransmission timer for the sender's current
-    // outstanding REQ. Timers are never cancelled; a fired timer checks
-    // that the exact (receiver, sequence) it was armed for is still
-    // outstanding and otherwise does nothing.
-    std::function<void(std::uint64_t, ProcessId)> arm_timer =
-        [&](std::uint64_t now, ProcessId p) {
-            const Outstanding& out = *engines[p].outstanding;
-            const ProcessId receiver = out.receiver;
-            const std::uint64_t sequence = out.sequence;
-            network.schedule(now + out.rto, [&, p, receiver,
-                                             sequence](std::uint64_t when) {
-                Engine& engine = engines[p];
-                if (!engine.outstanding ||
-                    engine.outstanding->receiver != receiver ||
-                    engine.outstanding->sequence != sequence) {
-                    return;  // ACK arrived; stale timer
-                }
-                Outstanding& out_now = *engine.outstanding;
-                ++tally.timeouts;
-                trace(obs::TraceEventKind::timeout, when, p, receiver,
-                      sequence, out_now.mid,
-                      ts::total(engine.clock->current_span()));
-                if (out_now.retransmits >= options.max_retransmits) {
-                    throw SynchronizerStalled(
-                        "message " + std::to_string(out_now.mid) +
-                        " from P" + std::to_string(p) + " to P" +
-                        std::to_string(receiver) + " exhausted " +
-                        std::to_string(options.max_retransmits) +
-                        " retransmissions");
-                }
-                ++out_now.retransmits;
-                ++tally.retransmits;
-                trace(obs::TraceEventKind::retransmit, when, p, receiver,
-                      sequence, out_now.mid,
-                      ts::total(engine.clock->current_span()));
-                Packet req;
-                req.source = p;
-                req.destination = receiver;
-                req.kind = kReq;
-                req.tag = out_now.mid;
-                req.body = out_now.frame;
-                network.send(when, std::move(req));
-                out_now.rto = std::min(out_now.rto * 2, max_rto);
-                arm_timer(when, p);
-            });
-        };
-
-    // Forward declaration dance: progress() sends packets and is called
-    // from the delivery handler.
-    std::function<void(std::uint64_t, ProcessId)> progress =
-        [&](std::uint64_t now, ProcessId p) {
-            Engine& engine = engines[p];
-            while (engine.cursor < engine.script.size()) {
-                const MessageId mid = engine.script[engine.cursor].index;
-                const SyncMessage& m = script.message(mid);
-                if (m.sender == p) {
-                    if (engine.outstanding) return;  // blocked on the wire
-                    // Sequences are 1-based per directed channel.
-                    const std::uint64_t sequence =
-                        ++engine.next_sequence[m.receiver];
-                    Packet req;
-                    req.source = p;
-                    req.destination = m.receiver;
-                    req.kind = kReq;
-                    encode_frame_into(sequence, mid,
-                                      engine.clock->current_span(),
-                                      req.body);
-                    engine.outstanding = Outstanding{
-                        .receiver = m.receiver,
-                        .mid = mid,
-                        .sequence = sequence,
-                        .frame = req.body,
-                        .retransmits = 0,
-                        .rto = base_rto,
-                        .first_send_time = now};
-                    ++tally.req_sent;
-                    trace(obs::TraceEventKind::send, now, p, m.receiver,
-                          sequence, mid,
-                          ts::total(engine.clock->current_span()));
-                    network.send(now, std::move(req));
-                    if (retransmission) arm_timer(now, p);
-                    return;
-                }
-                // Receive action: consume the buffered fresh REQ if any.
-                InChannel& channel = engine.in[m.sender];
-                if (!channel.pending) return;  // wait for the REQ packet
-                const SyncFrame req = *std::move(channel.pending);
-                channel.pending.reset();
-                SYNCTS_ENSURE(req.message == mid,
-                              "REQ does not match the scripted receive");
-                engine.clock->on_receive_into(m.sender,
-                                              req.stamp.components(),
-                                              engine.ack_scratch,
-                                              engine.stamp_scratch);
-                // Commit: the rendezvous instant, exactly once per
-                // sequence — duplicates never reach this line.
-                channel.last_committed = req.sequence;
-                ++tally.commits;
-                trace(obs::TraceEventKind::commit, now, p, m.sender,
-                      req.sequence, mid, ts::total(engine.stamp_scratch));
-                result.computation.add_message(m.sender, m.receiver);
-                result.script_message.push_back(mid);
-                handle_by_script[mid] =
-                    stamp_arena.allocate(engine.stamp_scratch);
-                encode_frame_into(req.sequence, mid, engine.ack_scratch,
-                                  channel.cached_ack);
-                Packet ack;
-                ack.source = p;
-                ack.destination = m.sender;
-                ack.kind = kAck;
-                ack.tag = mid;
-                ack.body = channel.cached_ack;
-                network.send(now, std::move(ack));
-                ++engine.cursor;
-            }
-        };
-
-    const auto handle_req = [&](std::uint64_t now, ProcessId p,
-                                const Packet& packet,
-                                const FrameHeader& header) {
-        Engine& engine = engines[p];
-        InChannel& channel = engine.in[packet.source];
-        if (header.sequence == channel.last_committed + 1) {
-            if (channel.pending) {
-                // Duplicate of a REQ already buffered for the program.
-                SYNCTS_ENSURE(channel.pending->sequence == header.sequence,
-                              "two distinct uncommitted REQs on one channel");
-                ++tally.req_duplicates;
-                trace(obs::TraceEventKind::duplicate_drop, now, p,
-                      packet.source, header.sequence, header.message,
-                      ts::total(engine.clock->current_span()));
-                return;
-            }
-            // The program may not have reached the matching receive yet,
-            // so the stamp is copied out of the scratch into an owning
-            // buffered frame — the only copy on the fresh-REQ path.
-            channel.pending = SyncFrame{
-                header.sequence, header.message,
-                VectorTimestamp(
-                    std::span<const std::uint64_t>(engine.rx_stamp))};
-            trace(obs::TraceEventKind::receive, now, p, packet.source,
-                  header.sequence, header.message,
-                  ts::total(engine.clock->current_span()));
-            progress(now, p);
-            return;
-        }
-        if (header.sequence == channel.last_committed &&
-            channel.last_committed > 0) {
-            // The sender retransmitted after commit: its ACK was lost (or
-            // this REQ copy was duplicated in flight). Replay the cached
-            // ACK; the clock is not touched, so no double increment.
-            SYNCTS_ENSURE(!channel.cached_ack.empty(),
-                          "committed channel has no cached ACK");
-            // Counted once: the REQ copy is answered (with the cached
-            // ACK), not suppressed, so it is an ack_replay and *not* also
-            // a req_duplicate. The deprecated ProtocolStats shim still
-            // folds replays into dup_drops for legacy callers.
-            ++tally.ack_replays;
-            trace(obs::TraceEventKind::ack_replay, now, p, packet.source,
-                  header.sequence, header.message,
-                  ts::total(engine.clock->current_span()));
-            Packet ack;
-            ack.source = p;
-            ack.destination = packet.source;
-            ack.kind = kAck;
-            ack.tag = packet.tag;
-            ack.body = channel.cached_ack;
-            network.send(now, std::move(ack));
-            return;
-        }
-        // A sender never advances past an unacknowledged sequence, so
-        // anything else is a stale copy from an older rendezvous.
-        SYNCTS_ENSURE(header.sequence < channel.last_committed,
-                      "REQ sequence from the future");
-        ++tally.req_duplicates;
-        trace(obs::TraceEventKind::duplicate_drop, now, p, packet.source,
-              header.sequence, header.message,
-              ts::total(engine.clock->current_span()));
-    };
-
-    const auto handle_ack = [&](std::uint64_t now, ProcessId p,
-                                const Packet& packet,
-                                const FrameHeader& header) {
-        Engine& engine = engines[p];
-        if (!engine.outstanding ||
-            engine.outstanding->receiver != packet.source ||
-            engine.outstanding->sequence != header.sequence) {
-            // Duplicate or replayed ACK for a rendezvous already finished.
-            ++tally.ack_duplicates;
-            trace(obs::TraceEventKind::duplicate_drop, now, p, packet.source,
-                  header.sequence, header.message,
-                  ts::total(engine.clock->current_span()));
-            return;
-        }
-        const MessageId mid = engine.outstanding->mid;
-        SYNCTS_ENSURE(header.message == mid,
-                      "ACK does not match the pending send");
-        engine.clock->on_ack_into(packet.source, engine.rx_stamp,
-                                  engine.stamp_scratch);
-        SYNCTS_ENSURE(handle_by_script[mid] != kNoTimestamp &&
-                          ts::equal(engine.stamp_scratch,
-                                    stamp_arena.span(handle_by_script[mid])),
-                      "sender and receiver disagree on a timestamp");
-        trace(obs::TraceEventKind::ack, now, p, packet.source,
-              header.sequence, mid, ts::total(engine.stamp_scratch));
-        if (rendezvous_hist != nullptr) {
-            rendezvous_hist->record(now -
-                                    engine.outstanding->first_send_time);
-            attempts_hist->record(engine.outstanding->retransmits + 1);
-        }
-        engine.outstanding.reset();
-        ++engine.cursor;
-        progress(now, p);
-    };
-
-    for (ProcessId p = 0; p < n; ++p) {
-        network.on_deliver(p, [&, p](std::uint64_t now, const Packet& packet) {
-            FrameHeader header;
-            try {
-                header = decode_frame_into(packet.body, engines[p].rx_stamp);
-            } catch (const WireError&) {
-                // Corrupted in flight: count, discard, and let the
-                // sender's retransmission (or ACK replay) recover.
-                ++tally.corrupt_rejects;
-                trace(obs::TraceEventKind::corrupt_reject, now, p,
-                      packet.source, packet.kind, packet.tag,
-                      ts::total(engines[p].clock->current_span()));
-                return;
-            }
-            if (packet.kind == kReq) {
-                handle_req(now, p, packet, header);
-            } else {
-                handle_ack(now, p, packet, header);
-            }
-        });
-    }
-
-    // Kick off every process at time 0.
-    for (ProcessId p = 0; p < n; ++p) progress(0, p);
-    result.virtual_duration = network.run();
-    result.packets = network.packets_delivered();
-    result.network_faults = network.fault_stats();
-
-    // Deprecated ProtocolStats shim: dup_drops keeps the historical
-    // aggregation (replays were double-counted as duplicate drops).
-    result.protocol.retransmits = tally.retransmits;
-    result.protocol.timeouts = tally.timeouts;
-    result.protocol.dup_drops =
-        tally.req_duplicates + tally.ack_duplicates + tally.ack_replays;
-    result.protocol.ack_replays = tally.ack_replays;
-    result.protocol.corrupt_rejects = tally.corrupt_rejects;
-
-    if (options.metrics != nullptr) {
-        obs::MetricsRegistry& m = *options.metrics;
-        m.counter("sync_req_sent").inc(tally.req_sent);
-        m.counter("sync_commits").inc(tally.commits);
-        m.counter("sync_retransmits").inc(tally.retransmits);
-        m.counter("sync_timeouts").inc(tally.timeouts);
-        m.counter("sync_req_duplicates").inc(tally.req_duplicates);
-        m.counter("sync_ack_duplicates").inc(tally.ack_duplicates);
-        m.counter("sync_ack_replays").inc(tally.ack_replays);
-        m.counter("sync_frames_corrupt_rejected").inc(tally.corrupt_rejects);
-        m.counter("sync_packets_delivered").inc(result.packets);
-        m.counter("sync_runs").inc();
-        m.gauge("sync_virtual_ticks")
-            .set(static_cast<std::int64_t>(result.virtual_duration));
-        m.counter("net_packets_dropped")
-            .inc(result.network_faults.dropped +
-                 result.network_faults.targeted_drops);
-        m.counter("net_packets_duplicated")
-            .inc(result.network_faults.duplicated);
-        m.counter("net_packets_corrupted")
-            .inc(result.network_faults.corrupted);
-        m.counter("net_packets_delayed").inc(result.network_faults.delayed);
-    }
-
-    for (const Engine& engine : engines) {
-        SYNCTS_ENSURE(engine.cursor == engine.script.size(),
-                      "protocol finished with unexecuted script actions");
-        SYNCTS_ENSURE(!engine.outstanding, "protocol finished mid-rendezvous");
-    }
-    SYNCTS_ENSURE(result.computation.num_messages() == script.num_messages(),
-                  "not every scripted message was realized");
-    // Materialize the record once, in commit order (arena slot order).
-    result.message_stamps.reserve(stamp_arena.size());
-    for (std::size_t i = 0; i < stamp_arena.size(); ++i) {
-        result.message_stamps.emplace_back(
-            stamp_arena.span(static_cast<TsHandle>(i)));
-    }
-    return result;
+    // One-epoch topology around the caller's decomposition; the
+    // reconfigurable driver at epoch 0 speaks the v1 wire layout and
+    // replays the script exactly as the pre-epoch synchronizer did.
+    TopologyManager topology((EdgeDecomposition(*decomposition)));
+    const std::vector<SyncComputation> scripts{script};
+    ReconfigurableRunResult multi =
+        run_reconfigurable_protocol(topology, scripts, options);
+    SYNCTS_ENSURE(multi.segments.size() == 1,
+                  "single-epoch run produced multiple segments");
+    EpochSegmentResult& segment = multi.segments.front();
+    return SynchronizerResult{
+        .computation = std::move(segment.computation),
+        .message_stamps = std::move(segment.message_stamps),
+        .script_message = std::move(segment.script_message),
+        .virtual_duration = multi.virtual_duration,
+        .packets = multi.packets,
+        .network_faults = multi.network_faults};
 }
 
 }  // namespace syncts

@@ -97,13 +97,13 @@ struct SynchronizerOptions {
     obs::TraceSink* trace = nullptr;
 };
 
-/// DEPRECATED compat view of the protocol counters. New code should read
-/// the `sync_*` metrics from SynchronizerOptions::metrics instead: the
+/// DEPRECATED compat view of the protocol counters. New code reads the
+/// `sync_*` metrics from SynchronizerOptions::metrics directly: the
 /// registry counters are non-overlapping (an ACK replay is counted once,
 /// as `sync_ack_replays`), whereas this struct's `dup_drops` keeps the
 /// historical aggregation in which a cached-ACK replay *also* counts as a
-/// duplicate drop — preserved so existing callers and tests see unchanged
-/// numbers.
+/// duplicate drop. The struct is no longer produced by the runtime — the
+/// single remaining way to obtain one is legacy_protocol_stats() below.
 struct ProtocolStats {
     std::uint64_t retransmits = 0;      ///< REQ frames re-sent
     std::uint64_t timeouts = 0;         ///< retransmit timers that fired live
@@ -114,6 +114,15 @@ struct ProtocolStats {
 
     std::string to_string() const;
 };
+
+/// The one compat accessor for the deprecated ProtocolStats view:
+/// reconstructs the legacy aggregation from the non-overlapping `sync_*`
+/// registry counters (dup_drops = sync_req_duplicates +
+/// sync_ack_duplicates + sync_ack_replays). Pass the registry the run(s)
+/// published into; counters accumulate, so to read a single run give it
+/// a fresh registry. (Non-const because registry lookups register the
+/// counter on first use.) Scheduled for removal with the struct itself.
+ProtocolStats legacy_protocol_stats(obs::MetricsRegistry& metrics);
 
 struct SynchronizerResult {
     /// The realized computation: same messages and per-process orders as
@@ -134,15 +143,17 @@ struct SynchronizerResult {
     /// on a lossless network; more under faults (retransmits, duplicates).
     std::uint64_t packets = 0;
 
-    /// How the protocol coped.
-    ProtocolStats protocol;
-
-    /// What the network injected (drops, dups, corruption, delays).
+    /// What the network injected (drops, dups, corruption, delays). How
+    /// the protocol coped is published to SynchronizerOptions::metrics
+    /// (`sync_*` counters; legacy_protocol_stats() for the old view).
     FaultStats network_faults;
 };
 
 /// Replays `script` through the REQ/ACK protocol over an asynchronous
-/// network. The script's topology must match the decomposition's.
+/// network. The script's topology must match the decomposition's. This
+/// is the single-epoch wrapper over the reconfigurable driver
+/// (runtime/reconfig_runtime.hpp); on one epoch the two are
+/// bit-identical, frames included (epoch 0 uses the v1 wire layout).
 SynchronizerResult run_rendezvous_protocol(
     std::shared_ptr<const EdgeDecomposition> decomposition,
     const SyncComputation& script, const SynchronizerOptions& options);

@@ -1,0 +1,34 @@
+#include "topo/epoch.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace syncts {
+
+void EpochTransition::migrate_components(
+    std::span<const std::uint64_t> old_vec,
+    std::span<std::uint64_t> new_vec) const {
+    SYNCTS_REQUIRE(old_vec.size() == old_width(),
+                   "migrate_components: old vector width mismatch");
+    SYNCTS_REQUIRE(new_vec.size() == new_width(),
+                   "migrate_components: new vector width mismatch");
+    for (std::size_t g = 0; g < new_vec.size(); ++g) {
+        const GroupId src = group_source[g];
+        new_vec[g] = src == kNoGroup ? 0 : old_vec[src];
+    }
+}
+
+void EpochTransition::migrate_processes(
+    std::span<const std::uint64_t> old_vec,
+    std::span<std::uint64_t> new_vec) const {
+    SYNCTS_REQUIRE(old_vec.size() == old_num_processes,
+                   "migrate_processes: old vector length mismatch");
+    SYNCTS_REQUIRE(new_vec.size() == new_num_processes,
+                   "migrate_processes: new vector length mismatch");
+    std::copy(old_vec.begin(), old_vec.end(), new_vec.begin());
+    std::fill(new_vec.begin() + static_cast<std::ptrdiff_t>(old_vec.size()),
+              new_vec.end(), 0);
+}
+
+}  // namespace syncts

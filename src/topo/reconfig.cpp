@@ -1,0 +1,207 @@
+#include "topo/reconfig.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace syncts {
+
+namespace {
+
+/// SplitMix64 — tiny, portable, and deterministic across standard
+/// libraries (unlike the std distributions), which the 500-seed schedule
+/// tests and the CI gates rely on.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4b5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/// Mutable mirror of the evolving topology: Graph has no edge removal (its
+/// dense indices are append-only), so feasibility is tracked here.
+struct SimTopology {
+    std::size_t num_vertices = 0;
+    std::set<Edge> edges;
+
+    explicit SimTopology(const Graph& g)
+        : num_vertices(g.num_vertices()),
+          edges(g.edges().begin(), g.edges().end()) {}
+
+    bool has(ProcessId a, ProcessId b) const {
+        return edges.count(Edge::make(a, b)) != 0;
+    }
+
+    void apply(const ReconfigOp& op) {
+        switch (op.kind) {
+            case ReconfigOp::Kind::add_channel:
+                SYNCTS_REQUIRE(op.a < num_vertices && op.b < num_vertices,
+                               "reconfig: channel endpoint out of range");
+                SYNCTS_REQUIRE(!has(op.a, op.b),
+                               "reconfig: channel already exists");
+                edges.insert(Edge::make(op.a, op.b));
+                break;
+            case ReconfigOp::Kind::remove_channel:
+                SYNCTS_REQUIRE(has(op.a, op.b),
+                               "reconfig: channel does not exist");
+                edges.erase(Edge::make(op.a, op.b));
+                break;
+            case ReconfigOp::Kind::add_process:
+                if (op.a != kNoProcess) {
+                    SYNCTS_REQUIRE(op.a < num_vertices,
+                                   "reconfig: attach point out of range");
+                    edges.insert(Edge::make(
+                        op.a, static_cast<ProcessId>(num_vertices)));
+                }
+                ++num_vertices;
+                break;
+        }
+    }
+};
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+    std::vector<std::string_view> parts;
+    while (true) {
+        const std::size_t pos = text.find(sep);
+        parts.push_back(text.substr(0, pos));
+        if (pos == std::string_view::npos) break;
+        text.remove_prefix(pos + 1);
+    }
+    return parts;
+}
+
+std::uint64_t parse_number(std::string_view token, const char* what) {
+    SYNCTS_REQUIRE(!token.empty(), std::string("reconfig: empty ") + what);
+    std::uint64_t value = 0;
+    for (char c : token) {
+        SYNCTS_REQUIRE(c >= '0' && c <= '9',
+                       std::string("reconfig: malformed ") + what + " '" +
+                           std::string(token) + "'");
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return value;
+}
+
+ProcessId parse_process(std::string_view token) {
+    return static_cast<ProcessId>(parse_number(token, "process id"));
+}
+
+void append_random_ops(SimTopology& sim, std::size_t count,
+                       std::uint64_t seed, std::vector<ReconfigOp>& out) {
+    std::uint64_t state = seed;
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t n = sim.num_vertices;
+        std::vector<Edge> missing;
+        for (ProcessId u = 0; u < n; ++u) {
+            for (ProcessId v = u + 1; v < n; ++v) {
+                if (!sim.has(u, v)) missing.push_back(Edge{u, v});
+            }
+        }
+        const bool can_add = !missing.empty();
+        // Keep at least one channel so every epoch has a non-trivial
+        // decomposition (width ≥ 1) for the clock layers to run on.
+        const bool can_remove = sim.edges.size() >= 2;
+
+        ReconfigOp op;
+        const std::uint64_t roll = splitmix64(state) % 4;
+        if (roll == 0 || (!can_add && !can_remove)) {
+            op.kind = ReconfigOp::Kind::add_process;
+            op.a = static_cast<ProcessId>(splitmix64(state) % n);
+        } else if ((roll == 1 && can_remove) || !can_add) {
+            op.kind = ReconfigOp::Kind::remove_channel;
+            std::vector<Edge> edges(sim.edges.begin(), sim.edges.end());
+            const Edge& e = edges[splitmix64(state) % edges.size()];
+            op.a = e.u;
+            op.b = e.v;
+        } else {
+            op.kind = ReconfigOp::Kind::add_channel;
+            const Edge& e = missing[splitmix64(state) % missing.size()];
+            op.a = e.u;
+            op.b = e.v;
+        }
+        sim.apply(op);
+        out.push_back(op);
+    }
+}
+
+}  // namespace
+
+std::string ReconfigOp::to_string() const {
+    switch (kind) {
+        case Kind::add_channel:
+            return "addc:" + std::to_string(a) + ":" + std::to_string(b);
+        case Kind::remove_channel:
+            return "delc:" + std::to_string(a) + ":" + std::to_string(b);
+        case Kind::add_process:
+            return a == kNoProcess ? "addp" : "addp:" + std::to_string(a);
+    }
+    return "?";
+}
+
+std::vector<ReconfigOp> parse_reconfig_schedule(std::string_view text,
+                                                const Graph& initial) {
+    SimTopology sim(initial);
+    std::vector<ReconfigOp> ops;
+    if (text.empty()) return ops;
+    for (std::string_view token : split(text, ',')) {
+        const std::vector<std::string_view> parts = split(token, ':');
+        const std::string_view name = parts[0];
+        if (name == "addc" || name == "delc") {
+            SYNCTS_REQUIRE(parts.size() == 3,
+                           "reconfig: expected " + std::string(name) +
+                               ":<a>:<b>, got '" + std::string(token) + "'");
+            ReconfigOp op;
+            op.kind = name == "addc" ? ReconfigOp::Kind::add_channel
+                                     : ReconfigOp::Kind::remove_channel;
+            op.a = parse_process(parts[1]);
+            op.b = parse_process(parts[2]);
+            sim.apply(op);
+            ops.push_back(op);
+        } else if (name == "addp") {
+            SYNCTS_REQUIRE(parts.size() <= 2,
+                           "reconfig: expected addp or addp:<a>, got '" +
+                               std::string(token) + "'");
+            ReconfigOp op;
+            op.kind = ReconfigOp::Kind::add_process;
+            if (parts.size() == 2) op.a = parse_process(parts[1]);
+            sim.apply(op);
+            ops.push_back(op);
+        } else if (name == "rand") {
+            SYNCTS_REQUIRE(parts.size() == 3,
+                           "reconfig: expected rand:<k>:<seed>, got '" +
+                               std::string(token) + "'");
+            append_random_ops(sim, parse_number(parts[1], "rand count"),
+                              parse_number(parts[2], "rand seed"), ops);
+        } else {
+            throw std::invalid_argument("reconfig: unknown op '" +
+                                        std::string(token) + "'");
+        }
+    }
+    return ops;
+}
+
+std::vector<ReconfigOp> random_reconfig_schedule(const Graph& initial,
+                                                 std::size_t count,
+                                                 std::uint64_t seed) {
+    SimTopology sim(initial);
+    std::vector<ReconfigOp> ops;
+    append_random_ops(sim, count, seed, ops);
+    return ops;
+}
+
+const EpochTransition& apply(TopologyManager& manager, const ReconfigOp& op) {
+    switch (op.kind) {
+        case ReconfigOp::Kind::add_channel:
+            return manager.add_channel(op.a, op.b);
+        case ReconfigOp::Kind::remove_channel:
+            return manager.remove_channel(op.a, op.b);
+        case ReconfigOp::Kind::add_process:
+            return op.a == kNoProcess ? manager.add_process()
+                                      : manager.add_process(op.a);
+    }
+    throw std::invalid_argument("reconfig: unknown op kind");
+}
+
+}  // namespace syncts

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "graph/graph.hpp"
+#include "topo/topology_manager.hpp"
+
+/// \file reconfig.hpp
+/// Textual reconfiguration schedules — the `--reconfig` grammar shared by
+/// syncts_stats, syncts_topo, syncts_chaos, and the tests.
+///
+/// A schedule is a comma-separated op list; each op starts one epoch:
+///
+///     addc:<a>:<b>    open channel {a, b}
+///     delc:<a>:<b>    close channel {a, b}
+///     addp            add an isolated process
+///     addp:<a>        add a process with one channel to <a>
+///     rand:<k>:<seed> expand to k feasible random ops (deterministic)
+///
+/// `rand` is expanded against the evolving graph at expansion time, so it
+/// only ever emits feasible ops: an add of a missing channel, a removal
+/// that keeps at least one channel in the system, or a process join.
+
+namespace syncts {
+
+struct ReconfigOp {
+    enum class Kind { add_channel, remove_channel, add_process };
+
+    Kind kind = Kind::add_channel;
+    /// Endpoints for channel ops. For add_process, `a` is the attach
+    /// point or kNoProcess for an isolated join (and `b` is unused).
+    ProcessId a = kNoProcess;
+    ProcessId b = kNoProcess;
+
+    std::string to_string() const;
+};
+
+/// Parses a schedule against `initial` (epoch 0's graph), expanding any
+/// rand:<k>:<seed> token. Throws std::invalid_argument on grammar errors
+/// or infeasible ops (duplicate channel, missing channel, bad endpoint).
+std::vector<ReconfigOp> parse_reconfig_schedule(std::string_view text,
+                                                const Graph& initial);
+
+/// Generates `count` feasible random ops against `initial` — the rand:
+/// token's engine, also used directly by the 500-seed tests.
+std::vector<ReconfigOp> random_reconfig_schedule(const Graph& initial,
+                                                 std::size_t count,
+                                                 std::uint64_t seed);
+
+/// Applies one parsed op to the manager; returns the transition it made.
+const EpochTransition& apply(TopologyManager& manager, const ReconfigOp& op);
+
+}  // namespace syncts

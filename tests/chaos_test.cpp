@@ -6,6 +6,7 @@
 #include "clocks/online_clock.hpp"
 #include "decomp/cover_decomposer.hpp"
 #include "graph/generators.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/synchronizer.hpp"
 #include "test_util.hpp"
 
@@ -25,18 +26,16 @@ struct ChaosTotals {
     std::uint64_t schedules = 0;
     std::uint64_t messages = 0;
     std::uint64_t packets = 0;
-    ProtocolStats protocol;
+    /// Every run publishes into the shared registry; the `sync_*`
+    /// counters accumulate across the sweep, so the registry *is* the
+    /// protocol aggregate.
+    obs::MetricsRegistry metrics;
     FaultStats faults;
 
     void absorb(const SynchronizerResult& result) {
         ++schedules;
         messages += result.message_stamps.size();
         packets += result.packets;
-        protocol.retransmits += result.protocol.retransmits;
-        protocol.timeouts += result.protocol.timeouts;
-        protocol.dup_drops += result.protocol.dup_drops;
-        protocol.ack_replays += result.protocol.ack_replays;
-        protocol.corrupt_rejects += result.protocol.corrupt_rejects;
         faults.dropped += result.network_faults.dropped;
         faults.targeted_drops += result.network_faults.targeted_drops;
         faults.duplicated += result.network_faults.duplicated;
@@ -68,6 +67,7 @@ void run_chaos_sweep(const Graph& topology, std::size_t messages,
         options.faults.corrupt_probability = 0.04;
         options.faults.delay_probability = 0.35;
         options.faults.max_extra_delay = 40;
+        options.metrics = &totals.metrics;
         const SynchronizerResult result =
             run_rendezvous_protocol(decomposition, script, options);
         ASSERT_EQ(result.message_stamps.size(), expected.size());
@@ -92,11 +92,12 @@ TEST(Chaos, ThousandFaultSchedulesBitIdenticalTimestamps) {
     EXPECT_GT(totals.faults.duplicated, 0u);
     EXPECT_GT(totals.faults.corrupted, 0u);
     EXPECT_GT(totals.faults.delayed, 0u);
-    EXPECT_GT(totals.protocol.retransmits, 0u);
-    EXPECT_GT(totals.protocol.timeouts, 0u);
-    EXPECT_GT(totals.protocol.dup_drops, 0u);
-    EXPECT_GT(totals.protocol.ack_replays, 0u);
-    EXPECT_GT(totals.protocol.corrupt_rejects, 0u);
+    EXPECT_GT(totals.metrics.counter("sync_retransmits").value(), 0u);
+    EXPECT_GT(totals.metrics.counter("sync_timeouts").value(), 0u);
+    EXPECT_GT(totals.metrics.counter("sync_req_duplicates").value(), 0u);
+    EXPECT_GT(totals.metrics.counter("sync_ack_replays").value(), 0u);
+    EXPECT_GT(totals.metrics.counter("sync_frames_corrupt_rejected").value(),
+              0u);
     // Lossless baseline is 2 packets per message; faults must cost extra.
     EXPECT_GT(totals.packets, 2 * totals.messages);
 }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "clocks/online_clock.hpp"
+#include "obs/metrics.hpp"
 #include "decomp/cover_decomposer.hpp"
 #include "decomp/edge_decomposition.hpp"
 #include "graph/generators.hpp"
@@ -72,6 +73,41 @@ struct TriFixture {
     }
 };
 
+/// One run plus its protocol counters, read back from a fresh metrics
+/// registry (the runtime no longer returns a stats struct; the `sync_*`
+/// counters are the interface — docs/OBSERVABILITY.md).
+struct CountedRun {
+    SynchronizerResult result;
+    std::uint64_t retransmits = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t req_duplicates = 0;
+    std::uint64_t ack_duplicates = 0;
+    std::uint64_t ack_replays = 0;
+    std::uint64_t corrupt_rejects = 0;
+
+    /// Every event where a duplicate frame was absorbed (dropped or
+    /// answered from the ACK cache) — the legacy dup_drops aggregation.
+    std::uint64_t duplicate_suppressions() const {
+        return req_duplicates + ack_duplicates + ack_replays;
+    }
+};
+
+CountedRun run_with_counters(
+    const std::shared_ptr<const EdgeDecomposition>& decomposition,
+    const SyncComputation& script, SynchronizerOptions options) {
+    obs::MetricsRegistry metrics;
+    options.metrics = &metrics;
+    CountedRun run{run_rendezvous_protocol(decomposition, script, options)};
+    run.retransmits = metrics.counter("sync_retransmits").value();
+    run.timeouts = metrics.counter("sync_timeouts").value();
+    run.req_duplicates = metrics.counter("sync_req_duplicates").value();
+    run.ack_duplicates = metrics.counter("sync_ack_duplicates").value();
+    run.ack_replays = metrics.counter("sync_ack_replays").value();
+    run.corrupt_rejects =
+        metrics.counter("sync_frames_corrupt_rejected").value();
+    return run;
+}
+
 void expect_script_stamps(const SynchronizerResult& result,
                           const std::vector<VectorTimestamp>& expected) {
     ASSERT_EQ(result.message_stamps.size(), expected.size());
@@ -84,17 +120,17 @@ void expect_script_stamps(const SynchronizerResult& result,
 
 TEST(FaultInjection, LosslessRunStaysTwoPacketsPerMessage) {
     const PairFixture fx;
-    const SynchronizerResult result = run_rendezvous_protocol(
-        fx.decomposition, fx.script, SynchronizerOptions{});
-    expect_script_stamps(result,
+    const CountedRun run = run_with_counters(fx.decomposition, fx.script,
+                                             SynchronizerOptions{});
+    expect_script_stamps(run.result,
                          {VectorTimestamp(std::vector<std::uint64_t>{1}),
                           VectorTimestamp(std::vector<std::uint64_t>{2})});
-    EXPECT_EQ(result.packets, 4u);
-    EXPECT_EQ(result.protocol.retransmits, 0u);
-    EXPECT_EQ(result.protocol.timeouts, 0u);
-    EXPECT_EQ(result.protocol.dup_drops, 0u);
-    EXPECT_EQ(result.protocol.corrupt_rejects, 0u);
-    EXPECT_EQ(result.network_faults.total_faults(), 0u);
+    EXPECT_EQ(run.result.packets, 4u);
+    EXPECT_EQ(run.retransmits, 0u);
+    EXPECT_EQ(run.timeouts, 0u);
+    EXPECT_EQ(run.duplicate_suppressions(), 0u);
+    EXPECT_EQ(run.corrupt_rejects, 0u);
+    EXPECT_EQ(run.result.network_faults.total_faults(), 0u);
 }
 
 TEST(FaultInjection, LostReqIsRetransmitted) {
@@ -102,18 +138,18 @@ TEST(FaultInjection, LostReqIsRetransmitted) {
     SynchronizerOptions options;
     options.faults.targeted_drops.push_back(
         {.source = 0, .destination = 1, .kind = kReqKind, .occurrence = 1});
-    const SynchronizerResult result =
-        run_rendezvous_protocol(fx.decomposition, fx.script, options);
-    expect_script_stamps(result,
+    const CountedRun run =
+        run_with_counters(fx.decomposition, fx.script, options);
+    expect_script_stamps(run.result,
                          {VectorTimestamp(std::vector<std::uint64_t>{1}),
                           VectorTimestamp(std::vector<std::uint64_t>{2})});
     // The dropped REQ never reached P1: recovery is a fresh retransmit,
     // not an ACK replay.
-    EXPECT_EQ(result.network_faults.targeted_drops, 1u);
-    EXPECT_GE(result.protocol.retransmits, 1u);
-    EXPECT_GE(result.protocol.timeouts, 1u);
-    EXPECT_EQ(result.protocol.ack_replays, 0u);
-    EXPECT_EQ(result.packets, 4u);  // drop + resend: still 4 delivered
+    EXPECT_EQ(run.result.network_faults.targeted_drops, 1u);
+    EXPECT_GE(run.retransmits, 1u);
+    EXPECT_GE(run.timeouts, 1u);
+    EXPECT_EQ(run.ack_replays, 0u);
+    EXPECT_EQ(run.result.packets, 4u);  // drop + resend: still 4 delivered
 }
 
 TEST(FaultInjection, LostAckReplaysCachedAckWithoutDoubleIncrement) {
@@ -121,18 +157,18 @@ TEST(FaultInjection, LostAckReplaysCachedAckWithoutDoubleIncrement) {
     SynchronizerOptions options;
     options.faults.targeted_drops.push_back(
         {.source = 1, .destination = 0, .kind = kAckKind, .occurrence = 1});
-    const SynchronizerResult result =
-        run_rendezvous_protocol(fx.decomposition, fx.script, options);
+    const CountedRun run =
+        run_with_counters(fx.decomposition, fx.script, options);
     // P1 committed m0 before its ACK was lost; the retransmitted REQ must
     // hit the duplicate path and replay the cached ACK. A second
     // merge+increment would stamp the messages (2) and (3) instead.
-    expect_script_stamps(result,
+    expect_script_stamps(run.result,
                          {VectorTimestamp(std::vector<std::uint64_t>{1}),
                           VectorTimestamp(std::vector<std::uint64_t>{2})});
-    EXPECT_EQ(result.network_faults.targeted_drops, 1u);
-    EXPECT_GE(result.protocol.retransmits, 1u);
-    EXPECT_GE(result.protocol.ack_replays, 1u);
-    EXPECT_GE(result.protocol.dup_drops, 1u);
+    EXPECT_EQ(run.result.network_faults.targeted_drops, 1u);
+    EXPECT_GE(run.retransmits, 1u);
+    EXPECT_GE(run.ack_replays, 1u);
+    EXPECT_GE(run.duplicate_suppressions(), 1u);
 }
 
 TEST(FaultInjection, TargetedNthPacketRuleCounts) {
@@ -142,27 +178,27 @@ TEST(FaultInjection, TargetedNthPacketRuleCounts) {
     // first attempt vanishes.
     options.faults.targeted_drops.push_back(
         {.source = 0, .destination = 1, .kind = kReqKind, .occurrence = 2});
-    const SynchronizerResult result =
-        run_rendezvous_protocol(fx.decomposition, fx.script, options);
-    expect_script_stamps(result,
+    const CountedRun run =
+        run_with_counters(fx.decomposition, fx.script, options);
+    expect_script_stamps(run.result,
                          {VectorTimestamp(std::vector<std::uint64_t>{1}),
                           VectorTimestamp(std::vector<std::uint64_t>{2})});
-    EXPECT_EQ(result.network_faults.targeted_drops, 1u);
-    EXPECT_GE(result.protocol.retransmits, 1u);
+    EXPECT_EQ(run.result.network_faults.targeted_drops, 1u);
+    EXPECT_GE(run.retransmits, 1u);
 }
 
 TEST(FaultInjection, DuplicatedPacketsAreDeduplicated) {
     const TriFixture fx;
     SynchronizerOptions options;
     options.faults.duplicate_probability = 1.0;  // every packet twice
-    const SynchronizerResult result =
-        run_rendezvous_protocol(fx.decomposition, fx.script, options);
+    const CountedRun run =
+        run_with_counters(fx.decomposition, fx.script, options);
     // Sequence-number dedup must make the duplicate REQ a no-op on the
     // receiver clock and the duplicate ACK a no-op on the sender clock;
     // any double merge+increment shifts the hand-computed vectors.
-    expect_script_stamps(result, TriFixture::expected());
-    EXPECT_GT(result.network_faults.duplicated, 0u);
-    EXPECT_GT(result.protocol.dup_drops, 0u);
+    expect_script_stamps(run.result, TriFixture::expected());
+    EXPECT_GT(run.result.network_faults.duplicated, 0u);
+    EXPECT_GT(run.duplicate_suppressions(), 0u);
 }
 
 TEST(FaultInjection, ReorderedDeliveryStampsExactly) {
@@ -190,15 +226,14 @@ TEST(FaultInjection, CorruptedFramesAreRejectedAndRecovered) {
         options.seed = seed;
         options.faults.seed = seed * 77;
         options.faults.corrupt_probability = 0.35;
-        const SynchronizerResult result =
-            run_rendezvous_protocol(fx.decomposition, fx.script, options);
-        expect_script_stamps(result, TriFixture::expected());
+        const CountedRun run =
+            run_with_counters(fx.decomposition, fx.script, options);
+        expect_script_stamps(run.result, TriFixture::expected());
         // Every corrupted payload must be caught at the wire layer —
         // garbage never reaches a clock.
-        EXPECT_EQ(result.protocol.corrupt_rejects,
-                  result.network_faults.corrupted);
-        rejects += result.protocol.corrupt_rejects;
-        corrupted += result.network_faults.corrupted;
+        EXPECT_EQ(run.corrupt_rejects, run.result.network_faults.corrupted);
+        rejects += run.corrupt_rejects;
+        corrupted += run.result.network_faults.corrupted;
     }
     EXPECT_GT(corrupted, 0u);
     EXPECT_EQ(rejects, corrupted);
@@ -222,10 +257,10 @@ TEST(FaultInjection, ExplicitTimeoutEnablesRetransmissionWithoutFaults) {
     options.latency_lo = 1;
     options.latency_hi = 30;
     options.retransmit_timeout = 2;  // far below the RTT
-    const SynchronizerResult result =
-        run_rendezvous_protocol(fx.decomposition, fx.script, options);
-    expect_script_stamps(result, TriFixture::expected());
-    EXPECT_GT(result.protocol.retransmits, 0u);
+    const CountedRun run =
+        run_with_counters(fx.decomposition, fx.script, options);
+    expect_script_stamps(run.result, TriFixture::expected());
+    EXPECT_GT(run.retransmits, 0u);
 }
 
 TEST(FaultInjection, InvalidPlansAreRejected) {

@@ -402,12 +402,13 @@ TEST(Instrumentation, SynchronizerPublishesNonOverlappingCounters) {
     EXPECT_EQ(registry.counter("sync_req_sent").value(), 2u);
     EXPECT_GE(registry.counter("sync_retransmits").value(), 1u);
     // The deprecated shim keeps the historical aggregation.
-    EXPECT_EQ(result.protocol.dup_drops,
+    const ProtocolStats legacy = legacy_protocol_stats(registry);
+    EXPECT_EQ(legacy.dup_drops,
               registry.counter("sync_req_duplicates").value() +
                   registry.counter("sync_ack_duplicates").value() +
                   registry.counter("sync_ack_replays").value());
-    EXPECT_GE(result.protocol.dup_drops, 1u);
-    EXPECT_EQ(result.protocol.ack_replays, 1u);
+    EXPECT_GE(legacy.dup_drops, 1u);
+    EXPECT_EQ(legacy.ack_replays, 1u);
     // Latency histograms cover every rendezvous.
     EXPECT_EQ(registry.histogram("sync_rendezvous_ticks").count(), 2u);
     EXPECT_EQ(registry.histogram("sync_attempts_per_message").count(), 2u);

@@ -7,13 +7,16 @@
 #   tools/bench_to_json.sh build > results.json
 #
 # Plain benches emit their own canonical lines
-#   {"bench":...,"n":...,"ns_per_msg":...,"allocs":...,"threads":...}
+#   {"bench":...,"n":...,"ns_per_msg":...,"allocs":...,"threads":...,
+#    "epochs":...}
 # optionally extended with a "metrics" registry snapshot (see
 # bench/bench_json.hpp); this script runs each binary, keeps only those
 # lines, and merges everything into a single array. google-benchmark
 # binaries are run with --benchmark_format=json and reduced to the same
 # shape (allocs is not tracked there and reported as -1; threads is 1 —
-# the gbench studies are all serial).
+# the gbench studies are all serial). The epochs column (number of
+# topology epochs the run crossed) is back-filled to 1 for rows that
+# predate the reconfiguration studies, so every merged row carries it.
 
 set -euo pipefail
 
@@ -33,7 +36,7 @@ plain_benches=(
     bench_fig1_model bench_fig3_complete bench_fig4_tree bench_fig6_online
     bench_fig8_greedy bench_size_table bench_offline bench_events
     bench_runtime bench_related bench_wire bench_ablation bench_ordering
-    bench_faults bench_arena bench_analysis
+    bench_faults bench_arena bench_analysis bench_reconfig
 )
 for name in "${plain_benches[@]}"; do
     bin="${bench_dir}/${name}"
@@ -68,6 +71,7 @@ for b in report.get("benchmarks", []):
         "ns_per_msg": round(ns * scale, 1),
         "allocs": -1,
         "threads": 1,
+        "epochs": 1,
     }
     print(json.dumps(line))
 ' >> "${lines_file}"
@@ -81,7 +85,9 @@ with open(sys.argv[1]) as fh:
     for line in fh:
         line = line.strip()
         if line:
-            results.append(json.loads(line))
+            row = json.loads(line)
+            row.setdefault("epochs", 1)
+            results.append(row)
 json.dump(results, sys.stdout, indent=1)
 sys.stdout.write("\n")
 ' "${lines_file}"

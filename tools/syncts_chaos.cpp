@@ -5,7 +5,8 @@
 // Usage:
 //   syncts_chaos [<spec>] [--schedules N] [--messages M] [--seed S]
 //                [--drop P] [--dup P] [--corrupt P] [--delay P]
-//                [--jitter J] [--latency LO:HI] [--quiet]
+//                [--jitter J] [--latency LO:HI] [--reconfig SCHED]
+//                [--quiet]
 //
 // <spec> is a topology spec (default cs:2:4); see syncts_topo for the
 // grammar. Each schedule k in 1..N derives its own workload-independent
@@ -13,6 +14,13 @@
 // delay all enabled, and compares every realized message timestamp
 // against OnlineTimestamper. Exit status: 0 when all schedules match,
 // 1 on any mismatch or stall — so this binary is CI-able as a chaos gate.
+//
+// --reconfig takes a topology reconfiguration schedule (grammar in
+// topo/reconfig.hpp, e.g. addc:0:3,delc:1:2 or rand:2:5): each op starts
+// a new epoch with its own per-epoch workload of M messages, the whole
+// sequence runs through the reconfigurable driver under the same fault
+// plan, and every epoch's timestamps must be bit-identical to a fresh
+// Fig. 5 run on that epoch's topology (docs/TOPOLOGY.md).
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,7 +31,11 @@
 
 #include "clocks/online_clock.hpp"
 #include "decomp/cover_decomposer.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/reconfig_runtime.hpp"
 #include "runtime/synchronizer.hpp"
+#include "topo/reconfig.hpp"
+#include "topo/topology_manager.hpp"
 #include "topo_spec.hpp"
 #include "trace/generator.hpp"
 
@@ -43,6 +55,7 @@ struct Config {
     std::uint64_t jitter = 40;
     std::uint64_t latency_lo = 1;
     std::uint64_t latency_hi = 12;
+    std::string reconfig;  // epoch schedule; empty = single epoch
     bool quiet = false;
 };
 
@@ -53,7 +66,7 @@ struct Config {
                  "                    [--drop P] [--dup P] [--corrupt P] "
                  "[--delay P]\n"
                  "                    [--jitter J] [--latency LO:HI] "
-                 "[--quiet]\nspecs: %s\n",
+                 "[--reconfig SCHED] [--quiet]\nspecs: %s\n",
                  tools::spec_help());
     std::exit(2);
 }
@@ -96,6 +109,8 @@ Config parse_args(int argc, char** argv) {
             config.latency_lo = std::strtoull(range.c_str(), nullptr, 10);
             config.latency_hi =
                 std::strtoull(range.c_str() + colon + 1, nullptr, 10);
+        } else if (flag == "--reconfig") {
+            config.reconfig = next_value("--reconfig");
         } else if (flag == "--quiet") {
             config.quiet = true;
         } else {
@@ -112,22 +127,40 @@ int main(int argc, char** argv) {
     const Config config = parse_args(argc, argv);
     const Graph topology = tools::build_topology(config.spec);
 
+    // Epoch sequence: one epoch without --reconfig, one extra per op
+    // otherwise. The manager is immutable once built; every schedule
+    // replays the same sequence.
+    TopologyManager manager{Graph(topology)};
+    if (!config.reconfig.empty()) {
+        for (const ReconfigOp& op :
+             parse_reconfig_schedule(config.reconfig, topology)) {
+            apply(manager, op);
+        }
+    }
+
+    // One workload per epoch plus its direct Fig. 5 expectation — the
+    // bit-identical reference for that epoch's topology.
     Rng workload_rng(config.seed);
-    WorkloadOptions workload;
-    workload.num_messages = config.messages;
-    const SyncComputation script =
-        random_computation(topology, workload, workload_rng);
-    auto decomposition = std::make_shared<const EdgeDecomposition>(
-        default_decomposition(topology));
-    OnlineTimestamper direct(decomposition);
-    const std::vector<VectorTimestamp> expected =
-        direct.timestamp_computation(script);
+    std::vector<SyncComputation> scripts;
+    std::vector<std::vector<VectorTimestamp>> expected;
+    std::uint64_t script_messages = 0;
+    for (EpochId e = 0; e < manager.num_epochs(); ++e) {
+        WorkloadOptions workload;
+        workload.num_messages = config.messages;
+        scripts.push_back(
+            random_computation(manager.epoch(e).graph(), workload,
+                               workload_rng));
+        OnlineTimestamper direct(manager.epoch(e).decomposition);
+        expected.push_back(direct.timestamp_computation(scripts.back()));
+        script_messages += scripts.back().num_messages();
+    }
 
     std::printf(
-        "chaos: %s  d=%zu  messages=%zu  schedules=%llu\n"
+        "chaos: %s  d=%zu  epochs=%zu  messages=%llu  schedules=%llu\n"
         "plan:  drop=%.3f dup=%.3f corrupt=%.3f delay=%.3f jitter=%llu "
         "latency=[%llu,%llu]\n",
-        config.spec.c_str(), decomposition->size(), script.num_messages(),
+        config.spec.c_str(), manager.epoch(0).width(), manager.num_epochs(),
+        static_cast<unsigned long long>(script_messages),
         static_cast<unsigned long long>(config.schedules), config.drop,
         config.dup, config.corrupt, config.delay,
         static_cast<unsigned long long>(config.jitter),
@@ -137,7 +170,9 @@ int main(int argc, char** argv) {
     std::uint64_t mismatches = 0;
     std::uint64_t stalls = 0;
     std::uint64_t packets = 0;
-    ProtocolStats protocol;
+    // The sync_* counters accumulate across every schedule; the registry
+    // is the aggregate the summary prints.
+    obs::MetricsRegistry metrics;
     FaultStats faults;
     for (std::uint64_t schedule = 1; schedule <= config.schedules;
          ++schedule) {
@@ -151,15 +186,30 @@ int main(int argc, char** argv) {
         options.faults.corrupt_probability = config.corrupt;
         options.faults.delay_probability = config.delay;
         options.faults.max_extra_delay = config.jitter;
-        SynchronizerResult result{.computation = SyncComputation(topology),
-                                  .message_stamps = {},
-                                  .script_message = {},
-                                  .virtual_duration = 0,
-                                  .packets = 0,
-                                  .protocol = {},
-                                  .network_faults = {}};
+        options.metrics = &metrics;
+        bool match = true;
         try {
-            result = run_rendezvous_protocol(decomposition, script, options);
+            const ReconfigurableRunResult result =
+                run_reconfigurable_protocol(manager, scripts, options);
+            for (EpochId e = 0; e < result.segments.size(); ++e) {
+                const EpochSegmentResult& segment = result.segments[e];
+                if (segment.message_stamps.size() != expected[e].size()) {
+                    match = false;
+                    break;
+                }
+                for (std::size_t i = 0;
+                     match && i < segment.message_stamps.size(); ++i) {
+                    match = segment.message_stamps[i] ==
+                            expected[e][segment.script_message[i]];
+                }
+                if (!match) break;
+            }
+            packets += result.packets;
+            faults.dropped += result.network_faults.dropped;
+            faults.targeted_drops += result.network_faults.targeted_drops;
+            faults.duplicated += result.network_faults.duplicated;
+            faults.corrupted += result.network_faults.corrupted;
+            faults.delayed += result.network_faults.delayed;
         } catch (const SynchronizerStalled& stall) {
             std::fprintf(stderr, "schedule %llu stalled: %s\n",
                          static_cast<unsigned long long>(schedule),
@@ -167,28 +217,11 @@ int main(int argc, char** argv) {
             ++stalls;
             continue;
         }
-        bool match = result.message_stamps.size() == expected.size();
-        for (std::size_t i = 0; match && i < result.message_stamps.size();
-             ++i) {
-            match = result.message_stamps[i] ==
-                    expected[result.script_message[i]];
-        }
         if (!match) {
             std::fprintf(stderr, "schedule %llu: timestamp mismatch\n",
                          static_cast<unsigned long long>(schedule));
             ++mismatches;
         }
-        packets += result.packets;
-        protocol.retransmits += result.protocol.retransmits;
-        protocol.timeouts += result.protocol.timeouts;
-        protocol.dup_drops += result.protocol.dup_drops;
-        protocol.ack_replays += result.protocol.ack_replays;
-        protocol.corrupt_rejects += result.protocol.corrupt_rejects;
-        faults.dropped += result.network_faults.dropped;
-        faults.targeted_drops += result.network_faults.targeted_drops;
-        faults.duplicated += result.network_faults.duplicated;
-        faults.corrupted += result.network_faults.corrupted;
-        faults.delayed += result.network_faults.delayed;
         if (!config.quiet && schedule % 200 == 0) {
             std::printf("  ... %llu/%llu schedules clean\n",
                         static_cast<unsigned long long>(schedule - mismatches -
@@ -197,10 +230,23 @@ int main(int argc, char** argv) {
         }
     }
 
-    const std::uint64_t total_messages =
-        config.schedules * script.num_messages();
+    const std::uint64_t total_messages = config.schedules * script_messages;
     std::printf("injected: %s\n", faults.to_string().c_str());
-    std::printf("protocol: %s\n", protocol.to_string().c_str());
+    std::printf("protocol: %s\n",
+                legacy_protocol_stats(metrics).to_string().c_str());
+    if (manager.num_epochs() > 1) {
+        std::printf(
+            "epochs:   transitions=%llu epoch_rejects=%llu nacks_sent=%llu "
+            "nack_drops=%llu\n",
+            static_cast<unsigned long long>(
+                metrics.counter("sync_epoch_transitions").value()),
+            static_cast<unsigned long long>(
+                metrics.counter("sync_epoch_rejects").value()),
+            static_cast<unsigned long long>(
+                metrics.counter("sync_nacks_sent").value()),
+            static_cast<unsigned long long>(
+                metrics.counter("sync_nack_drops").value()));
+    }
     std::printf(
         "packets:  %llu delivered for %llu messages "
         "(amplification %.3fx over the lossless 2/message)\n",

@@ -10,7 +10,16 @@
 //                [--runs R] [--drop P] [--dup P] [--corrupt P] [--delay P]
 //                [--jitter J] [--latency LO:HI] [--trace FILE.json]
 //                [--trace-binary FILE.bin] [--trace-capacity N]
-//                [--threads T] [--queries K] [--json] [--quiet]
+//                [--threads T] [--queries K] [--reconfig SCHED]
+//                [--json] [--quiet]
+//
+// --reconfig takes a reconfiguration schedule (grammar in
+// topo/reconfig.hpp): each op starts a new topology epoch, the N events
+// are split evenly across epochs, the whole sequence replays through the
+// reconfigurable driver, and each epoch's timestamps are verified against
+// a fresh Fig. 5 run on that epoch's topology. The analysis section then
+// verifies the *stitched* order — MultiEpochTrace's barrier rule against
+// the cross-epoch ground-truth closure (docs/TOPOLOGY.md).
 //
 // --threads/--queries turn on the offline analysis section: the
 // ground-truth closure and Theorem 4 verification run sharded across a
@@ -40,12 +49,16 @@
 #include "clocks/clock_engine.hpp"
 #include "common/pool.hpp"
 #include "core/causality.hpp"
+#include "core/multi_epoch_trace.hpp"
 #include "core/precedence_index.hpp"
 #include "core/timestamped_trace.hpp"
 #include "decomp/cover_decomposer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_sink.hpp"
+#include "runtime/reconfig_runtime.hpp"
 #include "runtime/synchronizer.hpp"
+#include "topo/reconfig.hpp"
+#include "topo/topology_manager.hpp"
 #include "topo_spec.hpp"
 #include "trace/generator.hpp"
 #include "trace/ground_truth.hpp"
@@ -71,6 +84,7 @@ struct Config {
     std::size_t trace_capacity = 1 << 16;
     std::size_t threads = 1;
     std::size_t queries = 0;
+    std::string reconfig;   // epoch schedule; empty = single epoch
     bool analysis = false;  // set when --threads or --queries is passed
     bool json = false;
     bool quiet = false;
@@ -85,8 +99,9 @@ struct Config {
         "[--jitter J]\n"
         "                    [--latency LO:HI] [--trace FILE.json]\n"
         "                    [--trace-binary FILE.bin] [--trace-capacity N]\n"
-        "                    [--threads T] [--queries K] [--json] "
-        "[--quiet]\nspecs: %s\n",
+        "                    [--threads T] [--queries K] "
+        "[--reconfig SCHED] [--json]\n"
+        "                    [--quiet]\nspecs: %s\n",
         tools::spec_help());
     std::exit(2);
 }
@@ -160,6 +175,8 @@ Config parse_args(int argc, char** argv) {
         } else if (flag == "--queries") {
             config.queries = parse_events(next_value("--queries"));
             config.analysis = true;
+        } else if (flag == "--reconfig") {
+            config.reconfig = next_value("--reconfig");
         } else if (flag == "--json") {
             config.json = true;
         } else if (flag == "--quiet") {
@@ -195,6 +212,23 @@ struct AnalysisReport {
     std::uint64_t memo_misses = 0;
     double wall_ms = 0.0;
 };
+
+/// Seeded (m1, m2) query pairs over a pool of ~K/4 distinct pairs:
+/// monitoring workloads revisit hot pairs, so repeats (memo hits)
+/// dominate.
+std::vector<std::pair<std::size_t, std::size_t>> query_pairs(
+    const Config& config, std::size_t messages) {
+    Rng query_rng(config.seed * 0x9E3779B97F4A7C15ull + 7);
+    const std::size_t distinct =
+        config.queries / 4 == 0 ? 1 : config.queries / 4;
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    pairs.reserve(distinct);
+    for (std::size_t i = 0; i < distinct; ++i) {
+        pairs.emplace_back(query_rng.below(messages),
+                           query_rng.below(messages));
+    }
+    return pairs;
+}
 
 /// Sharded ground-truth verification plus the seeded query storm. The
 /// oracle arena holds the Fig. 5 stamps (slot m = message m), so the
@@ -233,21 +267,58 @@ AnalysisReport run_analysis(const Config& config,
         PrecedenceIndex index(trace);
         index.attach_metrics(registry, "query");
 
-        // K lookups over a pool of ~K/4 distinct pairs: monitoring
-        // workloads revisit hot pairs, so repeats (memo hits) dominate.
-        Rng query_rng(config.seed * 0x9E3779B97F4A7C15ull + 7);
-        const std::size_t messages = script.num_messages();
-        const std::size_t distinct =
-            config.queries / 4 == 0 ? 1 : config.queries / 4;
-        std::vector<std::pair<MessageId, MessageId>> pairs;
-        pairs.reserve(distinct);
-        for (std::size_t i = 0; i < distinct; ++i) {
-            pairs.emplace_back(
-                static_cast<MessageId>(query_rng.below(messages)),
-                static_cast<MessageId>(query_rng.below(messages)));
-        }
+        const auto pairs = query_pairs(config, script.num_messages());
         for (std::size_t q = 0; q < config.queries; ++q) {
-            const auto& [m1, m2] = pairs[q % distinct];
+            const auto& [m1, m2] = pairs[q % pairs.size()];
+            if (index.precedes(static_cast<MessageId>(m1),
+                               static_cast<MessageId>(m2)) !=
+                trace.precedes(static_cast<MessageId>(m1),
+                               static_cast<MessageId>(m2))) {
+                ++report.query_mismatches;
+            }
+        }
+        report.memo_hits = index.memo_hits();
+        report.memo_misses = index.memo_misses();
+    }
+
+    const auto stop = std::chrono::steady_clock::now();
+    report.wall_ms =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::microseconds>(stop - start)
+                .count()) /
+        1000.0;
+    pool.detach_metrics();
+    return report;
+}
+
+/// Multi-epoch analysis: verify the barrier-stitched order against the
+/// cross-epoch ground-truth closure, then hammer the per-segment memo
+/// through MultiEpochPrecedenceIndex with global-id query pairs.
+AnalysisReport run_multi_analysis(const Config& config,
+                                  const MultiEpochTrace& trace,
+                                  obs::MetricsRegistry& registry) {
+    AnalysisReport report;
+    report.threads = config.threads;
+    report.queries = config.queries;
+
+    Pool pool(config.threads);
+    pool.attach_metrics(registry, "analysis");
+    AnalysisOptions options;
+    options.pool = &pool;
+    options.threads = pool.threads();
+    options.metrics = &registry;
+
+    const auto start = std::chrono::steady_clock::now();
+    report.poset_relations =
+        trace.ground_truth_poset(options).relation_count();
+    report.verify_mismatches = trace.verify_against_ground_truth(options);
+
+    if (config.queries > 0) {
+        MultiEpochPrecedenceIndex index(trace);
+        index.attach_metrics(registry, "query");
+        const auto pairs = query_pairs(config, trace.num_messages());
+        for (std::size_t q = 0; q < config.queries; ++q) {
+            const auto& [m1, m2] = pairs[q % pairs.size()];
             if (index.precedes(m1, m2) != trace.precedes(m1, m2)) {
                 ++report.query_mismatches;
             }
@@ -277,24 +348,43 @@ int main(int argc, char** argv) {
     const bool tracing =
         !config.trace_json_path.empty() || !config.trace_binary_path.empty();
 
-    auto decomposition = std::make_shared<const EdgeDecomposition>(
-        default_decomposition(topology, &registry));
+    // Epoch sequence: epoch 0 is the instrumented default decomposition;
+    // each --reconfig op adds one epoch (topo_* counters land in the
+    // registry like every other layer's).
+    TopologyManager manager{default_decomposition(topology, &registry)};
+    manager.attach_metrics(registry);
+    if (!config.reconfig.empty()) {
+        for (const ReconfigOp& op :
+             parse_reconfig_schedule(config.reconfig, topology)) {
+            apply(manager, op);
+        }
+    }
+    const std::size_t num_epochs = manager.num_epochs();
+    const std::size_t events_per_epoch =
+        config.events / num_epochs == 0 ? 1 : config.events / num_epochs;
 
-    // Direct Fig. 5 stamps (the oracle), through the instrumented engine
-    // and an instrumented arena.
+    // Direct Fig. 5 stamps per epoch (the oracle), through instrumented
+    // engines and arenas. expected[e][m] is script m's reference stamp.
     Rng workload_rng(config.seed);
-    WorkloadOptions workload;
-    workload.num_messages = config.events;
-    const SyncComputation script =
-        random_computation(topology, workload, workload_rng);
-    const auto engine =
-        make_clock_engine(ClockFamily::online, decomposition);
-    engine->attach_metrics(registry);
-    TimestampArena oracle_arena(decomposition->size(),
-                                script.num_messages());
-    oracle_arena.attach_metrics(registry, "arena");
-    const std::vector<TsHandle> expected =
-        engine->stamp_messages(script, oracle_arena);
+    std::vector<SyncComputation> scripts;
+    std::vector<std::unique_ptr<TimestampArena>> oracle_arenas;
+    std::vector<std::vector<TsHandle>> expected;
+    std::size_t total_messages = 0;
+    for (EpochId e = 0; e < num_epochs; ++e) {
+        WorkloadOptions workload;
+        workload.num_messages = events_per_epoch;
+        scripts.push_back(random_computation(manager.epoch(e).graph(),
+                                             workload, workload_rng));
+        const auto engine = make_clock_engine(ClockFamily::online,
+                                              manager.epoch(e).decomposition);
+        engine->attach_metrics(registry);
+        oracle_arenas.push_back(std::make_unique<TimestampArena>(
+            manager.epoch(e).width(), scripts.back().num_messages()));
+        oracle_arenas.back()->attach_metrics(registry, "arena");
+        expected.push_back(
+            engine->stamp_messages(scripts.back(), *oracle_arenas.back()));
+        total_messages += scripts.back().num_messages();
+    }
 
     std::uint64_t mismatches = 0;
     std::uint64_t stalls = 0;
@@ -313,28 +403,39 @@ int main(int argc, char** argv) {
         options.faults.max_extra_delay = config.jitter;
         options.metrics = &registry;
         options.trace = tracing ? &sink : nullptr;
+        // The registry accumulates across runs; the per-run reject count
+        // is the counter's delta over this run.
+        const std::uint64_t rejects_before =
+            registry.counter("sync_frames_corrupt_rejected").value();
         try {
-            const SynchronizerResult result =
-                run_rendezvous_protocol(decomposition, script, options);
+            const ReconfigurableRunResult result =
+                run_reconfigurable_protocol(manager, scripts, options);
             virtual_duration += result.virtual_duration;
-            for (std::size_t i = 0; i < result.message_stamps.size(); ++i) {
-                const auto oracle =
-                    oracle_arena.span(expected[result.script_message[i]]);
-                if (!(result.message_stamps[i] ==
-                      VectorTimestamp(oracle))) {
+            for (EpochId e = 0; e < result.segments.size(); ++e) {
+                const EpochSegmentResult& segment = result.segments[e];
+                for (std::size_t i = 0; i < segment.message_stamps.size();
+                     ++i) {
+                    const auto oracle = oracle_arenas[e]->span(
+                        expected[e][segment.script_message[i]]);
+                    if (!(segment.message_stamps[i] ==
+                          VectorTimestamp(oracle))) {
+                        ++mismatches;
+                    }
+                }
+                if (segment.message_stamps.size() !=
+                    scripts[e].num_messages()) {
                     ++mismatches;
                 }
-            }
-            if (result.message_stamps.size() != script.num_messages()) {
-                ++mismatches;
             }
             // FNV-1a catches every single-bit corruption the fault plan
             // injects, so every corrupted frame must be rejected at
             // decode (docs/FAULTS.md). A gap here is a checksum hole.
-            if (result.network_faults.corrupted >
-                result.protocol.corrupt_rejects) {
-                undetected_corrupt += result.network_faults.corrupted -
-                                      result.protocol.corrupt_rejects;
+            const std::uint64_t rejects =
+                registry.counter("sync_frames_corrupt_rejected").value() -
+                rejects_before;
+            if (result.network_faults.corrupted > rejects) {
+                undetected_corrupt +=
+                    result.network_faults.corrupted - rejects;
             }
         } catch (const SynchronizerStalled& stall) {
             std::fprintf(stderr, "run %llu stalled: %s\n",
@@ -348,8 +449,25 @@ int main(int argc, char** argv) {
         .inc(undetected_corrupt);
 
     AnalysisReport analysis;
+    if (config.analysis && num_epochs == 1) {
+        analysis =
+            run_analysis(config, scripts[0], *oracle_arenas[0], registry);
+    } else if (config.analysis) {
+        // Stitch the per-epoch oracle stamps into one trace and verify
+        // the barrier rule end to end.
+        std::vector<TimestampedTrace> segments;
+        for (EpochId e = 0; e < num_epochs; ++e) {
+            std::vector<VectorTimestamp> stamps;
+            stamps.reserve(scripts[e].num_messages());
+            for (const TsHandle handle : expected[e]) {
+                stamps.emplace_back(oracle_arenas[e]->span(handle));
+            }
+            segments.emplace_back(scripts[e], std::move(stamps));
+        }
+        const MultiEpochTrace trace(std::move(segments));
+        analysis = run_multi_analysis(config, trace, registry);
+    }
     if (config.analysis) {
-        analysis = run_analysis(config, script, oracle_arena, registry);
         registry.counter("stats_analysis_mismatches")
             .inc(analysis.verify_mismatches);
         registry.counter("stats_query_mismatches")
@@ -387,8 +505,9 @@ int main(int argc, char** argv) {
         out += config.spec;
         out += "\",\"processes\":" +
                std::to_string(topology.num_vertices());
-        out += ",\"width\":" + std::to_string(decomposition->size());
-        out += ",\"messages\":" + std::to_string(script.num_messages());
+        out += ",\"width\":" + std::to_string(manager.epoch(0).width());
+        out += ",\"epochs\":" + std::to_string(num_epochs);
+        out += ",\"messages\":" + std::to_string(total_messages);
         out += ",\"runs\":" + std::to_string(config.runs);
         out += ",\"seed\":" + std::to_string(config.seed);
         out += ",\"stamp_mismatches\":" + std::to_string(mismatches);
@@ -424,10 +543,10 @@ int main(int argc, char** argv) {
         out += "}\n";
         std::fwrite(out.data(), 1, out.size(), stdout);
     } else if (!config.quiet) {
-        std::printf("syncts_stats: %s  n=%zu  d=%zu  messages=%zu  "
-                    "runs=%llu  seed=%llu\n",
+        std::printf("syncts_stats: %s  n=%zu  d=%zu  epochs=%zu  "
+                    "messages=%zu  runs=%llu  seed=%llu\n",
                     config.spec.c_str(), topology.num_vertices(),
-                    decomposition->size(), script.num_messages(),
+                    manager.epoch(0).width(), num_epochs, total_messages,
                     static_cast<unsigned long long>(config.runs),
                     static_cast<unsigned long long>(config.seed));
         std::printf("verify:  mismatches=%llu stalls=%llu "

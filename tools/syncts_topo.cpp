@@ -2,18 +2,22 @@
 // strategy, vertex-cover bounds, and optional Graphviz output.
 //
 // Usage:
-//   syncts_topo <spec> [--dot] [--exact]
+//   syncts_topo <spec> [--dot] [--exact] [--reconfig <schedule>]
 //
 // <spec> is one of:
 //   star:<n> | ring:<n> | path:<n> | complete:<n> | tree:<n>:<arity> |
 //   cs:<servers>:<clients> | grid:<w>:<h> | triangles:<t> |
 //   gnp:<n>:<p%>:<seed> | fig2b | fig4
 //
-// --dot     also print the default decomposition as Graphviz
-// --export  also print the default decomposition in the decomp_io text
-//           format (ship it to every process at startup)
-// --exact   also run the exponential exact decomposition / vertex cover
-//           (small graphs only)
+// --dot       also print the default decomposition as Graphviz
+// --export    also print the default decomposition in the decomp_io text
+//             format (ship it to every process at startup); with
+//             --reconfig the final epoch is exported, tagged with its id
+// --exact     also run the exponential exact decomposition / vertex cover
+//             (small graphs only)
+// --reconfig  replay a reconfiguration schedule (docs/TOPOLOGY.md:
+//             addc:<a>:<b> | delc:<a>:<b> | addp[:<a>] | rand:<k>:<seed>)
+//             and print the per-epoch decomposition ledger
 
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +33,8 @@
 #include "decomp/greedy_decomposer.hpp"
 #include "graph/generators.hpp"
 #include "graph/vertex_cover.hpp"
+#include "topo/reconfig.hpp"
+#include "topo/topology_manager.hpp"
 
 using namespace syncts;
 
@@ -36,7 +42,8 @@ using namespace syncts;
 int main(int argc, char** argv) {
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: syncts_topo <spec> [--dot] [--export] [--exact]\n"
+                     "usage: syncts_topo <spec> [--dot] [--export] [--exact] "
+                     "[--reconfig <schedule>]\n"
                      "specs: %s\n",
                      tools::spec_help());
         return 2;
@@ -44,11 +51,13 @@ int main(int argc, char** argv) {
     bool want_dot = false;
     bool want_exact = false;
     bool want_export = false;
+    std::string reconfig;
     for (int i = 2; i < argc; ++i) {
         const std::string flag = argv[i];
         if (flag == "--dot") want_dot = true;
         if (flag == "--exact") want_exact = true;
         if (flag == "--export") want_export = true;
+        if (flag == "--reconfig" && i + 1 < argc) reconfig = argv[++i];
     }
 
     const Graph g = tools::build_topology(argv[1]);
@@ -86,11 +95,45 @@ int main(int argc, char** argv) {
         }
     }
 
+    TopologyManager manager{EdgeDecomposition(fallback)};
+    if (!reconfig.empty()) {
+        std::vector<ReconfigOp> schedule;
+        try {
+            schedule = parse_reconfig_schedule(reconfig, g);
+        } catch (const std::exception& error) {
+            std::fprintf(stderr, "syncts_topo: bad --reconfig schedule: %s\n",
+                         error.what());
+            return 2;
+        }
+        std::printf("\nreconfig: %zu op(s) -> %zu epochs\n", schedule.size(),
+                    schedule.size() + 1);
+        std::printf("epoch 0: N=%zu channels=%zu d=%zu\n",
+                    manager.current().num_processes(),
+                    manager.current().graph().num_edges(),
+                    manager.current().width());
+        for (const ReconfigOp& op : schedule) {
+            const EpochTransition& t = apply(manager, op);
+            const Epoch& epoch = manager.current();
+            std::printf(
+                "epoch %u (%s): N=%zu channels=%zu d=%zu  preserved=%zu "
+                "rebuilt=%zu%s\n",
+                epoch.id, op.to_string().c_str(), epoch.num_processes(),
+                epoch.graph().num_edges(), epoch.width(), t.preserved_groups,
+                epoch.width() - t.preserved_groups,
+                t.full_rebuild ? "  [full rebuild]" : "");
+        }
+    }
+
     if (want_dot) {
         std::printf("\n%s", to_dot(fallback).c_str());
     }
     if (want_export) {
-        std::printf("\n%s", serialize_decomposition(fallback).c_str());
+        // With a schedule, export the topology the system ends up on —
+        // tagged with its epoch so consumers can reject stale artifacts.
+        std::printf("\n%s",
+                    serialize_decomposition(*manager.current_decomposition(),
+                                            manager.current_epoch_id())
+                        .c_str());
     }
     return 0;
 }
