@@ -1,0 +1,225 @@
+// Experiment TAB-RECOVER — the price of crash tolerance.
+//
+// Three studies (docs/RECOVERY.md):
+//   1. Durability tax: the same crash-free workload with the recovery
+//      layer off vs. armed at WAL flush intervals 1/4/16 — what the
+//      snapshot + WAL bookkeeping costs when nothing ever fails.
+//   2. Crash/rejoin cost: 0..4 crashes per run under the same workload —
+//      throughput, WAL replay volume, recommits and rejoin traffic, with
+//      every realized timestamp still checked against the crash-free
+//      Fig. 5 oracle.
+//   3. Codec microbench: encode/decode round-trip cost of one WAL record
+//      and one mid-size snapshot — the per-step serialization the
+//      durable path pays.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "clocks/online_clock.hpp"
+#include "decomp/cover_decomposer.hpp"
+#include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "recover/snapshot.hpp"
+#include "recover/wal.hpp"
+#include "runtime/synchronizer.hpp"
+#include "trace/generator.hpp"
+
+using namespace syncts;
+
+namespace {
+
+struct Setup {
+    SyncComputation script;
+    std::shared_ptr<const EdgeDecomposition> decomposition;
+    std::vector<VectorTimestamp> expected;
+};
+
+Setup make_setup() {
+    const Graph topology = topology::client_server(3, 9);
+    Rng rng(20260808);
+    WorkloadOptions workload;
+    workload.num_messages = 400;
+    Setup setup{.script = random_computation(topology, workload, rng),
+                .decomposition = std::make_shared<const EdgeDecomposition>(
+                    default_decomposition(topology)),
+                .expected = {}};
+    OnlineTimestamper direct(setup.decomposition);
+    setup.expected = direct.timestamp_computation(setup.script);
+    return setup;
+}
+
+struct Run {
+    double msgs_per_sec = 0;
+    bool exact = true;
+};
+
+Run run_protocol(const Setup& setup, SynchronizerOptions options,
+                 int repeats, obs::MetricsRegistry* metrics) {
+    Run run;
+    std::uint64_t messages = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (int repeat = 1; repeat <= repeats; ++repeat) {
+        options.seed = static_cast<std::uint64_t>(repeat);
+        options.faults.seed = static_cast<std::uint64_t>(repeat) * 7919;
+        options.metrics = metrics;
+        const SynchronizerResult result =
+            run_rendezvous_protocol(setup.decomposition, setup.script,
+                                    options);
+        messages += result.message_stamps.size();
+        for (std::size_t i = 0; i < result.message_stamps.size(); ++i) {
+            run.exact = run.exact &&
+                        result.message_stamps[i] ==
+                            setup.expected[result.script_message[i]];
+        }
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    run.msgs_per_sec = static_cast<double>(messages) / elapsed;
+    return run;
+}
+
+}  // namespace
+
+int main() {
+    const Setup setup = make_setup();
+    const int repeats = 25;
+
+    // ---- Study 1: durability tax on a crash-free run ------------------
+    std::printf(
+        "TAB-RECOVER: crash-recovery layer cost "
+        "(cs:3:9, d=%zu, %zu msgs x %d runs)\n\n",
+        setup.decomposition->size(), setup.script.num_messages(), repeats);
+    std::printf("durability tax (no crashes):\n");
+    std::printf("%16s %12s %12s %10s %10s\n", "config", "msgs/s",
+                "wal_appends", "flushes", "snapshots");
+    SynchronizerOptions off;
+    off.latency_lo = 1;
+    off.latency_hi = 8;
+    const Run baseline = run_protocol(setup, off, repeats, nullptr);
+    std::printf("%16s %12.0f %12s %10s %10s\n", "off",
+                baseline.msgs_per_sec, "-", "-", "-");
+    for (const std::uint64_t flush : {1ull, 4ull, 16ull}) {
+        obs::MetricsRegistry metrics;
+        SynchronizerOptions on = off;
+        on.recovery.enabled = true;
+        on.recovery.wal_flush_interval = flush;
+        on.recovery.window = 8 + flush;
+        const Run run = run_protocol(setup, on, repeats, &metrics);
+        std::printf("%13s=%2llu %12.0f %12llu %10llu %10llu %s\n",
+                    "wal-flush", static_cast<unsigned long long>(flush),
+                    run.msgs_per_sec,
+                    static_cast<unsigned long long>(
+                        metrics.counter("recover_wal_appends").value()),
+                    static_cast<unsigned long long>(
+                        metrics.counter("recover_wal_flushes").value()),
+                    static_cast<unsigned long long>(
+                        metrics.counter("recover_snapshots").value()),
+                    run.exact ? "" : "INEXACT");
+    }
+
+    // ---- Study 2: crash/rejoin cost -----------------------------------
+    std::printf("\ncrash/rejoin cost (wal-flush=2, snap-every=8):\n");
+    std::printf("%10s %12s %10s %10s %10s %10s %8s\n", "crashes", "msgs/s",
+                "restarts", "replayed", "recommits", "hellos", "exact");
+    for (const std::size_t crashes :
+         {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+        obs::MetricsRegistry metrics;
+        SynchronizerOptions options = off;
+        options.recovery.enabled = true;
+        options.recovery.wal_flush_interval = 2;
+        options.recovery.snapshot_interval = 8;
+        options.recovery.window = 8;
+        for (std::size_t c = 0; c < crashes; ++c) {
+            // Deterministic spread over the processes and the busy range.
+            options.faults.crashes.push_back(
+                CrashRule{static_cast<ProcessId>(c % 4), 3 + 5 * c, 40});
+        }
+        const Run run = run_protocol(setup, options, repeats, &metrics);
+        std::printf("%10zu %12.0f %10llu %10llu %10llu %10llu %8s\n",
+                    crashes, run.msgs_per_sec,
+                    static_cast<unsigned long long>(
+                        metrics.counter("recover_restarts").value()),
+                    static_cast<unsigned long long>(
+                        metrics.counter("recover_replayed_records").value()),
+                    static_cast<unsigned long long>(
+                        metrics.counter("recover_recommits").value()),
+                    static_cast<unsigned long long>(
+                        metrics.counter("recover_hellos").value()),
+                    run.exact ? "yes" : "NO");
+    }
+
+    // ---- Study 3: codec microbench ------------------------------------
+    WalRecord record;
+    record.type = WalRecordType::commit;
+    record.lsn = 1;
+    record.peer = 2;
+    record.sequence = 7;
+    record.message = 19;
+    record.epoch = 1;
+    record.frame.assign(40, 0x5A);
+    record.aux.assign(40, 0xA5);
+    Snapshot snapshot;
+    snapshot.state.self = 1;
+    snapshot.state.epoch = 1;
+    snapshot.state.clock.assign(12, 31);
+    for (ProcessId peer = 0; peer < 6; ++peer) {
+        snapshot.state.out.push_back({peer, 9, FrameWindow(8)});
+        snapshot.state.in.push_back({peer, 9, FrameWindow(8)});
+    }
+    snapshot.wal_lsn = 64;
+
+    constexpr std::size_t kCodecIters = 200'000;
+    std::vector<std::uint8_t> bytes;
+    const auto time_codec = [&](auto&& body) {
+        const auto start = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < kCodecIters; ++i) body();
+        return static_cast<double>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count()) /
+               static_cast<double>(kCodecIters);
+    };
+    const double wal_ns = time_codec([&] {
+        bytes.clear();  // the record writer appends (log semantics)
+        encode_wal_record_into(record, bytes);
+        record.sequence = decode_wal_record(bytes).sequence;
+    });
+    const double snap_ns = time_codec([&] {
+        bytes.clear();
+        encode_snapshot_into(snapshot, bytes);
+        snapshot.wal_lsn = decode_snapshot(bytes).wal_lsn;
+    });
+    std::printf(
+        "\ncodec round-trips (%zu iters): wal record %.0f ns, "
+        "snapshot %.0f ns\n",
+        kCodecIters, wal_ns, snap_ns);
+
+    // Machine-readable summary: one crash-laden instrumented run whose
+    // result line carries the recover_* counter snapshot.
+    obs::MetricsRegistry registry;
+    SynchronizerOptions json_options = off;
+    json_options.seed = 1;
+    json_options.faults.seed = 7919;
+    json_options.recovery.wal_flush_interval = 2;
+    json_options.recovery.snapshot_interval = 8;
+    json_options.faults.crashes.push_back(CrashRule{1, 4, 40});
+    json_options.faults.crashes.push_back(CrashRule{2, 9, 40});
+    json_options.metrics = &registry;
+    const std::size_t allocs_before = bench::allocations();
+    const auto start = std::chrono::steady_clock::now();
+    (void)run_rendezvous_protocol(setup.decomposition, setup.script,
+                                  json_options);
+    const auto stop = std::chrono::steady_clock::now();
+    bench::emit_json_with_metrics(
+        "recover", setup.script.num_messages(),
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+                .count()) /
+            static_cast<double>(setup.script.num_messages()),
+        bench::allocations() - allocs_before, registry);
+    return 0;
+}

@@ -6,6 +6,7 @@
 
 #include "clocks/offline_timestamper.hpp"
 #include "clocks/online_clock.hpp"
+#include "clocks/wire.hpp"
 #include "common/check.hpp"
 #include "common/ts_kernels.hpp"
 
@@ -69,6 +70,103 @@ void ClockEngine::fold_epoch_floor(const EpochTransition& transition,
     } else {
         transition.migrate_components(absolute, floor_);
     }
+}
+
+namespace {
+
+/// Magic prefix of a serialized clock state (docs/RECOVERY.md).
+constexpr std::uint8_t kStateMagic[4] = {'S', 'Y', 'C', 'K'};
+
+/// Current clock-state capture format.
+constexpr std::uint64_t kStateVersion = 1;
+
+}  // namespace
+
+void ClockEngine::save_state(std::vector<std::uint8_t>& out) const {
+    const std::size_t start = out.size();
+    out.insert(out.end(), std::begin(kStateMagic), std::end(kStateMagic));
+    encode_varint(kStateVersion, out);
+    encode_varint(static_cast<std::uint64_t>(family()), out);
+    encode_varint(epoch_, out);
+    encode_varint(floor_.size(), out);
+    for (const std::uint64_t word : floor_) encode_varint(word, out);
+    std::vector<std::uint64_t> payload;
+    save_payload(payload);
+    encode_varint(payload.size(), out);
+    for (const std::uint64_t word : payload) encode_varint(word, out);
+    const std::uint64_t checksum =
+        fnv1a64({out.data() + start, out.size() - start});
+    for (int shift = 0; shift < 64; shift += 8) {
+        out.push_back(static_cast<std::uint8_t>(checksum >> shift));
+    }
+}
+
+std::vector<std::uint8_t> ClockEngine::save_state() const {
+    std::vector<std::uint8_t> out;
+    save_state(out);
+    return out;
+}
+
+void ClockEngine::restore_state(std::span<const std::uint8_t> bytes) {
+    if (bytes.size() < sizeof(kStateMagic) + 8) {
+        throw WireError(WireError::Kind::truncated,
+                        "clock state shorter than magic plus checksum");
+    }
+    const std::span<const std::uint8_t> body = bytes.first(bytes.size() - 8);
+    std::uint64_t stored = 0;
+    for (int i = 7; i >= 0; --i) {
+        stored =
+            (stored << 8) | bytes[body.size() + static_cast<std::size_t>(i)];
+    }
+    if (fnv1a64(body) != stored) {
+        throw WireError(WireError::Kind::checksum_mismatch,
+                        "clock state checksum mismatch");
+    }
+    std::size_t offset = 0;
+    for (const std::uint8_t magic : kStateMagic) {
+        if (body[offset++] != magic) {
+            throw WireError(WireError::Kind::unsupported_version,
+                            "clock state magic mismatch");
+        }
+    }
+    const std::uint64_t version = decode_varint(body, offset);
+    if (version != kStateVersion) {
+        throw WireError(WireError::Kind::unsupported_version,
+                        "clock state from an unsupported format version");
+    }
+    const std::uint64_t tag = decode_varint(body, offset);
+    SYNCTS_REQUIRE(tag == static_cast<std::uint64_t>(family()),
+                   std::string("clock state family does not match this "
+                               "engine (") +
+                       to_string(family()) + ")");
+    const std::uint64_t epoch = decode_varint(body, offset);
+    SYNCTS_REQUIRE(epoch <= std::numeric_limits<EpochId>::max(),
+                   "clock state epoch exceeds the epoch id range");
+    const std::uint64_t floor_count = decode_varint(body, offset);
+    SYNCTS_REQUIRE(floor_count <= body.size(),
+                   "clock state floor length exceeds the frame");
+    std::vector<std::uint64_t> restored_floor;
+    restored_floor.reserve(floor_count);
+    for (std::uint64_t i = 0; i < floor_count; ++i) {
+        restored_floor.push_back(decode_varint(body, offset));
+    }
+    const std::uint64_t payload_count = decode_varint(body, offset);
+    SYNCTS_REQUIRE(payload_count <= body.size(),
+                   "clock state payload length exceeds the frame");
+    std::vector<std::uint64_t> payload;
+    payload.reserve(payload_count);
+    for (std::uint64_t i = 0; i < payload_count; ++i) {
+        payload.push_back(decode_varint(body, offset));
+    }
+    if (offset != body.size()) {
+        throw WireError(WireError::Kind::trailing_bytes,
+                        "clock state has undecoded trailing bytes");
+    }
+    // The payload restore validates the shape; only after it succeeds is
+    // any engine state mutated.
+    restore_payload(payload);
+    floor_ = std::move(restored_floor);
+    epoch_ = static_cast<EpochId>(epoch);
 }
 
 void ClockEngine::attach_metrics(obs::MetricsRegistry& registry) {
@@ -278,6 +376,24 @@ public:
         ts::copy(stamp_out, mine);
     }
 
+    /// State payload: the N width-N process vectors, row-major.
+    void save_payload(std::vector<std::uint64_t>& out) const override {
+        for (std::size_t p = 0; p < clocks_.size(); ++p) {
+            const auto row = clocks_.span(static_cast<TsHandle>(p));
+            out.insert(out.end(), row.begin(), row.end());
+        }
+    }
+
+    void restore_payload(std::span<const std::uint64_t> payload) override {
+        const std::size_t n = clocks_.size();
+        SYNCTS_REQUIRE(payload.size() == n * n,
+                       "FM state payload does not match the process count");
+        for (std::size_t p = 0; p < n; ++p) {
+            ts::copy(clocks_.span(static_cast<TsHandle>(p)),
+                     payload.subspan(p * n, n));
+        }
+    }
+
 protected:
     void check_process(ProcessId p) const {
         SYNCTS_REQUIRE(p < clocks_.size(), "process id out of range");
@@ -399,6 +515,18 @@ public:
         if (!stamp_out.empty()) stamp_out[0] = clocks_[process];
     }
 
+    /// State payload: the N scalar clocks.
+    void save_payload(std::vector<std::uint64_t>& out) const override {
+        out.insert(out.end(), clocks_.begin(), clocks_.end());
+    }
+
+    void restore_payload(std::span<const std::uint64_t> payload) override {
+        SYNCTS_REQUIRE(
+            payload.size() == clocks_.size(),
+            "lamport state payload does not match the process count");
+        clocks_.assign(payload.begin(), payload.end());
+    }
+
 private:
     void check(ProcessId p, std::span<std::uint64_t> out) const {
         SYNCTS_REQUIRE(p < clocks_.size(), "process id out of range");
@@ -478,6 +606,20 @@ public:
         stamp_out[0] = last_[sender];
         stamp_out[1] = acknowledgement[0];
         last_[sender] = acknowledgement[1];
+    }
+
+    /// State payload: the N last-message ids, then the id counter.
+    void save_payload(std::vector<std::uint64_t>& out) const override {
+        out.insert(out.end(), last_.begin(), last_.end());
+        out.push_back(next_id_);
+    }
+
+    void restore_payload(std::span<const std::uint64_t> payload) override {
+        SYNCTS_REQUIRE(payload.size() == last_.size() + 1,
+                       "direct-dependency state payload does not match the "
+                       "process count");
+        last_.assign(payload.begin(), payload.end() - 1);
+        next_id_ = payload.back();
     }
 
 private:
@@ -561,6 +703,18 @@ public:
                 stamps.arena.allocate(v.components()));
         }
         return stamps;
+    }
+
+    /// State payload: the realizer width of the last stamped computation
+    /// (the only mutable state of a batch engine).
+    void save_payload(std::vector<std::uint64_t>& out) const override {
+        out.push_back(width_);
+    }
+
+    void restore_payload(std::span<const std::uint64_t> payload) override {
+        SYNCTS_REQUIRE(payload.size() == 1,
+                       "offline state payload must be a single width word");
+        width_ = payload[0];
     }
 
 private:

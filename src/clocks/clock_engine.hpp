@@ -116,6 +116,25 @@ public:
         return floor_;
     }
 
+    // ---- Crash-recovery state capture (docs/RECOVERY.md) --------------
+
+    /// Serializes the engine's complete mutable state — family tag,
+    /// epoch, accumulated floor, and the family payload — as a versioned
+    /// byte frame trailed by an FNV-1a 64 checksum, appended to `out`.
+    /// An engine restored from these bytes stamps bit-identically to
+    /// this one from the capture point on.
+    void save_state(std::vector<std::uint8_t>& out) const;
+
+    /// Convenience form of save_state into a fresh buffer.
+    std::vector<std::uint8_t> save_state() const;
+
+    /// Restores the state captured by save_state. The engine must have
+    /// been built for the same topology shape the saver had at capture
+    /// time (same family; payload sized to this engine's process count
+    /// and width). Throws WireError on framing or checksum damage and
+    /// std::invalid_argument on family or shape mismatch.
+    void restore_state(std::span<const std::uint8_t> bytes);
+
     // ---- Instrumentation ----------------------------------------------
 
     /// Registers this engine's metrics: `clock_<family>_stamps` (messages
@@ -201,6 +220,15 @@ protected:
     /// For families without floor semantics: just validates continuity
     /// and advances epoch().
     void advance_epoch(const EpochTransition& transition);
+
+    /// Appends the family-specific mutable state as 64-bit words — the
+    /// save_state payload. The base class frames it together with the
+    /// epoch and floor, so overrides write raw clock words only.
+    virtual void save_payload(std::vector<std::uint64_t>& out) const = 0;
+
+    /// Inverse of save_payload. Throws std::invalid_argument when the
+    /// word count does not fit this engine's topology shape.
+    virtual void restore_payload(std::span<const std::uint64_t> payload) = 0;
 
     /// Accumulated absolute floor, indexed like the current width() (may
     /// be empty). Cleared by reset().

@@ -29,6 +29,12 @@ void OnlineProcessClock::reset() noexcept {
     ts::zero(vector_.mutable_components());
 }
 
+void OnlineProcessClock::restore_from(std::span<const std::uint64_t> state) {
+    SYNCTS_REQUIRE(state.size() == vector_.width(),
+                   "restored state width does not match the clock width");
+    ts::copy(vector_.mutable_components(), state);
+}
+
 void OnlineProcessClock::merge_and_increment(
     ProcessId peer, std::span<const std::uint64_t> remote) {
     SYNCTS_REQUIRE(peer < group_by_peer_.size() &&
@@ -184,6 +190,23 @@ std::vector<VectorTimestamp> OnlineTimestamper::timestamp_computation(
         stamps.push_back(timestamp_message(m.sender, m.receiver));
     }
     return stamps;
+}
+
+void OnlineTimestamper::save_payload(std::vector<std::uint64_t>& out) const {
+    for (const OnlineProcessClock& clock : clocks_) {
+        const auto row = clock.current_span();
+        out.insert(out.end(), row.begin(), row.end());
+    }
+}
+
+void OnlineTimestamper::restore_payload(
+    std::span<const std::uint64_t> payload) {
+    const std::size_t d = width();
+    SYNCTS_REQUIRE(payload.size() == clocks_.size() * d,
+                   "online state payload does not match the topology shape");
+    for (std::size_t p = 0; p < clocks_.size(); ++p) {
+        clocks_[p].restore_from(payload.subspan(p * d, d));
+    }
 }
 
 const OnlineProcessClock& OnlineTimestamper::clock(ProcessId p) const {

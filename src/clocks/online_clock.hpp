@@ -45,6 +45,11 @@ public:
     /// Returns the clock to its initial all-zero vector.
     void reset() noexcept;
 
+    /// Overwrites the local vector with `state` (width() words) — the
+    /// crash-recovery restore hook (docs/RECOVERY.md). The decomposition
+    /// is immutable shared state, so a snapshot needs only the vector.
+    void restore_from(std::span<const std::uint64_t> state);
+
     // ---- Non-allocating span hooks (the hot path) ---------------------
 
     /// The current local vector as a read-only span of width() words.
@@ -163,6 +168,11 @@ public:
         const SyncComputation& computation);
 
     const OnlineProcessClock& clock(ProcessId p) const;
+
+protected:
+    /// State payload: the N width-d process vectors, row-major.
+    void save_payload(std::vector<std::uint64_t>& out) const override;
+    void restore_payload(std::span<const std::uint64_t> payload) override;
 
 private:
     std::shared_ptr<const EdgeDecomposition> decomposition_;

@@ -23,6 +23,10 @@ const char* to_string(TraceEventKind kind) noexcept {
         case TraceEventKind::epoch_reject: return "epoch_reject";
         case TraceEventKind::nack: return "nack";
         case TraceEventKind::epoch: return "epoch";
+        case TraceEventKind::crash: return "crash";
+        case TraceEventKind::restart: return "restart";
+        case TraceEventKind::hello: return "hello";
+        case TraceEventKind::park: return "park";
     }
     return "unknown";
 }

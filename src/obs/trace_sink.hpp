@@ -45,6 +45,10 @@ enum class TraceEventKind : std::uint8_t {
     epoch_reject,    ///< frame from another topology epoch rejected
     nack,            ///< NACK sent/handled for an epoch-stale REQ
     epoch,           ///< topology epoch barrier crossed (arg_a = epoch id)
+    crash,           ///< process crashed, volatile state lost (arg_a = step)
+    restart,         ///< process restarted from snapshot + WAL replay
+    hello,           ///< rejoin HELLO sent/answered (arg_a = sequence)
+    park,            ///< out-of-order frame parked ahead of the commit point
 };
 
 const char* to_string(TraceEventKind kind) noexcept;

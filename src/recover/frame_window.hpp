@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+
+/// \file frame_window.hpp
+/// Bounded ring of recent wire frames on one directed channel, keyed by
+/// rendezvous sequence number.
+///
+/// The rejoin protocol (docs/RECOVERY.md) replays *original* frame bytes:
+/// a recovered sender must receive the acknowledgement exactly as it was
+/// first encoded (possibly under an earlier epoch's format) so that its
+/// clock merge is bit-identical to the pre-crash one, and a recovered
+/// receiver must be fed the original REQ frames it lost. Each engine
+/// therefore keeps one window of sent REQs per out-channel and one window
+/// of sent ACKs per in-channel. The capacity bounds memory the same way
+/// the Drummond–Barbosa stability rule bounds the WAL: a restarting peer
+/// can rewind at most one group-flush interval of rendezvous per channel,
+/// so any window at least that deep always holds what a rejoin needs.
+
+namespace syncts {
+
+class FrameWindow {
+public:
+    struct Entry {
+        std::uint64_t sequence = 0;
+        std::vector<std::uint8_t> frame;
+    };
+
+    explicit FrameWindow(std::size_t capacity = 8) : capacity_(capacity) {
+        SYNCTS_REQUIRE(capacity_ >= 1, "frame window capacity must be >= 1");
+    }
+
+    std::size_t capacity() const noexcept { return capacity_; }
+    std::size_t size() const noexcept { return entries_.size(); }
+    bool empty() const noexcept { return entries_.empty(); }
+
+    /// Records `frame` under `sequence`. Sequences normally arrive in
+    /// increasing order; re-recording an existing sequence (a recovered
+    /// process re-executing a rendezvous) overwrites in place, and a
+    /// sequence older than the ring is ignored — it was pruned already.
+    void put(std::uint64_t sequence, std::span<const std::uint8_t> frame) {
+        if (!entries_.empty() && sequence <= entries_.back().sequence) {
+            for (Entry& entry : entries_) {
+                if (entry.sequence == sequence) {
+                    entry.frame.assign(frame.begin(), frame.end());
+                    return;
+                }
+            }
+            return;  // older than the retained ring: already pruned
+        }
+        entries_.push_back(
+            Entry{sequence, std::vector<std::uint8_t>(frame.begin(),
+                                                      frame.end())});
+        while (entries_.size() > capacity_) entries_.pop_front();
+    }
+
+    /// The frame recorded under `sequence`, or nullptr when pruned/unknown.
+    const std::vector<std::uint8_t>* find(std::uint64_t sequence) const {
+        for (const Entry& entry : entries_) {
+            if (entry.sequence == sequence) return &entry.frame;
+        }
+        return nullptr;
+    }
+
+    /// Retained entries, oldest first (rejoin retransmission order).
+    const std::deque<Entry>& entries() const noexcept { return entries_; }
+
+private:
+    std::size_t capacity_;
+    std::deque<Entry> entries_;
+};
+
+}  // namespace syncts

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// \file recovery_error.hpp
+/// Typed failure for damaged or inconsistent durable recovery state
+/// (snapshots and write-ahead logs; docs/RECOVERY.md).
+
+namespace syncts {
+
+/// Malformed snapshot or WAL input. Derives from std::runtime_error —
+/// unlike wire damage (WireError, an input-validation failure the
+/// protocol retransmits around), broken durable state is an environment
+/// fault the caller must surface, not retry.
+class RecoveryError : public std::runtime_error {
+public:
+    enum class Kind {
+        truncated,            ///< input ended mid-value
+        bad_magic,            ///< not a snapshot / WAL record at all
+        unsupported_version,  ///< format from a future version
+        checksum_mismatch,    ///< trailer does not match the payload
+        malformed,            ///< fields decode but are inconsistent
+        log_gap,              ///< WAL is missing records the snapshot needs
+    };
+
+    RecoveryError(Kind kind, const std::string& what)
+        : std::runtime_error(what), kind_(kind) {}
+
+    Kind kind() const noexcept { return kind_; }
+
+private:
+    Kind kind_;
+};
+
+}  // namespace syncts

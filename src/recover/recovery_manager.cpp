@@ -1,0 +1,190 @@
+#include "recover/recovery_manager.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "clocks/online_clock.hpp"
+#include "clocks/wire.hpp"
+#include "common/check.hpp"
+
+namespace syncts {
+
+namespace {
+
+[[noreturn]] void malformed(const char* what) {
+    throw RecoveryError(RecoveryError::Kind::malformed, what);
+}
+
+/// Channel lookup/insert keeping the per-peer vectors sorted (the
+/// serialized order, so snapshot → recover → snapshot round-trips
+/// byte-identically). New channels appear when replayed records touch a
+/// peer the snapshot had not spoken to yet.
+OutChannelState& out_channel(ProcessState& state, ProcessId peer,
+                             std::size_t window_capacity) {
+    auto it = std::lower_bound(
+        state.out.begin(), state.out.end(), peer,
+        [](const OutChannelState& c, ProcessId p) { return c.peer < p; });
+    if (it == state.out.end() || it->peer != peer) {
+        OutChannelState channel;
+        channel.peer = peer;
+        channel.req_window = FrameWindow(window_capacity);
+        it = state.out.insert(it, std::move(channel));
+    }
+    return *it;
+}
+
+InChannelState& in_channel(ProcessState& state, ProcessId peer,
+                           std::size_t window_capacity) {
+    auto it = std::lower_bound(
+        state.in.begin(), state.in.end(), peer,
+        [](const InChannelState& c, ProcessId p) { return c.peer < p; });
+    if (it == state.in.end() || it->peer != peer) {
+        InChannelState channel;
+        channel.peer = peer;
+        channel.ack_window = FrameWindow(window_capacity);
+        it = state.in.insert(it, std::move(channel));
+    }
+    return *it;
+}
+
+}  // namespace
+
+RecoverOutcome RecoveryManager::recover(
+    std::span<const std::uint8_t> snapshot_bytes, const Wal& wal,
+    const DecompositionProvider& decomposition) {
+    SYNCTS_REQUIRE(decomposition != nullptr,
+                   "recovery needs a decomposition provider");
+    const Snapshot snapshot = decode_snapshot(snapshot_bytes);
+    const std::vector<WalRecord> records = wal.replay(snapshot.wal_lsn);
+    if (!records.empty() && records.front().lsn > snapshot.wal_lsn) {
+        // Durable records survive contiguously (crashes drop only the
+        // buffered tail), so a hole right after the stability point means
+        // the log was truncated past the snapshot that needed it.
+        throw RecoveryError(
+            RecoveryError::Kind::log_gap,
+            "WAL no longer reaches back to the snapshot's stability point");
+    }
+
+    RecoverOutcome outcome;
+    ProcessState state = snapshot.state;
+    // The window capacity every channel of this process uses; replayed
+    // records may open channels the snapshot had not seen.
+    std::size_t window_capacity = FrameWindow().capacity();
+    for (const OutChannelState& channel : state.out) {
+        window_capacity =
+            std::max(window_capacity, channel.req_window.capacity());
+    }
+    for (const InChannelState& channel : state.in) {
+        window_capacity =
+            std::max(window_capacity, channel.ack_window.capacity());
+    }
+
+    std::shared_ptr<const EdgeDecomposition> decomp =
+        decomposition(state.epoch);
+    SYNCTS_REQUIRE(decomp != nullptr,
+                   "decomposition provider returned null for the snapshot "
+                   "epoch");
+    OnlineProcessClock clock(state.self, decomp);
+    if (state.clock.size() != clock.width()) {
+        malformed("snapshot clock width does not match the epoch topology");
+    }
+    clock.restore_from(state.clock);
+    std::vector<std::uint64_t> piggy(clock.width());
+    std::vector<std::uint64_t> ack(clock.width());
+    std::vector<std::uint64_t> stamp(clock.width());
+    std::vector<std::uint8_t> ack_bytes;
+
+    for (const WalRecord& record : records) {
+        switch (record.type) {
+            case WalRecordType::send: {
+                if (record.epoch != state.epoch) {
+                    malformed("WAL send record from another epoch");
+                }
+                OutChannelState& channel =
+                    out_channel(state, record.peer, window_capacity);
+                channel.next_sequence = record.sequence;
+                channel.req_window.put(record.sequence, record.frame);
+                state.outstanding.active = true;
+                state.outstanding.receiver = record.peer;
+                state.outstanding.sequence = record.sequence;
+                state.outstanding.message = record.message;
+                state.outstanding.frame = record.frame;
+                break;
+            }
+            case WalRecordType::commit: {
+                if (record.epoch != state.epoch) {
+                    malformed("WAL commit record from another epoch");
+                }
+                const FrameHeader header =
+                    decode_epoch_frame_into(record.frame, piggy);
+                if (header.sequence != record.sequence ||
+                    header.message != record.message ||
+                    header.epoch != record.epoch) {
+                    malformed("WAL commit record disagrees with its frame");
+                }
+                clock.on_receive_into(record.peer, piggy, ack, stamp);
+                // The bit-identity proof obligation: re-running the
+                // Fig. 5 merge on the logged REQ must reproduce the ACK
+                // that was actually sent, byte for byte.
+                encode_epoch_frame_into(record.epoch, record.sequence,
+                                        record.message, ack, ack_bytes);
+                if (ack_bytes != record.aux) {
+                    malformed(
+                        "replayed commit diverged from the logged "
+                        "acknowledgement");
+                }
+                InChannelState& channel =
+                    in_channel(state, record.peer, window_capacity);
+                channel.last_committed = record.sequence;
+                channel.ack_window.put(record.sequence, record.aux);
+                ++state.cursor;
+                ++state.steps;
+                break;
+            }
+            case WalRecordType::ack: {
+                if (record.epoch != state.epoch) {
+                    malformed("WAL ack record from another epoch");
+                }
+                if (!state.outstanding.active ||
+                    state.outstanding.receiver != record.peer ||
+                    state.outstanding.sequence != record.sequence) {
+                    malformed(
+                        "WAL ack record without a matching outstanding "
+                        "send");
+                }
+                decode_epoch_frame_into(record.aux, piggy);
+                clock.on_ack_into(record.peer, piggy, stamp);
+                state.outstanding = OutstandingState{};
+                ++state.cursor;
+                ++state.steps;
+                break;
+            }
+            case WalRecordType::epoch: {
+                if (record.epoch != state.epoch + 1) {
+                    malformed("WAL epoch record skips a barrier");
+                }
+                state.epoch = record.epoch;
+                state.cursor = 0;
+                decomp = decomposition(state.epoch);
+                SYNCTS_REQUIRE(decomp != nullptr,
+                               "decomposition provider returned null for a "
+                               "replayed epoch");
+                clock = OnlineProcessClock(state.self, decomp);
+                piggy.assign(clock.width(), 0);
+                ack.assign(clock.width(), 0);
+                stamp.assign(clock.width(), 0);
+                ++outcome.replayed_epochs;
+                break;
+            }
+        }
+        ++outcome.replayed_records;
+    }
+
+    const auto final_clock = clock.current_span();
+    state.clock.assign(final_clock.begin(), final_clock.end());
+    outcome.state = std::move(state);
+    return outcome;
+}
+
+}  // namespace syncts

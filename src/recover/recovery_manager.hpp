@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "decomp/edge_decomposition.hpp"
+#include "recover/snapshot.hpp"
+#include "recover/wal.hpp"
+
+/// \file recovery_manager.hpp
+/// Snapshot + WAL replay → the state of a never-crashed process
+/// (docs/RECOVERY.md).
+///
+/// Recovery decodes the latest snapshot, rebuilds the process's online
+/// clock on the snapshot epoch's decomposition, and re-applies every
+/// durable WAL record from the snapshot's stability point forward —
+/// commits re-run the Fig. 5 receiver merge on the logged REQ frame,
+/// accepted ACKs re-run the sender merge, sends re-establish the
+/// outstanding REQ, and epoch records cross the barrier. Because the
+/// merges are deterministic functions of the frame bytes, the replayed
+/// clock is *provably* bit-identical to the pre-crash one: every commit
+/// re-encodes its ACK and checks it byte-for-byte against the logged
+/// original, so any divergence faults the recovery instead of
+/// propagating.
+
+namespace syncts {
+
+/// The reconstructed state plus replay statistics.
+struct RecoverOutcome {
+    ProcessState state;
+    std::uint64_t replayed_records = 0;
+    std::uint64_t replayed_epochs = 0;
+};
+
+class RecoveryManager {
+public:
+    /// Maps an epoch id to its decomposition ("known by all processes" —
+    /// the topology manager in the runtime, a fixture in tests).
+    using DecompositionProvider =
+        std::function<std::shared_ptr<const EdgeDecomposition>(EpochId)>;
+
+    /// Reconstructs the process state from `snapshot_bytes` and the
+    /// durable suffix of `wal`. Throws RecoveryError when the snapshot or
+    /// log is damaged, or when the log no longer reaches back to the
+    /// snapshot's stability point (over-eager truncation).
+    static RecoverOutcome recover(std::span<const std::uint8_t> snapshot_bytes,
+                                  const Wal& wal,
+                                  const DecompositionProvider& decomposition);
+};
+
+}  // namespace syncts

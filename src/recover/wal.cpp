@@ -1,0 +1,191 @@
+#include "recover/wal.hpp"
+
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "clocks/wire.hpp"
+#include "common/check.hpp"
+
+namespace syncts {
+
+namespace {
+
+std::uint64_t read_varint(std::span<const std::uint8_t> bytes,
+                          std::size_t& offset) {
+    try {
+        return decode_varint(bytes, offset);
+    } catch (const WireError& error) {
+        throw RecoveryError(RecoveryError::Kind::truncated, error.what());
+    }
+}
+
+std::vector<std::uint8_t> read_blob(std::span<const std::uint8_t> bytes,
+                                    std::size_t& offset) {
+    const std::uint64_t length = read_varint(bytes, offset);
+    if (length > bytes.size() - offset) {
+        throw RecoveryError(RecoveryError::Kind::truncated,
+                            "WAL blob length exceeds the record");
+    }
+    const auto begin = bytes.begin() + static_cast<std::ptrdiff_t>(offset);
+    offset += length;
+    return std::vector<std::uint8_t>(
+        begin, begin + static_cast<std::ptrdiff_t>(length));
+}
+
+}  // namespace
+
+void encode_wal_record_into(const WalRecord& record,
+                            std::vector<std::uint8_t>& out) {
+    const std::size_t start = out.size();
+    encode_varint(record.lsn, out);
+    out.push_back(static_cast<std::uint8_t>(record.type));
+    encode_varint(record.peer, out);
+    encode_varint(record.sequence, out);
+    encode_varint(record.message, out);
+    encode_varint(record.epoch, out);
+    encode_varint(record.frame.size(), out);
+    out.insert(out.end(), record.frame.begin(), record.frame.end());
+    encode_varint(record.aux.size(), out);
+    out.insert(out.end(), record.aux.begin(), record.aux.end());
+    const std::uint64_t checksum =
+        fnv1a64({out.data() + start, out.size() - start});
+    for (int shift = 0; shift < 64; shift += 8) {
+        out.push_back(static_cast<std::uint8_t>(checksum >> shift));
+    }
+}
+
+WalRecord decode_wal_record(std::span<const std::uint8_t> bytes) {
+    if (bytes.size() < 8 + 2) {
+        throw RecoveryError(RecoveryError::Kind::truncated,
+                            "WAL record shorter than its checksum");
+    }
+    const std::span<const std::uint8_t> body = bytes.first(bytes.size() - 8);
+    std::uint64_t stored = 0;
+    for (int i = 7; i >= 0; --i) {
+        stored =
+            (stored << 8) | bytes[body.size() + static_cast<std::size_t>(i)];
+    }
+    if (fnv1a64(body) != stored) {
+        throw RecoveryError(RecoveryError::Kind::checksum_mismatch,
+                            "WAL record checksum mismatch");
+    }
+    std::size_t offset = 0;
+    WalRecord record;
+    record.lsn = read_varint(body, offset);
+    if (offset >= body.size()) {
+        throw RecoveryError(RecoveryError::Kind::truncated,
+                            "WAL record ends before its type byte");
+    }
+    const std::uint8_t type = body[offset++];
+    if (type < static_cast<std::uint8_t>(WalRecordType::send) ||
+        type > static_cast<std::uint8_t>(WalRecordType::epoch)) {
+        throw RecoveryError(RecoveryError::Kind::malformed,
+                            "WAL record has an unknown type");
+    }
+    record.type = static_cast<WalRecordType>(type);
+    const std::uint64_t peer = read_varint(body, offset);
+    if (peer > kNoProcess) {
+        throw RecoveryError(RecoveryError::Kind::malformed,
+                            "WAL record peer out of range");
+    }
+    record.peer = static_cast<ProcessId>(peer);
+    record.sequence = read_varint(body, offset);
+    record.message = read_varint(body, offset);
+    const std::uint64_t epoch = read_varint(body, offset);
+    if (epoch > std::numeric_limits<EpochId>::max()) {
+        throw RecoveryError(RecoveryError::Kind::malformed,
+                            "WAL record epoch exceeds the epoch id range");
+    }
+    record.epoch = static_cast<EpochId>(epoch);
+    record.frame = read_blob(body, offset);
+    record.aux = read_blob(body, offset);
+    if (offset != body.size()) {
+        throw RecoveryError(RecoveryError::Kind::malformed,
+                            "WAL record has undecoded trailing bytes");
+    }
+    return record;
+}
+
+Wal::Wal(std::uint64_t flush_interval) : flush_interval_(flush_interval) {
+    SYNCTS_REQUIRE(flush_interval_ >= 1,
+                   "WAL flush interval must be >= 1 record");
+}
+
+std::uint64_t Wal::append(WalRecord record) {
+    record.lsn = next_lsn_++;
+    Stored stored;
+    stored.lsn = record.lsn;
+    encode_wal_record_into(record, stored.bytes);
+    buffered_.push_back(std::move(stored));
+    ++appends_;
+    if (buffered_.size() >= flush_interval_) flush();
+    return record.lsn;
+}
+
+void Wal::flush() {
+    if (buffered_.empty()) return;
+    while (!buffered_.empty()) {
+        durable_.push_back(std::move(buffered_.front()));
+        buffered_.pop_front();
+    }
+    ++flushes_;
+}
+
+void Wal::drop_unflushed() {
+    // The dropped records are gone forever, so their LSNs are reusable —
+    // and must be reused: the buffered tail holds the highest assigned
+    // LSNs, and leaving a hole behind would make the next appends
+    // discontiguous with the durable prefix, poisoning every later
+    // replay with a phantom log gap.
+    dropped_ += buffered_.size();
+    next_lsn_ -= buffered_.size();
+    buffered_.clear();
+}
+
+void Wal::truncate(std::uint64_t stable_lsn) {
+    while (!durable_.empty() && durable_.front().lsn < stable_lsn) {
+        durable_.pop_front();
+        ++truncated_;
+    }
+}
+
+std::uint64_t Wal::first_lsn() const noexcept {
+    if (!durable_.empty()) return durable_.front().lsn;
+    if (!buffered_.empty()) return buffered_.front().lsn;
+    return next_lsn_;
+}
+
+std::size_t Wal::durable_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const Stored& stored : durable_) total += stored.bytes.size();
+    return total;
+}
+
+std::vector<WalRecord> Wal::replay(std::uint64_t from_lsn) const {
+    if (from_lsn < first_lsn()) {
+        // Records the caller needs were truncated (or never survived a
+        // crash): even an empty result would silently skip history.
+        throw RecoveryError(RecoveryError::Kind::log_gap,
+                            "WAL replay starts before the retained prefix");
+    }
+    std::vector<WalRecord> records;
+    std::uint64_t expected = 0;
+    for (const Stored& stored : durable_) {
+        if (stored.lsn < from_lsn) continue;
+        WalRecord record = decode_wal_record(stored.bytes);
+        if (record.lsn != stored.lsn) {
+            throw RecoveryError(RecoveryError::Kind::malformed,
+                                "WAL record LSN disagrees with its index");
+        }
+        if (expected != 0 && record.lsn != expected) {
+            throw RecoveryError(RecoveryError::Kind::log_gap,
+                                "WAL replay found a gap in the LSN sequence");
+        }
+        expected = record.lsn + 1;
+        records.push_back(std::move(record));
+    }
+    return records;
+}
+
+}  // namespace syncts

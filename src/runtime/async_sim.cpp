@@ -7,8 +7,17 @@
 namespace syncts {
 
 AsyncSimulator::AsyncSimulator(std::size_t num_processes, std::uint64_t seed)
-    : handlers_(num_processes), rng_(seed) {
+    : handlers_(num_processes), down_(num_processes, false), rng_(seed) {
     set_fixed_latency(1);
+}
+
+void AsyncSimulator::set_down(ProcessId p, bool down) {
+    SYNCTS_REQUIRE(p < down_.size(), "process out of range");
+    down_[p] = down;
+}
+
+bool AsyncSimulator::is_down(ProcessId p) const noexcept {
+    return p < down_.size() && down_[p];
 }
 
 void AsyncSimulator::set_fixed_latency(std::uint64_t latency) {
@@ -68,6 +77,11 @@ std::uint64_t AsyncSimulator::run(std::uint64_t max_events) {
         if (next.timer != nullptr) {
             ++timers_fired_;
             next.timer(now);
+            continue;
+        }
+        if (down_[next.packet.destination]) {
+            // The destination is crashed: the packet reaches a dead NIC.
+            ++crash_stats_.down_drops;
             continue;
         }
         ++delivered_;

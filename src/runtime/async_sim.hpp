@@ -67,6 +67,17 @@ public:
     /// Registers the delivery handler for process p (one per process).
     void on_deliver(ProcessId p, Handler handler);
 
+    /// Marks process p down (crashed) or back up. Packets delivered to a
+    /// down process are silently lost — exactly what a dead NIC does —
+    /// and counted as fault_stats().down_drops. Timers still fire (the
+    /// runtime uses one to restart the process).
+    void set_down(ProcessId p, bool down);
+
+    bool is_down(ProcessId p) const noexcept;
+
+    /// Counts one executed crash rule into the fault statistics.
+    void note_crash() noexcept { ++crash_stats_.crashes; }
+
     /// Queues a packet for delivery at now + latency (per delivered copy).
     /// Under a fault plan the packet may be dropped, duplicated, delayed,
     /// or its body corrupted in flight.
@@ -84,9 +95,13 @@ public:
     std::uint64_t packets_delivered() const noexcept { return delivered_; }
     std::uint64_t timers_fired() const noexcept { return timers_fired_; }
 
-    /// What the fault plan actually injected so far.
-    const FaultStats& fault_stats() const noexcept {
-        return injector_.stats();
+    /// What the fault plan actually injected so far, including the
+    /// crash/down-drop counts the runtime reported.
+    FaultStats fault_stats() const noexcept {
+        FaultStats stats = injector_.stats();
+        stats.crashes = crash_stats_.crashes;
+        stats.down_drops = crash_stats_.down_drops;
+        return stats;
     }
 
 private:
@@ -101,6 +116,8 @@ private:
     };
 
     std::vector<Handler> handlers_;
+    std::vector<bool> down_;
+    FaultStats crash_stats_;  ///< crash/down-drop counts only
     std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>>
         queue_;
     LatencyModel latency_;

@@ -1,0 +1,95 @@
+#include "runtime/failure_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace syncts {
+
+namespace {
+
+/// EWMA smoothing for the interval estimate: new observations count for
+/// an eighth, so one outlier cannot swing the suspicion scale.
+constexpr double kAlpha = 0.125;
+
+/// ln 10 — converts the exponential survival exponent to a base-10
+/// suspicion level.
+constexpr double kLn10 = 2.302585092994046;
+
+/// Interval floor so a peer first observed at sub-millisecond cadence
+/// does not produce infinite suspicion on its first silent stretch.
+constexpr double kMinMeanMs = 0.01;
+
+}  // namespace
+
+FailureDetector::FailureDetector(double phi_threshold)
+    : threshold_(phi_threshold) {
+    SYNCTS_REQUIRE(phi_threshold > 0,
+                   "failure detector threshold must be positive");
+}
+
+void FailureDetector::record_success(ProcessId peer, double interval_ms) {
+    const double interval = std::max(interval_ms, 0.0);
+    const std::lock_guard lock(mutex_);
+    PeerStats& stats = stats_[peer];
+    if (stats.samples == 0) {
+        stats.mean_interval_ms = interval;
+    } else {
+        stats.mean_interval_ms += kAlpha * (interval - stats.mean_interval_ms);
+    }
+    ++stats.samples;
+    stats.silence_ms = 0;
+    ++successes_;
+}
+
+void FailureDetector::record_timeout(ProcessId peer, double waited_ms) {
+    const std::lock_guard lock(mutex_);
+    stats_[peer].silence_ms += std::max(waited_ms, 0.0);
+    ++timeouts_;
+}
+
+double FailureDetector::phi_locked(const PeerStats& stats) const {
+    if (stats.silence_ms <= 0) return 0;
+    const double mean = std::max(stats.mean_interval_ms, kMinMeanMs);
+    return stats.silence_ms / (mean * kLn10);
+}
+
+double FailureDetector::phi(ProcessId peer) const {
+    const std::lock_guard lock(mutex_);
+    const auto it = stats_.find(peer);
+    return it == stats_.end() ? 0 : phi_locked(it->second);
+}
+
+bool FailureDetector::suspected(ProcessId peer) const {
+    return phi(peer) >= threshold_;
+}
+
+std::vector<ProcessId> FailureDetector::suspects() const {
+    std::vector<ProcessId> out;
+    {
+        const std::lock_guard lock(mutex_);
+        for (const auto& [peer, stats] : stats_) {
+            if (phi_locked(stats) >= threshold_) out.push_back(peer);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void FailureDetector::clear(ProcessId peer) {
+    const std::lock_guard lock(mutex_);
+    stats_.erase(peer);
+}
+
+std::uint64_t FailureDetector::successes() const {
+    const std::lock_guard lock(mutex_);
+    return successes_;
+}
+
+std::uint64_t FailureDetector::timeouts() const {
+    const std::lock_guard lock(mutex_);
+    return timeouts_;
+}
+
+}  // namespace syncts

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+
+/// \file failure_detector.hpp
+/// Accrual failure detection for the threaded synchronous network
+/// (docs/RECOVERY.md).
+///
+/// Every completed rendezvous with a peer is a heartbeat; every send
+/// watchdog expiry (ChannelTimeoutError) is accumulated silence. The
+/// detector keeps an exponentially-weighted mean of the observed
+/// inter-rendezvous intervals per peer and, following the phi-accrual
+/// construction of Hayashibara et al. specialized to an exponential
+/// inter-arrival model, reports a *suspicion level*
+///
+///     phi(peer) = -log10 P(peer is alive given the silence)
+///               = silence / (mean_interval * ln 10)
+///
+/// instead of a binary verdict. Callers pick the threshold: phi >= 1
+/// tolerates a 10% false-suspicion rate, phi >= 3 a 0.1% rate. A
+/// successful rendezvous resets the silence, so suspicion is never
+/// sticky — a slow peer that recovers is trusted again immediately,
+/// which is the graceful-degradation half of the crash-recovery story
+/// (the rejoin handshake is the other half).
+///
+/// Thread-safe: the network records observations from every process
+/// thread concurrently.
+
+namespace syncts {
+
+class FailureDetector {
+public:
+    /// `phi_threshold` is the suspicion level at/above which a peer is
+    /// reported suspected. Must be positive.
+    explicit FailureDetector(double phi_threshold = 3.0);
+
+    /// A rendezvous with `peer` completed after `interval_ms` of waiting:
+    /// feed the interval estimate and clear the accumulated silence.
+    void record_success(ProcessId peer, double interval_ms);
+
+    /// A send toward `peer` waited `waited_ms` and gave up: accumulate
+    /// the silence.
+    void record_timeout(ProcessId peer, double waited_ms);
+
+    /// Current suspicion level for `peer` (0 when never observed or
+    /// recently successful).
+    double phi(ProcessId peer) const;
+
+    bool suspected(ProcessId peer) const;
+
+    /// Peers whose suspicion level is at or above the threshold,
+    /// ascending by id.
+    std::vector<ProcessId> suspects() const;
+
+    /// Forgets everything about `peer` (e.g. after it rejoins).
+    void clear(ProcessId peer);
+
+    double threshold() const noexcept { return threshold_; }
+
+    /// Lifetime observation counts, for the net_* instrumentation.
+    std::uint64_t successes() const;
+    std::uint64_t timeouts() const;
+
+private:
+    struct PeerStats {
+        double mean_interval_ms = 0;  ///< EWMA of successful intervals
+        double silence_ms = 0;        ///< accumulated since last success
+        std::uint64_t samples = 0;
+    };
+
+    double phi_locked(const PeerStats& stats) const;
+
+    double threshold_;
+    mutable std::mutex mutex_;
+    std::unordered_map<ProcessId, PeerStats> stats_;
+    std::uint64_t successes_ = 0;
+    std::uint64_t timeouts_ = 0;
+};
+
+}  // namespace syncts

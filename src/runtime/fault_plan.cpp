@@ -7,11 +7,16 @@
 namespace syncts {
 
 std::string FaultStats::to_string() const {
-    return "dropped=" + std::to_string(dropped) +
-           " targeted=" + std::to_string(targeted_drops) +
-           " duplicated=" + std::to_string(duplicated) +
-           " corrupted=" + std::to_string(corrupted) +
-           " delayed=" + std::to_string(delayed);
+    std::string text = "dropped=" + std::to_string(dropped) +
+                       " targeted=" + std::to_string(targeted_drops) +
+                       " duplicated=" + std::to_string(duplicated) +
+                       " corrupted=" + std::to_string(corrupted) +
+                       " delayed=" + std::to_string(delayed);
+    if (crashes > 0 || down_drops > 0) {
+        text += " crashes=" + std::to_string(crashes) +
+                " down_drops=" + std::to_string(down_drops);
+    }
+    return text;
 }
 
 namespace {
@@ -34,6 +39,9 @@ FaultInjector::FaultInjector(FaultPlan plan)
     for (const TargetedDrop& rule : plan_.targeted_drops) {
         SYNCTS_REQUIRE(rule.occurrence >= 1,
                        "targeted drop occurrences are 1-based");
+    }
+    for (const CrashRule& rule : plan_.crashes) {
+        SYNCTS_REQUIRE(rule.at_step >= 1, "crash rule steps are 1-based");
     }
 }
 

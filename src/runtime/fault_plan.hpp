@@ -37,6 +37,19 @@ struct TargetedDrop {
     std::uint64_t occurrence = 1;
 };
 
+/// Crashes process `process` after its `at_step`-th protocol step (a
+/// commit or an accepted ACK, 1-based, counted across the process's whole
+/// lifetime *including* steps re-executed after earlier crashes — so
+/// several rules for one process fire in at_step order). The process
+/// loses all volatile state, stays down for `downtime` virtual ticks
+/// (deliveries to it are dropped), then restarts and rejoins from its
+/// durable snapshot + WAL (docs/RECOVERY.md).
+struct CrashRule {
+    ProcessId process = 0;
+    std::uint64_t at_step = 1;
+    std::uint64_t downtime = 50;
+};
+
 struct FaultPlan {
     /// Seed of the injector's own RNG stream, independent of the latency
     /// stream so enabling faults does not perturb latency draws.
@@ -52,12 +65,17 @@ struct FaultPlan {
 
     std::vector<TargetedDrop> targeted_drops;
 
-    /// True when any fault can actually fire.
+    /// Whole-process crash/restart rules, executed by the synchronizer
+    /// runtime (the injector touches packets, not processes).
+    std::vector<CrashRule> crashes;
+
+    /// True when any fault can actually fire. Crash rules count: a run
+    /// with crashes needs retransmission armed even with lossless links.
     bool active() const noexcept {
         return drop_probability > 0.0 || duplicate_probability > 0.0 ||
                corrupt_probability > 0.0 ||
                (delay_probability > 0.0 && max_extra_delay > 0) ||
-               !targeted_drops.empty();
+               !targeted_drops.empty() || !crashes.empty();
     }
 };
 
@@ -68,9 +86,12 @@ struct FaultStats {
     std::uint64_t duplicated = 0;      ///< extra copies queued
     std::uint64_t corrupted = 0;       ///< payloads mutated
     std::uint64_t delayed = 0;         ///< extra-delay applications
+    std::uint64_t crashes = 0;         ///< crash rules executed
+    std::uint64_t down_drops = 0;      ///< deliveries lost to a down process
 
     std::uint64_t total_faults() const noexcept {
-        return dropped + targeted_drops + duplicated + corrupted + delayed;
+        return dropped + targeted_drops + duplicated + corrupted + delayed +
+               crashes + down_drops;
     }
 
     std::string to_string() const;

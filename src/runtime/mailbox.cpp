@@ -59,6 +59,49 @@ std::pair<VectorTimestamp, std::uint64_t> Mailbox::offer_and_wait(
     return {std::move(*offer.acknowledgement), offer.seq};
 }
 
+std::optional<std::pair<VectorTimestamp, std::uint64_t>>
+Mailbox::offer_and_wait_for(ProcessId sender, std::string payload,
+                            const VectorTimestamp& piggyback,
+                            std::chrono::milliseconds timeout) {
+    Offer offer;
+    offer.sender = sender;
+    offer.payload = std::move(payload);
+    offer.piggyback = piggyback;
+    {
+        const std::lock_guard lock(mutex_);
+        if (closed_) throw MailboxClosed();
+        queue_.push_back(&offer);
+    }
+    offer_cv_.notify_all();
+
+    const auto ready = [&] {
+        return offer.acknowledgement.has_value() || offer.aborted;
+    };
+    std::unique_lock done_lock(offer.done_mutex);
+    if (!offer.done_cv.wait_for(done_lock, timeout, ready)) {
+        // Timed out: withdraw the offer if it is still queued, so the
+        // receiver can never accept a rendezvous the sender abandoned.
+        // The queue and the completion slot use different mutexes —
+        // release the slot before touching the queue.
+        done_lock.unlock();
+        {
+            const std::lock_guard lock(mutex_);
+            const auto it = std::ranges::find(queue_, &offer);
+            if (it != queue_.end()) {
+                queue_.erase(it);
+                return std::nullopt;
+            }
+        }
+        // The receiver accepted within the race window and now owns the
+        // offer: the rendezvous is happening, so honour it — completion
+        // (or abandonment on receiver unwind) is imminent.
+        done_lock.lock();
+        offer.done_cv.wait(done_lock, ready);
+    }
+    if (offer.aborted) throw MailboxClosed();
+    return std::make_pair(std::move(*offer.acknowledgement), offer.seq);
+}
+
 Mailbox::Accepted Mailbox::accept(std::optional<ProcessId> from) {
     std::unique_lock lock(mutex_);
     for (;;) {
@@ -72,6 +115,31 @@ Mailbox::Accepted Mailbox::accept(std::optional<ProcessId> from) {
         }
         if (closed_) throw MailboxClosed();
         offer_cv_.wait(lock);
+    }
+}
+
+std::optional<Mailbox::Accepted> Mailbox::accept_for(
+    std::optional<ProcessId> from, std::chrono::milliseconds timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::unique_lock lock(mutex_);
+    const auto match = [&] {
+        return std::ranges::find_if(queue_, [&](Offer* o) {
+            return !from.has_value() || o->sender == *from;
+        });
+    };
+    for (;;) {
+        const auto it = match();
+        if (it != queue_.end()) {
+            Offer* offer = *it;
+            queue_.erase(it);
+            return Accepted(offer);
+        }
+        if (closed_) throw MailboxClosed();
+        if (!offer_cv_.wait_until(lock, deadline, [&] {
+                return closed_ || match() != queue_.end();
+            })) {
+            return std::nullopt;
+        }
     }
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -86,10 +87,26 @@ public:
         ProcessId sender, std::string payload,
         const VectorTimestamp& piggyback);
 
+    /// Timed variant of offer_and_wait: gives up after `timeout` and
+    /// returns nullopt, *withdrawing* the offer so a receiver cannot
+    /// accept it afterwards. If the receiver accepted within the race
+    /// window the rendezvous is honoured — the call blocks until the
+    /// in-progress completion and returns it. Throws MailboxClosed on
+    /// shutdown.
+    std::optional<std::pair<VectorTimestamp, std::uint64_t>>
+    offer_and_wait_for(ProcessId sender, std::string payload,
+                       const VectorTimestamp& piggyback,
+                       std::chrono::milliseconds timeout);
+
     /// Receiver side: blocks until an offer (from `from`, or from anyone
     /// when nullopt) is available, removes it from the queue and returns
     /// it. Throws MailboxClosed on shutdown.
     Accepted accept(std::optional<ProcessId> from);
+
+    /// Timed variant of accept: nullopt when no matching offer arrives
+    /// within `timeout`.
+    std::optional<Accepted> accept_for(std::optional<ProcessId> from,
+                                       std::chrono::milliseconds timeout);
 
     /// Non-blocking probe: true when a matching offer is queued.
     bool has_offer(std::optional<ProcessId> from);

@@ -23,6 +23,15 @@ TimestampedNetwork::TimestampedNetwork(
                    "watchdog poll interval must be positive");
     SYNCTS_REQUIRE(options_.watchdog_grace_polls > 0,
                    "watchdog grace must be at least one poll");
+    SYNCTS_REQUIRE(options_.send_timeout.count() >= 0,
+                   "send timeout must be non-negative");
+    for (const ChannelTimeoutRule& rule : options_.channel_timeouts) {
+        SYNCTS_REQUIRE(rule.sender < num_processes() &&
+                           rule.receiver < num_processes(),
+                       "channel timeout rule names an unknown process");
+        SYNCTS_REQUIRE(rule.timeout.count() >= 0,
+                       "channel timeout must be non-negative");
+    }
     mailboxes_.reserve(num_processes());
     for (std::size_t p = 0; p < num_processes(); ++p) {
         mailboxes_.push_back(std::make_unique<Mailbox>());
@@ -63,13 +72,51 @@ private:
 
 }  // namespace
 
+std::chrono::milliseconds TimestampedNetwork::channel_timeout(
+    ProcessId from, ProcessId to) const {
+    std::chrono::milliseconds timeout = options_.send_timeout;
+    for (const ChannelTimeoutRule& rule : options_.channel_timeouts) {
+        if (rule.sender == from && rule.receiver == to) {
+            timeout = rule.timeout;
+        }
+    }
+    return timeout;
+}
+
 std::pair<VectorTimestamp, std::uint64_t> TimestampedNetwork::rendezvous_send(
     ProcessId from, ProcessId to, std::string payload,
     const VectorTimestamp& piggyback) {
     SYNCTS_REQUIRE(decomposition_->graph().has_edge(from, to),
                    "no channel between sender and receiver in the topology");
+    const std::chrono::milliseconds timeout = channel_timeout(from, to);
+    FailureDetector* detector = options_.detector;
+    const auto start = std::chrono::steady_clock::now();
+    const auto elapsed_ms = [&start] {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    };
     const ScopedCount blocked(blocked_);
-    return mailbox(to).offer_and_wait(from, std::move(payload), piggyback);
+    if (timeout.count() <= 0) {
+        auto result =
+            mailbox(to).offer_and_wait(from, std::move(payload), piggyback);
+        if (detector != nullptr) detector->record_success(to, elapsed_ms());
+        return result;
+    }
+    auto result = mailbox(to).offer_and_wait_for(from, std::move(payload),
+                                                 piggyback, timeout);
+    if (!result.has_value()) {
+        if (timeout_counter_ != nullptr) timeout_counter_->inc();
+        if (detector != nullptr) {
+            detector->record_timeout(to, elapsed_ms());
+            if (detector->suspected(to) && suspicion_counter_ != nullptr) {
+                suspicion_counter_->inc();
+            }
+        }
+        throw ChannelTimeoutError(from, to, timeout);
+    }
+    if (detector != nullptr) detector->record_success(to, elapsed_ms());
+    return *std::move(result);
 }
 
 Mailbox::Accepted TimestampedNetwork::accept_for(
@@ -113,6 +160,20 @@ RunRecord TimestampedNetwork::run(const std::vector<ProcessProgram>& programs) {
         if (is_first) close_all();
     };
 
+    // Register every counter before the process threads start: the send
+    // path reads timeout_counter_/suspicion_counter_ concurrently, and
+    // the registry itself is only mutated here.
+    obs::Counter* watchdog_polls = nullptr;
+    obs::Counter* watchdog_idle = nullptr;
+    obs::Counter* deadlock_count = nullptr;
+    if (options_.metrics != nullptr) {
+        watchdog_polls = &options_.metrics->counter("net_watchdog_polls");
+        watchdog_idle = &options_.metrics->counter("net_watchdog_idle_polls");
+        deadlock_count = &options_.metrics->counter("net_deadlocks");
+        timeout_counter_ = &options_.metrics->counter("net_channel_timeouts");
+        suspicion_counter_ = &options_.metrics->counter("net_suspicions");
+    }
+
     std::vector<std::thread> threads;
     threads.reserve(n);
     for (ProcessId p = 0; p < n; ++p) {
@@ -132,14 +193,6 @@ RunRecord TimestampedNetwork::run(const std::vector<ProcessProgram>& programs) {
     // Deadlock watchdog: if every unfinished process is blocked and no
     // rendezvous completes across the configured grace period, tear the
     // network down.
-    obs::Counter* watchdog_polls = nullptr;
-    obs::Counter* watchdog_idle = nullptr;
-    obs::Counter* deadlock_count = nullptr;
-    if (options_.metrics != nullptr) {
-        watchdog_polls = &options_.metrics->counter("net_watchdog_polls");
-        watchdog_idle = &options_.metrics->counter("net_watchdog_idle_polls");
-        deadlock_count = &options_.metrics->counter("net_deadlocks");
-    }
     std::thread watchdog([&] {
         std::uint64_t last_seq = seq_.load();
         int stable_polls = 0;

@@ -10,6 +10,7 @@
 #include "common/timestamp_arena.hpp"
 #include "decomp/edge_decomposition.hpp"
 #include "obs/metrics.hpp"
+#include "runtime/failure_detector.hpp"
 #include "runtime/process.hpp"
 #include "trace/computation.hpp"
 
@@ -36,6 +37,41 @@ public:
               "blocked and no rendezvous is progressing") {}
 };
 
+/// Thrown by run() when a send's channel watchdog expires: the receiver
+/// did not accept the rendezvous within the channel's timeout. Typed so
+/// callers can tell a slow/crashed *peer* (degrade, consult the failure
+/// detector) from a whole-system deadlock (NetworkDeadlock) or a wire
+/// problem.
+class ChannelTimeoutError : public std::runtime_error {
+public:
+    ChannelTimeoutError(ProcessId sender, ProcessId receiver,
+                        std::chrono::milliseconds timeout)
+        : std::runtime_error("send from P" + std::to_string(sender) +
+                             " to P" + std::to_string(receiver) +
+                             " timed out after " +
+                             std::to_string(timeout.count()) +
+                             "ms on the channel watchdog"),
+          sender_(sender),
+          receiver_(receiver),
+          timeout_(timeout) {}
+
+    ProcessId sender() const noexcept { return sender_; }
+    ProcessId receiver() const noexcept { return receiver_; }
+    std::chrono::milliseconds timeout() const noexcept { return timeout_; }
+
+private:
+    ProcessId sender_;
+    ProcessId receiver_;
+    std::chrono::milliseconds timeout_;
+};
+
+/// Per-directed-channel override of the send watchdog timeout.
+struct ChannelTimeoutRule {
+    ProcessId sender = 0;
+    ProcessId receiver = 0;
+    std::chrono::milliseconds timeout{0};  ///< 0 = wait forever
+};
+
 /// Tunables for TimestampedNetwork. The watchdog declares deadlock after
 /// `watchdog_grace_polls` consecutive polls (every `watchdog_poll`) during
 /// which every unfinished process is blocked and no rendezvous completed,
@@ -45,12 +81,31 @@ struct TimestampedNetworkOptions {
     std::chrono::milliseconds watchdog_poll{10};
     int watchdog_grace_polls = 20;
 
+    /// Default per-send watchdog: a sender blocked longer than this on
+    /// one rendezvous withdraws its offer and run() fails with
+    /// ChannelTimeoutError. 0 (the default) waits forever — the classic
+    /// synchronous-send semantics, policed only by the whole-system
+    /// deadlock watchdog above.
+    std::chrono::milliseconds send_timeout{0};
+
+    /// Per-directed-channel overrides of send_timeout (last matching
+    /// rule wins; timeout 0 restores wait-forever for that channel).
+    std::vector<ChannelTimeoutRule> channel_timeouts;
+
+    /// When set, every completed rendezvous records a heartbeat for the
+    /// receiver and every channel-watchdog expiry records silence, so
+    /// suspicion accrues per peer (see failure_detector.hpp). Must
+    /// outlive the call.
+    FailureDetector* detector = nullptr;
+
     /// When set, run() publishes `net_rendezvous`, `net_internal_events`,
     /// `net_watchdog_polls`, `net_watchdog_idle_polls` (polls with every
-    /// unfinished process blocked and no progress), and `net_deadlocks`
-    /// into this registry. Must outlive the call. The watchdog writes
-    /// from its own thread — the metrics are relaxed atomics, so no
-    /// additional synchronization is needed.
+    /// unfinished process blocked and no progress), `net_deadlocks`,
+    /// `net_channel_timeouts` (send watchdogs expired), and
+    /// `net_suspicions` (timeouts that tipped a peer over the detector
+    /// threshold) into this registry. Must outlive the call. The
+    /// watchdog and the process threads write concurrently — the metrics
+    /// are relaxed atomics, so no additional synchronization is needed.
     obs::MetricsRegistry* metrics = nullptr;
 };
 
@@ -117,6 +172,10 @@ private:
     Mailbox& mailbox(ProcessId p);
     std::uint64_t next_seq() noexcept { return seq_.fetch_add(1) + 1; }
 
+    /// Effective send watchdog for the directed channel from -> to.
+    std::chrono::milliseconds channel_timeout(ProcessId from,
+                                              ProcessId to) const;
+
     void close_all();
 
     std::shared_ptr<const EdgeDecomposition> decomposition_;
@@ -126,6 +185,10 @@ private:
     std::atomic<std::size_t> blocked_{0};
     std::atomic<std::size_t> finished_{0};
     std::atomic<bool> deadlocked_{false};
+    /// Registered once in run() before the process threads start, so the
+    /// hot path never mutates the registry concurrently.
+    obs::Counter* timeout_counter_ = nullptr;
+    obs::Counter* suspicion_counter_ = nullptr;
 };
 
 }  // namespace syncts

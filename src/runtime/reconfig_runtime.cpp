@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <functional>
+#include <limits>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -10,6 +12,7 @@
 #include "common/check.hpp"
 #include "common/timestamp_arena.hpp"
 #include "common/ts_kernels.hpp"
+#include "recover/recovery_manager.hpp"
 #include "runtime/async_sim.hpp"
 
 namespace syncts {
@@ -18,7 +21,9 @@ namespace {
 
 constexpr std::uint32_t kReq = 0;
 constexpr std::uint32_t kAck = 1;
-constexpr std::uint32_t kNack = 2;  ///< epoch-stale REQ rejected
+constexpr std::uint32_t kNack = 2;      ///< epoch-stale REQ rejected
+constexpr std::uint32_t kHello = 3;     ///< rejoin handshake (restarted peer)
+constexpr std::uint32_t kHelloAck = 4;  ///< rejoin handshake acknowledged
 
 /// Sender-side state of the one in-flight rendezvous (a process's script
 /// is sequential, so it blocks on at most one send at a time).
@@ -49,6 +54,17 @@ struct Tally {
     std::uint64_t nacks_sent = 0;         ///< NACKs answering stale REQs
     std::uint64_t nack_drops = 0;         ///< NACKs with no matching send
     std::uint64_t nack_retransmits = 0;   ///< sends re-encoded after a NACK
+    // Crash-recovery tallies (docs/RECOVERY.md), published as recover_*.
+    std::uint64_t restarts = 0;
+    std::uint64_t replayed_records = 0;   ///< WAL records re-applied
+    std::uint64_t snapshots = 0;
+    std::uint64_t recommits = 0;          ///< commits re-executed after rewind
+    std::uint64_t window_ack_replays = 0; ///< old ACKs served from the window
+    std::uint64_t window_retransmits = 0; ///< REQs replayed after a HELLO
+    std::uint64_t hellos = 0;             ///< rejoin HELLOs sent
+    std::uint64_t hello_acks = 0;         ///< rejoin HELLO_ACKs sent
+    std::uint64_t future_buffered = 0;    ///< out-of-order frames parked
+    std::uint64_t fast_forwards = 0;      ///< barriers caught up after restart
 };
 
 /// Receiver-side state of one directed channel (peer -> self). Survives
@@ -59,24 +75,59 @@ struct InChannel {
     std::uint64_t last_committed = 0;
     /// Fresh REQ waiting for the program to reach the matching receive.
     std::optional<SyncFrame> pending;
-    /// Encoded ACK of the last committed rendezvous, replayed when a
-    /// duplicate REQ reveals the ACK was lost. Only replayed for frames
-    /// of the current epoch — stale-epoch duplicates get a NACK.
-    std::vector<std::uint8_t> cached_ack;
+    /// Raw REQ frames ahead of the commit point, keyed by sequence. Only
+    /// a rewound channel sees these: HELLO-driven window replays go out
+    /// as a burst that the network can reorder (and may span epoch
+    /// barriers the rejoiner has not crossed yet), while the sender
+    /// re-times only the one frame it still considers outstanding —
+    /// dropping a reordered middle frame would lose it forever. Parked
+    /// frames promote into `pending` as the commit point (and, for
+    /// later-epoch frames, the engine's own epoch) reaches them. Empty
+    /// in crash-free runs.
+    std::map<std::uint64_t, std::vector<std::uint8_t>> future;
+    /// Encoded ACKs of recent committed rendezvous, replayed when a
+    /// duplicate REQ reveals the ACK was lost, or when a restarted
+    /// sender rewinds and re-executes an already-committed send. The
+    /// newest entry is always the last commit, so the classic lost-ACK
+    /// replay never misses; older entries serve crash rewinds.
+    FrameWindow ack_window;
+    /// Highest sequence the peer reports having assigned on this
+    /// channel (from its HELLO_ACK). While last_committed lags it, the
+    /// missing frames can only arrive by window replay — the peer
+    /// re-times nothing it considers complete — so a watchdog re-HELLOs
+    /// until the gap closes.
+    std::uint64_t replay_target = 0;
+    /// Watchdog rounds spent chasing replay_target without a commit
+    /// landing (bounded by max_retransmits; commits reset it).
+    std::uint32_t replay_attempts = 0;
+    /// One watchdog chain per channel at a time.
+    bool watchdog_armed = false;
 };
 
-/// Per-process protocol engine: walks the process's script for the
+/// Sender-side state of one directed channel (self -> peer).
+struct OutChannel {
+    /// Last sequence assigned on this channel (the next send takes +1).
+    std::uint64_t next_sequence = 0;
+    /// Original encoded REQ frames of recent sends, replayed verbatim
+    /// when a restarted receiver's HELLO reveals it lost them.
+    FrameWindow req_window;
+};
+
+/// Per-process protocol engine: walks the process's script for its
 /// current epoch, issuing REQs for sends and consuming buffered REQs for
 /// receives. Channel state persists across epochs; clock and scratch are
-/// rebuilt at each barrier.
+/// rebuilt at each barrier. `epoch` is the engine's own epoch — equal to
+/// the global barrier epoch except while the process is catching up
+/// after a crash.
 struct Engine {
     ProcessId self = 0;
+    EpochId epoch = 0;
     std::vector<ProcessEvent> script;  // current epoch's message events
     std::size_t cursor = 0;
     std::unique_ptr<OnlineProcessClock> clock;
     std::optional<Outstanding> outstanding;
-    /// next_sequence[q] — next sequence to assign on channel (self, q).
-    std::unordered_map<ProcessId, std::uint64_t> next_sequence;
+    /// Outgoing-channel state by receiver.
+    std::unordered_map<ProcessId, OutChannel> out;
     /// Incoming-channel state by sender.
     std::unordered_map<ProcessId, InChannel> in;
     /// Width-d scratch for the span protocol hooks: decoded inbound
@@ -85,6 +136,35 @@ struct Engine {
     std::vector<std::uint64_t> rx_stamp;
     std::vector<std::uint64_t> ack_scratch;
     std::vector<std::uint64_t> stamp_scratch;
+    /// Encoded-frame scratch (ACK sent at commit, re-encoded REQ for the
+    /// WAL record).
+    std::vector<std::uint8_t> ack_bytes;
+    std::vector<std::uint8_t> req_bytes;
+
+    // --- crash-recovery state (docs/RECOVERY.md) ---
+    /// Lifetime protocol steps (commits + accepted ACKs); rewinds with
+    /// the durable state and re-advances through re-executed steps.
+    std::uint64_t steps = 0;
+    std::uint64_t steps_since_snapshot = 0;
+    /// Next unfired crash rule for this process (harness state: survives
+    /// the crash it triggers).
+    std::size_t next_crash = 0;
+    /// Bumped at every crash; timers capture it and no-op on mismatch,
+    /// so a restarted incarnation never executes a dead one's timers.
+    std::uint64_t incarnation = 0;
+    bool down = false;
+    bool rejoining = false;
+    /// Peers whose HELLO_ACK the rejoin handshake still waits for.
+    std::vector<ProcessId> awaiting_hello;
+    /// Handshake rounds attempted; bounded by max_retransmits.
+    std::uint32_t hello_attempts = 0;
+};
+
+/// A process's stable storage: the latest encoded snapshot plus the WAL
+/// suffix behind it. Crashes lose only the WAL's unflushed tail.
+struct DurableStore {
+    std::vector<std::uint8_t> snapshot;
+    Wal wal;
 };
 
 /// Per-epoch accumulation: the realized computation, the committed
@@ -125,14 +205,53 @@ ReconfigurableRunResult run_reconfigurable_protocol(
         n_max = std::max(n_max, graph.num_vertices());
     }
 
+    // The crash-recovery layer is armed by crash rules or explicitly.
+    const bool recovery_active =
+        options.recovery.enabled || !options.faults.crashes.empty();
+    SYNCTS_REQUIRE(options.recovery.wal_flush_interval >= 1,
+                   "wal_flush_interval must be >= 1");
+    SYNCTS_REQUIRE(options.recovery.snapshot_interval >= 1,
+                   "snapshot_interval must be >= 1");
+    if (recovery_active) {
+        // A restarted peer rewinds at most one flush interval of
+        // rendezvous per channel, so this bound is what guarantees every
+        // rejoin replay hits the window (docs/RECOVERY.md).
+        SYNCTS_REQUIRE(
+            options.recovery.window >= options.recovery.wal_flush_interval,
+            "the frame window must be at least as deep as the WAL flush "
+            "interval");
+    }
+    for (const CrashRule& rule : options.faults.crashes) {
+        SYNCTS_REQUIRE(rule.process < n_max,
+                       "crash rule names an unknown process");
+    }
+    std::vector<std::vector<CrashRule>> crash_rules(n_max);
+    for (const CrashRule& rule : options.faults.crashes) {
+        crash_rules[rule.process].push_back(rule);
+    }
+    for (std::vector<CrashRule>& rules : crash_rules) {
+        std::stable_sort(rules.begin(), rules.end(),
+                         [](const CrashRule& a, const CrashRule& b) {
+                             return a.at_step < b.at_step;
+                         });
+    }
+
     Tally tally;
     obs::TraceSink* const sink = options.trace;
     obs::Histogram* rendezvous_hist = nullptr;
     obs::Histogram* attempts_hist = nullptr;
+    obs::Histogram* snapshot_bytes_hist = nullptr;
+    obs::Histogram* replay_hist = nullptr;
     if (options.metrics != nullptr) {
         rendezvous_hist = &options.metrics->histogram("sync_rendezvous_ticks");
         attempts_hist =
             &options.metrics->histogram("sync_attempts_per_message");
+        if (recovery_active) {
+            snapshot_bytes_hist =
+                &options.metrics->histogram("recover_snapshot_bytes");
+            replay_hist =
+                &options.metrics->histogram("recover_replay_records");
+        }
     }
     // One line per protocol event; `logical` is the acting process's
     // clock-vector total at record time, tying wire activity to causal
@@ -151,6 +270,13 @@ ReconfigurableRunResult run_reconfigurable_protocol(
         event.peer = peer;
         event.kind = kind;
         sink->record(event);
+    };
+    // Logical-time argument for trace records. Null-safe: with crash
+    // rules armed, a frame can reach an engine that currently has no
+    // clock (its process is absent from its epoch's graph, or it is
+    // mid-restart).
+    const auto logical = [](const Engine& engine) -> std::uint64_t {
+        return engine.clock ? ts::total(engine.clock->current_span()) : 0;
     };
 
     AsyncSimulator network(n_max, options.seed);
@@ -171,6 +297,13 @@ ReconfigurableRunResult run_reconfigurable_protocol(
     std::vector<Engine> engines(n_max);
     for (ProcessId p = 0; p < n_max; ++p) engines[p].self = p;
 
+    std::vector<DurableStore> stores;
+    stores.reserve(n_max);
+    for (ProcessId p = 0; p < n_max; ++p) {
+        stores.push_back(
+            DurableStore{{}, Wal(options.recovery.wal_flush_interval)});
+    }
+
     std::vector<SegmentState> segments;
     segments.reserve(num_epochs);
     for (EpochId e = 0; e < num_epochs; ++e) {
@@ -179,54 +312,213 @@ ReconfigurableRunResult run_reconfigurable_protocol(
                               scripts[e].num_messages());
     }
 
-    // The barrier state: every engine stamps, frames, and validates
-    // against this one epoch. Stale frames are classified by the epoch
-    // carried in their header.
+    // The barrier state: every live, caught-up engine stamps, frames, and
+    // validates against this one epoch. A restarted engine may lag behind
+    // it until its rejoin fast-forwards.
     EpochId current_epoch = 0;
+
+    // Without recovery a single cached ACK per channel suffices (the
+    // classic lost-ACK replay); a capacity-1 window keeps that exact
+    // behaviour. With recovery the window must absorb crash rewinds.
+    const std::size_t window_capacity =
+        recovery_active ? options.recovery.window : 1;
+    const auto in_channel = [&](Engine& engine,
+                                ProcessId peer) -> InChannel& {
+        auto it = engine.in.find(peer);
+        if (it == engine.in.end()) {
+            it = engine.in
+                     .emplace(peer, InChannel{0, std::nullopt, {},
+                                              FrameWindow(window_capacity)})
+                     .first;
+        }
+        return it->second;
+    };
+    const auto out_channel = [&](Engine& engine,
+                                 ProcessId peer) -> OutChannel& {
+        auto it = engine.out.find(peer);
+        if (it == engine.out.end()) {
+            it = engine.out
+                     .emplace(peer,
+                              OutChannel{0, FrameWindow(window_capacity)})
+                     .first;
+        }
+        return it->second;
+    };
 
     /// (Re)loads per-process state for epoch `e`: the epoch's script
     /// slice, a fresh clock on the epoch's decomposition, and width-d
     /// scratch. Channel maps are deliberately left alone.
-    const auto load_epoch = [&](EpochId e) {
+    const auto load_engine = [&](ProcessId p, EpochId e) {
+        Engine& engine = engines[p];
         const std::shared_ptr<const EdgeDecomposition> decomposition =
             topology.decomposition(e);
         const std::size_t n = decomposition->graph().num_vertices();
         const std::size_t d = decomposition->size();
-        for (ProcessId p = 0; p < n_max; ++p) {
-            Engine& engine = engines[p];
-            engine.script.clear();
-            engine.cursor = 0;
-            if (p >= n) {
-                engine.clock.reset();
-                continue;
+        engine.epoch = e;
+        engine.script.clear();
+        engine.cursor = 0;
+        if (p >= n) {
+            engine.clock.reset();
+            return;
+        }
+        for (const ProcessEvent& event : scripts[e].process_events(p)) {
+            if (event.kind == ProcessEvent::Kind::message) {
+                engine.script.push_back(event);
             }
-            for (const ProcessEvent& event : scripts[e].process_events(p)) {
-                if (event.kind == ProcessEvent::Kind::message) {
-                    engine.script.push_back(event);
-                }
-            }
-            engine.clock =
-                std::make_unique<OnlineProcessClock>(p, decomposition);
-            engine.rx_stamp.resize(d);
-            engine.ack_scratch.resize(d);
-            engine.stamp_scratch.resize(d);
+        }
+        engine.clock = std::make_unique<OnlineProcessClock>(p, decomposition);
+        engine.rx_stamp.resize(d);
+        engine.ack_scratch.resize(d);
+        engine.stamp_scratch.resize(d);
+    };
+    for (ProcessId p = 0; p < n_max; ++p) load_engine(p, 0);
+
+    /// Serializes the engine's full durable state (docs/RECOVERY.md).
+    /// Channels are sorted by peer so the snapshot bytes are a pure
+    /// function of the protocol state, never of map iteration order.
+    const auto capture_state = [&](ProcessId p) {
+        const Engine& engine = engines[p];
+        ProcessState state;
+        state.self = p;
+        state.epoch = engine.epoch;
+        state.cursor = engine.cursor;
+        state.steps = engine.steps;
+        const std::span<const std::uint64_t> clock =
+            engine.clock->current_span();
+        state.clock.assign(clock.begin(), clock.end());
+        for (const auto& [peer, channel] : engine.out) {
+            state.out.push_back(OutChannelState{peer, channel.next_sequence,
+                                                channel.req_window});
+        }
+        std::sort(state.out.begin(), state.out.end(),
+                  [](const OutChannelState& a, const OutChannelState& b) {
+                      return a.peer < b.peer;
+                  });
+        for (const auto& [peer, channel] : engine.in) {
+            state.in.push_back(InChannelState{peer, channel.last_committed,
+                                              channel.ack_window});
+        }
+        std::sort(state.in.begin(), state.in.end(),
+                  [](const InChannelState& a, const InChannelState& b) {
+                      return a.peer < b.peer;
+                  });
+        if (engine.outstanding) {
+            state.outstanding.active = true;
+            state.outstanding.receiver = engine.outstanding->receiver;
+            state.outstanding.sequence = engine.outstanding->sequence;
+            state.outstanding.message = engine.outstanding->mid;
+            state.outstanding.frame = engine.outstanding->frame;
+        }
+        return state;
+    };
+
+    /// Checkpoint: flush the WAL (a snapshot is a flush point), write the
+    /// snapshot, then truncate the log prefix it folded in — the
+    /// Drummond–Barbosa stability rule, which bounds log growth.
+    const auto take_snapshot = [&](ProcessId p) {
+        if (!recovery_active) return;
+        Engine& engine = engines[p];
+        if (engine.clock == nullptr) return;  // not part of this epoch
+        DurableStore& store = stores[p];
+        store.wal.flush();
+        Snapshot snapshot;
+        snapshot.state = capture_state(p);
+        snapshot.wal_lsn = store.wal.next_lsn();
+        store.snapshot.clear();  // the encoder appends
+        encode_snapshot_into(snapshot, store.snapshot);
+        store.wal.truncate(snapshot.wal_lsn);
+        engine.steps_since_snapshot = 0;
+        ++tally.snapshots;
+        if (snapshot_bytes_hist != nullptr) {
+            snapshot_bytes_hist->record(store.snapshot.size());
         }
     };
-    load_epoch(0);
+
+    const auto wal_append = [&](ProcessId p, WalRecord record) {
+        if (recovery_active) stores[p].wal.append(std::move(record));
+    };
+
+    // restart_process is assigned below; crash timers capture it by
+    // reference through the enclosing scope.
+    std::function<void(std::uint64_t, ProcessId)> restart_process;
+
+    /// Executes one crash rule: the process loses everything volatile
+    /// (clock, channels, buffered and in-flight protocol state) and its
+    /// WAL loses the unflushed tail. A timer restarts it after the
+    /// rule's downtime.
+    const auto crash_now = [&](std::uint64_t now, ProcessId p,
+                               const CrashRule& rule) {
+        Engine& engine = engines[p];
+        network.note_crash();
+        ++engine.incarnation;
+        trace(obs::TraceEventKind::crash, now, p, p, engine.steps,
+              engine.incarnation, logical(engine));
+        stores[p].wal.drop_unflushed();
+        engine.clock.reset();
+        engine.outstanding.reset();
+        engine.in.clear();
+        engine.out.clear();
+        engine.script.clear();
+        engine.cursor = 0;
+        engine.steps = 0;
+        engine.steps_since_snapshot = 0;
+        engine.rejoining = false;
+        engine.awaiting_hello.clear();
+        engine.down = true;
+        network.set_down(p, true);
+        const std::uint64_t downtime = std::max<std::uint64_t>(rule.downtime, 1);
+        const std::uint64_t incarnation = engine.incarnation;
+        network.schedule(now + downtime,
+                         [&, p, incarnation](std::uint64_t when) {
+                             if (engines[p].incarnation != incarnation) return;
+                             restart_process(when, p);
+                         });
+    };
+
+    /// Fires the next crash rule once the process's step counter reaches
+    /// it. Rules fire in at_step order; the rewound counter re-advancing
+    /// through an already-fired step does not re-fire its rule.
+    const auto maybe_crash = [&](std::uint64_t now, ProcessId p) -> bool {
+        Engine& engine = engines[p];
+        if (engine.down) return false;
+        const std::vector<CrashRule>& rules = crash_rules[p];
+        if (engine.next_crash >= rules.size()) return false;
+        if (engine.steps < rules[engine.next_crash].at_step) return false;
+        const CrashRule rule = rules[engine.next_crash++];
+        crash_now(now, p, rule);
+        return true;
+    };
+
+    /// Bookkeeping after one protocol step (a commit or an accepted
+    /// ACK): interval snapshots, then crash rules. Returns true when the
+    /// step ended in a crash — the caller must stop touching the engine.
+    const auto after_step = [&](std::uint64_t now, ProcessId p) -> bool {
+        Engine& engine = engines[p];
+        ++engine.steps;
+        if (recovery_active &&
+            ++engine.steps_since_snapshot >=
+                options.recovery.snapshot_interval) {
+            take_snapshot(p);
+        }
+        return maybe_crash(now, p);
+    };
 
     // Re-arms the retransmission timer for the sender's current
     // outstanding REQ. Timers are never cancelled; a fired timer checks
     // that the exact (receiver, sequence) it was armed for is still
-    // outstanding and otherwise does nothing — which also neutralizes
-    // timers armed in an earlier epoch.
+    // outstanding — which also neutralizes timers armed in an earlier
+    // epoch — and that the process has not crashed since (incarnation).
     std::function<void(std::uint64_t, ProcessId)> arm_timer =
         [&](std::uint64_t now, ProcessId p) {
-            const Outstanding& out = *engines[p].outstanding;
+            const Engine& armed = engines[p];
+            const Outstanding& out = *armed.outstanding;
             const ProcessId receiver = out.receiver;
             const std::uint64_t sequence = out.sequence;
-            network.schedule(now + out.rto, [&, p, receiver,
-                                             sequence](std::uint64_t when) {
+            const std::uint64_t incarnation = armed.incarnation;
+            network.schedule(now + out.rto, [&, p, receiver, sequence,
+                                             incarnation](std::uint64_t when) {
                 Engine& engine = engines[p];
+                if (engine.incarnation != incarnation) return;  // crashed
                 if (!engine.outstanding ||
                     engine.outstanding->receiver != receiver ||
                     engine.outstanding->sequence != sequence) {
@@ -236,7 +528,7 @@ ReconfigurableRunResult run_reconfigurable_protocol(
                 ++tally.timeouts;
                 trace(obs::TraceEventKind::timeout, when, p, receiver,
                       sequence, out_now.mid,
-                      ts::total(engine.clock->current_span()));
+                      logical(engine));
                 if (out_now.retransmits >= options.max_retransmits) {
                     throw SynchronizerStalled(
                         "message " + std::to_string(out_now.mid) +
@@ -249,7 +541,7 @@ ReconfigurableRunResult run_reconfigurable_protocol(
                 ++tally.retransmits;
                 trace(obs::TraceEventKind::retransmit, when, p, receiver,
                       sequence, out_now.mid,
-                      ts::total(engine.clock->current_span()));
+                      logical(engine));
                 Packet req;
                 req.source = p;
                 req.destination = receiver;
@@ -267,23 +559,40 @@ ReconfigurableRunResult run_reconfigurable_protocol(
     std::function<void(std::uint64_t, ProcessId)> progress =
         [&](std::uint64_t now, ProcessId p) {
             Engine& engine = engines[p];
-            SegmentState& segment = segments[current_epoch];
-            const SyncComputation& script = scripts[current_epoch];
+            if (engine.down) return;
+            SegmentState& segment = segments[engine.epoch];
+            const SyncComputation& script = scripts[engine.epoch];
             while (engine.cursor < engine.script.size()) {
                 const MessageId mid = engine.script[engine.cursor].index;
                 const SyncMessage& m = script.message(mid);
                 if (m.sender == p) {
                     if (engine.outstanding) return;  // blocked on the wire
-                    // Sequences are 1-based per directed channel.
-                    const std::uint64_t sequence =
-                        ++engine.next_sequence[m.receiver];
+                    // Sequences are 1-based per directed channel. Clock
+                    // and sequence rewind together after a crash, so a
+                    // re-executed send reproduces this frame byte for
+                    // byte under the same sequence — the receiver's
+                    // duplicate suppression stays sound.
+                    OutChannel& channel = out_channel(engine, m.receiver);
+                    const std::uint64_t sequence = ++channel.next_sequence;
                     Packet req;
                     req.source = p;
                     req.destination = m.receiver;
                     req.kind = kReq;
-                    encode_epoch_frame_into(current_epoch, sequence, mid,
+                    req.tag = mid;
+                    encode_epoch_frame_into(engine.epoch, sequence, mid,
                                             engine.clock->current_span(),
                                             req.body);
+                    channel.req_window.put(sequence, req.body);
+                    if (recovery_active) {
+                        WalRecord record;
+                        record.type = WalRecordType::send;
+                        record.peer = m.receiver;
+                        record.sequence = sequence;
+                        record.message = mid;
+                        record.epoch = engine.epoch;
+                        record.frame = req.body;
+                        wal_append(p, std::move(record));
+                    }
                     engine.outstanding = Outstanding{
                         .receiver = m.receiver,
                         .mid = mid,
@@ -295,13 +604,38 @@ ReconfigurableRunResult run_reconfigurable_protocol(
                     ++tally.req_sent;
                     trace(obs::TraceEventKind::send, now, p, m.receiver,
                           sequence, mid,
-                          ts::total(engine.clock->current_span()));
+                          logical(engine));
                     network.send(now, std::move(req));
                     if (retransmission) arm_timer(now, p);
                     return;
                 }
                 // Receive action: consume the buffered fresh REQ if any.
-                InChannel& channel = engine.in[m.sender];
+                InChannel& channel = in_channel(engine, m.sender);
+                if (!channel.pending && !channel.future.empty()) {
+                    // Earlier commits (or a barrier this engine just
+                    // crossed) may have brought the commit point and the
+                    // epoch up to a parked out-of-order frame: promote it
+                    // as if it had just arrived.
+                    channel.future.erase(
+                        channel.future.begin(),
+                        channel.future.upper_bound(channel.last_committed));
+                    const auto next =
+                        channel.future.find(channel.last_committed + 1);
+                    if (next != channel.future.end() &&
+                        peek_epoch_frame_header(next->second).epoch ==
+                            engine.epoch) {
+                        const FrameHeader header = decode_epoch_frame_into(
+                            next->second, engine.rx_stamp);
+                        channel.pending = SyncFrame{
+                            header.sequence, header.message,
+                            VectorTimestamp(std::span<const std::uint64_t>(
+                                engine.rx_stamp))};
+                        channel.future.erase(next);
+                        trace(obs::TraceEventKind::receive, now, p,
+                              m.sender, header.sequence, header.message,
+                              logical(engine));
+                    }
+                }
                 if (!channel.pending) return;  // wait for the REQ packet
                 const SyncFrame req = *std::move(channel.pending);
                 channel.pending.reset();
@@ -312,35 +646,76 @@ ReconfigurableRunResult run_reconfigurable_protocol(
                                               engine.ack_scratch,
                                               engine.stamp_scratch);
                 // Commit: the rendezvous instant, exactly once per
-                // sequence — duplicates never reach this line.
+                // sequence — duplicates never reach this line. A
+                // restarted process re-executing a commit it lost must
+                // reproduce the original stamp exactly; the realized
+                // computation keeps the first commit's record.
                 channel.last_committed = req.sequence;
-                ++tally.commits;
-                trace(obs::TraceEventKind::commit, now, p, m.sender,
-                      req.sequence, mid, ts::total(engine.stamp_scratch));
-                segment.computation.add_message(m.sender, m.receiver);
-                segment.script_message.push_back(mid);
-                segment.handle_by_script[mid] =
-                    segment.arena.allocate(engine.stamp_scratch);
-                encode_epoch_frame_into(current_epoch, req.sequence, mid,
+                channel.replay_attempts = 0;  // the watchdog saw progress
+                encode_epoch_frame_into(engine.epoch, req.sequence, mid,
                                         engine.ack_scratch,
-                                        channel.cached_ack);
+                                        engine.ack_bytes);
+                if (segment.handle_by_script[mid] == kNoTimestamp) {
+                    ++tally.commits;
+                    trace(obs::TraceEventKind::commit, now, p, m.sender,
+                          req.sequence, mid,
+                          ts::total(engine.stamp_scratch));
+                    segment.computation.add_message(m.sender, m.receiver);
+                    segment.script_message.push_back(mid);
+                    segment.handle_by_script[mid] =
+                        segment.arena.allocate(engine.stamp_scratch);
+                } else {
+                    SYNCTS_ENSURE(
+                        ts::equal(engine.stamp_scratch,
+                                  segment.arena.span(
+                                      segment.handle_by_script[mid])),
+                        "recovered replay diverged from the original commit");
+                    ++tally.recommits;
+                    trace(obs::TraceEventKind::commit, now, p, m.sender,
+                          req.sequence, mid,
+                          ts::total(engine.stamp_scratch));
+                }
+                channel.ack_window.put(req.sequence, engine.ack_bytes);
+                if (recovery_active) {
+                    WalRecord record;
+                    record.type = WalRecordType::commit;
+                    record.peer = m.sender;
+                    record.sequence = req.sequence;
+                    record.message = mid;
+                    record.epoch = engine.epoch;
+                    // Canonical re-encoding of the REQ — byte-identical
+                    // to the frame the sender put on the wire.
+                    encode_epoch_frame_into(engine.epoch, req.sequence, mid,
+                                            req.stamp.components(),
+                                            engine.req_bytes);
+                    record.frame = engine.req_bytes;
+                    record.aux = engine.ack_bytes;
+                    wal_append(p, std::move(record));
+                }
                 Packet ack;
                 ack.source = p;
                 ack.destination = m.sender;
                 ack.kind = kAck;
                 ack.tag = mid;
-                ack.body = channel.cached_ack;
+                ack.body = engine.ack_bytes;
                 network.send(now, std::move(ack));
                 ++engine.cursor;
+                if (after_step(now, p)) return;  // crashed on this step
             }
         };
 
-    /// True when every epoch-`current_epoch` obligation is discharged:
-    /// all scripted actions executed and no sender blocked on the wire.
-    /// (Late duplicate frames may still be in flight; they are stale by
-    /// construction and the epoch filter handles them.)
+    /// True when every live engine has discharged its
+    /// epoch-`current_epoch` obligations: caught up to the barrier
+    /// epoch, script done, nothing on the wire, no rejoin in flight.
+    /// Down engines are exempt — they rejoin into the new epoch later
+    /// (their unfinished steps are re-executions of already-realized
+    /// messages; maybe_transition checks that).
     const auto epoch_complete = [&] {
         for (const Engine& engine : engines) {
+            if (engine.down) continue;
+            if (engine.rejoining || engine.epoch != current_epoch) {
+                return false;
+            }
             if (engine.cursor != engine.script.size()) return false;
             if (engine.outstanding) return false;
         }
@@ -348,12 +723,22 @@ ReconfigurableRunResult run_reconfigurable_protocol(
     };
 
     /// Crosses as many barriers as are due at virtual time `now`
-    /// (several in a row when later epochs script no messages).
+    /// (several in a row when later epochs script no messages). Live
+    /// engines checkpoint at each barrier, so a later crash never
+    /// rewinds across it.
     const auto maybe_transition = [&](std::uint64_t now) {
         while (current_epoch + 1 < num_epochs && epoch_complete()) {
-            SYNCTS_ENSURE(segments[current_epoch].computation.num_messages() ==
-                              scripts[current_epoch].num_messages(),
-                          "epoch barrier crossed with unrealized messages");
+            const bool realized =
+                segments[current_epoch].computation.num_messages() ==
+                scripts[current_epoch].num_messages();
+            if (!realized) {
+                SYNCTS_ENSURE(recovery_active,
+                              "epoch barrier crossed with unrealized "
+                              "messages");
+                // A down process still owes commits; the barrier waits
+                // for its restart to realize them.
+                return;
+            }
             for (const Engine& engine : engines) {
                 for (const auto& [peer, channel] : engine.in) {
                     SYNCTS_ENSURE(!channel.pending,
@@ -365,18 +750,256 @@ ReconfigurableRunResult run_reconfigurable_protocol(
             ++current_epoch;
             trace(obs::TraceEventKind::epoch, now, 0, 0, current_epoch,
                   transition.preserved_groups, 0);
-            load_epoch(current_epoch);
+            for (ProcessId p = 0; p < n_max; ++p) {
+                if (engines[p].down) continue;  // fast-forwards on restart
+                if (recovery_active) {
+                    WalRecord record;
+                    record.type = WalRecordType::epoch;
+                    record.epoch = current_epoch;
+                    wal_append(p, std::move(record));
+                }
+                load_engine(p, current_epoch);
+                take_snapshot(p);
+            }
             const std::size_t n =
                 topology.epoch(current_epoch).num_processes();
-            for (ProcessId p = 0; p < n; ++p) progress(now, p);
+            for (ProcessId p = 0; p < n; ++p) {
+                if (!engines[p].down) progress(now, p);
+            }
         }
+    };
+
+    /// Walks a lagging (restarted) engine through the barriers the
+    /// system crossed while it was down, one epoch at a time, with a
+    /// WAL record and a checkpoint at each — exactly what the engine
+    /// would have done live.
+    const auto fast_forward = [&](std::uint64_t now, ProcessId p) {
+        Engine& engine = engines[p];
+        bool moved = false;
+        while (engine.epoch < current_epoch && !engine.rejoining &&
+               engine.cursor == engine.script.size() &&
+               !engine.outstanding) {
+            const EpochId next = engine.epoch + 1;
+            WalRecord record;
+            record.type = WalRecordType::epoch;
+            record.epoch = next;
+            wal_append(p, std::move(record));
+            load_engine(p, next);
+            take_snapshot(p);
+            ++tally.fast_forwards;
+            trace(obs::TraceEventKind::epoch, now, p, p, next, 0, 0);
+            moved = true;
+        }
+        if (moved) {
+            progress(now, p);
+            maybe_transition(now);
+        }
+    };
+
+    /// The rejoin handshake is settled: resume the interrupted
+    /// rendezvous (original bytes) or the script, then catch up to the
+    /// barrier epoch.
+    const auto complete_rejoin = [&](std::uint64_t now, ProcessId p) {
+        Engine& engine = engines[p];
+        engine.rejoining = false;
+        engine.awaiting_hello.clear();
+        if (engine.outstanding) {
+            Outstanding& out = *engine.outstanding;
+            ++tally.retransmits;
+            trace(obs::TraceEventKind::retransmit, now, p, out.receiver,
+                  out.sequence, out.mid,
+                  logical(engine));
+            Packet req;
+            req.source = p;
+            req.destination = out.receiver;
+            req.kind = kReq;
+            req.tag = out.mid;
+            req.body = out.frame;
+            network.send(now, std::move(req));
+            if (retransmission) arm_timer(now, p);
+        } else {
+            progress(now, p);
+        }
+        fast_forward(now, p);
+        maybe_transition(now);
+    };
+
+    /// Sends (or re-sends) rejoin HELLOs. A HELLO is an epoch frame at
+    /// the rejoiner's recovered epoch whose width-1 "stamp" carries its
+    /// committed high-water mark on the channel from the addressee, so
+    /// the peer can replay exactly the REQs the rejoiner lost. The
+    /// sequence field numbers handshake attempts.
+    std::function<void(std::uint64_t, ProcessId)> send_hellos =
+        [&](std::uint64_t now, ProcessId p) {
+            Engine& engine = engines[p];
+            if (engine.awaiting_hello.empty()) {
+                const Graph& graph = topology.epoch(engine.epoch).graph();
+                if (p < graph.num_vertices()) {
+                    const std::span<const ProcessId> neighbors =
+                        graph.neighbors(p);
+                    engine.awaiting_hello.assign(neighbors.begin(),
+                                                 neighbors.end());
+                }
+                if (engine.awaiting_hello.empty()) {
+                    complete_rejoin(now, p);
+                    return;
+                }
+                engine.hello_attempts = 0;
+            }
+            if (engine.hello_attempts >= options.max_retransmits) {
+                throw SynchronizerStalled(
+                    "process P" + std::to_string(p) +
+                    " exhausted its rejoin handshake attempts");
+            }
+            ++engine.hello_attempts;
+            const std::uint64_t sequence = engine.hello_attempts;
+            for (const ProcessId q : engine.awaiting_hello) {
+                std::uint64_t last = 0;
+                if (const auto it = engine.in.find(q);
+                    it != engine.in.end()) {
+                    last = it->second.last_committed;
+                }
+                Packet hello;
+                hello.source = p;
+                hello.destination = q;
+                hello.kind = kHello;
+                encode_epoch_frame_into(
+                    engine.epoch, sequence, 0,
+                    std::span<const std::uint64_t>(&last, 1), hello.body);
+                ++tally.hellos;
+                trace(obs::TraceEventKind::hello, now, p, q, sequence, last,
+                      logical(engine));
+                network.send(now, std::move(hello));
+            }
+            const std::uint64_t incarnation = engine.incarnation;
+            network.schedule(now + base_rto,
+                             [&, p, incarnation](std::uint64_t when) {
+                                 Engine& e = engines[p];
+                                 if (e.incarnation != incarnation) return;
+                                 if (!e.rejoining) return;
+                                 send_hellos(when, p);
+                             });
+        };
+
+    /// Chases a replay gap: while `last_committed` on the channel from
+    /// `peer` lags the frontier its HELLO_ACK announced, the owed frames
+    /// can only come from the peer's one-shot window replay — which the
+    /// network may drop, and which the peer never re-times (it considers
+    /// those rendezvous complete). So the *receiver* drives: re-HELLO
+    /// the peer until the gap closes, bounded like a retransmission.
+    std::function<void(std::uint64_t, ProcessId, ProcessId)>
+        arm_replay_watchdog = [&](std::uint64_t now, ProcessId p,
+                                  ProcessId peer) {
+            const std::uint64_t incarnation = engines[p].incarnation;
+            network.schedule(
+                now + base_rto,
+                [&, p, peer, incarnation](std::uint64_t when) {
+                    Engine& e = engines[p];
+                    if (e.incarnation != incarnation || e.down) return;
+                    const auto it = e.in.find(peer);
+                    if (it == e.in.end()) return;
+                    InChannel& channel = it->second;
+                    if (channel.last_committed >= channel.replay_target) {
+                        channel.watchdog_armed = false;
+                        return;  // caught up; the watchdog retires
+                    }
+                    if (channel.replay_attempts >= options.max_retransmits) {
+                        throw SynchronizerStalled(
+                            "process P" + std::to_string(p) +
+                            " exhausted its replay requests to P" +
+                            std::to_string(peer));
+                    }
+                    ++channel.replay_attempts;
+                    std::uint64_t last = channel.last_committed;
+                    Packet hello;
+                    hello.source = p;
+                    hello.destination = peer;
+                    hello.kind = kHello;
+                    encode_epoch_frame_into(
+                        e.epoch, channel.replay_attempts, 0,
+                        std::span<const std::uint64_t>(&last, 1), hello.body);
+                    ++tally.hellos;
+                    trace(obs::TraceEventKind::hello, when, p, peer,
+                          channel.replay_attempts, last,
+                          logical(e));
+                    network.send(when, std::move(hello));
+                    arm_replay_watchdog(when, p, peer);
+                });
+        };
+
+    /// Brings a crashed process back: recover the durable state, rebuild
+    /// the live engine from it, then either rejoin (handshake with the
+    /// neighbors so lost frames are replayed) or, when every step of the
+    /// recovered epoch was durable, fast-forward straight to the barrier
+    /// epoch.
+    restart_process = [&](std::uint64_t now, ProcessId p) {
+        Engine& engine = engines[p];
+        engine.down = false;
+        network.set_down(p, false);
+        RecoverOutcome outcome = RecoveryManager::recover(
+            stores[p].snapshot, stores[p].wal,
+            [&](EpochId e) { return topology.decomposition(e); });
+        ProcessState& state = outcome.state;
+        load_engine(p, state.epoch);
+        SYNCTS_ENSURE(engine.clock != nullptr &&
+                          state.clock.size() == engine.clock->width(),
+                      "recovered clock does not match the epoch topology");
+        engine.clock->restore_from(state.clock);
+        engine.cursor = static_cast<std::size_t>(state.cursor);
+        SYNCTS_ENSURE(engine.cursor <= engine.script.size(),
+                      "recovered cursor beyond the epoch script");
+        engine.steps = state.steps;
+        engine.steps_since_snapshot = 0;
+        engine.out.clear();
+        for (OutChannelState& channel : state.out) {
+            engine.out.emplace(channel.peer,
+                               OutChannel{channel.next_sequence,
+                                          std::move(channel.req_window)});
+        }
+        engine.in.clear();
+        for (InChannelState& channel : state.in) {
+            engine.in.emplace(channel.peer,
+                              InChannel{channel.last_committed, std::nullopt,
+                                        {}, std::move(channel.ack_window)});
+        }
+        engine.outstanding.reset();
+        if (state.outstanding.active) {
+            SYNCTS_ENSURE(state.outstanding.message <=
+                              std::numeric_limits<MessageId>::max(),
+                          "recovered message id out of range");
+            engine.outstanding = Outstanding{
+                .receiver = state.outstanding.receiver,
+                .mid = static_cast<MessageId>(state.outstanding.message),
+                .sequence = state.outstanding.sequence,
+                .frame = std::move(state.outstanding.frame),
+                .retransmits = 0,
+                .rto = base_rto,
+                .first_send_time = now};
+        }
+        ++tally.restarts;
+        tally.replayed_records += outcome.replayed_records;
+        if (replay_hist != nullptr) {
+            replay_hist->record(outcome.replayed_records);
+        }
+        trace(obs::TraceEventKind::restart, now, p, p,
+              outcome.replayed_records, engine.epoch,
+              logical(engine));
+        if (engine.cursor == engine.script.size() && !engine.outstanding) {
+            // Every step of the recovered epoch was durable: nothing to
+            // re-execute, so no handshake — just catch up to the barrier.
+            fast_forward(now, p);
+            maybe_transition(now);
+            return;
+        }
+        engine.rejoining = true;
+        send_hellos(now, p);
     };
 
     const auto handle_req = [&](std::uint64_t now, ProcessId p,
                                 const Packet& packet,
                                 const FrameHeader& header) {
         Engine& engine = engines[p];
-        InChannel& channel = engine.in[packet.source];
+        InChannel& channel = in_channel(engine, packet.source);
         if (header.sequence == channel.last_committed + 1) {
             if (channel.pending) {
                 // Duplicate of a REQ already buffered for the program.
@@ -385,7 +1008,7 @@ ReconfigurableRunResult run_reconfigurable_protocol(
                 ++tally.req_duplicates;
                 trace(obs::TraceEventKind::duplicate_drop, now, p,
                       packet.source, header.sequence, header.message,
-                      ts::total(engine.clock->current_span()));
+                      logical(engine));
                 return;
             }
             // The program may not have reached the matching receive yet,
@@ -397,42 +1020,72 @@ ReconfigurableRunResult run_reconfigurable_protocol(
                     std::span<const std::uint64_t>(engine.rx_stamp))};
             trace(obs::TraceEventKind::receive, now, p, packet.source,
                   header.sequence, header.message,
-                  ts::total(engine.clock->current_span()));
+                  logical(engine));
             progress(now, p);
+            fast_forward(now, p);
+            maybe_transition(now);
             return;
         }
-        if (header.sequence == channel.last_committed &&
+        if (header.sequence <= channel.last_committed &&
             channel.last_committed > 0) {
-            // The sender retransmitted after commit: its ACK was lost (or
-            // this REQ copy was duplicated in flight). Replay the cached
-            // ACK; the clock is not touched, so no double increment.
-            SYNCTS_ENSURE(!channel.cached_ack.empty(),
+            // The sender retransmitted after commit: its ACK was lost, or
+            // this REQ copy was duplicated in flight — or a restarted
+            // sender rewound and re-executed the send. Replay the ACK as
+            // originally encoded; the clock is not touched, so no double
+            // increment, and the sender's re-merge is bit-identical.
+            const std::vector<std::uint8_t>* cached =
+                channel.ack_window.find(header.sequence);
+            if (cached != nullptr) {
+                // Counted once: the REQ copy is answered (with the cached
+                // ACK), not suppressed, so it is an ack_replay and *not*
+                // also a req_duplicate. Replays of pre-rewind sequences
+                // are counted separately.
+                if (header.sequence == channel.last_committed) {
+                    ++tally.ack_replays;
+                } else {
+                    ++tally.window_ack_replays;
+                }
+                trace(obs::TraceEventKind::ack_replay, now, p, packet.source,
+                      header.sequence, header.message,
+                      logical(engine));
+                Packet ack;
+                ack.source = p;
+                ack.destination = packet.source;
+                ack.kind = kAck;
+                ack.tag = packet.tag;
+                ack.body = *cached;
+                network.send(now, std::move(ack));
+                return;
+            }
+            // The newest commit's ACK is always retained, so only
+            // sequences older than the window can miss.
+            SYNCTS_ENSURE(header.sequence < channel.last_committed,
                           "committed channel has no cached ACK");
-            // Counted once: the REQ copy is answered (with the cached
-            // ACK), not suppressed, so it is an ack_replay and *not* also
-            // a req_duplicate. The deprecated ProtocolStats shim still
-            // folds replays into dup_drops for legacy callers.
-            ++tally.ack_replays;
-            trace(obs::TraceEventKind::ack_replay, now, p, packet.source,
+            ++tally.req_duplicates;
+            trace(obs::TraceEventKind::duplicate_drop, now, p, packet.source,
                   header.sequence, header.message,
-                  ts::total(engine.clock->current_span()));
-            Packet ack;
-            ack.source = p;
-            ack.destination = packet.source;
-            ack.kind = kAck;
-            ack.tag = packet.tag;
-            ack.body = channel.cached_ack;
-            network.send(now, std::move(ack));
+                  logical(engine));
             return;
         }
-        // A sender never advances past an unacknowledged sequence, so
-        // anything else is a stale copy from an older rendezvous.
-        SYNCTS_ENSURE(header.sequence < channel.last_committed,
-                      "REQ sequence from the future");
-        ++tally.req_duplicates;
-        trace(obs::TraceEventKind::duplicate_drop, now, p, packet.source,
-              header.sequence, header.message,
-              ts::total(engine.clock->current_span()));
+        // A sender never advances past an unacknowledged sequence — but a
+        // *rejoining* receiver's channel state is rewound, so a live
+        // sender's current traffic (and the HELLO-driven window replay
+        // that fills the gap) can run ahead of the commit point. Park the
+        // frame rather than drop it: the sender re-times only the frame
+        // it still considers outstanding, so a reordered middle frame
+        // would otherwise never be sent again.
+        SYNCTS_ENSURE(recovery_active, "REQ sequence from the future");
+        if (channel.future.try_emplace(header.sequence, packet.body).second) {
+            ++tally.future_buffered;
+            trace(obs::TraceEventKind::park, now, p, packet.source,
+                  header.sequence, header.message,
+                  logical(engine));
+        } else {
+            ++tally.req_duplicates;
+            trace(obs::TraceEventKind::duplicate_drop, now, p, packet.source,
+                  header.sequence, header.message,
+                  logical(engine));
+        }
     };
 
     const auto handle_ack = [&](std::uint64_t now, ProcessId p,
@@ -446,11 +1099,11 @@ ReconfigurableRunResult run_reconfigurable_protocol(
             ++tally.ack_duplicates;
             trace(obs::TraceEventKind::duplicate_drop, now, p, packet.source,
                   header.sequence, header.message,
-                  ts::total(engine.clock->current_span()));
+                  logical(engine));
             return;
         }
         const MessageId mid = engine.outstanding->mid;
-        SegmentState& segment = segments[current_epoch];
+        SegmentState& segment = segments[engine.epoch];
         SYNCTS_ENSURE(header.message == mid,
                       "ACK does not match the pending send");
         engine.clock->on_ack_into(packet.source, engine.rx_stamp,
@@ -467,46 +1120,101 @@ ReconfigurableRunResult run_reconfigurable_protocol(
                                     engine.outstanding->first_send_time);
             attempts_hist->record(engine.outstanding->retransmits + 1);
         }
+        if (recovery_active) {
+            WalRecord record;
+            record.type = WalRecordType::ack;
+            record.peer = packet.source;
+            record.sequence = header.sequence;
+            record.message = mid;
+            record.epoch = engine.epoch;
+            record.aux = packet.body;
+            wal_append(p, std::move(record));
+        }
         engine.outstanding.reset();
         ++engine.cursor;
+        if (after_step(now, p)) return;  // crashed on this step
         progress(now, p);
-        // Accepting an ACK is the only step that can unblock the last
-        // sender of the epoch, so this is where barriers become due.
+        fast_forward(now, p);
+        // Accepting an ACK can unblock the last sender of the epoch, so
+        // this is one place barriers become due (re-executed commits
+        // after a restart are the other).
         maybe_transition(now);
     };
 
-    /// A checksum-valid frame from an epoch other than the current one.
-    /// Under the barrier model only *older* epochs can appear (a frame
-    /// from the future would mean some process crossed the barrier
-    /// early). Stale REQs are answered with a NACK naming the current
-    /// epoch — the cached ACK they would otherwise earn belongs to a
-    /// topology that no longer exists; stale ACKs/NACKs are dropped.
+    /// A checksum-valid frame from an epoch other than the engine's own.
+    /// Frames from *ahead* are legitimate only while this engine is
+    /// itself behind the barrier epoch (catching up after a restart);
+    /// they are dropped and re-delivered by the sender's timer. Stale
+    /// REQs are first checked against the ACK window — a restarted peer
+    /// re-executing pre-barrier sends must receive the *original* ACK
+    /// bytes — and otherwise answered with a NACK naming this engine's
+    /// epoch. Stale ACKs and NACKs are dropped.
     const auto handle_epoch_mismatch = [&](std::uint64_t now, ProcessId p,
                                            const Packet& packet,
                                            const FrameHeader& header) {
-        SYNCTS_ENSURE(header.epoch < current_epoch,
-                      "frame from a future epoch");
+        Engine& engine = engines[p];
+        if (header.epoch > engine.epoch) {
+            SYNCTS_ENSURE(engine.epoch < current_epoch,
+                          "frame from a future epoch");
+            trace(obs::TraceEventKind::epoch_reject, now, p, packet.source,
+                  header.sequence, header.message, header.epoch);
+            // A window replay answering this engine's HELLO can span
+            // barriers it has not crossed yet; park later-epoch REQs just
+            // like same-epoch out-of-order ones — the sender will not
+            // re-send a frame it no longer considers outstanding.
+            if (packet.kind == kReq) {
+                InChannel& channel = in_channel(engine, packet.source);
+                if (header.sequence > channel.last_committed &&
+                    channel.future.try_emplace(header.sequence, packet.body)
+                        .second) {
+                    ++tally.future_buffered;
+                    trace(obs::TraceEventKind::park, now, p, packet.source,
+                          header.sequence, header.message, header.epoch);
+                }
+            }
+            return;
+        }
         ++tally.epoch_rejects;
         trace(obs::TraceEventKind::epoch_reject, now, p, packet.source,
               header.sequence, header.message, header.epoch);
         if (packet.kind != kReq) return;
+        if (const auto it = engine.in.find(packet.source);
+            it != engine.in.end()) {
+            if (header.sequence <= it->second.last_committed) {
+                if (const std::vector<std::uint8_t>* cached =
+                        it->second.ack_window.find(header.sequence)) {
+                    ++tally.window_ack_replays;
+                    trace(obs::TraceEventKind::ack_replay, now, p,
+                          packet.source, header.sequence, header.message,
+                          logical(engine));
+                    Packet ack;
+                    ack.source = p;
+                    ack.destination = packet.source;
+                    ack.kind = kAck;
+                    ack.tag = packet.tag;
+                    ack.body = *cached;
+                    network.send(now, std::move(ack));
+                    return;
+                }
+            }
+        }
         Packet nack;
         nack.source = p;
         nack.destination = packet.source;
         nack.kind = kNack;
         nack.tag = packet.tag;
-        // A NACK is a header-only frame: the current epoch plus the
+        // A NACK is a header-only frame: this engine's epoch plus the
         // rejected (sequence, message), no timestamp payload.
-        encode_epoch_frame_into(current_epoch, header.sequence,
+        encode_epoch_frame_into(engine.epoch, header.sequence,
                                 header.message, {}, nack.body);
         ++tally.nacks_sent;
         trace(obs::TraceEventKind::nack, now, p, packet.source,
-              header.sequence, header.message, current_epoch);
+              header.sequence, header.message, engine.epoch);
         network.send(now, std::move(nack));
     };
 
     /// NACK at the sender: if the rejected (channel, sequence) is still
-    /// the in-flight send, re-encode it at the current epoch and resend
+    /// the in-flight send, re-encode it at the engine's epoch and resend
     /// immediately (the retransmission timer stays armed for it).
     /// Otherwise the rendezvous already completed — the NACK answered a
     /// duplicate copy — and it is dropped.
@@ -514,7 +1222,7 @@ ReconfigurableRunResult run_reconfigurable_protocol(
                                  const Packet& packet,
                                  const FrameHeader& header) {
         Engine& engine = engines[p];
-        if (header.epoch != current_epoch || !engine.outstanding ||
+        if (header.epoch != engine.epoch || !engine.outstanding ||
             engine.outstanding->receiver != packet.source ||
             engine.outstanding->sequence != header.sequence) {
             ++tally.nack_drops;
@@ -523,12 +1231,12 @@ ReconfigurableRunResult run_reconfigurable_protocol(
             return;
         }
         Outstanding& out = *engine.outstanding;
-        encode_epoch_frame_into(current_epoch, out.sequence, out.mid,
+        encode_epoch_frame_into(engine.epoch, out.sequence, out.mid,
                                 engine.clock->current_span(), out.frame);
         ++tally.nack_retransmits;
         trace(obs::TraceEventKind::retransmit, now, p, packet.source,
               out.sequence, out.mid,
-              ts::total(engine.clock->current_span()));
+              logical(engine));
         Packet req;
         req.source = p;
         req.destination = out.receiver;
@@ -538,9 +1246,119 @@ ReconfigurableRunResult run_reconfigurable_protocol(
         network.send(now, std::move(req));
     };
 
+    /// A restarted neighbor announced itself: replay every REQ in the
+    /// send window beyond its committed high-water mark (original bytes,
+    /// original epoch tags) and acknowledge the handshake.
+    const auto handle_hello = [&](std::uint64_t now, ProcessId p,
+                                  const Packet& packet) {
+        Engine& engine = engines[p];
+        std::uint64_t peer_committed = 0;
+        FrameHeader header;
+        try {
+            header = decode_epoch_frame_into(
+                packet.body, std::span<std::uint64_t>(&peer_committed, 1));
+        } catch (const WireError&) {
+            ++tally.corrupt_rejects;
+            trace(obs::TraceEventKind::corrupt_reject, now, p, packet.source,
+                  packet.kind, packet.tag,
+                  logical(engine));
+            return;
+        }
+        trace(obs::TraceEventKind::hello, now, p, packet.source,
+              header.sequence, peer_committed,
+              logical(engine));
+        if (const auto it = engine.out.find(packet.source);
+            it != engine.out.end()) {
+            for (const FrameWindow::Entry& entry :
+                 it->second.req_window.entries()) {
+                if (entry.sequence <= peer_committed) continue;
+                FrameHeader cached = peek_epoch_frame_header(entry.frame);
+                Packet req;
+                req.source = p;
+                req.destination = packet.source;
+                req.kind = kReq;
+                req.tag = cached.message;
+                req.body = entry.frame;
+                ++tally.window_retransmits;
+                trace(obs::TraceEventKind::retransmit, now, p, packet.source,
+                      entry.sequence, cached.message,
+                      logical(engine));
+                network.send(now, std::move(req));
+            }
+        }
+        Packet reply;
+        reply.source = p;
+        reply.destination = packet.source;
+        reply.kind = kHelloAck;
+        // Echo of the handshake attempt whose width-1 "stamp" carries
+        // this engine's send frontier toward the rejoiner — the highest
+        // sequence it has assigned on that channel. The rejoiner is owed
+        // every frame up to it and uses the figure to watchdog the
+        // (droppable, never re-timed) window replay above.
+        std::uint64_t frontier = 0;
+        if (const auto it = engine.out.find(packet.source);
+            it != engine.out.end()) {
+            frontier = it->second.next_sequence;
+        }
+        encode_epoch_frame_into(engine.epoch, header.sequence, 0,
+                                std::span<const std::uint64_t>(&frontier, 1),
+                                reply.body);
+        ++tally.hello_acks;
+        network.send(now, std::move(reply));
+    };
+
+    const auto handle_hello_ack = [&](std::uint64_t now, ProcessId p,
+                                      const Packet& packet) {
+        Engine& engine = engines[p];
+        FrameHeader header;
+        std::uint64_t frontier = 0;
+        try {
+            header = decode_epoch_frame_into(
+                packet.body, std::span<std::uint64_t>(&frontier, 1));
+        } catch (const WireError&) {
+            ++tally.corrupt_rejects;
+            trace(obs::TraceEventKind::corrupt_reject, now, p, packet.source,
+                  packet.kind, packet.tag,
+                  logical(engine));
+            return;
+        }
+        // Record the peer's frontier even on a late/duplicate ACK: the
+        // owed-frame gap it reveals is real regardless of handshake
+        // bookkeeping, and only a watchdog will close it if the window
+        // replay is lost.
+        InChannel& channel = in_channel(engine, packet.source);
+        if (frontier > channel.replay_target) {
+            channel.replay_target = frontier;
+        }
+        if (channel.last_committed < channel.replay_target &&
+            !channel.watchdog_armed) {
+            channel.watchdog_armed = true;
+            arm_replay_watchdog(now, p, packet.source);
+        }
+        if (!engine.rejoining) return;  // late copy of a settled handshake
+        const auto it = std::find(engine.awaiting_hello.begin(),
+                                  engine.awaiting_hello.end(),
+                                  packet.source);
+        if (it == engine.awaiting_hello.end()) return;
+        engine.awaiting_hello.erase(it);
+        trace(obs::TraceEventKind::hello, now, p, packet.source,
+              header.sequence, 1,
+              logical(engine));
+        if (engine.awaiting_hello.empty()) complete_rejoin(now, p);
+    };
+
     for (ProcessId p = 0; p < n_max; ++p) {
         network.on_deliver(p, [&, p](std::uint64_t now, const Packet& packet) {
             Engine& engine = engines[p];
+            if (engine.down) return;  // the network already drops these
+            if (packet.kind == kHello) {
+                handle_hello(now, p, packet);
+                return;
+            }
+            if (packet.kind == kHelloAck) {
+                handle_hello_ack(now, p, packet);
+                return;
+            }
             FrameHeader header;
             if (packet.kind == kNack) {
                 // NACKs carry no timestamp; read the header only.
@@ -550,7 +1368,7 @@ ReconfigurableRunResult run_reconfigurable_protocol(
                     ++tally.corrupt_rejects;
                     trace(obs::TraceEventKind::corrupt_reject, now, p,
                           packet.source, packet.kind, packet.tag,
-                          ts::total(engine.clock->current_span()));
+                          logical(engine));
                     return;
                 }
                 handle_nack(now, p, packet, header);
@@ -559,8 +1377,8 @@ ReconfigurableRunResult run_reconfigurable_protocol(
             try {
                 header = decode_epoch_frame_into(packet.body, engine.rx_stamp);
             } catch (const WireError&) {
-                // Either corrupted in flight, or a healthy frame from an
-                // earlier epoch whose width no longer matches — the
+                // Either corrupted in flight, or a healthy frame from
+                // another epoch whose width no longer matches — the
                 // checksum-validated header tells the two apart.
                 try {
                     header = peek_epoch_frame_header(packet.body);
@@ -568,21 +1386,21 @@ ReconfigurableRunResult run_reconfigurable_protocol(
                     ++tally.corrupt_rejects;
                     trace(obs::TraceEventKind::corrupt_reject, now, p,
                           packet.source, packet.kind, packet.tag,
-                          ts::total(engine.clock->current_span()));
+                          logical(engine));
                     return;
                 }
-                if (header.epoch == current_epoch) {
+                if (header.epoch == engine.epoch) {
                     // Same epoch, bad payload: genuinely malformed.
                     ++tally.corrupt_rejects;
                     trace(obs::TraceEventKind::corrupt_reject, now, p,
                           packet.source, packet.kind, packet.tag,
-                          ts::total(engine.clock->current_span()));
+                          logical(engine));
                     return;
                 }
                 handle_epoch_mismatch(now, p, packet, header);
                 return;
             }
-            if (header.epoch != current_epoch) {
+            if (header.epoch != engine.epoch) {
                 handle_epoch_mismatch(now, p, packet, header);
                 return;
             }
@@ -595,8 +1413,13 @@ ReconfigurableRunResult run_reconfigurable_protocol(
     }
 
     // Kick off every epoch-0 process at time 0; leading message-free
-    // epochs transition immediately.
+    // epochs transition immediately. With recovery armed, every process
+    // checkpoints its initial state first, so even a crash on the very
+    // first step has a snapshot to restart from.
     {
+        if (recovery_active) {
+            for (ProcessId p = 0; p < n_max; ++p) take_snapshot(p);
+        }
         const std::size_t n = topology.epoch(0).num_processes();
         for (ProcessId p = 0; p < n; ++p) progress(0, p);
         maybe_transition(0);
@@ -633,11 +1456,45 @@ ReconfigurableRunResult run_reconfigurable_protocol(
         m.counter("net_packets_corrupted")
             .inc(result.network_faults.corrupted);
         m.counter("net_packets_delayed").inc(result.network_faults.delayed);
+        if (recovery_active) {
+            m.counter("recover_crashes").inc(result.network_faults.crashes);
+            m.counter("recover_restarts").inc(tally.restarts);
+            m.counter("recover_replayed_records").inc(tally.replayed_records);
+            m.counter("recover_snapshots").inc(tally.snapshots);
+            m.counter("recover_recommits").inc(tally.recommits);
+            m.counter("recover_window_ack_replays")
+                .inc(tally.window_ack_replays);
+            m.counter("recover_window_retransmits")
+                .inc(tally.window_retransmits);
+            m.counter("recover_hellos").inc(tally.hellos);
+            m.counter("recover_hello_acks").inc(tally.hello_acks);
+            m.counter("recover_future_buffered").inc(tally.future_buffered);
+            m.counter("recover_fast_forwards").inc(tally.fast_forwards);
+            m.counter("net_down_drops").inc(result.network_faults.down_drops);
+            std::uint64_t wal_appends = 0;
+            std::uint64_t wal_flushes = 0;
+            std::uint64_t wal_truncated = 0;
+            std::uint64_t wal_dropped = 0;
+            for (const DurableStore& store : stores) {
+                wal_appends += store.wal.appends();
+                wal_flushes += store.wal.flushes();
+                wal_truncated += store.wal.truncated_records();
+                wal_dropped += store.wal.dropped_records();
+            }
+            m.counter("recover_wal_appends").inc(wal_appends);
+            m.counter("recover_wal_flushes").inc(wal_flushes);
+            m.counter("recover_wal_truncated").inc(wal_truncated);
+            m.counter("recover_wal_dropped").inc(wal_dropped);
+        }
     }
 
     SYNCTS_ENSURE(current_epoch == num_epochs - 1,
                   "protocol finished before the last epoch");
     for (const Engine& engine : engines) {
+        SYNCTS_ENSURE(!engine.down, "protocol finished with a process down");
+        SYNCTS_ENSURE(!engine.rejoining, "protocol finished mid-rejoin");
+        SYNCTS_ENSURE(engine.epoch == current_epoch,
+                      "protocol finished with a lagging process");
         SYNCTS_ENSURE(engine.cursor == engine.script.size(),
                       "protocol finished with unexecuted script actions");
         SYNCTS_ENSURE(!engine.outstanding, "protocol finished mid-rendezvous");

@@ -42,6 +42,24 @@
 /// single-epoch `sync_*` set: `sync_epoch_transitions`,
 /// `sync_epoch_rejects`, `sync_nacks_sent`, `sync_nack_drops`,
 /// `sync_nack_retransmits` (docs/OBSERVABILITY.md).
+///
+/// Crash recovery (docs/RECOVERY.md): when the fault plan carries crash
+/// rules (or RecoveryOptions::enabled is set), every process keeps a
+/// durable store — a checksummed snapshot of its full protocol state
+/// plus a write-ahead log of sent/committed/acknowledged frames with
+/// group flush points. A crash wipes the volatile engine and the WAL's
+/// unflushed tail; after the rule's downtime the process restarts,
+/// replays the log over the latest snapshot (reconstructing state
+/// bit-identical to a never-crashed process, enforced with ENSUREs on
+/// every re-derived stamp), and runs a HELLO/HELLO_ACK rejoin handshake
+/// so neighbors replay the frames it lost from their per-channel
+/// windows. Re-executed sends reproduce the original bytes under the
+/// original sequence numbers, so the realized computation and every
+/// timestamp are unchanged by any crash schedule the run survives.
+/// Snapshots double as WAL truncation points (the stability rule of
+/// Drummond–Barbosa-style logging), and every epoch barrier checkpoints,
+/// so a rewind never crosses a barrier. `recover_*` and
+/// `net_down_drops` counters cover the whole layer.
 
 namespace syncts {
 

@@ -63,6 +63,29 @@ public:
         : std::runtime_error(what) {}
 };
 
+/// Configuration of the crash-recovery layer (docs/RECOVERY.md): how
+/// often each process checkpoints, how the rendezvous WAL batches its
+/// flush points, and how many cached frames each directed channel keeps
+/// for rejoin replay. Recovery is armed automatically whenever the fault
+/// plan contains crash rules; `enabled` forces it on for crash-free runs
+/// (checkpointing overhead only — timestamps are unchanged either way).
+struct RecoveryOptions {
+    bool enabled = false;
+
+    /// WAL records per group flush (>= 1). A crash loses at most the
+    /// unflushed tail — flush points model batched fsyncs.
+    std::uint64_t wal_flush_interval = 4;
+
+    /// Protocol steps between automatic snapshots (>= 1). Every epoch
+    /// barrier also snapshots and truncates the WAL.
+    std::uint64_t snapshot_interval = 16;
+
+    /// Cached frames retained per directed channel for rejoin replay.
+    /// Must be >= wal_flush_interval so a restarted peer's rewind (at
+    /// most one flush interval) always hits the window.
+    std::size_t window = 8;
+};
+
 struct SynchronizerOptions {
     std::uint64_t seed = 1;
     /// Per-packet latency drawn uniformly from [latency_lo, latency_hi].
@@ -71,6 +94,10 @@ struct SynchronizerOptions {
 
     /// Faults injected underneath the protocol (default: reliable network).
     FaultPlan faults;
+
+    /// Crash-recovery layer configuration; see RecoveryOptions. Armed
+    /// automatically when `faults.crashes` is non-empty.
+    RecoveryOptions recovery;
 
     /// Initial retransmission timeout in virtual-time units. 0 = auto:
     /// 4 * (latency_hi + faults.max_extra_delay) + 1 when the fault plan

@@ -36,7 +36,7 @@ plain_benches=(
     bench_fig1_model bench_fig3_complete bench_fig4_tree bench_fig6_online
     bench_fig8_greedy bench_size_table bench_offline bench_events
     bench_runtime bench_related bench_wire bench_ablation bench_ordering
-    bench_faults bench_arena bench_analysis bench_reconfig
+    bench_faults bench_arena bench_analysis bench_reconfig bench_recover
 )
 for name in "${plain_benches[@]}"; do
     bin="${bench_dir}/${name}"

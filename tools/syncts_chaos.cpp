@@ -6,7 +6,8 @@
 //   syncts_chaos [<spec>] [--schedules N] [--messages M] [--seed S]
 //                [--drop P] [--dup P] [--corrupt P] [--delay P]
 //                [--jitter J] [--latency LO:HI] [--reconfig SCHED]
-//                [--quiet]
+//                [--crash N] [--crash-downtime D] [--wal-flush K]
+//                [--snap-every K] [--window W] [--quiet]
 //
 // <spec> is a topology spec (default cs:2:4); see syncts_topo for the
 // grammar. Each schedule k in 1..N derives its own workload-independent
@@ -14,6 +15,13 @@
 // delay all enabled, and compares every realized message timestamp
 // against OnlineTimestamper. Exit status: 0 when all schedules match,
 // 1 on any mismatch or stall — so this binary is CI-able as a chaos gate.
+//
+// --crash N arms the crash-recovery layer (docs/RECOVERY.md): every
+// schedule derives N whole-process crash/restart rules from its fault
+// seed, each felling a random process at a random protocol step for a
+// random (or --crash-downtime fixed) downtime. --wal-flush, --snap-every
+// and --window tune the durability knobs (RecoveryOptions); the summary
+// then reports crashes, restarts, WAL replay and rejoin traffic.
 //
 // --reconfig takes a topology reconfiguration schedule (grammar in
 // topo/reconfig.hpp, e.g. addc:0:3,delc:1:2 or rand:2:5): each op starts
@@ -56,6 +64,11 @@ struct Config {
     std::uint64_t latency_lo = 1;
     std::uint64_t latency_hi = 12;
     std::string reconfig;  // epoch schedule; empty = single epoch
+    std::uint64_t crash = 0;           // crash rules per schedule
+    std::uint64_t crash_downtime = 0;  // fixed downtime; 0 = random 10..79
+    std::uint64_t wal_flush = 4;
+    std::uint64_t snap_every = 16;
+    std::size_t window = 8;
     bool quiet = false;
 };
 
@@ -66,7 +79,11 @@ struct Config {
                  "                    [--drop P] [--dup P] [--corrupt P] "
                  "[--delay P]\n"
                  "                    [--jitter J] [--latency LO:HI] "
-                 "[--reconfig SCHED] [--quiet]\nspecs: %s\n",
+                 "[--reconfig SCHED]\n"
+                 "                    [--crash N] [--crash-downtime D] "
+                 "[--wal-flush K]\n"
+                 "                    [--snap-every K] [--window W] "
+                 "[--quiet]\nspecs: %s\n",
                  tools::spec_help());
     std::exit(2);
 }
@@ -111,6 +128,19 @@ Config parse_args(int argc, char** argv) {
                 std::strtoull(range.c_str() + colon + 1, nullptr, 10);
         } else if (flag == "--reconfig") {
             config.reconfig = next_value("--reconfig");
+        } else if (flag == "--crash") {
+            config.crash = std::strtoull(next_value("--crash"), nullptr, 10);
+        } else if (flag == "--crash-downtime") {
+            config.crash_downtime =
+                std::strtoull(next_value("--crash-downtime"), nullptr, 10);
+        } else if (flag == "--wal-flush") {
+            config.wal_flush = std::strtoull(next_value("--wal-flush"),
+                                             nullptr, 10);
+        } else if (flag == "--snap-every") {
+            config.snap_every = std::strtoull(next_value("--snap-every"),
+                                              nullptr, 10);
+        } else if (flag == "--window") {
+            config.window = std::strtoull(next_value("--window"), nullptr, 10);
         } else if (flag == "--quiet") {
             config.quiet = true;
         } else {
@@ -166,6 +196,18 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(config.jitter),
         static_cast<unsigned long long>(config.latency_lo),
         static_cast<unsigned long long>(config.latency_hi));
+    if (config.crash > 0) {
+        std::printf(
+            "crash: %llu/schedule  downtime=%s  wal-flush=%llu "
+            "snap-every=%llu window=%zu\n",
+            static_cast<unsigned long long>(config.crash),
+            config.crash_downtime > 0
+                ? std::to_string(config.crash_downtime).c_str()
+                : "rand[10,79]",
+            static_cast<unsigned long long>(config.wal_flush),
+            static_cast<unsigned long long>(config.snap_every),
+            config.window);
+    }
 
     std::uint64_t mismatches = 0;
     std::uint64_t stalls = 0;
@@ -186,6 +228,28 @@ int main(int argc, char** argv) {
         options.faults.corrupt_probability = config.corrupt;
         options.faults.delay_probability = config.delay;
         options.faults.max_extra_delay = config.jitter;
+        if (config.crash > 0) {
+            // Same derivation as the crash-chaos suite: schedule-local
+            // RNG, crash points inside the busy step range.
+            Rng crash_rng(options.faults.seed ^ 0xC0FFEE);
+            const std::size_t processes =
+                manager.epoch(0).graph().num_vertices();
+            const std::size_t max_step =
+                1 + 2 * config.messages / processes;
+            for (std::uint64_t c = 0; c < config.crash; ++c) {
+                CrashRule rule;
+                rule.process =
+                    static_cast<ProcessId>(crash_rng.below(processes));
+                rule.at_step = 1 + crash_rng.below(max_step);
+                rule.downtime = config.crash_downtime > 0
+                                    ? config.crash_downtime
+                                    : 10 + crash_rng.below(70);
+                options.faults.crashes.push_back(rule);
+            }
+            options.recovery.wal_flush_interval = config.wal_flush;
+            options.recovery.snapshot_interval = config.snap_every;
+            options.recovery.window = config.window;
+        }
         options.metrics = &metrics;
         bool match = true;
         try {
@@ -246,6 +310,23 @@ int main(int argc, char** argv) {
                 metrics.counter("sync_nacks_sent").value()),
             static_cast<unsigned long long>(
                 metrics.counter("sync_nack_drops").value()));
+    }
+    if (config.crash > 0) {
+        const auto value = [&](const char* name) {
+            return static_cast<unsigned long long>(
+                metrics.counter(name).value());
+        };
+        std::printf(
+            "recover:  crashes=%llu restarts=%llu replayed=%llu "
+            "snapshots=%llu recommits=%llu\n"
+            "rejoin:   hellos=%llu hello_acks=%llu ack_replays=%llu "
+            "retransmits=%llu parked=%llu down_drops=%llu\n",
+            value("recover_crashes"), value("recover_restarts"),
+            value("recover_replayed_records"), value("recover_snapshots"),
+            value("recover_recommits"), value("recover_hellos"),
+            value("recover_hello_acks"), value("recover_window_ack_replays"),
+            value("recover_window_retransmits"),
+            value("recover_future_buffered"), value("net_down_drops"));
     }
     std::printf(
         "packets:  %llu delivered for %llu messages "
