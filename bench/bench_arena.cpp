@@ -18,8 +18,10 @@
 #include "bench_json.hpp"
 #include "clocks/online_clock.hpp"
 #include "clocks/vector_timestamp.hpp"
+#include "common/region.hpp"
 #include "common/rng.hpp"
 #include "common/timestamp_arena.hpp"
+#include "common/ts_simd.hpp"
 #include "decomp/cover_decomposer.hpp"
 #include "graph/generators.hpp"
 
@@ -187,6 +189,110 @@ void study(const char* family, const Graph& g, std::size_t messages,
         instrumented.allocs, leq.ns_per_msg);
 }
 
+// ---- Epoch-churn study (TAB-MEMORY, docs/MEMORY.md) --------------------
+//
+// Region lifecycle at server scale: one pool-backed region per epoch,
+// opened, filled, and retired at a fixed stability lag. The
+// peak_region_bytes column is SlabPool::peak_bytes() — the footprint
+// high-water mark — and the memory-soak CI gate fails if it grows with
+// the epoch count: 10x the epochs must not move the peak, because the
+// live working set is O(lag * width), not O(epochs).
+void churn_study(std::size_t epochs) {
+    constexpr std::size_t kWidth = 8;
+    constexpr std::size_t kSlots = 512;
+    constexpr EpochId kLag = 2;
+    SlabPool pool;
+    RegionStore store(pool);
+    std::uint64_t checksum = 0;
+    const std::size_t allocs_before = bench::allocations();
+    const auto start = std::chrono::steady_clock::now();
+    for (EpochId e = 0; e < epochs; ++e) {
+        TimestampArena& arena =
+            store.open(e, kWidth, kSlots);
+        for (std::size_t i = 0; i < kSlots; ++i) {
+            const TsHandle h = arena.allocate();
+            arena.span(h)[0] = e + i;
+        }
+        checksum += arena.span(0)[0];
+        if (e >= kLag) store.close(e - kLag);
+    }
+    for (EpochId e = static_cast<EpochId>(epochs) - kLag;
+         e < epochs; ++e) {
+        store.close(e);
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    const std::size_t allocs = bench::allocations() - allocs_before;
+    const double ns =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+                .count()) /
+        static_cast<double>(epochs);
+    if (checksum == 0) std::printf("(unreachable checksum)\n");
+    std::printf("%8zu %12.1f %10zu %18zu %10llu %10llu\n", epochs, ns,
+                allocs, pool.peak_bytes(),
+                static_cast<unsigned long long>(pool.acquires()),
+                static_cast<unsigned long long>(pool.reuses()));
+    // Canonical line plus the peak_region_bytes column the soak gate
+    // reads (tools/bench_to_json.sh back-fills it to 0 for other rows).
+    std::printf("{\"bench\":\"arena_epoch_churn\",\"n\":%zu,"
+                "\"ns_per_msg\":%.1f,\"allocs\":%zu,\"threads\":1,"
+                "\"epochs\":%zu,\"peak_region_bytes\":%zu}\n",
+                epochs, ns, allocs, epochs, pool.peak_bytes());
+}
+
+// ---- SIMD study (TAB-SIMD, docs/MEMORY.md) -----------------------------
+//
+// leq_many scalar vs AVX2 over a random slab, per width. The acceptance
+// gate: >= 1.5x at width >= 16 on AVX2 hosts (the simd_speedup column;
+// hosts without AVX2 report speedup 1.0 and the gate is skipped).
+void simd_study(std::size_t width) {
+    constexpr std::size_t kRows = 4096;
+    constexpr std::size_t kRounds = 256;
+    Rng rng(0x51D0ULL + width);
+    // The closure/dominators regime the batch kernels exist for: the
+    // probe is an early timestamp, every row is causally after it, and
+    // the comparison scans the full width. (Fail-fast workloads — rows
+    // concurrent with the probe — resolve at the first violating word,
+    // where the scalar short-circuit is already optimal and SIMD has
+    // nothing to vectorize; the gate measures the scan regime.)
+    std::vector<std::uint64_t> probe(width);
+    for (auto& v : probe) v = rng.below(3);
+    std::vector<std::uint64_t> slab(kRows * width);
+    for (std::size_t i = 0; i < kRows; ++i) {
+        for (std::size_t k = 0; k < width; ++k) {
+            slab[i * width + k] = probe[k] + rng.below(4);
+        }
+    }
+    std::vector<std::uint8_t> out(kRows);
+
+    const auto time_backend = [&](auto&& kernel) {
+        std::uint64_t checksum = 0;
+        const auto start = std::chrono::steady_clock::now();
+        for (std::size_t r = 0; r < kRounds; ++r) {
+            kernel(slab.data(), kRows, width, probe.data(), out.data());
+            checksum += out[r % kRows];
+        }
+        const auto stop = std::chrono::steady_clock::now();
+        if (checksum == 0xFFFFFFFFu) std::printf("(sink)\n");
+        return static_cast<double>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       stop - start)
+                       .count()) /
+               static_cast<double>(kRounds * kRows);
+    };
+    const double scalar_ns = time_backend(simd::leq_many_scalar);
+    const double avx2_ns = time_backend(simd::leq_many_avx2);
+    const double speedup = scalar_ns / avx2_ns;
+    std::printf("%8zu %12.2f %12.2f %9.2fx %6s\n", width, scalar_ns,
+                avx2_ns, speedup, simd::avx2_available() ? "yes" : "no");
+    std::printf("{\"bench\":\"arena_simd_leq_w%zu\",\"n\":%zu,"
+                "\"ns_per_msg\":%.2f,\"allocs\":0,\"threads\":1,"
+                "\"epochs\":1,\"simd_scalar_ns\":%.2f,"
+                "\"simd_speedup\":%.2f,\"avx2\":%d}\n",
+                width, kRounds * kRows, avx2_ns, scalar_ns, speedup,
+                simd::avx2_available() ? 1 : 0);
+}
+
 }  // namespace
 
 int main() {
@@ -217,5 +323,27 @@ int main() {
         "The leq-ns column streams the slab through the 4-way unrolled\n"
         "leq_many kernel (ns per compared stamp) — a regression guard for\n"
         "the widened word loops in ts_kernels.\n");
+
+    std::printf("\n== TAB-MEMORY: epoch-region churn (docs/MEMORY.md) ==\n\n");
+    std::printf("%8s %12s %10s %18s %10s %10s\n", "epochs", "ns/epoch",
+                "allocs", "peak_region_bytes", "acquires", "reuses");
+    churn_study(100);
+    churn_study(1000);
+    std::printf(
+        "\n(peak_region_bytes is the SlabPool high-water mark across the\n"
+        " whole churn; the CI memory-soak gate requires the 1000-epoch row\n"
+        " to match the 100-epoch row — the live set is O(lag*width), so a\n"
+        " peak that scales with epochs is a retirement bug.)\n");
+
+    std::printf("\n== TAB-SIMD: leq_many scalar vs AVX2 ==\n\n");
+    std::printf("%8s %12s %12s %10s %6s\n", "width", "scalar ns",
+                "avx2 ns", "speedup", "avx2?");
+    for (const std::size_t width : {4u, 8u, 16u, 32u, 64u}) {
+        simd_study(width);
+    }
+    std::printf(
+        "\n(acceptance gate: speedup >= 1.5x at width >= 16 on AVX2 hosts;\n"
+        " hosts without AVX2 run the scalar body under both names and the\n"
+        " gate is skipped.)\n");
     return 0;
 }

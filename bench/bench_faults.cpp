@@ -52,7 +52,7 @@ Row run_at_drop_rate(const SyncComputation& script,
     std::uint64_t packets = 0;
     std::uint64_t messages = 0;
     // One registry across the sweep: the sync_* counters accumulate, so
-    // legacy_protocol_stats at the end is the row aggregate.
+    // reading them at the end gives the row aggregate.
     obs::MetricsRegistry metrics;
     const auto start = std::chrono::steady_clock::now();
     for (int repeat = 1; repeat <= repeats; ++repeat) {
@@ -72,10 +72,14 @@ Row run_at_drop_rate(const SyncComputation& script,
                                          expected[result.script_message[i]];
         }
     }
-    const ProtocolStats stats = legacy_protocol_stats(metrics);
-    row.retransmits = stats.retransmits;
-    row.dup_drops = stats.dup_drops;
-    row.corrupt_rejects = stats.corrupt_rejects;
+    row.retransmits = metrics.counter("sync_retransmits").value();
+    // The historical dup_drops aggregation: suppressed duplicates plus
+    // cached-ACK replays (the registry counters are non-overlapping).
+    row.dup_drops = metrics.counter("sync_req_duplicates").value() +
+                    metrics.counter("sync_ack_duplicates").value() +
+                    metrics.counter("sync_ack_replays").value();
+    row.corrupt_rejects =
+        metrics.counter("sync_frames_corrupt_rejected").value();
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();

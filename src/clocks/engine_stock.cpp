@@ -1,0 +1,98 @@
+#include "clocks/engine_stock.hpp"
+
+namespace syncts {
+
+std::unique_ptr<ClockEngine> EngineStock::lease(
+    ClockFamily family,
+    std::shared_ptr<const EdgeDecomposition> decomposition) {
+    SYNCTS_REQUIRE(decomposition != nullptr, "decomposition must be set");
+    std::vector<std::unique_ptr<ClockEngine>>& bucket =
+        engines_[static_cast<std::size_t>(family)];
+    if (!bucket.empty()) {
+        std::unique_ptr<ClockEngine> engine = std::move(bucket.back());
+        bucket.pop_back();
+        engine->rebind(std::move(decomposition));
+        note_lease(/*reused=*/true);
+        note_parked();
+        return engine;
+    }
+    note_lease(/*reused=*/false);
+    return make_clock_engine(family, std::move(decomposition));
+}
+
+void EngineStock::restock(std::unique_ptr<ClockEngine> engine) {
+    if (engine == nullptr) return;
+    engine->detach_metrics();
+    engines_[static_cast<std::size_t>(engine->family())].push_back(
+        std::move(engine));
+    if (metric_restocks_ != nullptr) metric_restocks_->inc();
+    note_parked();
+}
+
+std::unique_ptr<OnlineProcessClock> EngineStock::lease_clock(
+    ProcessId self, std::shared_ptr<const EdgeDecomposition> decomposition) {
+    SYNCTS_REQUIRE(decomposition != nullptr, "decomposition must be set");
+    if (!clocks_.empty()) {
+        std::unique_ptr<OnlineProcessClock> clock = std::move(clocks_.back());
+        clocks_.pop_back();
+        clock->rebind(self, std::move(decomposition));
+        note_lease(/*reused=*/true);
+        note_parked();
+        return clock;
+    }
+    note_lease(/*reused=*/false);
+    return std::make_unique<OnlineProcessClock>(self,
+                                                std::move(decomposition));
+}
+
+void EngineStock::restock_clock(std::unique_ptr<OnlineProcessClock> clock) {
+    if (clock == nullptr) return;
+    clocks_.push_back(std::move(clock));
+    if (metric_restocks_ != nullptr) metric_restocks_->inc();
+    note_parked();
+}
+
+std::size_t EngineStock::stocked_engines() const noexcept {
+    std::size_t total = 0;
+    for (const auto& bucket : engines_) total += bucket.size();
+    return total;
+}
+
+void EngineStock::trim() noexcept {
+    for (auto& bucket : engines_) bucket.clear();
+    clocks_.clear();
+    if (metric_parked_ != nullptr) metric_parked_->set(0);
+}
+
+void EngineStock::attach_metrics(obs::MetricsRegistry& registry,
+                                 std::string_view prefix) {
+    const std::string p(prefix);
+    metric_leases_ = &registry.counter(p + "_leases");
+    metric_reuses_ = &registry.counter(p + "_reuses");
+    metric_creates_ = &registry.counter(p + "_creates");
+    metric_restocks_ = &registry.counter(p + "_restocks");
+    metric_parked_ = &registry.gauge(p + "_parked");
+    note_parked();
+}
+
+void EngineStock::note_lease(bool reused) {
+    ++leases_;
+    if (reused) ++reuses_;
+    if (metric_leases_ != nullptr) {
+        metric_leases_->inc();
+        if (reused) {
+            metric_reuses_->inc();
+        } else {
+            metric_creates_->inc();
+        }
+    }
+}
+
+void EngineStock::note_parked() {
+    if (metric_parked_ != nullptr) {
+        metric_parked_->set(
+            static_cast<std::int64_t>(stocked_engines() + clocks_.size()));
+    }
+}
+
+}  // namespace syncts

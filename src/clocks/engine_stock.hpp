@@ -1,0 +1,97 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "clocks/clock_engine.hpp"
+#include "clocks/online_clock.hpp"
+#include "obs/metrics.hpp"
+
+/// \file engine_stock.hpp
+/// Stock/lease recycling of clock-engine state (docs/MEMORY.md).
+///
+/// `run_reconfigurable_protocol` constructs one per-process clock per
+/// epoch transition and per crash rejoin; a 1000-epoch soak therefore
+/// used to perform thousands of engine constructions — each a handful
+/// of heap allocations (vectors, peer tables, clock slabs). The stock
+/// turns that into a lease: retired engines park here, and the next
+/// lease of the same family pops one and `rebind()`s it onto the new
+/// decomposition — an O(width) reset that reuses every buffer whose
+/// shape still fits. The rebind contract (clock_engine.hpp) guarantees
+/// a leased engine stamps bit-identically to a freshly constructed one,
+/// so recycling is invisible to the protocol and to the chaos oracles.
+///
+/// The stock is not thread-safe: one stock per protocol run (or one per
+/// thread), exactly like the SlabPool it mirrors on the data side.
+
+namespace syncts {
+
+class EngineStock {
+public:
+    EngineStock() = default;
+    EngineStock(const EngineStock&) = delete;
+    EngineStock& operator=(const EngineStock&) = delete;
+
+    // ---- Whole engines (the six ClockFamily drivers) ------------------
+
+    /// A ready engine of `family` targeting `decomposition`: a restocked
+    /// engine rebound in place when one is parked, a fresh
+    /// make_clock_engine otherwise.
+    std::unique_ptr<ClockEngine> lease(
+        ClockFamily family,
+        std::shared_ptr<const EdgeDecomposition> decomposition);
+
+    /// Parks a retired engine for the next lease of its family. Null
+    /// pointers are ignored.
+    void restock(std::unique_ptr<ClockEngine> engine);
+
+    // ---- Per-process online clocks (the reconfig runtime's engines) ---
+
+    /// A ready Fig. 5 process clock for `self` under `decomposition`;
+    /// recycled and rebound when the stock has one parked.
+    std::unique_ptr<OnlineProcessClock> lease_clock(
+        ProcessId self,
+        std::shared_ptr<const EdgeDecomposition> decomposition);
+
+    /// Parks a retired process clock. Null pointers are ignored.
+    void restock_clock(std::unique_ptr<OnlineProcessClock> clock);
+
+    // ---- Introspection ------------------------------------------------
+
+    /// Engines currently parked (all families).
+    std::size_t stocked_engines() const noexcept;
+
+    /// Process clocks currently parked.
+    std::size_t stocked_clocks() const noexcept { return clocks_.size(); }
+
+    std::uint64_t leases() const noexcept { return leases_; }
+    std::uint64_t reuses() const noexcept { return reuses_; }
+
+    /// Drops every parked engine and clock.
+    void trim() noexcept;
+
+    /// Registers `<prefix>_leases/_reuses/_creates/_restocks` counters
+    /// and a `<prefix>_parked` gauge. The registry must outlive the
+    /// stock.
+    void attach_metrics(obs::MetricsRegistry& registry,
+                        std::string_view prefix = "stock");
+
+private:
+    void note_lease(bool reused);
+    void note_parked();
+
+    /// Parked engines bucketed by family (enum value order).
+    std::array<std::vector<std::unique_ptr<ClockEngine>>, 6> engines_{};
+    std::vector<std::unique_ptr<OnlineProcessClock>> clocks_;
+    std::uint64_t leases_ = 0;
+    std::uint64_t reuses_ = 0;
+    obs::Counter* metric_leases_ = nullptr;
+    obs::Counter* metric_reuses_ = nullptr;
+    obs::Counter* metric_creates_ = nullptr;
+    obs::Counter* metric_restocks_ = nullptr;
+    obs::Gauge* metric_parked_ = nullptr;
+};
+
+}  // namespace syncts

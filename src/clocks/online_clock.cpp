@@ -9,16 +9,25 @@
 namespace syncts {
 
 OnlineProcessClock::OnlineProcessClock(
-    ProcessId self, std::shared_ptr<const EdgeDecomposition> decomposition)
-    : self_(self),
-      decomposition_(std::move(decomposition)),
-      vector_(decomposition_->size()) {
-    SYNCTS_REQUIRE(decomposition_ != nullptr, "decomposition must be set");
-    SYNCTS_REQUIRE(decomposition_->complete(),
+    ProcessId self, std::shared_ptr<const EdgeDecomposition> decomposition) {
+    rebind(self, std::move(decomposition));
+}
+
+void OnlineProcessClock::rebind(
+    ProcessId self, std::shared_ptr<const EdgeDecomposition> decomposition) {
+    SYNCTS_REQUIRE(decomposition != nullptr, "decomposition must be set");
+    SYNCTS_REQUIRE(decomposition->complete(),
                    "decomposition must cover every channel");
-    const Graph& graph = decomposition_->graph();
-    SYNCTS_REQUIRE(self_ < graph.num_vertices(),
+    const Graph& graph = decomposition->graph();
+    SYNCTS_REQUIRE(self < graph.num_vertices(),
                    "process id outside the topology");
+    self_ = self;
+    decomposition_ = std::move(decomposition);
+    if (vector_.width() == decomposition_->size()) {
+        ts::zero(vector_.mutable_components());
+    } else {
+        vector_ = VectorTimestamp(decomposition_->size());
+    }
     group_by_peer_.assign(graph.num_vertices(), kNoGroup);
     for (const ProcessId peer : graph.neighbors(self_)) {
         group_by_peer_[peer] = decomposition_->group_of(self_, peer);
@@ -112,6 +121,25 @@ std::size_t OnlineTimestamper::width() const noexcept {
 void OnlineTimestamper::reset() {
     for (OnlineProcessClock& clock : clocks_) {
         clock.reset();
+    }
+    floor_.clear();
+    epoch_ = 0;
+}
+
+void OnlineTimestamper::rebind(
+    std::shared_ptr<const EdgeDecomposition> decomposition) {
+    SYNCTS_REQUIRE(decomposition != nullptr, "decomposition must be set");
+    decomposition_ = std::move(decomposition);
+    const std::size_t n = decomposition_->graph().num_vertices();
+    const std::size_t keep = std::min(n, clocks_.size());
+    for (ProcessId p = 0; p < keep; ++p) {
+        clocks_[p].rebind(p, decomposition_);
+    }
+    clocks_.erase(clocks_.begin() + static_cast<std::ptrdiff_t>(keep),
+                  clocks_.end());
+    clocks_.reserve(n);
+    for (ProcessId p = static_cast<ProcessId>(keep); p < n; ++p) {
+        clocks_.emplace_back(p, decomposition_);
     }
     floor_.clear();
     epoch_ = 0;

@@ -45,6 +45,13 @@ public:
     /// Returns the clock to its initial all-zero vector.
     void reset() noexcept;
 
+    /// Re-targets the clock at process `self` under `decomposition`, as
+    /// if freshly constructed, reusing the vector and peer-table storage
+    /// when the shapes match — the EngineStock recycling hook
+    /// (docs/MEMORY.md).
+    void rebind(ProcessId self,
+                std::shared_ptr<const EdgeDecomposition> decomposition);
+
     /// Overwrites the local vector with `state` (width() words) — the
     /// crash-recovery restore hook (docs/RECOVERY.md). The decomposition
     /// is immutable shared state, so a snapshot needs only the vector.
@@ -132,6 +139,9 @@ public:
     }
 
     void reset() override;
+
+    void rebind(
+        std::shared_ptr<const EdgeDecomposition> decomposition) override;
 
     /// Swaps in the new epoch's decomposition: the accumulated floor is
     /// migrated by the component rule (preserved groups carry, rebuilt

@@ -1,0 +1,165 @@
+#include "common/region.hpp"
+
+#include <bit>
+
+#include "common/timestamp_arena.hpp"
+
+namespace syncts {
+
+// ---- SlabPool --------------------------------------------------------
+
+std::size_t SlabPool::size_class(std::size_t words) noexcept {
+    return static_cast<std::size_t>(
+        std::bit_width(std::bit_ceil(words < 1 ? std::size_t{1} : words)) -
+        1);
+}
+
+Slab SlabPool::acquire(std::size_t min_words) {
+    const std::size_t words =
+        std::bit_ceil(min_words < 1 ? std::size_t{1} : min_words);
+    const std::size_t cls = size_class(words);
+    ++acquires_;
+    if (metric_acquires_ != nullptr) metric_acquires_->inc();
+    std::vector<Slab>& bucket = buckets_[cls];
+    Slab slab;
+    if (!bucket.empty()) {
+        slab = std::move(bucket.back());
+        bucket.pop_back();
+        cached_bytes_ -= slab.capacity_words * sizeof(std::uint64_t);
+        ++reuses_;
+        if (metric_reuses_ != nullptr) metric_reuses_->inc();
+    } else {
+        slab = Slab{std::make_unique<std::uint64_t[]>(words), words};
+    }
+    leased_bytes_ += slab.capacity_words * sizeof(std::uint64_t);
+    note_footprint();
+    return slab;
+}
+
+void SlabPool::release(Slab&& slab) noexcept {
+    if (!slab) return;
+    const std::size_t bytes = slab.capacity_words * sizeof(std::uint64_t);
+    if (leased_bytes_ >= bytes) leased_bytes_ -= bytes;
+    cached_bytes_ += bytes;
+    ++releases_;
+    buckets_[size_class(slab.capacity_words)].push_back(std::move(slab));
+    if (metric_releases_ != nullptr) metric_releases_->inc();
+    note_footprint();
+}
+
+void SlabPool::trim() noexcept {
+    for (auto& bucket : buckets_) bucket.clear();
+    cached_bytes_ = 0;
+    if (metric_cached_bytes_ != nullptr) metric_cached_bytes_->set(0);
+}
+
+void SlabPool::note_footprint() noexcept {
+    const std::size_t footprint = cached_bytes_ + leased_bytes_;
+    if (footprint > peak_bytes_) peak_bytes_ = footprint;
+    if (metric_cached_bytes_ != nullptr) {
+        metric_cached_bytes_->set(static_cast<std::int64_t>(cached_bytes_));
+        metric_leased_bytes_->set(static_cast<std::int64_t>(leased_bytes_));
+        metric_peak_bytes_->set_max(static_cast<std::int64_t>(peak_bytes_));
+    }
+}
+
+void SlabPool::attach_metrics(obs::MetricsRegistry& registry,
+                              std::string_view prefix) {
+    const std::string p(prefix);
+    metric_acquires_ = &registry.counter(p + "_acquires");
+    metric_reuses_ = &registry.counter(p + "_reuses");
+    metric_releases_ = &registry.counter(p + "_releases");
+    metric_cached_bytes_ = &registry.gauge(p + "_cached_bytes");
+    metric_leased_bytes_ = &registry.gauge(p + "_leased_bytes");
+    metric_peak_bytes_ = &registry.gauge(p + "_peak_bytes");
+    metric_acquires_->inc(acquires_);
+    metric_reuses_->inc(reuses_);
+    metric_releases_->inc(releases_);
+    note_footprint();
+}
+
+// ---- RegionStore -----------------------------------------------------
+
+RegionStore::~RegionStore() = default;
+
+TimestampArena& RegionStore::open(EpochId epoch, std::size_t width,
+                                  std::size_t reserve_slots) {
+    SYNCTS_REQUIRE(!live(epoch), "region already live for this epoch");
+    Region region;
+    region.arena = std::make_unique<TimestampArena>(width, reserve_slots,
+                                                    pool_);
+    auto [it, inserted] = regions_.emplace(epoch, std::move(region));
+    SYNCTS_ENSURE(inserted, "region map insert failed");
+    if (metric_opens_ != nullptr) metric_opens_->inc();
+    if (metric_live_ != nullptr) {
+        metric_live_->set(static_cast<std::int64_t>(regions_.size()));
+    }
+    return *it->second.arena;
+}
+
+TimestampArena& RegionStore::arena(EpochId epoch) {
+    const auto it = regions_.find(epoch);
+    if (it == regions_.end()) throw RegionError(epoch);
+    return *it->second.arena;
+}
+
+const TimestampArena& RegionStore::arena(EpochId epoch) const {
+    const auto it = regions_.find(epoch);
+    if (it == regions_.end()) throw RegionError(epoch);
+    return *it->second.arena;
+}
+
+std::span<const std::uint64_t> RegionStore::span(RegionHandle h) const {
+    return arena(h.epoch).span(h.index);
+}
+
+std::span<std::uint64_t> RegionStore::span(RegionHandle h) {
+    return arena(h.epoch).span(h.index);
+}
+
+void RegionStore::pin(EpochId epoch) {
+    const auto it = regions_.find(epoch);
+    if (it == regions_.end()) throw RegionError(epoch);
+    ++it->second.pins;
+}
+
+void RegionStore::unpin(EpochId epoch) {
+    const auto it = regions_.find(epoch);
+    if (it == regions_.end()) throw RegionError(epoch);
+    SYNCTS_REQUIRE(it->second.pins > 0, "unpin without a matching pin");
+    --it->second.pins;
+    if (it->second.pins == 0 && it->second.close_deferred) retire(it);
+}
+
+void RegionStore::close(EpochId epoch) {
+    const auto it = regions_.find(epoch);
+    if (it == regions_.end()) throw RegionError(epoch);
+    if (it->second.pins > 0) {
+        it->second.close_deferred = true;
+        if (metric_deferred_ != nullptr) metric_deferred_->inc();
+        return;
+    }
+    retire(it);
+}
+
+void RegionStore::retire(std::map<EpochId, Region>::iterator it) {
+    // The arena destructor returns the slab to the pool wholesale —
+    // O(1), no per-handle work.
+    regions_.erase(it);
+    if (metric_closes_ != nullptr) metric_closes_->inc();
+    if (metric_live_ != nullptr) {
+        metric_live_->set(static_cast<std::int64_t>(regions_.size()));
+    }
+}
+
+void RegionStore::attach_metrics(obs::MetricsRegistry& registry,
+                                 std::string_view prefix) {
+    const std::string p(prefix);
+    metric_opens_ = &registry.counter(p + "_opens");
+    metric_closes_ = &registry.counter(p + "_closes");
+    metric_deferred_ = &registry.counter(p + "_deferred_closes");
+    metric_live_ = &registry.gauge(p + "_live");
+    metric_live_->set(static_cast<std::int64_t>(regions_.size()));
+}
+
+}  // namespace syncts

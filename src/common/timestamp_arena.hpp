@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -7,6 +8,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/region.hpp"
 #include "common/ts_kernels.hpp"
 #include "obs/metrics.hpp"
 
@@ -25,9 +27,19 @@
 ///
 /// The layout flattens what used to be a std::vector<VectorTimestamp> —
 /// M separate allocations, each with its own capacity/size header and
-/// pointer chase — into a single structure-of-arrays slab with zero
-/// per-timestamp overhead, so the batch precedence kernels (leq_many,
-/// relate_many, dominators_of) stream rows at memory bandwidth.
+/// pointer chase — into a single slab with zero per-timestamp overhead,
+/// so the batch precedence kernels (leq_many, relate_many, dominators_of)
+/// stream rows at memory bandwidth, with AVX2 paths dispatched at runtime
+/// (ts_simd.hpp) and a component-major SoA mirror (SoaStripes) for the
+/// narrow-width scans.
+///
+/// Since the epoch-region refactor (docs/MEMORY.md) the slab is an
+/// explicit `Slab` that may be leased from a `SlabPool` (region.hpp):
+/// pool-backed arenas acquire recycled chunks on growth and return the
+/// slab on destruction, so cycling epoch-scoped arenas through one pool
+/// is allocation-free in steady state. Growth doubles the slab but is
+/// clamped to `max_slots` (at most the 2^32−1 handle space) and throws a
+/// typed ArenaFullError instead of wrapping handles.
 ///
 /// Spans returned by span()/row() are invalidated by allocate()/reserve()
 /// (slab growth may reallocate); re-fetch after any allocation, exactly as
@@ -45,45 +57,118 @@ inline constexpr TsHandle kNoTimestamp =
 class TimestampArena {
 public:
     /// Arena for timestamps of `width` components each; optionally
-    /// pre-reserves room for `reserve_slots` slots.
-    explicit TimestampArena(std::size_t width, std::size_t reserve_slots = 0)
-        : width_(width) {
-        slab_.reserve(width_ * reserve_slots);
+    /// pre-reserves room for `reserve_slots` slots. With a `pool` the
+    /// slab is leased from it (and returned on destruction); the pool
+    /// must outlive the arena. `max_slots` caps growth below the 32-bit
+    /// handle space — allocate() past it throws ArenaFullError.
+    explicit TimestampArena(std::size_t width, std::size_t reserve_slots = 0,
+                            SlabPool* pool = nullptr,
+                            std::size_t max_slots = kNoTimestamp)
+        : width_(width),
+          pool_(pool),
+          max_slots_(std::min<std::size_t>(max_slots, kNoTimestamp)) {
+        if (reserve_slots > 0 && width_ > 0) reserve(reserve_slots);
     }
+
+    TimestampArena(const TimestampArena& other)
+        : width_(other.width_),
+          size_words_(other.size_words_),
+          zero_width_slots_(other.zero_width_slots_),
+          pool_(other.pool_),
+          max_slots_(other.max_slots_) {
+        if (other.size_words_ > 0) {
+            slab_ = acquire_slab(other.size_words_);
+            std::copy_n(other.slab_.words.get(), size_words_,
+                        slab_.words.get());
+        }
+    }
+
+    TimestampArena(TimestampArena&& other) noexcept
+        : width_(other.width_),
+          slab_(std::move(other.slab_)),
+          size_words_(other.size_words_),
+          zero_width_slots_(other.zero_width_slots_),
+          pool_(other.pool_),
+          max_slots_(other.max_slots_) {
+        other.slab_ = Slab{};
+        other.size_words_ = 0;
+        other.zero_width_slots_ = 0;
+    }
+
+    TimestampArena& operator=(const TimestampArena& other) {
+        if (this != &other) {
+            TimestampArena copy(other);
+            *this = std::move(copy);
+        }
+        return *this;
+    }
+
+    TimestampArena& operator=(TimestampArena&& other) noexcept {
+        if (this != &other) {
+            release_slab();
+            width_ = other.width_;
+            slab_ = std::move(other.slab_);
+            size_words_ = other.size_words_;
+            zero_width_slots_ = other.zero_width_slots_;
+            pool_ = other.pool_;
+            max_slots_ = other.max_slots_;
+            other.slab_ = Slab{};
+            other.size_words_ = 0;
+            other.zero_width_slots_ = 0;
+        }
+        return *this;
+    }
+
+    ~TimestampArena() { release_slab(); }
 
     /// Components per timestamp (fixed for the arena's lifetime).
     std::size_t width() const noexcept { return width_; }
 
     /// Number of allocated slots.
     std::size_t size() const noexcept {
-        return width_ == 0 ? zero_width_slots_ : slab_.size() / width_;
+        return width_ == 0 ? zero_width_slots_ : size_words_ / width_;
     }
 
     /// Slots the slab can hold before reallocating.
     std::size_t capacity() const noexcept {
-        return width_ == 0 ? zero_width_slots_ : slab_.capacity() / width_;
+        return width_ == 0 ? zero_width_slots_
+                           : slab_.capacity_words / width_;
     }
 
-    /// Pre-grows the slab to hold at least `slots` slots.
-    void reserve(std::size_t slots) { slab_.reserve(slots * width_); }
+    /// Slot ceiling (see the constructor) — never above kNoTimestamp.
+    std::size_t max_slots() const noexcept { return max_slots_; }
 
-    /// Allocates one zero-initialized slot and returns its handle.
+    /// The pool this arena leases from (nullptr = plain heap).
+    SlabPool* pool() const noexcept { return pool_; }
+
+    /// Pre-grows the slab to hold at least `slots` slots; throws
+    /// ArenaFullError past max_slots().
+    void reserve(std::size_t slots) {
+        if (width_ == 0 || slots <= capacity()) return;
+        if (slots > max_slots_) throw ArenaFullError(slots, max_slots_);
+        grow_to(slots * width_);
+    }
+
+    /// Allocates one zero-initialized slot and returns its handle;
+    /// throws ArenaFullError when the slot ceiling (at most the 32-bit
+    /// handle space) is exhausted.
     TsHandle allocate() {
         const std::size_t slot = size();
-        SYNCTS_REQUIRE(slot < kNoTimestamp, "timestamp arena full");
+        if (slot >= max_slots_) throw ArenaFullError(slot + 1, max_slots_);
         if (width_ == 0) {
             ++zero_width_slots_;
         } else {
-            if (metric_growths_ != nullptr &&
-                slab_.size() + width_ > slab_.capacity()) {
-                metric_growths_->inc();
+            if (size_words_ + width_ > slab_.capacity_words) {
+                grow_for_one_more();
+                if (metric_growths_ != nullptr) metric_growths_->inc();
             }
-            slab_.resize(slab_.size() + width_, 0);
+            std::fill_n(slab_.words.get() + size_words_, width_, 0);
+            size_words_ += width_;
         }
         if (metric_slots_ != nullptr) {
             metric_slots_->inc();
             metric_bytes_->set(static_cast<std::int64_t>(
-                slab_.capacity() * sizeof(std::uint64_t)));
+                slab_.capacity_words * sizeof(std::uint64_t)));
         }
         return static_cast<TsHandle>(slot);
     }
@@ -101,27 +186,30 @@ public:
     /// Mutable view of slot h's components.
     std::span<std::uint64_t> span(TsHandle h) {
         SYNCTS_REQUIRE(h < size(), "timestamp handle out of range");
-        return {slab_.data() + static_cast<std::size_t>(h) * width_, width_};
+        return {slab_.words.get() + static_cast<std::size_t>(h) * width_,
+                width_};
     }
 
     /// Read-only view of slot h's components.
     std::span<const std::uint64_t> span(TsHandle h) const {
         SYNCTS_REQUIRE(h < size(), "timestamp handle out of range");
-        return {slab_.data() + static_cast<std::size_t>(h) * width_, width_};
+        return {slab_.words.get() + static_cast<std::size_t>(h) * width_,
+                width_};
     }
 
-    /// Drops every slot but keeps the slab's capacity — the steady-state
-    /// reuse path (no allocation on the next size() allocations up to
-    /// capacity()).
+    /// Drops every slot but keeps the slab — the steady-state reuse path
+    /// (no allocation on the next capacity() allocations).
     void clear() noexcept {
-        slab_.clear();
+        size_words_ = 0;
         zero_width_slots_ = 0;
         if (metric_clears_ != nullptr) metric_clears_->inc();
     }
 
     /// The whole slab (row h at [h*width, (h+1)*width)) — for bulk
     /// serialization and the batch kernels.
-    std::span<const std::uint64_t> slab() const noexcept { return slab_; }
+    std::span<const std::uint64_t> slab() const noexcept {
+        return {slab_.words.get(), size_words_};
+    }
 
     /// Registers this arena's metrics under `<prefix>_*` and starts
     /// counting: `_slots` (handle churn), `_slab_growths` (reallocations),
@@ -139,7 +227,7 @@ public:
         metric_kernel_calls_ = &registry.counter(p + "_kernel_calls");
         metric_kernel_rows_ = &registry.counter(p + "_kernel_rows");
         metric_bytes_->set(static_cast<std::int64_t>(
-            slab_.capacity() * sizeof(std::uint64_t)));
+            slab_.capacity_words * sizeof(std::uint64_t)));
     }
 
     /// Detaches from the registry (hot path reverts to the null branch).
@@ -161,18 +249,59 @@ public:
     }
 
     /// Equality is over contents only (width and rows), not over the
-    /// metrics attachment.
+    /// metrics attachment, pool backing, or slot ceiling.
     friend bool operator==(const TimestampArena& a, const TimestampArena& b) {
-        return a.width_ == b.width_ && a.slab_ == b.slab_ &&
-               a.zero_width_slots_ == b.zero_width_slots_;
+        return a.width_ == b.width_ &&
+               a.zero_width_slots_ == b.zero_width_slots_ &&
+               a.size_words_ == b.size_words_ &&
+               std::equal(a.slab_.words.get(),
+                          a.slab_.words.get() + a.size_words_,
+                          b.slab_.words.get());
     }
 
 private:
+    Slab acquire_slab(std::size_t min_words) {
+        if (pool_ != nullptr) return pool_->acquire(min_words);
+        return Slab{std::make_unique<std::uint64_t[]>(min_words), min_words};
+    }
+
+    void release_slab() noexcept {
+        if (!slab_) return;
+        if (pool_ != nullptr) {
+            pool_->release(std::move(slab_));
+        }
+        slab_ = Slab{};
+    }
+
+    void grow_to(std::size_t min_words) {
+        Slab grown = acquire_slab(min_words);
+        if (size_words_ > 0) {
+            std::copy_n(slab_.words.get(), size_words_, grown.words.get());
+        }
+        release_slab();
+        slab_ = std::move(grown);
+    }
+
+    /// Doubling growth for one more row, clamped to the slot ceiling so
+    /// the word count cannot overflow (max_slots_ <= 2^32−1 keeps
+    /// slots*width within std::size_t for any sane width).
+    void grow_for_one_more() {
+        const std::size_t cap_slots = slab_.capacity_words / width_;
+        const std::size_t doubled = std::max<std::size_t>(cap_slots * 2, 8);
+        grow_to(std::min(doubled, max_slots_) * width_);
+    }
+
     std::size_t width_;
-    std::vector<std::uint64_t> slab_;
+    Slab slab_;
+    /// Words in use; size() rows of width_ words each.
+    std::size_t size_words_ = 0;
     /// Width-0 arenas (degenerate but legal: empty realizers) have no slab
     /// bytes, so the slot count is tracked explicitly.
     std::size_t zero_width_slots_ = 0;
+    /// Recycling pool (region.hpp); nullptr = plain heap slab.
+    SlabPool* pool_ = nullptr;
+    /// Growth ceiling in slots, at most kNoTimestamp.
+    std::size_t max_slots_ = kNoTimestamp;
     /// Optional instrumentation (see attach_metrics); nullptr = disabled.
     obs::Counter* metric_slots_ = nullptr;
     obs::Counter* metric_growths_ = nullptr;
@@ -185,7 +314,9 @@ private:
 struct AnalysisOptions;
 
 /// out[i] = (probe ≤ slot i), for every slot. `out.size()` must equal
-/// `arena.size()`. The batch form of the Section 2 ≤ test.
+/// `arena.size()`. The batch form of the Section 2 ≤ test. Dispatches to
+/// the AVX2 kernel when the host supports it (ts_simd.hpp); the scalar
+/// fallback is bit-identical.
 void leq_many(const TimestampArena& arena,
               std::span<const std::uint64_t> probe,
               std::span<std::uint8_t> out);
@@ -199,7 +330,7 @@ void leq_many(const TimestampArena& arena,
 
 /// out[i] = ts::relate(slot i, probe) (bit kRowLeq: slot ≤ probe, bit
 /// kProbeLeq: probe ≤ slot) — one pass answering before/after/equal/
-/// concurrent for probe vs every slot.
+/// concurrent for probe vs every slot. Runtime-dispatched like leq_many.
 void relate_many(const TimestampArena& arena,
                  std::span<const std::uint64_t> probe,
                  std::span<std::uint8_t> out);
@@ -214,5 +345,68 @@ void relate_many(const TimestampArena& arena,
 /// probe", the building block of frontier/orphan queries.
 std::vector<TsHandle> dominators_of(const TimestampArena& arena,
                                     std::span<const std::uint64_t> probe);
+
+/// Lanes per SoA stripe (rows interleaved per component group); one
+/// 256-bit register covers one component of kSoaLane slots.
+inline constexpr std::size_t kSoaLane = 4;
+
+/// Component-major (SoA) mirror of an arena for the narrow-width batch
+/// scans: rows are grouped into stripes of kSoaLane slots and each
+/// stripe stores component k of its lanes contiguously, so one vector
+/// load covers component k of four slots at any width. Built from a
+/// frozen arena (allocate() on the source invalidates the mirror); the
+/// stripe slab follows the same pool discipline as the arena's.
+class SoaStripes {
+public:
+    /// Snapshot of `arena` in stripe layout; `pool` backs the stripe
+    /// slab (nullptr = heap).
+    explicit SoaStripes(const TimestampArena& arena,
+                        SlabPool* pool = nullptr);
+
+    SoaStripes(SoaStripes&& other) noexcept
+        : width_(other.width_),
+          rows_(other.rows_),
+          stripe_words_(other.stripe_words_),
+          slab_(std::move(other.slab_)),
+          pool_(other.pool_) {
+        other.slab_ = Slab{};
+        other.stripe_words_ = 0;
+        other.rows_ = 0;
+    }
+    SoaStripes(const SoaStripes&) = delete;
+    SoaStripes& operator=(const SoaStripes&) = delete;
+    SoaStripes& operator=(SoaStripes&&) = delete;
+    ~SoaStripes();
+
+    std::size_t width() const noexcept { return width_; }
+    std::size_t rows() const noexcept { return rows_; }
+
+    /// Stripe slab: stripe s, component k, lane l at
+    /// [s*width*kSoaLane + k*kSoaLane + l]; pad lanes are zero.
+    std::span<const std::uint64_t> stripes() const noexcept {
+        return {slab_.words.get(), stripe_words_};
+    }
+
+    /// out[i] = (probe ≤ row i); bit-identical to the arena kernel.
+    void leq_many(std::span<const std::uint64_t> probe,
+                  std::span<std::uint8_t> out) const;
+
+    /// out[i] = ts::relate(row i, probe); bit-identical to the arena
+    /// kernel.
+    void relate_many(std::span<const std::uint64_t> probe,
+                     std::span<std::uint8_t> out) const;
+
+    /// Handles of rows strictly dominating probe; bit-identical to the
+    /// arena kernel.
+    std::vector<TsHandle> dominators_of(
+        std::span<const std::uint64_t> probe) const;
+
+private:
+    std::size_t width_ = 0;
+    std::size_t rows_ = 0;
+    std::size_t stripe_words_ = 0;
+    Slab slab_;
+    SlabPool* pool_ = nullptr;
+};
 
 }  // namespace syncts

@@ -61,6 +61,15 @@ public:
     void add(std::int64_t by) noexcept {
         value_.fetch_add(by, std::memory_order_relaxed);
     }
+    /// Raises the gauge to `v` when it is currently lower — lossless
+    /// high-water tracking (peak slab bytes, peak live regions) even
+    /// with concurrent writers.
+    void set_max(std::int64_t v) noexcept {
+        std::int64_t cur = value_.load(std::memory_order_relaxed);
+        while (cur < v && !value_.compare_exchange_weak(
+                              cur, v, std::memory_order_relaxed)) {
+        }
+    }
     std::int64_t value() const noexcept {
         return value_.load(std::memory_order_relaxed);
     }

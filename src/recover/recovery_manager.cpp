@@ -67,6 +67,7 @@ RecoverOutcome RecoveryManager::recover(
     }
 
     RecoverOutcome outcome;
+    outcome.stable_epoch = snapshot.state.epoch;
     ProcessState state = snapshot.state;
     // The window capacity every channel of this process uses; replayed
     // records may open channels the snapshot had not seen.

@@ -30,6 +30,14 @@ namespace syncts {
 /// The reconstructed state plus replay statistics.
 struct RecoverOutcome {
     ProcessState state;
+
+    /// The snapshot's own epoch — the process's rewind floor. WAL
+    /// replay may carry `state.epoch` past it (epoch records cross
+    /// barriers), but no recovery of this store can ever touch an epoch
+    /// below `stable_epoch`: it is the anchor the runtime's region pins
+    /// and the stability frontier are keyed on (docs/MEMORY.md).
+    EpochId stable_epoch = 0;
+
     std::uint64_t replayed_records = 0;
     std::uint64_t replayed_epochs = 0;
 };

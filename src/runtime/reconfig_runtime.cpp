@@ -8,8 +8,10 @@
 #include <unordered_map>
 #include <utility>
 
+#include "clocks/engine_stock.hpp"
 #include "clocks/wire.hpp"
 #include "common/check.hpp"
+#include "common/region.hpp"
 #include "common/timestamp_arena.hpp"
 #include "common/ts_kernels.hpp"
 #include "recover/recovery_manager.hpp"
@@ -37,9 +39,8 @@ struct Outstanding {
     std::uint64_t first_send_time = 0;  // for the rendezvous-ticks histogram
 };
 
-/// Plain tallies kept unconditionally; they back the registry counters
-/// (and, through legacy_protocol_stats, the deprecated ProtocolStats
-/// view). These never count one event twice: a cached-ACK replay is an
+/// Plain tallies kept unconditionally; they back the registry counters.
+/// These never count one event twice: a cached-ACK replay is an
 /// ack_replay only, not also a duplicate drop.
 struct Tally {
     std::uint64_t req_sent = 0;
@@ -168,17 +169,21 @@ struct DurableStore {
 };
 
 /// Per-epoch accumulation: the realized computation, the committed
-/// stamps (slot = realized-message index), and the script-id mapping.
+/// stamps (slot = realized-message index, held by the epoch's region),
+/// and the script-id mapping. Created lazily at the epoch's first
+/// commit and destroyed when the stability frontier passes the epoch —
+/// the stamps are materialized into the result and the region's slab
+/// returns to the pool wholesale (docs/MEMORY.md).
 struct SegmentState {
     SyncComputation computation;
-    TimestampArena arena;
+    /// The epoch's region arena, owned by the run's RegionStore; cached
+    /// here so the commit hot path skips the epoch → region lookup.
+    TimestampArena* arena = nullptr;
     std::vector<TsHandle> handle_by_script;
     std::vector<MessageId> script_message;
 
-    SegmentState(const Graph& graph, std::size_t width, std::size_t messages)
-        : computation(graph),
-          arena(width, messages),
-          handle_by_script(messages, kNoTimestamp) {}
+    SegmentState(const Graph& graph, std::size_t messages)
+        : computation(graph), handle_by_script(messages, kNoTimestamp) {}
 };
 
 }  // namespace
@@ -193,7 +198,7 @@ ReconfigurableRunResult run_reconfigurable_protocol(
                    "max_retransmits must be positive");
     SYNCTS_REQUIRE(options.max_backoff_exponent <= 32,
                    "max_backoff_exponent out of range");
-    std::size_t n_max = 0;
+    const std::size_t n_max = topology.max_num_processes();
     for (EpochId e = 0; e < num_epochs; ++e) {
         const Graph& graph = topology.epoch(e).graph();
         SYNCTS_REQUIRE(scripts[e].num_processes() == graph.num_vertices(),
@@ -202,7 +207,6 @@ ReconfigurableRunResult run_reconfigurable_protocol(
             SYNCTS_REQUIRE(graph.has_edge(m.sender, m.receiver),
                            "script uses a channel its epoch does not have");
         }
-        n_max = std::max(n_max, graph.num_vertices());
     }
 
     // The crash-recovery layer is armed by crash rules or explicitly.
@@ -304,18 +308,121 @@ ReconfigurableRunResult run_reconfigurable_protocol(
             DurableStore{{}, Wal(options.recovery.wal_flush_interval)});
     }
 
-    std::vector<SegmentState> segments;
-    segments.reserve(num_epochs);
-    for (EpochId e = 0; e < num_epochs; ++e) {
-        segments.emplace_back(topology.epoch(e).graph(),
-                              topology.epoch(e).width(),
-                              scripts[e].num_messages());
+    // ---- Epoch-region memory (docs/MEMORY.md) -------------------------
+    // Every epoch's committed stamps live in a region drawn from one
+    // slab pool, and per-process clocks are leased from one engine
+    // stock. A caller running many protocols in sequence can pass both
+    // in through the options so even cross-run churn reuses capacity;
+    // by default each gets a run-local instance. External pools/stocks
+    // are attached to a registry (or not) by their owner.
+    SlabPool local_pool;
+    SlabPool& pool =
+        options.slab_pool != nullptr ? *options.slab_pool : local_pool;
+    EngineStock local_stock;
+    EngineStock& stock = options.engine_stock != nullptr
+                             ? *options.engine_stock
+                             : local_stock;
+    if (options.metrics != nullptr) {
+        if (options.slab_pool == nullptr) {
+            local_pool.attach_metrics(*options.metrics);
+        }
+        if (options.engine_stock == nullptr) {
+            local_stock.attach_metrics(*options.metrics);
+        }
+    }
+    RegionStore regions(pool);
+    if (options.metrics != nullptr) {
+        regions.attach_metrics(*options.metrics);
     }
 
     // The barrier state: every live, caught-up engine stamps, frames, and
     // validates against this one epoch. A restarted engine may lag behind
     // it until its rejoin fast-forwards.
     EpochId current_epoch = 0;
+
+    // Segments are created lazily (a message-free epoch never opens a
+    // region) and retired eagerly: once the stability frontier passes an
+    // epoch, its results are materialized and its region's slabs return
+    // to the pool, so a 1000-epoch run holds O(live width) arena bytes,
+    // not O(epochs).
+    std::vector<std::unique_ptr<SegmentState>> segments(num_epochs);
+    const auto segment_for = [&](EpochId e) -> SegmentState& {
+        std::unique_ptr<SegmentState>& slot = segments[e];
+        if (slot == nullptr) {
+            const Epoch& epoch = topology.epoch(e);
+            slot = std::make_unique<SegmentState>(epoch.graph(),
+                                                  scripts[e].num_messages());
+            slot->arena = &regions.open(e, epoch.width(),
+                                        scripts[e].num_messages());
+        }
+        return *slot;
+    };
+
+    // Drummond–Barbosa stability frontier: the lowest epoch any process
+    // could still rewind into. With recovery armed that is the lowest
+    // durable-snapshot epoch across processes — a crashed process
+    // restarts from its snapshot and re-executes forward, and every
+    // recommit verifies bit-identity against the original stamp, so
+    // regions at or above a durable epoch must stay live. Without
+    // recovery nothing ever rewinds and the frontier is the barrier
+    // epoch itself. Each process holds a region pin on its durable
+    // epoch as defense in depth: were the frontier arithmetic ever
+    // wrong, close() would defer instead of dangling a replay read.
+    constexpr EpochId kNoDurableEpoch = std::numeric_limits<EpochId>::max();
+    std::vector<EpochId> durable_epoch(n_max, kNoDurableEpoch);
+
+    std::vector<EpochSegmentResult> flushed;
+    flushed.reserve(num_epochs);
+    EpochId flushed_below = 0;
+
+    /// Materializes epoch `e`'s results and retires its region — every
+    /// slab returns to the pool in O(1). Only called once the frontier
+    /// has passed `e`, so no engine, late frame, or recovery replay can
+    /// touch the segment again (the region analogue of WAL truncation
+    /// at a snapshot: both discard exactly the state no surviving
+    /// rewind can reach).
+    const auto flush_segment = [&](EpochId e) {
+        if (segments[e] == nullptr) {
+            // Never touched: only legal for a message-free epoch.
+            SYNCTS_ENSURE(scripts[e].num_messages() == 0,
+                          "epoch flushed with unrealized messages");
+            flushed.push_back(EpochSegmentResult{
+                e, SyncComputation(topology.epoch(e).graph()), {}, {}});
+            return;
+        }
+        SegmentState& segment = *segments[e];
+        SYNCTS_ENSURE(segment.computation.num_messages() ==
+                          scripts[e].num_messages(),
+                      "epoch flushed with unrealized messages");
+        std::vector<VectorTimestamp> stamps;
+        stamps.reserve(segment.arena->size());
+        for (std::size_t i = 0; i < segment.arena->size(); ++i) {
+            stamps.emplace_back(segment.arena->span(static_cast<TsHandle>(i)));
+        }
+        flushed.push_back(EpochSegmentResult{
+            e, std::move(segment.computation), std::move(stamps),
+            std::move(segment.script_message)});
+        segments[e].reset();
+        regions.close(e);
+    };
+
+    /// Retires every epoch the stability frontier has passed.
+    /// `barrier_bound` is the non-recovery frontier (the current barrier
+    /// epoch); durable snapshots can only pull it down, never past it.
+    const auto retire_stable = [&](EpochId barrier_bound) {
+        EpochId frontier = barrier_bound;
+        if (recovery_active) {
+            for (ProcessId p = 0; p < n_max; ++p) {
+                if (durable_epoch[p] != kNoDurableEpoch) {
+                    frontier = std::min(frontier, durable_epoch[p]);
+                }
+            }
+        }
+        while (flushed_below < frontier) {
+            flush_segment(flushed_below);
+            ++flushed_below;
+        }
+    };
 
     // Without recovery a single cached ACK per channel suffices (the
     // classic lost-ACK replay); a capacity-1 window keeps that exact
@@ -346,8 +453,10 @@ ReconfigurableRunResult run_reconfigurable_protocol(
     };
 
     /// (Re)loads per-process state for epoch `e`: the epoch's script
-    /// slice, a fresh clock on the epoch's decomposition, and width-d
-    /// scratch. Channel maps are deliberately left alone.
+    /// slice, a clock leased from the stock (a recycled one rebound to
+    /// the epoch's decomposition when available — bit-identical to a
+    /// fresh construction), and width-d scratch. Channel maps are
+    /// deliberately left alone.
     const auto load_engine = [&](ProcessId p, EpochId e) {
         Engine& engine = engines[p];
         const std::shared_ptr<const EdgeDecomposition> decomposition =
@@ -358,7 +467,9 @@ ReconfigurableRunResult run_reconfigurable_protocol(
         engine.script.clear();
         engine.cursor = 0;
         if (p >= n) {
-            engine.clock.reset();
+            // Not a member of this epoch: park the clock for whoever
+            // loads next.
+            stock.restock_clock(std::move(engine.clock));
             return;
         }
         for (const ProcessEvent& event : scripts[e].process_events(p)) {
@@ -366,7 +477,8 @@ ReconfigurableRunResult run_reconfigurable_protocol(
                 engine.script.push_back(event);
             }
         }
-        engine.clock = std::make_unique<OnlineProcessClock>(p, decomposition);
+        stock.restock_clock(std::move(engine.clock));
+        engine.clock = stock.lease_clock(p, decomposition);
         engine.rx_stamp.resize(d);
         engine.ack_scratch.resize(d);
         engine.stamp_scratch.resize(d);
@@ -414,7 +526,10 @@ ReconfigurableRunResult run_reconfigurable_protocol(
 
     /// Checkpoint: flush the WAL (a snapshot is a flush point), write the
     /// snapshot, then truncate the log prefix it folded in — the
-    /// Drummond–Barbosa stability rule, which bounds log growth.
+    /// Drummond–Barbosa stability rule, which bounds log growth. The
+    /// region side mirrors it exactly: the process's durable epoch
+    /// advances, its region pin moves with it, and every epoch the
+    /// frontier has now passed is retired to the pool.
     const auto take_snapshot = [&](ProcessId p) {
         if (!recovery_active) return;
         Engine& engine = engines[p];
@@ -431,6 +546,19 @@ ReconfigurableRunResult run_reconfigurable_protocol(
         ++tally.snapshots;
         if (snapshot_bytes_hist != nullptr) {
             snapshot_bytes_hist->record(store.snapshot.size());
+        }
+        if (durable_epoch[p] != engine.epoch) {
+            // This snapshot is now the process's rewind floor: pin its
+            // epoch's region (a crash replays into it and recommits
+            // verify against the original stamps), release the previous
+            // floor, and retire whatever became stable.
+            segment_for(engine.epoch);
+            regions.pin(engine.epoch);
+            if (durable_epoch[p] != kNoDurableEpoch) {
+                regions.unpin(durable_epoch[p]);
+            }
+            durable_epoch[p] = engine.epoch;
+            retire_stable(current_epoch);
         }
     };
 
@@ -454,7 +582,9 @@ ReconfigurableRunResult run_reconfigurable_protocol(
         trace(obs::TraceEventKind::crash, now, p, p, engine.steps,
               engine.incarnation, logical(engine));
         stores[p].wal.drop_unflushed();
-        engine.clock.reset();
+        // The crash wipes the clock's *state*; its buffers are reusable,
+        // so park it for the next lease (rebind() resets it in full).
+        stock.restock_clock(std::move(engine.clock));
         engine.outstanding.reset();
         engine.in.clear();
         engine.out.clear();
@@ -560,7 +690,6 @@ ReconfigurableRunResult run_reconfigurable_protocol(
         [&](std::uint64_t now, ProcessId p) {
             Engine& engine = engines[p];
             if (engine.down) return;
-            SegmentState& segment = segments[engine.epoch];
             const SyncComputation& script = scripts[engine.epoch];
             while (engine.cursor < engine.script.size()) {
                 const MessageId mid = engine.script[engine.cursor].index;
@@ -655,6 +784,7 @@ ReconfigurableRunResult run_reconfigurable_protocol(
                 encode_epoch_frame_into(engine.epoch, req.sequence, mid,
                                         engine.ack_scratch,
                                         engine.ack_bytes);
+                SegmentState& segment = segment_for(engine.epoch);
                 if (segment.handle_by_script[mid] == kNoTimestamp) {
                     ++tally.commits;
                     trace(obs::TraceEventKind::commit, now, p, m.sender,
@@ -663,12 +793,18 @@ ReconfigurableRunResult run_reconfigurable_protocol(
                     segment.computation.add_message(m.sender, m.receiver);
                     segment.script_message.push_back(mid);
                     segment.handle_by_script[mid] =
-                        segment.arena.allocate(engine.stamp_scratch);
+                        segment.arena->allocate(engine.stamp_scratch);
                 } else {
+                    // A replayed commit validates against the original
+                    // stamp through the region store: the {epoch, index}
+                    // read throws a typed RegionError rather than
+                    // returning a dangling span if stability-driven
+                    // retirement were ever wrong about this epoch.
                     SYNCTS_ENSURE(
                         ts::equal(engine.stamp_scratch,
-                                  segment.arena.span(
-                                      segment.handle_by_script[mid])),
+                                  regions.span(RegionHandle{
+                                      engine.epoch,
+                                      segment.handle_by_script[mid]})),
                         "recovered replay diverged from the original commit");
                     ++tally.recommits;
                     trace(obs::TraceEventKind::commit, now, p, m.sender,
@@ -729,8 +865,10 @@ ReconfigurableRunResult run_reconfigurable_protocol(
     const auto maybe_transition = [&](std::uint64_t now) {
         while (current_epoch + 1 < num_epochs && epoch_complete()) {
             const bool realized =
-                segments[current_epoch].computation.num_messages() ==
-                scripts[current_epoch].num_messages();
+                scripts[current_epoch].num_messages() == 0 ||
+                (segments[current_epoch] != nullptr &&
+                 segments[current_epoch]->computation.num_messages() ==
+                     scripts[current_epoch].num_messages());
             if (!realized) {
                 SYNCTS_ENSURE(recovery_active,
                               "epoch barrier crossed with unrealized "
@@ -761,6 +899,10 @@ ReconfigurableRunResult run_reconfigurable_protocol(
                 load_engine(p, current_epoch);
                 take_snapshot(p);
             }
+            // The barrier is the stability point: without recovery every
+            // earlier epoch is unreachable now; with recovery the
+            // per-process snapshots above advanced the durable frontier.
+            retire_stable(current_epoch);
             const std::size_t n =
                 topology.epoch(current_epoch).num_processes();
             for (ProcessId p = 0; p < n; ++p) {
@@ -940,6 +1082,15 @@ ReconfigurableRunResult run_reconfigurable_protocol(
             stores[p].snapshot, stores[p].wal,
             [&](EpochId e) { return topology.decomposition(e); });
         ProcessState& state = outcome.state;
+        // The snapshot's epoch is the rewind floor the durable pin has
+        // been holding since the snapshot was taken; replay can only
+        // have moved the live epoch forward from it, so every region
+        // the re-execution will touch is still live.
+        SYNCTS_ENSURE(durable_epoch[p] == outcome.stable_epoch,
+                      "recovered snapshot epoch disagrees with the durable "
+                      "frontier");
+        SYNCTS_ENSURE(state.epoch >= outcome.stable_epoch,
+                      "WAL replay rewound past the snapshot epoch");
         load_engine(p, state.epoch);
         SYNCTS_ENSURE(engine.clock != nullptr &&
                           state.clock.size() == engine.clock->width(),
@@ -1103,7 +1254,7 @@ ReconfigurableRunResult run_reconfigurable_protocol(
             return;
         }
         const MessageId mid = engine.outstanding->mid;
-        SegmentState& segment = segments[engine.epoch];
+        SegmentState& segment = segment_for(engine.epoch);
         SYNCTS_ENSURE(header.message == mid,
                       "ACK does not match the pending send");
         engine.clock->on_ack_into(packet.source, engine.rx_stamp,
@@ -1111,7 +1262,7 @@ ReconfigurableRunResult run_reconfigurable_protocol(
         SYNCTS_ENSURE(
             segment.handle_by_script[mid] != kNoTimestamp &&
                 ts::equal(engine.stamp_scratch,
-                          segment.arena.span(segment.handle_by_script[mid])),
+                          segment.arena->span(segment.handle_by_script[mid])),
             "sender and receiver disagree on a timestamp");
         trace(obs::TraceEventKind::ack, now, p, packet.source,
               header.sequence, mid, ts::total(engine.stamp_scratch));
@@ -1500,23 +1651,29 @@ ReconfigurableRunResult run_reconfigurable_protocol(
         SYNCTS_ENSURE(!engine.outstanding, "protocol finished mid-rendezvous");
     }
 
-    result.segments.reserve(num_epochs);
-    for (EpochId e = 0; e < num_epochs; ++e) {
-        SegmentState& segment = segments[e];
-        SYNCTS_ENSURE(segment.computation.num_messages() ==
-                          scripts[e].num_messages(),
-                      "not every scripted message was realized");
-        // Materialize each record once, in commit order (arena slot
-        // order).
-        std::vector<VectorTimestamp> stamps;
-        stamps.reserve(segment.arena.size());
-        for (std::size_t i = 0; i < segment.arena.size(); ++i) {
-            stamps.emplace_back(segment.arena.span(static_cast<TsHandle>(i)));
+    // The run finished cleanly, so nothing can rewind anymore: release
+    // every durable pin, then flush whatever the frontier had not yet
+    // retired, in epoch order behind the already-retired prefix.
+    if (recovery_active) {
+        for (ProcessId p = 0; p < n_max; ++p) {
+            if (durable_epoch[p] != kNoDurableEpoch) {
+                regions.unpin(durable_epoch[p]);
+                durable_epoch[p] = kNoDurableEpoch;
+            }
         }
-        result.segments.push_back(EpochSegmentResult{
-            e, std::move(segment.computation), std::move(stamps),
-            std::move(segment.script_message)});
     }
+    while (flushed_below < num_epochs) {
+        flush_segment(flushed_below);
+        ++flushed_below;
+    }
+    SYNCTS_ENSURE(regions.live_regions() == 0,
+                  "run finished with live regions");
+    // Park every live process clock so a caller-owned stock carries the
+    // engines into the next run (a run-local stock dies here anyway).
+    for (Engine& engine : engines) {
+        stock.restock_clock(std::move(engine.clock));
+    }
+    result.segments = std::move(flushed);
     return result;
 }
 

@@ -9,30 +9,6 @@
 
 namespace syncts {
 
-std::string ProtocolStats::to_string() const {
-    return "retransmits=" + std::to_string(retransmits) +
-           " timeouts=" + std::to_string(timeouts) +
-           " dup_drops=" + std::to_string(dup_drops) +
-           " ack_replays=" + std::to_string(ack_replays) +
-           " corrupt_rejects=" + std::to_string(corrupt_rejects);
-}
-
-ProtocolStats legacy_protocol_stats(obs::MetricsRegistry& metrics) {
-    ProtocolStats stats;
-    stats.retransmits = metrics.counter("sync_retransmits").value();
-    stats.timeouts = metrics.counter("sync_timeouts").value();
-    // The historical aggregation: replays were double-counted as
-    // duplicate drops. The registry counters are non-overlapping, so the
-    // legacy number is their sum.
-    stats.dup_drops = metrics.counter("sync_req_duplicates").value() +
-                      metrics.counter("sync_ack_duplicates").value() +
-                      metrics.counter("sync_ack_replays").value();
-    stats.ack_replays = metrics.counter("sync_ack_replays").value();
-    stats.corrupt_rejects =
-        metrics.counter("sync_frames_corrupt_rejected").value();
-    return stats;
-}
-
 SynchronizerResult run_rendezvous_protocol(
     std::shared_ptr<const EdgeDecomposition> decomposition,
     const SyncComputation& script, const SynchronizerOptions& options) {

@@ -54,6 +54,9 @@
 
 namespace syncts {
 
+class SlabPool;
+class EngineStock;
+
 /// Thrown when a message exhausts its retransmission budget (e.g. a
 /// targeted fault rule swallows every attempt). Distinct from
 /// NetworkDeadlock: the program is fine, the network is unusable.
@@ -122,34 +125,20 @@ struct SynchronizerOptions {
     /// recorded with its virtual time and the acting process's logical
     /// clock total. Must outlive the call.
     obs::TraceSink* trace = nullptr;
+
+    /// When set, the run's per-epoch timestamp regions draw their slabs
+    /// from this pool instead of a run-local one, so slab capacity is
+    /// recycled *across* runs too (docs/MEMORY.md). Must outlive the
+    /// call. Not thread-safe: one pool per concurrent run. The caller
+    /// owns its metrics attachment.
+    SlabPool* slab_pool = nullptr;
+
+    /// When set, per-process online clocks are leased from / restocked
+    /// into this stock across epoch loads and crash rejoins instead of
+    /// a run-local one. Same lifetime and threading rules as
+    /// `slab_pool`.
+    EngineStock* engine_stock = nullptr;
 };
-
-/// DEPRECATED compat view of the protocol counters. New code reads the
-/// `sync_*` metrics from SynchronizerOptions::metrics directly: the
-/// registry counters are non-overlapping (an ACK replay is counted once,
-/// as `sync_ack_replays`), whereas this struct's `dup_drops` keeps the
-/// historical aggregation in which a cached-ACK replay *also* counts as a
-/// duplicate drop. The struct is no longer produced by the runtime — the
-/// single remaining way to obtain one is legacy_protocol_stats() below.
-struct ProtocolStats {
-    std::uint64_t retransmits = 0;      ///< REQ frames re-sent
-    std::uint64_t timeouts = 0;         ///< retransmit timers that fired live
-    std::uint64_t dup_drops = 0;        ///< duplicate/stale REQ+ACK suppressed
-                                        ///< (legacy: includes ack_replays)
-    std::uint64_t ack_replays = 0;      ///< cached ACK re-sent (lost-ACK path)
-    std::uint64_t corrupt_rejects = 0;  ///< frames failing wire validation
-
-    std::string to_string() const;
-};
-
-/// The one compat accessor for the deprecated ProtocolStats view:
-/// reconstructs the legacy aggregation from the non-overlapping `sync_*`
-/// registry counters (dup_drops = sync_req_duplicates +
-/// sync_ack_duplicates + sync_ack_replays). Pass the registry the run(s)
-/// published into; counters accumulate, so to read a single run give it
-/// a fresh registry. (Non-const because registry lookups register the
-/// counter on first use.) Scheduled for removal with the struct itself.
-ProtocolStats legacy_protocol_stats(obs::MetricsRegistry& metrics);
 
 struct SynchronizerResult {
     /// The realized computation: same messages and per-process orders as
@@ -172,7 +161,7 @@ struct SynchronizerResult {
 
     /// What the network injected (drops, dups, corruption, delays). How
     /// the protocol coped is published to SynchronizerOptions::metrics
-    /// (`sync_*` counters; legacy_protocol_stats() for the old view).
+    /// (the non-overlapping `sync_*` counters).
     FaultStats network_faults;
 };
 

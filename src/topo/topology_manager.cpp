@@ -82,6 +82,18 @@ const Epoch& TopologyManager::epoch(EpochId id) const {
     return epochs_[id];
 }
 
+std::size_t TopologyManager::max_num_processes() const noexcept {
+    std::size_t n = 0;
+    for (const Epoch& e : epochs_) n = std::max(n, e.num_processes());
+    return n;
+}
+
+std::size_t TopologyManager::max_width() const noexcept {
+    std::size_t w = 0;
+    for (const Epoch& e : epochs_) w = std::max(w, e.width());
+    return w;
+}
+
 const EpochTransition& TopologyManager::transition_into(EpochId id) const {
     SYNCTS_REQUIRE(id >= 1 && id < epochs_.size(),
                    "no transition into that epoch");

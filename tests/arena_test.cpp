@@ -7,6 +7,7 @@
 
 #include "clocks/online_clock.hpp"
 #include "clocks/vector_timestamp.hpp"
+#include "common/region.hpp"
 #include "common/timestamp_arena.hpp"
 #include "common/ts_kernels.hpp"
 #include "decomp/cover_decomposer.hpp"
@@ -132,6 +133,270 @@ TEST(TimestampArena, ZeroWidthArenaTracksSlots) {
     EXPECT_TRUE(arena.span(a).empty());
     arena.clear();
     EXPECT_EQ(arena.size(), 0u);
+}
+
+// ---- Handle-space ceiling ---------------------------------------------
+
+TEST(TimestampArena, AllocateThrowsTypedErrorAtSlotCeiling) {
+    TimestampArena arena(2, 0, nullptr, 4);
+    for (int i = 0; i < 4; ++i) arena.allocate();
+    try {
+        arena.allocate();
+        FAIL() << "expected ArenaFullError";
+    } catch (const ArenaFullError& e) {
+        EXPECT_EQ(e.requested_slots(), 5u);
+        EXPECT_EQ(e.max_slots(), 4u);
+    }
+    // A refused allocation leaves the arena usable at the ceiling, and
+    // the typed error still reads as the standard length_error family.
+    EXPECT_EQ(arena.size(), 4u);
+    EXPECT_THROW(arena.allocate(), std::length_error);
+    EXPECT_EQ(arena.span(3).size(), 2u);
+}
+
+TEST(TimestampArena, ReserveThrowsPastSlotCeiling) {
+    TimestampArena arena(3, 0, nullptr, 16);
+    EXPECT_NO_THROW(arena.reserve(16));
+    EXPECT_EQ(arena.max_slots(), 16u);
+    EXPECT_THROW(arena.reserve(17), ArenaFullError);
+}
+
+TEST(TimestampArena, ZeroWidthArenaHonorsSlotCeiling) {
+    TimestampArena arena(0, 0, nullptr, 2);
+    arena.allocate();
+    arena.allocate();
+    EXPECT_THROW(arena.allocate(), ArenaFullError);
+    EXPECT_EQ(arena.size(), 2u);
+}
+
+TEST(TimestampArena, DefaultCeilingIsTheHandleSpace) {
+    const TimestampArena arena(4);
+    EXPECT_EQ(arena.max_slots(), static_cast<std::size_t>(kNoTimestamp));
+}
+
+// ---- SlabPool ----------------------------------------------------------
+
+TEST(SlabPool, RecyclesWithinASizeClass) {
+    SlabPool pool;
+    Slab a = pool.acquire(100);  // rounds up to the 128-word class
+    ASSERT_GE(a.capacity_words, 100u);
+    const std::uint64_t* raw = a.words.get();
+    pool.release(std::move(a));
+    EXPECT_GT(pool.cached_bytes(), 0u);
+    EXPECT_EQ(pool.leased_bytes(), 0u);
+
+    // Any request rounding to the same class gets the cached chunk back.
+    Slab b = pool.acquire(65);
+    EXPECT_EQ(b.words.get(), raw);
+    EXPECT_EQ(pool.acquires(), 2u);
+    EXPECT_EQ(pool.reuses(), 1u);
+    pool.release(std::move(b));
+}
+
+TEST(SlabPool, PeakBytesIsAHighWaterMark) {
+    SlabPool pool;
+    Slab a = pool.acquire(64);
+    Slab b = pool.acquire(64);
+    const std::size_t peak = pool.peak_bytes();
+    EXPECT_EQ(peak, 2u * 64u * sizeof(std::uint64_t));
+    pool.release(std::move(a));
+    pool.release(std::move(b));
+    // Releasing moves bytes from leased to cached; the footprint (and so
+    // the high-water mark) is unchanged, as is re-leasing from cache.
+    EXPECT_EQ(pool.peak_bytes(), peak);
+    Slab c = pool.acquire(64);
+    EXPECT_EQ(pool.peak_bytes(), peak);
+    pool.release(std::move(c));
+}
+
+TEST(SlabPool, TrimFreesCachedSlabsOnly) {
+    SlabPool pool;
+    Slab held = pool.acquire(32);
+    pool.release(pool.acquire(32));
+    EXPECT_GT(pool.cached_bytes(), 0u);
+    pool.trim();
+    EXPECT_EQ(pool.cached_bytes(), 0u);
+    EXPECT_GT(pool.leased_bytes(), 0u);  // the held lease is untouched
+    pool.release(std::move(held));
+}
+
+TEST(SlabPool, SteadyStateChurnIsAllocationFree) {
+    SlabPool pool;
+    // Warm the class once; afterwards acquire/release ping-pong must be
+    // pure pointer moves.
+    pool.release(pool.acquire(256));
+    const std::size_t before = g_allocations.load();
+    for (int i = 0; i < 1000; ++i) {
+        pool.release(pool.acquire(256));
+    }
+    EXPECT_EQ(g_allocations.load(), before);
+    EXPECT_EQ(pool.reuses(), 1000u);
+}
+
+// ---- RegionStore -------------------------------------------------------
+
+TEST(RegionStore, SpanValidatesHandlesAgainstLiveRegions) {
+    SlabPool pool;
+    RegionStore store(pool);
+    TimestampArena& arena = store.open(3, 2);
+    const TsHandle h = arena.allocate(std::vector<std::uint64_t>{7, 9});
+    ASSERT_TRUE(store.live(3));
+    const auto row = store.span(RegionHandle{3, h});
+    ASSERT_EQ(row.size(), 2u);
+    EXPECT_EQ(row[0], 7u);
+    EXPECT_EQ(row[1], 9u);
+
+    // Unknown epoch, retired epoch, and out-of-range index are all typed
+    // failures, never dangling spans.
+    EXPECT_THROW(store.span(RegionHandle{4, 0}), RegionError);
+    EXPECT_THROW(store.span(RegionHandle{3, h + 1}), std::invalid_argument);
+    store.close(3);
+    EXPECT_FALSE(store.live(3));
+    EXPECT_THROW(store.span(RegionHandle{3, h}), RegionError);
+    EXPECT_THROW(store.arena(3), RegionError);
+    EXPECT_THROW(store.close(3), RegionError);
+}
+
+TEST(RegionStore, OpenRejectsAlreadyLiveEpoch) {
+    SlabPool pool;
+    RegionStore store(pool);
+    store.open(0, 3);
+    EXPECT_THROW(store.open(0, 3), std::logic_error);
+    store.close(0);
+}
+
+TEST(RegionStore, PinDefersCloseUntilLastUnpin) {
+    SlabPool pool;
+    RegionStore store(pool);
+    TimestampArena& arena = store.open(5, 1, 4);
+    const TsHandle h = arena.allocate(std::vector<std::uint64_t>{42});
+    store.pin(5);
+    store.pin(5);
+    store.close(5);
+    // The close is deferred: the region stays live and readable for the
+    // pin holders (recovery replay reading a stability-retired epoch).
+    ASSERT_TRUE(store.live(5));
+    EXPECT_EQ(store.span(RegionHandle{5, h})[0], 42u);
+    store.unpin(5);
+    ASSERT_TRUE(store.live(5));
+    store.unpin(5);
+    EXPECT_FALSE(store.live(5));
+    EXPECT_EQ(store.live_regions(), 0u);
+    // Unpinned-but-never-closed regions survive their pins.
+    store.open(6, 1);
+    store.pin(6);
+    store.unpin(6);
+    ASSERT_TRUE(store.live(6));
+    store.close(6);
+}
+
+TEST(RegionStore, FrontierIsTheLowestLiveEpoch) {
+    SlabPool pool;
+    RegionStore store(pool);
+    EXPECT_EQ(store.frontier(99), 99u);
+    store.open(7, 2);
+    store.open(4, 2);
+    store.open(9, 2);
+    EXPECT_EQ(store.frontier(), 4u);
+    store.close(4);
+    EXPECT_EQ(store.frontier(), 7u);
+    store.close(7);
+    store.close(9);
+    EXPECT_EQ(store.frontier(0), 0u);
+}
+
+TEST(RegionStore, CloseReturnsSlabsToThePool) {
+    SlabPool pool;
+    RegionStore store(pool);
+    TimestampArena& arena = store.open(0, 4, 32);
+    for (int i = 0; i < 32; ++i) arena.allocate();
+    EXPECT_GT(pool.leased_bytes(), 0u);
+    store.close(0);
+    EXPECT_EQ(pool.leased_bytes(), 0u);
+    EXPECT_GT(pool.cached_bytes(), 0u);
+    // The next epoch of the same shape is served from the returned slab.
+    store.open(1, 4, 32);
+    EXPECT_GT(pool.reuses(), 0u);
+    store.close(1);
+}
+
+// ---- Epoch-churn soak (docs/MEMORY.md acceptance) ----------------------
+
+TEST(RegionStore, ThousandEpochArenaChurnIsAllocationFree) {
+    // The pure data plane: one pool-backed arena per epoch, opened and
+    // retired in sequence. After one warm-up epoch the remaining 999 must
+    // perform ZERO heap allocations — every slab is a recycled lease.
+    SlabPool pool;
+    constexpr std::size_t kWidth = 6;
+    constexpr std::size_t kSlots = 64;
+    const auto churn_epoch = [&]() {
+        TimestampArena arena(kWidth, kSlots, &pool);
+        for (std::size_t i = 0; i < kSlots; ++i) arena.allocate();
+    };
+    churn_epoch();
+    const std::size_t heap_before = g_allocations.load();
+    const std::size_t peak_before = pool.peak_bytes();
+    for (int epoch = 1; epoch < 1000; ++epoch) churn_epoch();
+    EXPECT_EQ(g_allocations.load(), heap_before)
+        << "epoch-scoped arenas over a warm pool must not touch the heap";
+    EXPECT_EQ(pool.peak_bytes(), peak_before)
+        << "the pool footprint must be O(live width), not O(epochs)";
+    EXPECT_EQ(pool.reuses(), 999u);
+}
+
+TEST(RegionStore, ThousandEpochStoreChurnHoldsPeakBytesFlat) {
+    // The full store with a stability lag: up to kLag+1 regions live at
+    // once, 1000 epochs total. Slab traffic must be fully recycled (the
+    // acquire-minus-reuse gap stops growing after warm-up), the pool
+    // high-water mark must stay at the warm-up level, and the per-epoch
+    // heap allocation rate (the map node + arena header control plane)
+    // must be constant — measured, not assumed.
+    SlabPool pool;
+    RegionStore store(pool);
+    constexpr EpochId kEpochs = 1000;
+    constexpr EpochId kLag = 3;
+    constexpr std::size_t kWidth = 6;
+    constexpr std::size_t kSlots = 64;
+    const auto churn = [&](EpochId e) {
+        TimestampArena& arena = store.open(e, kWidth, kSlots);
+        for (std::size_t i = 0; i < kSlots; ++i) arena.allocate();
+        if (e >= kLag) store.close(e - kLag);
+    };
+
+    EpochId e = 0;
+    for (; e < 16; ++e) churn(e);
+    const std::uint64_t fresh_before = pool.acquires() - pool.reuses();
+    const std::size_t peak_before = pool.peak_bytes();
+
+    const std::size_t heap_mid_start = g_allocations.load();
+    for (; e < kEpochs / 2; ++e) churn(e);
+    const std::size_t first_half = g_allocations.load() - heap_mid_start;
+
+    const std::size_t heap_tail_start = g_allocations.load();
+    const EpochId tail_begin = e;
+    for (; e < kEpochs; ++e) churn(e);
+    const std::size_t second_half = g_allocations.load() - heap_tail_start;
+
+    EXPECT_EQ(pool.acquires() - pool.reuses(), fresh_before)
+        << "every steady-state slab must come from the pool";
+    EXPECT_EQ(pool.peak_bytes(), peak_before)
+        << "peak slab bytes grew with epoch count";
+    EXPECT_LE(pool.peak_bytes(),
+              (kLag + 2) * 2 * kWidth * kSlots * sizeof(std::uint64_t))
+        << "peak slab bytes exceed the live-region working set";
+    // Constant control-plane rate: the same epochs-per-allocation ratio
+    // in both halves (each epoch is one map node + one arena header).
+    const std::size_t per_epoch_first =
+        first_half / (kEpochs / 2 - 16);
+    const std::size_t per_epoch_second =
+        second_half / (kEpochs - tail_begin);
+    EXPECT_EQ(per_epoch_first, per_epoch_second);
+    EXPECT_LE(per_epoch_second, 4u);
+
+    for (EpochId tail = kEpochs - kLag; tail < kEpochs; ++tail) {
+        store.close(tail);
+    }
+    EXPECT_EQ(store.live_regions(), 0u);
 }
 
 // ---- Batch kernels ----------------------------------------------------

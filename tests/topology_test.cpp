@@ -6,9 +6,11 @@
 #include <vector>
 
 #include "clocks/clock_engine.hpp"
+#include "clocks/engine_stock.hpp"
 #include "clocks/online_clock.hpp"
 #include "clocks/wire.hpp"
 #include "common/pool.hpp"
+#include "common/region.hpp"
 #include "core/multi_epoch_trace.hpp"
 #include "decomp/greedy_decomposer.hpp"
 #include "obs/metrics.hpp"
@@ -344,6 +346,65 @@ TEST(Topology, ReconfigurableRunsMatchFreshSingleEpochStamps) {
               metrics.counter("sync_nacks_sent").value());
     EXPECT_GE(metrics.counter("sync_epoch_rejects").value(),
               metrics.counter("sync_nacks_sent").value());
+}
+
+TEST(Topology, ExternalPoolAndStockRecycleAcrossRuns) {
+    // The server recycling contract (docs/MEMORY.md): a caller-owned
+    // SlabPool and EngineStock survive across protocol runs, so run k+1
+    // leases run k's slabs and engines instead of heap-constructing, and
+    // the recycling is invisible — both runs stamp bit-identically.
+    TopologyManager manager{topology::ring(5)};
+    for (const ReconfigOp& op :
+         random_reconfig_schedule(topology::ring(5), 3, 97)) {
+        apply(manager, op);
+    }
+    std::vector<SyncComputation> scripts;
+    for (EpochId e = 0; e < manager.num_epochs(); ++e) {
+        scripts.push_back(testing::random_workload(
+            manager.epoch(e).graph(), 20, 0.1, 700 + e));
+    }
+
+    SlabPool pool;
+    EngineStock stock;
+    obs::MetricsRegistry metrics;
+    pool.attach_metrics(metrics);
+    stock.attach_metrics(metrics);
+    SynchronizerOptions options;
+    options.seed = 4242;
+    options.latency_lo = 1;
+    options.latency_hi = 4;
+    options.slab_pool = &pool;
+    options.engine_stock = &stock;
+
+    const ReconfigurableRunResult first =
+        run_reconfigurable_protocol(manager, scripts, options);
+    const std::uint64_t pool_reuses_after_first = pool.reuses();
+    const std::uint64_t stock_reuses_after_first = stock.reuses();
+    EXPECT_GT(stock.stocked_clocks(), 0u)
+        << "retired process clocks must park in the caller's stock";
+
+    const ReconfigurableRunResult second =
+        run_reconfigurable_protocol(manager, scripts, options);
+
+    // The second run is served from the first run's retired resources.
+    EXPECT_GT(pool.reuses(), pool_reuses_after_first);
+    EXPECT_GT(stock.reuses(), stock_reuses_after_first);
+    EXPECT_EQ(pool.leased_bytes(), 0u)
+        << "every region slab must be back in the pool after the run";
+
+    ASSERT_EQ(first.segments.size(), second.segments.size());
+    for (std::size_t e = 0; e < first.segments.size(); ++e) {
+        ASSERT_EQ(first.segments[e].message_stamps,
+                  second.segments[e].message_stamps)
+            << "epoch " << e << ": recycling changed the stamps";
+        ASSERT_EQ(first.segments[e].script_message,
+                  second.segments[e].script_message)
+            << "epoch " << e;
+    }
+    // Caller-owned pool/stock attach their own metrics; the runtime must
+    // not have double-registered them.
+    EXPECT_EQ(metrics.counter("slabpool_reuses").value(), pool.reuses());
+    EXPECT_EQ(metrics.counter("stock_reuses").value(), stock.reuses());
 }
 
 TEST(Topology, CrossEpochPrecedenceMatchesGroundTruthAtEveryThreadCount) {

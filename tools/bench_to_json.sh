@@ -87,6 +87,11 @@ with open(sys.argv[1]) as fh:
         if line:
             row = json.loads(line)
             row.setdefault("epochs", 1)
+            # Memory/SIMD columns (bench_arena, PR 7): back-filled so every
+            # merged row carries them. peak_region_bytes 0 = "no region
+            # churn measured"; simd_speedup 1.0 = "no vector path".
+            row.setdefault("peak_region_bytes", 0)
+            row.setdefault("simd_speedup", 1.0)
             results.append(row)
 json.dump(results, sys.stdout, indent=1)
 sys.stdout.write("\n")

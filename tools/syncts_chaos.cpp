@@ -296,8 +296,21 @@ int main(int argc, char** argv) {
 
     const std::uint64_t total_messages = config.schedules * script_messages;
     std::printf("injected: %s\n", faults.to_string().c_str());
-    std::printf("protocol: %s\n",
-                legacy_protocol_stats(metrics).to_string().c_str());
+    std::printf(
+        "protocol: retransmits=%llu timeouts=%llu req_duplicates=%llu "
+        "ack_duplicates=%llu ack_replays=%llu corrupt_rejects=%llu\n",
+        static_cast<unsigned long long>(
+            metrics.counter("sync_retransmits").value()),
+        static_cast<unsigned long long>(
+            metrics.counter("sync_timeouts").value()),
+        static_cast<unsigned long long>(
+            metrics.counter("sync_req_duplicates").value()),
+        static_cast<unsigned long long>(
+            metrics.counter("sync_ack_duplicates").value()),
+        static_cast<unsigned long long>(
+            metrics.counter("sync_ack_replays").value()),
+        static_cast<unsigned long long>(
+            metrics.counter("sync_frames_corrupt_rejected").value()));
     if (manager.num_epochs() > 1) {
         std::printf(
             "epochs:   transitions=%llu epoch_rejects=%llu nacks_sent=%llu "
