@@ -1,0 +1,316 @@
+#include "obs/causal_profiler.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <utility>
+
+namespace syncts::obs {
+
+namespace {
+
+/// Per-process streaming state for the one-pass PERT recurrence.
+struct ProcessState {
+    std::uint64_t last_time = 0;  ///< time of the last timeline-cutting event
+    std::uint64_t depth = 0;      ///< longest chain ending at the last step
+    std::size_t last_rv = kNoRendezvous;
+    std::uint64_t epoch = 0;
+    bool down = false;
+    /// The (single, protocol-enforced) outstanding send, if any.
+    bool send_pending = false;
+    std::uint32_t send_peer = 0;
+    std::uint64_t send_message = 0;
+    std::uint64_t send_time = 0;
+};
+
+std::pair<std::uint32_t, std::uint32_t> channel_key(std::uint32_t x,
+                                                    std::uint32_t y) {
+    return x < y ? std::make_pair(x, y) : std::make_pair(y, x);
+}
+
+}  // namespace
+
+Profile build_profile(std::span<const TraceEvent> events,
+                      std::size_t num_processes) {
+    Profile profile;
+    profile.processes.resize(num_processes);
+    profile.events_consumed = events.size();
+
+    std::vector<ProcessState> state(num_processes);
+    // Realized rendezvous by (epoch, receiver, message): replayed commits
+    // after a crash re-trace the same key and must not re-advance the
+    // chain — the realized computation keeps the first commit.
+    std::map<std::tuple<std::uint64_t, std::uint32_t, std::uint64_t>,
+             std::size_t>
+        committed;
+    std::map<std::pair<std::uint32_t, std::uint32_t>, ChannelWait> channels;
+
+    const auto charge_blocked = [&](std::uint32_t p, std::uint32_t peer,
+                                    std::uint64_t gap) {
+        profile.processes[p].blocked += gap;
+        ChannelWait& wait = channels[channel_key(p, peer)];
+        wait.wait += gap;
+    };
+
+    for (const TraceEvent& e : events) {
+        profile.span = std::max(profile.span, e.virtual_time);
+        if (e.kind == TraceEventKind::epoch && e.process == 0 &&
+            e.peer == num_processes) {
+            // Global barrier marker: every live process stalled from its
+            // last completion until the barrier crossed.
+            for (std::size_t p = 0; p < num_processes; ++p) {
+                ProcessState& ps = state[p];
+                if (ps.down) continue;
+                const std::uint64_t stall = e.virtual_time - ps.last_time;
+                profile.processes[p].barrier_stall += stall;
+                profile.epoch_stalls[e.arg_a] += stall;
+                ps.last_time = e.virtual_time;
+                ps.epoch = e.arg_a;
+            }
+            continue;
+        }
+        if (e.process >= num_processes) continue;
+        ProcessState& ps = state[e.process];
+        const std::uint64_t gap = e.virtual_time - ps.last_time;
+        switch (e.kind) {
+            case TraceEventKind::send:
+                profile.processes[e.process].working += gap;
+                ps.send_pending = true;
+                ps.send_peer = e.peer;
+                ps.send_message = e.arg_b;
+                ps.send_time = e.virtual_time;
+                ps.last_time = e.virtual_time;
+                break;
+            case TraceEventKind::commit: {
+                const auto key = std::make_tuple(
+                    ps.epoch, e.process, e.arg_b);
+                charge_blocked(e.process, e.peer, gap);
+                if (committed.contains(key)) break;  // crash-replay re-commit
+                if (e.peer >= num_processes) break;
+                ProcessState& sender = state[e.peer];
+                // Channel match suffices: the protocol allows one
+                // outstanding send per process, so a pending send to this
+                // receiver is necessarily this commit's message. (The
+                // threaded runtime cannot name the message at send time —
+                // the global sequence is assigned at commit.)
+                const bool sender_known = sender.send_pending &&
+                                          sender.send_peer == e.process;
+                RendezvousSpan rv;
+                rv.sender = e.peer;
+                rv.receiver = e.process;
+                rv.message = e.arg_b;
+                rv.epoch = ps.epoch;
+                rv.sequence = e.arg_a;
+                rv.send_time =
+                    sender_known ? sender.send_time : ps.last_time;
+                rv.commit_time = e.virtual_time;
+                const std::uint64_t ready_s = rv.send_time;
+                const std::uint64_t ready_r = ps.last_time;
+                rv.slack = ready_s > ready_r ? ready_s - ready_r
+                                             : ready_r - ready_s;
+                rv.depth = 1 + std::max(sender.depth, ps.depth);
+                rv.parent = sender.depth >= ps.depth ? sender.last_rv
+                                                     : ps.last_rv;
+                const std::size_t idx = profile.rendezvous.size();
+                profile.rendezvous.push_back(rv);
+                committed.emplace(key, idx);
+                ChannelWait& wait =
+                    channels[channel_key(e.process, e.peer)];
+                ++wait.rendezvous;
+                ps.depth = rv.depth;
+                ps.last_rv = idx;
+                ps.last_time = e.virtual_time;
+                break;
+            }
+            case TraceEventKind::ack: {
+                charge_blocked(e.process, e.peer, gap);
+                const auto it = committed.find(
+                    std::make_tuple(ps.epoch, e.peer, e.arg_b));
+                if (it != committed.end()) {
+                    RendezvousSpan& rv = profile.rendezvous[it->second];
+                    if (rv.ack_time == 0) rv.ack_time = e.virtual_time;
+                    // A replayed ACK after a sender rewind re-completes a
+                    // rendezvous the chain already contains; max() keeps
+                    // the realized (non-rewinding) order monotone.
+                    if (rv.depth >= ps.depth) {
+                        ps.depth = rv.depth;
+                        ps.last_rv = it->second;
+                    }
+                }
+                ps.send_pending = false;
+                ps.last_time = e.virtual_time;
+                break;
+            }
+            case TraceEventKind::epoch:
+                // Per-process crossing (restart fast-forward).
+                profile.processes[e.process].barrier_stall += gap;
+                profile.epoch_stalls[e.arg_a] += gap;
+                ps.epoch = e.arg_a;
+                ps.last_time = e.virtual_time;
+                break;
+            case TraceEventKind::crash:
+                // Executing until the crash instant; the following gap
+                // (until restart) is down time.
+                profile.processes[e.process].working += gap;
+                ps.down = true;
+                ps.last_time = e.virtual_time;
+                break;
+            case TraceEventKind::restart:
+                profile.processes[e.process].down += gap;
+                ps.down = false;
+                ps.epoch = e.arg_b;
+                ps.last_time = e.virtual_time;
+                break;
+            default:
+                // Network-level noise (receives, retransmits, drops...)
+                // does not cut the process timeline.
+                break;
+        }
+    }
+
+    for (std::size_t p = 0; p < num_processes; ++p) {
+        ProcessBreakdown& b = profile.processes[p];
+        b.total = state[p].last_time;
+        const std::uint64_t attributed =
+            b.working + b.blocked + b.down + b.barrier_stall;
+        b.working += b.total > attributed ? b.total - attributed : 0;
+    }
+
+    profile.channels.reserve(channels.size());
+    for (const auto& [key, wait] : channels) {
+        ChannelWait out = wait;
+        out.a = key.first;
+        out.b = key.second;
+        profile.channels.push_back(out);
+    }
+
+    // Critical path: the first deepest element (commit order breaks
+    // ties deterministically), chain recovered through parent links.
+    std::size_t tail = kNoRendezvous;
+    for (std::size_t i = 0; i < profile.rendezvous.size(); ++i) {
+        if (tail == kNoRendezvous ||
+            profile.rendezvous[i].depth > profile.rendezvous[tail].depth) {
+            tail = i;
+        }
+    }
+    if (tail != kNoRendezvous) {
+        for (std::size_t at = tail; at != kNoRendezvous;
+             at = profile.rendezvous[at].parent) {
+            profile.rendezvous[at].on_critical_path = true;
+            profile.critical_path.push_back(at);
+            profile.critical_slack += profile.rendezvous[at].slack;
+        }
+        std::ranges::reverse(profile.critical_path);
+        profile.critical_length = profile.critical_path.size();
+        const RendezvousSpan& head =
+            profile.rendezvous[profile.critical_path.front()];
+        const RendezvousSpan& last = profile.rendezvous[tail];
+        profile.critical_span = last.commit_time - head.send_time;
+    }
+    return profile;
+}
+
+void write_profile_json(const Profile& profile, std::string& out) {
+    out += "{\"channels\":[";
+    bool first = true;
+    for (const ChannelWait& c : profile.channels) {
+        if (!first) out += ',';
+        first = false;
+        out += "{\"a\":" + std::to_string(c.a) +
+               ",\"b\":" + std::to_string(c.b) +
+               ",\"rendezvous\":" + std::to_string(c.rendezvous) +
+               ",\"wait\":" + std::to_string(c.wait) + "}";
+    }
+    out += "],\"critical_path\":{\"length\":" +
+           std::to_string(profile.critical_length);
+    out += ",\"messages\":[";
+    first = true;
+    for (const std::size_t idx : profile.critical_path) {
+        const RendezvousSpan& rv = profile.rendezvous[idx];
+        if (!first) out += ',';
+        first = false;
+        out += "{\"commit\":" + std::to_string(rv.commit_time) +
+               ",\"depth\":" + std::to_string(rv.depth) +
+               ",\"epoch\":" + std::to_string(rv.epoch) +
+               ",\"message\":" + std::to_string(rv.message) +
+               ",\"receiver\":" + std::to_string(rv.receiver) +
+               ",\"send\":" + std::to_string(rv.send_time) +
+               ",\"sender\":" + std::to_string(rv.sender) +
+               ",\"sequence\":" + std::to_string(rv.sequence) +
+               ",\"slack\":" + std::to_string(rv.slack) + "}";
+    }
+    out += "],\"slack\":" + std::to_string(profile.critical_slack);
+    out += ",\"span\":" + std::to_string(profile.critical_span) + "}";
+    out += ",\"epoch_stalls\":{";
+    first = true;
+    for (const auto& [epoch, stall] : profile.epoch_stalls) {
+        if (!first) out += ',';
+        first = false;
+        out += "\"" + std::to_string(epoch) + "\":" + std::to_string(stall);
+    }
+    out += "},\"events_consumed\":" +
+           std::to_string(profile.events_consumed);
+    out += ",\"processes\":[";
+    first = true;
+    for (const ProcessBreakdown& b : profile.processes) {
+        if (!first) out += ',';
+        first = false;
+        out += "{\"barrier_stall\":" + std::to_string(b.barrier_stall) +
+               ",\"blocked\":" + std::to_string(b.blocked) +
+               ",\"down\":" + std::to_string(b.down) +
+               ",\"total\":" + std::to_string(b.total) +
+               ",\"working\":" + std::to_string(b.working) + "}";
+    }
+    out += "],\"rendezvous\":" + std::to_string(profile.rendezvous.size());
+    out += ",\"span\":" + std::to_string(profile.span) + "}";
+}
+
+std::string to_profile_json(const Profile& profile) {
+    std::string out;
+    write_profile_json(profile, out);
+    return out;
+}
+
+void write_critical_path_trace(std::span<const TraceEvent> events,
+                               const Profile& profile, std::string& out) {
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,"
+           "\"args\":{\"name\":\"critical path\"}}";
+    for (const TraceEvent& e : events) {
+        out += ",{\"name\":\"";
+        out += to_string(e.kind);
+        out += "\",\"ph\":\"";
+        out += e.kind == TraceEventKind::phase ? 'X' : 'i';
+        out += "\",\"ts\":" + std::to_string(e.virtual_time);
+        if (e.kind == TraceEventKind::phase) {
+            out += ",\"dur\":" + std::to_string(e.arg_a);
+        }
+        out += ",\"pid\":1,\"tid\":" + std::to_string(e.process);
+        if (e.kind != TraceEventKind::phase) {
+            out += ",\"s\":\"t\"";
+        }
+        out += ",\"args\":{\"peer\":" + std::to_string(e.peer) +
+               ",\"logical\":" + std::to_string(e.logical) +
+               ",\"a\":" + std::to_string(e.arg_a) +
+               ",\"b\":" + std::to_string(e.arg_b) + "}}";
+    }
+    for (const std::size_t idx : profile.critical_path) {
+        const RendezvousSpan& rv = profile.rendezvous[idx];
+        const std::uint64_t dur = rv.commit_time > rv.send_time
+                                      ? rv.commit_time - rv.send_time
+                                      : 1;
+        out += ",{\"name\":\"rendezvous\",\"ph\":\"X\",\"ts\":" +
+               std::to_string(rv.send_time) +
+               ",\"dur\":" + std::to_string(dur) +
+               ",\"pid\":2,\"tid\":" + std::to_string(rv.receiver) +
+               ",\"args\":{\"depth\":" + std::to_string(rv.depth) +
+               ",\"epoch\":" + std::to_string(rv.epoch) +
+               ",\"message\":" + std::to_string(rv.message) +
+               ",\"sender\":" + std::to_string(rv.sender) +
+               ",\"sequence\":" + std::to_string(rv.sequence) +
+               ",\"slack\":" + std::to_string(rv.slack) + "}}";
+    }
+    out += "]}";
+}
+
+}  // namespace syncts::obs

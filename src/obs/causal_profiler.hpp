@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/trace_sink.hpp"
+
+/// \file causal_profiler.hpp
+/// Causal profiling over the rendezvous trace: which chain of rendezvous
+/// bounds end-to-end latency, and why each process sat blocked.
+///
+/// The paper's observation is that synchronous rendezvous induce a poset
+/// on messages; this profiler exploits the same structure. Each realized
+/// rendezvous is one poset element joining its sender's and receiver's
+/// histories, so the longest chain through the computation — the
+/// critical path — is computable in one pass over the `TraceSink` event
+/// stream with the classic PERT recurrence
+///
+///     depth(m) = 1 + max(depth(prev_sender), depth(prev_receiver))
+///
+/// where prev_* is each participant's previous completed rendezvous.
+/// Because commits are recorded in a linearization consistent with the
+/// causal order (the simulator processes events in virtual-time order),
+/// the streaming recurrence computes exactly the longest chain of the
+/// transitively-closed poset — tests/profiler_test.cpp pins this against
+/// an O(M²) closure-based oracle on 500 seeded schedules.
+///
+/// Timebases: in the deterministic simulator the event times are virtual
+/// ticks, so every profile field is bit-reproducible under the same-seed
+/// gate. The threaded runtime records the same event kinds with
+/// wall-clock nanosecond offsets; the identical build_profile() then
+/// yields wall-span attribution (non-deterministic, reported but
+/// stripped under determinism gates like `wall_ms` today).
+///
+/// Attribution model (docs/PROFILING.md): each process's timeline is cut
+/// at its own completion events, and the gap *ending* at an event is
+/// classified by the event's kind — a commit or accepted ACK closes a
+/// blocked-on-partner gap (charged to the channel), an epoch crossing
+/// closes a barrier-stall gap (charged to the new epoch), a restart
+/// closes a down gap, and everything else is working time.
+
+namespace syncts::obs {
+
+/// One realized rendezvous reconstructed from its send/commit/ack events.
+struct RendezvousSpan {
+    std::uint32_t sender = 0;
+    std::uint32_t receiver = 0;
+    std::uint64_t message = 0;   ///< script MessageId within its epoch
+    std::uint64_t epoch = 0;     ///< receiver's epoch at commit
+    std::uint64_t sequence = 0;  ///< channel sequence number
+    std::uint64_t send_time = 0;    ///< first REQ transmission
+    std::uint64_t commit_time = 0;  ///< receiver committed (poset instant)
+    std::uint64_t ack_time = 0;     ///< sender unblocked (0 = ack unseen)
+    /// Longest rendezvous chain ending at this element (>= 1).
+    std::uint64_t depth = 0;
+    /// How long the early partner waited at the join: |sender ready -
+    /// receiver ready|. The profiler's per-rendezvous slack — 0 means
+    /// both sides arrived together and neither could have been later
+    /// without delaying the commit.
+    std::uint64_t slack = 0;
+    /// Index into Profile::rendezvous of the chain predecessor
+    /// (kNoRendezvous for chain heads).
+    std::size_t parent = 0;
+    bool on_critical_path = false;
+};
+
+inline constexpr std::size_t kNoRendezvous =
+    static_cast<std::size_t>(-1);
+
+/// Where one process's time went, in event-stream time units. The
+/// categories partition [0, total]: total is the time of the process's
+/// last observed event and working is the unattributed remainder.
+struct ProcessBreakdown {
+    std::uint64_t total = 0;
+    std::uint64_t working = 0;
+    std::uint64_t blocked = 0;        ///< waiting on a rendezvous partner
+    std::uint64_t down = 0;           ///< crashed, awaiting restart
+    std::uint64_t barrier_stall = 0;  ///< waiting at an epoch barrier
+};
+
+/// Blocked time charged to one undirected channel {a, b} (a < b).
+struct ChannelWait {
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    std::uint64_t wait = 0;
+    std::uint64_t rendezvous = 0;  ///< completions observed on the channel
+};
+
+struct Profile {
+    /// Time of the last event in the stream (virtual ticks or wall ns).
+    std::uint64_t span = 0;
+
+    /// Every realized rendezvous, in commit order.
+    std::vector<RendezvousSpan> rendezvous;
+
+    /// Indices into `rendezvous` along the critical path, chain order
+    /// (head first). critical_length == critical_path.size().
+    std::vector<std::size_t> critical_path;
+    std::uint64_t critical_length = 0;
+    /// Event-stream time between the chain head's send and the chain
+    /// tail's completion — the latency the chain bounds.
+    std::uint64_t critical_span = 0;
+    /// Total slack along the critical path (how much co-scheduling
+    /// headroom the binding chain itself still had at its joins).
+    std::uint64_t critical_slack = 0;
+
+    std::vector<ProcessBreakdown> processes;
+
+    /// Sorted by (a, b) — deterministic iteration for the JSON export.
+    std::vector<ChannelWait> channels;
+
+    /// Barrier-stall time per epoch id (sorted map for determinism).
+    std::map<std::uint64_t, std::uint64_t> epoch_stalls;
+
+    /// Dropped-event diagnostics copied from the input: a wrapped ring
+    /// profiles only the retained window.
+    std::uint64_t events_consumed = 0;
+};
+
+/// Builds the profile from a trace event stream (oldest first) as
+/// recorded by either runtime. `num_processes` bounds the per-process
+/// tables; events naming processes outside it are ignored.
+Profile build_profile(std::span<const TraceEvent> events,
+                      std::size_t num_processes);
+
+/// Appends the profile as one deterministic sorted-key JSON object:
+/// {"channels":[...],"critical_path":{...},"epoch_stalls":{...},
+///  "events_consumed":N,"processes":[...],"span":N}.
+/// Contains no wall-clock fields of its own — when the input events are
+/// wall-timed the *values* are wall-derived, which is exactly what the
+/// determinism gate strips by regenerating from virtual-time traces.
+void write_profile_json(const Profile& profile, std::string& out);
+std::string to_profile_json(const Profile& profile);
+
+/// Chrome trace-event JSON of the raw events plus a highlighted critical
+/// path: pid 1 carries the per-process instant events exactly like
+/// TraceSink::write_chrome_trace, pid 2 ("critical path" via a process
+/// metadata record) carries one complete-span ("X") slice per critical
+/// rendezvous, so Perfetto renders the binding chain as its own track.
+void write_critical_path_trace(std::span<const TraceEvent> events,
+                               const Profile& profile, std::string& out);
+
+}  // namespace syncts::obs

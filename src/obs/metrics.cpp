@@ -35,6 +35,28 @@ void append_key(std::string& out, std::string_view name) {
     out += "\":";
 }
 
+// Lockstep merge of a sorted source range into a sorted value map:
+// matching keys are overwritten in place, stale keys erased, new keys
+// inserted at the hint. When the key sets already agree (the steady
+// state for registries, which never unregister) this touches no
+// allocator. `value(entry)` extracts the value for a source entry.
+template <typename Source, typename Map, typename Value>
+void merge_values_into(const Source& source, Map& out, Value value) {
+    auto it = out.begin();
+    for (const auto& entry : source) {
+        const auto& name = entry.first;
+        while (it != out.end() && it->first < name) it = out.erase(it);
+        if (it != out.end() && it->first == name) {
+            it->second = value(entry);
+            ++it;
+        } else {
+            it = out.emplace_hint(it, name, value(entry));
+            ++it;
+        }
+    }
+    out.erase(it, out.end());
+}
+
 }  // namespace
 
 // ---- Histogram ---------------------------------------------------------
@@ -131,6 +153,37 @@ void Histogram::reset() noexcept {
     max_.store(0, std::memory_order_relaxed);
 }
 
+// ---- Snapshots ---------------------------------------------------------
+
+MetricsDelta snapshot_delta(const MetricsSnapshot& before,
+                            const MetricsSnapshot& after) {
+    MetricsDelta delta;
+    snapshot_delta_into(before, after, delta);
+    return delta;
+}
+
+void snapshot_delta_into(const MetricsSnapshot& before,
+                         const MetricsSnapshot& after, MetricsDelta& delta) {
+    // `before` walks in lockstep with `after` (both are name-ordered),
+    // so the whole diff is one linear pass with no per-name lookups.
+    auto prev = before.counters.begin();
+    merge_values_into(
+        after.counters, delta.counters, [&](const auto& entry) {
+            const auto& [name, value] = entry;
+            while (prev != before.counters.end() && prev->first < name) {
+                ++prev;
+            }
+            if (prev == before.counters.end() || prev->first != name ||
+                prev->second > value) {
+                // New counter, or the registry was reset mid-interval:
+                // the interval restarts at the counter's current value.
+                return value;
+            }
+            return value - prev->second;
+        });
+    delta.gauges = after.gauges;
+}
+
 // ---- MetricsRegistry ---------------------------------------------------
 
 void MetricsRegistry::check_unique(std::string_view name) const {
@@ -149,6 +202,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
         return *it->second;
     }
     check_unique(name);
+    ++layout_version_;
     return *counters_.emplace(std::string(name), std::make_unique<Counter>())
                 .first->second;
 }
@@ -158,6 +212,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
         return *it->second;
     }
     check_unique(name);
+    ++layout_version_;
     return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
                 .first->second;
 }
@@ -168,10 +223,48 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
         return *it->second;
     }
     check_unique(name);
+    ++layout_version_;
     return *histograms_
                 .emplace(std::string(name),
                          std::make_unique<Histogram>(bounds))
                 .first->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+    MetricsSnapshot snap;
+    snapshot_into(snap);
+    return snap;
+}
+
+void MetricsRegistry::snapshot_into(MetricsSnapshot& out) const {
+    merge_values_into(counters_, out.counters,
+                      [](const auto& entry) { return entry.second->value(); });
+    merge_values_into(gauges_, out.gauges,
+                      [](const auto& entry) { return entry.second->value(); });
+}
+
+void MetricsRegistry::value_layout(std::vector<std::string>& counter_names,
+                                   std::vector<std::string>& gauge_names)
+    const {
+    counter_names.clear();
+    counter_names.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) counter_names.push_back(name);
+    gauge_names.clear();
+    gauge_names.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) gauge_names.push_back(name);
+}
+
+void MetricsRegistry::read_values(std::span<std::uint64_t> counter_values,
+                                  std::span<std::int64_t> gauge_values) const {
+    if (counter_values.size() != counters_.size() ||
+        gauge_values.size() != gauges_.size()) {
+        throw std::invalid_argument(
+            "read_values: span sizes do not match the registry layout");
+    }
+    std::size_t i = 0;
+    for (const auto& [name, c] : counters_) counter_values[i++] = c->value();
+    i = 0;
+    for (const auto& [name, g] : gauges_) gauge_values[i++] = g->value();
 }
 
 void MetricsRegistry::reset() noexcept {

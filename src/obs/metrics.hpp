@@ -130,6 +130,52 @@ private:
     std::atomic<std::uint64_t> max_{0};
 };
 
+/// A point-in-time copy of every counter and gauge in a registry, in
+/// name order. Snapshots are plain value maps — cheap to diff, encode
+/// (flight recorder) and ship (future syncts_serve scrape endpoint).
+/// Histograms are summarized at dump time instead of snapshotted; their
+/// bucket arrays are too heavy for the periodic path.
+struct MetricsSnapshot {
+    std::map<std::string, std::uint64_t, std::less<>> counters;
+    std::map<std::string, std::int64_t, std::less<>> gauges;
+
+    friend bool operator==(const MetricsSnapshot&,
+                           const MetricsSnapshot&) = default;
+};
+
+/// The change between two snapshots of the *same* registry:
+/// per-counter increments over the interval (rates once divided by the
+/// interval length) and the gauges' current levels (gauges are
+/// instantaneous — a delta of levels is meaningless, so they pass
+/// through).
+struct MetricsDelta {
+    /// Counter increments over (before, after]. Counters are monotonic;
+    /// a counter that appears to have moved backwards (the registry was
+    /// reset between snapshots) restarts the interval at its new value,
+    /// the standard counter-reset rule.
+    std::map<std::string, std::uint64_t, std::less<>> counters;
+
+    /// Gauge levels at the `after` snapshot.
+    std::map<std::string, std::int64_t, std::less<>> gauges;
+
+    friend bool operator==(const MetricsDelta&,
+                           const MetricsDelta&) = default;
+};
+
+/// Diffs two snapshots taken from one registry, `before` first.
+/// Counters present only in `after` (registered mid-interval) count
+/// from zero; counters present only in `before` are dropped (the
+/// registry never unregisters, so this only happens across resets).
+MetricsDelta snapshot_delta(const MetricsSnapshot& before,
+                            const MetricsSnapshot& after);
+
+/// In-place variant of `snapshot_delta` for periodic callers: `delta`'s
+/// existing map nodes are reused, so a steady-state refresh performs no
+/// allocations. (The flight recorder goes further and diffs positional
+/// value vectors — see `MetricsRegistry::read_values`.)
+void snapshot_delta_into(const MetricsSnapshot& before,
+                         const MetricsSnapshot& after, MetricsDelta& delta);
+
 /// Creates-or-returns metrics by name. Returned references are stable for
 /// the registry's lifetime (metrics are heap-allocated once and never
 /// moved), so components cache raw pointers at attach time and never pay
@@ -155,6 +201,34 @@ public:
     /// Zeroes every metric (registrations are kept).
     void reset() noexcept;
 
+    /// Copies every counter and gauge value (relaxed reads — take
+    /// snapshots at quiescent points for cross-metric consistency).
+    MetricsSnapshot snapshot() const;
+
+    /// Refreshes `out` to the current values, reusing its map nodes:
+    /// when the registered names have not changed since the last call
+    /// (the steady state — registration is create-once), this performs
+    /// no allocations.
+    void snapshot_into(MetricsSnapshot& out) const;
+
+    /// Bumped on every new registration, never by reset(): a caller
+    /// holding a cached `value_layout()` may keep reading values
+    /// position-for-position as long as this is unchanged.
+    std::uint64_t layout_version() const noexcept { return layout_version_; }
+
+    /// Copies the registered counter and gauge names, in name order —
+    /// the positional key for `read_values`.
+    void value_layout(std::vector<std::string>& counter_names,
+                      std::vector<std::string>& gauge_names) const;
+
+    /// Reads every counter/gauge value into the spans, in name order
+    /// (relaxed loads, no allocation, no string work — the flight
+    /// recorder's per-interval path). Both spans must exactly match the
+    /// current registration counts; throws std::invalid_argument
+    /// otherwise (the caller's cached layout is stale).
+    void read_values(std::span<std::uint64_t> counter_values,
+                     std::span<std::int64_t> gauge_values) const;
+
     /// Appends the full registry as one deterministic JSON object:
     ///   {"counters":{...},"gauges":{...},"histograms":{"h":{"count":...,
     ///    "sum":...,"min":...,"max":...,"p50":...,"p95":...,"p99":...}}}
@@ -168,6 +242,7 @@ private:
     std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
     std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
         histograms_;
+    std::uint64_t layout_version_ = 0;
 };
 
 }  // namespace syncts::obs

@@ -38,17 +38,11 @@ TraceSink::TraceSink(std::size_t capacity) {
     ring_.resize(capacity);
 }
 
-std::size_t TraceSink::size() const noexcept {
-    return recorded_ < ring_.size() ? static_cast<std::size_t>(recorded_)
-                                    : ring_.size();
+void TraceSink::clear() noexcept {
+    recorded_ = 0;
+    head_ = 0;
+    peak_ = 0;
 }
-
-void TraceSink::record(const TraceEvent& event) noexcept {
-    ring_[static_cast<std::size_t>(recorded_ % ring_.size())] = event;
-    ++recorded_;
-}
-
-void TraceSink::clear() noexcept { recorded_ = 0; }
 
 void TraceSink::for_each(
     const std::function<void(const TraceEvent&)>& fn) const {
@@ -102,8 +96,7 @@ namespace {
 
 constexpr std::uint8_t kMagic[4] = {'S', 'Y', 'T', 'R'};
 constexpr std::uint32_t kVersion = 1;
-/// Packed event: 4 x u64 + 2 x u32 + kind byte.
-constexpr std::size_t kEventBytes = 4 * 8 + 2 * 4 + 1;
+constexpr std::size_t kEventBytes = kTraceEventBytes;
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
     for (int i = 0; i < 4; ++i) {
@@ -135,7 +128,46 @@ std::uint64_t get_u64(const std::vector<std::uint8_t>& in, std::size_t at) {
     return v;
 }
 
+std::uint64_t load_u64(const std::uint8_t* at) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(at[i]) << (8 * i);
+    }
+    return v;
+}
+
+std::uint32_t load_u32(const std::uint8_t* at) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+        v |= static_cast<std::uint32_t>(at[i]) << (8 * i);
+    }
+    return v;
+}
+
 }  // namespace
+
+void encode_trace_event_into(const TraceEvent& event,
+                             std::vector<std::uint8_t>& out) {
+    put_u64(out, event.virtual_time);
+    put_u64(out, event.logical);
+    put_u64(out, event.arg_a);
+    put_u64(out, event.arg_b);
+    put_u32(out, event.process);
+    put_u32(out, event.peer);
+    out.push_back(static_cast<std::uint8_t>(event.kind));
+}
+
+TraceEvent decode_trace_event(const std::uint8_t* at) {
+    TraceEvent e;
+    e.virtual_time = load_u64(at);
+    e.logical = load_u64(at + 8);
+    e.arg_a = load_u64(at + 16);
+    e.arg_b = load_u64(at + 24);
+    e.process = load_u32(at + 32);
+    e.peer = load_u32(at + 36);
+    e.kind = static_cast<TraceEventKind>(at[40]);
+    return e;
+}
 
 void TraceSink::write_binary(std::vector<std::uint8_t>& out) const {
     out.clear();
@@ -143,15 +175,7 @@ void TraceSink::write_binary(std::vector<std::uint8_t>& out) const {
     out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
     put_u32(out, kVersion);
     put_u64(out, static_cast<std::uint64_t>(size()));
-    for_each([&](const TraceEvent& e) {
-        put_u64(out, e.virtual_time);
-        put_u64(out, e.logical);
-        put_u64(out, e.arg_a);
-        put_u64(out, e.arg_b);
-        put_u32(out, e.process);
-        put_u32(out, e.peer);
-        out.push_back(static_cast<std::uint8_t>(e.kind));
-    });
+    for_each([&](const TraceEvent& e) { encode_trace_event_into(e, out); });
 }
 
 std::vector<TraceEvent> TraceSink::read_binary(
@@ -171,15 +195,7 @@ std::vector<TraceEvent> TraceSink::read_binary(
     events.reserve(static_cast<std::size_t>(count));
     std::size_t at = 16;
     for (std::uint64_t i = 0; i < count; ++i) {
-        TraceEvent e;
-        e.virtual_time = get_u64(bytes, at);
-        e.logical = get_u64(bytes, at + 8);
-        e.arg_a = get_u64(bytes, at + 16);
-        e.arg_b = get_u64(bytes, at + 24);
-        e.process = get_u32(bytes, at + 32);
-        e.peer = get_u32(bytes, at + 36);
-        e.kind = static_cast<TraceEventKind>(bytes[at + 40]);
-        events.push_back(e);
+        events.push_back(decode_trace_event(bytes.data() + at));
         at += kEventBytes;
     }
     return events;

@@ -68,6 +68,21 @@ struct TraceEvent {
     friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
 
+/// Bytes one packed event occupies in the SYTR/SYFR binary formats:
+/// 4 x u64 + 2 x u32 + the kind byte, little-endian throughout.
+inline constexpr std::size_t kTraceEventBytes = 4 * 8 + 2 * 4 + 1;
+
+/// Appends the packed little-endian form of `event` (kTraceEventBytes).
+/// Shared by the SYTR trace frame and the SYFR post-mortem dump so the
+/// two stay bit-compatible per event.
+void encode_trace_event_into(const TraceEvent& event,
+                             std::vector<std::uint8_t>& out);
+
+/// Decodes one packed event starting at `at` (caller guarantees
+/// kTraceEventBytes readable). Does not validate the kind byte — callers
+/// with untrusted input check it against the enum range themselves.
+TraceEvent decode_trace_event(const std::uint8_t* at);
+
 class TraceSink {
 public:
     /// Ring buffer holding up to `capacity` events (>= 1).
@@ -76,7 +91,10 @@ public:
     std::size_t capacity() const noexcept { return ring_.size(); }
 
     /// Events currently retained (min(recorded(), capacity())).
-    std::size_t size() const noexcept;
+    std::size_t size() const noexcept {
+        return recorded_ < ring_.size() ? static_cast<std::size_t>(recorded_)
+                                        : ring_.size();
+    }
 
     /// Events ever recorded, including ones the ring overwrote.
     std::uint64_t recorded() const noexcept { return recorded_; }
@@ -86,8 +104,21 @@ public:
         return recorded_ - static_cast<std::uint64_t>(size());
     }
 
+    /// High-water mark of retained events since construction or the last
+    /// clear() — `capacity()` once the ring has ever filled. Surfaced as
+    /// the `trace_peak_events` gauge so wraparound pressure is visible
+    /// in every syncts_stats report.
+    std::size_t peak_size() const noexcept { return peak_; }
+
     /// O(1), allocation-free; overwrites the oldest event when full.
-    void record(const TraceEvent& event) noexcept;
+    /// Inline, division-free (head_ tracks recorded_ % capacity): this
+    /// sits on the protocol's hot path for every traced event.
+    void record(const TraceEvent& event) noexcept {
+        ring_[head_] = event;
+        if (++head_ == ring_.size()) head_ = 0;
+        ++recorded_;
+        if (size() > peak_) peak_ = size();
+    }
 
     void clear() noexcept;
 
@@ -118,6 +149,8 @@ public:
 private:
     std::vector<TraceEvent> ring_;
     std::uint64_t recorded_ = 0;
+    std::size_t head_ = 0;  ///< next write slot (== recorded_ % capacity)
+    std::size_t peak_ = 0;
 };
 
 }  // namespace syncts::obs

@@ -185,6 +185,7 @@ RecoverOutcome RecoveryManager::recover(
     const auto final_clock = clock.current_span();
     state.clock.assign(final_clock.begin(), final_clock.end());
     outcome.state = std::move(state);
+    outcome.wal_next_lsn = snapshot.wal_lsn + outcome.replayed_records;
     return outcome;
 }
 

@@ -40,6 +40,14 @@ struct RecoverOutcome {
 
     std::uint64_t replayed_records = 0;
     std::uint64_t replayed_epochs = 0;
+
+    /// The LSN the WAL will assign next, as implied by what recovery
+    /// consumed: the snapshot's stability point plus every replayed
+    /// record. The runtime cross-checks this against the live log's
+    /// next_lsn() (and the flight recorder's dumped WAL position) — a
+    /// mismatch means recovery and the log disagree about how much
+    /// history survived the crash.
+    std::uint64_t wal_next_lsn = 0;
 };
 
 class RecoveryManager {

@@ -125,6 +125,27 @@ Mailbox::Accepted TimestampedNetwork::accept_for(
     return mailbox(self).accept(from);
 }
 
+void TimestampedNetwork::trace_event(obs::TraceEventKind kind,
+                                     ProcessId process, ProcessId peer,
+                                     std::uint64_t a, std::uint64_t b,
+                                     std::uint64_t logical) {
+    obs::TraceSink* const sink = options_.trace;
+    if (sink == nullptr) return;
+    obs::TraceEvent event;
+    event.virtual_time = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - trace_start_)
+            .count());
+    event.logical = logical;
+    event.arg_a = a;
+    event.arg_b = b;
+    event.process = process;
+    event.peer = peer;
+    event.kind = kind;
+    const std::lock_guard lock(trace_mutex_);
+    sink->record(event);
+}
+
 void TimestampedNetwork::close_all() {
     for (const auto& box : mailboxes_) box->close();
 }
@@ -136,6 +157,7 @@ RunRecord TimestampedNetwork::run(const std::vector<ProcessProgram>& programs) {
     blocked_.store(0);
     finished_.store(0);
     deadlocked_.store(false);
+    trace_start_ = std::chrono::steady_clock::now();
 
     std::vector<std::unique_ptr<ProcessContext>> contexts;
     contexts.reserve(n);

@@ -4,12 +4,14 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "clocks/event_timestamp.hpp"
 #include "common/timestamp_arena.hpp"
 #include "decomp/edge_decomposition.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "runtime/failure_detector.hpp"
 #include "runtime/process.hpp"
 #include "trace/computation.hpp"
@@ -107,6 +109,15 @@ struct TimestampedNetworkOptions {
     /// watchdog and the process threads write concurrently — the metrics
     /// are relaxed atomics, so no additional synchronization is needed.
     obs::MetricsRegistry* metrics = nullptr;
+
+    /// When set, every rendezvous records send/commit/ack trace events
+    /// with wall-clock nanosecond offsets from run() start as the
+    /// timebase, the same event shapes the simulated runtime emits —
+    /// causal_profiler.hpp consumes either stream unchanged. The sink is
+    /// not thread-safe, so recording takes an internal mutex (off the
+    /// mailbox fast path; enable for profiling runs, not throughput
+    /// benchmarks). Must outlive the call.
+    obs::TraceSink* trace = nullptr;
 };
 
 /// Post-run results.
@@ -172,6 +183,12 @@ private:
     Mailbox& mailbox(ProcessId p);
     std::uint64_t next_seq() noexcept { return seq_.fetch_add(1) + 1; }
 
+    /// Records one wall-timed trace event (no-op without a sink). The
+    /// mutex serializes process threads into the single-writer ring.
+    void trace_event(obs::TraceEventKind kind, ProcessId process,
+                     ProcessId peer, std::uint64_t a, std::uint64_t b,
+                     std::uint64_t logical);
+
     /// Effective send watchdog for the directed channel from -> to.
     std::chrono::milliseconds channel_timeout(ProcessId from,
                                               ProcessId to) const;
@@ -189,6 +206,9 @@ private:
     /// hot path never mutates the registry concurrently.
     obs::Counter* timeout_counter_ = nullptr;
     obs::Counter* suspicion_counter_ = nullptr;
+    /// Trace timebase origin, reset at each run() entry.
+    std::chrono::steady_clock::time_point trace_start_{};
+    std::mutex trace_mutex_;
 };
 
 }  // namespace syncts

@@ -17,9 +17,15 @@ std::size_t ProcessContext::num_processes() const noexcept {
 
 VectorTimestamp ProcessContext::send(ProcessId to, std::string payload) {
     const VectorTimestamp piggyback = clock_.prepare_send();
+    // The global sequence is assigned at commit, so the send event
+    // carries 0 — the profiler pairs it with the ACK by channel order.
+    network_.trace_event(obs::TraceEventKind::send, self(), to, 0, 0,
+                         piggyback.total());
     const auto [ack, seq] = network_.rendezvous_send(
         self(), to, std::move(payload), piggyback);
     VectorTimestamp timestamp = clock_.on_acknowledgement(to, ack);
+    network_.trace_event(obs::TraceEventKind::ack, self(), to, seq, seq,
+                         timestamp.total());
     journal_.push_back({JournalEntry::Kind::send, to, seq, {}, timestamp});
     return timestamp;
 }
@@ -31,6 +37,10 @@ ReceivedMessage ProcessContext::receive_impl(std::optional<ProcessId> from) {
     auto [acknowledgement, timestamp] =
         clock_.on_receive(sender, accepted.piggyback());
     const std::uint64_t seq = network_.next_seq();
+    // Trace the commit before complete() unblocks the sender, so the
+    // sender's ack event can never precede its commit in the ring.
+    network_.trace_event(obs::TraceEventKind::commit, self(), sender, seq,
+                         seq, timestamp.total());
     accepted.complete(std::move(acknowledgement), seq);
 
     journal_.push_back(

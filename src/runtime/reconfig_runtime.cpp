@@ -14,6 +14,7 @@
 #include "common/region.hpp"
 #include "common/timestamp_arena.hpp"
 #include "common/ts_kernels.hpp"
+#include "obs/flight_recorder.hpp"
 #include "recover/recovery_manager.hpp"
 #include "runtime/async_sim.hpp"
 
@@ -242,6 +243,12 @@ ReconfigurableRunResult run_reconfigurable_protocol(
 
     Tally tally;
     obs::TraceSink* const sink = options.trace;
+    obs::FlightRecorder* const recorder = options.recorder;
+    // Ring losses charged to *this* run: a caller reusing one sink
+    // across runs carries its cumulative dropped() in, so the counter
+    // publishes the delta.
+    const std::uint64_t sink_dropped_before =
+        sink != nullptr ? sink->dropped() : 0;
     obs::Histogram* rendezvous_hist = nullptr;
     obs::Histogram* attempts_hist = nullptr;
     obs::Histogram* snapshot_bytes_hist = nullptr;
@@ -259,12 +266,14 @@ ReconfigurableRunResult run_reconfigurable_protocol(
     }
     // One line per protocol event; `logical` is the acting process's
     // clock-vector total at record time, tying wire activity to causal
-    // progress. Only evaluated when tracing is on.
+    // progress. Only evaluated when tracing or the flight recorder is
+    // on; the recorder mirrors every event into its own bounded ring so
+    // the black box works with full tracing off.
     const auto trace = [&](obs::TraceEventKind kind, std::uint64_t now,
                            ProcessId process, ProcessId peer,
                            std::uint64_t a, std::uint64_t b,
                            std::uint64_t logical) {
-        if (sink == nullptr) return;
+        if (sink == nullptr && recorder == nullptr) return;
         obs::TraceEvent event;
         event.virtual_time = now;
         event.logical = logical;
@@ -273,7 +282,8 @@ ReconfigurableRunResult run_reconfigurable_protocol(
         event.process = process;
         event.peer = peer;
         event.kind = kind;
-        sink->record(event);
+        if (sink != nullptr) sink->record(event);
+        if (recorder != nullptr) recorder->record(event);
     };
     // Logical-time argument for trace records. Null-safe: with crash
     // rules armed, a frame can reach an engine that currently has no
@@ -422,6 +432,10 @@ ReconfigurableRunResult run_reconfigurable_protocol(
             flush_segment(flushed_below);
             ++flushed_below;
         }
+        // The flight recorder tracks the same frontier: retained events
+        // older than the last stably-retired epoch's entry cannot matter
+        // to any surviving rewind, so the black box sheds them too.
+        if (recorder != nullptr) recorder->note_frontier(frontier);
     };
 
     // Without recovery a single cached ACK per channel suffices (the
@@ -582,6 +596,15 @@ ReconfigurableRunResult run_reconfigurable_protocol(
         trace(obs::TraceEventKind::crash, now, p, p, engine.steps,
               engine.incarnation, logical(engine));
         stores[p].wal.drop_unflushed();
+        if (recorder != nullptr) {
+            // The black box captures the crash instant: WAL position
+            // *after* the unflushed tail is gone (what recovery will
+            // actually see) and the ring ending at the crash event just
+            // traced. Recovery replay cross-checks both.
+            recorder->dump(obs::PostmortemReason::crash, p, engine.steps,
+                           engine.epoch, stores[p].wal.next_lsn(), now,
+                           options.metrics);
+        }
         // The crash wipes the clock's *state*; its buffers are reusable,
         // so park it for the next lease (rebind() resets it in full).
         stock.restock_clock(std::move(engine.clock));
@@ -630,6 +653,9 @@ ReconfigurableRunResult run_reconfigurable_protocol(
                 options.recovery.snapshot_interval) {
             take_snapshot(p);
         }
+        if (recorder != nullptr && options.metrics != nullptr) {
+            recorder->tick(*options.metrics);
+        }
         return maybe_crash(now, p);
     };
 
@@ -660,6 +686,14 @@ ReconfigurableRunResult run_reconfigurable_protocol(
                       sequence, out_now.mid,
                       logical(engine));
                 if (out_now.retransmits >= options.max_retransmits) {
+                    if (recorder != nullptr) {
+                        recorder->dump(obs::PostmortemReason::error, p,
+                                       engine.steps, engine.epoch,
+                                       recovery_active
+                                           ? stores[p].wal.next_lsn()
+                                           : 0,
+                                       when, options.metrics);
+                    }
                     throw SynchronizerStalled(
                         "message " + std::to_string(out_now.mid) +
                         " from P" + std::to_string(p) + " to P" +
@@ -886,7 +920,12 @@ ReconfigurableRunResult run_reconfigurable_protocol(
             const EpochTransition& transition =
                 topology.transition_into(current_epoch + 1);
             ++current_epoch;
-            trace(obs::TraceEventKind::epoch, now, 0, 0, current_epoch,
+            // The global barrier event uses the out-of-range peer n_max
+            // as its marker, distinguishing it from the per-process
+            // fast-forward epoch events (process == peer) — the causal
+            // profiler keys barrier-stall attribution off this shape.
+            trace(obs::TraceEventKind::epoch, now, 0,
+                  static_cast<ProcessId>(n_max), current_epoch,
                   transition.preserved_groups, 0);
             for (ProcessId p = 0; p < n_max; ++p) {
                 if (engines[p].down) continue;  // fast-forwards on restart
@@ -1091,6 +1130,13 @@ ReconfigurableRunResult run_reconfigurable_protocol(
                       "frontier");
         SYNCTS_ENSURE(state.epoch >= outcome.stable_epoch,
                       "WAL replay rewound past the snapshot epoch");
+        // The replayed history must land exactly on the live log's tail:
+        // the snapshot's stability point plus every replayed record is
+        // the next LSN the WAL will assign. This is also the position
+        // the flight recorder dumped at the crash instant, so a SYFR
+        // post-mortem and the recovery that follows it cross-validate.
+        SYNCTS_ENSURE(outcome.wal_next_lsn == stores[p].wal.next_lsn(),
+                      "recovery replay disagrees with the WAL position");
         load_engine(p, state.epoch);
         SYNCTS_ENSURE(engine.clock != nullptr &&
                           state.clock.size() == engine.clock->width(),
@@ -1637,6 +1683,17 @@ ReconfigurableRunResult run_reconfigurable_protocol(
             m.counter("recover_wal_truncated").inc(wal_truncated);
             m.counter("recover_wal_dropped").inc(wal_dropped);
         }
+        if (sink != nullptr) {
+            // Ring-pressure diagnostics: how many events wrapped away and
+            // the retention high-water mark, so an undersized sink is
+            // visible in every report instead of silently profiling a
+            // truncated window.
+            m.counter("trace_dropped")
+                .inc(sink->dropped() - sink_dropped_before);
+            m.gauge("trace_peak_events")
+                .set_max(static_cast<std::int64_t>(sink->peak_size()));
+        }
+        if (recorder != nullptr) recorder->publish_metrics(m);
     }
 
     SYNCTS_ENSURE(current_epoch == num_epochs - 1,

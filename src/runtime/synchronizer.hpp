@@ -57,6 +57,10 @@ namespace syncts {
 class SlabPool;
 class EngineStock;
 
+namespace obs {
+class FlightRecorder;
+}
+
 /// Thrown when a message exhausts its retransmission budget (e.g. a
 /// targeted fault rule swallows every attempt). Distinct from
 /// NetworkDeadlock: the program is fine, the network is unusable.
@@ -125,6 +129,15 @@ struct SynchronizerOptions {
     /// recorded with its virtual time and the acting process's logical
     /// clock total. Must outlive the call.
     obs::TraceSink* trace = nullptr;
+
+    /// When set, the run feeds the flight recorder (obs/flight_recorder
+    /// .hpp): every trace event is mirrored into its bounded ring, the
+    /// metrics registry is snapshotted every `snapshot_interval` steps,
+    /// and a SYFR post-mortem is dumped when a crash rule fires or the
+    /// run throws SynchronizerStalled. Independent of `trace` — the
+    /// black box stays on when full tracing is off. Must outlive the
+    /// call.
+    obs::FlightRecorder* recorder = nullptr;
 
     /// When set, the run's per-epoch timestamp regions draw their slabs
     /// from this pool instead of a run-local one, so slab capacity is

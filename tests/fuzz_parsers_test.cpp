@@ -10,6 +10,7 @@
 #include "common/rng.hpp"
 #include "decomp/cover_decomposer.hpp"
 #include "decomp/decomp_io.hpp"
+#include "obs/flight_recorder.hpp"
 #include "recover/snapshot.hpp"
 #include "recover/wal.hpp"
 #include "test_util.hpp"
@@ -413,6 +414,121 @@ TEST(FuzzParsers, SnapshotRandomSoupAndMutations) {
             EXPECT_EQ(decoded.wal_lsn, snapshot.wal_lsn);
         } catch (const RecoveryError&) {
             // expected for every realistic mutation
+        }
+    }
+}
+
+obs::Postmortem fuzz_postmortem() {
+    obs::Postmortem post;
+    post.reason = obs::PostmortemReason::error;
+    post.process = 2;
+    post.step = 31;
+    post.epoch = 1;
+    post.frontier_epoch = 1;
+    post.wal_lsn = 77;
+    post.virtual_time = 4242;
+    post.snapshots = 3;
+    post.metrics.counters["sync_commits"] = 31;
+    post.metrics.counters["sync_retransmits"] = 2;
+    post.metrics.gauges["arena_bytes"] = 4096;
+    post.rates.counters["sync_commits"] = 8;
+    post.rates.gauges["arena_bytes"] = 4096;
+    for (std::uint64_t i = 0; i < 12; ++i) {
+        obs::TraceEvent event;
+        event.virtual_time = 50 + i;
+        event.logical = i;
+        event.arg_a = i % 5;
+        event.arg_b = i;
+        event.process = static_cast<std::uint32_t>(i % 3);
+        event.peer = static_cast<std::uint32_t>((i + 1) % 3);
+        event.kind = static_cast<obs::TraceEventKind>(i % 4);
+        post.events.push_back(event);
+    }
+    return post;
+}
+
+TEST(FuzzParsers, PostmortemRandomSoup) {
+    Rng rng(5016);
+    std::uint64_t rejects = 0;
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::vector<std::uint8_t> bytes(rng.below(256));
+        for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.below(256));
+        try {
+            (void)obs::decode_postmortem(bytes);
+        } catch (const obs::PostmortemError&) {
+            ++rejects;
+        }
+    }
+    // A random buffer cannot carry a valid FNV-1a trailer.
+    EXPECT_EQ(rejects, 2000u);
+
+    // Random soup behind the valid magic + version header still has to
+    // clear the checksum, so every trial must reject cleanly too.
+    rejects = 0;
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::vector<std::uint8_t> bytes{'S', 'Y', 'F', 'R', 1, 0, 0, 0};
+        const std::size_t body = rng.below(200);
+        for (std::size_t i = 0; i < body; ++i) {
+            bytes.push_back(static_cast<std::uint8_t>(rng.below(256)));
+        }
+        try {
+            (void)obs::decode_postmortem(bytes);
+        } catch (const obs::PostmortemError&) {
+            ++rejects;
+        }
+    }
+    EXPECT_EQ(rejects, 2000u);
+}
+
+TEST(FuzzParsers, PostmortemTruncationsAndTrailingBytes) {
+    std::vector<std::uint8_t> bytes;
+    obs::encode_postmortem_into(fuzz_postmortem(), bytes);
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+        const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                               bytes.begin() +
+                                                   static_cast<long>(cut));
+        EXPECT_THROW((void)obs::decode_postmortem(prefix),
+                     obs::PostmortemError)
+            << "cut " << cut;
+    }
+    auto padded = bytes;
+    padded.push_back(0);
+    EXPECT_THROW((void)obs::decode_postmortem(padded),
+                 obs::PostmortemError);
+}
+
+TEST(FuzzParsers, PostmortemMutatedValidDumps) {
+    Rng rng(5017);
+    const obs::Postmortem original = fuzz_postmortem();
+    std::vector<std::uint8_t> bytes;
+    obs::encode_postmortem_into(original, bytes);
+    for (int trial = 0; trial < 1500; ++trial) {
+        auto mutated = bytes;
+        const std::size_t edits = 1 + rng.below(4);
+        for (std::size_t e = 0; e < edits; ++e) {
+            const std::size_t pos = rng.below(mutated.size());
+            switch (rng.below(3)) {
+                case 0:
+                    mutated[pos] ^=
+                        static_cast<std::uint8_t>(1u << rng.below(8));
+                    break;
+                case 1:
+                    mutated.erase(mutated.begin() + static_cast<long>(pos));
+                    break;
+                default:
+                    mutated.insert(mutated.begin() + static_cast<long>(pos),
+                                   static_cast<std::uint8_t>(rng.below(256)));
+                    break;
+            }
+        }
+        try {
+            const obs::Postmortem decoded =
+                obs::decode_postmortem(mutated);
+            // Decoding can only succeed when the mutations cancelled out
+            // to a checksum collision; the content must still match.
+            EXPECT_EQ(decoded, original);
+        } catch (const obs::PostmortemError&) {
+            // expected for nearly every mutation
         }
     }
 }

@@ -198,6 +198,33 @@ TEST(Metrics, HistogramOverflowClampsToObservedMax) {
     EXPECT_EQ(summary.max, 1'000'000u);
 }
 
+TEST(Metrics, HistogramSingleObservationQuantiles) {
+    const std::vector<std::uint64_t> bounds{1, 2, 4, 8, 16};
+    obs::Histogram histogram{std::span<const std::uint64_t>(bounds)};
+    histogram.record(3);
+    const obs::Histogram::Summary summary = histogram.summary();
+    EXPECT_EQ(summary.count, 1u);
+    EXPECT_EQ(summary.min, 3u);
+    EXPECT_EQ(summary.max, 3u);
+    // Every quantile lands in the one occupied bucket (bound 4) and is
+    // clamped to the observed maximum — a single sample reports itself.
+    EXPECT_EQ(summary.p50, 3u);
+    EXPECT_EQ(summary.p95, 3u);
+    EXPECT_EQ(summary.p99, 3u);
+}
+
+TEST(Metrics, HistogramP99ClampsInsideAWideTopBucket) {
+    // Nine values 2..10 all land in the [2, 1000] bucket; the p99 bound
+    // must report the observed max (10), never the bucket bound (1000).
+    const std::vector<std::uint64_t> bounds{1, 1000};
+    obs::Histogram histogram{std::span<const std::uint64_t>(bounds)};
+    for (std::uint64_t v = 2; v <= 10; ++v) histogram.record(v);
+    const obs::Histogram::Summary summary = histogram.summary();
+    EXPECT_EQ(summary.p50, 10u);
+    EXPECT_EQ(summary.p99, 10u);
+    EXPECT_EQ(summary.max, 10u);
+}
+
 TEST(Metrics, HistogramRejectsNonIncreasingBounds) {
     const std::vector<std::uint64_t> bad{4, 4};
     EXPECT_THROW(
@@ -249,6 +276,60 @@ TEST(MetricsRegistry, ResetZeroesButKeepsRegistrations) {
     EXPECT_EQ(registry.gauge("g").value(), 0);
     EXPECT_EQ(registry.histogram("h").count(), 0u);
     EXPECT_EQ(registry.size(), 3u);
+}
+
+// ---- Snapshots and deltas --------------------------------------------
+
+TEST(MetricsSnapshot, SnapshotCopiesCountersAndGaugesInNameOrder) {
+    obs::MetricsRegistry registry;
+    registry.counter("zeta").inc(2);
+    registry.counter("alpha").inc(7);
+    registry.gauge("level").set(-4);
+    registry.histogram("lat").record(1);  // histograms are not snapshotted
+    const obs::MetricsSnapshot snap = registry.snapshot();
+    EXPECT_EQ(snap.counters.size(), 2u);
+    EXPECT_EQ(snap.counters.at("alpha"), 7u);
+    EXPECT_EQ(snap.counters.at("zeta"), 2u);
+    EXPECT_EQ(snap.gauges.at("level"), -4);
+}
+
+TEST(MetricsSnapshot, DeltaReportsCounterIncrementsAndGaugeLevels) {
+    obs::MetricsRegistry registry;
+    registry.counter("commits").inc(10);
+    registry.gauge("width").set(3);
+    const obs::MetricsSnapshot before = registry.snapshot();
+    registry.counter("commits").inc(4);
+    registry.gauge("width").set(9);
+    const obs::MetricsSnapshot after = registry.snapshot();
+    const obs::MetricsDelta delta = obs::snapshot_delta(before, after);
+    // Counters are monotonic: the delta is the interval increment.
+    EXPECT_EQ(delta.counters.at("commits"), 4u);
+    // Gauges are instantaneous levels and pass through unchanged.
+    EXPECT_EQ(delta.gauges.at("width"), 9);
+}
+
+TEST(MetricsSnapshot, DeltaAppliesTheCounterResetRule) {
+    obs::MetricsRegistry registry;
+    registry.counter("commits").inc(10);
+    const obs::MetricsSnapshot before = registry.snapshot();
+    registry.reset();
+    registry.counter("commits").inc(3);
+    const obs::MetricsDelta delta =
+        obs::snapshot_delta(before, registry.snapshot());
+    // A counter that moved backwards restarts the interval at its new
+    // value instead of underflowing.
+    EXPECT_EQ(delta.counters.at("commits"), 3u);
+}
+
+TEST(MetricsSnapshot, DeltaCountsMidIntervalRegistrationsFromZero) {
+    obs::MetricsRegistry registry;
+    registry.counter("old").inc(1);
+    const obs::MetricsSnapshot before = registry.snapshot();
+    registry.counter("fresh").inc(6);
+    const obs::MetricsDelta delta =
+        obs::snapshot_delta(before, registry.snapshot());
+    EXPECT_EQ(delta.counters.at("fresh"), 6u);
+    EXPECT_EQ(delta.counters.at("old"), 0u);
 }
 
 // ---- Trace ring ------------------------------------------------------

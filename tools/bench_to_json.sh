@@ -37,6 +37,7 @@ plain_benches=(
     bench_fig8_greedy bench_size_table bench_offline bench_events
     bench_runtime bench_related bench_wire bench_ablation bench_ordering
     bench_faults bench_arena bench_analysis bench_reconfig bench_recover
+    bench_profile
 )
 for name in "${plain_benches[@]}"; do
     bin="${bench_dir}/${name}"
@@ -92,6 +93,9 @@ with open(sys.argv[1]) as fh:
             # churn measured"; simd_speedup 1.0 = "no vector path".
             row.setdefault("peak_region_bytes", 0)
             row.setdefault("simd_speedup", 1.0)
+            # Observer-tax column (bench_profile, PR 8): 0.0 = "ran
+            # uninstrumented", only bench_profile measures a real value.
+            row.setdefault("profiler_overhead_pct", 0.0)
             results.append(row)
 json.dump(results, sys.stdout, indent=1)
 sys.stdout.write("\n")

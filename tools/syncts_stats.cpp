@@ -11,7 +11,27 @@
 //                [--jitter J] [--latency LO:HI] [--trace FILE.json]
 //                [--trace-binary FILE.bin] [--trace-capacity N]
 //                [--threads T] [--queries K] [--reconfig SCHED]
+//                [--profile] [--crash P:STEP:DOWN] [--flight FILE.syfr]
 //                [--json] [--quiet]
+//   syncts_stats --postmortem FILE.syfr
+//
+// --profile turns on the causal profiler (docs/PROFILING.md): the last
+// run's trace is profiled into the critical rendezvous path, per-process
+// blocked/working/down/barrier-stall attribution, per-channel wait
+// totals, and per-epoch barrier stalls, reported as a deterministic
+// sorted-key "profile" JSON object (plus a human summary). With --trace,
+// the exported Chrome trace gains a highlighted "critical path" track.
+// Profiling clears the sink between runs so the profile (and the trace
+// files) describe exactly the final run.
+//
+// --crash P:STEP:DOWN injects a crash rule (process P crashes at its
+// STEP-th protocol step, restarts after DOWN virtual ticks) and arms the
+// recovery layer; repeatable.
+//
+// --flight attaches the flight recorder and writes its latest SYFR
+// post-mortem to the given path when a crash rule fires or a run stalls
+// (no file is written on a clean run). --postmortem decodes such a file
+// and prints it; the tool exits without running anything.
 //
 // --reconfig takes a reconfiguration schedule (grammar in
 // topo/reconfig.hpp): each op starts a new topology epoch, the N events
@@ -42,12 +62,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "clocks/clock_engine.hpp"
 #include "common/pool.hpp"
+#include "obs/causal_profiler.hpp"
+#include "obs/flight_recorder.hpp"
 #include "core/causality.hpp"
 #include "core/multi_epoch_trace.hpp"
 #include "core/precedence_index.hpp"
@@ -86,6 +109,10 @@ struct Config {
     std::size_t queries = 0;
     std::string reconfig;   // epoch schedule; empty = single epoch
     bool analysis = false;  // set when --threads or --queries is passed
+    bool profile = false;
+    std::vector<CrashRule> crashes;
+    std::string flight_path;      // SYFR dump target; empty = no recorder
+    std::string postmortem_path;  // decode-and-exit mode
     bool json = false;
     bool quiet = false;
 };
@@ -101,9 +128,35 @@ struct Config {
         "                    [--trace-binary FILE.bin] [--trace-capacity N]\n"
         "                    [--threads T] [--queries K] "
         "[--reconfig SCHED] [--json]\n"
-        "                    [--quiet]\nspecs: %s\n",
+        "                    [--profile] [--crash P:STEP:DOWN] "
+        "[--flight FILE.syfr]\n"
+        "                    [--quiet]\n"
+        "       syncts_stats --postmortem FILE.syfr\nspecs: %s\n",
         tools::spec_help());
     std::exit(2);
+}
+
+/// Parses a --crash rule "P:STEP:DOWN".
+CrashRule parse_crash(const char* text) {
+    CrashRule rule;
+    char* end = nullptr;
+    rule.process =
+        static_cast<ProcessId>(std::strtoull(text, &end, 10));
+    if (end == nullptr || *end != ':') {
+        std::fprintf(stderr, "bad crash rule '%s'\n", text);
+        usage();
+    }
+    rule.at_step = std::strtoull(end + 1, &end, 10);
+    if (end == nullptr || *end != ':') {
+        std::fprintf(stderr, "bad crash rule '%s'\n", text);
+        usage();
+    }
+    rule.downtime = std::strtoull(end + 1, &end, 10);
+    if (end == nullptr || *end != '\0' || rule.at_step == 0) {
+        std::fprintf(stderr, "bad crash rule '%s'\n", text);
+        usage();
+    }
+    return rule;
 }
 
 /// Parses "5000", "5k", "2m" (case-insensitive suffix).
@@ -177,6 +230,14 @@ Config parse_args(int argc, char** argv) {
             config.analysis = true;
         } else if (flag == "--reconfig") {
             config.reconfig = next_value("--reconfig");
+        } else if (flag == "--profile") {
+            config.profile = true;
+        } else if (flag == "--crash") {
+            config.crashes.push_back(parse_crash(next_value("--crash")));
+        } else if (flag == "--flight") {
+            config.flight_path = next_value("--flight");
+        } else if (flag == "--postmortem") {
+            config.postmortem_path = next_value("--postmortem");
         } else if (flag == "--json") {
             config.json = true;
         } else if (flag == "--quiet") {
@@ -197,6 +258,87 @@ bool write_file(const std::string& path, const char* data, std::size_t len) {
     std::ofstream out(path, std::ios::binary);
     out.write(data, static_cast<std::streamsize>(len));
     return static_cast<bool>(out);
+}
+
+/// --postmortem mode: decode one SYFR dump and print it, no run.
+int decode_postmortem_file(const Config& config) {
+    std::ifstream in(config.postmortem_path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "cannot read %s\n",
+                     config.postmortem_path.c_str());
+        return 2;
+    }
+    const std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    obs::Postmortem pm;
+    try {
+        pm = obs::decode_postmortem(bytes);
+    } catch (const obs::PostmortemError& error) {
+        std::fprintf(stderr, "postmortem decode failed: %s\n", error.what());
+        return 1;
+    }
+    if (config.json) {
+        std::string out;
+        out += "{\"tool\":\"syncts_stats\",\"postmortem\":{";
+        out += "\"epoch\":" + std::to_string(pm.epoch);
+        out += ",\"events\":" + std::to_string(pm.events.size());
+        out += ",\"frontier_epoch\":" + std::to_string(pm.frontier_epoch);
+        out += ",\"metrics\":{\"counters\":{";
+        bool first = true;
+        for (const auto& [name, value] : pm.metrics.counters) {
+            if (!first) out += ',';
+            first = false;
+            out += "\"" + name + "\":" + std::to_string(value);
+        }
+        out += "},\"gauges\":{";
+        first = true;
+        for (const auto& [name, value] : pm.metrics.gauges) {
+            if (!first) out += ',';
+            first = false;
+            out += "\"" + name + "\":" + std::to_string(value);
+        }
+        out += "}},\"process\":" + std::to_string(pm.process);
+        out += ",\"rates\":{";
+        first = true;
+        for (const auto& [name, value] : pm.rates.counters) {
+            if (!first) out += ',';
+            first = false;
+            out += "\"" + name + "\":" + std::to_string(value);
+        }
+        out += "},\"reason\":\"";
+        out += obs::to_string(pm.reason);
+        out += "\",\"snapshots\":" + std::to_string(pm.snapshots);
+        out += ",\"step\":" + std::to_string(pm.step);
+        out += ",\"virtual_time\":" + std::to_string(pm.virtual_time);
+        out += ",\"wal_lsn\":" + std::to_string(pm.wal_lsn);
+        out += "}}\n";
+        std::fwrite(out.data(), 1, out.size(), stdout);
+        return 0;
+    }
+    std::printf("postmortem: reason=%s process=%u step=%llu epoch=%llu "
+                "frontier=%llu wal_lsn=%llu t=%llu\n",
+                obs::to_string(pm.reason), pm.process,
+                static_cast<unsigned long long>(pm.step),
+                static_cast<unsigned long long>(pm.epoch),
+                static_cast<unsigned long long>(pm.frontier_epoch),
+                static_cast<unsigned long long>(pm.wal_lsn),
+                static_cast<unsigned long long>(pm.virtual_time));
+    std::printf("metrics: %zu counters, %zu gauges (%llu snapshots)\n",
+                pm.metrics.counters.size(), pm.metrics.gauges.size(),
+                static_cast<unsigned long long>(pm.snapshots));
+    std::printf("events: %zu retained; tail:\n", pm.events.size());
+    const std::size_t tail = pm.events.size() < 10 ? 0 : pm.events.size() - 10;
+    for (std::size_t i = tail; i < pm.events.size(); ++i) {
+        const obs::TraceEvent& e = pm.events[i];
+        std::printf("  t=%llu %s P%u->P%u a=%llu b=%llu logical=%llu\n",
+                    static_cast<unsigned long long>(e.virtual_time),
+                    obs::to_string(e.kind), e.process, e.peer,
+                    static_cast<unsigned long long>(e.arg_a),
+                    static_cast<unsigned long long>(e.arg_b),
+                    static_cast<unsigned long long>(e.logical));
+    }
+    return 0;
 }
 
 /// Result of the --threads/--queries analysis section. Every field but
@@ -341,12 +483,26 @@ AnalysisReport run_multi_analysis(const Config& config,
 
 int main(int argc, char** argv) {
     const Config config = parse_args(argc, argv);
+    if (!config.postmortem_path.empty()) {
+        return decode_postmortem_file(config);
+    }
     const Graph topology = tools::build_topology(config.spec);
 
     obs::MetricsRegistry registry;
     obs::TraceSink sink(config.trace_capacity);
     const bool tracing =
         !config.trace_json_path.empty() || !config.trace_binary_path.empty();
+    // The profiler consumes the same sink the trace exports come from.
+    const bool capture = tracing || config.profile;
+    // The flight recorder is armed by an explicit dump path or by crash
+    // rules (the dump is retained in memory either way; the file is only
+    // written when --flight names one).
+    const bool flight =
+        !config.flight_path.empty() || !config.crashes.empty();
+    obs::FlightRecorder recorder(config.trace_capacity, 64);
+    if (!config.flight_path.empty()) {
+        recorder.set_dump_path(config.flight_path);
+    }
 
     // Epoch sequence: epoch 0 is the instrumented default decomposition;
     // each --reconfig op adds one epoch (topo_* counters land in the
@@ -360,6 +516,14 @@ int main(int argc, char** argv) {
         }
     }
     const std::size_t num_epochs = manager.num_epochs();
+    for (const CrashRule& rule : config.crashes) {
+        if (rule.process >= manager.max_num_processes()) {
+            std::fprintf(stderr, "--crash names process %u but the "
+                         "topology has %zu processes\n",
+                         rule.process, manager.max_num_processes());
+            usage();
+        }
+    }
     const std::size_t events_per_epoch =
         config.events / num_epochs == 0 ? 1 : config.events / num_epochs;
 
@@ -401,8 +565,12 @@ int main(int argc, char** argv) {
         options.faults.corrupt_probability = config.corrupt;
         options.faults.delay_probability = config.delay;
         options.faults.max_extra_delay = config.jitter;
+        options.faults.crashes = config.crashes;
         options.metrics = &registry;
-        options.trace = tracing ? &sink : nullptr;
+        options.trace = capture ? &sink : nullptr;
+        options.recorder = flight ? &recorder : nullptr;
+        // Profiling attributes one run's timeline; keep only the last.
+        if (config.profile) sink.clear();
         // The registry accumulates across runs; the per-run reject count
         // is the counter's delta over this run.
         const std::uint64_t rejects_before =
@@ -448,6 +616,24 @@ int main(int argc, char** argv) {
     registry.counter("stats_frames_corrupt_undetected")
         .inc(undetected_corrupt);
 
+    // Causal profile of the last run's event stream (docs/PROFILING.md).
+    // Everything in it is virtual-time-derived, so it is byte-identical
+    // across same-seed invocations; only the build wall time is not, and
+    // it is published under the wall_ms key the determinism gate strips.
+    obs::Profile profile;
+    double profile_wall_ms = 0.0;
+    if (config.profile) {
+        const auto start = std::chrono::steady_clock::now();
+        const std::vector<obs::TraceEvent> events = sink.events();
+        profile = obs::build_profile(events, manager.max_num_processes());
+        profile_wall_ms =
+            static_cast<double>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count()) /
+            1000.0;
+    }
+
     AnalysisReport analysis;
     if (config.analysis && num_epochs == 1) {
         analysis =
@@ -475,7 +661,13 @@ int main(int argc, char** argv) {
     }
 
     if (!config.trace_json_path.empty()) {
-        const std::string chrome = sink.to_chrome_trace();
+        std::string chrome;
+        if (config.profile) {
+            // Same document plus the highlighted critical-path track.
+            obs::write_critical_path_trace(sink.events(), profile, chrome);
+        } else {
+            sink.write_chrome_trace(chrome);
+        }
         if (!write_file(config.trace_json_path, chrome.data(),
                         chrome.size())) {
             std::fprintf(stderr, "cannot write %s\n",
@@ -536,6 +728,25 @@ int main(int argc, char** argv) {
             out += wall;
             out += "}";
         }
+        if (config.profile) {
+            char wall[32];
+            std::snprintf(wall, sizeof(wall), "%.3f", profile_wall_ms);
+            std::string profile_json = obs::to_profile_json(profile);
+            // Splice the one wall-clock field in as the (sorted) last
+            // key; the determinism gate zeroes it like analysis.wall_ms.
+            profile_json.pop_back();
+            profile_json += ",\"wall_ms\":";
+            profile_json += wall;
+            profile_json += "}";
+            out += ",\"profile\":" + profile_json;
+        }
+        if (flight) {
+            out += ",\"flight\":{\"dumps\":" +
+                   std::to_string(recorder.dumps());
+            out += ",\"retained\":" + std::to_string(recorder.retained());
+            out += ",\"truncated\":" + std::to_string(recorder.truncated());
+            out += "}";
+        }
         out += ",\"metrics\":";
         registry.write_json(out);
         out += ",\"ok\":";
@@ -559,6 +770,37 @@ int main(int argc, char** argv) {
                         static_cast<unsigned long long>(sink.recorded()),
                         sink.size(),
                         static_cast<unsigned long long>(sink.dropped()));
+        }
+        if (config.profile) {
+            std::printf(
+                "profile: rendezvous=%zu critical_length=%llu "
+                "critical_span=%llu critical_slack=%llu span=%llu "
+                "(%.3fms)\n",
+                profile.rendezvous.size(),
+                static_cast<unsigned long long>(profile.critical_length),
+                static_cast<unsigned long long>(profile.critical_span),
+                static_cast<unsigned long long>(profile.critical_slack),
+                static_cast<unsigned long long>(profile.span),
+                profile_wall_ms);
+            for (std::size_t p = 0; p < profile.processes.size(); ++p) {
+                const obs::ProcessBreakdown& b = profile.processes[p];
+                if (b.total == 0) continue;
+                std::printf(
+                    "  P%zu: total=%llu working=%llu blocked=%llu "
+                    "down=%llu barrier=%llu\n",
+                    p, static_cast<unsigned long long>(b.total),
+                    static_cast<unsigned long long>(b.working),
+                    static_cast<unsigned long long>(b.blocked),
+                    static_cast<unsigned long long>(b.down),
+                    static_cast<unsigned long long>(b.barrier_stall));
+            }
+        }
+        if (flight && recorder.dumps() > 0) {
+            std::printf("flight:  dumps=%llu retained=%zu truncated=%llu\n",
+                        static_cast<unsigned long long>(recorder.dumps()),
+                        recorder.retained(),
+                        static_cast<unsigned long long>(
+                            recorder.truncated()));
         }
         if (config.analysis) {
             const std::uint64_t lookups =
