@@ -8,6 +8,7 @@
 #include "clocks/online_clock.hpp"
 #include "clocks/wire.hpp"
 #include "common/check.hpp"
+#include "common/checksum.hpp"
 #include "common/ts_kernels.hpp"
 
 namespace syncts {
@@ -94,11 +95,7 @@ void ClockEngine::save_state(std::vector<std::uint8_t>& out) const {
     save_payload(payload);
     encode_varint(payload.size(), out);
     for (const std::uint64_t word : payload) encode_varint(word, out);
-    const std::uint64_t checksum =
-        fnv1a64({out.data() + start, out.size() - start});
-    for (int shift = 0; shift < 64; shift += 8) {
-        out.push_back(static_cast<std::uint8_t>(checksum >> shift));
-    }
+    common::append_checksum_trailer(out, start);
 }
 
 std::vector<std::uint8_t> ClockEngine::save_state() const {
@@ -113,12 +110,9 @@ void ClockEngine::restore_state(std::span<const std::uint8_t> bytes) {
                         "clock state shorter than magic plus checksum");
     }
     const std::span<const std::uint8_t> body = bytes.first(bytes.size() - 8);
-    std::uint64_t stored = 0;
-    for (int i = 7; i >= 0; --i) {
-        stored =
-            (stored << 8) | bytes[body.size() + static_cast<std::size_t>(i)];
-    }
-    if (fnv1a64(body) != stored) {
+    const std::uint64_t stored =
+        common::read_checksum_trailer(bytes, body.size());
+    if (common::fnv1a64(body) != stored) {
         throw WireError(WireError::Kind::checksum_mismatch,
                         "clock state checksum mismatch");
     }

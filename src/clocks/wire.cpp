@@ -1,5 +1,7 @@
 #include "clocks/wire.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <limits>
 #include <utility>
 
@@ -134,18 +136,9 @@ std::size_t encoded_size(const VectorTimestamp& stamp) {
     return encoded_size(stamp.components());
 }
 
-std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept {
-    std::uint64_t hash = 0xCBF29CE484222325ull;
-    for (const std::uint8_t byte : bytes) {
-        hash ^= byte;
-        hash *= 0x100000001B3ull;
-    }
-    return hash;
-}
-
 namespace {
 
-constexpr std::size_t kChecksumBytes = 8;
+constexpr std::size_t kChecksumBytes = common::kChecksumTrailerBytes;
 
 }  // namespace
 
@@ -326,6 +319,291 @@ SyncFrame decode_frame(std::span<const std::uint8_t> bytes,
     frame.sequence = header.sequence;
     frame.message = header.message;
     return frame;
+}
+
+// ---------------------------------------------------------------------------
+// Delta frames (v3)
+
+bool encode_delta_frame_into(EpochId epoch, std::uint64_t sequence,
+                             std::uint64_t message,
+                             std::span<const std::uint64_t> base,
+                             std::span<const std::uint64_t> stamp,
+                             std::vector<std::uint8_t>& out) {
+    SYNCTS_REQUIRE(sequence >= 1,
+                   "epoch-aware frames need 1-based sequence numbers");
+    out.clear();
+    if (base.size() != stamp.size()) return false;
+    std::uint64_t changed = 0;
+    for (std::size_t i = 0; i < stamp.size(); ++i) {
+        if (stamp[i] < base[i]) return false;  // non-monotone: full resync
+        if (stamp[i] != base[i]) ++changed;
+    }
+    out.push_back(kEpochFrameMarker);
+    encode_varint(kDeltaFrameVersion, out);
+    encode_varint(epoch, out);
+    encode_varint(sequence, out);
+    encode_varint(message, out);
+    encode_varint(changed, out);
+    for (std::size_t i = 0; i < stamp.size(); ++i) {
+        if (stamp[i] == base[i]) continue;
+        encode_varint(i, out);
+        encode_varint(stamp[i] - base[i], out);
+    }
+    std::uint64_t checksum = fnv1a64(out);
+    for (std::size_t i = 0; i < kChecksumBytes; ++i) {
+        out.push_back(static_cast<std::uint8_t>(checksum));
+        checksum >>= 8;
+    }
+    return true;
+}
+
+namespace {
+
+/// Shared v3 header parse for the delta decoder and peek_frame_info:
+/// payload[0] is already known to be the marker and the version already
+/// consumed as kDeltaFrameVersion; reads epoch/sequence/message.
+FrameHeader decode_delta_header(std::span<const std::uint8_t> payload,
+                                std::size_t& offset) {
+    FrameHeader header;
+    const std::uint64_t epoch = decode_varint(payload, offset);
+    if (epoch > std::numeric_limits<EpochId>::max()) {
+        throw WireError(WireError::Kind::unsupported_version,
+                        "delta frame carrying out-of-range epoch " +
+                            std::to_string(epoch));
+    }
+    header.epoch = static_cast<EpochId>(epoch);
+    header.sequence = decode_varint(payload, offset);
+    header.message = decode_varint(payload, offset);
+    return header;
+}
+
+}  // namespace
+
+FrameHeader decode_delta_frame_into(std::span<const std::uint8_t> bytes,
+                                    std::span<const std::uint64_t> base,
+                                    std::span<std::uint64_t> stamp_out) {
+    SYNCTS_REQUIRE(base.size() == stamp_out.size(),
+                   "delta decode needs base and output of equal width");
+    const std::span<const std::uint8_t> payload = checked_payload(bytes);
+    if (payload[0] != kEpochFrameMarker) {
+        throw WireError(WireError::Kind::unsupported_version,
+                        "v1 frame fed to the delta decoder");
+    }
+    std::size_t offset = 1;
+    const std::uint64_t version = decode_varint(payload, offset);
+    if (version != kDeltaFrameVersion) {
+        throw WireError(WireError::Kind::unsupported_version,
+                        "non-delta frame version " + std::to_string(version) +
+                            " fed to the delta decoder");
+    }
+    const FrameHeader header = decode_delta_header(payload, offset);
+    const std::uint64_t count = decode_varint(payload, offset);
+    if (count > stamp_out.size()) {
+        throw WireError(WireError::Kind::width_mismatch,
+                        "delta pair count " + std::to_string(count) +
+                            " exceeds decomposition size " +
+                            std::to_string(stamp_out.size()));
+    }
+    // Each pair needs at least two bytes; reject absurd counts before
+    // touching the pairs (mirrors the width pre-check of the full decoder).
+    if (count > (payload.size() - offset) / 2) {
+        throw WireError(WireError::Kind::length_mismatch,
+                        "delta pair count exceeds available bytes");
+    }
+    // Apply over the base, enforcing strictly increasing in-range indices
+    // so a pair cannot target a component twice or out of bounds.
+    if (stamp_out.data() != base.data()) {
+        std::copy(base.begin(), base.end(), stamp_out.begin());
+    }
+    std::uint64_t next_index = 0;
+    for (std::uint64_t pair = 0; pair < count; ++pair) {
+        const std::uint64_t index = decode_varint(payload, offset);
+        if (index < next_index || index >= stamp_out.size()) {
+            throw WireError(WireError::Kind::length_mismatch,
+                            "delta pair index " + std::to_string(index) +
+                                " out of order or out of range");
+        }
+        next_index = index + 1;
+        stamp_out[index] += decode_varint(payload, offset);
+    }
+    if (offset != payload.size()) {
+        throw WireError(WireError::Kind::trailing_bytes,
+                        "trailing bytes inside delta frame payload");
+    }
+    return header;
+}
+
+FrameInfo peek_frame_info(std::span<const std::uint8_t> bytes) {
+    const std::span<const std::uint8_t> payload = checked_payload(bytes);
+    FrameInfo info;
+    std::size_t offset = 0;
+    if (payload[0] == kEpochFrameMarker) {
+        offset = 1;
+        info.version = decode_varint(payload, offset);
+        if (info.version == kEpochFrameVersion) {
+            const std::uint64_t epoch = decode_varint(payload, offset);
+            if (epoch == 0 || epoch > std::numeric_limits<EpochId>::max()) {
+                throw WireError(WireError::Kind::unsupported_version,
+                                "v2 frame carrying out-of-range epoch " +
+                                    std::to_string(epoch));
+            }
+            info.header.epoch = static_cast<EpochId>(epoch);
+        } else if (info.version == kDeltaFrameVersion) {
+            info.delta = true;
+            const FrameHeader header = decode_delta_header(payload, offset);
+            info.header = header;
+            return info;
+        } else {
+            throw WireError(WireError::Kind::unsupported_version,
+                            "unsupported frame version " +
+                                std::to_string(info.version));
+        }
+    }
+    info.header.sequence = decode_varint(payload, offset);
+    info.header.message = decode_varint(payload, offset);
+    return info;
+}
+
+// ---------------------------------------------------------------------------
+// Batch containers (v4)
+
+BatchFrame::~BatchFrame() {
+    if (pool_ != nullptr && slab_) pool_->release(std::move(slab_));
+}
+
+std::uint8_t* BatchFrame::scratch() noexcept {
+    return pool_ != nullptr
+               ? reinterpret_cast<std::uint8_t*>(slab_.words.get())
+               : heap_.data();
+}
+
+const std::uint8_t* BatchFrame::scratch() const noexcept {
+    return pool_ != nullptr
+               ? reinterpret_cast<const std::uint8_t*>(slab_.words.get())
+               : heap_.data();
+}
+
+void BatchFrame::reserve_scratch(std::size_t bytes) {
+    if (pool_ == nullptr) {
+        if (heap_.size() < bytes) heap_.resize(bytes);
+        return;
+    }
+    const std::size_t have = slab_.capacity_words * sizeof(std::uint64_t);
+    if (have >= bytes) return;
+    Slab grown = pool_->acquire((bytes + sizeof(std::uint64_t) - 1) /
+                                sizeof(std::uint64_t));
+    if (slab_) {
+        std::memcpy(grown.words.get(), slab_.words.get(), used_);
+        pool_->release(std::move(slab_));
+    }
+    slab_ = std::move(grown);
+}
+
+void BatchFrame::clear() noexcept {
+    slots_.clear();
+    used_ = 0;
+    live_ = 0;
+    pending_bytes_ = 0;
+}
+
+void BatchFrame::add(std::uint64_t kind, std::uint64_t tag,
+                     std::span<const std::uint8_t> body) {
+    reserve_scratch(used_ + body.size());
+    if (!body.empty()) std::memcpy(scratch() + used_, body.data(), body.size());
+    slots_.push_back(Slot{kind, tag, used_, body.size(), true});
+    used_ += body.size();
+    ++live_;
+    pending_bytes_ += body.size();
+}
+
+bool BatchFrame::supersede(std::uint64_t kind, std::uint64_t tag) noexcept {
+    for (std::size_t i = slots_.size(); i-- > 0;) {
+        Slot& slot = slots_[i];
+        if (!slot.live || slot.kind != kind || slot.tag != tag) continue;
+        slot.live = false;
+        --live_;
+        pending_bytes_ -= slot.length;
+        return true;
+    }
+    return false;
+}
+
+BatchFrame::Entry BatchFrame::front() const {
+    for (const Slot& slot : slots_) {
+        if (!slot.live) continue;
+        return Entry{slot.kind, slot.tag,
+                     {scratch() + slot.offset, slot.length}};
+    }
+    SYNCTS_REQUIRE(false, "front() on an empty batch");
+    return Entry{};
+}
+
+void BatchFrame::encode_batch_into(std::vector<std::uint8_t>& out) const {
+    SYNCTS_REQUIRE(!empty(), "encoding an empty batch container");
+    out.clear();
+    out.push_back(kEpochFrameMarker);
+    encode_varint(kBatchFrameVersion, out);
+    encode_varint(live_, out);
+    for (const Slot& slot : slots_) {
+        if (!slot.live) continue;
+        encode_varint(slot.kind, out);
+        encode_varint(slot.tag, out);
+        encode_varint(slot.length, out);
+        out.insert(out.end(), scratch() + slot.offset,
+                   scratch() + slot.offset + slot.length);
+    }
+    common::append_checksum_trailer(out);
+}
+
+BatchReader::BatchReader(std::span<const std::uint8_t> bytes) {
+    // Minimum container: marker, version, count, trailer.
+    if (bytes.size() < 3 + kChecksumBytes) {
+        throw WireError(WireError::Kind::truncated,
+                        "batch container shorter than header + checksum");
+    }
+    payload_ = bytes.first(bytes.size() - kChecksumBytes);
+    const std::uint64_t declared_checksum =
+        common::read_checksum_trailer(bytes, payload_.size());
+    // The outer checksum is advisory: every entry body is itself a
+    // complete checksummed frame, so a flipped bit inside one entry must
+    // spoil only that entry, not the container. A mismatch is recorded
+    // (intact() == false) and iteration proceeds; structural damage to
+    // the entry table still throws from next().
+    intact_ = fnv1a64(payload_) == declared_checksum;
+    if (payload_[0] != kEpochFrameMarker) {
+        throw WireError(WireError::Kind::unsupported_version,
+                        "buffer is not a batch container");
+    }
+    offset_ = 1;
+    const std::uint64_t version = decode_varint(payload_, offset_);
+    if (version != kBatchFrameVersion) {
+        throw WireError(WireError::Kind::unsupported_version,
+                        "unsupported batch container version " +
+                            std::to_string(version));
+    }
+    declared_ = decode_varint(payload_, offset_);
+}
+
+bool BatchReader::next(BatchFrame::Entry& out) {
+    if (yielded_ >= declared_ || offset_ >= payload_.size()) {
+        if (yielded_ < declared_ && offset_ >= payload_.size()) {
+            throw WireError(WireError::Kind::truncated,
+                            "batch container ends before its declared " +
+                                std::to_string(declared_) + " entries");
+        }
+        return false;
+    }
+    out.kind = decode_varint(payload_, offset_);
+    out.tag = decode_varint(payload_, offset_);
+    const std::uint64_t length = decode_varint(payload_, offset_);
+    if (length > payload_.size() - offset_) {
+        throw WireError(WireError::Kind::length_mismatch,
+                        "batch entry length exceeds container");
+    }
+    out.body = payload_.subspan(offset_, static_cast<std::size_t>(length));
+    offset_ += static_cast<std::size_t>(length);
+    ++yielded_;
+    return true;
 }
 
 }  // namespace syncts

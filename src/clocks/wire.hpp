@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "clocks/vector_timestamp.hpp"
+#include "common/checksum.hpp"
 #include "common/ids.hpp"
+#include "common/region.hpp"
 
 /// \file wire.hpp
 /// Wire format for piggybacked timestamps.
@@ -91,8 +93,12 @@ void decode_timestamp_into(std::span<const std::uint8_t> bytes,
 std::size_t encoded_size(const VectorTimestamp& stamp);
 std::size_t encoded_size(std::span<const std::uint64_t> components);
 
-/// FNV-1a 64-bit hash of `bytes` — the frame checksum.
-std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept;
+/// FNV-1a 64-bit hash of `bytes` — the frame checksum. The one shared
+/// implementation lives in common/checksum.hpp; this alias keeps the
+/// historical call sites (and the wire-format documentation anchor).
+inline std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept {
+    return common::fnv1a64(bytes);
+}
 
 /// One rendezvous-protocol frame: the body of a REQ or ACK packet.
 struct SyncFrame {
@@ -105,6 +111,10 @@ struct SyncFrame {
 
 /// Layout: varint sequence, varint message, encoded timestamp, then an
 /// 8-byte little-endian FNV-1a 64 checksum of everything before it.
+///
+/// Deprecated: allocates a fresh vector per frame. Hot paths (and new
+/// code) use encode_frame_into with a reusable scratch buffer instead.
+[[deprecated("use encode_frame_into with a reusable scratch buffer")]]
 std::vector<std::uint8_t> encode_frame(const SyncFrame& frame);
 
 /// Span form: frames `stamp` (an arena row or clock span) with the given
@@ -165,7 +175,194 @@ FrameHeader decode_epoch_frame_into(std::span<const std::uint8_t> bytes,
 /// receiver can classify a frame from *another* epoch (whose width it no
 /// longer knows) before deciding to reject it. The timestamp bytes are
 /// checksum-covered but otherwise unexamined. Throws WireError on
-/// corruption or unsupported versions.
+/// corruption or unsupported versions (v1 and v2 only — delta v3 needs
+/// peek_frame_info, and batch containers are not frames: use
+/// BatchReader). The runtime's replay/parking paths rely on this
+/// strictness: everything they store is a canonical full frame
+/// (docs/PROTOCOL.md), so a v3 reaching this reader is a logic error.
 FrameHeader peek_epoch_frame_header(std::span<const std::uint8_t> bytes);
+
+// ---------------------------------------------------------------------------
+// Delta-encoded frames (format version 3)
+//
+// A channel that already delivered a frame knows the peer's previous
+// stamp, so the next frame need only carry the components that moved —
+// the Vaidya–Kulkarni observation applied to the rendezvous protocol.
+// Layout: `0x00, varint 3, varint epoch, varint sequence, varint
+// message, varint count, count x (varint index, varint increment)`, same
+// 8-byte FNV-1a trailer. Unlike v2, epoch 0 is legal here (the 0x00
+// marker already disambiguates from v1). `increment` is the component's
+// growth over the shadow base — clock components are monotonic on a
+// channel, so increments are small and the encoder refuses (returns
+// false) if any component moved backwards, forcing a full-frame resync.
+
+/// Delta frame format version.
+inline constexpr std::uint64_t kDeltaFrameVersion = 3;
+
+/// Batch container format version (see BatchFrame below).
+inline constexpr std::uint64_t kBatchFrameVersion = 4;
+
+/// Encodes `stamp` as a delta against `base` (the channel's last-sent
+/// shadow). Returns false — leaving `out` cleared — when the widths
+/// differ or some component of `stamp` is below `base` (non-monotone:
+/// the caller must send a full frame and resync the shadow). `sequence`
+/// must be >= 1, as for every versioned frame.
+bool encode_delta_frame_into(EpochId epoch, std::uint64_t sequence,
+                             std::uint64_t message,
+                             std::span<const std::uint64_t> base,
+                             std::span<const std::uint64_t> stamp,
+                             std::vector<std::uint8_t>& out);
+
+/// Decodes a v3 delta frame against `base` (the receiver's shadow of the
+/// channel): `stamp_out` = `base` with the carried increments applied.
+/// `base` and `stamp_out` must both be the decomposition width and may
+/// alias. Validates checksum, version, strictly-increasing in-range
+/// indices, and count <= width. Throws WireError; rejects v1/v2 frames
+/// with WireError::Kind::unsupported_version (callers route on
+/// peek_frame_info first).
+FrameHeader decode_delta_frame_into(std::span<const std::uint8_t> bytes,
+                                    std::span<const std::uint64_t> base,
+                                    std::span<std::uint64_t> stamp_out);
+
+/// What a checksum-valid frame is, before committing to a decode path.
+struct FrameInfo {
+    FrameHeader header;
+    std::uint64_t version = 1;  ///< 1, 2, or kDeltaFrameVersion
+    bool delta = false;         ///< version == kDeltaFrameVersion
+};
+
+/// Classifying peek over v1/v2/v3 frames: validates the checksum and
+/// header fields only (component/increment bytes are checksum-covered
+/// but undecoded). The extended receive path calls this first to decide
+/// between decode_epoch_frame_into and decode_delta_frame_into. Batch
+/// containers (v4) are rejected with unsupported_version — they travel
+/// under their own packet kind and BatchReader.
+FrameInfo peek_frame_info(std::span<const std::uint8_t> bytes);
+
+// ---------------------------------------------------------------------------
+// Batch containers (format version 4)
+//
+// One network packet carrying several complete frames — the container
+// the ACK coalescer and the bandwidth scheduler flush. Layout: `0x00,
+// varint 4, varint count, count x (varint kind, varint tag, varint
+// length, length bytes)`, 8-byte FNV-1a trailer over everything before
+// it. Every entry body is itself a complete checksummed frame, so a
+// flipped bit inside one entry spoils only that entry: the streaming
+// reader keeps yielding the rest and the per-entry decode rejects the
+// damaged one (corruption of a length prefix abandons the remainder of
+// the container — retransmission recovers, exactly as for a lost
+// packet).
+
+/// Scatter-gather builder for batch containers. Entry bodies are copied
+/// into SlabPool-backed scratch at add() time (heap-backed when no pool
+/// is given), so the steady state of a pool-fed builder performs no
+/// allocations: the entry table and scratch slab are reused across
+/// clear() cycles. Also serves as the synchronizer's per-destination TX
+/// queue — supersede() implements cumulative-ACK coalescing by retiring
+/// a queued entry that a newer one subsumes.
+class BatchFrame {
+public:
+    /// `pool`, when given, must outlive the builder.
+    explicit BatchFrame(SlabPool* pool = nullptr) noexcept : pool_(pool) {}
+    ~BatchFrame();
+
+    BatchFrame(const BatchFrame&) = delete;
+    BatchFrame& operator=(const BatchFrame&) = delete;
+    BatchFrame(BatchFrame&&) = default;
+    BatchFrame& operator=(BatchFrame&&) = default;
+
+    /// Live (non-superseded) entries.
+    std::size_t size() const noexcept { return live_; }
+    bool empty() const noexcept { return live_ == 0; }
+
+    /// Body bytes queued across live entries (bandwidth accounting).
+    std::size_t pending_bytes() const noexcept { return pending_bytes_; }
+
+    /// Drops every entry; scratch and table storage are kept for reuse.
+    void clear() noexcept;
+
+    /// Appends an entry (kind/tag mirror Packet::kind/Packet::tag).
+    void add(std::uint64_t kind, std::uint64_t tag,
+             std::span<const std::uint8_t> body);
+
+    /// Retires the most recent live entry with this kind and tag (the
+    /// cumulative-ACK rule: a newer ACK on a channel subsumes the queued
+    /// one). Returns whether an entry was retired.
+    bool supersede(std::uint64_t kind, std::uint64_t tag) noexcept;
+
+    /// One queued entry, in arrival order over live entries. The span
+    /// points into the builder's scratch — valid until clear()/add().
+    struct Entry {
+        std::uint64_t kind = 0;
+        std::uint64_t tag = 0;
+        std::span<const std::uint8_t> body;
+    };
+
+    /// The oldest live entry — the single-entry fast path reads it back
+    /// and sends the bare frame so a lone frame never pays container
+    /// overhead (and stays decodable by v1/v2-only peers). Requires
+    /// !empty().
+    Entry front() const;
+
+    /// Encodes the live entries, in order, as one v4 container
+    /// (replacing the contents of `out`). Requires !empty().
+    void encode_batch_into(std::vector<std::uint8_t>& out) const;
+
+private:
+    struct Slot {
+        std::uint64_t kind = 0;
+        std::uint64_t tag = 0;
+        std::size_t offset = 0;
+        std::size_t length = 0;
+        bool live = false;
+    };
+
+    std::uint8_t* scratch() noexcept;
+    const std::uint8_t* scratch() const noexcept;
+    void reserve_scratch(std::size_t bytes);
+
+    SlabPool* pool_ = nullptr;
+    Slab slab_;                         ///< pool-backed scratch
+    std::vector<std::uint8_t> heap_;    ///< heap scratch when pool_ == nullptr
+    std::size_t used_ = 0;              ///< scratch bytes written
+    std::vector<Slot> slots_;
+    std::size_t live_ = 0;
+    std::size_t pending_bytes_ = 0;
+};
+
+/// Streaming decoder over a v4 batch container. The constructor
+/// validates the marker and version; next() then yields entries in order
+/// without allocating. The outer checksum is *advisory* (reported by
+/// intact()): entry bodies carry their own frame checksums, so a flipped
+/// bit inside one entry spoils only that entry. A structural break
+/// mid-entry (truncated varint, length past the end) throws WireError —
+/// entries already yielded stand, the remainder of the container is
+/// lost.
+class BatchReader {
+public:
+    /// Throws WireError unless `bytes` is structurally a v4 container
+    /// (long enough, marker + version valid, count decodable).
+    explicit BatchReader(std::span<const std::uint8_t> bytes);
+
+    /// Whether the outer checksum matched. False means at least one byte
+    /// of the container was damaged in flight — per-entry decodes decide
+    /// which entries survive.
+    bool intact() const noexcept { return intact_; }
+
+    /// Entries the container header declares (next() additionally stops
+    /// at the end of the payload, so a hostile count cannot loop).
+    std::uint64_t declared_count() const noexcept { return declared_; }
+
+    /// Yields the next entry; false when exhausted. The body span points
+    /// into the caller's buffer. Throws WireError on structural breaks.
+    bool next(BatchFrame::Entry& out);
+
+private:
+    std::span<const std::uint8_t> payload_;
+    std::size_t offset_ = 0;
+    std::uint64_t declared_ = 0;
+    std::uint64_t yielded_ = 0;
+    bool intact_ = false;
+};
 
 }  // namespace syncts

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+/// \file checksum.hpp
+/// The one FNV-1a 64 implementation shared by every framed format in the
+/// tree: wire frames (src/clocks/wire), clock-state blobs
+/// (src/clocks/clock_engine), WAL records (src/recover/wal), snapshots
+/// (src/recover/snapshot), and the flight recorder's SYFR dump
+/// (src/obs/flight_recorder). Each of those formats trails its payload
+/// with the 8-byte little-endian hash of everything before it; keeping
+/// the constants here means a format cannot drift from its validators.
+
+namespace syncts::common {
+
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 0xCBF29CE484222325ull;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001B3ull;
+
+/// Bytes every FNV-trailed format appends: the hash, little-endian.
+inline constexpr std::size_t kChecksumTrailerBytes = 8;
+
+/// FNV-1a 64-bit hash of `bytes`.
+inline std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept {
+    std::uint64_t hash = kFnv1aOffsetBasis;
+    for (const std::uint8_t byte : bytes) {
+        hash ^= byte;
+        hash *= kFnv1aPrime;
+    }
+    return hash;
+}
+
+/// Appends the little-endian checksum trailer for `out[start..]` — the
+/// shared "seal this record" tail of every framed encoder.
+inline void append_checksum_trailer(std::vector<std::uint8_t>& out,
+                                    std::size_t start = 0) {
+    std::uint64_t checksum = fnv1a64({out.data() + start, out.size() - start});
+    for (std::size_t i = 0; i < kChecksumTrailerBytes; ++i) {
+        out.push_back(static_cast<std::uint8_t>(checksum));
+        checksum >>= 8;
+    }
+}
+
+/// Reads the little-endian checksum trailer at bytes[at..at+8).
+inline std::uint64_t read_checksum_trailer(
+    std::span<const std::uint8_t> bytes, std::size_t at) noexcept {
+    std::uint64_t declared = 0;
+    for (std::size_t i = 0; i < kChecksumTrailerBytes; ++i) {
+        declared |= static_cast<std::uint64_t>(bytes[at + i]) << (8 * i);
+    }
+    return declared;
+}
+
+}  // namespace syncts::common

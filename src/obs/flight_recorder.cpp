@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/checksum.hpp"
+
 namespace syncts::obs {
 
 const char* to_string(PostmortemReason reason) noexcept {
@@ -25,12 +27,7 @@ constexpr std::uint32_t kMaxNameBytes = 1u << 12;
 constexpr std::uint64_t kMaxTableEntries = 1u << 20;
 
 std::uint64_t fnv1a(const std::uint8_t* data, std::size_t size) {
-    std::uint64_t hash = 0xcbf29ce484222325ull;
-    for (std::size_t i = 0; i < size; ++i) {
-        hash ^= data[i];
-        hash *= 0x100000001b3ull;
-    }
-    return hash;
+    return common::fnv1a64({data, size});
 }
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
@@ -244,7 +241,7 @@ Postmortem decode_postmortem(std::span<const std::uint8_t> bytes) {
     for (std::uint64_t i = 0; i < events; ++i) {
         TraceEvent event = decode_trace_event(cursor.take(kTraceEventBytes));
         if (static_cast<std::uint8_t>(event.kind) >
-            static_cast<std::uint8_t>(TraceEventKind::park)) {
+            static_cast<std::uint8_t>(TraceEventKind::bsched_defer)) {
             throw PostmortemError(PostmortemError::Code::malformed,
                                   "postmortem event kind out of range");
         }

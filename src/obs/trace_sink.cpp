@@ -27,6 +27,10 @@ const char* to_string(TraceEventKind kind) noexcept {
         case TraceEventKind::restart: return "restart";
         case TraceEventKind::hello: return "hello";
         case TraceEventKind::park: return "park";
+        case TraceEventKind::batch: return "batch";
+        case TraceEventKind::coalesce: return "coalesce";
+        case TraceEventKind::delta_resync: return "delta_resync";
+        case TraceEventKind::bsched_defer: return "bsched_defer";
     }
     return "unknown";
 }

@@ -49,6 +49,10 @@ enum class TraceEventKind : std::uint8_t {
     restart,         ///< process restarted from snapshot + WAL replay
     hello,           ///< rejoin HELLO sent/answered (arg_a = sequence)
     park,            ///< out-of-order frame parked ahead of the commit point
+    batch,           ///< batch container flushed (arg_a = frames, arg_b = bytes)
+    coalesce,        ///< queued ACK superseded by a newer one (same rendezvous)
+    delta_resync,    ///< delta frame dropped awaiting a full-vector resync
+    bsched_defer,    ///< flush deferred by the bandwidth scheduler (arg_b = ticks)
 };
 
 const char* to_string(TraceEventKind kind) noexcept;

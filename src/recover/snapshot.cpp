@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "clocks/wire.hpp"
+#include "common/checksum.hpp"
 
 namespace syncts {
 
@@ -124,11 +125,7 @@ void encode_snapshot_into(const Snapshot& snapshot,
         encode_varint(channel.last_committed, out);
         write_window(channel.ack_window, out);
     }
-    const std::uint64_t checksum =
-        fnv1a64({out.data() + start, out.size() - start});
-    for (int shift = 0; shift < 64; shift += 8) {
-        out.push_back(static_cast<std::uint8_t>(checksum >> shift));
-    }
+    common::append_checksum_trailer(out, start);
 }
 
 std::vector<std::uint8_t> encode_snapshot(const Snapshot& snapshot) {
@@ -143,12 +140,9 @@ Snapshot decode_snapshot(std::span<const std::uint8_t> bytes) {
                             "snapshot shorter than magic plus checksum");
     }
     const std::span<const std::uint8_t> body = bytes.first(bytes.size() - 8);
-    std::uint64_t stored = 0;
-    for (int i = 7; i >= 0; --i) {
-        stored =
-            (stored << 8) | bytes[body.size() + static_cast<std::size_t>(i)];
-    }
-    if (fnv1a64(body) != stored) {
+    const std::uint64_t stored =
+        common::read_checksum_trailer(bytes, body.size());
+    if (common::fnv1a64(body) != stored) {
         throw RecoveryError(RecoveryError::Kind::checksum_mismatch,
                             "snapshot checksum mismatch");
     }

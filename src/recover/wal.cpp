@@ -6,6 +6,7 @@
 
 #include "clocks/wire.hpp"
 #include "common/check.hpp"
+#include "common/checksum.hpp"
 
 namespace syncts {
 
@@ -48,11 +49,7 @@ void encode_wal_record_into(const WalRecord& record,
     out.insert(out.end(), record.frame.begin(), record.frame.end());
     encode_varint(record.aux.size(), out);
     out.insert(out.end(), record.aux.begin(), record.aux.end());
-    const std::uint64_t checksum =
-        fnv1a64({out.data() + start, out.size() - start});
-    for (int shift = 0; shift < 64; shift += 8) {
-        out.push_back(static_cast<std::uint8_t>(checksum >> shift));
-    }
+    common::append_checksum_trailer(out, start);
 }
 
 WalRecord decode_wal_record(std::span<const std::uint8_t> bytes) {
@@ -61,12 +58,9 @@ WalRecord decode_wal_record(std::span<const std::uint8_t> bytes) {
                             "WAL record shorter than its checksum");
     }
     const std::span<const std::uint8_t> body = bytes.first(bytes.size() - 8);
-    std::uint64_t stored = 0;
-    for (int i = 7; i >= 0; --i) {
-        stored =
-            (stored << 8) | bytes[body.size() + static_cast<std::size_t>(i)];
-    }
-    if (fnv1a64(body) != stored) {
+    const std::uint64_t stored =
+        common::read_checksum_trailer(bytes, body.size());
+    if (common::fnv1a64(body) != stored) {
         throw RecoveryError(RecoveryError::Kind::checksum_mismatch,
                             "WAL record checksum mismatch");
     }

@@ -17,6 +17,7 @@
 #include "obs/flight_recorder.hpp"
 #include "recover/recovery_manager.hpp"
 #include "runtime/async_sim.hpp"
+#include "runtime/bandwidth.hpp"
 
 namespace syncts {
 
@@ -27,6 +28,21 @@ constexpr std::uint32_t kAck = 1;
 constexpr std::uint32_t kNack = 2;      ///< epoch-stale REQ rejected
 constexpr std::uint32_t kHello = 3;     ///< rejoin handshake (restarted peer)
 constexpr std::uint32_t kHelloAck = 4;  ///< rejoin handshake acknowledged
+constexpr std::uint32_t kBatch = 5;     ///< v4 container of REQ/ACK frames
+
+/// One side's memory of the last timestamp that crossed a directed
+/// channel — the base both ends of the delta codec agree on
+/// (docs/PROTOCOL.md). Volatile by design: a crash clears the channel
+/// maps and with them every shadow, and the epoch tag plus the exact
+/// sequence-continuity check make a stale shadow unusable rather than
+/// wrong — any break (gap, retransmit rewind, barrier, rejoin) simply
+/// forces the next frame back to a full vector.
+struct ShadowVector {
+    std::vector<std::uint64_t> stamp;
+    std::uint64_t sequence = 0;
+    EpochId epoch = 0;
+    bool valid = false;
+};
 
 /// Sender-side state of the one in-flight rendezvous (a process's script
 /// is sequential, so it blocks on at most one send at a time).
@@ -67,6 +83,17 @@ struct Tally {
     std::uint64_t hello_acks = 0;         ///< rejoin HELLO_ACKs sent
     std::uint64_t future_buffered = 0;    ///< out-of-order frames parked
     std::uint64_t fast_forwards = 0;      ///< barriers caught up after restart
+    // Wire-path tallies (docs/PROTOCOL.md), published as sync_batch_*,
+    // wire_delta_*, and bsched_*; bytes/packets back ProtocolStats.
+    std::uint64_t bytes_sent = 0;         ///< payload bytes handed to the net
+    std::uint64_t wire_packets = 0;       ///< packets handed to the net
+    std::uint64_t batch_packets = 0;      ///< v4 containers flushed
+    std::uint64_t batch_frames = 0;       ///< frames carried inside containers
+    std::uint64_t acks_coalesced = 0;     ///< queued ACKs superseded pre-wire
+    std::uint64_t delta_frames = 0;       ///< v3 frames sent
+    std::uint64_t full_frames = 0;        ///< full-vector REQ/ACK frames sent
+    std::uint64_t delta_resyncs = 0;      ///< delta frames dropped, shadow miss
+    std::uint64_t bsched_deferrals = 0;   ///< flushes deferred past deadline
 };
 
 /// Receiver-side state of one directed channel (peer -> self). Survives
@@ -104,6 +131,12 @@ struct InChannel {
     std::uint32_t replay_attempts = 0;
     /// One watchdog chain per channel at a time.
     bool watchdog_armed = false;
+    /// Delta shadows (extended wire path only): the last REQ stamp
+    /// decoded off this channel and the last ACK stamp encoded onto its
+    /// reverse direction. Trailing members so the aggregate
+    /// initializers elsewhere keep value-initializing them (= invalid).
+    ShadowVector rx_shadow{};
+    ShadowVector ack_sent_shadow{};
 };
 
 /// Sender-side state of one directed channel (self -> peer).
@@ -113,6 +146,11 @@ struct OutChannel {
     /// Original encoded REQ frames of recent sends, replayed verbatim
     /// when a restarted receiver's HELLO reveals it lost them.
     FrameWindow req_window;
+    /// Delta shadows (extended wire path only): the last REQ stamp sent
+    /// on this channel and the last ACK stamp decoded off its reverse
+    /// direction. Trailing members — see InChannel.
+    ShadowVector req_shadow{};
+    ShadowVector ack_rx_shadow{};
 };
 
 /// Per-process protocol engine: walks the process's script for its
@@ -139,9 +177,10 @@ struct Engine {
     std::vector<std::uint64_t> ack_scratch;
     std::vector<std::uint64_t> stamp_scratch;
     /// Encoded-frame scratch (ACK sent at commit, re-encoded REQ for the
-    /// WAL record).
+    /// WAL record, delta-encoded wire body when the shadow applies).
     std::vector<std::uint8_t> ack_bytes;
     std::vector<std::uint8_t> req_bytes;
+    std::vector<std::uint8_t> delta_bytes;
 
     // --- crash-recovery state (docs/RECOVERY.md) ---
     /// Lifetime protocol steps (commits + accepted ACKs); rewinds with
@@ -167,6 +206,27 @@ struct Engine {
 struct DurableStore {
     std::vector<std::uint8_t> snapshot;
     Wal wal;
+};
+
+/// One per-destination TX queue of the extended wire path: the frames a
+/// process has queued toward one peer, the earliest deadline any of
+/// them carries, and the queue's deficit-round-robin service credit
+/// with the bandwidth scheduler. The BatchFrame doubles as the queue
+/// storage — supersede() retires coalesced ACKs in place.
+struct TxQueue {
+    explicit TxQueue(SlabPool* pool) : batch(pool) {}
+    BatchFrame batch;
+    std::uint64_t deadline = 0;  ///< meaningful only while !batch.empty()
+    std::uint64_t deficit = 0;   ///< DRR credit accrued over refusals
+};
+
+/// A process's TX state: queues by destination plus the
+/// deficit-round-robin ring (insertion order, rotated one slot per
+/// flush round so no destination is structurally first).
+struct TxProc {
+    std::unordered_map<ProcessId, TxQueue> queues;
+    std::vector<ProcessId> ring;
+    std::size_t cursor = 0;
 };
 
 /// Per-epoch accumulation: the realized computation, the committed
@@ -344,6 +404,170 @@ ReconfigurableRunResult run_reconfigurable_protocol(
     if (options.metrics != nullptr) {
         regions.attach_metrics(*options.metrics);
     }
+
+    // ---- Extended wire path (docs/PROTOCOL.md) ------------------------
+    // Batching, ACK coalescing, delta vectors, and bandwidth scheduling
+    // all route sends through per-destination TX queues flushed by
+    // same-tick (REQ) or bounded-delay (coalesced ACK) timers. With
+    // every knob off, tx_send degenerates to a direct network.send plus
+    // byte accounting — the classic one-frame-per-packet profile,
+    // bit-for-bit. Timestamps are identical either way: they depend
+    // only on script order, never on packet count or delivery schedule.
+    const ProtocolOptions& proto = options.protocol;
+    const bool wire_ext = proto.active();
+    std::optional<BandwidthScheduler> bsched;
+    if (proto.bandwidth.enabled) bsched.emplace(proto.bandwidth, n_max);
+    std::vector<TxProc> tx;
+    if (wire_ext) tx.resize(n_max);
+    // ACKs wait at most this long for a ride; well under any RTO
+    // (base_rto >= 4 * latency_hi + 1), so coalescing never races a
+    // peer's retransmission timer.
+    const std::uint64_t coalesce_delay =
+        proto.max_coalesce_delay != 0
+            ? proto.max_coalesce_delay
+            : std::max<std::uint64_t>(options.latency_hi, 1);
+
+    /// Every packet leaves through here: wire accounting, then the
+    /// network. (The network's fault injector sits underneath, so these
+    /// tallies count *sent* traffic — under drops they exceed the
+    /// delivered-packet count.)
+    const auto post = [&](std::uint64_t now, Packet&& packet) {
+        ++tally.wire_packets;
+        tally.bytes_sent += packet.body.size();
+        network.send(now, std::move(packet));
+    };
+
+    /// Flushes every due queue of `src` in deficit-round-robin order: a
+    /// single live entry goes out as a bare frame packet (no container
+    /// overhead, v1/v2-compatible), several go out as one v4 batch. A
+    /// flush the bandwidth buckets refuse earns the queue quantum
+    /// deficit and is deferred to the buckets' ready time (std::function
+    /// so the deferral timer can re-enter it).
+    std::function<void(std::uint64_t, ProcessId)> tx_flush =
+        [&](std::uint64_t when, ProcessId src) {
+            TxProc& proc = tx[src];
+            const std::size_t count = proc.ring.size();
+            if (count == 0) return;
+            for (std::size_t step = 0; step < count; ++step) {
+                const std::size_t slot = (proc.cursor + step) % count;
+                const ProcessId dst = proc.ring[slot];
+                TxQueue& q = proc.queues.at(dst);
+                if (q.batch.empty() || q.deadline > when) continue;
+                Packet pkt;
+                pkt.source = src;
+                pkt.destination = dst;
+                const std::size_t frames = q.batch.size();
+                if (frames == 1) {
+                    const BatchFrame::Entry entry = q.batch.front();
+                    pkt.kind = static_cast<std::uint32_t>(entry.kind);
+                    pkt.tag = entry.tag;
+                    pkt.body.assign(entry.body.begin(), entry.body.end());
+                } else {
+                    pkt.kind = kBatch;
+                    pkt.tag = frames;
+                    q.batch.encode_batch_into(pkt.body);
+                }
+                if (bsched && !bsched->admit(src, dst, pkt.body.size(), when,
+                                             q.deficit)) {
+                    q.deficit += proto.bandwidth.quantum;
+                    const std::uint64_t ready =
+                        bsched->ready_time(src, dst, pkt.body.size(), when);
+                    q.deadline = ready;
+                    ++tally.bsched_deferrals;
+                    trace(obs::TraceEventKind::bsched_defer, when, src, dst,
+                          frames, ready - when, 0);
+                    const std::uint64_t incarnation =
+                        engines[src].incarnation;
+                    network.schedule(
+                        ready, [&, src, incarnation](std::uint64_t at) {
+                            if (engines[src].incarnation != incarnation ||
+                                engines[src].down) {
+                                return;
+                            }
+                            tx_flush(at, src);
+                        });
+                    continue;
+                }
+                if (frames > 1) {
+                    ++tally.batch_packets;
+                    tally.batch_frames += frames;
+                    trace(obs::TraceEventKind::batch, when, src, dst, frames,
+                          pkt.body.size(), 0);
+                }
+                q.batch.clear();
+                post(when, std::move(pkt));
+            }
+            proc.cursor = (proc.cursor + 1) % count;
+        };
+
+    /// Routes a REQ/ACK through the TX queues (extended path) or sends
+    /// it directly (classic path). `delay` is how long the frame may
+    /// wait for companions — 0 for REQs and replays (flushed at the end
+    /// of the current tick, so same-tick traffic to one peer still
+    /// shares a packet), `coalesce_delay` for coalescible ACKs. A newer
+    /// ACK for the same rendezvous supersedes a queued one — and *only*
+    /// the same rendezvous: a crash-rewound sender can legitimately
+    /// need ACK(s) while ACK(s+1) sits queued, so distinct sequences
+    /// all ship (docs/PROTOCOL.md).
+    const auto tx_send = [&](std::uint64_t now, Packet&& packet,
+                             std::uint64_t delay) {
+        if (!wire_ext) {
+            post(now, std::move(packet));
+            return;
+        }
+        TxProc& proc = tx[packet.source];
+        const auto [it, inserted] =
+            proc.queues.try_emplace(packet.destination, &pool);
+        TxQueue& q = it->second;
+        if (inserted) proc.ring.push_back(packet.destination);
+        if (proto.coalesce_acks && packet.kind == kAck &&
+            q.batch.supersede(kAck, packet.tag)) {
+            ++tally.acks_coalesced;
+            trace(obs::TraceEventKind::coalesce, now, packet.source,
+                  packet.destination, packet.tag, 0, 0);
+        }
+        const bool was_empty = q.batch.empty();
+        q.batch.add(packet.kind, packet.tag, packet.body);
+        const std::uint64_t deadline = now + delay;
+        if (was_empty || deadline < q.deadline) q.deadline = deadline;
+        // Timers cannot be cancelled; arm one per enqueue and let stale
+        // ones find an empty or not-yet-due queue. The incarnation
+        // check keeps a pre-crash timer from flushing a reborn queue.
+        const ProcessId src = packet.source;
+        const std::uint64_t incarnation = engines[src].incarnation;
+        network.schedule(q.deadline,
+                         [&, src, incarnation](std::uint64_t when) {
+                             if (engines[src].incarnation != incarnation ||
+                                 engines[src].down) {
+                                 return;
+                             }
+                             tx_flush(when, src);
+                         });
+    };
+
+    /// Whether `shadow` is the base the delta codec needs for the next
+    /// frame: same epoch, exactly the previous sequence, same width.
+    const auto delta_ready = [](const ShadowVector& shadow, EpochId epoch,
+                                std::uint64_t sequence, std::size_t width) {
+        return shadow.valid && shadow.epoch == epoch &&
+               shadow.sequence + 1 == sequence &&
+               shadow.stamp.size() == width;
+    };
+
+    /// Monotone shadow update: a frame older than what the shadow holds
+    /// (a window replay of a pre-rewind sequence) never regresses it.
+    const auto update_shadow = [](ShadowVector& shadow, EpochId epoch,
+                                  std::uint64_t sequence,
+                                  std::span<const std::uint64_t> stamp) {
+        if (shadow.valid && shadow.epoch == epoch &&
+            sequence < shadow.sequence) {
+            return;
+        }
+        shadow.stamp.assign(stamp.begin(), stamp.end());
+        shadow.sequence = sequence;
+        shadow.epoch = epoch;
+        shadow.valid = true;
+    };
 
     // The barrier state: every live, caught-up engine stamps, frames, and
     // validates against this one epoch. A restarted engine may lag behind
@@ -617,6 +841,12 @@ ReconfigurableRunResult run_reconfigurable_protocol(
         engine.steps_since_snapshot = 0;
         engine.rejoining = false;
         engine.awaiting_hello.clear();
+        if (wire_ext) {
+            // Queued-but-unflushed frames are volatile state too: they
+            // die with the process, exactly like frames lost in flight
+            // — peers recover them through retransmission and rejoin.
+            for (auto& [dst, q] : tx[p].queues) q.batch.clear();
+        }
         engine.down = true;
         network.set_down(p, true);
         const std::uint64_t downtime = std::max<std::uint64_t>(rule.downtime, 1);
@@ -711,8 +941,12 @@ ReconfigurableRunResult run_reconfigurable_protocol(
                 req.destination = receiver;
                 req.kind = kReq;
                 req.tag = out_now.mid;
+                // Always the canonical full frame, even with delta on:
+                // a retransmission doubles as the shadow resync the
+                // receiver may be waiting for.
                 req.body = out_now.frame;
-                network.send(when, std::move(req));
+                ++tally.full_frames;
+                tx_send(when, std::move(req), 0);
                 out_now.rto = std::min(out_now.rto * 2, max_rto);
                 arm_timer(when, p);
             });
@@ -768,7 +1002,30 @@ ReconfigurableRunResult run_reconfigurable_protocol(
                     trace(obs::TraceEventKind::send, now, p, m.receiver,
                           sequence, mid,
                           logical(engine));
-                    network.send(now, std::move(req));
+                    // The window, WAL, and outstanding record above all
+                    // hold the canonical full encoding; only the wire
+                    // body may shrink to a delta against the channel's
+                    // last-sent shadow. Every resend/replay path sends
+                    // full frames, so any shadow break converges.
+                    if (wire_ext && proto.delta &&
+                        delta_ready(channel.req_shadow, engine.epoch,
+                                    sequence,
+                                    engine.clock->current_span().size()) &&
+                        encode_delta_frame_into(engine.epoch, sequence, mid,
+                                                channel.req_shadow.stamp,
+                                                engine.clock->current_span(),
+                                                engine.delta_bytes)) {
+                        req.body = engine.delta_bytes;
+                        ++tally.delta_frames;
+                    } else {
+                        ++tally.full_frames;
+                    }
+                    if (wire_ext) {
+                        update_shadow(channel.req_shadow, engine.epoch,
+                                      sequence,
+                                      engine.clock->current_span());
+                    }
+                    tx_send(now, std::move(req), 0);
                     if (retransmission) arm_timer(now, p);
                     return;
                 }
@@ -867,8 +1124,28 @@ ReconfigurableRunResult run_reconfigurable_protocol(
                 ack.destination = m.sender;
                 ack.kind = kAck;
                 ack.tag = mid;
-                ack.body = engine.ack_bytes;
-                network.send(now, std::move(ack));
+                // ack_window and the WAL keep the canonical full ACK
+                // (recovery byte-verifies against it); only the wire
+                // body may be a delta.
+                if (wire_ext && proto.delta &&
+                    delta_ready(channel.ack_sent_shadow, engine.epoch,
+                                req.sequence, engine.ack_scratch.size()) &&
+                    encode_delta_frame_into(engine.epoch, req.sequence, mid,
+                                            channel.ack_sent_shadow.stamp,
+                                            engine.ack_scratch,
+                                            engine.delta_bytes)) {
+                    ack.body = engine.delta_bytes;
+                    ++tally.delta_frames;
+                } else {
+                    ack.body = engine.ack_bytes;
+                    ++tally.full_frames;
+                }
+                if (wire_ext) {
+                    update_shadow(channel.ack_sent_shadow, engine.epoch,
+                                  req.sequence, engine.ack_scratch);
+                }
+                tx_send(now, std::move(ack),
+                        proto.coalesce_acks ? coalesce_delay : 0);
                 ++engine.cursor;
                 if (after_step(now, p)) return;  // crashed on this step
             }
@@ -995,8 +1272,9 @@ ReconfigurableRunResult run_reconfigurable_protocol(
             req.destination = out.receiver;
             req.kind = kReq;
             req.tag = out.mid;
-            req.body = out.frame;
-            network.send(now, std::move(req));
+            req.body = out.frame;  // canonical full frame, restored
+            ++tally.full_frames;
+            tx_send(now, std::move(req), 0);
             if (retransmission) arm_timer(now, p);
         } else {
             progress(now, p);
@@ -1050,7 +1328,7 @@ ReconfigurableRunResult run_reconfigurable_protocol(
                 ++tally.hellos;
                 trace(obs::TraceEventKind::hello, now, p, q, sequence, last,
                       logical(engine));
-                network.send(now, std::move(hello));
+                post(now, std::move(hello));
             }
             const std::uint64_t incarnation = engine.incarnation;
             network.schedule(now + base_rto,
@@ -1103,7 +1381,7 @@ ReconfigurableRunResult run_reconfigurable_protocol(
                     trace(obs::TraceEventKind::hello, when, p, peer,
                           channel.replay_attempts, last,
                           logical(e));
-                    network.send(when, std::move(hello));
+                    post(when, std::move(hello));
                     arm_replay_watchdog(when, p, peer);
                 });
         };
@@ -1250,8 +1528,9 @@ ReconfigurableRunResult run_reconfigurable_protocol(
                 ack.destination = packet.source;
                 ack.kind = kAck;
                 ack.tag = packet.tag;
-                ack.body = *cached;
-                network.send(now, std::move(ack));
+                ack.body = *cached;  // original full bytes — the resync
+                ++tally.full_frames;
+                tx_send(now, std::move(ack), 0);
                 return;
             }
             // The newest commit's ACK is always retained, so only
@@ -1324,7 +1603,13 @@ ReconfigurableRunResult run_reconfigurable_protocol(
             record.sequence = header.sequence;
             record.message = mid;
             record.epoch = engine.epoch;
-            record.aux = packet.body;
+            // Canonical full re-encoding of the ACK: the wire body may
+            // be a delta (v3), but replay feeds record.aux to the
+            // full-frame reader. Deterministic encoding makes this
+            // byte-identical to the body on the classic path.
+            encode_epoch_frame_into(engine.epoch, header.sequence, mid,
+                                    engine.rx_stamp, engine.ack_bytes);
+            record.aux = engine.ack_bytes;
             wal_append(p, std::move(record));
         }
         engine.outstanding.reset();
@@ -1390,7 +1675,8 @@ ReconfigurableRunResult run_reconfigurable_protocol(
                     ack.kind = kAck;
                     ack.tag = packet.tag;
                     ack.body = *cached;
-                    network.send(now, std::move(ack));
+                    ++tally.full_frames;
+                    tx_send(now, std::move(ack), 0);
                     return;
                 }
             }
@@ -1407,7 +1693,7 @@ ReconfigurableRunResult run_reconfigurable_protocol(
         ++tally.nacks_sent;
         trace(obs::TraceEventKind::nack, now, p, packet.source,
               header.sequence, header.message, engine.epoch);
-        network.send(now, std::move(nack));
+        post(now, std::move(nack));
     };
 
     /// NACK at the sender: if the rejected (channel, sequence) is still
@@ -1430,6 +1716,12 @@ ReconfigurableRunResult run_reconfigurable_protocol(
         Outstanding& out = *engine.outstanding;
         encode_epoch_frame_into(engine.epoch, out.sequence, out.mid,
                                 engine.clock->current_span(), out.frame);
+        if (wire_ext) {
+            // Full-vector resync on NACK: the channel just crossed an
+            // epoch boundary under the sender's feet, so the old-epoch
+            // shadow (and any claim to sequence continuity) is void.
+            out_channel(engine, packet.source).req_shadow.valid = false;
+        }
         ++tally.nack_retransmits;
         trace(obs::TraceEventKind::retransmit, now, p, packet.source,
               out.sequence, out.mid,
@@ -1440,7 +1732,8 @@ ReconfigurableRunResult run_reconfigurable_protocol(
         req.kind = kReq;
         req.tag = out.mid;
         req.body = out.frame;
-        network.send(now, std::move(req));
+        ++tally.full_frames;
+        tx_send(now, std::move(req), 0);
     };
 
     /// A restarted neighbor announced itself: replay every REQ in the
@@ -1480,7 +1773,10 @@ ReconfigurableRunResult run_reconfigurable_protocol(
                 trace(obs::TraceEventKind::retransmit, now, p, packet.source,
                       entry.sequence, cached.message,
                       logical(engine));
-                network.send(now, std::move(req));
+                // A replay burst to one destination batches naturally:
+                // every frame here shares the rejoiner's address.
+                ++tally.full_frames;
+                tx_send(now, std::move(req), 0);
             }
         }
         Packet reply;
@@ -1501,7 +1797,7 @@ ReconfigurableRunResult run_reconfigurable_protocol(
                                 std::span<const std::uint64_t>(&frontier, 1),
                                 reply.body);
         ++tally.hello_acks;
-        network.send(now, std::move(reply));
+        post(now, std::move(reply));
     };
 
     const auto handle_hello_ack = [&](std::uint64_t now, ProcessId p,
@@ -1544,6 +1840,172 @@ ReconfigurableRunResult run_reconfigurable_protocol(
         if (engine.awaiting_hello.empty()) complete_rejoin(now, p);
     };
 
+    /// Extended-path dispatch of one REQ/ACK/NACK frame — a bare packet
+    /// or a batch entry. Classifies with peek_frame_info (checksum +
+    /// header, no component decode), validates the kind *semantically*
+    /// (a batch entry's kind/tag varints sit outside the inner frame
+    /// checksum, so a flipped kind bit could present an ACK as a REQ —
+    /// message ids are globally unique, so the script is the
+    /// authority), decodes full or delta against the channel shadow,
+    /// and hands the existing handlers a pre-filled rx_stamp exactly
+    /// like the classic dispatcher. Delta frames whose shadow does not
+    /// apply (or that would have to be parked for later) are dropped as
+    /// resync misses — the sender's retransmission path always carries
+    /// the full frame that re-seeds the shadow.
+    const auto deliver_frame = [&](std::uint64_t now, ProcessId p,
+                                   const Packet& packet) {
+        Engine& engine = engines[p];
+        const auto reject = [&] {
+            ++tally.corrupt_rejects;
+            trace(obs::TraceEventKind::corrupt_reject, now, p, packet.source,
+                  packet.kind, packet.tag,
+                  logical(engine));
+        };
+        FrameInfo info;
+        try {
+            info = peek_frame_info(packet.body);
+        } catch (const WireError&) {
+            reject();
+            return;
+        }
+        const FrameHeader& header = info.header;
+        if (packet.kind == kNack) {
+            if (info.delta) {
+                reject();  // NACKs are header-only, never delta
+                return;
+            }
+            handle_nack(now, p, packet, header);
+            return;
+        }
+        if (packet.kind == kReq) {
+            // The scripted message must exist and run source -> p; a
+            // mislabeled ACK always fails this (its message's sender is
+            // p itself), as does any corrupted kind/tag.
+            if (header.epoch >= num_epochs ||
+                header.message >= scripts[header.epoch].num_messages()) {
+                reject();
+                return;
+            }
+            const SyncMessage& m = scripts[header.epoch].message(
+                static_cast<MessageId>(header.message));
+            if (m.sender != packet.source || m.receiver != p) {
+                reject();
+                return;
+            }
+        } else if (packet.kind == kAck) {
+            // A mislabeled REQ could match the outstanding (receiver,
+            // sequence) by coincidence — the sequence spaces of the two
+            // directions are independent — but never its message id;
+            // pre-check it gracefully where handle_ack would ENSURE.
+            if (engine.outstanding &&
+                engine.outstanding->receiver == packet.source &&
+                engine.outstanding->sequence == header.sequence &&
+                engine.outstanding->mid != header.message) {
+                reject();
+                return;
+            }
+        } else {
+            reject();  // damaged batch-entry kind
+            return;
+        }
+        if (header.epoch != engine.epoch) {
+            if (info.delta && header.epoch > engine.epoch) {
+                // Would have to be parked for a later epoch, but a
+                // parked delta has no decodable base by promotion time.
+                ++tally.delta_resyncs;
+                trace(obs::TraceEventKind::delta_resync, now, p,
+                      packet.source, header.sequence, header.message,
+                      logical(engine));
+                return;
+            }
+            // Stale frames never need their stamp decoded (window
+            // replay and NACK are header-driven), so delta and full
+            // take the same path here.
+            handle_epoch_mismatch(now, p, packet, header);
+            return;
+        }
+        if (packet.kind == kReq) {
+            InChannel& channel = in_channel(engine, packet.source);
+            const bool fresh =
+                header.sequence == channel.last_committed + 1 &&
+                !channel.pending;
+            if (fresh) {
+                // Pre-fill engine.rx_stamp for handle_req's fresh path.
+                if (info.delta) {
+                    if (!delta_ready(channel.rx_shadow, header.epoch,
+                                     header.sequence,
+                                     engine.rx_stamp.size())) {
+                        ++tally.delta_resyncs;
+                        trace(obs::TraceEventKind::delta_resync, now, p,
+                              packet.source, header.sequence,
+                              header.message, logical(engine));
+                        return;
+                    }
+                    try {
+                        decode_delta_frame_into(packet.body,
+                                                channel.rx_shadow.stamp,
+                                                engine.rx_stamp);
+                    } catch (const WireError&) {
+                        reject();
+                        return;
+                    }
+                } else {
+                    try {
+                        decode_epoch_frame_into(packet.body,
+                                                engine.rx_stamp);
+                    } catch (const WireError&) {
+                        reject();
+                        return;
+                    }
+                }
+                update_shadow(channel.rx_shadow, header.epoch,
+                              header.sequence, engine.rx_stamp);
+            } else if (info.delta &&
+                       header.sequence > channel.last_committed + 1) {
+                // Parking a delta body would strand it (see above).
+                ++tally.delta_resyncs;
+                trace(obs::TraceEventKind::delta_resync, now, p,
+                      packet.source, header.sequence, header.message,
+                      logical(engine));
+                return;
+            }
+            // Duplicate/stale/park branches never read rx_stamp.
+            handle_req(now, p, packet, header);
+            return;
+        }
+        // kAck: decode (pre-filling rx_stamp for on_ack_into), then let
+        // handle_ack match or drop exactly as the classic path does.
+        OutChannel& channel = out_channel(engine, packet.source);
+        if (info.delta) {
+            if (!delta_ready(channel.ack_rx_shadow, header.epoch,
+                             header.sequence, engine.rx_stamp.size())) {
+                ++tally.delta_resyncs;
+                trace(obs::TraceEventKind::delta_resync, now, p,
+                      packet.source, header.sequence, header.message,
+                      logical(engine));
+                return;
+            }
+            try {
+                decode_delta_frame_into(packet.body,
+                                        channel.ack_rx_shadow.stamp,
+                                        engine.rx_stamp);
+            } catch (const WireError&) {
+                reject();
+                return;
+            }
+        } else {
+            try {
+                decode_epoch_frame_into(packet.body, engine.rx_stamp);
+            } catch (const WireError&) {
+                reject();
+                return;
+            }
+        }
+        update_shadow(channel.ack_rx_shadow, header.epoch, header.sequence,
+                      engine.rx_stamp);
+        handle_ack(now, p, packet, header);
+    };
+
     for (ProcessId p = 0; p < n_max; ++p) {
         network.on_deliver(p, [&, p](std::uint64_t now, const Packet& packet) {
             Engine& engine = engines[p];
@@ -1554,6 +2016,49 @@ ReconfigurableRunResult run_reconfigurable_protocol(
             }
             if (packet.kind == kHelloAck) {
                 handle_hello_ack(now, p, packet);
+                return;
+            }
+            if (wire_ext) {
+                if (packet.kind == kBatch) {
+                    // Unpack the container and run each entry through
+                    // the frame dispatcher as its own sub-packet. The
+                    // outer checksum is advisory — per-entry inner
+                    // checksums decide survival — but a structural
+                    // break (corrupted length/varint) loses the
+                    // remainder; retransmission recovers it like a
+                    // lost packet.
+                    try {
+                        BatchReader reader(packet.body);
+                        BatchFrame::Entry entry;
+                        Packet sub;
+                        sub.source = packet.source;
+                        sub.destination = packet.destination;
+                        while (reader.next(entry)) {
+                            if (engines[p].down) return;  // mid-batch crash
+                            if (entry.kind > kHelloAck) {
+                                // Damaged kind varint (could alias a
+                                // valid kind after u32 truncation).
+                                ++tally.corrupt_rejects;
+                                trace(obs::TraceEventKind::corrupt_reject,
+                                      now, p, packet.source, packet.kind,
+                                      entry.kind, logical(engines[p]));
+                                continue;
+                            }
+                            sub.kind = static_cast<std::uint32_t>(entry.kind);
+                            sub.tag = entry.tag;
+                            sub.body.assign(entry.body.begin(),
+                                            entry.body.end());
+                            deliver_frame(now, p, sub);
+                        }
+                    } catch (const WireError&) {
+                        ++tally.corrupt_rejects;
+                        trace(obs::TraceEventKind::corrupt_reject, now, p,
+                              packet.source, packet.kind, packet.tag,
+                              logical(engines[p]));
+                    }
+                    return;
+                }
+                deliver_frame(now, p, packet);
                 return;
             }
             FrameHeader header;
@@ -1625,6 +2130,16 @@ ReconfigurableRunResult run_reconfigurable_protocol(
     result.virtual_duration = network.run();
     result.packets = network.packets_delivered();
     result.network_faults = network.fault_stats();
+    result.protocol = ProtocolStats{
+        .bytes_sent = tally.bytes_sent,
+        .wire_packets = tally.wire_packets,
+        .batch_packets = tally.batch_packets,
+        .batch_frames = tally.batch_frames,
+        .acks_coalesced = tally.acks_coalesced,
+        .delta_frames = tally.delta_frames,
+        .full_frames = tally.full_frames,
+        .delta_resyncs = tally.delta_resyncs,
+        .bsched_deferrals = tally.bsched_deferrals};
 
     if (options.metrics != nullptr) {
         obs::MetricsRegistry& m = *options.metrics;
@@ -1645,6 +2160,23 @@ ReconfigurableRunResult run_reconfigurable_protocol(
         m.counter("sync_nack_retransmits").inc(tally.nack_retransmits);
         m.gauge("sync_virtual_ticks")
             .set(static_cast<std::int64_t>(result.virtual_duration));
+        m.counter("sync_bytes_sent").inc(tally.bytes_sent);
+        m.counter("sync_wire_packets").inc(tally.wire_packets);
+        if (wire_ext) {
+            m.counter("sync_batch_packets").inc(tally.batch_packets);
+            m.counter("sync_batch_frames").inc(tally.batch_frames);
+            m.counter("sync_acks_coalesced").inc(tally.acks_coalesced);
+            m.counter("wire_delta_frames").inc(tally.delta_frames);
+            m.counter("wire_full_frames").inc(tally.full_frames);
+            m.counter("wire_delta_resyncs").inc(tally.delta_resyncs);
+        }
+        if (bsched) {
+            m.counter("bsched_admitted").inc(bsched->counters().admitted);
+            m.counter("bsched_refused").inc(bsched->counters().refused);
+            m.counter("bsched_bytes_admitted")
+                .inc(bsched->counters().bytes_admitted);
+            m.counter("bsched_deferrals").inc(tally.bsched_deferrals);
+        }
         m.counter("net_packets_dropped")
             .inc(result.network_faults.dropped +
                  result.network_faults.targeted_drops);
@@ -1706,6 +2238,12 @@ ReconfigurableRunResult run_reconfigurable_protocol(
         SYNCTS_ENSURE(engine.cursor == engine.script.size(),
                       "protocol finished with unexecuted script actions");
         SYNCTS_ENSURE(!engine.outstanding, "protocol finished mid-rendezvous");
+    }
+    for (const TxProc& proc : tx) {
+        for (const auto& [dst, q] : proc.queues) {
+            SYNCTS_ENSURE(q.batch.empty(),
+                          "protocol finished with queued frames");
+        }
     }
 
     // The run finished cleanly, so nothing can rewind anymore: release

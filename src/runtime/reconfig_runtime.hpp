@@ -99,6 +99,9 @@ struct ReconfigurableRunResult {
 
     /// What the network injected over the whole run.
     FaultStats network_faults;
+
+    /// Wire-level accounting of the sent traffic (docs/PROTOCOL.md).
+    ProtocolStats protocol;
 };
 
 /// Replays `scripts[e]` through the protocol under epoch e of

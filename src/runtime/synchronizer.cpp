@@ -32,7 +32,8 @@ SynchronizerResult run_rendezvous_protocol(
         .script_message = std::move(segment.script_message),
         .virtual_duration = multi.virtual_duration,
         .packets = multi.packets,
-        .network_faults = multi.network_faults};
+        .network_faults = multi.network_faults,
+        .protocol = multi.protocol};
 }
 
 }  // namespace syncts

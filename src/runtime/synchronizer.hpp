@@ -93,6 +93,66 @@ struct RecoveryOptions {
     std::size_t window = 8;
 };
 
+/// Fair per-channel bandwidth limiting for the batched TX path
+/// (docs/PROTOCOL.md): a token bucket per directed channel under one
+/// global budget, refilled per virtual tick, with deficit-round-robin
+/// ordering when several queues of one process are due together. A
+/// flush that the buckets cannot admit is deferred to the bucket's
+/// ready time — bounded, so coalescing never stalls a quiet channel.
+struct BandwidthOptions {
+    bool enabled = false;
+
+    /// Global budget: bytes admitted per virtual tick across all of a
+    /// process's channels (>= 1 when enabled).
+    std::uint64_t bytes_per_tick = 256;
+
+    /// Per-channel rate: bytes per virtual tick each directed channel
+    /// may consume (>= 1 when enabled; defaults to the global budget).
+    std::uint64_t channel_bytes_per_tick = 0;
+
+    /// Bucket capacity — the largest burst a channel (and the global
+    /// budget) can admit at once. 0 = auto: 8x the refill rate, floored
+    /// at 4096 so a single full-vector frame always fits.
+    std::uint64_t burst = 0;
+
+    /// Deficit-round-robin quantum in bytes (>= 1): how much service
+    /// credit a due queue earns per scheduling round.
+    std::uint64_t quantum = 512;
+};
+
+/// The batched wire path (docs/PROTOCOL.md): all knobs default off, in
+/// which case the synchronizer keeps the classic one-frame-per-packet
+/// profile bit-for-bit. Timestamps are bit-identical either way — only
+/// packet count, bytes, and delivery schedule change.
+struct ProtocolOptions {
+    /// Collect frames bound for the same destination within a tick (and
+    /// coalesced ACKs) into one v4 batch container per packet.
+    bool batching = false;
+
+    /// Hold ACKs up to `max_coalesce_delay` ticks so they ride the next
+    /// outbound packet to the same peer; a newer ACK for the same
+    /// rendezvous supersedes a queued one (cumulative-ack rule).
+    bool coalesce_acks = false;
+
+    /// Delta-encode timestamp vectors against per-channel shadows of the
+    /// last frame each peer saw; full-vector resync on every shadow
+    /// break (retransmit gap, NACK, epoch transition, crash rejoin).
+    bool delta = false;
+
+    /// Longest time a coalesced ACK may wait for a ride, in virtual
+    /// ticks. 0 = auto: latency_hi (well under any retransmission
+    /// timeout, so coalescing never races a peer's RTO).
+    std::uint64_t max_coalesce_delay = 0;
+
+    /// Optional fair bandwidth scheduler over the batched TX queues.
+    BandwidthOptions bandwidth;
+
+    /// Whether any extension is on (the synchronizer's dispatch gate).
+    bool active() const noexcept {
+        return batching || coalesce_acks || delta || bandwidth.enabled;
+    }
+};
+
 struct SynchronizerOptions {
     std::uint64_t seed = 1;
     /// Per-packet latency drawn uniformly from [latency_lo, latency_hi].
@@ -115,6 +175,10 @@ struct SynchronizerOptions {
     /// Backoff doubles per attempt, capped at
     /// initial_timeout << max_backoff_exponent.
     std::uint32_t max_backoff_exponent = 6;
+
+    /// Batched wire path: batching / ACK coalescing / delta vectors /
+    /// bandwidth scheduling. All off by default — the classic profile.
+    ProtocolOptions protocol;
 
     /// Retransmissions per message before SynchronizerStalled is thrown.
     std::uint32_t max_retransmits = 64;
@@ -153,6 +217,46 @@ struct SynchronizerOptions {
     EngineStock* engine_stock = nullptr;
 };
 
+/// Wire-level accounting for one run: what the batched path saved (or
+/// would have saved) in packets and bytes. All fields count *sent*
+/// traffic, before the network injects faults; `wire_packets` therefore
+/// exceeds the delivered-packet count under drops. Populated on every
+/// run — with ProtocolOptions all-off, batch/coalesce/delta fields stay
+/// zero and `full_frames` counts every frame.
+struct ProtocolStats {
+    /// Payload bytes handed to the network (frame + batch container
+    /// bytes; per-packet transport overhead is the bench's concern).
+    std::uint64_t bytes_sent = 0;
+
+    /// Packets handed to the network (batch containers count once).
+    std::uint64_t wire_packets = 0;
+
+    /// Packets that were v4 batch containers (>= 2 frames each).
+    std::uint64_t batch_packets = 0;
+
+    /// Frames carried inside batch containers.
+    std::uint64_t batch_frames = 0;
+
+    /// Queued ACKs superseded by a newer ACK of the same rendezvous
+    /// before they hit the wire (each one is a packet that never flew).
+    std::uint64_t acks_coalesced = 0;
+
+    /// Frames sent delta-encoded (v3) against a channel shadow.
+    std::uint64_t delta_frames = 0;
+
+    /// Frames sent as full vectors (v1/v2) — first contact, resyncs,
+    /// retransmits, replays, and everything when `delta` is off.
+    std::uint64_t full_frames = 0;
+
+    /// Delta frames a receiver had to discard because its shadow did
+    /// not match (gap, epoch change, rejoin); each converges to a
+    /// full-vector resend via the normal retransmission machinery.
+    std::uint64_t delta_resyncs = 0;
+
+    /// Flushes the bandwidth scheduler deferred past their deadline.
+    std::uint64_t bsched_deferrals = 0;
+};
+
 struct SynchronizerResult {
     /// The realized computation: same messages and per-process orders as
     /// the script, instants renumbered to commit order. (Internal events
@@ -176,6 +280,10 @@ struct SynchronizerResult {
     /// the protocol coped is published to SynchronizerOptions::metrics
     /// (the non-overlapping `sync_*` counters).
     FaultStats network_faults;
+
+    /// Wire-level accounting of the sent traffic: bytes, packets, batch
+    /// and coalesce savings, delta/full frame split (docs/PROTOCOL.md).
+    ProtocolStats protocol;
 };
 
 /// Replays `script` through the REQ/ACK protocol over an asynchronous

@@ -37,7 +37,7 @@ plain_benches=(
     bench_fig8_greedy bench_size_table bench_offline bench_events
     bench_runtime bench_related bench_wire bench_ablation bench_ordering
     bench_faults bench_arena bench_analysis bench_reconfig bench_recover
-    bench_profile
+    bench_profile bench_protocol
 )
 for name in "${plain_benches[@]}"; do
     bin="${bench_dir}/${name}"
@@ -96,6 +96,12 @@ with open(sys.argv[1]) as fh:
             # Observer-tax column (bench_profile, PR 8): 0.0 = "ran
             # uninstrumented", only bench_profile measures a real value.
             row.setdefault("profiler_overhead_pct", 0.0)
+            # Wire-efficiency columns (bench_protocol, PR 9).
+            # bytes_per_msg 0.0 = "wire bytes not measured";
+            # batch_factor 1.0 = "one frame per packet" (the classic
+            # profile — only the batched-path studies exceed it).
+            row.setdefault("bytes_per_msg", 0.0)
+            row.setdefault("batch_factor", 1.0)
             results.append(row)
 json.dump(results, sys.stdout, indent=1)
 sys.stdout.write("\n")

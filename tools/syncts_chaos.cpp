@@ -69,6 +69,9 @@ struct Config {
     std::uint64_t wal_flush = 4;
     std::uint64_t snap_every = 16;
     std::size_t window = 8;
+    bool batch = false;           // frame batching + ACK coalescing
+    bool delta = false;           // delta-encoded vectors
+    std::uint64_t bandwidth = 0;  // bytes/tick budget; 0 = unshaped
     bool quiet = false;
 };
 
@@ -83,6 +86,8 @@ struct Config {
                  "                    [--crash N] [--crash-downtime D] "
                  "[--wal-flush K]\n"
                  "                    [--snap-every K] [--window W] "
+                 "[--batch] [--delta]\n"
+                 "                    [--bandwidth BYTES_PER_TICK] "
                  "[--quiet]\nspecs: %s\n",
                  tools::spec_help());
     std::exit(2);
@@ -141,6 +146,13 @@ Config parse_args(int argc, char** argv) {
                                               nullptr, 10);
         } else if (flag == "--window") {
             config.window = std::strtoull(next_value("--window"), nullptr, 10);
+        } else if (flag == "--batch") {
+            config.batch = true;
+        } else if (flag == "--delta") {
+            config.delta = true;
+        } else if (flag == "--bandwidth") {
+            config.bandwidth = std::strtoull(next_value("--bandwidth"),
+                                             nullptr, 10);
         } else if (flag == "--quiet") {
             config.quiet = true;
         } else {
@@ -196,6 +208,14 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(config.jitter),
         static_cast<unsigned long long>(config.latency_lo),
         static_cast<unsigned long long>(config.latency_hi));
+    if (config.batch || config.delta || config.bandwidth > 0) {
+        std::printf(
+            "wire:  batch=%s delta=%s bandwidth=%s\n",
+            config.batch ? "on" : "off", config.delta ? "on" : "off",
+            config.bandwidth > 0
+                ? (std::to_string(config.bandwidth) + " B/tick").c_str()
+                : "unshaped");
+    }
     if (config.crash > 0) {
         std::printf(
             "crash: %llu/schedule  downtime=%s  wal-flush=%llu "
@@ -212,6 +232,7 @@ int main(int argc, char** argv) {
     std::uint64_t mismatches = 0;
     std::uint64_t stalls = 0;
     std::uint64_t packets = 0;
+    ProtocolStats wire;
     // The sync_* counters accumulate across every schedule; the registry
     // is the aggregate the summary prints.
     obs::MetricsRegistry metrics;
@@ -250,6 +271,13 @@ int main(int argc, char** argv) {
             options.recovery.snapshot_interval = config.snap_every;
             options.recovery.window = config.window;
         }
+        options.protocol.batching = config.batch;
+        options.protocol.coalesce_acks = config.batch;
+        options.protocol.delta = config.delta;
+        if (config.bandwidth > 0) {
+            options.protocol.bandwidth.enabled = true;
+            options.protocol.bandwidth.bytes_per_tick = config.bandwidth;
+        }
         options.metrics = &metrics;
         bool match = true;
         try {
@@ -269,6 +297,15 @@ int main(int argc, char** argv) {
                 if (!match) break;
             }
             packets += result.packets;
+            wire.bytes_sent += result.protocol.bytes_sent;
+            wire.wire_packets += result.protocol.wire_packets;
+            wire.batch_packets += result.protocol.batch_packets;
+            wire.batch_frames += result.protocol.batch_frames;
+            wire.acks_coalesced += result.protocol.acks_coalesced;
+            wire.delta_frames += result.protocol.delta_frames;
+            wire.full_frames += result.protocol.full_frames;
+            wire.delta_resyncs += result.protocol.delta_resyncs;
+            wire.bsched_deferrals += result.protocol.bsched_deferrals;
             faults.dropped += result.network_faults.dropped;
             faults.targeted_drops += result.network_faults.targeted_drops;
             faults.duplicated += result.network_faults.duplicated;
@@ -340,6 +377,25 @@ int main(int argc, char** argv) {
             value("recover_hello_acks"), value("recover_window_ack_replays"),
             value("recover_window_retransmits"),
             value("recover_future_buffered"), value("net_down_drops"));
+    }
+    if (config.batch || config.delta || config.bandwidth > 0) {
+        const std::uint64_t frames = wire.delta_frames + wire.full_frames;
+        std::printf(
+            "wire:     bytes=%llu sent_packets=%llu batch_packets=%llu "
+            "coalesced=%llu\n"
+            "          delta_frames=%llu/%llu resyncs=%llu deferrals=%llu "
+            "bytes/msg=%.1f\n",
+            static_cast<unsigned long long>(wire.bytes_sent),
+            static_cast<unsigned long long>(wire.wire_packets),
+            static_cast<unsigned long long>(wire.batch_packets),
+            static_cast<unsigned long long>(wire.acks_coalesced),
+            static_cast<unsigned long long>(wire.delta_frames),
+            static_cast<unsigned long long>(frames),
+            static_cast<unsigned long long>(wire.delta_resyncs),
+            static_cast<unsigned long long>(wire.bsched_deferrals),
+            total_messages == 0 ? 0.0
+                                : static_cast<double>(wire.bytes_sent) /
+                                      static_cast<double>(total_messages));
     }
     std::printf(
         "packets:  %llu delivered for %llu messages "

@@ -113,6 +113,9 @@ struct Config {
     std::vector<CrashRule> crashes;
     std::string flight_path;      // SYFR dump target; empty = no recorder
     std::string postmortem_path;  // decode-and-exit mode
+    bool batch = false;           // frame batching + ACK coalescing
+    bool delta = false;           // delta-encoded vectors
+    std::uint64_t bandwidth = 0;  // bytes/tick budget; 0 = unshaped
     bool json = false;
     bool quiet = false;
 };
@@ -130,7 +133,8 @@ struct Config {
         "[--reconfig SCHED] [--json]\n"
         "                    [--profile] [--crash P:STEP:DOWN] "
         "[--flight FILE.syfr]\n"
-        "                    [--quiet]\n"
+        "                    [--batch] [--delta] "
+        "[--bandwidth BYTES_PER_TICK] [--quiet]\n"
         "       syncts_stats --postmortem FILE.syfr\nspecs: %s\n",
         tools::spec_help());
     std::exit(2);
@@ -238,6 +242,13 @@ Config parse_args(int argc, char** argv) {
             config.flight_path = next_value("--flight");
         } else if (flag == "--postmortem") {
             config.postmortem_path = next_value("--postmortem");
+        } else if (flag == "--batch") {
+            config.batch = true;
+        } else if (flag == "--delta") {
+            config.delta = true;
+        } else if (flag == "--bandwidth") {
+            config.bandwidth = std::strtoull(next_value("--bandwidth"),
+                                             nullptr, 10);
         } else if (flag == "--json") {
             config.json = true;
         } else if (flag == "--quiet") {
@@ -554,6 +565,7 @@ int main(int argc, char** argv) {
     std::uint64_t stalls = 0;
     std::uint64_t undetected_corrupt = 0;
     std::uint64_t virtual_duration = 0;
+    ProtocolStats wire;
     for (std::uint64_t run = 1; run <= config.runs; ++run) {
         SynchronizerOptions options;
         options.seed = config.seed * 1'000'003 + run;
@@ -566,6 +578,13 @@ int main(int argc, char** argv) {
         options.faults.delay_probability = config.delay;
         options.faults.max_extra_delay = config.jitter;
         options.faults.crashes = config.crashes;
+        options.protocol.batching = config.batch;
+        options.protocol.coalesce_acks = config.batch;
+        options.protocol.delta = config.delta;
+        if (config.bandwidth > 0) {
+            options.protocol.bandwidth.enabled = true;
+            options.protocol.bandwidth.bytes_per_tick = config.bandwidth;
+        }
         options.metrics = &registry;
         options.trace = capture ? &sink : nullptr;
         options.recorder = flight ? &recorder : nullptr;
@@ -579,6 +598,15 @@ int main(int argc, char** argv) {
             const ReconfigurableRunResult result =
                 run_reconfigurable_protocol(manager, scripts, options);
             virtual_duration += result.virtual_duration;
+            wire.bytes_sent += result.protocol.bytes_sent;
+            wire.wire_packets += result.protocol.wire_packets;
+            wire.batch_packets += result.protocol.batch_packets;
+            wire.batch_frames += result.protocol.batch_frames;
+            wire.acks_coalesced += result.protocol.acks_coalesced;
+            wire.delta_frames += result.protocol.delta_frames;
+            wire.full_frames += result.protocol.full_frames;
+            wire.delta_resyncs += result.protocol.delta_resyncs;
+            wire.bsched_deferrals += result.protocol.bsched_deferrals;
             for (EpochId e = 0; e < result.segments.size(); ++e) {
                 const EpochSegmentResult& segment = result.segments[e];
                 for (std::size_t i = 0; i < segment.message_stamps.size();
@@ -707,6 +735,44 @@ int main(int argc, char** argv) {
         out += ",\"frames_corrupt_undetected\":" +
                std::to_string(undetected_corrupt);
         out += ",\"virtual_duration\":" + std::to_string(virtual_duration);
+        {
+            // Wire-level accounting (docs/PROTOCOL.md): always present,
+            // zeros when the batched path is off, so report consumers
+            // can diff option stacks without key churn. The derived
+            // rates make the headline savings one jq away.
+            const std::uint64_t delivered =
+                config.runs * total_messages;  // one ACK per message
+            char rate[32];
+            std::snprintf(rate, sizeof(rate), "%.4f",
+                          delivered == 0
+                              ? 0.0
+                              : static_cast<double>(wire.acks_coalesced) /
+                                    static_cast<double>(delivered));
+            char per_msg[32];
+            std::snprintf(per_msg, sizeof(per_msg), "%.1f",
+                          delivered == 0
+                              ? 0.0
+                              : static_cast<double>(wire.bytes_sent) /
+                                    static_cast<double>(delivered));
+            out += ",\"protocol\":{\"bytes\":" +
+                   std::to_string(wire.bytes_sent);
+            out += ",\"bytes_per_msg\":";
+            out += per_msg;
+            out += ",\"sent_packets\":" + std::to_string(wire.wire_packets);
+            out += ",\"batch_packets\":" +
+                   std::to_string(wire.batch_packets);
+            out += ",\"batch_frames\":" + std::to_string(wire.batch_frames);
+            out += ",\"acks_coalesced\":" +
+                   std::to_string(wire.acks_coalesced);
+            out += ",\"coalesce_rate\":";
+            out += rate;
+            out += ",\"delta_frames\":" + std::to_string(wire.delta_frames);
+            out += ",\"full_frames\":" + std::to_string(wire.full_frames);
+            out += ",\"delta_resyncs\":" +
+                   std::to_string(wire.delta_resyncs);
+            out += ",\"bsched_deferrals\":" +
+                   std::to_string(wire.bsched_deferrals) + "}";
+        }
         out += ",\"trace\":{\"recorded\":" + std::to_string(sink.recorded());
         out += ",\"retained\":" + std::to_string(sink.size());
         out += ",\"dropped\":" + std::to_string(sink.dropped()) + "}";
@@ -765,6 +831,25 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(mismatches),
                     static_cast<unsigned long long>(stalls),
                     static_cast<unsigned long long>(undetected_corrupt));
+        if (config.batch || config.delta || config.bandwidth > 0) {
+            const std::uint64_t delivered = config.runs * total_messages;
+            std::printf(
+                "wire:    bytes=%llu (%.1f/msg) sent_packets=%llu "
+                "batch_packets=%llu coalesced=%llu delta=%llu/%llu "
+                "resyncs=%llu deferrals=%llu\n",
+                static_cast<unsigned long long>(wire.bytes_sent),
+                delivered == 0 ? 0.0
+                               : static_cast<double>(wire.bytes_sent) /
+                                     static_cast<double>(delivered),
+                static_cast<unsigned long long>(wire.wire_packets),
+                static_cast<unsigned long long>(wire.batch_packets),
+                static_cast<unsigned long long>(wire.acks_coalesced),
+                static_cast<unsigned long long>(wire.delta_frames),
+                static_cast<unsigned long long>(wire.delta_frames +
+                                                wire.full_frames),
+                static_cast<unsigned long long>(wire.delta_resyncs),
+                static_cast<unsigned long long>(wire.bsched_deferrals));
+        }
         if (tracing) {
             std::printf("trace:   recorded=%llu retained=%zu dropped=%llu\n",
                         static_cast<unsigned long long>(sink.recorded()),
