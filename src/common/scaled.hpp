@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+/// \file scaled.hpp
+/// Parsing for human-scaled counts ("500", "250k", "10m") shared by the
+/// CLI tools. Extracted from syncts_stats so the suffix arithmetic is
+/// testable and overflow-checked in one place: a 10m-event streaming run
+/// must not wrap anywhere between the flag parser and the derived
+/// counters it feeds.
+
+namespace syncts::common {
+
+/// Parses a decimal count with an optional k (×1e3) or m (×1e6) suffix.
+/// Returns nullopt on empty input, a non-digit prefix, trailing garbage
+/// after the suffix, or a value whose scaled form overflows uint64.
+inline std::optional<std::uint64_t> parse_scaled_count(std::string_view text) {
+    if (text.empty()) return std::nullopt;
+    std::uint64_t value = 0;
+    std::size_t i = 0;
+    for (; i < text.size(); ++i) {
+        const char c = text[i];
+        if (c < '0' || c > '9') break;
+        const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        if (value > (UINT64_MAX - digit) / 10) return std::nullopt;
+        value = value * 10 + digit;
+    }
+    if (i == 0) return std::nullopt;  // no digits at all
+    std::uint64_t scale = 1;
+    if (i < text.size()) {
+        const char suffix = text[i];
+        if (suffix == 'k' || suffix == 'K') {
+            scale = 1000;
+        } else if (suffix == 'm' || suffix == 'M') {
+            scale = 1'000'000;
+        } else {
+            return std::nullopt;
+        }
+        if (i + 1 != text.size()) return std::nullopt;  // trailing garbage
+    }
+    if (scale != 1 && value > UINT64_MAX / scale) return std::nullopt;
+    return value * scale;
+}
+
+}  // namespace syncts::common

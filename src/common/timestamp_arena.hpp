@@ -311,6 +311,118 @@ private:
     obs::Counter* metric_kernel_rows_ = nullptr;
 };
 
+/// Typed error for a read of a stamp the window has already retired (or
+/// not yet produced) — the streaming analogue of RegionError: a stale
+/// logical id is an operational condition, never a dangling span.
+class RetiredStampError : public std::out_of_range {
+public:
+    RetiredStampError(std::uint64_t id, std::uint64_t frontier,
+                      std::uint64_t next)
+        : std::out_of_range("stamp " + std::to_string(id) +
+                            " is outside the resident window [" +
+                            std::to_string(frontier) + ", " +
+                            std::to_string(next) + ")"),
+          id_(id) {}
+
+    std::uint64_t id() const noexcept { return id_; }
+
+private:
+    std::uint64_t id_;
+};
+
+/// Windowed recycling over an unbounded stamp stream (docs/STREAMING.md).
+///
+/// A streaming ingestion run produces one stamp per message, forever —
+/// far past the 2^32−1 handle space a plain `TimestampArena` guards with
+/// `ArenaFullError`. `WindowedTimestampArena` keeps the guard and removes
+/// the ceiling: it pre-sizes an arena of `window` slots, addresses them
+/// by **64-bit logical id** (slot = id mod window), and retires the
+/// oldest stamp wholesale whenever a push would exceed the window —
+/// exactly the region-retirement discipline, one ring step at a time.
+/// Logical ids never wrap and never alias: a read outside
+/// [frontier, next) throws `RetiredStampError`.
+class WindowedTimestampArena {
+public:
+    /// `first_id` seeds the logical id stream — tests use it to cross
+    /// the 2^32 boundary without four billion pushes.
+    WindowedTimestampArena(std::size_t width, std::size_t window,
+                           SlabPool* pool = nullptr,
+                           std::uint64_t first_id = 0)
+        : arena_(width, window, pool),
+          window_(window),
+          frontier_(first_id),
+          next_(first_id) {
+        SYNCTS_REQUIRE(window > 0, "window must be positive");
+        SYNCTS_REQUIRE(window <= kNoTimestamp,
+                       "window cannot exceed the 32-bit slot space");
+        for (std::size_t i = 0; i < window; ++i) arena_.allocate();
+    }
+
+    std::size_t width() const noexcept { return arena_.width(); }
+    std::size_t window() const noexcept { return window_; }
+
+    /// Oldest resident logical id (== next() when nothing is resident).
+    std::uint64_t frontier() const noexcept { return frontier_; }
+    /// Logical id the next push() will return.
+    std::uint64_t next() const noexcept { return next_; }
+    /// Resident stamps, at most window().
+    std::size_t resident() const noexcept {
+        return static_cast<std::size_t>(next_ - frontier_);
+    }
+
+    bool is_resident(std::uint64_t id) const noexcept {
+        return id >= frontier_ && id < next_;
+    }
+
+    /// Appends a stamp, retiring the oldest resident one when the window
+    /// is full. Returns the stamp's logical id.
+    std::uint64_t push(std::span<const std::uint64_t> components) {
+        SYNCTS_REQUIRE(components.size() == arena_.width(),
+                       "component count must equal arena width");
+        const std::uint64_t id = next_;
+        if (resident() == window_) ++frontier_;  // wholesale ring retire
+        ++next_;
+        auto dst = arena_.span(slot_of(id));
+        std::copy(components.begin(), components.end(), dst.begin());
+        return id;
+    }
+
+    /// Resident stamp for `id`; throws RetiredStampError outside the
+    /// window.
+    std::span<const std::uint64_t> span(std::uint64_t id) const {
+        if (!is_resident(id)) throw RetiredStampError(id, frontier_, next_);
+        return arena_.span(slot_of(id));
+    }
+
+    /// Registers the backing arena's metrics plus the resident-rows
+    /// gauge <prefix>_resident_rows (docs/OBSERVABILITY.md).
+    void attach_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix = "window") {
+        arena_.attach_metrics(registry, prefix);
+        metric_resident_ = &registry.gauge(prefix + "_resident_rows");
+        metric_resident_->set(static_cast<std::int64_t>(resident()));
+    }
+
+    /// Publishes the current residency to the gauge (cheap; callers
+    /// sample at their own cadence rather than per push).
+    void publish_residency() noexcept {
+        if (metric_resident_ != nullptr) {
+            metric_resident_->set(static_cast<std::int64_t>(resident()));
+        }
+    }
+
+private:
+    TsHandle slot_of(std::uint64_t id) const noexcept {
+        return static_cast<TsHandle>(id % window_);
+    }
+
+    TimestampArena arena_;
+    std::size_t window_;
+    std::uint64_t frontier_;
+    std::uint64_t next_;
+    obs::Gauge* metric_resident_ = nullptr;
+};
+
 struct AnalysisOptions;
 
 /// out[i] = (probe ≤ slot i), for every slot. `out.size()` must equal

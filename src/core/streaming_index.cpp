@@ -1,0 +1,84 @@
+#include "core/streaming_index.hpp"
+
+#include "common/check.hpp"
+#include "common/ts_kernels.hpp"
+
+namespace syncts {
+
+IncrementalPrecedenceIndex::IncrementalPrecedenceIndex(
+    std::shared_ptr<const EdgeDecomposition> decomposition,
+    StreamingIndexOptions options)
+    : engine_(decomposition),
+      scratch_(engine_.width(), 1),
+      window_(engine_.width(), options.window == 0 ? 1 : options.window,
+              options.pool),
+      closure_(options.closure) {
+    if (options.metrics != nullptr) attach_metrics(*options.metrics);
+}
+
+IncrementalPrecedenceIndex::IncrementalPrecedenceIndex(
+    const SyncSystem& system, StreamingIndexOptions options)
+    : IncrementalPrecedenceIndex(system.decomposition_ptr(),
+                                 std::move(options)) {}
+
+void IncrementalPrecedenceIndex::attach_metrics(
+    obs::MetricsRegistry& registry) {
+    metric_ingested_ = &registry.counter("stream_ingested");
+    metric_fastpath_ = &registry.counter("stream_fastpath_queries");
+    metric_spill_ = &registry.counter("stream_spill_queries");
+    window_.attach_metrics(registry, "window");
+}
+
+MessageId IncrementalPrecedenceIndex::ingest_message(ProcessId sender,
+                                                     ProcessId receiver) {
+    SYNCTS_REQUIRE(ingested_ < kNoMessage, "MessageId space exhausted");
+    scratch_.clear();
+    const TsHandle h = engine_.timestamp_message(sender, receiver, scratch_);
+    const std::uint64_t id = window_.push(scratch_.span(h));
+    SYNCTS_ENSURE(id == ingested_, "window ids must track message ids");
+    if (closure_ != nullptr) {
+        const MessageId closure_id = closure_->ingest(sender, receiver);
+        SYNCTS_ENSURE(closure_id == id, "closure ids must track message ids");
+    }
+    ++ingested_;
+    if (metric_ingested_ != nullptr) metric_ingested_->inc();
+    return static_cast<MessageId>(id);
+}
+
+void IncrementalPrecedenceIndex::ingest_internal(ProcessId process) {
+    engine_.on_internal(process, {});
+}
+
+std::uint64_t IncrementalPrecedenceIndex::ingest(StreamingTraceReader& reader,
+                                                 std::uint64_t max_events) {
+    std::uint64_t consumed = 0;
+    while (consumed < max_events) {
+        const std::optional<TraceRecord> record = reader.next();
+        if (!record.has_value()) break;
+        if (record->kind == TraceRecord::Kind::message) {
+            ingest_message(record->a, record->b);
+        } else {
+            ingest_internal(record->a);
+        }
+        ++consumed;
+    }
+    return consumed;
+}
+
+bool IncrementalPrecedenceIndex::precedes(MessageId a, MessageId b) const {
+    SYNCTS_REQUIRE(a < ingested_ && b < ingested_,
+                   "message id not ingested yet");
+    if (a == b) return false;
+    if (window_.is_resident(a) && window_.is_resident(b)) {
+        if (metric_fastpath_ != nullptr) metric_fastpath_->inc();
+        return ts::less(window_.span(a), window_.span(b));
+    }
+    if (closure_ != nullptr) {
+        if (metric_spill_ != nullptr) metric_spill_->inc();
+        return closure_->less(a, b);
+    }
+    throw RetiredStampError(window_.is_resident(a) ? b : a,
+                            window_.frontier(), window_.next());
+}
+
+}  // namespace syncts

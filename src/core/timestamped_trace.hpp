@@ -24,6 +24,32 @@
 
 namespace syncts {
 
+class SpillStore;
+
+/// Tuning for the spill-aware streamed verification path
+/// (docs/STREAMING.md). Defaults keep the batch sweep for small traces —
+/// below `min_streamed_messages` the full bit matrix is cheaper than any
+/// chunking — and bound closure-row residency to one `chunk_rows` window
+/// above it.
+struct StreamedVerifyOptions {
+    /// Closure rows per retired chunk (and per verification window).
+    std::size_t chunk_rows = 4096;
+
+    /// Destination for retired chunks; nullptr retains them in memory
+    /// (still chunked — useful when no spill directory is available).
+    SpillStore* spill = nullptr;
+
+    /// Below this message count, delegate to the batch in-memory sweep
+    /// (bit-identical either way; the batch path is faster).
+    std::size_t min_streamed_messages = 16384;
+
+    /// Sharding for the per-window pair sweep; the count is bit-identical
+    /// to the serial sweep at every thread count.
+    AnalysisOptions analysis = {};
+
+    obs::MetricsRegistry* metrics = nullptr;
+};
+
 class TimestampedTrace {
 public:
     /// Adopts an arena whose slot m holds message m's timestamp.
@@ -86,6 +112,16 @@ public:
     /// bit-identical to the serial sweep at every thread count.
     std::size_t verify_against_ground_truth(
         const AnalysisOptions& options = {}) const;
+
+    /// Spill-aware streamed verification: the ground truth is built by
+    /// the out-of-core `StreamingClosure` (chunks retired to
+    /// `options.spill` when set) and the pair sweep walks it one
+    /// chunk-window of rows at a time, so closure residency stays
+    /// O(chunk_rows · M/64) words instead of O(M²/64). The returned
+    /// count is bit-identical to the batch overload at every thread
+    /// count and chunk size.
+    std::size_t verify_against_ground_truth(
+        const StreamedVerifyOptions& options) const;
 
     /// "m3 = (1,1,1)"-style listing, 1-based like the paper's figures.
     std::string to_string() const;

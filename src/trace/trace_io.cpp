@@ -1,10 +1,12 @@
 #include "trace/trace_io.hpp"
 
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/checksum.hpp"
 
 namespace syncts {
 
@@ -126,6 +128,311 @@ SyncComputation read_computation(std::istream& in) {
 SyncComputation parse_computation(const std::string& text) {
     std::istringstream in(text);
     return read_computation(in);
+}
+
+// ---------------------------------------------------------------------------
+// SYTR v2 streaming binary format.
+
+namespace {
+
+constexpr char kStreamMagic[4] = {'S', 'Y', 'T', 'R'};
+
+void append_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t read_varint(std::span<const std::uint8_t> bytes,
+                          std::size_t& at, const char* what) {
+    std::uint64_t v = 0;
+    for (std::size_t shift = 0; shift < 64; shift += 7) {
+        SYNCTS_REQUIRE(at < bytes.size(),
+                       std::string("truncated varint for ") + what);
+        const std::uint8_t byte = bytes[at++];
+        v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+        if ((byte & 0x80) == 0) return v;
+    }
+    throw std::invalid_argument(std::string("overlong varint for ") + what);
+}
+
+void append_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+    for (std::size_t i = 0; i < 4; ++i) {
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+}
+
+/// Seals and writes one frame: the already-assembled prefix (tag bytes)
+/// plus payload_len + payload + trailer.
+void write_frame(std::ostream& out, std::vector<std::uint8_t>& frame,
+                 std::span<const std::uint8_t> payload) {
+    SYNCTS_REQUIRE(payload.size() <= kStreamFrameCap,
+                   "stream frame payload over cap");
+    append_u32le(frame, static_cast<std::uint32_t>(payload.size()));
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    common::append_checksum_trailer(frame, 0);
+    out.write(reinterpret_cast<const char*>(frame.data()),
+              static_cast<std::streamsize>(frame.size()));
+    SYNCTS_REQUIRE(static_cast<bool>(out), "stream write failed");
+}
+
+/// Reads `n` bytes into frame (appending); throws on EOF.
+void read_exact(std::istream& in, std::vector<std::uint8_t>& frame,
+                std::size_t n, const char* what) {
+    const std::size_t start = frame.size();
+    frame.resize(start + n);
+    in.read(reinterpret_cast<char*>(frame.data() + start),
+            static_cast<std::streamsize>(n));
+    SYNCTS_REQUIRE(static_cast<std::size_t>(in.gcount()) == n,
+                   std::string("stream truncated reading ") + what);
+}
+
+/// Validates the trailer sealing frame[0..frame.size()-8).
+void check_frame_trailer(const std::vector<std::uint8_t>& frame,
+                         const char* what) {
+    const std::size_t sealed = frame.size() - common::kChecksumTrailerBytes;
+    const std::uint64_t declared = common::read_checksum_trailer(frame, sealed);
+    const std::uint64_t actual =
+        common::fnv1a64({frame.data(), sealed});
+    SYNCTS_REQUIRE(declared == actual,
+                   std::string("stream checksum mismatch in ") + what);
+}
+
+}  // namespace
+
+StreamingTraceWriter::StreamingTraceWriter(std::ostream& out,
+                                           const Graph& topology,
+                                           std::size_t chunk_events)
+    : out_(out),
+      num_processes_(topology.num_vertices()),
+      chunk_events_(chunk_events == 0 ? 1 : chunk_events) {
+    std::vector<std::uint8_t> payload;
+    append_varint(payload, topology.num_vertices());
+    append_varint(payload, topology.num_edges());
+    for (const Edge& e : topology.edges()) {
+        append_varint(payload, e.u);
+        append_varint(payload, e.v);
+    }
+    std::vector<std::uint8_t> frame(std::begin(kStreamMagic),
+                                    std::end(kStreamMagic));
+    frame.push_back(kStreamTraceVersion);
+    write_frame(out_, frame, payload);
+}
+
+void StreamingTraceWriter::add_message(ProcessId sender, ProcessId receiver) {
+    SYNCTS_REQUIRE(!finished_, "stream already finished");
+    SYNCTS_REQUIRE(sender < num_processes_ && receiver < num_processes_,
+                   "endpoint out of range");
+    SYNCTS_REQUIRE(sender != receiver, "a message needs distinct endpoints");
+    chunk_.push_back(
+        static_cast<std::uint8_t>(TraceRecord::Kind::message));
+    append_varint(chunk_, sender);
+    append_varint(chunk_, receiver);
+    ++chunk_count_;
+    ++total_events_;
+    if (chunk_count_ >= chunk_events_) flush_chunk();
+}
+
+void StreamingTraceWriter::add_internal(ProcessId process) {
+    SYNCTS_REQUIRE(!finished_, "stream already finished");
+    SYNCTS_REQUIRE(process < num_processes_, "process out of range");
+    chunk_.push_back(
+        static_cast<std::uint8_t>(TraceRecord::Kind::internal));
+    append_varint(chunk_, process);
+    ++chunk_count_;
+    ++total_events_;
+    if (chunk_count_ >= chunk_events_) flush_chunk();
+}
+
+void StreamingTraceWriter::flush_chunk() {
+    if (chunk_count_ == 0) return;
+    std::vector<std::uint8_t> payload;
+    payload.reserve(chunk_.size() + 4);
+    append_varint(payload, chunk_count_);
+    payload.insert(payload.end(), chunk_.begin(), chunk_.end());
+    std::vector<std::uint8_t> frame;
+    frame.push_back(static_cast<std::uint8_t>('C'));
+    write_frame(out_, frame, payload);
+    chunk_.clear();
+    chunk_count_ = 0;
+}
+
+void StreamingTraceWriter::finish() {
+    if (finished_) return;
+    flush_chunk();
+    std::vector<std::uint8_t> payload;
+    append_varint(payload, total_events_);
+    std::vector<std::uint8_t> frame;
+    frame.push_back(static_cast<std::uint8_t>('E'));
+    write_frame(out_, frame, payload);
+    out_.flush();
+    finished_ = true;
+}
+
+StreamingTraceReader::StreamingTraceReader(std::istream& in) : in_(in) {
+    frame_.clear();
+    read_exact(in_, frame_, 4 + 1 + 4, "stream header");
+    for (std::size_t i = 0; i < 4; ++i) {
+        SYNCTS_REQUIRE(frame_[i] == static_cast<std::uint8_t>(kStreamMagic[i]),
+                       "not a SYTR stream (bad magic)");
+    }
+    SYNCTS_REQUIRE(frame_[4] == kStreamTraceVersion,
+                   "unsupported SYTR stream version " +
+                       std::to_string(frame_[4]));
+    std::uint32_t payload_len = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        payload_len |= static_cast<std::uint32_t>(frame_[5 + i]) << (8 * i);
+    }
+    SYNCTS_REQUIRE(payload_len <= kStreamFrameCap,
+                   "hostile header length " + std::to_string(payload_len));
+    read_exact(in_, frame_, payload_len + common::kChecksumTrailerBytes,
+               "stream header payload");
+    check_frame_trailer(frame_, "stream header");
+
+    const std::span<const std::uint8_t> payload{frame_.data() + 9,
+                                                payload_len};
+    std::size_t at = 0;
+    const std::uint64_t n = read_varint(payload, at, "process count");
+    const std::uint64_t e = read_varint(payload, at, "edge count");
+    SYNCTS_REQUIRE(n <= kNoProcess, "hostile process count");
+    // Each edge costs at least two payload bytes — reject counts the
+    // payload cannot possibly hold before allocating for them.
+    SYNCTS_REQUIRE(e <= (payload.size() - at) / 2 + 1,
+                   "hostile edge count " + std::to_string(e));
+    Graph g(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < e; ++i) {
+        const std::uint64_t u = read_varint(payload, at, "edge endpoint");
+        const std::uint64_t v = read_varint(payload, at, "edge endpoint");
+        SYNCTS_REQUIRE(u < n && v < n, "edge endpoint out of range");
+        g.add_edge(static_cast<ProcessId>(u), static_cast<ProcessId>(v));
+    }
+    SYNCTS_REQUIRE(at == payload.size(),
+                   "trailing garbage in stream header");
+    topology_ = std::move(g);
+}
+
+void StreamingTraceReader::pull_frame() {
+    frame_.clear();
+    read_exact(in_, frame_, 1 + 4, "frame tag");
+    const char tag = static_cast<char>(frame_[0]);
+    SYNCTS_REQUIRE(tag == 'C' || tag == 'E',
+                   std::string("unknown frame tag '") + tag + "'");
+    std::uint32_t payload_len = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        payload_len |= static_cast<std::uint32_t>(frame_[1 + i]) << (8 * i);
+    }
+    SYNCTS_REQUIRE(payload_len <= kStreamFrameCap,
+                   "hostile frame length " + std::to_string(payload_len));
+    read_exact(in_, frame_, payload_len + common::kChecksumTrailerBytes,
+               "frame payload");
+    check_frame_trailer(frame_, tag == 'C' ? "chunk frame" : "end frame");
+
+    const std::span<const std::uint8_t> payload{frame_.data() + 5,
+                                                payload_len};
+    std::size_t at = 0;
+    if (tag == 'E') {
+        const std::uint64_t total = read_varint(payload, at, "event total");
+        SYNCTS_REQUIRE(at == payload.size(),
+                       "trailing garbage in end frame");
+        SYNCTS_REQUIRE(total == events_read_,
+                       "end frame declares " + std::to_string(total) +
+                           " events but " + std::to_string(events_read_) +
+                           " were read");
+        finished_ = true;
+        return;
+    }
+    const std::uint64_t count = read_varint(payload, at, "record count");
+    // Every record costs at least two payload bytes.
+    SYNCTS_REQUIRE(count > 0 && count <= (payload.size() - at) / 2 + 1,
+                   "hostile record count " + std::to_string(count));
+    const std::uint64_t n = topology_.num_vertices();
+    pending_.clear();
+    pending_.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+        SYNCTS_REQUIRE(at < payload.size(), "truncated record");
+        const std::uint8_t kind = payload[at++];
+        TraceRecord record;
+        if (kind == static_cast<std::uint8_t>(TraceRecord::Kind::message)) {
+            const std::uint64_t s = read_varint(payload, at, "sender");
+            const std::uint64_t r = read_varint(payload, at, "receiver");
+            SYNCTS_REQUIRE(s < n && r < n, "endpoint out of range");
+            SYNCTS_REQUIRE(s != r, "self-message in stream");
+            record.kind = TraceRecord::Kind::message;
+            record.a = static_cast<ProcessId>(s);
+            record.b = static_cast<ProcessId>(r);
+        } else if (kind ==
+                   static_cast<std::uint8_t>(TraceRecord::Kind::internal)) {
+            const std::uint64_t p = read_varint(payload, at, "process");
+            SYNCTS_REQUIRE(p < n, "process out of range");
+            record.kind = TraceRecord::Kind::internal;
+            record.a = static_cast<ProcessId>(p);
+        } else {
+            throw std::invalid_argument("unknown record kind " +
+                                        std::to_string(kind));
+        }
+        pending_.push_back(record);
+    }
+    SYNCTS_REQUIRE(at == payload.size(),
+                   "trailing garbage in chunk frame");
+    pending_at_ = 0;
+}
+
+std::optional<TraceRecord> StreamingTraceReader::next() {
+    while (pending_at_ >= pending_.size()) {
+        if (finished_) return std::nullopt;
+        pull_frame();
+    }
+    ++events_read_;
+    return pending_[pending_at_++];
+}
+
+void write_binary_computation(std::ostream& out,
+                              const SyncComputation& computation) {
+    StreamingTraceWriter writer(out, computation.topology());
+    // Same instant-order interleaving as the text writer: messages in id
+    // order, each preceded by the internal events before it in its
+    // endpoints' sequences.
+    std::vector<std::size_t> cursor(computation.num_processes(), 0);
+    const auto drain = [&](ProcessId p, MessageId until) {
+        const auto events = computation.process_events(p);
+        while (cursor[p] < events.size()) {
+            const ProcessEvent& e = events[cursor[p]];
+            if (e.kind == ProcessEvent::Kind::message) {
+                SYNCTS_ENSURE(until != kNoMessage && e.index == until,
+                              "trace serialization out of order");
+                ++cursor[p];
+                return;
+            }
+            writer.add_internal(p);
+            ++cursor[p];
+        }
+        SYNCTS_ENSURE(until == kNoMessage, "message missing from sequence");
+    };
+    for (const SyncMessage& m : computation.messages()) {
+        drain(m.sender, m.id);
+        drain(m.receiver, m.id);
+        writer.add_message(m.sender, m.receiver);
+    }
+    for (ProcessId p = 0; p < computation.num_processes(); ++p) {
+        drain(p, kNoMessage);
+    }
+    writer.finish();
+}
+
+SyncComputation read_binary_computation(std::istream& in) {
+    StreamingTraceReader reader(in);
+    SyncComputation computation(reader.topology());
+    while (const auto record = reader.next()) {
+        if (record->kind == TraceRecord::Kind::message) {
+            computation.add_message(record->a, record->b);
+        } else {
+            computation.add_internal(record->a);
+        }
+    }
+    SYNCTS_REQUIRE(reader.finished(), "stream ended without end frame");
+    return computation;
 }
 
 }  // namespace syncts

@@ -174,6 +174,83 @@ TEST(TimestampArena, DefaultCeilingIsTheHandleSpace) {
     EXPECT_EQ(arena.max_slots(), static_cast<std::size_t>(kNoTimestamp));
 }
 
+TEST(TimestampArena, FourBillionSlotReserveThrowsInsteadOfWrapping) {
+    // A streamed ingestion that tried to keep every stamp resident would
+    // eventually ask for more slots than the 32-bit handle space. The
+    // guard must refuse with the typed error BEFORE touching the slab —
+    // a wrapped TsHandle would silently alias slot 0.
+    TimestampArena arena(2);
+    EXPECT_THROW(arena.reserve(5'000'000'000ull), ArenaFullError);
+    EXPECT_EQ(arena.size(), 0u);
+    EXPECT_EQ(arena.capacity(), 0u);
+    // Ceiling refusal is not sticky: normal use continues.
+    EXPECT_NO_THROW(arena.allocate());
+}
+
+// ---- WindowedTimestampArena (docs/STREAMING.md) ------------------------
+
+TEST(WindowedArena, RingRetiresOldestAndKeepsResidencyBounded) {
+    WindowedTimestampArena window(2, 4);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        const std::vector<std::uint64_t> stamp{i, i + 100};
+        EXPECT_EQ(window.push(stamp), i);
+        EXPECT_LE(window.resident(), 4u);
+    }
+    EXPECT_EQ(window.frontier(), 6u);
+    EXPECT_EQ(window.next(), 10u);
+    for (std::uint64_t id = 6; id < 10; ++id) {
+        ASSERT_TRUE(window.is_resident(id));
+        EXPECT_EQ(window.span(id)[0], id);
+        EXPECT_EQ(window.span(id)[1], id + 100);
+    }
+}
+
+TEST(WindowedArena, RetiredReadThrowsTypedError) {
+    WindowedTimestampArena window(1, 2);
+    const std::vector<std::uint64_t> stamp{7};
+    window.push(stamp);
+    window.push(stamp);
+    window.push(stamp);  // retires id 0
+    try {
+        (void)window.span(0);
+        FAIL() << "expected RetiredStampError";
+    } catch (const RetiredStampError& e) {
+        EXPECT_EQ(e.id(), 0u);
+    }
+    EXPECT_THROW((void)window.span(99), RetiredStampError);
+    EXPECT_FALSE(window.is_resident(0));
+    EXPECT_TRUE(window.is_resident(2));
+}
+
+TEST(WindowedArena, LogicalIdsCrossTheHandleSpaceWithoutWrapping) {
+    // Seed the id stream just below 2^32: pushes walk logical ids past
+    // the 32-bit slot ceiling a plain arena would refuse, while the ring
+    // keeps recycling the same `window` physical slots.
+    const std::uint64_t boundary = (std::uint64_t{1} << 32) - 2;
+    WindowedTimestampArena window(1, 3, nullptr, boundary);
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        const std::vector<std::uint64_t> stamp{i};
+        EXPECT_EQ(window.push(stamp), boundary + i);
+    }
+    EXPECT_EQ(window.frontier(), boundary + 3);
+    EXPECT_EQ(window.next(), boundary + 6);
+    EXPECT_FALSE(window.is_resident(boundary + 2));
+    EXPECT_THROW((void)window.span(boundary + 2), RetiredStampError);
+    for (std::uint64_t i = 3; i < 6; ++i) {
+        EXPECT_EQ(window.span(boundary + i)[0], i);
+    }
+}
+
+TEST(WindowedArena, SteadyStatePushIsAllocationFree) {
+    WindowedTimestampArena window(8, 16);
+    const std::vector<std::uint64_t> stamp(8, 42);
+    window.push(stamp);  // warm
+    const std::size_t before = g_allocations.load();
+    for (int i = 0; i < 1000; ++i) (void)window.push(stamp);
+    EXPECT_EQ(g_allocations.load(), before)
+        << "the ring must recycle slots, never grow";
+}
+
 // ---- SlabPool ----------------------------------------------------------
 
 TEST(SlabPool, RecyclesWithinASizeClass) {

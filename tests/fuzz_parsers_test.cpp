@@ -8,12 +8,15 @@
 
 #include <cstdint>
 #include <span>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "clocks/online_clock.hpp"
 #include "clocks/wire.hpp"
+#include "common/checksum.hpp"
 #include "common/rng.hpp"
+#include "common/spill_store.hpp"
 #include "decomp/cover_decomposer.hpp"
 #include "decomp/decomp_io.hpp"
 #include "obs/flight_recorder.hpp"
@@ -781,6 +784,328 @@ TEST(FuzzParsers, BatchContainerMutatedRealTraffic) {
         } catch (const WireError&) {
             // structural break — remainder of the container is lost
         }
+    }
+}
+
+// ---- SYTR streaming trace format (trace/trace_io.hpp) ------------------
+
+// Small chunks so truncation cuts land inside chunk frames, between
+// frames, and inside the end frame.
+std::string valid_sytr_stream(std::size_t chunk_events) {
+    const SyncComputation c = testing::random_workload(
+        topology::client_server(2, 3), 50, 0.4, 5022);
+    std::stringstream out;
+    StreamingTraceWriter writer(out, c.topology(), chunk_events);
+    for (const SyncMessage& m : c.messages()) {
+        writer.add_message(m.sender, m.receiver);
+        if (m.id % 3 == 0) writer.add_internal(m.sender);
+    }
+    writer.finish();
+    return out.str();
+}
+
+void append_test_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+// Seals `payload` behind `prefix` (magic+version or a frame tag) with
+// the u32le length + FNV trailer framing the SYTR reader validates.
+std::string sytr_frame(std::vector<std::uint8_t> prefix,
+                       const std::vector<std::uint8_t>& payload) {
+    prefix.push_back(static_cast<std::uint8_t>(payload.size()));
+    prefix.push_back(static_cast<std::uint8_t>(payload.size() >> 8));
+    prefix.push_back(static_cast<std::uint8_t>(payload.size() >> 16));
+    prefix.push_back(static_cast<std::uint8_t>(payload.size() >> 24));
+    prefix.insert(prefix.end(), payload.begin(), payload.end());
+    common::append_checksum_trailer(prefix, 0);
+    return std::string(reinterpret_cast<const char*>(prefix.data()),
+                       prefix.size());
+}
+
+void expect_sytr_no_crash(const std::string& bytes) {
+    try {
+        std::istringstream in(bytes);
+        StreamingTraceReader reader(in);
+        while (reader.next().has_value()) {
+        }
+    } catch (const std::invalid_argument&) {
+        // expected for malformed input
+    }
+}
+
+TEST(FuzzParsers, SytrRandomSoup) {
+    Rng rng(5023);
+    for (int trial = 0; trial < 500; ++trial) {
+        std::string soup(10 + rng.below(200), '\0');
+        for (auto& ch : soup) ch = static_cast<char>(rng.below(256));
+        expect_sytr_no_crash(soup);
+    }
+    // Soup behind a valid magic + version prefix still has to clear the
+    // length guard and the frame checksum.
+    for (int trial = 0; trial < 500; ++trial) {
+        std::string prefixed("SYTR\x02", 5);
+        const std::size_t body = rng.below(160);
+        for (std::size_t i = 0; i < body; ++i) {
+            prefixed.push_back(static_cast<char>(rng.below(256)));
+        }
+        expect_sytr_no_crash(prefixed);
+    }
+}
+
+TEST(FuzzParsers, SytrTruncationMidChunk) {
+    // Every strict prefix of a valid multi-frame stream must throw: the
+    // header, chunk, and end frames each seal with a checksum trailer,
+    // and a missing end frame is itself a truncation.
+    const std::string valid = valid_sytr_stream(4);
+    for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+        std::istringstream in(valid.substr(0, cut));
+        EXPECT_THROW(
+            {
+                StreamingTraceReader reader(in);
+                while (reader.next().has_value()) {
+                }
+            },
+            std::invalid_argument)
+            << "cut " << cut;
+    }
+    // The unmutilated stream parses to completion.
+    std::istringstream in(valid);
+    StreamingTraceReader reader(in);
+    std::uint64_t events = 0;
+    while (reader.next().has_value()) ++events;
+    EXPECT_TRUE(reader.finished());
+    EXPECT_GT(events, 50u);
+}
+
+TEST(FuzzParsers, SytrBitFlipSoup) {
+    Rng rng(5024);
+    const std::string valid = valid_sytr_stream(7);
+    std::istringstream reference_in(valid);
+    StreamingTraceReader reference(reference_in);
+    std::uint64_t total = 0;
+    while (reference.next().has_value()) ++total;
+
+    for (int trial = 0; trial < 600; ++trial) {
+        std::string mutated = valid;
+        const std::size_t edits = 1 + rng.below(4);
+        for (std::size_t e = 0; e < edits; ++e) {
+            const std::size_t pos = rng.below(mutated.size());
+            switch (rng.below(3)) {
+                case 0:
+                    mutated[pos] = static_cast<char>(
+                        static_cast<std::uint8_t>(mutated[pos]) ^
+                        (1u << rng.below(8)));
+                    break;
+                case 1: mutated.erase(pos, 1); break;
+                default:
+                    mutated.insert(pos, 1,
+                                   static_cast<char>(rng.below(256)));
+                    break;
+            }
+        }
+        try {
+            std::istringstream in(mutated);
+            StreamingTraceReader reader(in);
+            std::uint64_t events = 0;
+            while (reader.next().has_value()) ++events;
+            // Completing the stream requires every touched frame's
+            // checksum to have collided — then the totals still agree.
+            if (reader.finished()) {
+                EXPECT_EQ(events, total);
+            }
+        } catch (const std::invalid_argument&) {
+            // expected for nearly every mutation
+        }
+    }
+}
+
+TEST(FuzzParsers, SytrHostileCountsBehindValidChecksums) {
+    // Checksum-valid header frames whose varints lie: a hostile process
+    // or edge count must be rejected by the structural guards, not by
+    // attempting a four-billion-entry allocation.
+    const auto hostile_header =
+        [](std::uint64_t n, std::uint64_t e,
+           const std::vector<std::uint64_t>& edge_fields) {
+            std::vector<std::uint8_t> payload;
+            append_test_varint(payload, n);
+            append_test_varint(payload, e);
+            for (const std::uint64_t v : edge_fields) {
+                append_test_varint(payload, v);
+            }
+            return sytr_frame({'S', 'Y', 'T', 'R', 2}, payload);
+        };
+
+    const std::vector<std::pair<std::string, std::string>> cases = {
+        {"hostile process count", hostile_header(UINT64_MAX, 0, {})},
+        {"hostile edge count", hostile_header(3, UINT64_MAX, {})},
+        {"edge endpoint out of range", hostile_header(2, 1, {5, 1})},
+        {"trailing payload garbage", hostile_header(2, 1, {0, 1, 99})},
+    };
+    for (const auto& [what, bytes] : cases) {
+        std::istringstream in(bytes);
+        EXPECT_THROW(StreamingTraceReader reader(in), std::invalid_argument)
+            << what;
+    }
+
+    // Behind a genuinely valid header, hostile chunk frames: a lying
+    // record count, an out-of-range endpoint, a self-message, and an
+    // unknown record kind must each throw before any record is yielded.
+    const std::string header = hostile_header(2, 1, {0, 1});
+    const auto hostile_chunk =
+        [&](const std::vector<std::uint8_t>& payload) {
+            return header + sytr_frame({'C'}, payload);
+        };
+    const auto record = [](std::uint8_t kind,
+                           const std::vector<std::uint64_t>& fields) {
+        std::vector<std::uint8_t> bytes{kind};
+        for (const std::uint64_t v : fields) append_test_varint(bytes, v);
+        return bytes;
+    };
+    std::vector<std::pair<std::string, std::vector<std::uint8_t>>> chunks;
+    {
+        std::vector<std::uint8_t> lying_count;
+        append_test_varint(lying_count, UINT64_MAX);
+        chunks.emplace_back("hostile record count", lying_count);
+
+        std::vector<std::uint8_t> bad_endpoint;
+        append_test_varint(bad_endpoint, 1);
+        const auto r1 = record(0, {0, 7});
+        bad_endpoint.insert(bad_endpoint.end(), r1.begin(), r1.end());
+        chunks.emplace_back("endpoint out of range", bad_endpoint);
+
+        std::vector<std::uint8_t> self_message;
+        append_test_varint(self_message, 1);
+        const auto r2 = record(0, {1, 1});
+        self_message.insert(self_message.end(), r2.begin(), r2.end());
+        chunks.emplace_back("self-message", self_message);
+
+        std::vector<std::uint8_t> bad_kind;
+        append_test_varint(bad_kind, 1);
+        const auto r3 = record(9, {0});
+        bad_kind.insert(bad_kind.end(), r3.begin(), r3.end());
+        chunks.emplace_back("unknown record kind", bad_kind);
+    }
+    for (const auto& [what, payload] : chunks) {
+        std::istringstream in(hostile_chunk(payload));
+        StreamingTraceReader reader(in);
+        EXPECT_THROW((void)reader.next(), std::invalid_argument) << what;
+    }
+
+    // Sanity: the same header followed by a well-formed chunk and end
+    // frame parses cleanly — the rejections above are the guards, not
+    // an over-strict reader.
+    std::vector<std::uint8_t> good_payload;
+    append_test_varint(good_payload, 1);
+    const auto good_record = record(0, {0, 1});
+    good_payload.insert(good_payload.end(), good_record.begin(),
+                        good_record.end());
+    std::vector<std::uint8_t> end_payload;
+    append_test_varint(end_payload, 1);
+    std::istringstream in(header + sytr_frame({'C'}, good_payload) +
+                          sytr_frame({'E'}, end_payload));
+    StreamingTraceReader reader(in);
+    std::uint64_t events = 0;
+    while (reader.next().has_value()) ++events;
+    EXPECT_EQ(events, 1u);
+    EXPECT_TRUE(reader.finished());
+}
+
+// ---- SpillStore chunk codec (common/spill_store.hpp) -------------------
+
+TEST(FuzzParsers, SpillChunkRandomSoup) {
+    Rng rng(5025);
+    std::uint64_t rejects = 0;
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::vector<std::uint8_t> bytes(rng.below(96));
+        for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.below(256));
+        try {
+            (void)SpillStore::decode_chunk(bytes, rng.below(4));
+        } catch (const SpillError&) {
+            ++rejects;
+        }
+    }
+    // The magic + checksum make accidental acceptance implausible.
+    EXPECT_EQ(rejects, 2000u);
+}
+
+TEST(FuzzParsers, SpillChunkTruncationsAndTrailingBytes) {
+    std::vector<std::uint8_t> payload(100);
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+        payload[i] = static_cast<std::uint8_t>(i * 3);
+    }
+    std::vector<std::uint8_t> frame;
+    SpillStore::encode_chunk(11, payload, frame);
+    for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+        const std::span<const std::uint8_t> prefix(frame.data(), cut);
+        EXPECT_THROW((void)SpillStore::decode_chunk(prefix, 11), SpillError)
+            << "cut " << cut;
+    }
+    auto padded = frame;
+    padded.push_back(0);
+    EXPECT_THROW((void)SpillStore::decode_chunk(padded, 11), SpillError);
+}
+
+TEST(FuzzParsers, SpillChunkMutatedValidFrames) {
+    Rng rng(5026);
+    std::vector<std::uint8_t> payload(64);
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+        payload[i] = static_cast<std::uint8_t>(0xA0 + i);
+    }
+    std::vector<std::uint8_t> frame;
+    SpillStore::encode_chunk(3, payload, frame);
+    for (int trial = 0; trial < 1500; ++trial) {
+        auto mutated = frame;
+        const std::size_t edits = 1 + rng.below(4);
+        for (std::size_t e = 0; e < edits; ++e) {
+            const std::size_t pos = rng.below(mutated.size());
+            switch (rng.below(3)) {
+                case 0:
+                    mutated[pos] ^=
+                        static_cast<std::uint8_t>(1u << rng.below(8));
+                    break;
+                case 1: mutated.erase(mutated.begin() +
+                                      static_cast<long>(pos)); break;
+                default:
+                    mutated.insert(mutated.begin() + static_cast<long>(pos),
+                                   static_cast<std::uint8_t>(rng.below(256)));
+                    break;
+            }
+        }
+        try {
+            const auto decoded = SpillStore::decode_chunk(mutated, 3);
+            // Only a checksum collision decodes — content must match.
+            EXPECT_TRUE(std::equal(decoded.begin(), decoded.end(),
+                                   payload.begin(), payload.end()));
+        } catch (const SpillError&) {
+            // expected for nearly every mutation
+        }
+    }
+}
+
+TEST(FuzzParsers, SpillChunkHostileLengthAndWrongId) {
+    std::vector<std::uint8_t> payload{1, 2, 3, 4};
+    std::vector<std::uint8_t> frame;
+    SpillStore::encode_chunk(6, payload, frame);
+
+    // Reading under the wrong id is a format error even though every
+    // byte is intact — chunk identity is part of the contract.
+    EXPECT_THROW((void)SpillStore::decode_chunk(frame, 7), SpillError);
+
+    // A hostile length field (huge u64 at offset 13) must be caught by
+    // the length-consistency check before any allocation-sized trust.
+    auto hostile = frame;
+    for (std::size_t i = 0; i < 8; ++i) {
+        hostile[13 + i] = 0xFF;
+    }
+    try {
+        (void)SpillStore::decode_chunk(hostile, 6);
+        FAIL() << "expected SpillError";
+    } catch (const SpillError& e) {
+        EXPECT_NE(e.kind(), SpillError::Kind::io);
     }
 }
 

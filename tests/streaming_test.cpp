@@ -1,0 +1,492 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "clocks/online_clock.hpp"
+#include "common/pool.hpp"
+#include "common/scaled.hpp"
+#include "common/spill_store.hpp"
+#include "core/causality.hpp"
+#include "core/streaming_index.hpp"
+#include "core/sync_system.hpp"
+#include "core/timestamped_trace.hpp"
+#include "poset/streaming_closure.hpp"
+#include "test_util.hpp"
+#include "trace/ground_truth.hpp"
+#include "trace/trace_io.hpp"
+
+// The streaming/out-of-core acceptance suite (docs/STREAMING.md): the
+// frontier-retiring closure, the incremental precedence index, and the
+// spill-aware streamed verification must each be bit-identical to their
+// in-memory counterparts across 500 seeded schedules, with the batch
+// legs exercised at 1, 2 and 8 threads.
+
+namespace syncts {
+namespace {
+
+// ---- parse_scaled_count (tools/syncts_stats --events) ------------------
+
+TEST(ScaledCount, ParsesPlainAndSuffixedValues) {
+    EXPECT_EQ(common::parse_scaled_count("0"), 0u);
+    EXPECT_EQ(common::parse_scaled_count("200"), 200u);
+    EXPECT_EQ(common::parse_scaled_count("5k"), 5'000u);
+    EXPECT_EQ(common::parse_scaled_count("5K"), 5'000u);
+    EXPECT_EQ(common::parse_scaled_count("2m"), 2'000'000u);
+    EXPECT_EQ(common::parse_scaled_count("2M"), 2'000'000u);
+}
+
+TEST(ScaledCount, TenMillionDoesNotOverflow) {
+    // The regression: "--events 10m" must come back as exactly 10^7,
+    // not a wrapped 32-bit value.
+    EXPECT_EQ(common::parse_scaled_count("10m"), 10'000'000u);
+    EXPECT_EQ(common::parse_scaled_count("4000m"), 4'000'000'000u);
+    EXPECT_EQ(common::parse_scaled_count("18446744073709551615"),
+              UINT64_MAX);
+}
+
+TEST(ScaledCount, RejectsOverflowAndGarbage) {
+    EXPECT_FALSE(common::parse_scaled_count("18446744073709551616"));
+    EXPECT_FALSE(common::parse_scaled_count("18446744073709551615k"));
+    EXPECT_FALSE(common::parse_scaled_count("99999999999999999999m"));
+    EXPECT_FALSE(common::parse_scaled_count(""));
+    EXPECT_FALSE(common::parse_scaled_count("k"));
+    EXPECT_FALSE(common::parse_scaled_count("12x"));
+    EXPECT_FALSE(common::parse_scaled_count("12kk"));
+    EXPECT_FALSE(common::parse_scaled_count("12k3"));
+    EXPECT_FALSE(common::parse_scaled_count("-5"));
+    EXPECT_FALSE(common::parse_scaled_count(" 5"));
+}
+
+// ---- SpillStore --------------------------------------------------------
+
+std::string spill_dir(const char* name) {
+    return ::testing::TempDir() + "syncts_streaming_" + name;
+}
+
+TEST(SpillStore, RoundTripsChunksThroughDisk) {
+    SpillStore store(spill_dir("roundtrip"));
+    const std::vector<std::uint8_t> a{1, 2, 3, 4, 5};
+    const std::vector<std::uint8_t> b(1000, 0xAB);
+    store.put(0, a);
+    store.put(7, b);
+    EXPECT_TRUE(store.contains(0));
+    EXPECT_TRUE(store.contains(7));
+    EXPECT_FALSE(store.contains(3));
+    EXPECT_EQ(store.chunk_count(), 2u);
+
+    std::vector<std::uint8_t> out;
+    store.get(7, out);
+    EXPECT_EQ(out, b);
+    store.get(0, out);
+    EXPECT_EQ(out, a);
+    EXPECT_EQ(store.bytes_written(), 1005u);  // payload bytes, not framing
+    EXPECT_EQ(store.bytes_read(), 1005u);
+
+    store.remove(7);
+    EXPECT_FALSE(store.contains(7));
+    EXPECT_THROW(store.get(7, out), SpillError);
+}
+
+TEST(SpillStore, OverwriteReplacesPayload) {
+    SpillStore store(spill_dir("overwrite"));
+    store.put(3, std::vector<std::uint8_t>{9, 9, 9});
+    store.put(3, std::vector<std::uint8_t>{1});
+    std::vector<std::uint8_t> out;
+    store.get(3, out);
+    EXPECT_EQ(out, (std::vector<std::uint8_t>{1}));
+    EXPECT_EQ(store.chunk_count(), 1u);
+}
+
+TEST(SpillStore, MissingChunkIsTypedIoError) {
+    SpillStore store(spill_dir("missing"));
+    std::vector<std::uint8_t> out;
+    try {
+        store.get(42, out);
+        FAIL() << "expected SpillError";
+    } catch (const SpillError& e) {
+        EXPECT_EQ(e.kind(), SpillError::Kind::io);
+        EXPECT_EQ(e.chunk_id(), 42u);
+    }
+}
+
+TEST(SpillStore, FlippedBitOnDiskIsDetected) {
+    const std::string dir = spill_dir("bitflip");
+    SpillStore store(dir);
+    std::vector<std::uint8_t> payload(256);
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+        payload[i] = static_cast<std::uint8_t>(i);
+    }
+    store.put(5, payload);
+
+    // Flip one payload bit behind the store's back.
+    const std::string path = dir + "/chunk-5.spill";
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(kSpillHeaderBytes + 100),
+                         SEEK_SET),
+              0);
+    ASSERT_EQ(std::fputc(100 ^ 0x20, f), 100 ^ 0x20);
+    std::fclose(f);
+
+    std::vector<std::uint8_t> out;
+    try {
+        store.get(5, out);
+        FAIL() << "expected SpillError";
+    } catch (const SpillError& e) {
+        EXPECT_EQ(e.kind(), SpillError::Kind::checksum);
+        EXPECT_EQ(e.chunk_id(), 5u);
+    }
+}
+
+TEST(SpillStore, CodecRejectsTamperedFrames) {
+    std::vector<std::uint8_t> frame;
+    const std::vector<std::uint8_t> payload{10, 20, 30};
+    SpillStore::encode_chunk(9, payload, frame);
+
+    const auto decoded = SpillStore::decode_chunk(frame, 9);
+    EXPECT_TRUE(std::equal(decoded.begin(), decoded.end(),
+                           payload.begin(), payload.end()));
+
+    // Wrong id, truncation, and a flipped byte each throw typed errors.
+    EXPECT_THROW((void)SpillStore::decode_chunk(frame, 8), SpillError);
+    EXPECT_THROW((void)SpillStore::decode_chunk(
+                     std::span<const std::uint8_t>(frame.data(),
+                                                   frame.size() - 1),
+                     9),
+                 SpillError);
+    std::vector<std::uint8_t> bad = frame;
+    bad[kSpillHeaderBytes + 1] ^= 0x01;
+    EXPECT_THROW((void)SpillStore::decode_chunk(bad, 9), SpillError);
+}
+
+// ---- 500-seed equivalence sweeps ---------------------------------------
+
+// Same workload family as tests/parallel_test.cpp: five topology shapes,
+// 20-79 messages, seeded deterministically.
+Graph sweep_topology(std::uint64_t seed, Rng& rng) {
+    switch (seed % 5) {
+        case 0: return topology::complete(6);
+        case 1: return topology::ring(9);
+        case 2: return topology::star(8);
+        case 3: return topology::disjoint_triangles(3);
+        default: return topology::random_tree(10, rng);
+    }
+}
+
+SyncComputation sweep_computation(std::uint64_t seed) {
+    Rng rng(seed * 0x9E3779B97F4A7C15ull + 1);
+    const Graph g = sweep_topology(seed, rng);
+    WorkloadOptions options;
+    options.num_messages = 20 + seed % 60;
+    return random_computation(g, options, rng);
+}
+
+// Long-lived pools shared across seeds (the parallel_test discipline) so
+// 500 iterations don't pay 500 thread-team spawns.
+struct SweepPools : ::testing::Test {
+    Pool two{2};
+    Pool eight{8};
+
+    std::vector<AnalysisOptions> all_options() {
+        AnalysisOptions serial;
+        AnalysisOptions at_two;
+        at_two.pool = &two;
+        at_two.threads = 2;
+        AnalysisOptions at_eight;
+        at_eight.pool = &eight;
+        at_eight.threads = 8;
+        return {serial, at_two, at_eight};
+    }
+};
+
+using StreamingEquivalence = SweepPools;
+
+// Streamed closure rows must equal the batch Poset rows bit-for-bit —
+// checked via for_each_row against Poset::less for every ordered pair,
+// with a chunk size small enough that every schedule crosses several
+// retired chunks, and every fifth seed spilling through a real store.
+TEST_F(StreamingEquivalence, ClosureBitIdenticalOver500Seeds) {
+    const std::string dir = spill_dir("closure_sweep");
+    for (std::uint64_t seed = 0; seed < 500; ++seed) {
+        const SyncComputation c = sweep_computation(seed);
+        const std::size_t n = c.num_messages();
+
+        std::optional<SpillStore> store;
+        StreamingClosureOptions options;
+        options.chunk_rows = 8;
+        if (seed % 5 == 0) {
+            store.emplace(dir);
+            options.spill = &*store;
+            options.cached_chunks = 1;
+        }
+        StreamingClosure closure(c.num_processes(), n, options);
+        for (const SyncMessage& m : c.messages()) {
+            closure.ingest(m.sender, m.receiver);
+        }
+        closure.finish();
+
+        for (const AnalysisOptions& analysis : all_options()) {
+            const Poset truth = message_poset(c, analysis);
+            ASSERT_EQ(closure.relation_count(), truth.relation_count())
+                << "seed " << seed;
+            closure.for_each_row(
+                0, static_cast<MessageId>(n),
+                [&](MessageId b, std::span<const std::uint64_t> row) {
+                    for (MessageId a = 0; a < b; ++a) {
+                        const bool streamed =
+                            (row[a / 64] >> (a % 64)) & 1;
+                        ASSERT_EQ(streamed, truth.less(a, b))
+                            << "seed " << seed << " pair (" << a << ", "
+                            << b << ")";
+                    }
+                });
+            // Random-access queries agree too (exercises the LRU chunk
+            // cache path rather than the sequential walk).
+            Rng probes(seed ^ 0xCAFE);
+            for (int q = 0; q < 64; ++q) {
+                const auto a = static_cast<MessageId>(probes.below(n));
+                const auto b = static_cast<MessageId>(probes.below(n));
+                ASSERT_EQ(closure.less(a, b), a < b && truth.less(a, b))
+                    << "seed " << seed;
+            }
+        }
+    }
+}
+
+// The incremental index must answer every query exactly as the batch
+// TimestampedTrace: the vector fast path while both stamps are resident,
+// the spilled-closure fallback after retirement.
+TEST_F(StreamingEquivalence, IndexMatchesBatchTraceOver500Seeds) {
+    for (std::uint64_t seed = 0; seed < 500; ++seed) {
+        const SyncComputation c = sweep_computation(seed);
+        const std::size_t n = c.num_messages();
+        const SyncSystem system{Graph(c.topology())};
+        const TimestampedTrace trace = system.analyze(c);
+
+        StreamingClosureOptions closure_options;
+        closure_options.chunk_rows = 8;
+        StreamingClosure closure(c.num_processes(), n, closure_options);
+
+        StreamingIndexOptions options;
+        options.window = 16;  // < n: forces retirement mid-ingestion
+        options.closure = &closure;
+        IncrementalPrecedenceIndex index(system, options);
+
+        Rng probes(seed ^ 0xF00D);
+        for (const SyncMessage& m : c.messages()) {
+            const MessageId id = index.ingest_message(m.sender, m.receiver);
+            // Mid-ingestion probes over everything seen so far.
+            for (int q = 0; q < 4; ++q) {
+                const auto a = static_cast<MessageId>(probes.below(id + 1));
+                const auto b = static_cast<MessageId>(probes.below(id + 1));
+                ASSERT_EQ(index.precedes(a, b), trace.precedes(a, b))
+                    << "seed " << seed << " mid-ingestion (" << a << ", "
+                    << b << ")";
+            }
+        }
+        closure.finish();
+        ASSERT_EQ(index.size(), n);
+
+        for (MessageId a = 0; a < n; ++a) {
+            for (MessageId b = 0; b < n; ++b) {
+                ASSERT_EQ(index.precedes(a, b), trace.precedes(a, b))
+                    << "seed " << seed << " pair (" << a << ", " << b
+                    << ")";
+            }
+        }
+    }
+}
+
+// Without a closure attached, a query against a retired stamp must be a
+// typed refusal — never a wrong answer.
+TEST_F(StreamingEquivalence, RetiredQueryWithoutClosureThrows) {
+    const SyncComputation c = sweep_computation(1);
+    const SyncSystem system{Graph(c.topology())};
+    StreamingIndexOptions options;
+    options.window = 4;
+    IncrementalPrecedenceIndex index(system, options);
+    for (const SyncMessage& m : c.messages()) {
+        index.ingest_message(m.sender, m.receiver);
+    }
+    EXPECT_FALSE(index.is_resident(0));
+    EXPECT_THROW((void)index.precedes(0, static_cast<MessageId>(
+                                             c.num_messages() - 1)),
+                 RetiredStampError);
+}
+
+// Streamed sharded verification must return the batch verdict exactly,
+// at every thread count and chunk size, clean or corrupted.
+TEST_F(StreamingEquivalence, VerifyStreamedMatchesBatchOver500Seeds) {
+    const std::string dir = spill_dir("verify_sweep");
+    for (std::uint64_t seed = 0; seed < 500; ++seed) {
+        const SyncComputation c = sweep_computation(seed);
+        const SyncSystem system{Graph(c.topology())};
+        const TimestampedTrace trace = system.analyze(c);
+        const std::size_t batch = trace.verify_against_ground_truth();
+
+        std::optional<SpillStore> store;
+        if (seed % 5 == 0) store.emplace(dir);
+        for (const AnalysisOptions& analysis : all_options()) {
+            StreamedVerifyOptions options;
+            options.chunk_rows = 1 + seed % 17;
+            options.min_streamed_messages = 0;  // force the streamed path
+            options.analysis = analysis;
+            options.spill = store ? &*store : nullptr;
+            ASSERT_EQ(trace.verify_against_ground_truth(options), batch)
+                << "seed " << seed << " threads " << analysis.threads;
+            if (store) {
+                // The sweep's closure chunks are scratch; clear them so
+                // the next leg starts from an empty store.
+                store.emplace(dir);
+            }
+        }
+        ASSERT_EQ(batch, 0u) << "seed " << seed;
+    }
+}
+
+TEST_F(StreamingEquivalence, VerifyAgreesOnCorruptedStamps) {
+    for (std::uint64_t seed = 0; seed < 50; ++seed) {
+        const SyncComputation c = sweep_computation(seed);
+        const SyncSystem system{Graph(c.topology())};
+        const TimestampedTrace good = system.analyze(c);
+
+        // Wreck the first message's stamp: every component pinned to
+        // max, so pairs that truly order against message 0 misreport.
+        TimestampArena stamps = good.stamps();
+        for (auto& word : stamps.span(0)) word = ~std::uint64_t{0};
+        const TimestampedTrace corrupted(SyncComputation(c),
+                                         std::move(stamps));
+
+        const std::size_t batch = corrupted.verify_against_ground_truth();
+        EXPECT_GT(batch, 0u) << "seed " << seed;
+        for (const AnalysisOptions& analysis : all_options()) {
+            StreamedVerifyOptions options;
+            options.chunk_rows = 4;
+            options.min_streamed_messages = 0;
+            options.analysis = analysis;
+            ASSERT_EQ(corrupted.verify_against_ground_truth(options), batch)
+                << "seed " << seed << " threads " << analysis.threads;
+        }
+    }
+}
+
+// ---- SYTR binary stream format -----------------------------------------
+
+void expect_equivalent(const SyncComputation& a, const SyncComputation& b) {
+    ASSERT_EQ(a.num_processes(), b.num_processes());
+    ASSERT_EQ(a.num_messages(), b.num_messages());
+    ASSERT_EQ(a.num_internal_events(), b.num_internal_events());
+    for (MessageId m = 0; m < a.num_messages(); ++m) {
+        EXPECT_EQ(a.message(m).sender, b.message(m).sender);
+        EXPECT_EQ(a.message(m).receiver, b.message(m).receiver);
+    }
+    for (ProcessId p = 0; p < a.num_processes(); ++p) {
+        const auto ea = a.process_events(p);
+        const auto eb = b.process_events(p);
+        ASSERT_EQ(ea.size(), eb.size()) << "process " << p;
+        for (std::size_t i = 0; i < ea.size(); ++i) {
+            EXPECT_EQ(ea[i].kind, eb[i].kind);
+            if (ea[i].kind == ProcessEvent::Kind::message) {
+                EXPECT_EQ(ea[i].index, eb[i].index);
+            }
+        }
+    }
+}
+
+TEST(SytrFormat, RoundTripsComputationsWithInternalEvents) {
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        const SyncComputation original = testing::random_workload(
+            topology::client_server(2, 4), 40 + seed, 0.5, 9000 + seed);
+        std::stringstream buffer;
+        write_binary_computation(buffer, original);
+        const SyncComputation parsed = read_binary_computation(buffer);
+        expect_equivalent(original, parsed);
+        // Semantics preserved: same stamps on both sides.
+        const auto a = online_timestamps(original);
+        const auto b = online_timestamps(parsed);
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+    }
+}
+
+TEST(SytrFormat, SmallChunksForceManyFrames) {
+    std::stringstream buffer;
+    // chunk_events = 3: 100 events become ~34 frames, exercising every
+    // chunk boundary plus the end-frame total cross-check.
+    StreamingTraceWriter writer(buffer, topology::ring(5), 3);
+    Rng rng(777);
+    for (int i = 0; i < 100; ++i) {
+        const auto p = static_cast<ProcessId>(rng.below(5));
+        if (i % 4 == 3) {
+            writer.add_internal(p);
+        } else {
+            writer.add_message(p, static_cast<ProcessId>((p + 1) % 5));
+        }
+    }
+    writer.finish();
+    EXPECT_EQ(writer.events_written(), 100u);
+
+    StreamingTraceReader reader(buffer);
+    std::size_t messages = 0;
+    std::size_t internals = 0;
+    while (const auto record = reader.next()) {
+        if (record->kind == TraceRecord::Kind::message) {
+            ++messages;
+        } else {
+            ++internals;
+        }
+    }
+    EXPECT_TRUE(reader.finished());
+    EXPECT_EQ(messages, 75u);
+    EXPECT_EQ(internals, 25u);
+    EXPECT_EQ(reader.events_read(), 100u);
+}
+
+TEST(SytrFormat, ReaderFeedsIncrementalIndexMidStream) {
+    const SyncComputation c = sweep_computation(12);
+    const SyncSystem system{Graph(c.topology())};
+    const TimestampedTrace trace = system.analyze(c);
+
+    std::stringstream buffer;
+    write_binary_computation(buffer, c);
+
+    StreamingTraceReader reader(buffer);
+    EXPECT_EQ(reader.topology().num_edges(), c.topology().num_edges());
+    IncrementalPrecedenceIndex index(system);
+
+    // Ingest in two halves, querying between them: answers must already
+    // be exact mid-stream.
+    const std::uint64_t half =
+        (c.num_messages() + c.num_internal_events()) / 2;
+    index.ingest(reader, half);
+    if (index.size() >= 2) {
+        const auto last = static_cast<MessageId>(index.size() - 1);
+        EXPECT_EQ(index.precedes(0, last), trace.precedes(0, last));
+    }
+    index.ingest(reader);
+    EXPECT_TRUE(reader.finished());
+    ASSERT_EQ(index.size(), c.num_messages());
+    for (MessageId m = 0; m < c.num_messages(); ++m) {
+        const auto streamed = index.stamp_span(m);
+        const auto batch = trace.stamps().span(static_cast<TsHandle>(m));
+        ASSERT_TRUE(std::equal(streamed.begin(), streamed.end(),
+                               batch.begin(), batch.end()))
+            << "stamp " << m;
+    }
+}
+
+TEST(SytrFormat, WriterRejectsUseAfterFinish) {
+    std::stringstream buffer;
+    StreamingTraceWriter writer(buffer, topology::triangle());
+    writer.add_message(0, 1);
+    writer.finish();
+    EXPECT_THROW(writer.add_message(1, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace syncts

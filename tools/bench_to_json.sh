@@ -102,6 +102,11 @@ with open(sys.argv[1]) as fh:
             # profile — only the batched-path studies exceed it).
             row.setdefault("bytes_per_msg", 0.0)
             row.setdefault("batch_factor", 1.0)
+            # Streaming columns (bench_analysis TAB-STREAM, PR 10).
+            # resident_mb 0.0 = "residency not sampled";
+            # stream_msgs_per_sec 0.0 = "not a streamed-ingestion row".
+            row.setdefault("resident_mb", 0.0)
+            row.setdefault("stream_msgs_per_sec", 0.0)
             results.append(row)
 json.dump(results, sys.stdout, indent=1)
 sys.stdout.write("\n")

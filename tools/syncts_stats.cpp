@@ -59,16 +59,25 @@
 
 #include <chrono>
 #include <cstdio>
+#include <iostream>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iterator>
+#include <limits>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "clocks/clock_engine.hpp"
 #include "common/pool.hpp"
+#include "common/scaled.hpp"
+#include "common/spill_store.hpp"
+#include "common/ts_kernels.hpp"
+#include "core/streaming_index.hpp"
+#include "poset/streaming_closure.hpp"
+#include "trace/trace_io.hpp"
 #include "obs/causal_profiler.hpp"
 #include "obs/flight_recorder.hpp"
 #include "core/causality.hpp"
@@ -116,6 +125,11 @@ struct Config {
     bool batch = false;           // frame batching + ACK coalescing
     bool delta = false;           // delta-encoded vectors
     std::uint64_t bandwidth = 0;  // bytes/tick budget; 0 = unshaped
+    bool stream = false;          // streaming out-of-core analysis section
+    std::size_t max_resident_mb = 0;  // streaming memory budget; 0 = default
+    std::string spill_dir;            // retired-chunk directory; empty = RAM
+    std::string ingest_path;          // SYTR v2 input ('-' = stdin)
+    std::string emit_sytr_path;       // SYTR v2 output ('-' = stdout)
     bool json = false;
     bool quiet = false;
 };
@@ -135,6 +149,10 @@ struct Config {
         "[--flight FILE.syfr]\n"
         "                    [--batch] [--delta] "
         "[--bandwidth BYTES_PER_TICK] [--quiet]\n"
+        "                    [--stream] [--max-resident-mb MB] "
+        "[--spill-dir DIR]\n"
+        "                    [--emit-sytr FILE.sytr]\n"
+        "       syncts_stats --ingest FILE.sytr|- [--stream flags] [--json]\n"
         "       syncts_stats --postmortem FILE.syfr\nspecs: %s\n",
         tools::spec_help());
     std::exit(2);
@@ -163,22 +181,18 @@ CrashRule parse_crash(const char* text) {
     return rule;
 }
 
-/// Parses "5000", "5k", "2m" (case-insensitive suffix).
+/// Parses "5000", "5k", "2m" (case-insensitive suffix) through the
+/// shared overflow-checked parser (common/scaled.hpp), so a 10m-scale
+/// count can never wrap on its way into the derived counters.
 std::size_t parse_events(const char* text) {
-    char* end = nullptr;
-    const unsigned long long base = std::strtoull(text, &end, 10);
-    std::size_t scale = 1;
-    if (end != nullptr && *end != '\0') {
-        if ((*end == 'k' || *end == 'K') && end[1] == '\0') {
-            scale = 1000;
-        } else if ((*end == 'm' || *end == 'M') && end[1] == '\0') {
-            scale = 1'000'000;
-        } else {
-            std::fprintf(stderr, "bad event count '%s'\n", text);
-            usage();
-        }
+    const std::optional<std::uint64_t> parsed =
+        common::parse_scaled_count(text);
+    if (!parsed.has_value() ||
+        *parsed > std::numeric_limits<std::size_t>::max()) {
+        std::fprintf(stderr, "bad event count '%s'\n", text);
+        usage();
     }
-    return static_cast<std::size_t>(base) * scale;
+    return static_cast<std::size_t>(*parsed);
 }
 
 Config parse_args(int argc, char** argv) {
@@ -249,6 +263,17 @@ Config parse_args(int argc, char** argv) {
         } else if (flag == "--bandwidth") {
             config.bandwidth = std::strtoull(next_value("--bandwidth"),
                                              nullptr, 10);
+        } else if (flag == "--stream") {
+            config.stream = true;
+        } else if (flag == "--max-resident-mb") {
+            config.max_resident_mb = std::strtoull(
+                next_value("--max-resident-mb"), nullptr, 10);
+        } else if (flag == "--spill-dir") {
+            config.spill_dir = next_value("--spill-dir");
+        } else if (flag == "--ingest") {
+            config.ingest_path = next_value("--ingest");
+        } else if (flag == "--emit-sytr") {
+            config.emit_sytr_path = next_value("--emit-sytr");
         } else if (flag == "--json") {
             config.json = true;
         } else if (flag == "--quiet") {
@@ -490,12 +515,334 @@ AnalysisReport run_multi_analysis(const Config& config,
     return report;
 }
 
+// ---------------------------------------------------------------------------
+// Streaming out-of-core analysis (--stream / --ingest; docs/STREAMING.md).
+
+/// Result of the streaming section. Every field but wall_ms is a pure
+/// function of (seed, input); the budget knobs change residency, never
+/// answers.
+struct StreamingReport {
+    std::size_t messages = 0;
+    std::size_t events = 0;  ///< all records (messages + internal)
+    std::size_t window = 0;
+    std::size_t chunk_rows = 0;
+    std::size_t resident_rows = 0;  ///< window residency at end of ingest
+    std::uint64_t relations = 0;
+    std::uint64_t stamp_checks = 0;
+    std::uint64_t stamp_mismatches = 0;
+    std::uint64_t query_checks = 0;
+    std::uint64_t query_mismatches = 0;
+    std::uint64_t verify_mismatches = 0;
+    std::uint64_t spill_chunks = 0;
+    std::uint64_t spill_bytes_written = 0;
+    std::uint64_t spill_bytes_read = 0;
+    double wall_ms = 0.0;
+
+    std::uint64_t total_mismatches() const noexcept {
+        return stamp_mismatches + query_mismatches + verify_mismatches;
+    }
+};
+
+/// Derives the streaming residency knobs from --max-resident-mb: half
+/// the budget goes to the stamp window (width-word rows), the rest
+/// bounds the closure chunk (rows of up to M/64 words). Zero budget
+/// keeps the defaults.
+void apply_budget(const Config& config, std::size_t width,
+                  std::size_t messages, std::size_t& window,
+                  std::size_t& chunk_rows) {
+    window = std::size_t{1} << 16;
+    chunk_rows = 4096;
+    if (config.max_resident_mb == 0) return;
+    const std::size_t budget = config.max_resident_mb * (1u << 20);
+    const std::size_t stamp_bytes = width * 8 == 0 ? 8 : width * 8;
+    window = std::max<std::size_t>(1024, budget / 2 / stamp_bytes);
+    const std::size_t row_bytes = std::max<std::size_t>(8, messages / 8);
+    chunk_rows = std::max<std::size_t>(64, budget / 2 / row_bytes);
+}
+
+/// Every 64th message, two deterministic mid-ingestion probes: the
+/// O(width) vector fast path must agree with the spilled-closure ground
+/// truth on resident pairs, and the resident stamp must equal the
+/// oracle's (when one exists — generated workloads only).
+struct StreamProbe {
+    Rng rng;
+    explicit StreamProbe(std::uint64_t seed)
+        : rng(seed * 0x9E3779B97F4A7C15ull + 11) {}
+
+    void check(const IncrementalPrecedenceIndex& index,
+               const StreamingClosure& closure, MessageId latest,
+               const TimestampArena* oracle, StreamingReport& report) {
+        if ((latest + 1) % 64 != 0) return;
+        const std::uint64_t lo = index.resident_frontier();
+        const std::uint64_t span = latest + 1 - lo;
+        for (int probe = 0; probe < 2; ++probe) {
+            const MessageId a =
+                static_cast<MessageId>(lo + rng.below(span));
+            const MessageId b =
+                static_cast<MessageId>(lo + rng.below(span));
+            ++report.query_checks;
+            if (index.precedes(a, b) != closure.less(a, b)) {
+                ++report.query_mismatches;
+            }
+        }
+        if (oracle != nullptr) {
+            ++report.stamp_checks;
+            const auto streamed = index.stamp_span(latest);
+            const auto expected =
+                oracle->span(static_cast<TsHandle>(latest));
+            if (!std::equal(streamed.begin(), streamed.end(),
+                            expected.begin(), expected.end())) {
+                ++report.stamp_mismatches;
+            }
+        }
+    }
+};
+
+/// --stream over the generated epoch-0 workload: online ingestion through
+/// the windowed incremental index feeding the out-of-core closure, then
+/// the spill-aware streamed verification of the oracle stamps.
+StreamingReport run_streaming(const Config& config,
+                              const SyncComputation& script,
+                              std::shared_ptr<const EdgeDecomposition>
+                                  decomposition,
+                              const TimestampArena& oracle_arena,
+                              obs::MetricsRegistry& registry) {
+    StreamingReport report;
+    const auto start = std::chrono::steady_clock::now();
+
+    std::unique_ptr<SpillStore> spill;
+    if (!config.spill_dir.empty()) {
+        spill = std::make_unique<SpillStore>(config.spill_dir + "/closure");
+        spill->attach_metrics(registry, "spill");
+    }
+    apply_budget(config, decomposition->size(), script.num_messages(),
+                 report.window, report.chunk_rows);
+
+    StreamingClosureOptions closure_options;
+    closure_options.chunk_rows = report.chunk_rows;
+    closure_options.spill = spill.get();
+    StreamingClosure closure(script.num_processes(), script.num_messages(),
+                             closure_options);
+    closure.attach_metrics(registry, "stream_closure");
+
+    StreamingIndexOptions index_options;
+    index_options.window = report.window;
+    index_options.closure = &closure;
+    index_options.metrics = &registry;
+    IncrementalPrecedenceIndex index(decomposition, index_options);
+
+    StreamProbe probe(config.seed);
+    for (const SyncMessage& m : script.messages()) {
+        const MessageId id = index.ingest_message(m.sender, m.receiver);
+        probe.check(index, closure, id, &oracle_arena, report);
+    }
+    closure.finish();
+    report.messages = index.size();
+    report.events = script.num_messages() + script.num_internal_events();
+    report.resident_rows =
+        std::min<std::size_t>(report.window, report.messages);
+    report.relations = closure.relation_count();
+
+    // Sharded spill-aware verification of the oracle stamps, bounded to
+    // one chunk window of closure rows (its own spill namespace so chunk
+    // ids cannot collide with the live ingestion closure's).
+    std::unique_ptr<SpillStore> verify_spill;
+    if (!config.spill_dir.empty()) {
+        verify_spill = std::make_unique<SpillStore>(config.spill_dir +
+                                                    "/verify");
+    }
+    TimestampArena stamps = oracle_arena;
+    stamps.detach_metrics();
+    const TimestampedTrace trace(script, std::move(stamps));
+    StreamedVerifyOptions verify_options;
+    verify_options.chunk_rows = report.chunk_rows;
+    verify_options.spill = verify_spill.get();
+    verify_options.min_streamed_messages = 0;  // --stream forces the path
+    verify_options.analysis.threads = config.threads;
+    report.verify_mismatches =
+        trace.verify_against_ground_truth(verify_options);
+
+    if (spill != nullptr) {
+        report.spill_chunks = spill->chunk_count();
+        report.spill_bytes_written = spill->bytes_written();
+        report.spill_bytes_read = spill->bytes_read();
+    }
+    report.wall_ms =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()) /
+        1000.0;
+    return report;
+}
+
+void append_streaming_json(std::string& out, const StreamingReport& report) {
+    char wall[32];
+    std::snprintf(wall, sizeof(wall), "%.3f", report.wall_ms);
+    out += ",\"streaming\":{\"messages\":" + std::to_string(report.messages);
+    out += ",\"events\":" + std::to_string(report.events);
+    out += ",\"window\":" + std::to_string(report.window);
+    out += ",\"chunk_rows\":" + std::to_string(report.chunk_rows);
+    out += ",\"resident_rows\":" + std::to_string(report.resident_rows);
+    out += ",\"relations\":" + std::to_string(report.relations);
+    out += ",\"stamp_checks\":" + std::to_string(report.stamp_checks);
+    out += ",\"stamp_mismatches\":" +
+           std::to_string(report.stamp_mismatches);
+    out += ",\"query_checks\":" + std::to_string(report.query_checks);
+    out += ",\"query_mismatches\":" +
+           std::to_string(report.query_mismatches);
+    out += ",\"verify_mismatches\":" +
+           std::to_string(report.verify_mismatches);
+    out += ",\"spill_chunks\":" + std::to_string(report.spill_chunks);
+    out += ",\"spill_bytes_written\":" +
+           std::to_string(report.spill_bytes_written);
+    out += ",\"spill_bytes_read\":" +
+           std::to_string(report.spill_bytes_read);
+    out += ",\"wall_ms\":";
+    out += wall;
+    out += "}";
+}
+
+void print_streaming_text(const StreamingReport& report) {
+    std::printf(
+        "stream:  messages=%zu window=%zu chunk_rows=%zu relations=%llu "
+        "resident_rows=%zu\n"
+        "         checks: stamp=%llu/%llu query=%llu/%llu verify=%llu  "
+        "spill: chunks=%llu bytes=%llu (%.3fms)\n",
+        report.messages, report.window, report.chunk_rows,
+        static_cast<unsigned long long>(report.relations),
+        report.resident_rows,
+        static_cast<unsigned long long>(report.stamp_mismatches),
+        static_cast<unsigned long long>(report.stamp_checks),
+        static_cast<unsigned long long>(report.query_mismatches),
+        static_cast<unsigned long long>(report.query_checks),
+        static_cast<unsigned long long>(report.verify_mismatches),
+        static_cast<unsigned long long>(report.spill_chunks),
+        static_cast<unsigned long long>(report.spill_bytes_written),
+        report.wall_ms);
+}
+
+/// --ingest mode: pure streaming analysis of a SYTR v2 file or pipe —
+/// no protocol replay, no materialized computation. The topology comes
+/// from the stream header; stamps are produced online and retired
+/// through the window; the closure is the ground truth the fast path is
+/// probed against.
+int run_ingest_mode(const Config& config) {
+    std::ifstream file;
+    std::istream* in = &std::cin;
+    if (config.ingest_path != "-") {
+        file.open(config.ingest_path, std::ios::binary);
+        if (!file) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         config.ingest_path.c_str());
+            return 2;
+        }
+        in = &file;
+    }
+
+    obs::MetricsRegistry registry;
+    StreamingReport report;
+    std::string topology_name;
+    std::size_t num_processes = 0;
+    std::size_t width = 0;
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        StreamingTraceReader reader(*in);
+        num_processes = reader.topology().num_vertices();
+        const SyncSystem system(reader.topology());
+        width = system.width();
+
+        std::unique_ptr<SpillStore> spill;
+        if (!config.spill_dir.empty()) {
+            spill = std::make_unique<SpillStore>(config.spill_dir +
+                                                 "/closure");
+            spill->attach_metrics(registry, "spill");
+        }
+        // The stream's total is unknown up front (pipes); budget the
+        // chunk for the declared --events scale.
+        apply_budget(config, width, config.events, report.window,
+                     report.chunk_rows);
+
+        StreamingClosureOptions closure_options;
+        closure_options.chunk_rows = report.chunk_rows;
+        closure_options.spill = spill.get();
+        StreamingClosure closure(num_processes, config.events,
+                                 closure_options);
+        closure.attach_metrics(registry, "stream_closure");
+
+        StreamingIndexOptions index_options;
+        index_options.window = report.window;
+        index_options.closure = &closure;
+        index_options.metrics = &registry;
+        IncrementalPrecedenceIndex index(system, index_options);
+
+        StreamProbe probe(config.seed);
+        while (const std::optional<TraceRecord> record = reader.next()) {
+            ++report.events;
+            if (record->kind == TraceRecord::Kind::message) {
+                const MessageId id =
+                    index.ingest_message(record->a, record->b);
+                probe.check(index, closure, id, nullptr, report);
+            } else {
+                index.ingest_internal(record->a);
+            }
+        }
+        closure.finish();
+        report.messages = index.size();
+        report.resident_rows =
+            std::min<std::size_t>(report.window, report.messages);
+        report.relations = closure.relation_count();
+        if (spill != nullptr) {
+            report.spill_chunks = spill->chunk_count();
+            report.spill_bytes_written = spill->bytes_written();
+            report.spill_bytes_read = spill->bytes_read();
+        }
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "ingest failed: %s\n", error.what());
+        return 2;
+    }
+    report.wall_ms =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()) /
+        1000.0;
+
+    const bool clean = report.total_mismatches() == 0;
+    if (config.json) {
+        std::string out;
+        out += "{\"tool\":\"syncts_stats\",\"mode\":\"ingest\"";
+        out += ",\"input\":\"";
+        out += config.ingest_path == "-" ? "<stdin>" : config.ingest_path;
+        out += "\",\"processes\":" + std::to_string(num_processes);
+        out += ",\"width\":" + std::to_string(width);
+        out += ",\"seed\":" + std::to_string(config.seed);
+        append_streaming_json(out, report);
+        out += ",\"metrics\":";
+        registry.write_json(out);
+        out += ",\"ok\":";
+        out += clean ? "true" : "false";
+        out += "}\n";
+        std::fwrite(out.data(), 1, out.size(), stdout);
+    } else if (!config.quiet) {
+        std::printf("syncts_stats --ingest %s: n=%zu d=%zu events=%zu\n",
+                    config.ingest_path.c_str(), num_processes, width,
+                    report.events);
+        print_streaming_text(report);
+        std::printf("%s\n", clean ? "PASS" : "FAIL");
+    }
+    return clean ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     const Config config = parse_args(argc, argv);
     if (!config.postmortem_path.empty()) {
         return decode_postmortem_file(config);
+    }
+    if (!config.ingest_path.empty()) {
+        return run_ingest_mode(config);
     }
     const Graph topology = tools::build_topology(config.spec);
 
@@ -662,6 +1009,36 @@ int main(int argc, char** argv) {
             1000.0;
     }
 
+    if (!config.emit_sytr_path.empty()) {
+        // Epoch-0 workload as a SYTR v2 stream (the ingest input format;
+        // '-' targets stdout for piping straight into --ingest).
+        if (config.emit_sytr_path == "-") {
+            write_binary_computation(std::cout, scripts[0]);
+        } else {
+            std::ofstream out(config.emit_sytr_path, std::ios::binary);
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             config.emit_sytr_path.c_str());
+                return 2;
+            }
+            write_binary_computation(out, scripts[0]);
+        }
+    }
+
+    StreamingReport streaming;
+    if (config.stream) {
+        if (num_epochs != 1) {
+            std::fprintf(stderr,
+                         "--stream supports single-epoch runs only\n");
+            return 2;
+        }
+        streaming = run_streaming(config, scripts[0],
+                                  manager.epoch(0).decomposition,
+                                  *oracle_arenas[0], registry);
+        registry.counter("stats_stream_mismatches")
+            .inc(streaming.total_mismatches());
+    }
+
     AnalysisReport analysis;
     if (config.analysis && num_epochs == 1) {
         analysis =
@@ -718,7 +1095,8 @@ int main(int argc, char** argv) {
     const bool clean = mismatches == 0 && stalls == 0 &&
                        undetected_corrupt == 0 &&
                        analysis.verify_mismatches == 0 &&
-                       analysis.query_mismatches == 0;
+                       analysis.query_mismatches == 0 &&
+                       streaming.total_mismatches() == 0;
     if (config.json) {
         std::string out;
         out += "{\"tool\":\"syncts_stats\",\"topology\":\"";
@@ -794,6 +1172,7 @@ int main(int argc, char** argv) {
             out += wall;
             out += "}";
         }
+        if (config.stream) append_streaming_json(out, streaming);
         if (config.profile) {
             char wall[32];
             std::snprintf(wall, sizeof(wall), "%.3f", profile_wall_ms);
@@ -911,6 +1290,7 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(lookups));
             }
         }
+        if (config.stream) print_streaming_text(streaming);
         std::printf("metrics: %s\n", registry.to_json().c_str());
         std::printf("%s\n", clean ? "PASS" : "FAIL");
     }
